@@ -1,0 +1,33 @@
+//! Criterion benchmark for the mechanism-ablation sweep (extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::ablation::{self, Ablation};
+use gv_harness::scenario::Scenario;
+use gv_kernels::BenchmarkId;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for p in ablation::sweep(&sc, BenchmarkId::Ep, 8, 32) {
+        println!(
+            "ablation[EP/{}]: vt {:.1} ms, speedup {:.3}",
+            p.ablation, p.vt_ms, p.speedup
+        );
+    }
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ep_no_cke_scaled32", |b| {
+        b.iter(|| {
+            ablation::run_virtualized_ablated(
+                &sc,
+                BenchmarkId::Ep,
+                4,
+                32,
+                Ablation::NoConcurrentKernels,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark for the Fig. 10 overhead sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::overhead;
+use gv_harness::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for p in overhead::sweep(&sc, &[25, 100, 400]) {
+        println!(
+            "fig10 {:.0} MB: turnaround {:.1} ms, base {:.1} ms, overhead {:.1}%",
+            p.data_mb,
+            p.turnaround_ms,
+            p.base_layer_ms,
+            p.overhead_frac * 100.0
+        );
+    }
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("overhead_point_100mb", |b| {
+        b.iter(|| overhead::sweep(&sc, &[100]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

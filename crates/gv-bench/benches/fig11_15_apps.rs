@@ -1,0 +1,43 @@
+//! Criterion benchmark for the Figs. 11–15 application sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::scenario::Scenario;
+use gv_harness::turnaround::{sweep, TurnaroundConfig};
+use gv_kernels::{Benchmark, BenchmarkId};
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for id in BenchmarkId::applications() {
+        let series = sweep(
+            &sc,
+            &TurnaroundConfig {
+                benchmark: id,
+                max_procs: 8,
+                scale_down: 32,
+            },
+        );
+        println!(
+            "fig11-15[{}]: S@8 = {:.3} (scaled 1/32)",
+            Benchmark::describe(id).name,
+            series.final_speedup()
+        );
+    }
+    let mut g = c.benchmark_group("fig11_15");
+    g.sample_size(10);
+    g.bench_function("cg_sweep_scaled32", |b| {
+        b.iter(|| {
+            sweep(
+                &sc,
+                &TurnaroundConfig {
+                    benchmark: BenchmarkId::Cg,
+                    max_procs: 4,
+                    scale_down: 32,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark for the Fig. 16 speedup summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::scenario::Scenario;
+use gv_harness::turnaround;
+use gv_kernels::{Benchmark, BenchmarkId};
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for id in BenchmarkId::applications() {
+        let p = turnaround::at_n(&sc, id, 8, 32);
+        println!(
+            "fig16[{}]: speedup @8 = {:.3} (scaled 1/32)",
+            Benchmark::describe(id).name,
+            p.speedup()
+        );
+    }
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("mg_point_scaled32", |b| {
+        b.iter(|| turnaround::at_n(&sc, BenchmarkId::Mg, 8, 32))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark for the Fig. 9 sweep (microbenchmarks, 1–8 procs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::scenario::Scenario;
+use gv_harness::turnaround::{sweep, TurnaroundConfig};
+use gv_kernels::BenchmarkId;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for id in [BenchmarkId::VecAdd, BenchmarkId::Ep] {
+        let series = sweep(
+            &sc,
+            &TurnaroundConfig {
+                benchmark: id,
+                max_procs: 8,
+                scale_down: 32,
+            },
+        );
+        for p in &series.points {
+            println!(
+                "fig9[{}] n={}: no-vt {:.1} ms, vt {:.1} ms, S {:.3}",
+                series.benchmark,
+                p.nprocs,
+                p.no_vt_ms,
+                p.vt_ms,
+                p.speedup()
+            );
+        }
+    }
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("vecadd_sweep_scaled32", |b| {
+        b.iter(|| {
+            sweep(
+                &sc,
+                &TurnaroundConfig {
+                    benchmark: BenchmarkId::VecAdd,
+                    max_procs: 4,
+                    scale_down: 32,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

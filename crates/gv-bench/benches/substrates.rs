@@ -1,0 +1,92 @@
+//! Substrate microbenchmarks: simulation-engine event throughput, IPC
+//! primitives, the device allocator, and the numerical kernels' host cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gv_gpu::DeviceMemory;
+use gv_kernels::{blackscholes, cg, ep, mg};
+use gv_sim::{SimChannel, SimDuration, Simulation};
+
+fn sim_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(20);
+    // Event throughput: two processes ping-pong through a channel.
+    g.bench_function("pingpong_1000_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let ch: SimChannel<u32> = SimChannel::unbounded();
+            let ch2 = ch.clone();
+            sim.spawn("producer", move |ctx| {
+                for i in 0..500u32 {
+                    ch2.send(ctx, i).unwrap();
+                    ctx.hold(SimDuration::from_nanos(10));
+                }
+            });
+            sim.spawn("consumer", move |ctx| {
+                for _ in 0..500 {
+                    ch.recv(ctx).unwrap();
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.bench_function("spawn_join_100_processes", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            for i in 0..100 {
+                sim.spawn(&format!("p{i}"), |ctx| {
+                    ctx.hold(SimDuration::from_micros(1));
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    g.bench_function("alloc_free_churn_1000", |b| {
+        b.iter_batched(
+            || DeviceMemory::new(64 << 20),
+            |mut mem| {
+                let mut live = Vec::new();
+                for i in 0..1000u64 {
+                    live.push(mem.alloc(1024 + (i % 7) * 512).unwrap());
+                    if i % 3 == 0 {
+                        let p = live.swap_remove((i as usize * 7) % live.len());
+                        mem.dealloc(p).unwrap();
+                    }
+                }
+                for p in live {
+                    mem.dealloc(p).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn kernels_host(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_host");
+    g.sample_size(10);
+    g.bench_function("ep_reference_2^16", |b| b.iter(|| ep::reference(16)));
+    g.bench_function("mg_vcycle_16^3", |b| {
+        let v = mg::class_s_rhs(16);
+        let u = mg::Grid3::zeros(16);
+        b.iter(|| mg::v_cycle(&u, &v))
+    });
+    g.bench_function("cg_solve_300x25", |b| {
+        let a = cg::make_matrix(300, 7, 42);
+        let x = vec![1.0; 300];
+        b.iter(|| cg::cg_solve(&a, &x, 25))
+    });
+    g.bench_function("blackscholes_10k", |b| {
+        let (s, x, t) = blackscholes::generate_options(10_000, 1);
+        b.iter(|| blackscholes::reference(&s, &x, &t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_engine, allocator, kernels_host);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for the Table II profiling pipeline: measures the
+//! host cost of simulating the microbenchmark profiles and prints the
+//! regenerated table rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::profile;
+use gv_harness::scenario::Scenario;
+use gv_kernels::BenchmarkId;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    // Print the paper rows once per bench invocation.
+    for id in [BenchmarkId::VecAdd, BenchmarkId::Ep] {
+        let m = profile::measure(&sc, id, 16);
+        println!(
+            "table2[{}]: Tinit={:.1} Tctx={:.1} Tin={:.3} Tcomp={:.3} Tout={:.3} (ms, scaled 1/16)",
+            m.benchmark,
+            m.profile.t_init,
+            m.profile.t_ctx_switch,
+            m.profile.t_data_in,
+            m.profile.t_comp,
+            m.profile.t_data_out
+        );
+    }
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("profile_vecadd_scaled16", |b| {
+        b.iter(|| profile::measure(&sc, BenchmarkId::VecAdd, 16))
+    });
+    g.bench_function("profile_ep_scaled16", |b| {
+        b.iter(|| profile::measure(&sc, BenchmarkId::Ep, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

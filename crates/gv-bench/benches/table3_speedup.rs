@@ -1,0 +1,27 @@
+//! Criterion benchmark for the Table III pipeline: experimental vs
+//! theoretical speedups at full node width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gv_harness::scenario::Scenario;
+use gv_harness::turnaround;
+use gv_kernels::BenchmarkId;
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::default();
+    for id in [BenchmarkId::VecAdd, BenchmarkId::Ep] {
+        let p = turnaround::at_n(&sc, id, 8, 16);
+        println!(
+            "table3[{id:?}]: experimental speedup @8 = {:.3} (scaled 1/16)",
+            p.speedup()
+        );
+    }
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("speedup_at_8_vecadd_scaled16", |b| {
+        b.iter(|| turnaround::at_n(&sc, BenchmarkId::VecAdd, 8, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # gv-bench — Criterion benchmark suite
+//!
+//! See `benches/`: one group per paper table/figure (`table2_profiles`,
+//! `table3_speedup`, `fig9_turnaround`, `fig10_overhead`, `fig11_15_apps`,
+//! `fig16_speedups`), mechanism ablations (`ablations`), and substrate
+//! microbenches (`substrates`). Each paper-artifact bench prints the
+//! regenerated series once, then measures the host cost of producing it.

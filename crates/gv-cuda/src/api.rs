@@ -1,0 +1,521 @@
+//! The CUDA-like runtime API.
+//!
+//! Mirrors the slice of the CUDA 3.2 runtime the paper uses: context
+//! creation (serialized through a driver lock and charged the calibrated
+//! per-process cost), in-order streams, synchronous and asynchronous
+//! copies (async requires pinned host memory, as on real hardware), kernel
+//! launches (asynchronous, returning after the launch-call overhead), and
+//! stream synchronization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gv_gpu::{CommandHandle, CommandKind, DevicePtr, GpuCtxId, GpuDevice, KernelDesc, StreamId};
+use gv_sim::{Ctx, Semaphore, SimDuration};
+use parking_lot::Mutex;
+
+use crate::error::CudaError;
+use crate::host_mem::HostBuffer;
+
+/// Runtime handle to a device, shared by all processes on the node.
+#[derive(Clone)]
+pub struct CudaDevice {
+    device: GpuDevice,
+    /// Serializes context creation through the driver, making N process
+    /// initializations take N × `ctx_create` — the paper's Tinit.
+    driver_lock: Semaphore,
+}
+
+impl CudaDevice {
+    /// Wrap an installed GPU device.
+    pub fn new(device: GpuDevice) -> Self {
+        CudaDevice {
+            device,
+            driver_lock: Semaphore::new(1),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Create a GPU context for the calling process, charging the
+    /// calibrated creation cost under the driver lock.
+    pub fn create_context(&self, ctx: &mut Ctx, name: &str) -> CudaContext {
+        let cost = self.device.config().ctx_switch;
+        self.create_context_with_switch_cost(ctx, name, cost)
+    }
+
+    /// Like [`create_context`](Self::create_context) with an explicit
+    /// context-switch cost (per-benchmark calibration from Table II).
+    pub fn create_context_with_switch_cost(
+        &self,
+        ctx: &mut Ctx,
+        name: &str,
+        switch_cost: SimDuration,
+    ) -> CudaContext {
+        self.driver_lock.acquire(ctx);
+        ctx.hold(self.device.config().ctx_create);
+        let gctx = self
+            .device
+            .create_context_with_switch_cost(name, switch_cost);
+        self.driver_lock.release(ctx);
+        CudaContext {
+            cuda: self.clone(),
+            gctx,
+            tails: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Create a context without charging creation time (the GVM pays it at
+    /// boot, outside the measured task window — and tests use it freely).
+    pub fn create_context_uncharged(&self, name: &str, switch_cost: SimDuration) -> CudaContext {
+        let gctx = self
+            .device
+            .create_context_with_switch_cost(name, switch_cost);
+        CudaContext {
+            cuda: self.clone(),
+            gctx,
+            tails: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+/// A per-process GPU context: streams, memory, copies, launches.
+#[derive(Clone)]
+pub struct CudaContext {
+    cuda: CudaDevice,
+    gctx: GpuCtxId,
+    /// Last command submitted per stream (stream synchronization target).
+    tails: Arc<Mutex<HashMap<StreamId, CommandHandle>>>,
+}
+
+impl CudaContext {
+    /// The raw context id.
+    pub fn id(&self) -> GpuCtxId {
+        self.gctx
+    }
+
+    /// The runtime handle.
+    pub fn cuda(&self) -> &CudaDevice {
+        &self.cuda
+    }
+
+    /// Create an in-order stream in this context.
+    pub fn stream_create(&self) -> StreamId {
+        self.cuda.device.create_stream(self.gctx)
+    }
+
+    /// Allocate device global memory.
+    pub fn malloc(&self, bytes: u64) -> Result<DevicePtr, CudaError> {
+        Ok(self.cuda.device.alloc(bytes)?)
+    }
+
+    /// Free device memory.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), CudaError> {
+        Ok(self.cuda.device.free(ptr)?)
+    }
+
+    fn remember_tail(&self, stream: StreamId, h: &CommandHandle) {
+        self.tails.lock().insert(stream, h.clone());
+    }
+
+    /// `cudaMemcpyAsync(H2D)`: requires pinned host memory (as on hardware —
+    /// async copies from pageable memory silently degrade; we reject them).
+    pub fn memcpy_h2d_async(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: &HostBuffer,
+        dst: DevicePtr,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        assert!(
+            src.is_pinned(),
+            "async H2D requires pinned host memory (use memcpy_h2d for pageable)"
+        );
+        self.h2d_common(ctx, stream, src, dst, bytes)
+    }
+
+    /// `cudaMemcpy(H2D)`: synchronous copy, any host memory kind.
+    pub fn memcpy_h2d(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: &HostBuffer,
+        dst: DevicePtr,
+        bytes: u64,
+    ) -> Result<(), CudaError> {
+        let h = self.h2d_common(ctx, stream, src, dst, bytes)?;
+        h.wait(ctx);
+        Ok(())
+    }
+
+    fn h2d_common(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: &HostBuffer,
+        dst: DevicePtr,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        if bytes > src.len() {
+            return Err(CudaError::HostBufferTooSmall {
+                requested: bytes,
+                capacity: src.len(),
+            });
+        }
+        let data = src.storage().map(|s| {
+            let guard = s.lock();
+            Arc::new(guard[..bytes as usize].to_vec())
+        });
+        let h = self.cuda.device.submit(
+            ctx,
+            self.gctx,
+            stream,
+            CommandKind::CopyH2D {
+                dst,
+                bytes,
+                data,
+                pinned: src.is_pinned(),
+            },
+        )?;
+        self.remember_tail(stream, &h);
+        Ok(h)
+    }
+
+    /// `cudaMemcpyAsync(D2H)`: requires pinned host memory.
+    pub fn memcpy_d2h_async(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: &HostBuffer,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        assert!(
+            dst.is_pinned(),
+            "async D2H requires pinned host memory (use memcpy_d2h for pageable)"
+        );
+        self.d2h_common(ctx, stream, src, dst, bytes)
+    }
+
+    /// `cudaMemcpy(D2H)`: synchronous copy, any host memory kind.
+    pub fn memcpy_d2h(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: &HostBuffer,
+        bytes: u64,
+    ) -> Result<(), CudaError> {
+        let h = self.d2h_common(ctx, stream, src, dst, bytes)?;
+        h.wait(ctx);
+        Ok(())
+    }
+
+    fn d2h_common(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: &HostBuffer,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        if bytes > dst.len() {
+            return Err(CudaError::HostBufferTooSmall {
+                requested: bytes,
+                capacity: dst.len(),
+            });
+        }
+        let h = self.cuda.device.submit(
+            ctx,
+            self.gctx,
+            stream,
+            CommandKind::CopyD2H {
+                src,
+                bytes,
+                sink: dst.storage(),
+                pinned: dst.is_pinned(),
+            },
+        )?;
+        self.remember_tail(stream, &h);
+        Ok(h)
+    }
+
+    /// `cudaMemcpyAsync(D2D)`: device-to-device copy within this context.
+    pub fn memcpy_d2d_async(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: DevicePtr,
+        bytes: u64,
+        functional: bool,
+    ) -> Result<CommandHandle, CudaError> {
+        let h = self.cuda.device.submit(
+            ctx,
+            self.gctx,
+            stream,
+            CommandKind::CopyD2D {
+                src,
+                dst,
+                bytes,
+                functional,
+            },
+        )?;
+        self.remember_tail(stream, &h);
+        Ok(h)
+    }
+
+    /// `cudaMemcpy(D2D)`: synchronous device-to-device copy.
+    pub fn memcpy_d2d(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: DevicePtr,
+        bytes: u64,
+        functional: bool,
+    ) -> Result<(), CudaError> {
+        let h = self.memcpy_d2d_async(ctx, stream, src, dst, bytes, functional)?;
+        h.wait(ctx);
+        Ok(())
+    }
+
+    /// Launch a kernel into `stream`. Asynchronous: the call occupies the
+    /// host for the launch overhead (the paper's 0.038 ms `Tcomp` artifact
+    /// for VectorAdd), then returns a handle.
+    pub fn launch(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        kernel: KernelDesc,
+    ) -> Result<CommandHandle, CudaError> {
+        ctx.hold(self.cuda.device.config().kernel_launch_overhead);
+        let h = self
+            .cuda
+            .device
+            .submit(ctx, self.gctx, stream, CommandKind::Kernel(kernel))?;
+        self.remember_tail(stream, &h);
+        Ok(h)
+    }
+
+    /// `cudaStreamSynchronize`: block until everything submitted to
+    /// `stream` so far has completed.
+    pub fn stream_synchronize(&self, ctx: &mut Ctx, stream: StreamId) {
+        let tail = self.tails.lock().get(&stream).cloned();
+        if let Some(h) = tail {
+            h.wait(ctx);
+        }
+    }
+
+    /// `cudaStreamQuery`: has everything submitted to `stream` completed?
+    pub fn stream_query(&self, stream: StreamId) -> bool {
+        match self.tails.lock().get(&stream) {
+            Some(h) => h.is_done(),
+            None => true,
+        }
+    }
+
+    /// The last command submitted to `stream`, if any (event recording).
+    pub fn stream_tail(&self, stream: StreamId) -> Option<CommandHandle> {
+        self.tails.lock().get(&stream).cloned()
+    }
+
+    /// Synchronize every stream this context has touched.
+    pub fn synchronize_all(&self, ctx: &mut Ctx) {
+        let tails: Vec<CommandHandle> = self.tails.lock().values().cloned().collect();
+        for h in tails {
+            h.wait(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_gpu::DeviceConfig;
+    use gv_sim::Simulation;
+
+    fn setup() -> (Simulation, CudaDevice) {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        (sim, CudaDevice::new(dev))
+    }
+
+    #[test]
+    fn context_creation_serializes_and_charges() {
+        let (mut sim, cuda) = setup();
+        for i in 0..2 {
+            let cuda = cuda.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                let _cc = cuda.create_context(ctx, "c");
+                // test_tiny ctx_create = 10 ms; serialized: 10 or 20 ms.
+                let t = ctx.now().as_millis_f64();
+                assert!((t - 10.0).abs() < 1e-6 || (t - 20.0).abs() < 1e-6, "t={t}");
+                cuda.device().shutdown(ctx);
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn full_execution_cycle_fig3() {
+        // The paper's Fig. 3 cycle: init → send → compute → retrieve.
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let t_init = ctx.now();
+            let stream = cc.stream_create();
+            let dbuf = cc.malloc(1 << 20).unwrap();
+            let hin = HostBuffer::opaque(1 << 20, false);
+            let hout = HostBuffer::opaque(1 << 20, false);
+            cc.memcpy_h2d(ctx, stream, &hin, dbuf, 1 << 20).unwrap();
+            let t_in = ctx.now();
+            let mut k = KernelDesc::new("k", 2, 64).regs(1);
+            k.block_demand_cycles = 1.0e6;
+            let kh = cc.launch(ctx, stream, k).unwrap();
+            kh.wait(ctx);
+            let t_comp = ctx.now();
+            cc.memcpy_d2h(ctx, stream, dbuf, &hout, 1 << 20).unwrap();
+            let t_out = ctx.now();
+            assert!(t_init < t_in && t_in < t_comp && t_comp < t_out);
+            // Pageable H2D at 0.5 GB/s: 1 MiB ≈ 2.098 ms.
+            let d_in = t_in.duration_since(t_init).as_millis_f64();
+            assert!((d_in - 2.098).abs() < 0.01, "d_in = {d_in}");
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn async_pipeline_overlaps_streams() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let t0 = ctx.now();
+            let s1 = cc.stream_create();
+            let s2 = cc.stream_create();
+            let b1 = cc.malloc(4 << 20).unwrap();
+            let b2 = cc.malloc(4 << 20).unwrap();
+            let hin = HostBuffer::opaque(4 << 20, true);
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 4.0e6; // 16 ms at eff 1/4
+                                           // Submit both pipelines back-to-back.
+            cc.memcpy_h2d_async(ctx, s1, &hin, b1, 4 << 20).unwrap();
+            cc.launch(ctx, s1, k.clone()).unwrap();
+            cc.memcpy_h2d_async(ctx, s2, &hin, b2, 4 << 20).unwrap();
+            cc.launch(ctx, s2, k).unwrap();
+            cc.stream_synchronize(ctx, s1);
+            cc.stream_synchronize(ctx, s2);
+            let t = ctx.now().duration_since(t0).as_millis_f64();
+            // Serial would be ≈ 2×(4.2 + 16) ≈ 40.4 ms; overlap of copy2
+            // with kernel1 and concurrent kernels give ≈ 4.2+4.2+16 ≈ 24.6.
+            assert!(t < 27.0, "expected overlap, got {t} ms");
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn stream_query_reflects_completion() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            assert!(cc.stream_query(s)); // nothing submitted
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 1.0e6;
+            let h = cc.launch(ctx, s, k).unwrap();
+            assert!(!cc.stream_query(s));
+            h.wait(ctx);
+            assert!(cc.stream_query(s));
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn functional_data_flows_end_to_end() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let dbuf = cc.malloc(16).unwrap();
+            let hin = HostBuffer::from_f32(&[1.0, 2.0, 3.0, 4.0], true);
+            let hout = HostBuffer::zeroed(16, true);
+            cc.memcpy_h2d(ctx, s, &hin, dbuf, 16).unwrap();
+            cc.memcpy_d2h(ctx, s, dbuf, &hout, 16).unwrap();
+            assert_eq!(hout.to_f32().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn oversized_copy_rejected() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let dbuf = cc.malloc(1024).unwrap();
+            let hin = HostBuffer::opaque(64, false);
+            let err = cc.memcpy_h2d(ctx, s, &hin, dbuf, 128).unwrap_err();
+            assert!(matches!(err, CudaError::HostBufferTooSmall { .. }));
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod d2d_tests {
+    use super::*;
+    use gv_gpu::{DeviceConfig, GpuDevice};
+    use gv_sim::Simulation;
+
+    #[test]
+    fn d2d_copies_functionally_and_costs_dram_time() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        let cuda = CudaDevice::new(dev);
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let a = cc.malloc(1 << 20).unwrap();
+            let b = cc.malloc(1 << 20).unwrap();
+            let hin = HostBuffer::from_f32(&[1.5, 2.5, 3.5], true);
+            cc.memcpy_h2d(ctx, s, &hin, a, 12).unwrap();
+            let t0 = ctx.now();
+            cc.memcpy_d2d(ctx, s, a, b, 1 << 20, true).unwrap();
+            // test_tiny DRAM = 10 GB/s; 2 passes over 1 MiB ≈ 0.21 ms.
+            let dt = ctx.now().duration_since(t0).as_millis_f64();
+            assert!((dt - 0.211).abs() < 0.02, "D2D took {dt} ms");
+            let hout = HostBuffer::zeroed(12, true);
+            cc.memcpy_d2h(ctx, s, b, &hout, 12).unwrap();
+            assert_eq!(hout.to_f32().unwrap(), vec![1.5, 2.5, 3.5]);
+            assert_eq!(cuda.device().stats().d2d_transfers, 1);
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn d2d_validates_both_ranges() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        let cuda = CudaDevice::new(dev);
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let a = cc.malloc(512).unwrap();
+            let b = cc.malloc(64).unwrap(); // rounds up to one 256 B unit
+                                            // dst too small for a 512 B copy
+            assert!(cc.memcpy_d2d(ctx, s, a, b, 512, false).is_err());
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+}

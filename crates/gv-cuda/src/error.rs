@@ -1,0 +1,57 @@
+//! Runtime error type.
+
+use gv_gpu::{MemError, SubmitError};
+
+/// Errors surfaced by the CUDA-like runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CudaError {
+    /// Device memory allocation or access failed.
+    Memory(MemError),
+    /// Command submission failed.
+    Submit(SubmitError),
+    /// A host buffer was smaller than the requested transfer.
+    HostBufferTooSmall {
+        /// Bytes requested.
+        requested: u64,
+        /// Host buffer capacity.
+        capacity: u64,
+    },
+    /// A functional transfer was requested on an opaque (timing-only) buffer.
+    OpaqueHostBuffer,
+}
+
+impl From<MemError> for CudaError {
+    fn from(e: MemError) -> Self {
+        CudaError::Memory(e)
+    }
+}
+
+impl From<SubmitError> for CudaError {
+    fn from(e: SubmitError) -> Self {
+        CudaError::Submit(e)
+    }
+}
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudaError::Memory(e) => write!(f, "cuda memory error: {e}"),
+            CudaError::Submit(e) => write!(f, "cuda submit error: {e}"),
+            CudaError::HostBufferTooSmall {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "host buffer too small: requested {requested} B, capacity {capacity} B"
+            ),
+            CudaError::OpaqueHostBuffer => {
+                write!(
+                    f,
+                    "functional transfer requested on a timing-only host buffer"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}

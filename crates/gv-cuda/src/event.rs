@@ -1,0 +1,94 @@
+//! CUDA-like events.
+//!
+//! An event recorded into an in-order stream completes once everything
+//! submitted to that stream *before the record* has completed — which, for
+//! in-order streams, is exactly the completion of the stream's tail command
+//! at record time. The GVM's `STP` status query is built on this.
+
+use gv_gpu::{CommandHandle, StreamId};
+use gv_sim::Ctx;
+
+use crate::api::CudaContext;
+
+/// A recorded event.
+#[derive(Clone, Debug)]
+pub struct CudaEvent {
+    /// Tail of the stream at record time; `None` = stream was empty.
+    tail: Option<CommandHandle>,
+    stream: StreamId,
+}
+
+impl CudaEvent {
+    /// `cudaEventRecord`: capture the current tail of `stream`.
+    pub fn record(cc: &CudaContext, stream: StreamId) -> CudaEvent {
+        CudaEvent {
+            tail: cc.stream_tail(stream),
+            stream,
+        }
+    }
+
+    /// The stream this event was recorded into.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// `cudaEventQuery`: has all work preceding the record completed?
+    pub fn query(&self) -> bool {
+        self.tail.as_ref().map(|h| h.is_done()).unwrap_or(true)
+    }
+
+    /// `cudaEventSynchronize`: block until the event completes.
+    pub fn synchronize(&self, ctx: &mut Ctx) {
+        if let Some(h) = &self.tail {
+            h.wait(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::CudaDevice;
+    use gv_gpu::{DeviceConfig, GpuDevice, KernelDesc};
+    use gv_sim::Simulation;
+
+    #[test]
+    fn event_on_empty_stream_is_complete() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        let cuda = CudaDevice::new(dev);
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let ev = CudaEvent::record(&cc, s);
+            assert!(ev.query());
+            ev.synchronize(ctx); // must not block
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn event_completes_with_preceding_work() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        let cuda = CudaDevice::new(dev);
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 1.0e6;
+            cc.launch(ctx, s, k.clone()).unwrap();
+            let ev = CudaEvent::record(&cc, s);
+            assert!(!ev.query());
+            // Later work does not hold the event back.
+            cc.launch(ctx, s, k).unwrap();
+            ev.synchronize(ctx);
+            assert!(ev.query());
+            assert!(!cc.stream_query(s)); // second kernel still running
+            cc.stream_synchronize(ctx, s);
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Host memory buffers: pageable vs pinned, functional vs timing-only.
+//!
+//! Pinned (page-locked) host memory transfers at full PCIe bandwidth and is
+//! required for asynchronous copies — the GVM allocates pinned staging
+//! buffers per process (paper §V). Timing-only experiments use *opaque*
+//! buffers that carry a byte count but no storage, so hundreds of simulated
+//! megabytes cost nothing on the real host.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A host-side buffer.
+#[derive(Clone)]
+pub struct HostBuffer {
+    bytes: u64,
+    pinned: bool,
+    data: Option<Arc<Mutex<Vec<u8>>>>,
+}
+
+impl std::fmt::Debug for HostBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostBuffer")
+            .field("bytes", &self.bytes)
+            .field("pinned", &self.pinned)
+            .field("functional", &self.data.is_some())
+            .finish()
+    }
+}
+
+impl HostBuffer {
+    /// A timing-only (opaque) buffer of `bytes` bytes.
+    pub fn opaque(bytes: u64, pinned: bool) -> Self {
+        HostBuffer {
+            bytes,
+            pinned,
+            data: None,
+        }
+    }
+
+    /// A zero-filled functional buffer.
+    pub fn zeroed(bytes: u64, pinned: bool) -> Self {
+        HostBuffer {
+            bytes,
+            pinned,
+            data: Some(Arc::new(Mutex::new(vec![0u8; bytes as usize]))),
+        }
+    }
+
+    /// A functional buffer initialized from `data`.
+    pub fn from_bytes(data: Vec<u8>, pinned: bool) -> Self {
+        HostBuffer {
+            bytes: data.len() as u64,
+            pinned,
+            data: Some(Arc::new(Mutex::new(data))),
+        }
+    }
+
+    /// A functional buffer initialized from `f32`s (little-endian layout).
+    pub fn from_f32(values: &[f32], pinned: bool) -> Self {
+        Self::from_bytes(
+            values.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            pinned,
+        )
+    }
+
+    /// A functional buffer initialized from `f64`s.
+    pub fn from_f64(values: &[f64], pinned: bool) -> Self {
+        Self::from_bytes(
+            values.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            pinned,
+        )
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Is this pinned (page-locked) memory?
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Does this buffer carry real bytes?
+    pub fn is_functional(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Shared storage handle (functional buffers only).
+    pub(crate) fn storage(&self) -> Option<Arc<Mutex<Vec<u8>>>> {
+        self.data.clone()
+    }
+
+    /// Snapshot contents as bytes (functional buffers only).
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        self.data.as_ref().map(|d| d.lock().clone())
+    }
+
+    /// Interpret contents as `f32`s (functional buffers only).
+    pub fn to_f32(&self) -> Option<Vec<f32>> {
+        self.to_bytes().map(|b| {
+            b.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        })
+    }
+
+    /// Interpret contents as `f64`s (functional buffers only).
+    pub fn to_f64(&self) -> Option<Vec<f64>> {
+        self.to_bytes().map(|b| {
+            b.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect()
+        })
+    }
+
+    /// Overwrite contents (functional buffers only; panics on size mismatch).
+    pub fn fill_bytes(&self, data: &[u8]) {
+        let storage = self
+            .data
+            .as_ref()
+            .expect("fill_bytes on a timing-only buffer");
+        let mut guard = storage.lock();
+        assert_eq!(guard.len(), data.len(), "host buffer size mismatch");
+        guard.copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opaque_carries_size_only() {
+        let b = HostBuffer::opaque(1 << 30, true);
+        assert_eq!(b.len(), 1 << 30);
+        assert!(!b.is_functional());
+        assert!(b.to_bytes().is_none());
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let b = HostBuffer::from_f32(&[1.5, -2.25], false);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.to_f32().unwrap(), vec![1.5, -2.25]);
+        assert!(!b.is_pinned());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let b = HostBuffer::from_f64(&[std::f64::consts::PI], true);
+        assert_eq!(b.to_f64().unwrap(), vec![std::f64::consts::PI]);
+    }
+
+    #[test]
+    fn fill_replaces_contents() {
+        let b = HostBuffer::zeroed(4, true);
+        b.fill_bytes(&[1, 2, 3, 4]);
+        assert_eq!(b.to_bytes().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn fill_size_mismatch_panics() {
+        HostBuffer::zeroed(4, true).fill_bytes(&[1, 2]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = HostBuffer::zeroed(2, false);
+        let b = a.clone();
+        a.fill_bytes(&[8, 9]);
+        assert_eq!(b.to_bytes().unwrap(), vec![8, 9]);
+    }
+}

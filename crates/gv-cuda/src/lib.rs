@@ -1,0 +1,19 @@
+//! # gv-cuda — CUDA-like runtime over the simulated GPU
+//!
+//! The slice of the CUDA runtime/driver API the paper's infrastructure
+//! uses: contexts (creation serialized through a driver lock, switch costs
+//! charged by the device), in-order streams, pageable/pinned host memory
+//! ([`host_mem`]), synchronous and asynchronous copies, asynchronous kernel
+//! launches, stream synchronization, and events ([`event`]).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod error;
+pub mod event;
+pub mod host_mem;
+
+pub use api::{CudaContext, CudaDevice};
+pub use error::CudaError;
+pub use event::CudaEvent;
+pub use host_mem::HostBuffer;

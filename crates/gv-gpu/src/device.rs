@@ -1,0 +1,633 @@
+//! The device façade: install a GPU into a simulation and talk to it.
+//!
+//! [`GpuDevice::install`] spawns the `gpu-sched` scheduler process and hands
+//! back a cloneable handle. Host-side simulation processes then create
+//! contexts and streams, allocate device memory, and submit asynchronous
+//! commands; [`CommandHandle::wait`] blocks the caller in simulated time
+//! until the device completes the command.
+
+use std::sync::Arc;
+
+use gv_sim::{Ctx, Pid, SimTime, Simulation};
+use parking_lot::Mutex;
+
+use crate::config::{ComputeMode, DeviceConfig};
+use crate::engines::{CommandHandle, CommandKind, DeviceStats, GpuCtxId, SchedState, StreamId};
+use crate::memory::{DeviceMemory, DevicePtr, MemError};
+
+/// Errors surfaced when submitting a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A copy referenced device memory that is dead or too small.
+    Memory(MemError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Memory(e) => write!(f, "submit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Error creating a GPU context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxError {
+    /// The device is in exclusive compute mode and already has a context
+    /// ("all CUDA-capable devices are busy" on real hardware).
+    ExclusiveModeBusy,
+}
+
+impl std::fmt::Display for CtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtxError::ExclusiveModeBusy => {
+                write!(f, "device is in exclusive compute mode and busy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtxError {}
+
+pub(crate) struct DeviceShared {
+    pub(crate) config: DeviceConfig,
+    pub(crate) memory: Mutex<DeviceMemory>,
+    pub(crate) sched: Mutex<SchedState>,
+    pub(crate) sched_pid: Mutex<Option<Pid>>,
+}
+
+/// Handle to a simulated GPU. Cheap to clone; all clones share the device.
+#[derive(Clone)]
+pub struct GpuDevice {
+    pub(crate) shared: Arc<DeviceShared>,
+}
+
+impl GpuDevice {
+    /// Create the device and spawn its scheduler process into `sim`.
+    pub fn install(sim: &mut Simulation, config: DeviceConfig) -> GpuDevice {
+        let shared = Arc::new(DeviceShared {
+            memory: Mutex::new(DeviceMemory::new(config.global_mem_bytes)),
+            sched: Mutex::new(SchedState::new(&config)),
+            sched_pid: Mutex::new(None),
+            config,
+        });
+        let dev = GpuDevice {
+            shared: Arc::clone(&shared),
+        };
+        let pid = sim.spawn("gpu-sched", {
+            let shared = Arc::clone(&shared);
+            move |ctx| scheduler_main(ctx, shared)
+        });
+        *shared.sched_pid.lock() = Some(pid);
+        dev
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.shared.config
+    }
+
+    /// Register a GPU context using the device's default switch cost.
+    /// (Creation *time* is charged by the runtime layer, serialized through
+    /// the driver — see `gv-cuda`.) Panics in exclusive compute mode when a
+    /// context exists; use [`try_create_context`](Self::try_create_context)
+    /// to handle that case.
+    pub fn create_context(&self, name: &str) -> GpuCtxId {
+        let cost = self.shared.config.ctx_switch;
+        self.try_create_context(name, cost)
+            .expect("device in exclusive compute mode is busy")
+    }
+
+    /// Register a GPU context with an explicit switch cost (the paper's
+    /// Table II measures per-benchmark switch costs; benchmarks carry them).
+    pub fn create_context_with_switch_cost(
+        &self,
+        name: &str,
+        switch_cost: gv_sim::SimDuration,
+    ) -> GpuCtxId {
+        self.try_create_context(name, switch_cost)
+            .expect("device in exclusive compute mode is busy")
+    }
+
+    /// Fallible context registration honouring the compute mode.
+    pub fn try_create_context(
+        &self,
+        name: &str,
+        switch_cost: gv_sim::SimDuration,
+    ) -> Result<GpuCtxId, CtxError> {
+        let mut sched = self.shared.sched.lock();
+        if self.shared.config.compute_mode == ComputeMode::Exclusive && sched.context_count() > 0 {
+            return Err(CtxError::ExclusiveModeBusy);
+        }
+        Ok(sched.register_context(name, switch_cost))
+    }
+
+    /// Create an in-order command stream within `ctx`.
+    pub fn create_stream(&self, ctx: GpuCtxId) -> StreamId {
+        self.shared.sched.lock().register_stream(ctx)
+    }
+
+    /// Allocate device global memory (instantaneous driver call).
+    pub fn alloc(&self, bytes: u64) -> Result<DevicePtr, MemError> {
+        self.shared.memory.lock().alloc(bytes)
+    }
+
+    /// Free a device allocation.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), MemError> {
+        self.shared.memory.lock().dealloc(ptr)
+    }
+
+    /// Direct access to device memory, for seeding inputs and verifying
+    /// outputs outside the timed path (tests and harness plumbing).
+    pub fn with_memory<R>(&self, f: impl FnOnce(&mut DeviceMemory) -> R) -> R {
+        f(&mut self.shared.memory.lock())
+    }
+
+    /// Submit an asynchronous command to `stream`. Copy ranges are
+    /// validated now, so completion cannot fail.
+    pub fn submit(
+        &self,
+        ctx: &mut Ctx,
+        gpu_ctx: GpuCtxId,
+        stream: StreamId,
+        kind: CommandKind,
+    ) -> Result<CommandHandle, SubmitError> {
+        match &kind {
+            CommandKind::CopyH2D {
+                dst, bytes, data, ..
+            } => {
+                if let Some(d) = data {
+                    assert_eq!(
+                        d.len() as u64,
+                        *bytes,
+                        "functional H2D payload length must equal byte count"
+                    );
+                }
+                self.shared
+                    .memory
+                    .lock()
+                    .validate_range(*dst, *bytes)
+                    .map_err(SubmitError::Memory)?;
+            }
+            CommandKind::CopyD2H { src, bytes, .. } => {
+                self.shared
+                    .memory
+                    .lock()
+                    .validate_range(*src, *bytes)
+                    .map_err(SubmitError::Memory)?;
+            }
+            CommandKind::CopyD2D {
+                src, dst, bytes, ..
+            } => {
+                let mem = self.shared.memory.lock();
+                mem.validate_range(*src, *bytes)
+                    .and_then(|()| mem.validate_range(*dst, *bytes))
+                    .map_err(SubmitError::Memory)?;
+            }
+            CommandKind::Kernel(_) => {}
+        }
+        let handle = self.shared.sched.lock().enqueue(gpu_ctx, stream, kind);
+        self.kick(ctx);
+        Ok(handle)
+    }
+
+    /// Is `stream` drained (no queued or in-flight command)?
+    pub fn stream_idle(&self, stream: StreamId) -> bool {
+        self.shared.sched.lock().stream_idle(stream)
+    }
+
+    /// Snapshot device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.shared.sched.lock().stats()
+    }
+
+    /// Stop the scheduler process so the simulation can complete. Call once
+    /// all device work is done.
+    pub fn shutdown(&self, ctx: &Ctx) {
+        self.shared.sched.lock().shutdown = true;
+        self.kick(ctx);
+    }
+
+    /// Wake the scheduler (submission or shutdown).
+    fn kick(&self, ctx: &Ctx) {
+        let pid = self
+            .sched_pid()
+            .expect("device scheduler not yet installed");
+        ctx.unpark(pid);
+    }
+
+    fn sched_pid(&self) -> Option<Pid> {
+        *self.shared.sched_pid.lock()
+    }
+}
+
+/// The `gpu-sched` process: repeatedly settle device state at `now`, open
+/// completion gates, then sleep until the next internal event or external
+/// submission.
+fn scheduler_main(ctx: &mut Ctx, shared: Arc<DeviceShared>) {
+    loop {
+        if shared.sched.lock().shutdown {
+            break;
+        }
+        let now = ctx.now();
+        let tracer = ctx.tracer().clone();
+        let (opened, next) = {
+            let mut sched = shared.sched.lock();
+            sched.step(&shared.config, &shared.memory, &tracer, now)
+        };
+        for gate in opened {
+            gate.open(ctx);
+        }
+        match next {
+            Some(t) => {
+                let now = ctx.now();
+                if t > now {
+                    ctx.park_timeout(t.duration_since(now));
+                }
+                // t <= now: immediately re-step.
+            }
+            None => {
+                ctx.park();
+            }
+        }
+    }
+}
+
+/// Convenience: the simulated time at which the device last did anything —
+/// used by tests to reason about makespans.
+pub fn device_now(_ctx: &Ctx) -> SimTime {
+    _ctx.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::CommandKind;
+    use crate::kernel_desc::{estimate_kernel_time, KernelDesc};
+    use gv_sim::{SimDuration, Simulation};
+
+    fn tiny() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    /// One process, one stream: H2D → kernel → D2H must serialize in-order.
+    #[test]
+    fn single_stream_runs_in_order() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p0");
+            let stream = d.create_stream(gctx);
+            let buf = d.alloc(1 << 20).unwrap();
+            // 1 MiB pinned at 1 GB/s ≈ 1.049 ms + 1 µs latency.
+            let h2d = d
+                .submit(
+                    ctx,
+                    gctx,
+                    stream,
+                    CommandKind::CopyH2D {
+                        dst: buf,
+                        bytes: 1 << 20,
+                        data: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            let mut k = KernelDesc::new("k", 2, 32).regs(1);
+            k.block_demand_cycles = 1.0e6; // 1 ms at full rate, eff 1/4 → 4 ms
+            let kt = estimate_kernel_time(d.config(), &k);
+            let kh = d.submit(ctx, gctx, stream, CommandKind::Kernel(k)).unwrap();
+            let d2h = d
+                .submit(
+                    ctx,
+                    gctx,
+                    stream,
+                    CommandKind::CopyD2H {
+                        src: buf,
+                        bytes: 1 << 20,
+                        sink: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            h2d.wait(ctx);
+            let t_h2d = ctx.now();
+            kh.wait(ctx);
+            let t_k = ctx.now();
+            d2h.wait(ctx);
+            let t_d2h = ctx.now();
+            assert!(t_h2d < t_k && t_k < t_d2h);
+            // Kernel time matches the analytic oracle.
+            let measured = t_k.duration_since(t_h2d);
+            let err = (measured.as_secs_f64() - kt.as_secs_f64()).abs() / kt.as_secs_f64();
+            assert!(err < 1e-6, "kernel time {measured} vs oracle {kt}");
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Two streams in one context: H2D of stream B overlaps kernel of A
+    /// (copy/compute overlap), and both kernels run concurrently.
+    #[test]
+    fn same_context_streams_overlap() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s1 = d.create_stream(gctx);
+            let s2 = d.create_stream(gctx);
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 8.0e6; // 8 ms at full rate; eff 1/4 → 32 ms
+            let k1 = d
+                .submit(ctx, gctx, s1, CommandKind::Kernel(k.clone()))
+                .unwrap();
+            let k2 = d.submit(ctx, gctx, s2, CommandKind::Kernel(k)).unwrap();
+            k1.wait(ctx);
+            k2.wait(ctx);
+            // Two 1-block kernels land on different SMs → fully concurrent:
+            // makespan ≈ one kernel, not two.
+            let t = ctx.now().as_millis_f64();
+            assert!(t < 40.0, "expected concurrency, makespan {t} ms");
+            let stats = d.stats();
+            assert_eq!(stats.kernels_completed, 2);
+            assert_eq!(stats.max_concurrent_kernels, 2);
+            assert_eq!(stats.ctx_switches, 0);
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Two contexts serialize and pay the switch cost.
+    #[test]
+    fn cross_context_serializes_with_switch() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let c1 = d.create_context("p1");
+            let c2 = d.create_context("p2");
+            let s1 = d.create_stream(c1);
+            let s2 = d.create_stream(c2);
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 1.0e6; // 4 ms with eff 1/4
+            let k1 = d
+                .submit(ctx, c1, s1, CommandKind::Kernel(k.clone()))
+                .unwrap();
+            let k2 = d.submit(ctx, c2, s2, CommandKind::Kernel(k)).unwrap();
+            k1.wait(ctx);
+            let t1 = ctx.now().as_millis_f64();
+            k2.wait(ctx);
+            let t2 = ctx.now().as_millis_f64();
+            // k1: 4 ms. Then grace (0.05 ms) + switch (5 ms) + k2 (4 ms).
+            assert!((t1 - 4.0).abs() < 0.1, "t1 = {t1}");
+            assert!((t2 - 13.05).abs() < 0.1, "t2 = {t2}");
+            assert_eq!(d.stats().ctx_switches, 1);
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// H2D and D2H engines overlap (bi-directional transfers).
+    #[test]
+    fn bidirectional_copies_overlap() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s1 = d.create_stream(gctx);
+            let s2 = d.create_stream(gctx);
+            let a = d.alloc(8 << 20).unwrap();
+            let b = d.alloc(8 << 20).unwrap();
+            let bytes = 8u64 << 20; // 8 MiB at 1 GB/s ≈ 8.39 ms
+            let h1 = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s1,
+                    CommandKind::CopyH2D {
+                        dst: a,
+                        bytes,
+                        data: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            let h2 = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s2,
+                    CommandKind::CopyD2H {
+                        src: b,
+                        bytes,
+                        sink: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            h1.wait(ctx);
+            h2.wait(ctx);
+            let t = ctx.now().as_millis_f64();
+            assert!(t < 9.0, "bidirectional copies should overlap, got {t} ms");
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Same-direction copies serialize on the single H2D engine.
+    #[test]
+    fn same_direction_copies_serialize() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s1 = d.create_stream(gctx);
+            let s2 = d.create_stream(gctx);
+            let a = d.alloc(8 << 20).unwrap();
+            let b = d.alloc(8 << 20).unwrap();
+            let bytes = 8u64 << 20;
+            let h1 = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s1,
+                    CommandKind::CopyH2D {
+                        dst: a,
+                        bytes,
+                        data: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            let h2 = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s2,
+                    CommandKind::CopyH2D {
+                        dst: b,
+                        bytes,
+                        data: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            h1.wait(ctx);
+            h2.wait(ctx);
+            let t = ctx.now().as_millis_f64();
+            assert!(t > 16.0, "same-direction copies must serialize, got {t} ms");
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Functional copies move real bytes through device memory.
+    #[test]
+    fn functional_roundtrip_h2d_d2h() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s = d.create_stream(gctx);
+            let buf = d.alloc(16).unwrap();
+            let payload = Arc::new(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+            let sink: crate::engines::HostSink = Arc::new(Mutex::new(Vec::new()));
+            d.submit(
+                ctx,
+                gctx,
+                s,
+                CommandKind::CopyH2D {
+                    dst: buf,
+                    bytes: 8,
+                    data: Some(payload.clone()),
+                    pinned: true,
+                },
+            )
+            .unwrap();
+            let d2h = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s,
+                    CommandKind::CopyD2H {
+                        src: buf,
+                        bytes: 8,
+                        sink: Some(sink.clone()),
+                        pinned: true,
+                    },
+                )
+                .unwrap();
+            d2h.wait(ctx);
+            assert_eq!(*sink.lock(), *payload);
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Submitting a copy that overruns its allocation fails fast.
+    #[test]
+    fn submit_validates_ranges() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s = d.create_stream(gctx);
+            let buf = d.alloc(256).unwrap();
+            let err = d
+                .submit(
+                    ctx,
+                    gctx,
+                    s,
+                    CommandKind::CopyH2D {
+                        dst: buf,
+                        bytes: 512,
+                        data: None,
+                        pinned: true,
+                    },
+                )
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                SubmitError::Memory(MemError::OutOfBounds { .. })
+            ));
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// A big grid is processed in waves and matches the analytic oracle.
+    #[test]
+    fn multi_wave_kernel_matches_oracle() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s = d.create_stream(gctx);
+            // tiny device: 2 SMs × 2 blocks resident; 12 blocks → 3 waves.
+            let mut k = KernelDesc::new("waves", 12, 64).regs(1);
+            k.block_demand_cycles = 5.0e5;
+            let oracle = estimate_kernel_time(d.config(), &k);
+            let h = d.submit(ctx, gctx, s, CommandKind::Kernel(k)).unwrap();
+            h.wait(ctx);
+            let t = ctx.now();
+            let err = (t.as_secs_f64() - oracle.as_secs_f64()).abs() / oracle.as_secs_f64();
+            assert!(err < 1e-6, "engine {t} vs oracle {oracle}");
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// The 16-kernel (here 4) window limit throttles admission.
+    #[test]
+    fn concurrent_kernel_window_is_limited() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let streams: Vec<_> = (0..6).map(|_| d.create_stream(gctx)).collect();
+            let mut k = KernelDesc::new("w", 1, 32).regs(1);
+            k.block_demand_cycles = 1.0e6;
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|&s| {
+                    d.submit(ctx, gctx, s, CommandKind::Kernel(k.clone()))
+                        .unwrap()
+                })
+                .collect();
+            for h in &handles {
+                h.wait(ctx);
+            }
+            let stats = d.stats();
+            assert_eq!(stats.kernels_completed, 6);
+            assert!(stats.max_concurrent_kernels <= 4); // test_tiny window
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    /// Shutdown lets the simulation finish even though the scheduler would
+    /// otherwise park forever.
+    #[test]
+    fn shutdown_terminates_scheduler() {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, tiny());
+        let d = dev.clone();
+        sim.spawn("host", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            d.shutdown(ctx);
+        });
+        let s = sim.run().unwrap();
+        assert!(s.completed);
+    }
+}

@@ -1,0 +1,334 @@
+//! Kernel descriptions, occupancy math, and the analytic timing oracle.
+//!
+//! A [`KernelDesc`] is what the runtime launches: grid geometry, per-SM
+//! resource footprint, a per-block *demand* in SM cycles (the timing model's
+//! unit of work), and an optional functional body that computes real results
+//! in simulated device memory.
+//!
+//! Demands come from a [`CostSpec`] — an analytic FLOP/DRAM roofline — or
+//! from [`demand_for_kernel_time`], which inverts the wave-exact execution
+//! estimate so a kernel hits a calibration target (used for the paper's
+//! published per-kernel timings).
+
+use std::sync::Arc;
+
+use gv_sim::SimDuration;
+
+use crate::config::DeviceConfig;
+use crate::memory::DeviceMemory;
+
+/// Functional kernel body: runs against device memory when the simulated
+/// kernel completes, making results bit-checkable against CPU references.
+pub type KernelBody = Arc<dyn Fn(&mut DeviceMemory) + Send + Sync>;
+
+/// Everything the device needs to execute one kernel grid.
+#[derive(Clone)]
+pub struct KernelDesc {
+    /// Kernel name (traces and reports).
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread (occupancy limiter).
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes (occupancy limiter).
+    pub smem_per_block: u64,
+    /// Work per block, in SM cycles at full throughput.
+    pub block_demand_cycles: f64,
+    /// Optional functional body.
+    pub body: Option<KernelBody>,
+}
+
+impl std::fmt::Debug for KernelDesc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelDesc")
+            .field("name", &self.name)
+            .field("grid_blocks", &self.grid_blocks)
+            .field("threads_per_block", &self.threads_per_block)
+            .field("regs_per_thread", &self.regs_per_thread)
+            .field("smem_per_block", &self.smem_per_block)
+            .field("block_demand_cycles", &self.block_demand_cycles)
+            .field("body", &self.body.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl KernelDesc {
+    /// A minimal kernel description; demand must be set afterwards (or via
+    /// [`with_cost`](Self::with_cost) / [`with_target_time`](Self::with_target_time)).
+    pub fn new(name: impl Into<String>, grid_blocks: u64, threads_per_block: u32) -> Self {
+        KernelDesc {
+            name: name.into(),
+            grid_blocks,
+            threads_per_block,
+            regs_per_thread: 20,
+            smem_per_block: 0,
+            block_demand_cycles: 1.0,
+            body: None,
+        }
+    }
+
+    /// Set the register footprint.
+    pub fn regs(mut self, regs_per_thread: u32) -> Self {
+        self.regs_per_thread = regs_per_thread;
+        self
+    }
+
+    /// Set the shared-memory footprint.
+    pub fn smem(mut self, smem_per_block: u64) -> Self {
+        self.smem_per_block = smem_per_block;
+        self
+    }
+
+    /// Derive the block demand from an analytic cost spec.
+    pub fn with_cost(mut self, cfg: &DeviceConfig, cost: &CostSpec) -> Self {
+        self.block_demand_cycles = cost.block_demand_cycles(cfg, self.threads_per_block);
+        self
+    }
+
+    /// Derive the block demand so this kernel, alone on an idle device,
+    /// takes `target` (inverts the wave-exact estimator).
+    pub fn with_target_time(mut self, cfg: &DeviceConfig, target: SimDuration) -> Self {
+        self.block_demand_cycles = demand_for_kernel_time(cfg, &self, target);
+        self
+    }
+
+    /// Attach a functional body.
+    pub fn with_body(mut self, body: KernelBody) -> Self {
+        self.body = Some(body);
+        self
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self, cfg: &DeviceConfig) -> u32 {
+        self.threads_per_block.div_ceil(cfg.warp_size)
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks * self.threads_per_block as u64
+    }
+}
+
+/// Analytic per-thread cost: a FLOP/DRAM roofline with a calibration scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSpec {
+    /// Arithmetic work per thread, in FLOPs (count SFU/transcendental ops
+    /// at their cycle cost).
+    pub flops_per_thread: f64,
+    /// DRAM traffic per thread in bytes (reads + writes, post-coalescing).
+    pub dram_bytes_per_thread: f64,
+    /// Multiplier folding in unmodeled stalls; 1.0 = pure roofline.
+    pub cycles_scale: f64,
+}
+
+impl CostSpec {
+    /// Pure-roofline spec with unit scale.
+    pub fn new(flops_per_thread: f64, dram_bytes_per_thread: f64) -> Self {
+        CostSpec {
+            flops_per_thread,
+            dram_bytes_per_thread,
+            cycles_scale: 1.0,
+        }
+    }
+
+    /// Override the calibration scale.
+    pub fn scaled(mut self, k: f64) -> Self {
+        self.cycles_scale = k;
+        self
+    }
+
+    /// Per-block demand in SM cycles: the max of the compute roofline and
+    /// the (statically partitioned) DRAM roofline.
+    pub fn block_demand_cycles(&self, cfg: &DeviceConfig, threads_per_block: u32) -> f64 {
+        let tpb = threads_per_block as f64;
+        let compute =
+            self.flops_per_thread * tpb / (cfg.sp_per_sm as f64 * cfg.flops_per_cycle_per_sp);
+        let mem = self.dram_bytes_per_thread * tpb / cfg.dram_bytes_per_cycle_per_sm();
+        compute.max(mem) * self.cycles_scale
+    }
+}
+
+/// How many blocks of this kernel fit on one SM simultaneously.
+pub fn blocks_per_sm(cfg: &DeviceConfig, k: &KernelDesc) -> u32 {
+    let by_blocks = cfg.max_blocks_per_sm;
+    let by_threads = cfg.max_threads_per_sm / k.threads_per_block.max(1);
+    let by_warps = cfg.max_warps_per_sm / k.warps_per_block(cfg).max(1);
+    let regs_per_block = k.regs_per_thread.saturating_mul(k.threads_per_block);
+    let by_regs = cfg
+        .regs_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_smem = cfg
+        .smem_per_sm
+        .checked_div(k.smem_per_block)
+        .map(|v| v as u32)
+        .unwrap_or(u32::MAX);
+    by_blocks
+        .min(by_threads)
+        .min(by_warps)
+        .min(by_regs)
+        .min(by_smem)
+}
+
+/// Occupancy as resident warps / max warps, for reports.
+pub fn occupancy(cfg: &DeviceConfig, k: &KernelDesc) -> f64 {
+    let resident_warps = blocks_per_sm(cfg, k) * k.warps_per_block(cfg);
+    resident_warps.min(cfg.max_warps_per_sm) as f64 / cfg.max_warps_per_sm as f64
+}
+
+/// Wave-exact estimate of this kernel's execution time alone on an idle
+/// device, matching the engine's processor-sharing SM model for identical
+/// block demands: in each wave every SM holds up to `r` blocks; with `n`
+/// resident blocks (`w` warps) each block completes after
+/// `n · demand / (clock · eff(w))`.
+pub fn estimate_kernel_time(cfg: &DeviceConfig, k: &KernelDesc) -> SimDuration {
+    SimDuration::from_secs_f64(estimate_kernel_secs(cfg, k, k.block_demand_cycles))
+}
+
+fn estimate_kernel_secs(cfg: &DeviceConfig, k: &KernelDesc, demand: f64) -> f64 {
+    if k.grid_blocks == 0 || demand <= 0.0 {
+        return 0.0;
+    }
+    let r = blocks_per_sm(cfg, k).max(1) as u64;
+    let sms = cfg.num_sms as u64;
+    let wave_capacity = r * sms;
+    let full_waves = k.grid_blocks / wave_capacity;
+    let remainder = k.grid_blocks % wave_capacity;
+    let wpb = k.warps_per_block(cfg);
+
+    let wave_secs = |blocks_on_busiest_sm: u64| -> f64 {
+        let n = blocks_on_busiest_sm;
+        if n == 0 {
+            return 0.0;
+        }
+        let warps = (n as u32) * wpb;
+        let eff = cfg.latency_efficiency(warps);
+        n as f64 * demand / (cfg.clock_hz() * eff)
+    };
+
+    let mut total = full_waves as f64 * wave_secs(r);
+    if remainder > 0 {
+        // Remainder blocks distribute round-robin; the busiest SM gets
+        // ceil(remainder / sms) and finishes last.
+        total += wave_secs(remainder.div_ceil(sms));
+    }
+    total
+}
+
+/// Invert [`estimate_kernel_time`]: the per-block demand (in cycles) that
+/// makes this kernel take `target` alone on an idle device. Execution time
+/// is linear in demand, so one probe suffices.
+pub fn demand_for_kernel_time(cfg: &DeviceConfig, k: &KernelDesc, target: SimDuration) -> f64 {
+    let unit_secs = estimate_kernel_secs(cfg, k, 1.0);
+    if unit_secs <= 0.0 {
+        return 0.0;
+    }
+    target.as_secs_f64() / unit_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::tesla_c2070_paper()
+    }
+
+    #[test]
+    fn blocks_per_sm_limited_by_each_resource() {
+        let c = cfg();
+        // Thread-limited: 1024-thread blocks → 1536/1024 = 1.
+        let k = KernelDesc::new("t", 10, 1024).regs(1);
+        assert_eq!(blocks_per_sm(&c, &k), 1);
+        // Register-limited: 64 regs × 256 threads = 16384 → 32768/16384 = 2.
+        let k = KernelDesc::new("r", 10, 256).regs(64);
+        assert_eq!(blocks_per_sm(&c, &k), 2);
+        // Smem-limited: 24 KB per block → 2.
+        let k = KernelDesc::new("s", 10, 64).regs(1).smem(24 * 1024);
+        assert_eq!(blocks_per_sm(&c, &k), 2);
+        // Block-count-limited: tiny blocks → 8 (hardware cap).
+        let k = KernelDesc::new("b", 10, 32).regs(1);
+        assert_eq!(blocks_per_sm(&c, &k), 8);
+    }
+
+    #[test]
+    fn occupancy_full_for_192x8() {
+        let c = cfg();
+        // 8 blocks × 6 warps = 48 warps = max → occupancy 1.0.
+        let k = KernelDesc::new("o", 100, 192).regs(20);
+        assert!((occupancy(&c, &k) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_demand() {
+        let c = cfg();
+        let spec = CostSpec::new(320.0, 0.0);
+        // 320 flops × 256 threads / 32 SPs = 2560 cycles.
+        assert!((spec.block_demand_cycles(&c, 256) - 2560.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_demand_dominates() {
+        let c = cfg();
+        // 12 bytes/thread (vecadd-like): DRAM roofline far above compute.
+        let spec = CostSpec::new(1.0, 12.0);
+        let d = spec.block_demand_cycles(&c, 256);
+        let per_cycle = c.dram_bytes_per_cycle_per_sm();
+        assert!((d - 12.0 * 256.0 / per_cycle).abs() < 1e-9);
+        assert!(d > 8.0); // compute roofline would be 8 cycles
+    }
+
+    #[test]
+    fn estimate_single_wave_small_grid() {
+        let c = cfg();
+        // 4 blocks of 4 warps on 14 SMs: one block per SM, eff = 4/12.
+        let k = KernelDesc::new("ep-like", 4, 128).regs(20);
+        let mut k = k;
+        k.block_demand_cycles = 1.0e6;
+        let t = estimate_kernel_time(&c, &k);
+        let expected = 1.0e6 / (c.clock_hz() * (4.0 / 12.0));
+        assert!((t.as_secs_f64() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_with_demand() {
+        let c = cfg();
+        let mut k = KernelDesc::new("lin", 1000, 256).regs(20);
+        k.block_demand_cycles = 1.0e6;
+        let t1 = estimate_kernel_time(&c, &k).as_secs_f64();
+        k.block_demand_cycles = 2.0e6;
+        let t2 = estimate_kernel_time(&c, &k).as_secs_f64();
+        assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_inversion_roundtrips() {
+        let c = cfg();
+        let target = SimDuration::from_millis_f64(8951.346); // EP Tcomp
+        let k = KernelDesc::new("ep", 4, 128).regs(24);
+        let k = k.with_target_time(&c, target);
+        let t = estimate_kernel_time(&c, &k);
+        let err = (t.as_millis_f64() - 8951.346).abs() / 8951.346;
+        assert!(err < 1e-6, "roundtrip error {err}");
+    }
+
+    #[test]
+    fn more_blocks_than_capacity_takes_multiple_waves() {
+        let c = cfg();
+        let mut k = KernelDesc::new("w", 14 * 8 * 3, 32).regs(1);
+        k.block_demand_cycles = 1.0e6;
+        let t3 = estimate_kernel_time(&c, &k).as_secs_f64();
+        k.grid_blocks = 14 * 8;
+        let t1 = estimate_kernel_time(&c, &k).as_secs_f64();
+        assert!((t3 / t1 - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grid_estimates_zero() {
+        let c = cfg();
+        let k = KernelDesc::new("z", 0, 32);
+        assert_eq!(estimate_kernel_time(&c, &k), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,53 @@
+//! # gv-gpu — Fermi-class GPU device model
+//!
+//! A discrete-event, cycle-approximate model of an NVIDIA Fermi GPU
+//! (Tesla C2070 preset), substituting for the physical GPU of the paper's
+//! testbed. It models exactly the mechanisms the paper's results hinge on:
+//!
+//! * **SM-level block execution** with Fermi occupancy limits and a
+//!   processor-sharing timing model with memory-latency-hiding efficiency
+//!   ([`sm`]);
+//! * **concurrent kernel execution** (≤16 kernels of one context) and
+//!   in-order streams ([`engines`]);
+//! * **two DMA engines** — H2D/D2H overlap each other and compute;
+//! * **GPU contexts** that serialize the device and charge switch costs —
+//!   the overhead the paper's virtualization eliminates;
+//! * **device global memory** with a real allocator and optional functional
+//!   storage so kernels compute checkable results ([`memory`]).
+//!
+//! Calibration constants live in [`DeviceConfig::tesla_c2070_paper`] and are
+//! tied to the paper's Table II (see `DESIGN.md` §6).
+//!
+//! ```
+//! use gv_gpu::{estimate_kernel_time, DeviceConfig, KernelDesc};
+//! use gv_sim::SimDuration;
+//!
+//! let cfg = DeviceConfig::tesla_c2070_paper();
+//! // The paper's EP kernel: 4 blocks of 128 threads, calibrated to its
+//! // Table II compute time — the analytic oracle inverts exactly.
+//! let k = KernelDesc::new("ep", 4, 128)
+//!     .regs(24)
+//!     .with_target_time(&cfg, SimDuration::from_millis_f64(8951.346));
+//! let t = estimate_kernel_time(&cfg, &k);
+//! assert!((t.as_millis_f64() - 8951.346).abs() < 0.001);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod engines;
+pub mod kernel_desc;
+pub mod memory;
+pub mod sm;
+
+pub use config::{ComputeMode, DeviceConfig};
+pub use device::{CtxError, GpuDevice, SubmitError};
+pub use engines::{
+    CommandHandle, CommandKind, DeviceStats, GpuCtxId, HostData, HostSink, StreamId,
+};
+pub use kernel_desc::{
+    blocks_per_sm, demand_for_kernel_time, estimate_kernel_time, occupancy, CostSpec, KernelBody,
+    KernelDesc,
+};
+pub use memory::{DeviceMemory, DevicePtr, MemError, DEVICE_ALLOC_ALIGN};

@@ -1,0 +1,381 @@
+//! Device global memory and its allocator.
+//!
+//! Allocation is first-fit over a free list with coalescing on free, with
+//! 256-byte alignment (the CUDA allocation granularity that matters for
+//! coalesced accesses). Backing storage is materialized lazily: timing-only
+//! experiments allocate hundreds of MB of *simulated* memory without
+//! touching host RAM, while functional runs read and write real bytes.
+
+use std::collections::HashMap;
+
+/// Alignment of every device allocation, in bytes.
+pub const DEVICE_ALLOC_ALIGN: u64 = 256;
+
+/// A pointer into device global memory: an allocation handle plus an offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevicePtr {
+    pub(crate) alloc: u64,
+    pub(crate) offset: u64,
+}
+
+impl DevicePtr {
+    /// A pointer `delta` bytes further into the same allocation.
+    /// (Deliberately named like pointer arithmetic; this is a plain method,
+    /// not `std::ops::Add`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, delta: u64) -> DevicePtr {
+        DevicePtr {
+            alloc: self.alloc,
+            offset: self.offset + delta,
+        }
+    }
+
+    /// The allocation this pointer refers into (diagnostics only).
+    pub fn allocation_id(self) -> u64 {
+        self.alloc
+    }
+}
+
+/// Errors from device memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Not enough contiguous device memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free (possibly fragmented).
+        free: u64,
+    },
+    /// Pointer did not refer to a live allocation.
+    InvalidPointer,
+    /// Access past the end of an allocation.
+    OutOfBounds {
+        /// Offset of the first byte past the access.
+        end: u64,
+        /// Allocation length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, free } => {
+                write!(f, "device OOM: requested {requested} B, {free} B free")
+            }
+            MemError::InvalidPointer => write!(f, "invalid device pointer"),
+            MemError::OutOfBounds { end, len } => {
+                write!(f, "device access out of bounds: end {end} > len {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+struct Allocation {
+    region_offset: u64,
+    len: u64,
+    /// Lazily materialized backing bytes (zero-initialized on first touch).
+    data: Option<Vec<u8>>,
+}
+
+/// Simulated device global memory.
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    allocs: HashMap<u64, Allocation>,
+    /// Sorted, disjoint, coalesced `(offset, len)` free regions.
+    free_list: Vec<(u64, u64)>,
+}
+
+impl DeviceMemory {
+    /// Device memory of `capacity` bytes, all free.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            used: 0,
+            next_id: 1,
+            allocs: HashMap::new(),
+            free_list: vec![(0, capacity)],
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free (possibly fragmented).
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Allocate `bytes` bytes (rounded up to [`DEVICE_ALLOC_ALIGN`]),
+    /// first-fit.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DevicePtr, MemError> {
+        let len = bytes.max(1).div_ceil(DEVICE_ALLOC_ALIGN) * DEVICE_ALLOC_ALIGN;
+        let slot = self
+            .free_list
+            .iter()
+            .position(|&(_, flen)| flen >= len)
+            .ok_or(MemError::OutOfMemory {
+                requested: len,
+                free: self.free(),
+            })?;
+        let (foff, flen) = self.free_list[slot];
+        if flen == len {
+            self.free_list.remove(slot);
+        } else {
+            self.free_list[slot] = (foff + len, flen - len);
+        }
+        self.used += len;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocs.insert(
+            id,
+            Allocation {
+                region_offset: foff,
+                len,
+                data: None,
+            },
+        );
+        Ok(DevicePtr {
+            alloc: id,
+            offset: 0,
+        })
+    }
+
+    /// Free the allocation `ptr` points into (any offset is accepted).
+    pub fn dealloc(&mut self, ptr: DevicePtr) -> Result<(), MemError> {
+        let alloc = self
+            .allocs
+            .remove(&ptr.alloc)
+            .ok_or(MemError::InvalidPointer)?;
+        self.used -= alloc.len;
+        // Insert into the sorted free list, coalescing neighbours.
+        let off = alloc.region_offset;
+        let len = alloc.len;
+        let idx = self.free_list.partition_point(|&(foff, _)| foff < off);
+        self.free_list.insert(idx, (off, len));
+        // Coalesce with successor, then predecessor.
+        if idx + 1 < self.free_list.len() {
+            let (noff, nlen) = self.free_list[idx + 1];
+            if off + len == noff {
+                self.free_list[idx].1 += nlen;
+                self.free_list.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (poff, plen) = self.free_list[idx - 1];
+            if poff + plen == self.free_list[idx].0 {
+                self.free_list[idx - 1].1 += self.free_list[idx].1;
+                self.free_list.remove(idx);
+            }
+        }
+        Ok(())
+    }
+
+    fn backing(&mut self, alloc_id: u64) -> Result<(&mut Vec<u8>, u64), MemError> {
+        let alloc = self
+            .allocs
+            .get_mut(&alloc_id)
+            .ok_or(MemError::InvalidPointer)?;
+        let len = alloc.len;
+        let data = alloc.data.get_or_insert_with(|| vec![0u8; len as usize]);
+        Ok((data, len))
+    }
+
+    /// Write raw bytes at `ptr`.
+    pub fn write_bytes(&mut self, ptr: DevicePtr, src: &[u8]) -> Result<(), MemError> {
+        let (data, len) = self.backing(ptr.alloc)?;
+        let end = ptr.offset + src.len() as u64;
+        if end > len {
+            return Err(MemError::OutOfBounds { end, len });
+        }
+        data[ptr.offset as usize..end as usize].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Read raw bytes at `ptr`. Untouched (never-written) memory reads as
+    /// zeroes, matching a freshly materialized backing store.
+    pub fn read_bytes(&mut self, ptr: DevicePtr, dst: &mut [u8]) -> Result<(), MemError> {
+        let (data, len) = self.backing(ptr.alloc)?;
+        let end = ptr.offset + dst.len() as u64;
+        if end > len {
+            return Err(MemError::OutOfBounds { end, len });
+        }
+        dst.copy_from_slice(&data[ptr.offset as usize..end as usize]);
+        Ok(())
+    }
+
+    /// Write a slice of `f32`s at `ptr` (little-endian device layout).
+    pub fn write_f32(&mut self, ptr: DevicePtr, src: &[f32]) -> Result<(), MemError> {
+        let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_bytes(ptr, &bytes)
+    }
+
+    /// Read `count` `f32`s from `ptr`.
+    pub fn read_f32(&mut self, ptr: DevicePtr, count: usize) -> Result<Vec<f32>, MemError> {
+        let mut bytes = vec![0u8; count * 4];
+        self.read_bytes(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Write a slice of `f64`s at `ptr`.
+    pub fn write_f64(&mut self, ptr: DevicePtr, src: &[f64]) -> Result<(), MemError> {
+        let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_bytes(ptr, &bytes)
+    }
+
+    /// Read `count` `f64`s from `ptr`.
+    pub fn read_f64(&mut self, ptr: DevicePtr, count: usize) -> Result<Vec<f64>, MemError> {
+        let mut bytes = vec![0u8; count * 8];
+        self.read_bytes(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// Check that `[ptr, ptr+bytes)` lies inside a live allocation without
+    /// materializing backing storage (used to validate timing-only copies
+    /// at submission).
+    pub fn validate_range(&self, ptr: DevicePtr, bytes: u64) -> Result<(), MemError> {
+        let alloc = self
+            .allocs
+            .get(&ptr.alloc)
+            .ok_or(MemError::InvalidPointer)?;
+        let end = ptr.offset + bytes;
+        if end > alloc.len {
+            return Err(MemError::OutOfBounds {
+                end,
+                len: alloc.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Device-to-device copy of `bytes` bytes.
+    pub fn copy_within(
+        &mut self,
+        src: DevicePtr,
+        dst: DevicePtr,
+        bytes: u64,
+    ) -> Result<(), MemError> {
+        let mut buf = vec![0u8; bytes as usize];
+        self.read_bytes(src, &mut buf)?;
+        self.write_bytes(dst, &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_up_to_alignment() {
+        let mut m = DeviceMemory::new(4096);
+        let _p = m.alloc(1).unwrap();
+        assert_eq!(m.used(), 256);
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = DeviceMemory::new(1024);
+        let _a = m.alloc(512).unwrap();
+        match m.alloc(1024) {
+            Err(MemError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 1024);
+                assert_eq!(free, 512);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let mut m = DeviceMemory::new(4096);
+        let a = m.alloc(1024).unwrap();
+        let b = m.alloc(1024).unwrap();
+        let c = m.alloc(1024).unwrap();
+        m.dealloc(a).unwrap();
+        m.dealloc(c).unwrap();
+        m.dealloc(b).unwrap();
+        assert_eq!(m.used(), 0);
+        // Fully coalesced: a single allocation of the whole capacity fits.
+        let all = m.alloc(4096).unwrap();
+        m.dealloc(all).unwrap();
+    }
+
+    #[test]
+    fn write_read_roundtrip_f32() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let p = m.alloc(1024).unwrap();
+        let data: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+        m.write_f32(p, &data).unwrap();
+        assert_eq!(m.read_f32(p, 256).unwrap(), data);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let p = m.alloc(64).unwrap();
+        assert_eq!(m.read_f32(p, 4).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let p = m.alloc(256).unwrap();
+        assert!(matches!(
+            m.write_bytes(p.add(250), &[0u8; 10]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_pointer_rejected() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let p = m.alloc(256).unwrap();
+        m.dealloc(p).unwrap();
+        assert_eq!(m.dealloc(p), Err(MemError::InvalidPointer));
+        assert_eq!(
+            m.read_bytes(p, &mut [0u8; 4]).unwrap_err(),
+            MemError::InvalidPointer
+        );
+    }
+
+    #[test]
+    fn ptr_add_offsets_within_allocation() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let p = m.alloc(1024).unwrap();
+        m.write_f32(p.add(512), &[7.0]).unwrap();
+        assert_eq!(m.read_f32(p.add(512), 1).unwrap(), vec![7.0]);
+        assert_eq!(m.read_f32(p, 1).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn copy_within_moves_bytes() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let a = m.alloc(64).unwrap();
+        let b = m.alloc(64).unwrap();
+        m.write_f32(a, &[1.0, 2.0]).unwrap();
+        m.copy_within(a, b, 8).unwrap();
+        assert_eq!(m.read_f32(b, 2).unwrap(), vec![1.0, 2.0]);
+    }
+}

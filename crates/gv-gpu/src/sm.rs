@@ -1,0 +1,291 @@
+//! Streaming-multiprocessor execution state.
+//!
+//! Each SM holds resident blocks subject to Fermi occupancy limits and
+//! executes them under *processor sharing*: with `n` resident blocks and `w`
+//! resident warps, every block receives `clock · eff(w) / n` cycles per
+//! second, where `eff(w) = min(1, w / latency_hiding_warps)` models memory
+//! latency hiding (few warps → the SM idles on stalls — the Peters et al.
+//! persistent-kernel critique the paper cites).
+//!
+//! The scheduler advances SMs lazily: [`SmState::advance`] settles work up
+//! to `now`, and [`SmState::next_completion`] predicts the next block finish
+//! for the engine's timer.
+
+use gv_sim::SimTime;
+
+use crate::config::DeviceConfig;
+use crate::kernel_desc::KernelDesc;
+
+/// Residual work below this many cycles counts as finished (absorbs float
+/// round-off from repeated advances).
+const COMPLETION_EPS_CYCLES: f64 = 1e-3;
+
+/// One block resident on an SM.
+#[derive(Debug, Clone)]
+pub struct ResidentBlock {
+    /// The running kernel this block belongs to (scheduler sequence id).
+    pub kernel_seq: u64,
+    /// Warps this block occupies.
+    pub warps: u32,
+    /// Threads this block occupies.
+    pub threads: u32,
+    /// Registers this block occupies.
+    pub regs: u32,
+    /// Shared-memory bytes this block occupies.
+    pub smem: u64,
+    /// Demand left, in SM cycles at full throughput.
+    pub remaining_cycles: f64,
+}
+
+/// Execution state of one SM.
+#[derive(Debug, Clone)]
+pub struct SmState {
+    /// SM index (traces only).
+    pub id: u32,
+    resident: Vec<ResidentBlock>,
+    used_warps: u32,
+    used_threads: u32,
+    used_regs: u32,
+    used_smem: u64,
+    last_update: SimTime,
+    /// Cumulative busy cycles delivered (for utilization reports).
+    pub busy_cycles: f64,
+}
+
+impl SmState {
+    /// An idle SM.
+    pub fn new(id: u32) -> Self {
+        SmState {
+            id,
+            resident: Vec::new(),
+            used_warps: 0,
+            used_threads: 0,
+            used_regs: 0,
+            used_smem: 0,
+            last_update: SimTime::ZERO,
+            busy_cycles: 0.0,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Resident warps.
+    pub fn resident_warps(&self) -> u32 {
+        self.used_warps
+    }
+
+    /// Is the SM completely idle?
+    pub fn is_idle(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Cycles per second currently credited to *each* resident block.
+    fn per_block_rate(&self, cfg: &DeviceConfig) -> f64 {
+        let n = self.resident.len();
+        if n == 0 {
+            return 0.0;
+        }
+        cfg.clock_hz() * cfg.latency_efficiency(self.used_warps) / n as f64
+    }
+
+    /// Can a block of `k` be placed here right now?
+    pub fn can_fit(&self, cfg: &DeviceConfig, k: &KernelDesc) -> bool {
+        let warps = k.warps_per_block(cfg);
+        let regs = k.regs_per_thread.saturating_mul(k.threads_per_block);
+        (self.resident.len() as u32) < cfg.max_blocks_per_sm
+            && self.used_warps + warps <= cfg.max_warps_per_sm
+            && self.used_threads + k.threads_per_block <= cfg.max_threads_per_sm
+            && self.used_regs + regs <= cfg.regs_per_sm
+            && self.used_smem + k.smem_per_block <= cfg.smem_per_sm
+    }
+
+    /// Place one block of kernel `kernel_seq`. Call [`advance`](Self::advance)
+    /// to `now` first so in-flight blocks are settled at the old rate.
+    pub fn place(&mut self, cfg: &DeviceConfig, kernel_seq: u64, k: &KernelDesc, now: SimTime) {
+        debug_assert!(self.can_fit(cfg, k), "place() without can_fit()");
+        debug_assert_eq!(self.last_update, now, "place() before advance()");
+        let warps = k.warps_per_block(cfg);
+        let regs = k.regs_per_thread.saturating_mul(k.threads_per_block);
+        self.used_warps += warps;
+        self.used_threads += k.threads_per_block;
+        self.used_regs += regs;
+        self.used_smem += k.smem_per_block;
+        self.resident.push(ResidentBlock {
+            kernel_seq,
+            warps,
+            threads: k.threads_per_block,
+            regs,
+            smem: k.smem_per_block,
+            remaining_cycles: k.block_demand_cycles.max(COMPLETION_EPS_CYCLES),
+        });
+    }
+
+    /// Settle execution up to `now`; returns the kernel sequence ids of
+    /// blocks that completed (one entry per completed block) and frees
+    /// their resources.
+    pub fn advance(&mut self, cfg: &DeviceConfig, now: SimTime) -> Vec<u64> {
+        let dt = now.duration_since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        if self.resident.is_empty() {
+            return Vec::new();
+        }
+        if dt > 0.0 {
+            let rate = self.per_block_rate(cfg);
+            let credit = dt * rate;
+            self.busy_cycles += credit * self.resident.len() as f64;
+            for b in &mut self.resident {
+                b.remaining_cycles -= credit;
+            }
+        }
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.resident.len() {
+            if self.resident[i].remaining_cycles <= COMPLETION_EPS_CYCLES {
+                let b = self.resident.swap_remove(i);
+                self.used_warps -= b.warps;
+                self.used_threads -= b.threads;
+                self.used_regs -= b.regs;
+                self.used_smem -= b.smem;
+                done.push(b.kernel_seq);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Predicted time of the next block completion, assuming residency does
+    /// not change before then. `None` when idle.
+    pub fn next_completion(&self, cfg: &DeviceConfig, now: SimTime) -> Option<SimTime> {
+        debug_assert_eq!(self.last_update, now, "next_completion() before advance()");
+        let rate = self.per_block_rate(cfg);
+        if rate <= 0.0 {
+            return None;
+        }
+        let min_remaining = self
+            .resident
+            .iter()
+            .map(|b| b.remaining_cycles)
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return None;
+        }
+        let secs = (min_remaining / rate).max(0.0);
+        // Guarantee forward progress: never schedule strictly in the past,
+        // and round up a hair so the completion check passes at the timer.
+        Some(now + gv_sim::SimDuration::from_secs_f64(secs) + gv_sim::SimDuration::from_nanos(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_sim::SimDuration;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::tesla_c2070_paper()
+    }
+
+    fn kernel(tpb: u32, demand: f64) -> KernelDesc {
+        let mut k = KernelDesc::new("k", 100, tpb).regs(16);
+        k.block_demand_cycles = demand;
+        k
+    }
+
+    #[test]
+    fn single_block_runs_at_latency_limited_rate() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        // 4 warps → eff = 4/12; demand 1.15e6 cycles → 1ms at full rate,
+        // 3ms at 1/3 efficiency.
+        let k = kernel(128, 1.15e6);
+        sm.advance(&c, SimTime::ZERO);
+        sm.place(&c, 1, &k, SimTime::ZERO);
+        let t = sm.next_completion(&c, SimTime::ZERO).unwrap();
+        assert!((t.as_millis_f64() - 3.0).abs() < 1e-4, "{t}");
+        let done = sm.advance(&c, t);
+        assert_eq!(done, vec![1]);
+        assert!(sm.is_idle());
+    }
+
+    #[test]
+    fn two_blocks_share_but_gain_efficiency() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        let k = kernel(128, 1.15e6);
+        sm.advance(&c, SimTime::ZERO);
+        sm.place(&c, 1, &k, SimTime::ZERO);
+        sm.place(&c, 2, &k, SimTime::ZERO);
+        // 8 warps → eff 8/12; per-block rate = clock × (8/12)/2 = clock/3:
+        // same 3ms per block as a lone block — latency hiding exactly
+        // offsets the sharing for this configuration.
+        let t = sm.next_completion(&c, SimTime::ZERO).unwrap();
+        assert!((t.as_millis_f64() - 3.0).abs() < 1e-4, "{t}");
+        let done = sm.advance(&c, t);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn saturated_sm_shares_throughput() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        // 512-thread blocks: 16 warps each; 3 blocks → 48 warps, eff = 1.
+        let k = kernel(512, 1.15e6);
+        sm.advance(&c, SimTime::ZERO);
+        for seq in 0..3 {
+            assert!(sm.can_fit(&c, &k));
+            sm.place(&c, seq, &k, SimTime::ZERO);
+        }
+        assert!(!sm.can_fit(&c, &k)); // thread limit: 1536
+                                      // Each block: 3 × 1.15e6 cycles / clock = 3ms.
+        let t = sm.next_completion(&c, SimTime::ZERO).unwrap();
+        assert!((t.as_millis_f64() - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn partial_advance_preserves_work_conservation() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        let k = kernel(384, 1.15e6); // 12 warps → eff 1.0
+        sm.advance(&c, SimTime::ZERO);
+        sm.place(&c, 7, &k, SimTime::ZERO);
+        // Advance halfway, then the rest; total equals the one-shot time (1ms).
+        let half = SimTime::ZERO + SimDuration::from_micros(500);
+        assert!(sm.advance(&c, half).is_empty());
+        let t = sm.next_completion(&c, half).unwrap();
+        assert!((t.as_millis_f64() - 1.0).abs() < 1e-4, "{t}");
+        assert_eq!(sm.advance(&c, t), vec![7]);
+    }
+
+    #[test]
+    fn membership_change_recomputes_rates() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        let k = kernel(384, 1.15e6); // 12 warps, eff 1.0, 1ms alone
+        sm.advance(&c, SimTime::ZERO);
+        sm.place(&c, 1, &k, SimTime::ZERO);
+        // At 0.5ms, a second identical block arrives.
+        let mid = SimTime::ZERO + SimDuration::from_micros(500);
+        sm.advance(&c, mid);
+        sm.place(&c, 2, &k, mid);
+        // Block 1 has 0.575e6 cycles left; rate is now clock/2 (24 warps,
+        // eff 1, shared by 2) → finishes at 0.5ms + 1.0ms = 1.5ms.
+        let t = sm.next_completion(&c, mid).unwrap();
+        assert!((t.as_millis_f64() - 1.5).abs() < 1e-4, "{t}");
+    }
+
+    #[test]
+    fn busy_cycles_accumulate() {
+        let c = cfg();
+        let mut sm = SmState::new(0);
+        let k = kernel(384, 1.15e6);
+        sm.advance(&c, SimTime::ZERO);
+        sm.place(&c, 1, &k, SimTime::ZERO);
+        let t = sm.next_completion(&c, SimTime::ZERO).unwrap();
+        sm.advance(&c, t);
+        assert!((sm.busy_cycles - 1.15e6).abs() / 1.15e6 < 1e-6);
+    }
+}

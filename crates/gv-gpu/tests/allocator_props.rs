@@ -1,0 +1,110 @@
+//! Property tests for the device memory allocator: arbitrary alloc/free
+//! interleavings never overlap allocations, never leak, and always
+//! coalesce back to a pristine heap.
+
+use gv_gpu::{DeviceMemory, DevicePtr, MemError, DEVICE_ALLOC_ALIGN};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    /// Free the i-th live allocation (mod live count).
+    Free(usize),
+    /// Write a marker into the i-th live allocation and read it back.
+    Touch(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..100_000).prop_map(Op::Alloc),
+        any::<usize>().prop_map(Op::Free),
+        any::<usize>().prop_map(Op::Touch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn alloc_free_interleavings_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        const CAPACITY: u64 = 4 << 20;
+        let mut mem = DeviceMemory::new(CAPACITY);
+        let mut live: Vec<(DevicePtr, u64, u8)> = Vec::new(); // ptr, len, marker
+        let mut marker: u8 = 1;
+
+        for op in ops {
+            match op {
+                Op::Alloc(bytes) => {
+                    match mem.alloc(bytes) {
+                        Ok(ptr) => {
+                            // Stamp the first byte so overlap would corrupt
+                            // some other allocation's marker.
+                            mem.write_bytes(ptr, &[marker]).unwrap();
+                            live.push((ptr, bytes, marker));
+                            marker = marker.wrapping_add(1).max(1);
+                        }
+                        Err(MemError::OutOfMemory { .. }) => {
+                            // Requests must only fail when free space is
+                            // genuinely short of the aligned size.
+                            let aligned = bytes.max(1).div_ceil(DEVICE_ALLOC_ALIGN) * DEVICE_ALLOC_ALIGN;
+                            prop_assert!(mem.free() < aligned || aligned > CAPACITY / 2,
+                                "spurious OOM: {} free, {} requested", mem.free(), aligned);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected alloc error {e:?}"),
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (ptr, _, _) = live.remove(i % live.len());
+                        mem.dealloc(ptr).unwrap();
+                    }
+                }
+                Op::Touch(i) => {
+                    if !live.is_empty() {
+                        let (ptr, _, m) = live[i % live.len()];
+                        let mut buf = [0u8; 1];
+                        mem.read_bytes(ptr, &mut buf).unwrap();
+                        prop_assert_eq!(buf[0], m, "allocation marker corrupted");
+                    }
+                }
+            }
+            // Accounting invariant.
+            prop_assert!(mem.used() <= CAPACITY);
+            prop_assert_eq!(mem.allocation_count(), live.len());
+        }
+
+        // Every marker still intact at the end.
+        for &(ptr, _, m) in &live {
+            let mut buf = [0u8; 1];
+            mem.read_bytes(ptr, &mut buf).unwrap();
+            prop_assert_eq!(buf[0], m);
+        }
+
+        // Free everything: heap returns to pristine, fully coalesced state.
+        for (ptr, _, _) in live.drain(..) {
+            mem.dealloc(ptr).unwrap();
+        }
+        prop_assert_eq!(mem.used(), 0);
+        let whole = mem.alloc(CAPACITY).expect("heap must coalesce completely");
+        mem.dealloc(whole).unwrap();
+    }
+
+    #[test]
+    fn reads_never_observe_other_allocations(sizes in prop::collection::vec(1u64..4096, 2..20)) {
+        let mut mem = DeviceMemory::new(16 << 20);
+        let ptrs: Vec<(DevicePtr, u64)> = sizes
+            .iter()
+            .map(|&s| (mem.alloc(s).unwrap(), s))
+            .collect();
+        // Fill each allocation with its index.
+        for (i, &(ptr, len)) in ptrs.iter().enumerate() {
+            mem.write_bytes(ptr, &vec![i as u8 + 1; len as usize]).unwrap();
+        }
+        // Each reads back exactly its own fill.
+        for (i, &(ptr, len)) in ptrs.iter().enumerate() {
+            let mut buf = vec![0u8; len as usize];
+            mem.read_bytes(ptr, &mut buf).unwrap();
+            prop_assert!(buf.iter().all(|&b| b == i as u8 + 1));
+        }
+    }
+}

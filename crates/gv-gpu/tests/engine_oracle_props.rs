@@ -1,0 +1,116 @@
+//! The strongest correctness property of the device model: for *any*
+//! single kernel, the event-driven engine's execution time equals the
+//! closed-form wave-exact oracle (`estimate_kernel_time`). The two are
+//! implemented independently — the engine simulates block-by-block
+//! processor sharing, the oracle does wave algebra — so agreement across
+//! random geometries pins both.
+
+use gv_gpu::{estimate_kernel_time, CommandKind, DeviceConfig, GpuDevice, KernelDesc};
+use gv_sim::Simulation;
+use proptest::prelude::*;
+
+fn run_engine(cfg: &DeviceConfig, k: KernelDesc) -> f64 {
+    let mut sim = Simulation::new();
+    let dev = GpuDevice::install(&mut sim, cfg.clone());
+    let d = dev.clone();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
+    let out2 = out.clone();
+    sim.spawn("host", move |ctx| {
+        let gctx = d.create_context("p");
+        let s = d.create_stream(gctx);
+        let t0 = ctx.now();
+        let h = d.submit(ctx, gctx, s, CommandKind::Kernel(k)).unwrap();
+        h.wait(ctx);
+        *out2.lock() = ctx.now().duration_since(t0).as_secs_f64();
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+    let v = *out.lock();
+    v
+}
+
+proptest! {
+    // Each case spins up threads; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_oracle_for_random_kernels(
+        grid in 1u64..400,
+        tpb_warps in 1u32..12,          // 32..384 threads
+        regs in 1u32..40,
+        smem_kb in 0u64..16,
+        demand_exp in 4u32..8,          // 1e4..1e7 cycles per block
+    ) {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let mut k = KernelDesc::new("prop", grid, tpb_warps * 32)
+            .regs(regs)
+            .smem(smem_kb * 1024);
+        k.block_demand_cycles = 10f64.powi(demand_exp as i32);
+        let oracle = estimate_kernel_time(&cfg, &k).as_secs_f64();
+        prop_assume!(oracle > 0.0);
+        let engine = run_engine(&cfg, k);
+        // The engine schedules each wave's completion on the ns-quantized
+        // simulated clock (+1 ns rounding guard per wave), so allow a
+        // proportional slack on top of a 1e-3 floor.
+        let rel = (engine - oracle).abs() / oracle;
+        prop_assert!(
+            rel < 1e-3,
+            "grid={grid} tpb={} regs={regs} smem={}K demand=1e{demand_exp}: \
+             engine {engine:.9}s vs oracle {oracle:.9}s ({rel:.2e} rel)",
+            tpb_warps * 32,
+            smem_kb
+        );
+    }
+
+    /// Work-conservation bounds for two identical kernels in different
+    /// streams: never faster than one kernel alone, and never slower than
+    /// running them back-to-back *plus one straggler wave* — co-scheduling
+    /// can push a handful of blocks into an extra, low-occupancy tail wave
+    /// (the classic GPU tail effect), which serial execution avoids.
+    #[test]
+    fn concurrency_bounds_for_kernel_pairs(
+        grid in 1u64..100,
+        tpb_warps in 1u32..8,
+        demand_exp in 4u32..7,
+    ) {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let mut k = KernelDesc::new("pair", grid, tpb_warps * 32).regs(16);
+        k.block_demand_cycles = 10f64.powi(demand_exp as i32);
+        let single = estimate_kernel_time(&cfg, &k).as_secs_f64();
+        prop_assume!(single > 1e-9);
+
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, cfg.clone());
+        let d = dev.clone();
+        let k2 = k.clone();
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
+        let out2 = out.clone();
+        sim.spawn("host", move |ctx| {
+            let gctx = d.create_context("p");
+            let s1 = d.create_stream(gctx);
+            let s2 = d.create_stream(gctx);
+            let t0 = ctx.now();
+            let h1 = d.submit(ctx, gctx, s1, CommandKind::Kernel(k)).unwrap();
+            let h2 = d.submit(ctx, gctx, s2, CommandKind::Kernel(k2)).unwrap();
+            h1.wait(ctx);
+            h2.wait(ctx);
+            *out2.lock() = ctx.now().duration_since(t0).as_secs_f64();
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+        let pair = *out.lock();
+        // Straggler slack: one block alone on an SM at its (possibly
+        // latency-limited) solo efficiency.
+        let wpb = tpb_warps;
+        let straggler = 10f64.powi(demand_exp as i32)
+            / (cfg.clock_hz() * cfg.latency_efficiency(wpb));
+        prop_assert!(
+            pair <= 2.0 * single + straggler + 1e-9,
+            "pair {pair:.9}s must not exceed 2× single {single:.9}s + straggler {straggler:.9}s"
+        );
+        prop_assert!(
+            pair >= single * (1.0 - 1e-6),
+            "pair {pair:.9}s cannot beat one kernel alone {single:.9}s"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate every table and figure of the paper's evaluation, plus the
+//! execution-diagram figures and the extension studies.
+use gv_harness::scenario::Scenario;
+use gv_harness::{overhead, repro};
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let sc = Scenario::default();
+    let artifacts = vec![
+        repro::table2(&sc, scale),
+        repro::table3(&sc, scale),
+        repro::table4(),
+        repro::fig9(&sc, scale),
+        repro::fig10(
+            &sc,
+            &overhead::paper_sizes()
+                .into_iter()
+                .map(|s| (s / scale as u64).max(1))
+                .collect::<Vec<_>>(),
+        ),
+        repro::fig11_15(&sc, scale, None),
+        repro::fig16(&sc, scale),
+    ];
+    for a in &artifacts {
+        println!("{}\n", a.text);
+        a.save();
+    }
+    println!("(artifacts saved under results/; run repro_fig4_6, repro_ablations");
+    println!(" and repro_sensitivity for the execution diagrams and extensions)");
+}

@@ -1,0 +1,15 @@
+//! Regenerate paper Fig. 10 (virtualization overhead vs data size).
+use gv_harness::overhead;
+use gv_harness::repro;
+use gv_harness::scenario::Scenario;
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let sizes: Vec<u64> = overhead::paper_sizes()
+        .into_iter()
+        .map(|s| (s / scale as u64).max(1))
+        .collect();
+    let a = repro::fig10(&Scenario::default(), &sizes);
+    println!("{}", a.text);
+    a.save();
+}

@@ -1,0 +1,15 @@
+//! Regenerate paper Figs. 11–15 (application turnaround sweeps).
+//! Optionally pass a benchmark name (mm|mg|blackscholes|cg|electrostatics).
+use gv_harness::repro;
+use gv_harness::scenario::Scenario;
+use gv_kernels::BenchmarkId;
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let only = std::env::args()
+        .skip(1)
+        .find_map(|a| BenchmarkId::parse(&a));
+    let a = repro::fig11_15(&Scenario::default(), scale, only);
+    println!("{}", a.text);
+    a.save();
+}

@@ -1,0 +1,10 @@
+//! Regenerate paper Fig. 16 (application speedups at 8 processes).
+use gv_harness::repro;
+use gv_harness::scenario::Scenario;
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let a = repro::fig16(&Scenario::default(), scale);
+    println!("{}", a.text);
+    a.save();
+}

@@ -1,0 +1,10 @@
+//! Regenerate paper Fig. 9 (microbenchmark turnaround sweeps).
+use gv_harness::repro;
+use gv_harness::scenario::Scenario;
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let a = repro::fig9(&Scenario::default(), scale);
+    println!("{}", a.text);
+    a.save();
+}

@@ -1,0 +1,10 @@
+//! Regenerate paper Table II (microbenchmark profiles).
+use gv_harness::repro;
+use gv_harness::scenario::Scenario;
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let a = repro::table2(&Scenario::default(), scale);
+    println!("{}", a.text);
+    a.save();
+}

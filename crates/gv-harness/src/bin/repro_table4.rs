@@ -1,0 +1,8 @@
+//! Regenerate paper Table IV (application benchmark catalogue).
+use gv_harness::repro;
+
+fn main() {
+    let a = repro::table4();
+    println!("{}", a.text);
+    a.save();
+}

@@ -1,0 +1,29 @@
+//! # gv-harness — experiment drivers for every table and figure
+//!
+//! * [`scenario`] — assemble node + device + SPMD group, run one experiment
+//! * [`turnaround`] — 1–8-process sweeps (Figs. 9, 11–15) and speedups
+//!   (Table III experimental half, Fig. 16)
+//! * [`profile`] — microbenchmark profiling (Table II)
+//! * [`overhead`] — virtualization-overhead sweep (Fig. 10)
+//! * [`report`] — text/CSV/JSON emission
+//!
+//! The `repro_*` binaries in this crate regenerate each artifact:
+//! `repro_table2`, `repro_table3`, `repro_table4`, `repro_fig9`,
+//! `repro_fig10`, `repro_fig11_15`, `repro_fig16`, and `repro_all`.
+//! Each accepts `--quick` for a scaled-down smoke run.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod overhead;
+pub mod profile;
+pub mod remote_compare;
+pub mod report;
+pub mod repro;
+pub mod scenario;
+pub mod sensitivity;
+pub mod timeline;
+pub mod turnaround;
+
+pub use scenario::{ExecutionMode, ExperimentResult, Scenario};
+pub use turnaround::{sweep, TurnaroundConfig, TurnaroundPoint, TurnaroundSeries};

@@ -1,0 +1,168 @@
+//! Plain-text tables, CSV, and JSON emission for the repro binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A fixed-width text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "| {:<w$} ", cell, w = widths[c]);
+            }
+            line.push('|');
+            line
+        };
+        let header = fmt_row(&self.headers, &widths);
+        let sep: String = header
+            .chars()
+            .map(|ch| if ch == '|' { '+' } else { '-' })
+            .collect();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| s.replace(',', ";");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Format a ratio/speedup.
+pub fn x(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Write results (text + csv + json) under `results/` next to the binary's
+/// working directory; best-effort (prints a warning on failure).
+pub fn save(name: &str, text: &str, csv: Option<&str>, json: Option<&str>) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/; skipping file output");
+        return;
+    }
+    let write = |ext: &str, content: &str| {
+        let path = dir.join(format!("{name}.{ext}"));
+        if std::fs::write(&path, content).is_err() {
+            eprintln!("warning: cannot write {}", path.display());
+        }
+    };
+    write("txt", text);
+    if let Some(c) = csv {
+        write("csv", c);
+    }
+    if let Some(j) = json {
+        write("json", j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]).row(vec!["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 12345 |"));
+        assert!(s.starts_with("+"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(vec!["a,b"]);
+        t.row(vec!["x,y"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a;b\nx;y\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1519.386), "1519.4");
+        assert_eq!(ms(8.9), "8.900");
+        assert_eq!(ms(0.038), "0.038000");
+        assert_eq!(x(2.3), "2.300");
+        assert_eq!(pct(0.183), "18.30%");
+    }
+}

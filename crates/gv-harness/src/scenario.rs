@@ -1,0 +1,245 @@
+//! Assembling and running one multi-process experiment.
+//!
+//! A scenario is: one simulated node (8 Xeon cores), one simulated Tesla
+//! C2070, `n` SPMD processes each running one [`GpuTask`], executed either
+//! conventionally ([`ExecutionMode::Direct`]) or through the GVM
+//! ([`ExecutionMode::Virtualized`]). The result carries per-process phase
+//! timestamps, device statistics, and the group turnaround the paper plots.
+
+use std::sync::Arc;
+
+use gv_cuda::CudaDevice;
+use gv_gpu::{DeviceConfig, DeviceStats, GpuDevice};
+use gv_ipc::{Node, NodeConfig};
+use gv_kernels::GpuTask;
+use gv_sim::Simulation;
+use gv_virt::{run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, TaskRun, VgpuClient};
+use parking_lot::Mutex;
+
+use crate::timeline::Timeline;
+
+/// How the SPMD group accesses the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Conventional sharing: per-process contexts, device-serialized.
+    Direct,
+    /// Through the GPU Virtualization Manager.
+    Virtualized,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Direct => write!(f, "no virtualization"),
+            ExecutionMode::Virtualized => write!(f, "virtualization"),
+        }
+    }
+}
+
+/// Everything one experiment produced.
+#[derive(Clone)]
+pub struct ExperimentResult {
+    /// Mode the group ran under.
+    pub mode: ExecutionMode,
+    /// Process count.
+    pub nprocs: usize,
+    /// Group turnaround in ms: `max(end) − min(start)` over all processes
+    /// (the paper's process turnaround time).
+    pub turnaround_ms: f64,
+    /// Per-process phase timestamps.
+    pub runs: Vec<TaskRun>,
+    /// Device statistics at the end of the run.
+    pub device: DeviceStats,
+    /// GVM statistics (virtualized runs only).
+    pub gvm: Option<GvmStats>,
+    /// Functional outputs per rank (functional tasks only).
+    pub outputs: Vec<Option<Vec<u8>>>,
+    /// Engine timeline (only when the scenario enables tracing).
+    pub timeline: Option<Timeline>,
+    /// Raw trace handle (Chrome-trace export; tracing scenarios only).
+    pub tracer: Option<gv_sim::Tracer>,
+}
+
+impl ExperimentResult {
+    /// Mean of a per-process phase over all ranks.
+    pub fn mean_phase(&self, f: impl Fn(&TaskRun) -> f64) -> f64 {
+        self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Latest initialization completion relative to group start — the
+    /// paper's `Tinit` (total for all processes).
+    pub fn t_init_total(&self) -> f64 {
+        let start = self
+            .runs
+            .iter()
+            .map(|r| r.start)
+            .min()
+            .expect("non-empty group");
+        self.runs
+            .iter()
+            .map(|r| r.init_done.duration_since(start).as_millis_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Scenario parameters.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Device model (defaults to the paper-calibrated C2070).
+    pub device: DeviceConfig,
+    /// Node model (defaults to the paper's dual-Xeon node).
+    pub node: NodeConfig,
+    /// Record engine timelines (costs one mutex op per engine event).
+    pub trace: bool,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            device: DeviceConfig::tesla_c2070_paper(),
+            node: NodeConfig::dual_xeon_x5560(),
+            trace: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// A scenario with engine-timeline recording enabled.
+    pub fn traced() -> Self {
+        Scenario {
+            trace: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl Scenario {
+    /// Run `tasks` (one per rank) under `mode`; returns the experiment
+    /// result. Panics on simulation errors — experiments must be clean.
+    pub fn run(&self, mode: ExecutionMode, tasks: Vec<GpuTask>) -> ExperimentResult {
+        let n = tasks.len();
+        assert!(n >= 1, "at least one process");
+        let mut sim = Simulation::new();
+        let tracer = sim.tracer();
+        tracer.set_enabled(self.trace);
+        let device = GpuDevice::install(&mut sim, self.device.clone());
+        let cuda = CudaDevice::new(device.clone());
+        let node = Node::new(self.node.clone());
+
+        type Collected = Arc<Mutex<Vec<(TaskRun, Option<Vec<u8>>)>>>;
+        let collected: Collected = Arc::new(Mutex::new(Vec::new()));
+
+        let gvm_handle: Option<GvmHandle> = match mode {
+            ExecutionMode::Direct => {
+                let finished = Arc::new(Mutex::new(0usize));
+                for (rank, task) in tasks.iter().enumerate() {
+                    let cuda = cuda.clone();
+                    let task = task.clone();
+                    let device = device.clone();
+                    let collected = collected.clone();
+                    let finished = finished.clone();
+                    node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                        let out = run_direct(ctx, &cuda, &task, rank);
+                        collected.lock().push(out);
+                        let mut f = finished.lock();
+                        *f += 1;
+                        if *f == n {
+                            device.shutdown(ctx);
+                        }
+                    })
+                    .expect("pin SPMD process");
+                }
+                None
+            }
+            ExecutionMode::Virtualized => {
+                let handle = Gvm::install(&mut sim, &node, &cuda, GvmConfig::new(n), tasks);
+                for rank in 0..n {
+                    let handle = handle.clone();
+                    let collected = collected.clone();
+                    node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                        let client = VgpuClient::connect(ctx, &handle, rank);
+                        let out = client.run_task(ctx);
+                        collected.lock().push(out);
+                    })
+                    .expect("pin SPMD process");
+                }
+                let h = handle.clone();
+                let dev = device.clone();
+                sim.spawn("supervisor", move |ctx| {
+                    h.done.wait(ctx);
+                    dev.shutdown(ctx);
+                });
+                Some(handle)
+            }
+        };
+
+        sim.run().expect("experiment simulation must complete");
+
+        let mut pairs = Arc::try_unwrap(collected)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        pairs.sort_by_key(|(run, _)| run.rank);
+        let (runs, outputs): (Vec<TaskRun>, Vec<Option<Vec<u8>>>) = pairs.into_iter().unzip();
+        assert_eq!(runs.len(), n, "every rank must report");
+
+        let start = runs.iter().map(|r| r.start).min().expect("non-empty");
+        let end = runs.iter().map(|r| r.end).max().expect("non-empty");
+        ExperimentResult {
+            mode,
+            nprocs: n,
+            turnaround_ms: end.duration_since(start).as_millis_f64(),
+            runs,
+            device: device.stats(),
+            gvm: gvm_handle.map(|h| h.stats.lock().clone()),
+            outputs,
+            timeline: self.trace.then(|| Timeline::from_tracer(&tracer)),
+            tracer: self.trace.then_some(tracer),
+        }
+    }
+
+    /// Convenience: run the same task on `n` ranks.
+    pub fn run_uniform(&self, mode: ExecutionMode, task: &GpuTask, n: usize) -> ExperimentResult {
+        self.run(mode, vec![task.clone(); n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_kernels::{Benchmark, BenchmarkId};
+
+    #[test]
+    fn direct_scenario_collects_all_ranks() {
+        let sc = Scenario::default();
+        let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &sc.device, 200);
+        let r = sc.run_uniform(ExecutionMode::Direct, &task, 3);
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.device.ctx_switches, 2);
+        assert!(r.turnaround_ms > 0.0);
+        // Ranks are ordered.
+        assert_eq!(
+            r.runs.iter().map(|x| x.rank).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn virtualized_scenario_collects_all_ranks() {
+        let sc = Scenario::default();
+        let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &sc.device, 200);
+        let r = sc.run_uniform(ExecutionMode::Virtualized, &task, 3);
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.device.ctx_switches, 0);
+        assert_eq!(r.gvm.as_ref().unwrap().flushes, 1);
+    }
+
+    #[test]
+    fn tinit_total_is_max_over_ranks() {
+        let sc = Scenario::default();
+        let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &sc.device, 500);
+        let r = sc.run_uniform(ExecutionMode::Direct, &task, 4);
+        // Four serialized context creations ≈ 4 × 189.9 ms.
+        let t = r.t_init_total();
+        assert!((t - 4.0 * 189.923).abs() < 5.0, "Tinit(4) = {t}");
+    }
+}

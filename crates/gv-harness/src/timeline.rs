@@ -1,0 +1,209 @@
+//! Engine timelines: auditing the overlap the paper's Figs. 4–6 illustrate.
+//!
+//! With tracing enabled, the device scheduler records spans for every DMA
+//! transfer, kernel, and context switch. This module reconstructs them into
+//! a per-engine timeline, renders an ASCII Gantt chart (the reproduction of
+//! the paper's Fig. 4 / Fig. 5–6 execution diagrams), and computes overlap
+//! facts that tests assert on: under virtualization, transfers of one
+//! process overlap kernels of another; under conventional sharing, context
+//! episodes strictly serialize.
+
+use gv_sim::trace::Span;
+use gv_sim::SimTime;
+
+/// All spans of one run, split by engine.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// H2D engine transfers.
+    pub h2d: Vec<Span>,
+    /// D2H engine transfers.
+    pub d2h: Vec<Span>,
+    /// Kernel window residencies.
+    pub kernels: Vec<Span>,
+    /// Context-switch intervals.
+    pub switches: Vec<Span>,
+}
+
+impl Timeline {
+    /// Split a tracer's spans by category.
+    pub fn from_tracer(tracer: &gv_sim::Tracer) -> Timeline {
+        Timeline {
+            h2d: tracer.spans("h2d"),
+            d2h: tracer.spans("d2h"),
+            kernels: tracer.spans("kernel"),
+            switches: tracer.spans("ctx-switch"),
+        }
+    }
+
+    /// Earliest span start.
+    pub fn start(&self) -> SimTime {
+        self.all().map(|s| s.start).min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Latest span end.
+    pub fn end(&self) -> SimTime {
+        self.all().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    fn all(&self) -> impl Iterator<Item = &Span> {
+        self.h2d
+            .iter()
+            .chain(&self.d2h)
+            .chain(&self.kernels)
+            .chain(&self.switches)
+    }
+
+    /// Do any two kernel spans (from different streams) overlap? — the
+    /// concurrent-kernel-execution witness.
+    pub fn kernels_overlap(&self) -> bool {
+        for (i, a) in self.kernels.iter().enumerate() {
+            for b in &self.kernels[i + 1..] {
+                if a.track != b.track && a.overlaps(b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Does any transfer overlap any kernel of a *different* stream? — the
+    /// copy/compute-overlap witness.
+    pub fn copy_overlaps_foreign_kernel(&self) -> bool {
+        self.h2d.iter().chain(&self.d2h).any(|c| {
+            self.kernels
+                .iter()
+                .any(|k| k.track != c.track && c.overlaps(k))
+        })
+    }
+
+    /// Does any H2D transfer overlap any D2H transfer? — the bidirectional
+    /// DMA witness.
+    pub fn bidirectional_overlap(&self) -> bool {
+        self.h2d
+            .iter()
+            .any(|a| self.d2h.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// Total busy time of a span list in ms.
+    pub fn busy_ms(spans: &[Span]) -> f64 {
+        spans.iter().map(|s| s.duration().as_millis_f64()).sum()
+    }
+
+    /// Render an ASCII Gantt chart with `width` columns: one row per
+    /// engine lane (H2D / D2H / one lane per kernel stream / switches).
+    pub fn render_gantt(&self, width: usize) -> String {
+        let start = self.start();
+        let end = self.end();
+        let total = end.duration_since(start).as_secs_f64();
+        if total <= 0.0 {
+            return String::from("(empty timeline)\n");
+        }
+        let col = |t: SimTime| -> usize {
+            let frac = t.duration_since(start).as_secs_f64() / total;
+            ((frac * width as f64) as usize).min(width - 1)
+        };
+        let mut out = String::new();
+        let mut lane = |label: String, spans: &[Span], ch: char| {
+            let mut row = vec![' '; width];
+            for s in spans {
+                let (a, b) = (col(s.start), col(s.end));
+                for c in row.iter_mut().take(b + 1).skip(a) {
+                    *c = ch;
+                }
+            }
+            out.push_str(&format!(
+                "{label:>12} |{}|\n",
+                row.iter().collect::<String>()
+            ));
+        };
+        lane("H2D".to_string(), &self.h2d, '=');
+        lane("D2H".to_string(), &self.d2h, '-');
+        let mut tracks: Vec<u32> = self.kernels.iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for t in tracks {
+            let spans: Vec<Span> = self
+                .kernels
+                .iter()
+                .filter(|s| s.track == t)
+                .cloned()
+                .collect();
+            lane(format!("kernel s{t}"), &spans, '#');
+        }
+        lane("ctx switch".to_string(), &self.switches, 'X');
+        out.push_str(&format!(
+            "{:>12}  0 ms {:>width$.1} ms\n",
+            "",
+            end.duration_since(start).as_millis_f64(),
+            width = width.saturating_sub(4)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_sim::trace::TraceKind;
+    use gv_sim::{SimDuration, Tracer};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tracer_with(spans: &[(&'static str, &str, u32, u64, u64)]) -> Tracer {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        for &(cat, label, track, a, b) in spans {
+            tr.record(t(a), cat, label, TraceKind::Begin, track);
+            tr.record(t(b), cat, label, TraceKind::End, track);
+        }
+        tr
+    }
+
+    #[test]
+    fn overlap_witnesses() {
+        // Kernel on stream 1 [0,10]; H2D on stream 2 [5,8]; kernel on
+        // stream 2 [8,12].
+        let tr = tracer_with(&[
+            ("kernel", "k-1", 1, 0, 10),
+            ("h2d", "cmd-2", 2, 5, 8),
+            ("kernel", "k-2", 2, 8, 12),
+        ]);
+        let tl = Timeline::from_tracer(&tr);
+        assert!(tl.kernels_overlap());
+        assert!(tl.copy_overlaps_foreign_kernel());
+        assert!(!tl.bidirectional_overlap());
+        assert_eq!(tl.end(), t(12));
+    }
+
+    #[test]
+    fn serialized_timeline_has_no_overlap() {
+        let tr = tracer_with(&[
+            ("kernel", "k-1", 1, 0, 5),
+            ("ctx-switch", "to-ctx-2", 0, 5, 7),
+            ("kernel", "k-2", 2, 7, 12),
+        ]);
+        let tl = Timeline::from_tracer(&tr);
+        assert!(!tl.kernels_overlap());
+        assert!(!tl.copy_overlaps_foreign_kernel());
+        assert_eq!(Timeline::busy_ms(&tl.switches), 2.0);
+    }
+
+    #[test]
+    fn gantt_renders_lanes() {
+        let tr = tracer_with(&[("h2d", "cmd-1", 1, 0, 4), ("kernel", "k-1", 1, 4, 10)]);
+        let tl = Timeline::from_tracer(&tr);
+        let g = tl.render_gantt(40);
+        assert!(g.contains("H2D"));
+        assert!(g.contains("kernel s1"));
+        assert!(g.contains('='));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::default();
+        assert_eq!(tl.render_gantt(40), "(empty timeline)\n");
+    }
+}

@@ -1,0 +1,34 @@
+//! # gv-ipc — the simulated HPC compute node
+//!
+//! Substitutes for the paper's testbed node (dual Xeon X5560, 8 cores,
+//! Linux): SPMD processes pinned to cores ([`node`]), POSIX-like named
+//! shared memory with a memcpy cost model ([`shm`]), and POSIX-like message
+//! queues with per-message latency ([`mqueue`]) — exactly the primitives the
+//! GVM builds its virtual-shared-memory + request/response-queue transport
+//! from (paper §V).
+//!
+//! ```
+//! use gv_ipc::{NodeConfig, ShmRegistry};
+//! use gv_sim::Simulation;
+//!
+//! let mut sim = Simulation::new();
+//! let reg = ShmRegistry::new(&NodeConfig::dual_xeon_x5560());
+//! let seg = reg.create("/demo", 1024).unwrap();
+//! sim.spawn("writer", move |ctx| {
+//!     seg.write(ctx, 0, b"hello").unwrap();           // charged memcpy time
+//!     assert_eq!(seg.peek(0, 5).unwrap(), b"hello");  // free verification
+//! });
+//! sim.run().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mqueue;
+pub mod net;
+pub mod node;
+pub mod shm;
+
+pub use mqueue::{MessageQueue, MqError, MqRegistry};
+pub use net::{LinkConfig, NetworkLink};
+pub use node::{AffinityError, Node, NodeConfig};
+pub use shm::{SharedMem, ShmError, ShmRegistry};

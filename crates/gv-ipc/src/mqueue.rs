@@ -1,0 +1,233 @@
+//! POSIX-like named message queues.
+//!
+//! The GVM uses two queues — requests in, responses out — to synchronize
+//! with user processes ("by using streaming queues, resource contention
+//! problems are prevented"). [`MqRegistry`] provides named creation and
+//! opening; every send and receive charges the configured one-way latency,
+//! and receives block (in simulated time) until a message arrives.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gv_sim::{Ctx, SimChannel};
+use parking_lot::Mutex;
+
+use crate::node::NodeConfig;
+
+/// Errors from message-queue operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqError {
+    /// `create` on an existing name.
+    AlreadyExists(String),
+    /// `open` on an unknown name.
+    NotFound(String),
+    /// Send on a closed queue.
+    Closed,
+}
+
+impl std::fmt::Display for MqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MqError::AlreadyExists(n) => write!(f, "mq '{n}' already exists"),
+            MqError::NotFound(n) => write!(f, "mq '{n}' not found"),
+            MqError::Closed => write!(f, "mq is closed"),
+        }
+    }
+}
+
+impl std::error::Error for MqError {}
+
+/// A handle to one named message queue carrying `T`.
+pub struct MessageQueue<T> {
+    name: String,
+    chan: SimChannel<T>,
+    node: Arc<NodeConfig>,
+}
+
+impl<T> Clone for MessageQueue<T> {
+    fn clone(&self) -> Self {
+        MessageQueue {
+            name: self.name.clone(),
+            chan: self.chan.clone(),
+            node: Arc::clone(&self.node),
+        }
+    }
+}
+
+impl<T> MessageQueue<T> {
+    /// Queue name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `mq_send`: blocking send (bounded queues block when full),
+    /// charging one-way latency.
+    pub fn send(&self, ctx: &mut Ctx, msg: T) -> Result<(), MqError> {
+        ctx.hold(self.node.mq_latency);
+        self.chan.send(ctx, msg).map_err(|_| MqError::Closed)
+    }
+
+    /// `mq_receive`: blocking receive, charging one-way latency.
+    /// `None` once the queue is closed and drained.
+    pub fn recv(&self, ctx: &mut Ctx) -> Option<T> {
+        let msg = self.chan.recv(ctx)?;
+        ctx.hold(self.node.mq_latency);
+        Some(msg)
+    }
+
+    /// Non-blocking receive (no latency charged on miss).
+    pub fn try_recv(&self, ctx: &mut Ctx) -> Option<T> {
+        let msg = self.chan.try_recv(ctx)?;
+        ctx.hold(self.node.mq_latency);
+        Some(msg)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.chan.is_empty()
+    }
+
+    /// Close the queue: further sends fail, receivers drain then see `None`.
+    pub fn close(&self, ctx: &Ctx) {
+        self.chan.close(ctx);
+    }
+}
+
+/// A node-wide namespace of message queues carrying `T`.
+pub struct MqRegistry<T> {
+    node: Arc<NodeConfig>,
+    queues: Arc<Mutex<HashMap<String, SimChannel<T>>>>,
+}
+
+impl<T> Clone for MqRegistry<T> {
+    fn clone(&self) -> Self {
+        MqRegistry {
+            node: Arc::clone(&self.node),
+            queues: Arc::clone(&self.queues),
+        }
+    }
+}
+
+impl<T> MqRegistry<T> {
+    /// An empty namespace using `node`'s latency model.
+    pub fn new(node: &NodeConfig) -> Self {
+        MqRegistry {
+            node: Arc::new(node.clone()),
+            queues: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// `mq_open(O_CREAT|O_EXCL)` with optional depth bound.
+    pub fn create(&self, name: &str, capacity: Option<usize>) -> Result<MessageQueue<T>, MqError> {
+        let mut qs = self.queues.lock();
+        if qs.contains_key(name) {
+            return Err(MqError::AlreadyExists(name.to_string()));
+        }
+        let chan = match capacity {
+            Some(c) => SimChannel::bounded(c),
+            None => SimChannel::unbounded(),
+        };
+        qs.insert(name.to_string(), chan.clone());
+        Ok(MessageQueue {
+            name: name.to_string(),
+            chan,
+            node: Arc::clone(&self.node),
+        })
+    }
+
+    /// `mq_open(0)`: open an existing queue.
+    pub fn open(&self, name: &str) -> Result<MessageQueue<T>, MqError> {
+        let qs = self.queues.lock();
+        let chan = qs
+            .get(name)
+            .ok_or_else(|| MqError::NotFound(name.to_string()))?;
+        Ok(MessageQueue {
+            name: name.to_string(),
+            chan: chan.clone(),
+            node: Arc::clone(&self.node),
+        })
+    }
+
+    /// `mq_unlink`.
+    pub fn unlink(&self, name: &str) -> Result<(), MqError> {
+        self.queues
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| MqError::NotFound(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use gv_sim::{SimDuration, Simulation};
+
+    #[test]
+    fn send_recv_charges_latency_each_way() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/req", None).unwrap();
+        let q2 = reg.open("/req").unwrap();
+        sim.spawn("sender", move |ctx| {
+            q.send(ctx, 42).unwrap();
+            // one-way latency = 1 µs
+            assert_eq!(ctx.now().as_nanos(), 1_000);
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(q2.recv(ctx), Some(42));
+            // send latency + recv latency
+            assert_eq!(ctx.now().as_nanos(), 2_000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<&'static str> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/resp", None).unwrap();
+        let tx = q.clone();
+        sim.spawn("gvm", move |ctx| {
+            ctx.hold(SimDuration::from_millis(5));
+            tx.send(ctx, "ACK").unwrap();
+        });
+        sim.spawn("proc", move |ctx| {
+            assert_eq!(q.recv(ctx), Some("ACK"));
+            assert!(ctx.now().as_millis_f64() >= 5.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn namespace_semantics() {
+        let reg: MqRegistry<u8> = MqRegistry::new(&NodeConfig::test_tiny());
+        reg.create("/a", Some(4)).unwrap();
+        assert!(matches!(
+            reg.create("/a", None),
+            Err(MqError::AlreadyExists(_))
+        ));
+        assert!(reg.open("/a").is_ok());
+        reg.unlink("/a").unwrap();
+        assert!(matches!(reg.open("/a"), Err(MqError::NotFound(_))));
+    }
+
+    #[test]
+    fn closed_queue_rejects_sends() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u8> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/c", None).unwrap();
+        sim.spawn("p", move |ctx| {
+            q.close(ctx);
+            assert_eq!(q.send(ctx, 1), Err(MqError::Closed));
+            assert_eq!(q.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,261 @@
+//! The compute node: CPU cores, process affinity, and host-side timing.
+//!
+//! The paper's testbed is a dual Xeon X5560 node (8 cores); SPMD experiments
+//! pin one process per core, and the SPMD condition requires
+//! `Ntask ≤ Nprocessor`. [`Node`] enforces that bookkeeping and provides the
+//! host-side cost model (memcpy bandwidth) shared by the IPC primitives.
+
+use std::sync::Arc;
+
+use gv_sim::{Ctx, Pid, SimDuration, Simulation};
+use parking_lot::Mutex;
+
+/// Host-side timing parameters for a compute node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// CPU cores available for SPMD processes.
+    pub cores: usize,
+    /// Sustained host memcpy bandwidth in GB/s (shm reads/writes and
+    /// staging copies into pinned buffers).
+    pub memcpy_gbps: f64,
+    /// Fixed latency of one shared-memory access (page-table / cache warm-up).
+    pub shm_latency: SimDuration,
+    /// One-way latency of a POSIX message-queue send or receive.
+    pub mq_latency: SimDuration,
+}
+
+impl NodeConfig {
+    /// The paper's testbed: dual Intel Xeon X5560 (8 cores total), 48 GB.
+    pub fn dual_xeon_x5560() -> Self {
+        NodeConfig {
+            // Nehalem-era Xeon: ~12 GB/s sustained streaming memcpy
+            // (triple-channel DDR3); calibrated against the paper's
+            // Fig. 10 overhead ceiling (<25% at 400 MB).
+            cores: 8,
+            memcpy_gbps: 12.8,
+            shm_latency: SimDuration::from_micros(2),
+            mq_latency: SimDuration::from_micros(6),
+        }
+    }
+
+    /// Tiny node for unit tests.
+    pub fn test_tiny() -> Self {
+        NodeConfig {
+            cores: 2,
+            memcpy_gbps: 1.0,
+            shm_latency: SimDuration::from_micros(1),
+            mq_latency: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Duration of a host memcpy of `bytes` bytes.
+    pub fn memcpy_time(&self, bytes: u64) -> SimDuration {
+        self.shm_latency + SimDuration::from_secs_f64(bytes as f64 / (self.memcpy_gbps * 1.0e9))
+    }
+}
+
+struct NodeState {
+    /// `core_assignment[core] = Some(pid)` once a process is pinned there.
+    core_assignment: Vec<Option<Pid>>,
+}
+
+/// A simulated compute node.
+#[derive(Clone)]
+pub struct Node {
+    config: Arc<NodeConfig>,
+    state: Arc<Mutex<NodeState>>,
+}
+
+impl Node {
+    /// Create a node with the given configuration.
+    pub fn new(config: NodeConfig) -> Self {
+        let cores = config.cores;
+        Node {
+            config: Arc::new(config),
+            state: Arc::new(Mutex::new(NodeState {
+                core_assignment: vec![None; cores],
+            })),
+        }
+    }
+
+    /// Node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Number of CPU cores.
+    pub fn cores(&self) -> usize {
+        self.config.cores
+    }
+
+    /// Spawn a process pinned to `core` (errors if the core is taken or out
+    /// of range — the SPMD condition `Ntask ≤ Nprocessor`).
+    pub fn spawn_pinned<F>(
+        &self,
+        sim: &mut Simulation,
+        core: usize,
+        name: &str,
+        f: F,
+    ) -> Result<Pid, AffinityError>
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        {
+            let st = self.state.lock();
+            if core >= st.core_assignment.len() {
+                return Err(AffinityError::NoSuchCore {
+                    core,
+                    cores: st.core_assignment.len(),
+                });
+            }
+            if st.core_assignment[core].is_some() {
+                return Err(AffinityError::CoreBusy { core });
+            }
+        }
+        let pid = sim.spawn(name, f);
+        self.state.lock().core_assignment[core] = Some(pid);
+        Ok(pid)
+    }
+
+    /// Spawn `n` SPMD processes, one per core, named `prefix-<rank>`;
+    /// each closure receives its rank.
+    pub fn spawn_spmd<F>(
+        &self,
+        sim: &mut Simulation,
+        n: usize,
+        prefix: &str,
+        f: F,
+    ) -> Result<Vec<Pid>, AffinityError>
+    where
+        F: Fn(usize, &mut Ctx) + Send + Sync + 'static,
+    {
+        if n > self.cores() {
+            return Err(AffinityError::TooManyProcesses {
+                requested: n,
+                cores: self.cores(),
+            });
+        }
+        let f = Arc::new(f);
+        let mut pids = Vec::with_capacity(n);
+        for rank in 0..n {
+            let f = Arc::clone(&f);
+            let pid = self.spawn_pinned(sim, rank, &format!("{prefix}-{rank}"), move |ctx| {
+                f(rank, ctx)
+            })?;
+            pids.push(pid);
+        }
+        Ok(pids)
+    }
+
+    /// Cores currently occupied.
+    pub fn cores_in_use(&self) -> usize {
+        self.state
+            .lock()
+            .core_assignment
+            .iter()
+            .filter(|c| c.is_some())
+            .count()
+    }
+}
+
+/// CPU-affinity errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffinityError {
+    /// Core index out of range.
+    NoSuchCore {
+        /// Requested core.
+        core: usize,
+        /// Cores on the node.
+        cores: usize,
+    },
+    /// Core already pinned to another process.
+    CoreBusy {
+        /// Requested core.
+        core: usize,
+    },
+    /// SPMD group larger than the node.
+    TooManyProcesses {
+        /// Processes requested.
+        requested: usize,
+        /// Cores on the node.
+        cores: usize,
+    },
+}
+
+impl std::fmt::Display for AffinityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AffinityError::NoSuchCore { core, cores } => {
+                write!(f, "core {core} does not exist ({cores} cores)")
+            }
+            AffinityError::CoreBusy { core } => write!(f, "core {core} already pinned"),
+            AffinityError::TooManyProcesses { requested, cores } => write!(
+                f,
+                "SPMD condition violated: {requested} processes > {cores} cores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AffinityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_group_pins_one_per_core() {
+        let mut sim = Simulation::new();
+        let node = Node::new(NodeConfig::test_tiny());
+        let pids = node
+            .spawn_spmd(&mut sim, 2, "p", |rank, ctx| {
+                ctx.hold(SimDuration::from_millis(rank as u64 + 1));
+            })
+            .unwrap();
+        assert_eq!(pids.len(), 2);
+        assert_eq!(node.cores_in_use(), 2);
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn spmd_condition_enforced() {
+        let mut sim = Simulation::new();
+        let node = Node::new(NodeConfig::test_tiny());
+        let err = node.spawn_spmd(&mut sim, 3, "p", |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            AffinityError::TooManyProcesses {
+                requested: 3,
+                cores: 2
+            }
+        );
+    }
+
+    #[test]
+    fn double_pin_rejected() {
+        let mut sim = Simulation::new();
+        let node = Node::new(NodeConfig::test_tiny());
+        node.spawn_pinned(&mut sim, 0, "a", |_| {}).unwrap();
+        let err = node.spawn_pinned(&mut sim, 0, "b", |_| {}).unwrap_err();
+        assert_eq!(err, AffinityError::CoreBusy { core: 0 });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let mut sim = Simulation::new();
+        let node = Node::new(NodeConfig::test_tiny());
+        let err = node.spawn_pinned(&mut sim, 7, "a", |_| {}).unwrap_err();
+        assert!(matches!(err, AffinityError::NoSuchCore { core: 7, .. }));
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn memcpy_time_scales_with_bytes() {
+        let cfg = NodeConfig::dual_xeon_x5560();
+        let t = cfg.memcpy_time(12_800_000_000);
+        // 12.8 GB at 12.8 GB/s ≈ 1 s (+2 µs latency).
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,285 @@
+//! POSIX-like named shared memory with a copy-cost model.
+//!
+//! The paper's GVM gives every user process its own "virtual shared memory"
+//! segment (POSIX `shm_open` + `mmap`) for exchanging GPU data with the
+//! virtualization layer. [`ShmRegistry`] provides named creation/opening;
+//! reads and writes charge the caller host-memcpy time from the node
+//! configuration, and optionally move real bytes for functional runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gv_sim::Ctx;
+use parking_lot::Mutex;
+
+use crate::node::NodeConfig;
+
+/// Errors from shared-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmError {
+    /// `create` on an existing name.
+    AlreadyExists(String),
+    /// `open` on an unknown name.
+    NotFound(String),
+    /// Access beyond the segment size.
+    OutOfBounds {
+        /// First byte past the access.
+        end: u64,
+        /// Segment size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::AlreadyExists(n) => write!(f, "shm '{n}' already exists"),
+            ShmError::NotFound(n) => write!(f, "shm '{n}' not found"),
+            ShmError::OutOfBounds { end, size } => {
+                write!(f, "shm access out of bounds: end {end} > size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+struct Segment {
+    size: u64,
+    /// Lazily materialized contents (functional runs only).
+    data: Option<Vec<u8>>,
+}
+
+/// A handle to one named shared-memory segment.
+#[derive(Clone)]
+pub struct SharedMem {
+    name: String,
+    seg: Arc<Mutex<Segment>>,
+    node: Arc<NodeConfig>,
+}
+
+impl std::fmt::Debug for SharedMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMem")
+            .field("name", &self.name)
+            .field("size", &self.seg.lock().size)
+            .finish()
+    }
+}
+
+impl SharedMem {
+    /// Segment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Segment size in bytes.
+    pub fn size(&self) -> u64 {
+        self.seg.lock().size
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<(), ShmError> {
+        let size = self.seg.lock().size;
+        let end = offset + len;
+        if end > size {
+            Err(ShmError::OutOfBounds { end, size })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge the caller for copying `bytes` through this segment without
+    /// moving real data (timing-only experiments).
+    pub fn touch(&self, ctx: &mut Ctx, bytes: u64) -> Result<(), ShmError> {
+        self.check(0, bytes)?;
+        ctx.hold(self.node.memcpy_time(bytes));
+        Ok(())
+    }
+
+    /// Write `data` at `offset`, charging memcpy time.
+    pub fn write(&self, ctx: &mut Ctx, offset: u64, data: &[u8]) -> Result<(), ShmError> {
+        self.check(offset, data.len() as u64)?;
+        ctx.hold(self.node.memcpy_time(data.len() as u64));
+        let mut seg = self.seg.lock();
+        let size = seg.size as usize;
+        let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
+        store[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset`, charging memcpy time. Untouched
+    /// regions read as zeroes.
+    pub fn read(&self, ctx: &mut Ctx, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
+        self.check(offset, len)?;
+        ctx.hold(self.node.memcpy_time(len));
+        let mut seg = self.seg.lock();
+        let size = seg.size as usize;
+        let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
+        Ok(store[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Zero-cost snapshot of the raw contents (verification plumbing, not a
+    /// timed operation).
+    pub fn peek(&self, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
+        self.check(offset, len)?;
+        let mut seg = self.seg.lock();
+        let size = seg.size as usize;
+        let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
+        Ok(store[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Zero-cost raw write (seeding test fixtures).
+    pub fn poke(&self, offset: u64, data: &[u8]) -> Result<(), ShmError> {
+        self.check(offset, data.len() as u64)?;
+        let mut seg = self.seg.lock();
+        let size = seg.size as usize;
+        let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
+        store[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// The node-wide shared-memory namespace (`/dev/shm` analogue).
+#[derive(Clone)]
+pub struct ShmRegistry {
+    node: Arc<NodeConfig>,
+    segments: Arc<Mutex<HashMap<String, Arc<Mutex<Segment>>>>>,
+}
+
+impl ShmRegistry {
+    /// An empty namespace using `node`'s cost model.
+    pub fn new(node: &NodeConfig) -> Self {
+        ShmRegistry {
+            node: Arc::new(node.clone()),
+            segments: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// `shm_open(O_CREAT|O_EXCL)`: create a named segment.
+    pub fn create(&self, name: &str, size: u64) -> Result<SharedMem, ShmError> {
+        let mut segs = self.segments.lock();
+        if segs.contains_key(name) {
+            return Err(ShmError::AlreadyExists(name.to_string()));
+        }
+        let seg = Arc::new(Mutex::new(Segment { size, data: None }));
+        segs.insert(name.to_string(), Arc::clone(&seg));
+        Ok(SharedMem {
+            name: name.to_string(),
+            seg,
+            node: Arc::clone(&self.node),
+        })
+    }
+
+    /// `shm_open(0)`: open an existing named segment.
+    pub fn open(&self, name: &str) -> Result<SharedMem, ShmError> {
+        let segs = self.segments.lock();
+        let seg = segs
+            .get(name)
+            .ok_or_else(|| ShmError::NotFound(name.to_string()))?;
+        Ok(SharedMem {
+            name: name.to_string(),
+            seg: Arc::clone(seg),
+            node: Arc::clone(&self.node),
+        })
+    }
+
+    /// `shm_unlink`: remove a name (existing handles stay usable).
+    pub fn unlink(&self, name: &str) -> Result<(), ShmError> {
+        self.segments
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ShmError::NotFound(name.to_string()))
+    }
+
+    /// Number of live names.
+    pub fn len(&self) -> usize {
+        self.segments.lock().len()
+    }
+
+    /// Is the namespace empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use gv_sim::Simulation;
+
+    fn registry() -> ShmRegistry {
+        ShmRegistry::new(&NodeConfig::test_tiny())
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let reg = registry();
+        let a = reg.create("/gvm-p0", 1024).unwrap();
+        let b = reg.open("/gvm-p0").unwrap();
+        a.poke(0, &[1, 2, 3]).unwrap();
+        assert_eq!(b.peek(0, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let reg = registry();
+        reg.create("/x", 64).unwrap();
+        assert_eq!(
+            reg.create("/x", 64).unwrap_err(),
+            ShmError::AlreadyExists("/x".into())
+        );
+    }
+
+    #[test]
+    fn open_missing_rejected() {
+        let reg = registry();
+        assert_eq!(reg.open("/y").unwrap_err(), ShmError::NotFound("/y".into()));
+    }
+
+    #[test]
+    fn unlink_removes_name_but_not_mapping() {
+        let reg = registry();
+        let seg = reg.create("/z", 64).unwrap();
+        reg.unlink("/z").unwrap();
+        assert!(reg.open("/z").is_err());
+        seg.poke(0, &[9]).unwrap(); // handle still alive
+        assert_eq!(seg.peek(0, 1).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn timed_write_read_charges_memcpy() {
+        let mut sim = Simulation::new();
+        let reg = registry();
+        let seg = reg.create("/t", 2_000_000).unwrap();
+        sim.spawn("p", move |ctx| {
+            // 1 MB at 1 GB/s = 1 ms (+1 µs latency), twice.
+            let data = vec![7u8; 1_000_000];
+            seg.write(ctx, 0, &data).unwrap();
+            let back = seg.read(ctx, 0, 1_000_000).unwrap();
+            assert_eq!(back, data);
+            let t = ctx.now().as_millis_f64();
+            assert!((t - 2.002).abs() < 1e-6, "t = {t}");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut sim = Simulation::new();
+        let reg = registry();
+        let seg = reg.create("/b", 16).unwrap();
+        sim.spawn("p", move |ctx| {
+            assert!(matches!(
+                seg.write(ctx, 10, &[0u8; 10]),
+                Err(ShmError::OutOfBounds { .. })
+            ));
+            assert!(matches!(
+                seg.touch(ctx, 17),
+                Err(ShmError::OutOfBounds { .. })
+            ));
+        });
+        sim.run().unwrap();
+    }
+}

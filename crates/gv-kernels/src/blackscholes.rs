@@ -1,0 +1,230 @@
+//! BlackScholes — European option pricing (NVIDIA CUDA SDK adaptation).
+//!
+//! Paper configuration (Table IV): 1M options, Nit = 512, grid 480,
+//! classified **I/O-intensive**: the benchmark re-stages option data and
+//! retrieves both premium arrays every iteration, so each of the 512
+//! iterations is an (H2D 12 MB → kernel → D2H 8 MB) cycle and the task is
+//! dominated by transfers — the kernel itself is a short, DRAM-bound
+//! grid-stride loop (~0.14 ms).
+
+use std::sync::Arc;
+
+use gv_gpu::{CostSpec, DeviceConfig, DeviceMemory, DevicePtr, KernelBody, KernelDesc};
+use gv_sim::SimDuration;
+
+use crate::task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};
+
+/// Paper option count.
+pub const PAPER_OPTIONS: u64 = 1_000_000;
+/// Paper iteration count.
+pub const PAPER_ITERATIONS: u32 = 512;
+/// Paper grid size (Table IV).
+pub const PAPER_GRID: u64 = 480;
+/// Threads per block (SDK configuration).
+pub const PAPER_TPB: u32 = 128;
+/// Context-switch cost (not in Table II; device default range).
+pub const CTX_SWITCH_MS: f64 = 170.0;
+
+/// Risk-free rate used by the SDK benchmark.
+pub const RISK_FREE: f32 = 0.02;
+/// Volatility used by the SDK benchmark.
+pub const VOLATILITY: f32 = 0.30;
+
+/// Cumulative normal distribution (Abramowitz–Stegun polynomial, the
+/// SDK's `CND`), accurate to ~7.5e-8.
+pub fn cnd(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_5;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_478;
+    const A4: f32 = -1.821_256;
+    const A5: f32 = 1.330_274_4;
+    const RSQRT2PI: f32 = 0.398_942_3;
+    let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let c = RSQRT2PI * (-0.5 * d * d).exp() * poly;
+    if d > 0.0 {
+        1.0 - c
+    } else {
+        c
+    }
+}
+
+/// Price one European call/put pair.
+pub fn price(s: f32, x: f32, t: f32, r: f32, v: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let exp_rt = (-r * t).exp();
+    let call = s * cnd(d1) - x * exp_rt * cnd(d2);
+    let put = x * exp_rt * cnd(-d2) - s * cnd(-d1);
+    (call, put)
+}
+
+/// CPU reference over parallel arrays; returns (calls, puts).
+pub fn reference(price_s: &[f32], strike: &[f32], years: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let mut calls = Vec::with_capacity(price_s.len());
+    let mut puts = Vec::with_capacity(price_s.len());
+    for i in 0..price_s.len() {
+        let (c, p) = price(price_s[i], strike[i], years[i], RISK_FREE, VOLATILITY);
+        calls.push(c);
+        puts.push(p);
+    }
+    (calls, puts)
+}
+
+fn kernel_desc(cfg: &DeviceConfig, options: u64) -> KernelDesc {
+    let per_thread = options as f64 / (PAPER_GRID * PAPER_TPB as u64) as f64;
+    // ~60 flops (exp/ln/sqrt at SFU cost) and 20 B DRAM per option.
+    let cost = CostSpec::new(per_thread * 60.0, per_thread * 20.0);
+    KernelDesc::new("blackscholes", PAPER_GRID, PAPER_TPB)
+        .regs(22)
+        .with_cost(cfg, &cost)
+}
+
+/// The paper-sized, timing-only task: 512 staged iterations.
+pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
+    scaled_task(cfg, PAPER_OPTIONS, PAPER_ITERATIONS)
+}
+
+/// A timing-only task over `options` options and `iterations` cycles.
+pub fn scaled_task(cfg: &DeviceConfig, options: u64, iterations: u32) -> GpuTask {
+    let in_bytes = 3 * 4 * options; // price, strike, years
+    let out_bytes = 2 * 4 * options; // call, put
+    GpuTask {
+        name: "BlackScholes".into(),
+        class: WorkloadClass::IoIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: in_bytes + out_bytes,
+        iterations,
+        bytes_in: in_bytes,
+        input: None,
+        bytes_out: out_bytes,
+        d2h_offset: in_bytes,
+        kernels: vec![KernelTemplate::timing(kernel_desc(cfg, options))],
+    }
+}
+
+/// Functional task over explicit option data (single iteration; layout
+/// `[s | x | t | call | put]`).
+pub fn functional_task(
+    cfg: &DeviceConfig,
+    price_s: &[f32],
+    strike: &[f32],
+    years: &[f32],
+) -> GpuTask {
+    let n = price_s.len();
+    assert_eq!(strike.len(), n);
+    assert_eq!(years.len(), n);
+    let mut task = scaled_task(cfg, n as u64, 1);
+    let mut input = Vec::with_capacity(12 * n);
+    for arr in [price_s, strike, years] {
+        input.extend(arr.iter().flat_map(|v| v.to_le_bytes()));
+    }
+    task.input = Some(Arc::new(input));
+    let factory: BodyFactory = Arc::new(move |base: DevicePtr| {
+        Arc::new(move |mem: &mut DeviceMemory| {
+            let s = mem.read_f32(base, n).expect("bs: read s");
+            let x = mem.read_f32(base.add(4 * n as u64), n).expect("bs: read x");
+            let t = mem.read_f32(base.add(8 * n as u64), n).expect("bs: read t");
+            let (calls, puts) = reference(&s, &x, &t);
+            mem.write_f32(base.add(12 * n as u64), &calls)
+                .expect("bs: write call");
+            mem.write_f32(base.add(16 * n as u64), &puts)
+                .expect("bs: write put");
+        }) as KernelBody
+    });
+    task.kernels = vec![KernelTemplate::functional(
+        task.kernels[0].desc.clone(),
+        factory,
+    )];
+    task
+}
+
+/// Deterministic pseudo-random option data (the SDK's ranges).
+pub fn generate_options(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    // xorshift64* — simple, reproducible, no external deps needed here.
+    let mut state = seed.max(1);
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let v = state.wrapping_mul(0x2545F4914F6CDD1D);
+        (v >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let mut s = Vec::with_capacity(n);
+    let mut x = Vec::with_capacity(n);
+    let mut t = Vec::with_capacity(n);
+    for _ in 0..n {
+        s.push(5.0 + 25.0 * next());
+        x.push(1.0 + 99.0 * next());
+        t.push(0.25 + 9.75 * next());
+    }
+    (s, x, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_gpu::estimate_kernel_time;
+
+    #[test]
+    fn cnd_symmetry_and_limits() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-6);
+        for d in [-3.0f32, -1.0, 0.5, 2.5] {
+            assert!((cnd(d) + cnd(-d) - 1.0).abs() < 1e-6);
+        }
+        assert!(cnd(6.0) > 0.999_999);
+        assert!(cnd(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        // call - put = S - X·exp(-rT)
+        let (s, x, t) = (30.0f32, 32.0f32, 1.5f32);
+        let (call, put) = price(s, x, t, RISK_FREE, VOLATILITY);
+        let parity = s - x * (-RISK_FREE * t).exp();
+        assert!((call - put - parity).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deep_in_the_money_call_approaches_intrinsic() {
+        let (call, _) = price(100.0, 1.0, 0.25, RISK_FREE, VOLATILITY);
+        let intrinsic = 100.0 - 1.0 * (-RISK_FREE * 0.25f32).exp();
+        assert!((call - intrinsic).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_task_is_io_intensive() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let t = paper_task(&cfg);
+        assert_eq!(t.iterations, 512);
+        let comp = estimate_kernel_time(&cfg, &t.kernels[0].desc).as_millis_f64();
+        let io = cfg.copy_time(t.bytes_in, true, false).as_millis_f64()
+            + cfg.copy_time(t.bytes_out, false, false).as_millis_f64();
+        assert!(io > 5.0 * comp, "io {io} ms vs comp {comp} ms");
+    }
+
+    #[test]
+    fn functional_body_matches_reference() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let (s, x, t) = generate_options(64, 7);
+        let task = functional_task(&cfg, &s, &x, &t);
+        let mut mem = DeviceMemory::new(1 << 20);
+        let base = mem.alloc(task.device_bytes).unwrap();
+        mem.write_bytes(base, task.input.as_ref().unwrap()).unwrap();
+        for k in task.bind_kernels(base) {
+            (k.body.unwrap())(&mut mem);
+        }
+        let calls = mem.read_f32(base.add(task.d2h_offset), 64).unwrap();
+        let (want_calls, _) = reference(&s, &x, &t);
+        assert_eq!(calls, want_calls);
+    }
+
+    #[test]
+    fn generated_options_in_sdk_ranges() {
+        let (s, x, t) = generate_options(1000, 42);
+        assert!(s.iter().all(|&v| (5.0..=30.0).contains(&v)));
+        assert!(x.iter().all(|&v| (1.0..=100.0).contains(&v)));
+        assert!(t.iter().all(|&v| (0.25..=10.0).contains(&v)));
+    }
+}

@@ -1,0 +1,343 @@
+//! NPB CG — conjugate gradient with a sparse SPD matrix (Class S:
+//! NA = 1400, Nit = 15; paper grid size 8; classified compute-intensive).
+//!
+//! Structure follows NPB CG: an outer power-method loop of `Nit`
+//! iterations, each solving `A·z = x` with 25 unpreconditioned CG steps and
+//! updating the shifted-inverse eigenvalue estimate
+//! `zeta = shift + 1/(x·z)`. The sparse matrix is a randomly structured,
+//! symmetric, diagonally dominant CSR matrix of ~`nonzer` entries per row
+//! (NPB's `makea` builds a similar pattern; our generator is simpler but
+//! preserves SPD-ness and row sparsity, which is what drives the kernels).
+//!
+//! The paper's GPU port runs at grid size 8 — 8 blocks on a 14-SM Fermi —
+//! so CG leaves most of the GPU idle and is one of the two biggest winners
+//! from virtualized concurrent execution (paper Fig. 16).
+
+use std::sync::Arc;
+
+use gv_gpu::{DeviceConfig, DeviceMemory, DevicePtr, KernelBody, KernelDesc};
+use gv_sim::SimDuration;
+
+use crate::task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};
+
+/// Paper matrix order (Class S).
+pub const PAPER_NA: usize = 1400;
+/// Nonzeros per row (Class S).
+pub const PAPER_NONZER: usize = 7;
+/// Outer iterations (Class S).
+pub const PAPER_NITER: u32 = 15;
+/// Inner CG steps per outer iteration (NPB `cgitmax`).
+pub const CG_INNER: u32 = 25;
+/// Eigenvalue shift (Class S).
+pub const PAPER_SHIFT: f64 = 10.0;
+/// Paper grid size (Table IV).
+pub const PAPER_GRID: u64 = 8;
+/// Threads per block of the GPU port (8 warps: a lone 8-block grid busies
+/// 8 of 14 SMs at eff 2/3 — the underutilization virtualization exploits).
+pub const PAPER_TPB: u32 = 256;
+/// Context-switch cost (not in Table II; device default range).
+pub const CTX_SWITCH_MS: f64 = 200.0;
+/// Calibrated total GPU compute per Class S task, ms.
+pub const PAPER_TASK_COMPUTE_MS: f64 = 430.0;
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Matrix order.
+    pub n: usize,
+    /// Row start offsets (`n + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<usize>,
+    /// Values.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// `y = A·x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (i, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.vals[idx] * x[self.cols[idx]];
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// Build a random symmetric, diagonally dominant (hence SPD) matrix with
+/// about `nonzer` off-diagonal entries per row. Deterministic in `seed`.
+pub fn make_matrix(n: usize, nonzer: usize, seed: u64) -> Csr {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    // Collect symmetric off-diagonal entries in a dense-row sketch.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..nonzer / 2 {
+            let j = (next() as usize) % n;
+            if j == i {
+                continue;
+            }
+            let v = -((next() >> 40) as f64 / (1u64 << 24) as f64) * 0.5;
+            rows[i].push((j, v));
+            rows[j].push((i, v));
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.sort_by_key(|&(j, _)| j);
+        // Merge duplicate columns.
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+        for &(j, v) in row.iter() {
+            match merged.last_mut() {
+                Some((lj, lv)) if *lj == j => *lv += v,
+                _ => merged.push((j, v)),
+            }
+        }
+        let offdiag_sum: f64 = merged.iter().map(|&(_, v)| v.abs()).sum();
+        // Diagonal dominance → SPD.
+        let mut placed_diag = false;
+        for &(j, v) in &merged {
+            if j > i && !placed_diag {
+                cols.push(i);
+                vals.push(offdiag_sum + 1.0);
+                placed_diag = true;
+            }
+            cols.push(j);
+            vals.push(v);
+        }
+        if !placed_diag {
+            cols.push(i);
+            vals.push(offdiag_sum + 1.0);
+        }
+        row_ptr.push(cols.len());
+    }
+    Csr {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
+}
+
+/// `steps` unpreconditioned CG iterations for `A·z = x` from `z = 0`.
+/// Returns `(z, final residual norm)`.
+pub fn cg_solve(a: &Csr, x: &[f64], steps: u32) -> (Vec<f64>, f64) {
+    let n = a.n;
+    let mut z = vec![0.0; n];
+    let mut r = x.to_vec();
+    let mut p = r.clone();
+    let mut rho: f64 = r.iter().map(|v| v * v).sum();
+    for _ in 0..steps {
+        let q = a.spmv(&p);
+        let pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+        if pq == 0.0 {
+            break;
+        }
+        let alpha = rho / pq;
+        for i in 0..n {
+            z[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let rho_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    (z, rho.sqrt())
+}
+
+/// The full NPB-style CG benchmark: `niter` outer power iterations.
+/// Returns the final `zeta` estimate.
+pub fn run_benchmark(a: &Csr, niter: u32, shift: f64) -> f64 {
+    let n = a.n;
+    let mut x = vec![1.0; n];
+    let mut zeta = 0.0;
+    for _ in 0..niter {
+        let (z, _) = cg_solve(a, &x, CG_INNER);
+        let xz: f64 = x.iter().zip(&z).map(|(a, b)| a * b).sum();
+        zeta = shift + 1.0 / xz;
+        let znorm: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for i in 0..n {
+            x[i] = z[i] / znorm;
+        }
+    }
+    zeta
+}
+
+/// The paper-sized, timing-only task: 15 outer × 25 inner fused
+/// SpMV/vector kernels at grid 8.
+pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
+    let total_kernels = (PAPER_NITER * CG_INNER) as usize;
+    let per_kernel_ms = PAPER_TASK_COMPUTE_MS / total_kernels as f64;
+    let desc = KernelDesc::new("cg-spmv", PAPER_GRID, PAPER_TPB)
+        .regs(26)
+        .with_target_time(cfg, SimDuration::from_millis_f64(per_kernel_ms));
+    let vec_bytes = (PAPER_NA * 8) as u64;
+    let mat_bytes = (PAPER_NA * (PAPER_NONZER + 1) * 16) as u64;
+    GpuTask {
+        name: "CG".into(),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: mat_bytes + 6 * vec_bytes,
+        iterations: 1,
+        bytes_in: mat_bytes + vec_bytes,
+        input: None,
+        bytes_out: vec_bytes + 8, // z and zeta
+        d2h_offset: mat_bytes,
+        kernels: vec![KernelTemplate::timing(desc); total_kernels],
+    }
+}
+
+/// Functional task: runs the benchmark on an `n`-order matrix inside one
+/// kernel body; writes `zeta` (f64) at device offset 0.
+pub fn functional_task(cfg: &DeviceConfig, n: usize, niter: u32, seed: u64) -> GpuTask {
+    let desc = KernelDesc::new("cg-bench", PAPER_GRID, PAPER_TPB)
+        .regs(26)
+        .with_target_time(cfg, SimDuration::from_millis_f64(2.0));
+    let factory: BodyFactory = Arc::new(move |base: DevicePtr| {
+        Arc::new(move |mem: &mut DeviceMemory| {
+            let a = make_matrix(n, PAPER_NONZER, seed);
+            let zeta = run_benchmark(&a, niter, PAPER_SHIFT);
+            mem.write_f64(base, &[zeta]).expect("cg: write zeta");
+        }) as KernelBody
+    });
+    GpuTask {
+        name: format!("CG(n={n})"),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: 256,
+        iterations: 1,
+        bytes_in: 0,
+        input: None,
+        bytes_out: 8,
+        d2h_offset: 0,
+        kernels: vec![KernelTemplate::functional(desc, factory)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = make_matrix(100, PAPER_NONZER, 42);
+        for i in 0..a.n {
+            for idx in a.row_ptr[i]..a.row_ptr[i + 1] {
+                let j = a.cols[idx];
+                let v = a.vals[idx];
+                // Find (j, i).
+                let found = (a.row_ptr[j]..a.row_ptr[j + 1])
+                    .any(|k| a.cols[k] == i && (a.vals[k] - v).abs() < 1e-12);
+                assert!(found, "A[{i}][{j}] present but A[{j}][{i}] missing");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let a = make_matrix(200, PAPER_NONZER, 7);
+        for i in 0..a.n {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for idx in a.row_ptr[i]..a.row_ptr[i + 1] {
+                if a.cols[idx] == i {
+                    diag = a.vals[idx];
+                } else {
+                    off += a.vals[idx].abs();
+                }
+            }
+            assert!(diag > off, "row {i}: diag {diag} ≤ off-diag {off}");
+        }
+    }
+
+    #[test]
+    fn spmv_identity_on_unit_matrix() {
+        let eye = Csr {
+            n: 3,
+            row_ptr: vec![0, 1, 2, 3],
+            cols: vec![0, 1, 2],
+            vals: vec![1.0, 1.0, 1.0],
+        };
+        assert_eq!(eye.spmv(&[4.0, 5.0, 6.0]), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn cg_converges_on_spd_system() {
+        let a = make_matrix(300, PAPER_NONZER, 123);
+        let x = vec![1.0; 300];
+        let (z, rnorm) = cg_solve(&a, &x, 25);
+        // Residual after 25 steps must be far below ||x|| = √300.
+        assert!(rnorm < 1e-6 * (300f64).sqrt(), "rnorm = {rnorm}");
+        // And A·z ≈ x.
+        let az = a.spmv(&z);
+        let err: f64 = az
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "‖Az − x‖ = {err}");
+    }
+
+    #[test]
+    fn zeta_exceeds_shift_and_is_stable() {
+        let a = make_matrix(PAPER_NA, PAPER_NONZER, 1);
+        let z15 = run_benchmark(&a, 15, PAPER_SHIFT);
+        let z16 = run_benchmark(&a, 16, PAPER_SHIFT);
+        assert!(z15 > PAPER_SHIFT);
+        assert!(
+            (z15 - z16).abs() < 1e-9,
+            "power iteration not converged: {z15} vs {z16}"
+        );
+    }
+
+    #[test]
+    fn paper_task_shape_matches_table4() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let t = paper_task(&cfg);
+        assert_eq!(t.kernels[0].desc.grid_blocks, 8);
+        assert_eq!(t.kernels.len(), 375);
+        let total: f64 = t
+            .kernels
+            .iter()
+            .map(|k| gv_gpu::estimate_kernel_time(&cfg, &k.desc).as_millis_f64())
+            .sum();
+        assert!((total - PAPER_TASK_COMPUTE_MS).abs() / PAPER_TASK_COMPUTE_MS < 0.01);
+    }
+
+    #[test]
+    fn functional_body_writes_finite_zeta() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let task = functional_task(&cfg, 120, 3, 9);
+        let mut mem = DeviceMemory::new(1 << 16);
+        let base = mem.alloc(task.device_bytes).unwrap();
+        for k in task.bind_kernels(base) {
+            (k.body.unwrap())(&mut mem);
+        }
+        let zeta = mem.read_f64(base, 1).unwrap()[0];
+        let want = run_benchmark(&make_matrix(120, PAPER_NONZER, 9), 3, PAPER_SHIFT);
+        assert_eq!(zeta, want);
+        assert!(zeta.is_finite() && zeta > PAPER_SHIFT);
+    }
+}

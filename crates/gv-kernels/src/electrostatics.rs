@@ -1,0 +1,249 @@
+//! Electrostatics — direct Coulomb summation (DCS) from VMD's fast
+//! molecular electrostatics (paper Table IV: 100K atoms, Nit = 25,
+//! grid 288; classified compute-intensive).
+//!
+//! Each kernel computes the electrostatic potential on one lattice slice:
+//! every thread owns one lattice point and sums `q_j / r_ij` over all
+//! atoms. At grid size 288 the kernel saturates the C2070 (288 blocks of
+//! 4 warps ≫ the 112-block residency), so the paper observes little
+//! concurrency benefit — gains come from eliminating context-switch and
+//! initialization overheads only.
+
+use std::sync::Arc;
+
+use gv_gpu::{CostSpec, DeviceConfig, DeviceMemory, DevicePtr, KernelBody, KernelDesc};
+use gv_sim::SimDuration;
+
+use crate::task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};
+
+/// Paper atom count.
+pub const PAPER_ATOMS: u64 = 100_000;
+/// Paper iteration (slice) count.
+pub const PAPER_ITERATIONS: u32 = 25;
+/// Paper grid size (Table IV).
+pub const PAPER_GRID: u64 = 288;
+/// Threads per block of the VMD kernel.
+pub const PAPER_TPB: u32 = 128;
+/// Context-switch cost (not in Table II; device default range).
+pub const CTX_SWITCH_MS: f64 = 195.0;
+
+/// One atom: position + charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// Position (Å).
+    pub x: f32,
+    /// Position (Å).
+    pub y: f32,
+    /// Position (Å).
+    pub z: f32,
+    /// Partial charge (e).
+    pub q: f32,
+}
+
+/// Deterministic pseudo-random atoms in a `span³` Å box.
+pub fn generate_atoms(n: usize, span: f32, seed: u64) -> Vec<Atom> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / (1u64 << 24) as f32
+    };
+    (0..n)
+        .map(|_| Atom {
+            x: next() * span,
+            y: next() * span,
+            z: next() * span,
+            q: next() - 0.5,
+        })
+        .collect()
+}
+
+/// CPU reference: potential at each point of an `nx × ny` lattice slice at
+/// height `z`, spacing `h` Å.
+pub fn reference_slice(atoms: &[Atom], nx: usize, ny: usize, z: f32, h: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; nx * ny];
+    for gy in 0..ny {
+        for gx in 0..nx {
+            let px = gx as f32 * h;
+            let py = gy as f32 * h;
+            let mut pot = 0.0f32;
+            for a in atoms {
+                let dx = a.x - px;
+                let dy = a.y - py;
+                let dz = a.z - z;
+                let r2 = dx * dx + dy * dy + dz * dz;
+                pot += a.q / r2.sqrt().max(1e-6);
+            }
+            out[gy * nx + gx] = pot;
+        }
+    }
+    out
+}
+
+fn kernel_desc(cfg: &DeviceConfig, atoms: u64) -> KernelDesc {
+    // ~5 SP-pipe flops per atom per lattice point: 3 subs + 2 FMAs, with
+    // the rsqrt retiring on the SFU pipe in parallel (VMD DCS inner loop).
+    let cost = CostSpec::new(atoms as f64 * 5.0, 16.0);
+    KernelDesc::new("dcs-slice", PAPER_GRID, PAPER_TPB)
+        .regs(28)
+        .with_cost(cfg, &cost)
+}
+
+/// The paper-sized, timing-only task: one DCS kernel per slice iteration,
+/// atom upload once, potential map retrieved at the end.
+pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
+    scaled_task(cfg, PAPER_ATOMS, PAPER_ITERATIONS)
+}
+
+/// A timing-only task over `atoms` atoms and `slices` lattice slices.
+pub fn scaled_task(cfg: &DeviceConfig, atoms: u64, slices: u32) -> GpuTask {
+    let lattice_points = PAPER_GRID * PAPER_TPB as u64; // one point per thread
+    let atom_bytes = atoms * 16;
+    let map_bytes = lattice_points * 4 * slices as u64;
+    GpuTask {
+        name: "Electrostatics".into(),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: atom_bytes + map_bytes,
+        iterations: 1,
+        bytes_in: atom_bytes,
+        input: None,
+        bytes_out: map_bytes,
+        d2h_offset: atom_bytes,
+        kernels: vec![KernelTemplate::timing(kernel_desc(cfg, atoms)); slices as usize],
+    }
+}
+
+/// Functional task: `slices` slices of an `nx × ny` lattice over explicit
+/// atoms (layout `[atoms | map]`).
+pub fn functional_task(
+    cfg: &DeviceConfig,
+    atoms: Vec<Atom>,
+    nx: usize,
+    ny: usize,
+    slices: u32,
+    h: f32,
+) -> GpuTask {
+    let atom_bytes = (atoms.len() * 16) as u64;
+    let slice_bytes = (nx * ny * 4) as u64;
+    let mut input = Vec::with_capacity(atom_bytes as usize);
+    for a in &atoms {
+        for v in [a.x, a.y, a.z, a.q] {
+            input.extend(v.to_le_bytes());
+        }
+    }
+    let atoms = Arc::new(atoms);
+    let mut kernels = Vec::with_capacity(slices as usize);
+    for s in 0..slices {
+        let atoms = Arc::clone(&atoms);
+        let desc = kernel_desc(cfg, atoms.len() as u64);
+        let factory: BodyFactory = Arc::new(move |base: DevicePtr| {
+            let atoms = Arc::clone(&atoms);
+            Arc::new(move |mem: &mut DeviceMemory| {
+                let z = s as f32 * h;
+                let slice = reference_slice(&atoms, nx, ny, z, h);
+                let off = atom_bytes + s as u64 * slice_bytes;
+                mem.write_f32(base.add(off), &slice)
+                    .expect("dcs: write slice");
+            }) as KernelBody
+        });
+        kernels.push(KernelTemplate::functional(desc, factory));
+    }
+    GpuTask {
+        name: "Electrostatics(func)".into(),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: atom_bytes + slice_bytes * slices as u64,
+        iterations: 1,
+        bytes_in: atom_bytes,
+        input: Some(Arc::new(input)),
+        bytes_out: slice_bytes * slices as u64,
+        d2h_offset: atom_bytes,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_positive_charge_gives_coulomb_falloff() {
+        let atoms = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            q: 1.0,
+        }];
+        let slice = reference_slice(&atoms, 3, 1, 0.0, 1.0);
+        // Potential at distance 1 and 2 Å: 1.0 and 0.5.
+        assert!((slice[1] - 1.0).abs() < 1e-6);
+        assert!((slice[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        let a1 = vec![Atom {
+            x: 1.0,
+            y: 2.0,
+            z: 0.5,
+            q: 0.7,
+        }];
+        let a2 = vec![Atom {
+            x: 3.0,
+            y: 0.0,
+            z: 1.5,
+            q: -0.3,
+        }];
+        let both = vec![a1[0], a2[0]];
+        let s1 = reference_slice(&a1, 4, 4, 0.0, 1.0);
+        let s2 = reference_slice(&a2, 4, 4, 0.0, 1.0);
+        let s12 = reference_slice(&both, 4, 4, 0.0, 1.0);
+        for i in 0..16 {
+            assert!((s12[i] - (s1[i] + s2[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn paper_task_saturates_gpu_and_is_compute_bound() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let t = paper_task(&cfg);
+        assert_eq!(t.kernels.len(), 25);
+        assert_eq!(t.kernels[0].desc.grid_blocks, 288);
+        let comp: f64 = t
+            .kernels
+            .iter()
+            .map(|k| gv_gpu::estimate_kernel_time(&cfg, &k.desc).as_millis_f64())
+            .sum();
+        let io = cfg.copy_time(t.bytes_in, true, false).as_millis_f64()
+            + cfg.copy_time(t.bytes_out, false, false).as_millis_f64();
+        assert!(comp > 20.0 * io, "comp {comp} ms vs io {io} ms");
+        // 288 blocks exceed full residency (14 SMs × 8 blocks = 112).
+        assert!(t.kernels[0].desc.grid_blocks > 112);
+    }
+
+    #[test]
+    fn functional_slices_match_reference() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let atoms = generate_atoms(50, 8.0, 3);
+        let task = functional_task(&cfg, atoms.clone(), 4, 4, 2, 2.0);
+        let mut mem = DeviceMemory::new(1 << 20);
+        let base = mem.alloc(task.device_bytes).unwrap();
+        mem.write_bytes(base, task.input.as_ref().unwrap()).unwrap();
+        for k in task.bind_kernels(base) {
+            (k.body.unwrap())(&mut mem);
+        }
+        let got = mem.read_f32(base.add(task.d2h_offset), 32).unwrap();
+        let want0 = reference_slice(&atoms, 4, 4, 0.0, 2.0);
+        let want1 = reference_slice(&atoms, 4, 4, 2.0, 2.0);
+        assert_eq!(&got[..16], &want0[..]);
+        assert_eq!(&got[16..], &want1[..]);
+    }
+
+    #[test]
+    fn atoms_are_deterministic_in_seed() {
+        assert_eq!(generate_atoms(10, 5.0, 9), generate_atoms(10, 5.0, 9));
+        assert_ne!(generate_atoms(10, 5.0, 9), generate_atoms(10, 5.0, 10));
+    }
+}

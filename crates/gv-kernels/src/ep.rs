@@ -1,0 +1,260 @@
+//! NPB EP (Embarrassingly Parallel) — the paper's compute-intensive
+//! microbenchmark.
+//!
+//! EP generates 2^M pairs of NPB-LCG uniforms, maps them to Gaussian
+//! deviates with the Marsaglia polar method, and tallies the deviates into
+//! ten annular bins. The paper runs Class B (M = 30) with a deliberately
+//! tiny grid of **4 blocks** "merely to show the effectiveness of
+//! concurrency under virtualization": 4 blocks occupy 4 of the 14 SMs, so
+//! up to three such kernels execute fully concurrently.
+//!
+//! Paper profile (Table II): `Tinit` 1513.555 ms, `Tdata_in` 0,
+//! `Tcomp` 8951.346 ms, `Tdata_out` ≈ 0, `Tctx_switch` 220.599 ms.
+
+use std::sync::Arc;
+
+use gv_gpu::{DeviceConfig, DeviceMemory, DevicePtr, KernelBody, KernelDesc};
+use gv_sim::SimDuration;
+
+use crate::npb_rng::NpbRng;
+use crate::task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};
+
+/// Paper class: B → M = 30.
+pub const PAPER_M: u32 = 30;
+/// Paper grid size (Table II).
+pub const PAPER_GRID: u64 = 4;
+/// Threads per block in the GPU port.
+pub const PAPER_TPB: u32 = 128;
+/// Paper-measured kernel time, ms (Table II `Tcomp`).
+pub const PAPER_KERNEL_MS: f64 = 8951.346;
+/// Paper-measured per-task context-switch cost, ms (Table II).
+pub const PAPER_CTX_SWITCH_MS: f64 = 220.599;
+/// Bytes of result the task retrieves: sx, sy (f64) + 10 bin counts (u64).
+pub const RESULT_BYTES: u64 = 96;
+
+/// EP tallies: Gaussian sums and annulus bin counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Sum of accepted Gaussian x deviates.
+    pub sx: f64,
+    /// Sum of accepted Gaussian y deviates.
+    pub sy: f64,
+    /// Counts per annulus `l = ⌊max(|x|,|y|)⌋`, l in 0..10.
+    pub q: [u64; 10],
+}
+
+impl EpResult {
+    /// Total accepted pairs.
+    pub fn accepted(&self) -> u64 {
+        self.q.iter().sum()
+    }
+
+    /// Serialize to the task's device/result layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RESULT_BYTES as usize);
+        out.extend(self.sx.to_le_bytes());
+        out.extend(self.sy.to_le_bytes());
+        for c in self.q {
+            out.extend(c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse from the task's result layout.
+    pub fn from_bytes(b: &[u8]) -> EpResult {
+        assert!(b.len() >= RESULT_BYTES as usize);
+        let f = |i: usize| f64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        let u = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        let mut q = [0u64; 10];
+        for (l, slot) in q.iter_mut().enumerate() {
+            *slot = u(16 + 8 * l);
+        }
+        EpResult {
+            sx: f(0),
+            sy: f(8),
+            q,
+        }
+    }
+}
+
+/// Run EP over samples `[first, first+count)` of the canonical sequence.
+/// Each sample consumes exactly two LCG draws (jump-ahead keeps GPU block
+/// partitions identical to the sequential reference).
+pub fn run_range(first: u64, count: u64) -> EpResult {
+    let mut rng = NpbRng::ep_default().jumped(first * 2);
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut q = [0u64; 10];
+    for _ in 0..count {
+        let x1 = 2.0 * rng.next_f64() - 1.0;
+        let x2 = 2.0 * rng.next_f64() - 1.0;
+        let t = x1 * x1 + x2 * x2;
+        if t <= 1.0 {
+            let factor = (-2.0 * t.ln() / t).sqrt();
+            let g1 = x1 * factor;
+            let g2 = x2 * factor;
+            let l = g1.abs().max(g2.abs()) as usize;
+            if l < 10 {
+                q[l] += 1;
+                sx += g1;
+                sy += g2;
+            }
+        }
+    }
+    EpResult { sx, sy, q }
+}
+
+/// Sequential CPU reference over all 2^m samples.
+pub fn reference(m: u32) -> EpResult {
+    run_range(0, 1u64 << m)
+}
+
+/// Merge per-partition tallies (order-sensitive float sums are added in
+/// partition order, mirroring the GPU reduction).
+pub fn merge(parts: &[EpResult]) -> EpResult {
+    let mut acc = EpResult {
+        sx: 0.0,
+        sy: 0.0,
+        q: [0; 10],
+    };
+    for p in parts {
+        acc.sx += p.sx;
+        acc.sy += p.sy;
+        for l in 0..10 {
+            acc.q[l] += p.q[l];
+        }
+    }
+    acc
+}
+
+/// The paper-sized, timing-only task (Class B, grid 4).
+pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
+    timing_task(cfg, PAPER_KERNEL_MS)
+}
+
+/// A timing-only EP task with an explicit kernel-time target (ms).
+pub fn timing_task(cfg: &DeviceConfig, kernel_ms: f64) -> GpuTask {
+    let desc = KernelDesc::new("ep", PAPER_GRID, PAPER_TPB)
+        .regs(24)
+        .with_target_time(cfg, SimDuration::from_millis_f64(kernel_ms));
+    GpuTask {
+        name: "EP".into(),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(PAPER_CTX_SWITCH_MS),
+        device_bytes: RESULT_BYTES * PAPER_GRID,
+        iterations: 1,
+        bytes_in: 0,
+        input: None,
+        bytes_out: RESULT_BYTES,
+        d2h_offset: 0,
+        kernels: vec![KernelTemplate::timing(desc)],
+    }
+}
+
+/// A functional EP task over 2^m samples: the device body partitions the
+/// sample range over the grid exactly like the GPU port (block b handles
+/// a contiguous chunk via LCG jump-ahead) and writes merged tallies at
+/// device offset 0.
+pub fn functional_task(cfg: &DeviceConfig, m: u32) -> GpuTask {
+    let mut task = timing_task(
+        cfg,
+        PAPER_KERNEL_MS * (1u64 << m) as f64 / (1u64 << PAPER_M) as f64,
+    );
+    task.name = format!("EP(m={m})");
+    let n = 1u64 << m;
+    let grid = PAPER_GRID;
+    let factory: BodyFactory = Arc::new(move |base: DevicePtr| {
+        Arc::new(move |mem: &mut DeviceMemory| {
+            let per_block = n / grid;
+            let parts: Vec<EpResult> = (0..grid)
+                .map(|b| {
+                    let first = b * per_block;
+                    let count = if b == grid - 1 { n - first } else { per_block };
+                    run_range(first, count)
+                })
+                .collect();
+            let merged = merge(&parts);
+            mem.write_bytes(base, &merged.to_bytes())
+                .expect("ep: write result");
+        }) as KernelBody
+    });
+    task.kernels = vec![KernelTemplate::functional(
+        task.kernels[0].desc.clone(),
+        factory,
+    )];
+    task
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_gpu::estimate_kernel_time;
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        // Marsaglia polar accepts with probability π/4 ≈ 0.785.
+        let r = reference(16);
+        let rate = r.accepted() as f64 / (1u64 << 16) as f64;
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate = {rate}"
+        );
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let r = reference(16);
+        let n = r.accepted() as f64;
+        // Mean of a standard Gaussian ≈ 0 (±5σ/√n).
+        assert!((r.sx / n).abs() < 5.0 / n.sqrt(), "sx/n = {}", r.sx / n);
+        assert!((r.sy / n).abs() < 5.0 / n.sqrt());
+        // Nearly all mass below |g| < 4.
+        assert_eq!(r.q[6..].iter().sum::<u64>(), 0);
+        assert!(r.q[0] > r.q[1] && r.q[1] > r.q[2]);
+    }
+
+    #[test]
+    fn partitioned_equals_sequential() {
+        let n = 1u64 << 14;
+        let parts: Vec<EpResult> = (0..4).map(|b| run_range(b * n / 4, n / 4)).collect();
+        let merged = merge(&parts);
+        let seq = reference(14);
+        assert_eq!(merged.q, seq.q);
+        assert!((merged.sx - seq.sx).abs() < 1e-9);
+        assert!((merged.sy - seq.sy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_bytes_roundtrip() {
+        let r = reference(12);
+        assert_eq!(EpResult::from_bytes(&r.to_bytes()), r);
+    }
+
+    #[test]
+    fn paper_task_calibrated_to_table2() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let t = paper_task(&cfg);
+        let est = estimate_kernel_time(&cfg, &t.kernels[0].desc);
+        let err = (est.as_millis_f64() - PAPER_KERNEL_MS).abs() / PAPER_KERNEL_MS;
+        assert!(err < 1e-6, "EP kernel {est} vs {PAPER_KERNEL_MS} ms");
+        assert_eq!(t.bytes_in, 0);
+        assert_eq!(t.kernels[0].desc.grid_blocks, 4);
+    }
+
+    #[test]
+    fn functional_body_matches_reference() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let task = functional_task(&cfg, 12);
+        let mut mem = DeviceMemory::new(1 << 16);
+        let base = mem.alloc(task.device_bytes).unwrap();
+        for k in task.bind_kernels(base) {
+            (k.body.unwrap())(&mut mem);
+        }
+        let mut out = vec![0u8; RESULT_BYTES as usize];
+        mem.read_bytes(base, &mut out).unwrap();
+        let got = EpResult::from_bytes(&out);
+        let want = reference(12);
+        assert_eq!(got.q, want.q);
+        assert!((got.sx - want.sx).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gv-kernels — the paper's benchmark workloads
+//!
+//! All seven benchmarks the paper evaluates (Table II microbenchmarks +
+//! Table IV applications), each with:
+//!
+//! * the paper's exact problem size and grid geometry;
+//! * an analytic or Table II-calibrated timing profile;
+//! * a CPU reference implementation;
+//! * a *functional* device body (for reduced sizes) whose results are
+//!   bit-checked against the reference in tests and integration tests.
+//!
+//! [`task::GpuTask`] is the declarative unit executors run: H2D → kernels →
+//! D2H cycles, one per SPMD process. [`registry::Benchmark`] is the
+//! catalogue.
+//!
+//! ```
+//! use gv_gpu::DeviceConfig;
+//! use gv_kernels::{Benchmark, BenchmarkId};
+//!
+//! let cfg = DeviceConfig::tesla_c2070_paper();
+//! let task = Benchmark::paper_task(BenchmarkId::VecAdd, &cfg);
+//! assert_eq!(task.kernels[0].desc.grid_blocks, 50_000); // Table II
+//! assert_eq!(task.bytes_in, 400_000_000);               // two 200 MB operands
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blackscholes;
+pub mod cg;
+pub mod electrostatics;
+pub mod ep;
+pub mod mg;
+pub mod mm;
+pub mod npb_rng;
+pub mod registry;
+pub mod task;
+pub mod vecadd;
+
+pub use registry::{Benchmark, BenchmarkId};
+pub use task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};

@@ -1,0 +1,429 @@
+//! NPB MG — multigrid V-cycles on a 3D periodic grid (Class S: 32³,
+//! Nit = 4; paper grid size 64; classified compute-intensive).
+//!
+//! The functional implementation is a faithful small-scale multigrid
+//! solver for the discrete Poisson-like operator NPB uses: 27-point
+//! stencils grouped by neighbour distance class, full-weighting
+//! restriction, trilinear prolongation, and the NPB smoother. The timing
+//! model represents each iteration's V-cycle as the paper's GPU port
+//! does — a sequence of stencil-kernel launches at grid size 64, each
+//! calibrated so a full Class S task costs ≈ 280 ms of GPU compute (an
+//! unoptimized Fermi-era port; see EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use gv_gpu::{DeviceConfig, DeviceMemory, DevicePtr, KernelBody, KernelDesc};
+use gv_sim::SimDuration;
+
+use crate::task::{BodyFactory, GpuTask, KernelTemplate, WorkloadClass};
+
+/// Paper problem edge (Class S).
+pub const PAPER_N: usize = 32;
+/// Paper iteration count (Table IV).
+pub const PAPER_ITERATIONS: u32 = 4;
+/// Paper grid size (Table IV) — the finest-level kernels.
+pub const PAPER_GRID: u64 = 64;
+/// Grid size of coarse-level V-cycle kernels (16³ and below).
+pub const COARSE_GRID: u64 = 4;
+/// Threads per block of the GPU port (one warp; 16 points per thread at
+/// the finest level — low occupancy is what the GVM's concurrent kernels
+/// exploit).
+pub const PAPER_TPB: u32 = 32;
+/// Context-switch cost (not in Table II; device default range).
+pub const CTX_SWITCH_MS: f64 = 190.0;
+/// Calibrated total GPU compute per Class S task, ms.
+pub const PAPER_TASK_COMPUTE_MS: f64 = 280.0;
+/// Share of task compute spent in finest-level (grid 64) kernels; the
+/// rest sits in coarse-level (grid 4) kernels that badly underutilize the
+/// GPU — multigrid's classic GPU pathology.
+pub const FINE_FRACTION: f64 = 0.64;
+
+/// NPB operator coefficients `a` (distance classes 0–3).
+pub const A_COEFF: [f64; 4] = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+/// NPB Class S smoother coefficients `c`.
+pub const C_COEFF: [f64; 4] = [-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0];
+
+/// A cubic periodic grid of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    /// Edge length.
+    pub n: usize,
+    /// Row-major values, `n³` of them.
+    pub data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// A zero grid of edge `n`.
+    pub fn zeros(n: usize) -> Self {
+        Grid3 {
+            n,
+            data: vec![0.0; n * n * n],
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: isize, j: isize, k: isize) -> f64 {
+        let n = self.n as isize;
+        let w = |x: isize| ((x % n + n) % n) as usize;
+        self.data[(w(i) * self.n + w(j)) * self.n + w(k)]
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Apply a 27-point distance-class stencil: for each point, `co[0]`×center
+/// + `co[1]`×Σ(6 faces) + `co[2]`×Σ(12 edges) + `co[3]`×Σ(8 corners).
+pub fn apply_stencil(src: &Grid3, co: [f64; 4]) -> Grid3 {
+    let n = src.n;
+    let mut out = Grid3::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let (i, j, k) = (i as isize, j as isize, k as isize);
+                let mut faces = 0.0;
+                let mut edges = 0.0;
+                let mut corners = 0.0;
+                for di in -1isize..=1 {
+                    for dj in -1isize..=1 {
+                        for dk in -1isize..=1 {
+                            let d = di.abs() + dj.abs() + dk.abs();
+                            let v = src.at(i + di, j + dj, k + dk);
+                            match d {
+                                1 => faces += v,
+                                2 => edges += v,
+                                3 => corners += v,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                let center = src.at(i, j, k);
+                let idx = out.idx(i as usize, j as usize, k as usize);
+                out.data[idx] = co[0] * center + co[1] * faces + co[2] * edges + co[3] * corners;
+            }
+        }
+    }
+    out
+}
+
+/// `resid`: r = v − A·u.
+pub fn resid(v: &Grid3, u: &Grid3) -> Grid3 {
+    let au = apply_stencil(u, A_COEFF);
+    let mut r = Grid3::zeros(v.n);
+    for (idx, slot) in r.data.iter_mut().enumerate() {
+        *slot = v.data[idx] - au.data[idx];
+    }
+    r
+}
+
+/// `psinv`: u ← u + S·r (NPB smoother).
+pub fn psinv(u: &mut Grid3, r: &Grid3) {
+    let sr = apply_stencil(r, C_COEFF);
+    for (idx, slot) in u.data.iter_mut().enumerate() {
+        *slot += sr.data[idx];
+    }
+}
+
+/// `rprj3`: full-weighting restriction to a grid of half the edge.
+pub fn rprj3(fine: &Grid3) -> Grid3 {
+    let nc = fine.n / 2;
+    let mut coarse = Grid3::zeros(nc);
+    for i in 0..nc {
+        for j in 0..nc {
+            for k in 0..nc {
+                let (fi, fj, fk) = (2 * i as isize, 2 * j as isize, 2 * k as isize);
+                let mut acc = 0.0;
+                for di in -1isize..=1 {
+                    for dj in -1isize..=1 {
+                        for dk in -1isize..=1 {
+                            let d = di.abs() + dj.abs() + dk.abs();
+                            let w = match d {
+                                0 => 8.0,
+                                1 => 4.0,
+                                2 => 2.0,
+                                _ => 1.0,
+                            } / 64.0;
+                            acc += w * fine.at(fi + di, fj + dj, fk + dk);
+                        }
+                    }
+                }
+                let idx = coarse.idx(i, j, k);
+                coarse.data[idx] = acc;
+            }
+        }
+    }
+    coarse
+}
+
+/// `interp`: trilinear prolongation to a grid of double the edge.
+pub fn interp(coarse: &Grid3) -> Grid3 {
+    let nf = coarse.n * 2;
+    let mut fine = Grid3::zeros(nf);
+    for i in 0..nf {
+        for j in 0..nf {
+            for k in 0..nf {
+                let (ci, cj, ck) = (i as isize, j as isize, k as isize);
+                // Each fine point averages the coarse points that bracket
+                // it along each odd axis (1, 2, 4 or 8 contributors).
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for di in 0..=(i % 2) as isize {
+                    for dj in 0..=(j % 2) as isize {
+                        for dk in 0..=(k % 2) as isize {
+                            acc += coarse.at(ci / 2 + di, cj / 2 + dj, ck / 2 + dk);
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                let idx = fine.idx(i, j, k);
+                fine.data[idx] = acc / cnt;
+            }
+        }
+    }
+    fine
+}
+
+/// One V-cycle: returns the updated solution `u` for right-hand side `v`.
+pub fn v_cycle(u: &Grid3, v: &Grid3) -> Grid3 {
+    let mut u = u.clone();
+    // Descend: residuals restricted to the coarsest level (edge 2).
+    let mut residuals = vec![resid(v, &u)];
+    while residuals.last().expect("non-empty").n > 2 {
+        let next = rprj3(residuals.last().expect("non-empty"));
+        residuals.push(next);
+    }
+    // Coarsest solve: one smoother application.
+    let mut correction = Grid3::zeros(2);
+    psinv(&mut correction, residuals.last().expect("non-empty"));
+    // Ascend: prolongate and smooth against the stored residuals.
+    for level in (0..residuals.len() - 1).rev() {
+        correction = interp(&correction);
+        let r = &residuals[level];
+        // r_level' = r_level − A·correction, then smooth.
+        let acorr = apply_stencil(&correction, A_COEFF);
+        let mut r2 = Grid3::zeros(r.n);
+        for (idx, slot) in r2.data.iter_mut().enumerate() {
+            *slot = r.data[idx] - acorr.data[idx];
+        }
+        psinv(&mut correction, &r2);
+    }
+    for (idx, slot) in u.data.iter_mut().enumerate() {
+        *slot += correction.data[idx];
+    }
+    u
+}
+
+/// The NPB-style Class S right-hand side: +1/−1 charges at fixed
+/// pseudo-random lattice points (deterministic here).
+pub fn class_s_rhs(n: usize) -> Grid3 {
+    let mut v = Grid3::zeros(n);
+    let mut state = 314_159u64;
+    let mut next = |m: usize| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        ((state >> 33) as usize) % m
+    };
+    for charge in 0..20 {
+        let (i, j, k) = (next(n), next(n), next(n));
+        let idx = v.idx(i, j, k);
+        v.data[idx] = if charge % 2 == 0 { 1.0 } else { -1.0 };
+    }
+    v
+}
+
+/// Kernel launches in one Class S V-cycle iteration, matching the GPU
+/// port's decomposition (resid + 4 restrictions + bottom smooth +
+/// 4×(interp, resid, psinv)).
+pub fn kernels_per_iteration(n: usize) -> usize {
+    let levels = (n as f64).log2() as usize - 1; // 32 → 4 descents to edge 2
+    1 + levels + 1 + 3 * levels
+}
+
+/// The paper-sized, timing-only task. Each of the 4 iterations runs one
+/// V-cycle: 4 finest-level kernels (grid 64) and 14 coarse-level kernels
+/// (grid 4), with per-kernel times calibrated so a task totals
+/// [`PAPER_TASK_COMPUTE_MS`] split [`FINE_FRACTION`] fine / rest coarse.
+pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
+    let fine_per_iter = 4u32;
+    let coarse_per_iter = (kernels_per_iteration(PAPER_N) as u32) - fine_per_iter;
+    let fine_total = fine_per_iter * PAPER_ITERATIONS;
+    let coarse_total = coarse_per_iter * PAPER_ITERATIONS;
+    let fine_ms = PAPER_TASK_COMPUTE_MS * FINE_FRACTION / fine_total as f64;
+    let coarse_ms = PAPER_TASK_COMPUTE_MS * (1.0 - FINE_FRACTION) / coarse_total as f64;
+    let fine = KernelDesc::new("mg-fine", PAPER_GRID, PAPER_TPB)
+        .regs(24)
+        .with_target_time(cfg, SimDuration::from_millis_f64(fine_ms));
+    let coarse = KernelDesc::new("mg-coarse", COARSE_GRID, PAPER_TPB)
+        .regs(24)
+        .with_target_time(cfg, SimDuration::from_millis_f64(coarse_ms));
+    // V-cycle order: top resid (fine), descents + bottom + most ascents
+    // (coarse), final top-level interp/resid/psinv (fine).
+    let mut kernels = Vec::new();
+    for _ in 0..PAPER_ITERATIONS {
+        kernels.push(KernelTemplate::timing(fine.clone()));
+        for _ in 0..coarse_per_iter {
+            kernels.push(KernelTemplate::timing(coarse.clone()));
+        }
+        for _ in 0..(fine_per_iter - 1) {
+            kernels.push(KernelTemplate::timing(fine.clone()));
+        }
+    }
+    let bytes = (PAPER_N * PAPER_N * PAPER_N * 8) as u64;
+    GpuTask {
+        name: "MG".into(),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: 4 * bytes,
+        iterations: 1,
+        bytes_in: 2 * bytes, // u and v
+        input: None,
+        bytes_out: bytes, // final u
+        d2h_offset: 0,
+        kernels,
+    }
+}
+
+/// Functional task: `iterations` V-cycles on an `n³` grid with the Class S
+/// style RHS (layout `[u | v]`; result u written back in place).
+pub fn functional_task(cfg: &DeviceConfig, n: usize, iterations: u32) -> GpuTask {
+    let bytes = (n * n * n * 8) as u64;
+    let v = class_s_rhs(n);
+    let u0 = Grid3::zeros(n);
+    let mut input = Vec::with_capacity(2 * bytes as usize);
+    input.extend(u0.data.iter().flat_map(|x| x.to_le_bytes()));
+    input.extend(v.data.iter().flat_map(|x| x.to_le_bytes()));
+
+    let desc = KernelDesc::new("mg-vcycle", PAPER_GRID.min(n as u64), PAPER_TPB)
+        .regs(24)
+        .with_target_time(cfg, SimDuration::from_millis_f64(1.0));
+    let factory: BodyFactory = Arc::new(move |base: DevicePtr| {
+        Arc::new(move |mem: &mut DeviceMemory| {
+            let cells = n * n * n;
+            let u_data = mem.read_f64(base, cells).expect("mg: read u");
+            let v_data = mem
+                .read_f64(base.add(8 * cells as u64), cells)
+                .expect("mg: read v");
+            let u = Grid3 { n, data: u_data };
+            let v = Grid3 { n, data: v_data };
+            let u2 = v_cycle(&u, &v);
+            mem.write_f64(base, &u2.data).expect("mg: write u");
+        }) as KernelBody
+    });
+    GpuTask {
+        name: format!("MG(n={n})"),
+        class: WorkloadClass::ComputeIntensive,
+        ctx_switch_cost: SimDuration::from_millis_f64(CTX_SWITCH_MS),
+        device_bytes: 2 * bytes,
+        iterations: 1,
+        bytes_in: 2 * bytes,
+        input: Some(Arc::new(input)),
+        bytes_out: bytes,
+        d2h_offset: 0,
+        kernels: vec![KernelTemplate::functional(desc, factory); iterations as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_of_constant_field_scales_by_coefficient_sum() {
+        let n = 8;
+        let mut g = Grid3::zeros(n);
+        g.data.fill(2.0);
+        let out = apply_stencil(&g, A_COEFF);
+        let sum = A_COEFF[0] + 6.0 * A_COEFF[1] + 12.0 * A_COEFF[2] + 8.0 * A_COEFF[3];
+        for v in &out.data {
+            assert!((v - 2.0 * sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_constant_fields() {
+        let mut g = Grid3::zeros(8);
+        g.data.fill(3.5);
+        let c = rprj3(&g);
+        assert_eq!(c.n, 4);
+        for v in &c.data {
+            assert!((v - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_preserves_constant_fields() {
+        let mut g = Grid3::zeros(4);
+        g.data.fill(-1.25);
+        let f = interp(&g);
+        assert_eq!(f.n, 8);
+        for v in &f.data {
+            assert!((v + 1.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual() {
+        let n = 16;
+        let v = class_s_rhs(n);
+        let u0 = Grid3::zeros(n);
+        let r0 = resid(&v, &u0).norm();
+        let mut u = u0;
+        for _ in 0..4 {
+            u = v_cycle(&u, &v);
+        }
+        let r4 = resid(&v, &u).norm();
+        assert!(
+            r4 < 0.5 * r0,
+            "V-cycles failed to converge: r0 = {r0}, r4 = {r4}"
+        );
+    }
+
+    #[test]
+    fn kernel_count_matches_vcycle_structure() {
+        // 32³: 4 descents → 1 + 4 + 1 + 12 = 18 kernels per iteration.
+        assert_eq!(kernels_per_iteration(32), 18);
+        assert_eq!(kernels_per_iteration(16), 14);
+    }
+
+    #[test]
+    fn paper_task_compute_calibrated() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let t = paper_task(&cfg);
+        assert_eq!(t.kernels.len(), 18 * 4);
+        let total: f64 = t
+            .kernels
+            .iter()
+            .map(|k| gv_gpu::estimate_kernel_time(&cfg, &k.desc).as_millis_f64())
+            .sum();
+        let err = (total - PAPER_TASK_COMPUTE_MS).abs() / PAPER_TASK_COMPUTE_MS;
+        assert!(err < 0.01, "MG total compute {total} ms");
+    }
+
+    #[test]
+    fn functional_body_runs_one_vcycle() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let n = 8;
+        let task = functional_task(&cfg, n, 1);
+        let mut mem = DeviceMemory::new(1 << 22);
+        let base = mem.alloc(task.device_bytes).unwrap();
+        mem.write_bytes(base, task.input.as_ref().unwrap()).unwrap();
+        for k in task.bind_kernels(base) {
+            (k.body.unwrap())(&mut mem);
+        }
+        let got = Grid3 {
+            n,
+            data: mem.read_f64(base, n * n * n).unwrap(),
+        };
+        let want = v_cycle(&Grid3::zeros(n), &class_s_rhs(n));
+        assert_eq!(got, want);
+    }
+}

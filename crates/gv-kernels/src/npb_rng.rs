@@ -1,0 +1,141 @@
+//! The NAS Parallel Benchmarks linear congruential generator.
+//!
+//! NPB's `randlc`: x_{k+1} = a·x_k mod 2^46 with a = 5^13, returning
+//! uniform doubles x·2^-46 in (0, 1). The generator is exactly
+//! reproducible and supports O(log n) jump-ahead (`a^n mod 2^46`), which is
+//! how both the CPU reference and the simulated GPU blocks of EP carve the
+//! sequence into independent chunks — each GPU block starts at seed
+//! `a^(first_sample·2) · s mod 2^46`, exactly like the real GPU port.
+
+/// Modulus 2^46.
+const M46: u64 = 1 << 46;
+const MASK46: u64 = M46 - 1;
+
+/// The NPB multiplier a = 5^13.
+pub const NPB_A: u64 = 1_220_703_125;
+
+/// The NPB EP seed s = 271828183.
+pub const NPB_SEED: u64 = 271_828_183;
+
+/// 2^-46 as f64.
+const R46: f64 = 1.0 / M46 as f64;
+
+/// Multiply mod 2^46.
+#[inline]
+fn mulmod46(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) & MASK46 as u128) as u64
+}
+
+/// a^n mod 2^46 by binary exponentiation.
+pub fn pow_mod46(mut a: u64, mut n: u64) -> u64 {
+    let mut acc: u64 = 1;
+    a &= MASK46;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = mulmod46(acc, a);
+        }
+        a = mulmod46(a, a);
+        n >>= 1;
+    }
+    acc
+}
+
+/// The NPB LCG state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpbRng {
+    x: u64,
+}
+
+impl NpbRng {
+    /// Start from `seed` (NPB uses 271828183 for EP).
+    pub fn new(seed: u64) -> Self {
+        NpbRng { x: seed & MASK46 }
+    }
+
+    /// The canonical EP generator.
+    pub fn ep_default() -> Self {
+        Self::new(NPB_SEED)
+    }
+
+    /// Current raw state.
+    pub fn state(&self) -> u64 {
+        self.x
+    }
+
+    /// `randlc`: advance once, returning a uniform double in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = mulmod46(self.x, NPB_A);
+        self.x as f64 * R46
+    }
+
+    /// Jump the state forward by `n` steps in O(log n).
+    pub fn skip(&mut self, n: u64) {
+        let an = pow_mod46(NPB_A, n);
+        self.x = mulmod46(self.x, an);
+    }
+
+    /// A generator positioned `n` steps after this one.
+    pub fn jumped(&self, n: u64) -> NpbRng {
+        let mut c = *self;
+        c.skip(n);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_values_are_in_unit_interval_and_deterministic() {
+        let mut a = NpbRng::ep_default();
+        let mut b = NpbRng::ep_default();
+        for _ in 0..1000 {
+            let va = a.next_f64();
+            let vb = b.next_f64();
+            assert_eq!(va, vb);
+            assert!(va > 0.0 && va < 1.0);
+        }
+    }
+
+    #[test]
+    fn skip_equals_sequential_advance() {
+        let mut seq = NpbRng::ep_default();
+        for _ in 0..12_345 {
+            seq.next_f64();
+        }
+        let jumped = NpbRng::ep_default().jumped(12_345);
+        assert_eq!(seq.state(), jumped.state());
+    }
+
+    #[test]
+    fn pow_identity_cases() {
+        assert_eq!(pow_mod46(NPB_A, 0), 1);
+        assert_eq!(pow_mod46(NPB_A, 1), NPB_A);
+        // a^2 = a·a.
+        assert_eq!(pow_mod46(NPB_A, 2), mulmod46(NPB_A, NPB_A));
+    }
+
+    #[test]
+    fn partitioned_streams_tile_the_sequence() {
+        // 4 chunks of 100 draws each must equal 400 sequential draws.
+        let mut seq = NpbRng::ep_default();
+        let sequential: Vec<f64> = (0..400).map(|_| seq.next_f64()).collect();
+        let mut tiled = Vec::new();
+        for chunk in 0..4u64 {
+            let mut rng = NpbRng::ep_default().jumped(chunk * 100);
+            for _ in 0..100 {
+                tiled.push(rng.next_f64());
+            }
+        }
+        assert_eq!(sequential, tiled);
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = NpbRng::ep_default();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+}

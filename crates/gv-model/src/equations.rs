@@ -1,0 +1,174 @@
+//! The paper's analytical execution model, Eqs. (1)–(6).
+//!
+//! * Eq. (1): conventional sharing — serialized cycles plus context
+//!   switches plus the one-time initialization.
+//! * Eqs. (2)/(3): virtualized execution for the two pipeline regimes
+//!   (whichever transfer direction dominates becomes the steady-state
+//!   bottleneck).
+//! * Eq. (4): their closed combination.
+//! * Eq. (5): speedup.
+//! * Eq. (6): the upper bound `S_max` as `Ntask → ∞`.
+
+use crate::params::ExecutionProfile;
+
+/// The analytical model for one benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupModel {
+    /// The measured profile the model is evaluated on.
+    pub profile: ExecutionProfile,
+}
+
+impl SpeedupModel {
+    /// Wrap a profile.
+    pub fn new(profile: ExecutionProfile) -> Self {
+        assert!(profile.is_valid(), "invalid execution profile");
+        SpeedupModel { profile }
+    }
+
+    /// Eq. (1): `Ttotal_no_vt` for `n` tasks, in ms.
+    ///
+    /// `(n−1)(Tctx + Tin + Tcomp + Tout) + Tinit + Tin + Tcomp + Tout`
+    pub fn total_no_vt(&self, n: u32) -> f64 {
+        assert!(n >= 1);
+        let p = &self.profile;
+        (n as f64 - 1.0) * (p.t_ctx_switch + p.cycle()) + p.t_init + p.cycle()
+    }
+
+    /// Eq. (2): virtualized total when `Tin ≥ Tout` (H2D-bound pipeline).
+    pub fn total_vt_in_bound(&self, n: u32) -> f64 {
+        let p = &self.profile;
+        n as f64 * p.t_data_in + p.t_comp + p.t_data_out
+    }
+
+    /// Eq. (3): virtualized total when `Tin < Tout` (D2H-bound pipeline).
+    pub fn total_vt_out_bound(&self, n: u32) -> f64 {
+        let p = &self.profile;
+        p.t_data_in + p.t_comp + n as f64 * p.t_data_out
+    }
+
+    /// Eq. (4): `Ttotal_vt = n·MAX(Tin,Tout) + Tcomp + MIN(Tin,Tout)`.
+    pub fn total_vt(&self, n: u32) -> f64 {
+        assert!(n >= 1);
+        let p = &self.profile;
+        n as f64 * p.max_io() + p.t_comp + p.min_io()
+    }
+
+    /// Eq. (5): theoretical speedup `S = Ttotal_no_vt / Ttotal_vt`.
+    pub fn speedup(&self, n: u32) -> f64 {
+        self.total_no_vt(n) / self.total_vt(n)
+    }
+
+    /// Eq. (6): `S_max = (Tctx + Tin + Tcomp + Tout) / MAX(Tin, Tout)`,
+    /// the `n → ∞` limit of Eq. (5). Infinite for zero-I/O profiles.
+    pub fn s_max(&self) -> f64 {
+        let p = &self.profile;
+        (p.t_ctx_switch + p.cycle()) / p.max_io()
+    }
+
+    /// Relative deviation between a measured speedup and the theoretical
+    /// one at `n` tasks (paper Table III's "Theoretical Deviation").
+    pub fn deviation(&self, n: u32, measured_speedup: f64) -> f64 {
+        let s = self.speedup(n);
+        (s - measured_speedup).abs() / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecadd() -> SpeedupModel {
+        SpeedupModel::new(ExecutionProfile::vecadd_paper())
+    }
+
+    fn ep() -> SpeedupModel {
+        SpeedupModel::new(ExecutionProfile::ep_paper())
+    }
+
+    #[test]
+    fn eq4_combines_eq2_and_eq3() {
+        for n in 1..=16 {
+            let m = vecadd();
+            // vecadd: Tin > Tout → Eq. 2 branch.
+            assert!((m.total_vt(n) - m.total_vt_in_bound(n)).abs() < 1e-9);
+            let m = SpeedupModel::new(ExecutionProfile {
+                t_data_in: 10.0,
+                t_data_out: 50.0,
+                ..ExecutionProfile::vecadd_paper()
+            });
+            assert!((m.total_vt(n) - m.total_vt_out_bound(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table3_theoretical_speedups_reproduced() {
+        // Paper Table III, EP column: plugging the paper's own Table II
+        // numbers into its own Eq. (5) gives exactly the published 8.341 —
+        // strong validation of the equation implementation.
+        let s_ep = ep().speedup(8);
+        assert!(
+            (s_ep - 8.341).abs() < 0.01,
+            "EP theoretical speedup {s_ep}, paper says 8.341"
+        );
+        // VectorAdd: the same substitution yields 3.621, not the published
+        // 2.721 — the paper's printed value is not derivable from its own
+        // Table II inputs (see EXPERIMENTS.md). We pin our arithmetic.
+        let s_vecadd = vecadd().speedup(8);
+        assert!(
+            (s_vecadd - 3.621).abs() < 0.01,
+            "VectorAdd theoretical speedup from Table II inputs is {s_vecadd}"
+        );
+    }
+
+    #[test]
+    fn speedup_at_least_one() {
+        for n in 1..=64 {
+            assert!(vecadd().speedup(n) >= 1.0);
+            assert!(ep().speedup(n) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_converges_to_smax_at_large_n() {
+        // Note the direction: with the full (all-process) Tinit in Eq. (1),
+        // S(n) can exceed S_max at small n — the one-time initialization
+        // term inflates the numerator faster than n amortizes it. The
+        // limit still holds.
+        let m = vecadd();
+        let smax = m.s_max();
+        assert!(m.speedup(8) > smax, "Tinit dominates at n = 8");
+        let s_big = m.speedup(10_000_000);
+        assert!((smax - s_big).abs() / smax < 1e-3);
+    }
+
+    #[test]
+    fn ep_smax_is_huge() {
+        // EP's max I/O is 55 ns → S_max ≈ 167 million.
+        assert!(ep().s_max() > 1.0e8);
+    }
+
+    #[test]
+    fn no_vt_grows_linearly_with_ctx_switch() {
+        let m = vecadd();
+        let d = m.total_no_vt(9) - m.total_no_vt(8);
+        let p = ExecutionProfile::vecadd_paper();
+        assert!((d - (p.t_ctx_switch + p.cycle())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_matches_definition() {
+        let m = vecadd();
+        let s = m.speedup(8);
+        assert!((m.deviation(8, s) - 0.0).abs() < 1e-12);
+        assert!((m.deviation(8, s * 0.8) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid execution profile")]
+    fn invalid_profile_rejected() {
+        SpeedupModel::new(ExecutionProfile {
+            t_init: -1.0,
+            ..ExecutionProfile::vecadd_paper()
+        });
+    }
+}

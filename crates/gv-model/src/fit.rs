@@ -1,0 +1,130 @@
+//! Extracting model parameters from measurements.
+//!
+//! The paper derives its Table II profile by hand from microbenchmarks;
+//! this module automates both directions:
+//!
+//! * [`profile_from_phases`] assembles an [`ExecutionProfile`] from the
+//!   phase measurements the harness produces;
+//! * [`fit_linear`] least-squares fits `turnaround(n) = a + b·n`, which for
+//!   the conventional scheme recovers `b ≈ Tctx + Tin + Tcomp + Tout`
+//!   (Eq. 1's slope) and for the virtualized scheme `b ≈ MAX(Tin, Tout)`
+//!   (Eq. 4's slope) — a cross-check the paper performs only visually in
+//!   Fig. 9.
+
+use crate::params::ExecutionProfile;
+
+/// Assemble a profile from per-phase measurements (ms).
+pub fn profile_from_phases(
+    t_init_total: f64,
+    t_ctx_switch: f64,
+    t_data_in: f64,
+    t_comp: f64,
+    t_data_out: f64,
+) -> ExecutionProfile {
+    ExecutionProfile {
+        t_init: t_init_total,
+        t_ctx_switch,
+        t_data_in,
+        t_comp,
+        t_data_out,
+    }
+}
+
+/// Ordinary least squares for `y = a + b·x`. Returns `(a, b)`.
+/// Panics on fewer than two points or zero variance in `x`.
+pub fn fit_linear(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Coefficient of determination R² for a linear fit.
+pub fn r_squared(points: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let n = points.len() as f64;
+    let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Recover the per-task slope of a conventional-sharing turnaround series
+/// (`(n, turnaround_ms)` pairs) — an estimate of `Tctx + cycle`.
+pub fn no_vt_slope(series: &[(u32, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = series.iter().map(|&(n, t)| (n as f64, t)).collect();
+    fit_linear(&pts).1
+}
+
+/// Recover the per-task slope of a virtualized turnaround series — an
+/// estimate of `MAX(Tin, Tout)`.
+pub fn vt_slope(series: &[(u32, f64)]) -> f64 {
+    no_vt_slope(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::SpeedupModel;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|x| (x as f64, 3.0 + 2.5 * x as f64)).collect();
+        let (a, b) = fit_linear(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.5).abs() < 1e-9);
+        assert!((r_squared(&pts, a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_eq1_slope_from_model_series() {
+        let m = SpeedupModel::new(crate::params::ExecutionProfile::vecadd_paper());
+        let series: Vec<(u32, f64)> = (1..=8).map(|n| (n, m.total_no_vt(n))).collect();
+        let slope = no_vt_slope(&series);
+        let p = m.profile;
+        assert!((slope - (p.t_ctx_switch + p.cycle())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_eq4_slope_from_model_series() {
+        let m = SpeedupModel::new(crate::params::ExecutionProfile::vecadd_paper());
+        let series: Vec<(u32, f64)> = (1..=8).map(|n| (n, m.total_vt(n))).collect();
+        let slope = vt_slope(&series);
+        assert!((slope - m.profile.max_io()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|x| {
+                let x = x as f64;
+                let noise = if (x as u64).is_multiple_of(2) {
+                    0.1
+                } else {
+                    -0.1
+                };
+                (x, 10.0 + 4.0 * x + noise)
+            })
+            .collect();
+        let (a, b) = fit_linear(&pts);
+        assert!((b - 4.0).abs() < 0.01, "slope {b}");
+        assert!((a - 10.0).abs() < 0.2, "intercept {a}");
+        assert!(r_squared(&pts, a, b) > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fit_requires_two_points() {
+        fit_linear(&[(1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gv-model — the paper's analytical execution model
+//!
+//! ```
+//! use gv_model::{ExecutionProfile, SpeedupModel};
+//!
+//! // The paper's Table II EP column, pushed through Eq. (5) at 8 tasks,
+//! // reproduces Table III's printed 8.341 exactly:
+//! let model = SpeedupModel::new(ExecutionProfile::ep_paper());
+//! assert!((model.speedup(8) - 8.341).abs() < 0.001);
+//! // …and Eq. (6) bounds it as the task count grows:
+//! assert!(model.s_max() > model.speedup(64));
+//! ```
+//!
+//! Table I parameters ([`params`]), Eqs. (1)–(6) ([`equations`]), and
+//! parameter extraction from measurements ([`fit`]). Pure math — no
+//! simulation dependencies — so the model can be checked against both the
+//! paper's published numbers and the simulator's measurements.
+
+#![warn(missing_docs)]
+
+pub mod equations;
+pub mod fit;
+pub mod params;
+
+pub use equations::SpeedupModel;
+pub use fit::{fit_linear, no_vt_slope, profile_from_phases, r_squared, vt_slope};
+pub use params::ExecutionProfile;

@@ -1,0 +1,118 @@
+//! Model parameters (paper Table I) and the published Table II profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The measured per-benchmark execution profile the model consumes
+/// (paper Table I / Table II). All times in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// `Tinit`: total time for *all* processes to initialize the GPU
+    /// device and their contexts (the paper measures this for 8 processes).
+    pub t_init: f64,
+    /// `Tctx_switch`: average per-process context-switch cost.
+    pub t_ctx_switch: f64,
+    /// `Tdata_in`: average per-process host→device staging time.
+    pub t_data_in: f64,
+    /// `Tcomp`: average per-process kernel execution time.
+    pub t_comp: f64,
+    /// `Tdata_out`: average per-process device→host retrieval time.
+    pub t_data_out: f64,
+}
+
+impl ExecutionProfile {
+    /// Paper Table II, VectorAdd column.
+    pub fn vecadd_paper() -> Self {
+        ExecutionProfile {
+            t_init: 1519.386,
+            t_ctx_switch: 148.226,
+            t_data_in: 135.874,
+            t_comp: 0.038,
+            t_data_out: 66.656,
+        }
+    }
+
+    /// Paper Table II, EP column.
+    pub fn ep_paper() -> Self {
+        ExecutionProfile {
+            t_init: 1513.555,
+            t_ctx_switch: 220.599,
+            t_data_in: 0.0,
+            t_comp: 8951.346,
+            t_data_out: 0.000055,
+        }
+    }
+
+    /// One conventional execution cycle (send + compute + retrieve).
+    pub fn cycle(&self) -> f64 {
+        self.t_data_in + self.t_comp + self.t_data_out
+    }
+
+    /// The larger of the two transfer times (the virtualized bottleneck).
+    pub fn max_io(&self) -> f64 {
+        self.t_data_in.max(self.t_data_out)
+    }
+
+    /// The smaller of the two transfer times.
+    pub fn min_io(&self) -> f64 {
+        self.t_data_in.min(self.t_data_out)
+    }
+
+    /// The paper's I/O-vs-compute classification ratio: I/O time over
+    /// compute time (>1 → I/O-intensive).
+    pub fn io_ratio(&self) -> f64 {
+        if self.t_comp == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.t_data_in + self.t_data_out) / self.t_comp
+        }
+    }
+
+    /// All parameters non-negative and the cycle non-degenerate?
+    pub fn is_valid(&self) -> bool {
+        let vals = [
+            self.t_init,
+            self.t_ctx_switch,
+            self.t_data_in,
+            self.t_comp,
+            self.t_data_out,
+        ];
+        vals.iter().all(|v| v.is_finite() && *v >= 0.0) && self.cycle() > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_profiles_are_valid() {
+        assert!(ExecutionProfile::vecadd_paper().is_valid());
+        assert!(ExecutionProfile::ep_paper().is_valid());
+    }
+
+    #[test]
+    fn vecadd_is_io_dominated_ep_is_compute_dominated() {
+        assert!(ExecutionProfile::vecadd_paper().io_ratio() > 100.0);
+        assert!(ExecutionProfile::ep_paper().io_ratio() < 1e-6);
+    }
+
+    #[test]
+    fn io_extrema() {
+        let p = ExecutionProfile::vecadd_paper();
+        assert_eq!(p.max_io(), 135.874);
+        assert_eq!(p.min_io(), 66.656);
+        assert!((p.cycle() - 202.568).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_profile_rejected() {
+        let p = ExecutionProfile {
+            t_init: 0.0,
+            t_ctx_switch: 0.0,
+            t_data_in: 0.0,
+            t_comp: 0.0,
+            t_data_out: 0.0,
+        };
+        assert!(!p.is_valid());
+    }
+}

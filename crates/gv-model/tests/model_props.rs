@@ -1,0 +1,102 @@
+//! Property tests for the analytical model: Eqs. (1)–(6) identities and
+//! monotonicity over the whole space of valid profiles.
+
+use gv_model::{ExecutionProfile, SpeedupModel};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = ExecutionProfile> {
+    (
+        0.0f64..5000.0,    // t_init
+        0.0f64..500.0,     // t_ctx_switch
+        0.0f64..500.0,     // t_data_in
+        0.001f64..10000.0, // t_comp (strictly positive keeps cycle valid)
+        0.0f64..500.0,     // t_data_out
+    )
+        .prop_map(
+            |(t_init, t_ctx_switch, t_data_in, t_comp, t_data_out)| ExecutionProfile {
+                t_init,
+                t_ctx_switch,
+                t_data_in,
+                t_comp,
+                t_data_out,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Eq. (4) is exactly the piecewise combination of Eqs. (2) and (3).
+    #[test]
+    fn eq4_is_piecewise_eq2_eq3(p in profile_strategy(), n in 1u32..64) {
+        let m = SpeedupModel::new(p);
+        let expected = if p.t_data_in >= p.t_data_out {
+            m.total_vt_in_bound(n)
+        } else {
+            m.total_vt_out_bound(n)
+        };
+        prop_assert!((m.total_vt(n) - expected).abs() < 1e-9);
+    }
+
+    /// Virtualized never loses: S(n) ≥ 1 for every valid profile and n.
+    #[test]
+    fn speedup_at_least_one(p in profile_strategy(), n in 1u32..64) {
+        let m = SpeedupModel::new(p);
+        prop_assert!(m.speedup(n) >= 1.0 - 1e-12,
+            "S({n}) = {} < 1 for {p:?}", m.speedup(n));
+    }
+
+    /// Both totals are non-decreasing in n.
+    #[test]
+    fn totals_monotone_in_n(p in profile_strategy(), n in 1u32..63) {
+        let m = SpeedupModel::new(p);
+        prop_assert!(m.total_no_vt(n + 1) >= m.total_no_vt(n));
+        prop_assert!(m.total_vt(n + 1) >= m.total_vt(n));
+    }
+
+    /// The speedup converges to S_max as n grows (relative gap shrinks).
+    #[test]
+    fn speedup_converges_to_smax(p in profile_strategy()) {
+        let m = SpeedupModel::new(p);
+        let smax = m.s_max();
+        prop_assume!(smax.is_finite() && p.max_io() > 1e-6);
+        let gap = |n: u32| (m.speedup(n) - smax).abs();
+        prop_assert!(gap(100_000) <= gap(100) + 1e-9);
+        prop_assert!(gap(1_000_000) / smax < 0.01);
+    }
+
+    /// Speedup increases with the context-switch cost — switching is pure
+    /// overhead that only the baseline pays.
+    #[test]
+    fn speedup_increases_with_switch_cost(p in profile_strategy(), n in 2u32..32) {
+        let m1 = SpeedupModel::new(p);
+        let m2 = SpeedupModel::new(ExecutionProfile {
+            t_ctx_switch: p.t_ctx_switch + 50.0,
+            ..p
+        });
+        prop_assert!(m2.speedup(n) >= m1.speedup(n));
+    }
+
+    /// Deviation is zero exactly when the measurement equals the model.
+    #[test]
+    fn deviation_identity(p in profile_strategy(), n in 1u32..32) {
+        let m = SpeedupModel::new(p);
+        prop_assert!(m.deviation(n, m.speedup(n)) < 1e-12);
+    }
+
+    /// Scaling every time parameter by k leaves the speedup unchanged
+    /// (the model is scale-free, which justifies scaled-down experiments).
+    #[test]
+    fn speedup_is_scale_free(p in profile_strategy(), n in 1u32..32, k in 0.01f64..100.0) {
+        let m1 = SpeedupModel::new(p);
+        let m2 = SpeedupModel::new(ExecutionProfile {
+            t_init: p.t_init * k,
+            t_ctx_switch: p.t_ctx_switch * k,
+            t_data_in: p.t_data_in * k,
+            t_comp: p.t_comp * k,
+            t_data_out: p.t_data_out * k,
+        });
+        let (s1, s2) = (m1.speedup(n), m2.speedup(n));
+        prop_assert!((s1 - s2).abs() / s1 < 1e-9, "{s1} vs {s2}");
+    }
+}

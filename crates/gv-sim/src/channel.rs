@@ -1,0 +1,330 @@
+//! Blocking message channels between simulation processes.
+//!
+//! [`SimChannel`] is an MPMC queue that blocks in *simulated* time: `recv`
+//! on an empty channel and `send` on a full bounded channel park the calling
+//! process until a counterpart operation occurs. The paper's POSIX message
+//! queues between user processes and the GVM are built on this.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::Pid;
+use crate::process::Ctx;
+
+/// Error returned when sending on a closed channel; carries the value back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    recv_waiters: VecDeque<Pid>,
+    send_waiters: VecDeque<Pid>,
+    closed: bool,
+}
+
+/// A simulated-blocking MPMC channel. Clone freely; all clones share state.
+pub struct SimChannel<T> {
+    inner: Arc<Mutex<ChanState<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> SimChannel<T> {
+    /// An unbounded channel.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// A bounded channel holding at most `cap` queued messages.
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        Self::with_capacity(Some(cap))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        SimChannel {
+            inner: Arc::new(Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                capacity,
+                recv_waiters: VecDeque::new(),
+                send_waiters: VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Send, blocking while a bounded channel is full.
+    /// Returns the value if the channel is closed.
+    pub fn send(&self, ctx: &mut Ctx, value: T) -> Result<(), SendError<T>> {
+        let me = ctx.pid();
+        let mut value = Some(value);
+        loop {
+            // `Ok(Some(pid))`: sent, wake that receiver. `Ok(None)`: sent,
+            // nobody waiting. `Err(())`: full, we registered as a waiter.
+            let outcome: Result<Option<Pid>, ()> = {
+                let mut st = self.inner.lock();
+                if st.closed {
+                    return Err(SendError(value.take().expect("value consumed twice")));
+                }
+                let has_room = st.capacity.map(|c| st.queue.len() < c).unwrap_or(true);
+                if has_room {
+                    st.queue
+                        .push_back(value.take().expect("value consumed twice"));
+                    Ok(st.recv_waiters.pop_front())
+                } else {
+                    st.send_waiters.retain(|&p| p != me);
+                    st.send_waiters.push_back(me);
+                    Err(())
+                }
+            };
+            match outcome {
+                Ok(wake) => {
+                    if let Some(p) = wake {
+                        ctx.unpark(p);
+                    }
+                    return Ok(());
+                }
+                Err(()) => {
+                    // Full: nothing can run between registration and this
+                    // park, so the queue is still full here.
+                    ctx.park();
+                }
+            }
+        }
+    }
+
+    /// Send without blocking; `None` means sent, `Some(v)` means no room
+    /// (or closed) and the value is handed back.
+    pub fn try_send(&self, ctx: &Ctx, value: T) -> Option<T> {
+        let wake = {
+            let mut st = self.inner.lock();
+            if st.closed {
+                return Some(value);
+            }
+            let has_room = st.capacity.map(|c| st.queue.len() < c).unwrap_or(true);
+            if !has_room {
+                return Some(value);
+            }
+            st.queue.push_back(value);
+            st.recv_waiters.pop_front()
+        };
+        if let Some(p) = wake {
+            ctx.unpark(p);
+        }
+        None
+    }
+
+    /// Receive, blocking while empty. `None` once the channel is closed
+    /// *and* drained.
+    pub fn recv(&self, ctx: &mut Ctx) -> Option<T> {
+        let me = ctx.pid();
+        loop {
+            let (item, wake) = {
+                let mut st = self.inner.lock();
+                match st.queue.pop_front() {
+                    Some(v) => (Some(Some(v)), st.send_waiters.pop_front()),
+                    None if st.closed => (Some(None), None),
+                    None => {
+                        st.recv_waiters.retain(|&p| p != me);
+                        st.recv_waiters.push_back(me);
+                        (None, None)
+                    }
+                }
+            };
+            if let Some(p) = wake {
+                ctx.unpark(p);
+            }
+            match item {
+                Some(v) => return v,
+                None => {
+                    ctx.park();
+                }
+            }
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self, ctx: &Ctx) -> Option<T> {
+        let (item, wake) = {
+            let mut st = self.inner.lock();
+            match st.queue.pop_front() {
+                Some(v) => (Some(v), st.send_waiters.pop_front()),
+                None => (None, None),
+            }
+        };
+        if let Some(p) = wake {
+            ctx.unpark(p);
+        }
+        item
+    }
+
+    /// Close the channel: future sends fail, pending receivers drain the
+    /// queue then observe `None`.
+    pub fn close(&self, ctx: &Ctx) {
+        let wake: Vec<Pid> = {
+            let mut st = self.inner.lock();
+            st.closed = true;
+            let mut wake: Vec<Pid> = st.recv_waiters.drain(..).collect();
+            wake.extend(st.send_waiters.drain(..));
+            wake
+        };
+        for p in wake {
+            ctx.unpark(p);
+        }
+    }
+
+    /// Has `close` been called?
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulation;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn unbounded_send_recv_in_order() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            for i in 0..5 {
+                tx.send(ctx, i).unwrap();
+                ctx.hold(SimDuration::from_millis(1));
+            }
+        });
+        sim.spawn("consumer", move |ctx| {
+            for i in 0..5 {
+                assert_eq!(ch.recv(ctx), Some(i));
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_message_arrives() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let tx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(ch.recv(ctx), Some(42));
+            assert_eq!(ctx.now().as_millis_f64(), 9.0);
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(9));
+            tx.send(ctx, 42).unwrap();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_when_full() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::bounded(1);
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            tx.send(ctx, 1).unwrap();
+            tx.send(ctx, 2).unwrap(); // blocks until consumer drains
+            assert_eq!(ctx.now().as_millis_f64(), 5.0);
+        });
+        sim.spawn("consumer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(5));
+            assert_eq!(ch.recv(ctx), Some(1));
+            assert_eq!(ch.recv(ctx), Some(2));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            tx.send(ctx, 7).unwrap();
+            tx.close(ctx);
+            assert!(tx.send(ctx, 8).is_err());
+        });
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(ch.recv(ctx), Some(7));
+            assert_eq!(ch.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u32> = SimChannel::unbounded();
+        let rx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(rx.recv(ctx), None);
+            assert_eq!(ctx.now().as_millis_f64(), 3.0);
+        });
+        sim.spawn("closer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(3));
+            ch.close(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_operations_never_block() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::bounded(1);
+        sim.spawn("p", move |ctx| {
+            assert!(ch.try_recv(ctx).is_none());
+            assert!(ch.try_send(ctx, 1).is_none());
+            assert_eq!(ch.try_send(ctx, 2), Some(2)); // full
+            assert_eq!(ch.try_recv(ctx), Some(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_one() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let rx = ch.clone();
+            let got = got.clone();
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                let v = rx.recv(ctx).unwrap();
+                got.lock().push(v);
+            });
+        }
+        sim.spawn("producer", move |ctx| {
+            for v in [10, 20, 30] {
+                ctx.hold(SimDuration::from_millis(1));
+                ch.send(ctx, v).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        let mut v = got.lock().clone();
+        v.sort();
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+}

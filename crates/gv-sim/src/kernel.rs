@@ -1,0 +1,742 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns a set of coroutine-style *processes*, each backed by
+//! an OS thread. Exactly one thread is ever runnable at a time: the engine
+//! resumes a process, the process runs until it performs a *yielding*
+//! operation (`hold`, `park`, `park_timeout`, or returning), and control
+//! passes back to the engine. Because scheduling decisions are made from a
+//! FIFO run queue and a `(time, sequence)`-ordered timer heap, runs are fully
+//! deterministic for a fixed program.
+//!
+//! Non-yielding operations (`unpark`, `spawn`, channel pushes, …) mutate the
+//! shared kernel state directly under a mutex; this is race-free because only
+//! the single running process (or the engine, while no process runs) ever
+//! touches it.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::process::Ctx;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
+
+/// Identifier of a simulation process. Stable for the life of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// Raw index (useful for dense per-process arrays in user code).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why a parked/held process was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// First resume after spawn.
+    Spawn,
+    /// A `hold` elapsed or a `park_timeout` timed out.
+    Timer,
+    /// Another process called [`Ctx::unpark`].
+    Unpark,
+}
+
+/// Errors surfaced by [`Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No process is runnable, no timer is pending, yet processes are alive.
+    Deadlock {
+        /// Names of the processes that are still blocked.
+        blocked: Vec<String>,
+    },
+    /// A process panicked; the panic message is captured when it is a string.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        name: String,
+        /// Panic payload, when representable as text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlock; blocked processes: {blocked:?}")
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Statistics describing a completed run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Total processes spawned over the run.
+    pub processes_spawned: usize,
+    /// Number of engine scheduling steps (resume/yield round trips).
+    pub events_processed: u64,
+    /// True when the run ended because every process finished (as opposed
+    /// to hitting a `run_until` horizon).
+    pub completed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// In the run queue (wake reason stored alongside).
+    Ready,
+    /// Currently executing on its thread.
+    Running,
+    /// Blocked awaiting an unpark or armed timer.
+    Parked,
+    /// Blocked in a `hold`; unparks are deferred via the token.
+    Holding,
+    /// Returned (or was terminated).
+    Finished,
+}
+
+pub(crate) struct Slot {
+    pub(crate) name: String,
+    pub(crate) state: ProcState,
+    /// Pending-unpark token (same semantics as `std::thread::park`).
+    pub(crate) token: bool,
+    /// Wake generation; bumped on every wake so stale timers are discarded.
+    pub(crate) gen: u64,
+    pub(crate) resume_tx: Option<Sender<WakeReason>>,
+    pub(crate) join: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    time: SimTime,
+    seq: u64,
+    pid: Pid,
+    gen: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub(crate) struct State {
+    pub(crate) now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    runnable: VecDeque<(Pid, WakeReason)>,
+    pub(crate) slots: Vec<Slot>,
+    live: usize,
+    terminating: bool,
+}
+
+impl State {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    pub(crate) fn arm_timer(&mut self, pid: Pid, at: SimTime) {
+        let gen = self.slots[pid.index()].gen;
+        let seq = self.next_seq();
+        self.heap.push(Reverse(TimerEntry {
+            time: at,
+            seq,
+            pid,
+            gen,
+        }));
+    }
+
+    pub(crate) fn make_ready(&mut self, pid: Pid, reason: WakeReason) {
+        let slot = &mut self.slots[pid.index()];
+        slot.state = ProcState::Ready;
+        slot.gen += 1;
+        self.runnable.push_back((pid, reason));
+    }
+
+    /// `unpark` semantics shared by `Ctx::unpark` and internal wakeups.
+    pub(crate) fn unpark(&mut self, pid: Pid) {
+        match self.slots[pid.index()].state {
+            ProcState::Parked => self.make_ready(pid, WakeReason::Unpark),
+            ProcState::Finished => {}
+            // Running / Ready / Holding: remember the token for the next park.
+            _ => self.slots[pid.index()].token = true,
+        }
+    }
+}
+
+pub(crate) enum YieldOp {
+    Hold(SimDuration),
+    Park,
+    ParkTimeout(SimDuration),
+    Exit { panic_message: Option<String> },
+}
+
+pub(crate) struct YieldMsg {
+    pub(crate) pid: Pid,
+    pub(crate) op: YieldOp,
+}
+
+/// Shared between the engine, every process `Ctx`, and all sync primitives.
+pub struct KernelShared {
+    pub(crate) state: Mutex<State>,
+    pub(crate) yield_tx: Sender<YieldMsg>,
+    pub(crate) tracer: Tracer,
+}
+
+impl KernelShared {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    pub(crate) fn spawn_process<F>(
+        self: &Arc<Self>,
+        name: &str,
+        start_at: Option<SimTime>,
+        f: F,
+    ) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let (resume_tx, resume_rx) = channel::bounded::<WakeReason>(1);
+        let mut state = self.state.lock();
+        let pid = Pid(state.slots.len() as u32);
+        state.slots.push(Slot {
+            name: name.to_string(),
+            state: ProcState::Parked,
+            token: false,
+            gen: 0,
+            resume_tx: Some(resume_tx),
+            join: None,
+        });
+        state.live += 1;
+        match start_at {
+            None => state.make_ready(pid, WakeReason::Spawn),
+            Some(t) => {
+                let t = t.max(state.now);
+                state.arm_timer(pid, t);
+            }
+        }
+        drop(state);
+
+        let shared = Arc::clone(self);
+        let thread_name = format!("sim:{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut ctx = Ctx::new(shared, pid, resume_rx);
+                // Wait for the engine's first resume; if the simulation is
+                // torn down before we ever run, just exit.
+                if ctx.wait_resume().is_err() {
+                    return;
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    (f)(&mut ctx);
+                }));
+                let panic_message = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        if payload.downcast_ref::<Terminated>().is_some() {
+                            // Orderly teardown: vanish without reporting.
+                            return;
+                        }
+                        Some(panic_message(&*payload))
+                    }
+                };
+                let _ = ctx.shared().yield_tx.send(YieldMsg {
+                    pid,
+                    op: YieldOp::Exit { panic_message },
+                });
+            })
+            .expect("failed to spawn simulation process thread");
+
+        self.state.lock().slots[pid.index()].join = Some(handle);
+        pid
+    }
+}
+
+/// Sentinel panic payload used to unwind process threads during teardown.
+pub(crate) struct Terminated;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A discrete-event simulation: spawn processes, then [`run`](Self::run).
+pub struct Simulation {
+    shared: Arc<KernelShared>,
+    yield_rx: Receiver<YieldMsg>,
+    events: u64,
+    ran: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Create an empty simulation at `t = 0`.
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = channel::unbounded();
+        let shared = Arc::new(KernelShared {
+            state: Mutex::new(State {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                runnable: VecDeque::new(),
+                slots: Vec::new(),
+                live: 0,
+                terminating: false,
+            }),
+            yield_tx,
+            tracer: Tracer::new(),
+        });
+        Simulation {
+            shared,
+            yield_rx,
+            events: 0,
+            ran: false,
+        }
+    }
+
+    /// Handle to the shared kernel (used by sync primitives constructed
+    /// outside any process).
+    pub fn kernel(&self) -> Arc<KernelShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// The trace recorder for this simulation (cheap to clone).
+    pub fn tracer(&self) -> Tracer {
+        self.shared.tracer.clone()
+    }
+
+    /// Spawn a root process that becomes runnable at `t = 0`.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, None, f)
+    }
+
+    /// Spawn a root process that first runs at simulated time `at`.
+    pub fn spawn_at<F>(&mut self, at: SimTime, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, Some(at), f)
+    }
+
+    /// Run until all processes finish. Equivalent to
+    /// `run_until(SimTime::MAX)` except that reaching the horizon is
+    /// reported as completion.
+    pub fn run(self) -> Result<Summary, SimError> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until all processes finish or simulated time would pass `limit`.
+    pub fn run_until(mut self, limit: SimTime) -> Result<Summary, SimError> {
+        self.ran = true;
+        let result: Result<bool, SimError> = 'engine: loop {
+            // Phase 1: drain the run queue.
+            loop {
+                let next = {
+                    let mut st = self.shared.state.lock();
+                    match st.runnable.pop_front() {
+                        Some((pid, reason)) => {
+                            st.slots[pid.index()].state = ProcState::Running;
+                            Some((pid, reason))
+                        }
+                        None => None,
+                    }
+                };
+                let Some((pid, reason)) = next else { break };
+                self.events += 1;
+
+                // Resume the process and wait for it to yield.
+                let tx = {
+                    let st = self.shared.state.lock();
+                    st.slots[pid.index()]
+                        .resume_tx
+                        .clone()
+                        .expect("resuming a terminated process")
+                };
+                tx.send(reason).expect("process thread hung up");
+                let msg = self
+                    .yield_rx
+                    .recv()
+                    .expect("all process threads disappeared");
+                if let Some(err) = self.handle_yield(msg) {
+                    break 'engine Err(err);
+                }
+            }
+            // Phase 2: no runnable process — advance the clock.
+            let more_runnable = !self.shared.state.lock().runnable.is_empty();
+            if !more_runnable {
+                if let Some(outcome) = self.advance_time(limit) {
+                    break 'engine outcome;
+                }
+            }
+        };
+
+        self.terminate_all();
+        result.map(|completed| {
+            let st = self.shared.state.lock();
+            Summary {
+                end_time: st.now,
+                processes_spawned: st.slots.len(),
+                events_processed: self.events,
+                completed,
+            }
+        })
+    }
+
+    /// Process one yield message; returns an error to abort the run.
+    fn handle_yield(&mut self, msg: YieldMsg) -> Option<SimError> {
+        let mut st = self.shared.state.lock();
+        let pid = msg.pid;
+        match msg.op {
+            YieldOp::Hold(d) => {
+                let at = st.now + d;
+                st.slots[pid.index()].state = ProcState::Holding;
+                st.arm_timer(pid, at);
+            }
+            YieldOp::Park => {
+                let slot = &mut st.slots[pid.index()];
+                if slot.token {
+                    slot.token = false;
+                    st.make_ready(pid, WakeReason::Unpark);
+                } else {
+                    slot.state = ProcState::Parked;
+                }
+            }
+            YieldOp::ParkTimeout(d) => {
+                let slot = &mut st.slots[pid.index()];
+                if slot.token {
+                    slot.token = false;
+                    st.make_ready(pid, WakeReason::Unpark);
+                } else {
+                    slot.state = ProcState::Parked;
+                    let at = st.now + d;
+                    st.arm_timer(pid, at);
+                }
+            }
+            YieldOp::Exit { panic_message } => {
+                let slot = &mut st.slots[pid.index()];
+                slot.state = ProcState::Finished;
+                slot.resume_tx = None;
+                let join = slot.join.take();
+                let name = slot.name.clone();
+                st.live -= 1;
+                drop(st);
+                if let Some(h) = join {
+                    let _ = h.join();
+                }
+                if let Some(message) = panic_message {
+                    return Some(SimError::ProcessPanicked { name, message });
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop timers until a valid one is found, then advance the clock.
+    /// Returns `Some(outcome)` when the run is over.
+    fn advance_time(&mut self, limit: SimTime) -> Option<Result<bool, SimError>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            match st.heap.peek() {
+                None => {
+                    return if st.live == 0 {
+                        Some(Ok(true))
+                    } else {
+                        let blocked = st
+                            .slots
+                            .iter()
+                            .filter(|s| s.state != ProcState::Finished)
+                            .map(|s| s.name.clone())
+                            .collect();
+                        Some(Err(SimError::Deadlock { blocked }))
+                    };
+                }
+                Some(Reverse(entry)) => {
+                    let entry = *entry;
+                    let valid = {
+                        let slot = &st.slots[entry.pid.index()];
+                        slot.gen == entry.gen
+                            && matches!(slot.state, ProcState::Parked | ProcState::Holding)
+                    };
+                    if !valid {
+                        st.heap.pop();
+                        continue;
+                    }
+                    if entry.time > limit {
+                        // Horizon reached with pending work.
+                        st.now = limit;
+                        return Some(Ok(false));
+                    }
+                    st.heap.pop();
+                    st.now = entry.time;
+                    st.make_ready(entry.pid, WakeReason::Timer);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Tear down any processes still alive (horizon stops, deadlocks,
+    /// panics): dropping their resume senders makes their next blocking
+    /// receive unwind with the [`Terminated`] sentinel.
+    fn terminate_all(&mut self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut st = self.shared.state.lock();
+            st.terminating = true;
+            st.slots
+                .iter_mut()
+                .filter(|s| s.state != ProcState::Finished)
+                .filter_map(|s| {
+                    s.resume_tx = None;
+                    s.state = ProcState::Finished;
+                    s.join.take()
+                })
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        // Drain any Exit messages raced in during teardown.
+        while self.yield_rx.try_recv().is_ok() {}
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        if !self.ran {
+            self.terminate_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_completes_at_zero() {
+        let sim = Simulation::new();
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time, SimTime::ZERO);
+        assert!(s.completed);
+        assert_eq!(s.processes_spawned, 0);
+    }
+
+    #[test]
+    fn single_process_holds_advance_clock() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            ctx.hold(SimDuration::from_millis(5));
+            ctx.hold(SimDuration::from_millis(7));
+            assert_eq!(ctx.now(), SimTime::from_nanos(12_000_000));
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 12.0);
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let order = Arc::new(AtomicU64::new(0));
+        let mut sim = Simulation::new();
+        let (o1, o2) = (order.clone(), order.clone());
+        sim.spawn("a", move |ctx| {
+            ctx.hold(SimDuration::from_millis(2));
+            // a wakes at t=2, after b's t=1 wake.
+            assert_eq!(o1.fetch_add(1, Ordering::SeqCst), 1);
+        });
+        sim.spawn("b", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            assert_eq!(o2.fetch_add(1, Ordering::SeqCst), 0);
+        });
+        sim.run().unwrap();
+        assert_eq!(order.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn park_unpark_roundtrip() {
+        let mut sim = Simulation::new();
+        let kernel = sim.kernel();
+        let target = sim.spawn("sleeper", |ctx| {
+            let reason = ctx.park();
+            assert_eq!(reason, WakeReason::Unpark);
+            assert_eq!(ctx.now().as_millis_f64(), 3.0);
+        });
+        let _ = kernel;
+        sim.spawn("waker", move |ctx| {
+            ctx.hold(SimDuration::from_millis(3));
+            ctx.unpark(target);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn unpark_token_is_remembered() {
+        let mut sim = Simulation::new();
+        let target = sim.spawn("late-parker", |ctx| {
+            ctx.hold(SimDuration::from_millis(10));
+            // Unpark happened at t=1 while we were holding: token redeems now.
+            assert_eq!(ctx.park(), WakeReason::Unpark);
+            assert_eq!(ctx.now().as_millis_f64(), 10.0);
+        });
+        sim.spawn("early-waker", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            ctx.unpark(target);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn park_timeout_fires_timer() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            let reason = ctx.park_timeout(SimDuration::from_millis(4));
+            assert_eq!(reason, WakeReason::Timer);
+            assert_eq!(ctx.now().as_millis_f64(), 4.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn park_timeout_unparked_early_cancels_timer() {
+        let mut sim = Simulation::new();
+        let target = sim.spawn("p", |ctx| {
+            let reason = ctx.park_timeout(SimDuration::from_millis(100));
+            assert_eq!(reason, WakeReason::Unpark);
+            assert_eq!(ctx.now().as_millis_f64(), 1.0);
+            // The stale timer must not wake us again.
+            ctx.hold(SimDuration::from_millis(500));
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            ctx.unpark(target);
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 501.0);
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_names() {
+        let mut sim = Simulation::new();
+        sim.spawn("stuck", |ctx| {
+            ctx.park();
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec!["stuck"]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("bomb", |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            panic!("boom");
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "bomb");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new();
+        sim.spawn("long", |ctx| {
+            ctx.hold(SimDuration::from_secs(100));
+        });
+        let s = sim.run_until(SimTime::from_nanos(5_000)).unwrap();
+        assert!(!s.completed);
+        assert_eq!(s.end_time.as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn nested_spawn_runs_child() {
+        let mut sim = Simulation::new();
+        sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("child", |c| {
+                c.hold(SimDuration::from_millis(2));
+            });
+            assert_eq!(child.index(), 1);
+            ctx.hold(SimDuration::from_millis(5));
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.processes_spawned, 2);
+        assert_eq!(s.end_time.as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn spawn_at_delays_first_run() {
+        let mut sim = Simulation::new();
+        sim.spawn_at(SimTime::from_nanos(7_000_000), "late", |ctx| {
+            assert_eq!(ctx.now().as_millis_f64(), 7.0);
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 7.0);
+    }
+
+    #[test]
+    fn yield_now_lets_peer_run_at_same_time() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let peer_ran = Arc::new(AtomicBool::new(false));
+        let flag = peer_ran.clone();
+        let mut sim = Simulation::new();
+        sim.spawn("a", move |ctx| {
+            ctx.yield_now();
+            assert!(flag.load(Ordering::SeqCst));
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        let flag2 = peer_ran.clone();
+        sim.spawn("b", move |_ctx| {
+            flag2.store(true, Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dropping_unran_simulation_reaps_threads() {
+        let mut sim = Simulation::new();
+        sim.spawn("never-run", |ctx| {
+            ctx.park();
+        });
+        drop(sim); // must not hang
+    }
+}

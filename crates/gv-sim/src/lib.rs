@@ -1,0 +1,46 @@
+//! # gv-sim — deterministic discrete-event simulation kernel
+//!
+//! The execution substrate for the GPU-virtualization reproduction: a
+//! SimPy-style process-oriented discrete-event simulator. Simulation
+//! *processes* are ordinary Rust closures running on dedicated threads, but
+//! the engine resumes exactly one at a time, so execution is deterministic
+//! and all shared state is effectively single-threaded.
+//!
+//! ```
+//! use gv_sim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new();
+//! sim.spawn("worker", |ctx| {
+//!     ctx.hold(SimDuration::from_millis(10));
+//!     assert_eq!(ctx.now().as_millis_f64(), 10.0);
+//! });
+//! let summary = sim.run().unwrap();
+//! assert_eq!(summary.end_time.as_millis_f64(), 10.0);
+//! ```
+//!
+//! Modules:
+//! * [`time`] — `SimTime` / `SimDuration` (nanosecond clock)
+//! * [`kernel`] — the engine ([`Simulation`]) and process lifecycle
+//! * [`process`] — the per-process handle ([`Ctx`])
+//! * [`sync`] — semaphores, condition queues, barriers, gates
+//! * [`channel`] — blocking MPMC channels
+//! * [`resource`] — FIFO servers with utilization accounting
+//! * [`trace`] — timeline recording for overlap audits
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod kernel;
+pub mod process;
+pub mod resource;
+pub mod sync;
+pub mod time;
+pub mod trace;
+
+pub use channel::{SendError, SimChannel};
+pub use kernel::{Pid, SimError, Simulation, Summary, WakeReason};
+pub use process::Ctx;
+pub use resource::FifoServer;
+pub use sync::{CondQueue, Gate, Semaphore, SimBarrier};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Span, TraceEvent, TraceKind, Tracer};

@@ -1,0 +1,149 @@
+//! The process-side handle, [`Ctx`].
+//!
+//! A `Ctx` is handed to every process closure. All blocking operations
+//! (`hold`, `park`, `park_timeout`) yield control back to the engine; all
+//! other operations mutate shared kernel state directly and return without
+//! yielding, so a process observes no interleaving between two consecutive
+//! non-yielding calls.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use crate::kernel::{KernelShared, Pid, Terminated, WakeReason, YieldMsg, YieldOp};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
+
+/// Per-process simulation context: the handle through which a process
+/// observes and advances simulated time.
+pub struct Ctx {
+    shared: Arc<KernelShared>,
+    pid: Pid,
+    resume_rx: Receiver<WakeReason>,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        shared: Arc<KernelShared>,
+        pid: Pid,
+        resume_rx: Receiver<WakeReason>,
+    ) -> Self {
+        Ctx {
+            shared,
+            pid,
+            resume_rx,
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<KernelShared> {
+        &self.shared
+    }
+
+    /// Block on the resume channel. `Err` means the simulation was torn
+    /// down before this process ever ran.
+    pub(crate) fn wait_resume(&self) -> Result<WakeReason, ()> {
+        self.resume_rx.recv().map_err(|_| ())
+    }
+
+    /// Block on the resume channel mid-run; unwinds with the teardown
+    /// sentinel if the engine has abandoned us (horizon stop / deadlock).
+    fn wait_resume_or_unwind(&self) -> WakeReason {
+        match self.resume_rx.recv() {
+            Ok(reason) => reason,
+            Err(_) => std::panic::panic_any(Terminated),
+        }
+    }
+
+    fn do_yield(&mut self, op: YieldOp) -> WakeReason {
+        self.shared
+            .yield_tx
+            .send(YieldMsg { pid: self.pid, op })
+            .expect("engine disappeared");
+        self.wait_resume_or_unwind()
+    }
+
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's name.
+    pub fn name(&self) -> String {
+        self.shared.state.lock().slots[self.pid.index()]
+            .name
+            .clone()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// The trace recorder shared by the whole simulation.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Advance simulated time by `d`. Unparks received while holding are
+    /// remembered as a token for the next `park`.
+    pub fn hold(&mut self, d: SimDuration) {
+        let reason = self.do_yield(YieldOp::Hold(d));
+        debug_assert_eq!(reason, WakeReason::Timer);
+    }
+
+    /// Advance simulated time to `at` (no-op if `at` is in the past).
+    pub fn hold_until(&mut self, at: SimTime) {
+        let now = self.now();
+        if at > now {
+            self.hold(at.duration_since(now));
+        }
+    }
+
+    /// Yield to any other process runnable at the current instant.
+    pub fn yield_now(&mut self) {
+        self.hold(SimDuration::ZERO);
+    }
+
+    /// Block until another process unparks us (or immediately, consuming
+    /// the token, if an unpark is already pending).
+    pub fn park(&mut self) -> WakeReason {
+        self.do_yield(YieldOp::Park)
+    }
+
+    /// Like [`park`](Self::park) but also wakes after `d`; the return value
+    /// distinguishes the two causes.
+    pub fn park_timeout(&mut self, d: SimDuration) -> WakeReason {
+        self.do_yield(YieldOp::ParkTimeout(d))
+    }
+
+    /// Wake `pid` if parked; otherwise leave it a wake token.
+    pub fn unpark(&self, pid: Pid) {
+        self.shared.state.lock().unpark(pid);
+    }
+
+    /// Spawn a child process, runnable at the current instant (it runs only
+    /// once this process yields).
+    pub fn spawn<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, None, f)
+    }
+
+    /// Spawn a child process that first runs at simulated time `at`.
+    pub fn spawn_at<F>(&self, at: SimTime, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, Some(at), f)
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("now", &self.now())
+            .finish()
+    }
+}

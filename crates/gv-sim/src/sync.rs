@@ -1,0 +1,449 @@
+//! Blocking synchronization primitives for simulation processes.
+//!
+//! All primitives here block in *simulated* time via [`Ctx::park`] and are
+//! safe to share between processes (they are internally locked, and the
+//! engine guarantees only one process runs at a time).
+//!
+//! Every blocking method takes `&mut Ctx` because parking yields to the
+//! engine. Wake-ups may be spurious from the primitive's point of view
+//! (a process can hold at most one pending unpark token), so all wait loops
+//! re-check their condition.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::Pid;
+use crate::process::Ctx;
+
+/// A counting semaphore with FIFO hand-off fairness: a released permit is
+/// granted directly to the longest-waiting process, so late arrivals cannot
+/// barge past waiters.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Arc<Mutex<SemState>>,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Pid>,
+    grants: Vec<Pid>,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Arc::new(Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+                grants: Vec::new(),
+            })),
+        }
+    }
+
+    /// Acquire one permit, blocking in simulated time.
+    pub fn acquire(&self, ctx: &mut Ctx) {
+        let me = ctx.pid();
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if let Some(pos) = st.grants.iter().position(|&p| p == me) {
+                    st.grants.swap_remove(pos);
+                    return;
+                }
+                if st.permits > 0 && st.waiters.is_empty() {
+                    st.permits -= 1;
+                    return;
+                }
+                st.waiters.retain(|&p| p != me);
+                st.waiters.push_back(me);
+            }
+            ctx.park();
+        }
+    }
+
+    /// Try to acquire without blocking; true on success.
+    pub fn try_acquire(&self, ctx: &Ctx) -> bool {
+        let me = ctx.pid();
+        let mut st = self.inner.lock();
+        if let Some(pos) = st.grants.iter().position(|&p| p == me) {
+            st.grants.swap_remove(pos);
+            return true;
+        }
+        if st.permits > 0 && st.waiters.is_empty() {
+            st.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one permit; hands it to the oldest waiter if any.
+    pub fn release(&self, ctx: &Ctx) {
+        let mut st = self.inner.lock();
+        if let Some(p) = st.waiters.pop_front() {
+            st.grants.push(p);
+            drop(st);
+            ctx.unpark(p);
+        } else {
+            st.permits += 1;
+        }
+    }
+
+    /// Permits currently available (excluding in-flight grants).
+    pub fn available(&self) -> usize {
+        self.inner.lock().permits
+    }
+}
+
+/// A condition queue (condition-variable analogue). Processes `wait` until
+/// another process `notify`s; because wake-ups can be spurious, callers must
+/// re-check their predicate in a loop.
+#[derive(Clone, Default)]
+pub struct CondQueue {
+    waiters: Arc<Mutex<VecDeque<Pid>>>,
+}
+
+impl CondQueue {
+    /// Create an empty condition queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park until notified (or spuriously woken — re-check predicates!).
+    pub fn wait(&self, ctx: &mut Ctx) {
+        let me = ctx.pid();
+        {
+            let mut w = self.waiters.lock();
+            w.retain(|&p| p != me);
+            w.push_back(me);
+        }
+        ctx.park();
+    }
+
+    /// Wake the oldest waiter, if any.
+    pub fn notify_one(&self, ctx: &Ctx) {
+        let target = self.waiters.lock().pop_front();
+        if let Some(p) = target {
+            ctx.unpark(p);
+        }
+    }
+
+    /// Wake every current waiter.
+    pub fn notify_all(&self, ctx: &Ctx) {
+        let targets: Vec<Pid> = self.waiters.lock().drain(..).collect();
+        for p in targets {
+            ctx.unpark(p);
+        }
+    }
+
+    /// Number of processes currently registered as waiting.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+/// A cyclic, sense-reversing barrier for a fixed party count — the paper's
+/// GVM uses exactly this to synchronize `STR` requests from all SPMD
+/// processes before flushing the CUDA streams together.
+#[derive(Clone)]
+pub struct SimBarrier {
+    inner: Arc<Mutex<BarrierState>>,
+    parties: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    sense: bool,
+    waiters: Vec<Pid>,
+}
+
+impl SimBarrier {
+    /// A barrier for `parties` processes (`parties >= 1`).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        SimBarrier {
+            inner: Arc::new(Mutex::new(BarrierState {
+                count: 0,
+                sense: false,
+                waiters: Vec::new(),
+            })),
+            parties,
+        }
+    }
+
+    /// Number of parties the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all parties arrive. Returns `true` for exactly one
+    /// process per generation (the "leader": the last to arrive).
+    pub fn wait(&self, ctx: &mut Ctx) -> bool {
+        let my_sense;
+        {
+            let mut st = self.inner.lock();
+            st.count += 1;
+            if st.count == self.parties {
+                st.count = 0;
+                st.sense = !st.sense;
+                let wake: Vec<Pid> = st.waiters.drain(..).collect();
+                drop(st);
+                for p in wake {
+                    ctx.unpark(p);
+                }
+                return true;
+            }
+            my_sense = st.sense;
+            st.waiters.push(ctx.pid());
+        }
+        loop {
+            ctx.park();
+            if self.inner.lock().sense != my_sense {
+                return false;
+            }
+        }
+    }
+
+    /// How many parties have arrived in the current generation.
+    pub fn arrived(&self) -> usize {
+        self.inner.lock().count
+    }
+}
+
+/// A one-shot gate (latch): starts closed, opens once, stays open.
+#[derive(Clone)]
+pub struct Gate {
+    inner: Arc<Mutex<GateState>>,
+}
+
+struct GateState {
+    open: bool,
+    waiters: Vec<Pid>,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gate {
+    /// A closed gate.
+    pub fn new() -> Self {
+        Gate {
+            inner: Arc::new(Mutex::new(GateState {
+                open: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Is the gate open?
+    pub fn is_open(&self) -> bool {
+        self.inner.lock().open
+    }
+
+    /// Open the gate, waking all waiters. Idempotent.
+    pub fn open(&self, ctx: &Ctx) {
+        let wake: Vec<Pid> = {
+            let mut st = self.inner.lock();
+            if st.open {
+                return;
+            }
+            st.open = true;
+            st.waiters.drain(..).collect()
+        };
+        for p in wake {
+            ctx.unpark(p);
+        }
+    }
+
+    /// Block until the gate opens (returns immediately if already open).
+    pub fn wait(&self, ctx: &mut Ctx) {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.open {
+                    return;
+                }
+                let me = ctx.pid();
+                st.waiters.retain(|&p| p != me);
+                st.waiters.push(me);
+            }
+            ctx.park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulation;
+    use crate::time::SimDuration;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn semaphore_serializes_critical_section() {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new(1);
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let sem = sem.clone();
+            let in_cs = in_cs.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                sem.acquire(ctx);
+                assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                ctx.hold(SimDuration::from_millis(10));
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                sem.release(ctx);
+            });
+        }
+        let s = sim.run().unwrap();
+        // Four 10ms critical sections fully serialized.
+        assert_eq!(s.end_time.as_millis_f64(), 40.0);
+    }
+
+    #[test]
+    fn semaphore_capacity_two_halves_makespan() {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new(2);
+        for i in 0..4 {
+            let sem = sem.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                sem.acquire(ctx);
+                ctx.hold(SimDuration::from_millis(10));
+                sem.release(ctx);
+            });
+        }
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 20.0);
+    }
+
+    #[test]
+    fn semaphore_is_fifo_fair() {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let sem = sem.clone();
+            let order = order.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                // Stagger arrivals: p0 at 0, p1 at 1ms, p2 at 2ms.
+                ctx.hold(SimDuration::from_millis(i));
+                sem.acquire(ctx);
+                order.lock().push(i);
+                ctx.hold(SimDuration::from_millis(10));
+                sem.release(ctx);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_acquire_does_not_block() {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new(1);
+        sim.spawn("p", move |ctx| {
+            assert!(sem.try_acquire(ctx));
+            assert!(!sem.try_acquire(ctx));
+            sem.release(ctx);
+            assert!(sem.try_acquire(ctx));
+            sem.release(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_arrival() {
+        let mut sim = Simulation::new();
+        let bar = SimBarrier::new(3);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        for i in 0..3u64 {
+            let bar = bar.clone();
+            let leaders = leaders.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                ctx.hold(SimDuration::from_millis(i * 5));
+                if bar.wait(ctx) {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+                // Everyone resumes at the last arrival time (t = 10ms).
+                assert_eq!(ctx.now().as_millis_f64(), 10.0);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let mut sim = Simulation::new();
+        let bar = SimBarrier::new(2);
+        for i in 0..2u64 {
+            let bar = bar.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                for round in 0..3u64 {
+                    ctx.hold(SimDuration::from_millis(i + 1));
+                    bar.wait(ctx);
+                    let _ = round;
+                }
+            });
+        }
+        // Each round gated by the slower (2ms) process: 3 rounds → 6ms.
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_millis_f64(), 6.0);
+    }
+
+    #[test]
+    fn gate_wakes_all_waiters_and_stays_open() {
+        let mut sim = Simulation::new();
+        let gate = Gate::new();
+        for i in 0..3 {
+            let gate = gate.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                gate.wait(ctx);
+                assert_eq!(ctx.now().as_millis_f64(), 5.0);
+            });
+        }
+        let g2 = gate.clone();
+        sim.spawn("opener", move |ctx| {
+            ctx.hold(SimDuration::from_millis(5));
+            g2.open(ctx);
+        });
+        let gate3 = gate.clone();
+        sim.spawn("late", move |ctx| {
+            ctx.hold(SimDuration::from_millis(20));
+            gate3.wait(ctx); // already open: returns immediately
+            assert_eq!(ctx.now().as_millis_f64(), 20.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn condqueue_notify_one_wakes_in_fifo_order() {
+        let mut sim = Simulation::new();
+        let cq = CondQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u64 {
+            let cq = cq.clone();
+            let order = order.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                ctx.hold(SimDuration::from_millis(i));
+                cq.wait(ctx);
+                order.lock().push(i);
+            });
+        }
+        let cq2 = cq.clone();
+        sim.spawn("n", move |ctx| {
+            ctx.hold(SimDuration::from_millis(10));
+            cq2.notify_one(ctx);
+            ctx.hold(SimDuration::from_millis(10));
+            cq2.notify_one(ctx);
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulated time.
+//!
+//! The simulation clock counts nanoseconds from the start of the run in a
+//! `u64`, which gives ~584 years of range — far beyond any experiment here.
+//! All of the paper's quantities are reported in milliseconds, so both types
+//! provide fallible-free millisecond conversions.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero if `earlier` is
+    /// in the future (callers comparing across engines rely on this).
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, `None` on overflow.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative and NaN inputs clamp to
+    /// zero; values beyond the representable range clamp to `MAX`.
+    pub fn from_secs_f64(s: f64) -> Self {
+        // NaN and negatives clamp to zero (NaN fails the comparison).
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = s * 1.0e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Construct from fractional milliseconds (clamping like
+    /// [`SimDuration::from_secs_f64`]).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1.0e3)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// True iff this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float, clamping to the representable range.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(5_000);
+        let d = SimDuration::from_micros(3);
+        assert_eq!((t + d).as_nanos(), 8_000);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(a.duration_since(b), SimDuration::ZERO);
+        assert_eq!(b.duration_since(a).as_nanos(), 10);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_millis_f64(135.874);
+        assert!((d.as_millis_f64() - 135.874).abs() < 1e-6);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_nanos(1_500_000).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn mul_div_sum() {
+        let d = SimDuration::from_millis(4);
+        assert_eq!(d * 3, SimDuration::from_millis(12));
+        assert_eq!(d / 2, SimDuration::from_millis(2));
+        let total: SimDuration = vec![d, d, d].into_iter().sum();
+        assert_eq!(total, SimDuration::from_millis(12));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = SimDuration::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Timeline recording.
+//!
+//! A [`Tracer`] collects timestamped events (instants and begin/end spans)
+//! from anywhere in the simulation. The harness uses it to reconstruct
+//! engine occupancy Gantt charts and to audit overlap (e.g. "did the H2D
+//! copy of process 2 overlap kernel execution of process 1?").
+//!
+//! Recording is disabled by default; enabling costs one mutex acquisition
+//! per event.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// What kind of event a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A point event.
+    Instant,
+    /// Start of an activity span.
+    Begin,
+    /// End of an activity span.
+    End,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulated timestamp.
+    pub time: SimTime,
+    /// Coarse category, e.g. `"h2d"`, `"kernel"`, `"gvm"`.
+    pub category: &'static str,
+    /// Free-form label, e.g. a kernel or process name.
+    pub label: String,
+    /// Point event or span boundary.
+    pub kind: TraceKind,
+    /// Track identifier grouping related events (engine id, process index).
+    pub track: u32,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// Cheaply cloneable handle to a shared trace buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with an empty buffer.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording currently on?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one event (no-op while disabled).
+    pub fn record(
+        &self,
+        time: SimTime,
+        category: &'static str,
+        label: impl Into<String>,
+        kind: TraceKind,
+        track: u32,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.events.lock().push(TraceEvent {
+            time,
+            category,
+            label: label.into(),
+            kind,
+            track,
+        });
+    }
+
+    /// Record a point event.
+    pub fn instant(&self, time: SimTime, category: &'static str, label: impl Into<String>) {
+        self.record(time, category, label, TraceKind::Instant, 0);
+    }
+
+    /// Record a span start.
+    pub fn begin(
+        &self,
+        time: SimTime,
+        category: &'static str,
+        label: impl Into<String>,
+        track: u32,
+    ) {
+        self.record(time, category, label, TraceKind::Begin, track);
+    }
+
+    /// Record a span end.
+    pub fn end(&self, time: SimTime, category: &'static str, label: impl Into<String>, track: u32) {
+        self.record(time, category, label, TraceKind::End, track);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Remove and return all events recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.inner.events.lock())
+    }
+
+    /// Reconstruct completed `(begin, end)` spans for one category,
+    /// matching by `(track, label)` in FIFO order.
+    pub fn spans(&self, category: &'static str) -> Vec<Span> {
+        let events = self.inner.events.lock();
+        let mut open: Vec<(u32, String, SimTime)> = Vec::new();
+        let mut out = Vec::new();
+        for ev in events.iter().filter(|e| e.category == category) {
+            match ev.kind {
+                TraceKind::Begin => open.push((ev.track, ev.label.clone(), ev.time)),
+                TraceKind::End => {
+                    if let Some(pos) = open
+                        .iter()
+                        .position(|(t, l, _)| *t == ev.track && *l == ev.label)
+                    {
+                        let (track, label, start) = open.remove(pos);
+                        out.push(Span {
+                            category,
+                            label,
+                            track,
+                            start,
+                            end: ev.time,
+                        });
+                    }
+                }
+                TraceKind::Instant => {}
+            }
+        }
+        out.sort_by_key(|s| (s.start, s.track));
+        out
+    }
+
+    /// Serialize as Chrome trace-event JSON (load in `chrome://tracing` or
+    /// Perfetto): begin/end become duration events (`B`/`E`), instants
+    /// become `i`, tracks become thread ids.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for ev in self.inner.events.lock().iter() {
+            let ph = match ev.kind {
+                TraceKind::Begin => "B",
+                TraceKind::End => "E",
+                TraceKind::Instant => "i",
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                ev.label.replace('"', "'"),
+                ev.category,
+                ph,
+                ev.time.as_nanos() / 1_000, // µs
+                ev.track
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Serialize all events as CSV (`time_ms,category,kind,track,label`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("time_ms,category,kind,track,label\n");
+        for ev in self.inner.events.lock().iter() {
+            let kind = match ev.kind {
+                TraceKind::Instant => "instant",
+                TraceKind::Begin => "begin",
+                TraceKind::End => "end",
+            };
+            s.push_str(&format!(
+                "{:.6},{},{},{},{}\n",
+                ev.time.as_millis_f64(),
+                ev.category,
+                kind,
+                ev.track,
+                ev.label.replace(',', ";")
+            ));
+        }
+        s
+    }
+}
+
+/// A completed activity span reconstructed from begin/end events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Category the span was recorded under.
+    pub category: &'static str,
+    /// Label shared by the begin/end pair.
+    pub label: String,
+    /// Track identifier.
+    pub track: u32,
+    /// Span start time.
+    pub start: SimTime,
+    /// Span end time.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> crate::time::SimDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// Do two spans overlap in time (open intervals)?
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = Tracer::new();
+        tr.instant(t(1), "x", "a");
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn spans_are_matched_by_track_and_label() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(0), "kernel", "k1", 0);
+        tr.begin(t(1), "kernel", "k2", 1);
+        tr.end(t(3), "kernel", "k1", 0);
+        tr.end(t(5), "kernel", "k2", 1);
+        let spans = tr.spans("kernel");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].label, "k1");
+        assert_eq!(spans[0].duration(), SimDuration::from_millis(3));
+        assert!(spans[0].overlaps(&spans[1]));
+    }
+
+    #[test]
+    fn non_overlapping_spans_detected() {
+        let a = Span {
+            category: "c",
+            label: "a".into(),
+            track: 0,
+            start: t(0),
+            end: t(2),
+        };
+        let b = Span {
+            category: "c",
+            label: "b".into(),
+            track: 0,
+            start: t(2),
+            end: t(4),
+        };
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn csv_export_contains_rows() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(2), "io", "h2d,start");
+        let csv = tr.to_csv();
+        assert!(csv.contains("2.000000,io,instant,0,h2d;start"));
+    }
+
+    #[test]
+    fn chrome_trace_export_is_wellformed() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(1), "kernel", "k1", 3);
+        tr.end(t(2), "kernel", "k1", 3);
+        tr.instant(t(3), "io", "x");
+        let json = tr.to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"ts\":1000"));
+    }
+
+    #[test]
+    fn take_drains_buffer() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(1), "x", "a");
+        assert_eq!(tr.take().len(), 1);
+        assert!(tr.is_empty());
+    }
+}

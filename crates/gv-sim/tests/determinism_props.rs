@@ -1,0 +1,103 @@
+//! Property tests for the simulation kernel: identical programs produce
+//! identical schedules, and synchronization primitives conserve work.
+
+use std::sync::Arc;
+
+use gv_sim::{Semaphore, SimBarrier, SimDuration, Simulation};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// Run a program of per-process hold sequences; return the observed
+/// completion order and end time.
+fn run_program(holds: &[Vec<u64>]) -> (Vec<usize>, u64) {
+    let mut sim = Simulation::new();
+    let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    for (i, seq) in holds.iter().enumerate() {
+        let seq = seq.clone();
+        let order = order.clone();
+        sim.spawn(&format!("p{i}"), move |ctx| {
+            for &us in &seq {
+                ctx.hold(SimDuration::from_micros(us));
+            }
+            order.lock().push(i);
+        });
+    }
+    let summary = sim.run().unwrap();
+    let order = order.lock().clone();
+    (order, summary.end_time.as_nanos())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re-running the same program yields the identical schedule: the
+    /// engine is deterministic despite being built on OS threads.
+    #[test]
+    fn schedules_are_reproducible(
+        holds in prop::collection::vec(prop::collection::vec(0u64..500, 0..8), 1..6)
+    ) {
+        let a = run_program(&holds);
+        let b = run_program(&holds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// End time equals the maximum per-process hold total (processes are
+    /// independent), regardless of interleaving.
+    #[test]
+    fn end_time_is_max_of_sums(
+        holds in prop::collection::vec(prop::collection::vec(0u64..500, 0..8), 1..6)
+    ) {
+        let (_, end_ns) = run_program(&holds);
+        let want: u64 = holds
+            .iter()
+            .map(|seq| seq.iter().sum::<u64>() * 1_000)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(end_ns, want);
+    }
+
+    /// A k-server semaphore over n identical jobs behaves like a makespan
+    /// scheduler: total time = ceil(n / k) × job (work conservation).
+    #[test]
+    fn semaphore_conserves_work(jobs in 1usize..12, permits in 1usize..4, job_ms in 1u64..20) {
+        let mut sim = Simulation::new();
+        let sem = Semaphore::new(permits);
+        for i in 0..jobs {
+            let sem = sem.clone();
+            sim.spawn(&format!("j{i}"), move |ctx| {
+                sem.acquire(ctx);
+                ctx.hold(SimDuration::from_millis(job_ms));
+                sem.release(ctx);
+            });
+        }
+        let end = sim.run().unwrap().end_time.as_nanos();
+        let waves = jobs.div_ceil(permits) as u64;
+        prop_assert_eq!(end, waves * job_ms * 1_000_000);
+    }
+
+    /// A barrier releases everyone exactly at the last arrival, for any
+    /// arrival pattern.
+    #[test]
+    fn barrier_release_time_is_last_arrival(arrivals in prop::collection::vec(0u64..1000, 2..8)) {
+        let n = arrivals.len();
+        let mut sim = Simulation::new();
+        let bar = SimBarrier::new(n);
+        let releases: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let last = *arrivals.iter().max().unwrap();
+        for (i, &a) in arrivals.iter().enumerate() {
+            let bar = bar.clone();
+            let releases = releases.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                ctx.hold(SimDuration::from_micros(a));
+                bar.wait(ctx);
+                releases.lock().push(ctx.now().as_nanos());
+            });
+        }
+        sim.run().unwrap();
+        let releases = releases.lock().clone();
+        prop_assert_eq!(releases.len(), n);
+        for r in releases {
+            prop_assert_eq!(r, last * 1_000);
+        }
+    }
+}

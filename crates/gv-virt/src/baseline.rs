@@ -1,0 +1,90 @@
+//! The comparison baseline: conventional direct GPU sharing (paper §IV.B.1).
+//!
+//! Every SPMD process initializes the GPU itself — creating its *own*
+//! context (serialized through the driver) — then runs its task with
+//! synchronous pageable copies and kernel launches. The device serializes
+//! work across the N contexts, charging each task's measured context-switch
+//! cost (paper Fig. 4 / Eq. 1).
+
+use gv_cuda::{CudaDevice, HostBuffer};
+use gv_kernels::GpuTask;
+use gv_sim::Ctx;
+
+use crate::protocol::TaskRun;
+
+/// Run `task` the conventional way from the calling process. Returns the
+/// phase timestamps and, for functional tasks, the output bytes.
+pub fn run_direct(
+    ctx: &mut Ctx,
+    cuda: &CudaDevice,
+    task: &GpuTask,
+    rank: usize,
+) -> (TaskRun, Option<Vec<u8>>) {
+    let start = ctx.now();
+
+    // --- Initialization: context creation + device allocation (Fig. 3). --
+    let cc = cuda.create_context_with_switch_cost(
+        ctx,
+        &format!("{}-p{rank}", task.name),
+        task.ctx_switch_cost,
+    );
+    let stream = cc.stream_create();
+    let dev = cc
+        .malloc(task.device_bytes.max(1))
+        .expect("device allocation");
+    let init_done = ctx.now();
+
+    let functional = task.is_functional();
+    let hin = match &task.input {
+        Some(data) => HostBuffer::from_bytes(data.as_ref().clone(), false),
+        None => HostBuffer::opaque(task.bytes_in.max(1), false),
+    };
+    let hout = if functional {
+        HostBuffer::zeroed(task.bytes_out.max(1), false)
+    } else {
+        HostBuffer::opaque(task.bytes_out.max(1), false)
+    };
+    let kernels = task.bind_kernels(dev);
+
+    let mut data_in_done = init_done;
+    let mut comp_done = init_done;
+    let mut data_out_done = init_done;
+    for iter in 0..task.iterations {
+        // Send data: synchronous pageable H2D.
+        if task.bytes_in > 0 {
+            cc.memcpy_h2d(ctx, stream, &hin, dev, task.bytes_in)
+                .expect("baseline H2D");
+        }
+        if iter == 0 {
+            data_in_done = ctx.now();
+        }
+        // Compute: asynchronous launches + explicit sync.
+        for k in &kernels {
+            cc.launch(ctx, stream, k.clone()).expect("baseline launch");
+        }
+        cc.stream_synchronize(ctx, stream);
+        comp_done = ctx.now();
+        // Retrieve data: synchronous pageable D2H.
+        if task.bytes_out > 0 {
+            cc.memcpy_d2h(ctx, stream, dev.add(task.d2h_offset), &hout, task.bytes_out)
+                .expect("baseline D2H");
+        }
+        data_out_done = ctx.now();
+    }
+
+    cc.free(dev).expect("free device allocation");
+    let end = ctx.now();
+    let output = if functional { hout.to_bytes() } else { None };
+    (
+        TaskRun {
+            rank,
+            start,
+            init_done,
+            data_in_done,
+            comp_done,
+            data_out_done,
+            end,
+        },
+        output,
+    )
+}

@@ -1,0 +1,222 @@
+//! The user-process API layer: the Virtual GPU view.
+//!
+//! A [`VgpuClient`] is what an SPMD process links against instead of the
+//! CUDA runtime: `REQ()`, `SND()`, `STR()`, `STP()`, `RCV()`, `RLS()`
+//! exactly as in the paper's Fig. 8, plus [`run_task`](VgpuClient::run_task)
+//! which performs the whole cycle and reports the Fig. 3 phase timestamps.
+
+use gv_ipc::{MessageQueue, SharedMem};
+use gv_sim::{Ctx, SimDuration};
+
+use crate::gvm::GvmHandle;
+use crate::protocol::{Request, RequestKind, Response, TaskRun};
+
+/// A process's connection to the GVM.
+pub struct VgpuClient {
+    rank: usize,
+    handle: GvmHandle,
+    req: MessageQueue<Request>,
+    resp: MessageQueue<Response>,
+    shm: SharedMem,
+}
+
+impl VgpuClient {
+    /// Connect rank `rank` to a GVM. Blocks until the GVM is initialized
+    /// (its resources exist only after boot).
+    pub fn connect(ctx: &mut Ctx, handle: &GvmHandle, rank: usize) -> VgpuClient {
+        handle.ready.wait(ctx);
+        let req = handle
+            .req_mq
+            .open(&handle.endpoints.request_queue())
+            .expect("GVM request queue exists after ready");
+        let resp = handle
+            .resp_mq
+            .open(&handle.endpoints.response_queue(rank))
+            .expect("GVM response queue exists after ready");
+        let shm = handle
+            .shm
+            .open(&handle.endpoints.shm(rank))
+            .expect("GVM shm exists after ready");
+        VgpuClient {
+            rank,
+            handle: handle.clone(),
+            req,
+            resp,
+            shm,
+        }
+    }
+
+    /// This client's SPMD rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn call(&self, ctx: &mut Ctx, kind: RequestKind) -> Response {
+        self.req
+            .send(
+                ctx,
+                Request {
+                    rank: self.rank,
+                    kind,
+                },
+            )
+            .expect("GVM request queue open");
+        self.resp.recv(ctx).expect("GVM response")
+    }
+
+    /// `REQ()`: request VGPU resources.
+    pub fn req(&self, ctx: &mut Ctx) {
+        let r = self.call(ctx, RequestKind::Req);
+        debug_assert_eq!(r, Response::Ack);
+    }
+
+    /// `SND()`: stage this rank's input into virtual shared memory (the
+    /// client-side copy), then ask the GVM to move it to pinned memory.
+    pub fn snd(&self, ctx: &mut Ctx) {
+        let task = self.handle.task(self.rank).clone();
+        if task.bytes_in > 0 {
+            match &task.input {
+                Some(data) => self
+                    .shm
+                    .write(ctx, 0, data)
+                    .expect("input fits the shm segment"),
+                None => self
+                    .shm
+                    .touch(ctx, task.bytes_in)
+                    .expect("input size fits the shm segment"),
+            }
+        }
+        let r = self.call(ctx, RequestKind::Snd);
+        debug_assert_eq!(r, Response::Ack);
+    }
+
+    /// `STR()`: start execution. Blocks until all ranks reached this point
+    /// (the GVM's barrier) and the streams were flushed.
+    pub fn str(&self, ctx: &mut Ctx) {
+        let r = self.call(ctx, RequestKind::Str);
+        debug_assert_eq!(r, Response::Ack);
+    }
+
+    /// `STP()` poll loop: query status with exponential backoff until the
+    /// GVM acknowledges completion ("If(WAIT), resends STP").
+    pub fn stp_until_done(&self, ctx: &mut Ctx) {
+        let mut backoff = self.handle.config.poll_initial;
+        loop {
+            match self.call(ctx, RequestKind::Stp) {
+                Response::Ack => return,
+                Response::Wait => {
+                    ctx.hold(backoff);
+                    backoff = (backoff * 2).min(self.handle.config.poll_max);
+                }
+            }
+        }
+    }
+
+    /// `RCV()`: ask the GVM to copy results into shared memory, then read
+    /// them out (the client-side copy). Returns the bytes for functional
+    /// tasks, `None` for timing-only tasks.
+    pub fn rcv(&self, ctx: &mut Ctx) -> Option<Vec<u8>> {
+        let task = self.handle.task(self.rank).clone();
+        let r = self.call(ctx, RequestKind::Rcv);
+        debug_assert_eq!(r, Response::Ack);
+        if task.bytes_out == 0 {
+            return None;
+        }
+        let bytes = self
+            .shm
+            .read(ctx, 0, task.bytes_out)
+            .expect("output fits the shm segment");
+        if task.is_functional() {
+            Some(bytes)
+        } else {
+            None
+        }
+    }
+
+    /// `RLS()`: release VGPU resources.
+    pub fn rls(&self, ctx: &mut Ctx) {
+        let r = self.call(ctx, RequestKind::Rls);
+        debug_assert_eq!(r, Response::Ack);
+    }
+
+    /// Run `rounds` back-to-back execution cycles under one resource
+    /// acquisition: REQ once, then rounds × (SND → STR → STP* → RCV), then
+    /// RLS — how an iterating SPMD program uses its VGPU. Returns the last
+    /// round's timestamps and output. All ranks must use the same round
+    /// count (each STR barriers across the group).
+    pub fn run_rounds(&self, ctx: &mut Ctx, rounds: u32) -> (TaskRun, Option<Vec<u8>>) {
+        assert!(rounds >= 1);
+        let start = ctx.now();
+        self.req(ctx);
+        let init_done = ctx.now();
+        let mut last = None;
+        for _ in 0..rounds {
+            self.snd(ctx);
+            let data_in_done = ctx.now();
+            self.str(ctx);
+            self.stp_until_done(ctx);
+            let comp_done = ctx.now();
+            let output = self.rcv(ctx);
+            let data_out_done = ctx.now();
+            last = Some((data_in_done, comp_done, data_out_done, output));
+        }
+        self.rls(ctx);
+        let end = ctx.now();
+        let (data_in_done, comp_done, data_out_done, output) = last.expect("at least one round");
+        (
+            TaskRun {
+                rank: self.rank,
+                start,
+                init_done,
+                data_in_done,
+                comp_done,
+                data_out_done,
+                end,
+            },
+            output,
+        )
+    }
+
+    /// The full execution cycle (paper Fig. 8 right column): REQ → SND →
+    /// STR → STP* → RCV → RLS, with Fig. 3 phase timestamps.
+    pub fn run_task(&self, ctx: &mut Ctx) -> (TaskRun, Option<Vec<u8>>) {
+        let start = ctx.now();
+        self.req(ctx);
+        let init_done = ctx.now();
+        self.snd(ctx);
+        let data_in_done = ctx.now();
+        self.str(ctx);
+        self.stp_until_done(ctx);
+        let comp_done = ctx.now();
+        let output = self.rcv(ctx);
+        let data_out_done = ctx.now();
+        self.rls(ctx);
+        let end = ctx.now();
+        (
+            TaskRun {
+                rank: self.rank,
+                start,
+                init_done,
+                data_in_done,
+                comp_done,
+                data_out_done,
+                end,
+            },
+            output,
+        )
+    }
+}
+
+impl std::fmt::Debug for VgpuClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VgpuClient")
+            .field("rank", &self.rank)
+            .field("gvm", &self.handle.endpoints.gvm)
+            .finish()
+    }
+}
+
+/// Client-side poll hold: exported for tests that emulate partial flows.
+pub fn next_backoff(current: SimDuration, max: SimDuration) -> SimDuration {
+    (current * 2).min(max)
+}

@@ -1,0 +1,384 @@
+//! The GPU Virtualization Manager (paper §V).
+//!
+//! The GVM is a run-time process that owns the *single* GPU context and all
+//! GPU resources. At initialization it creates, for every SPMD rank: a
+//! virtual shared memory segment, a response queue, a CUDA stream, device
+//! memory, and pinned staging buffers, and pre-binds the rank's kernels —
+//! then serves `REQ/SND/STR/STP/RCV/RLS` requests. `STR` requests are
+//! buffered behind a barrier and all streams are flushed together so Fermi
+//! can overlap copies with compute and run small kernels concurrently
+//! within the one context.
+
+use std::sync::Arc;
+
+use gv_cuda::{CudaDevice, HostBuffer};
+use gv_gpu::DevicePtr;
+use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
+use gv_kernels::GpuTask;
+use gv_sim::{Ctx, Gate, SimDuration, Simulation};
+use parking_lot::Mutex;
+
+use crate::protocol::{Endpoints, Request, RequestKind, Response};
+
+/// GVM configuration.
+#[derive(Debug, Clone)]
+pub struct GvmConfig {
+    /// Instance name (namespaces queues and segments).
+    pub name: String,
+    /// Number of SPMD processes served (the `STR` barrier width).
+    pub ntask: usize,
+    /// Client `STP` poll backoff: initial interval.
+    pub poll_initial: SimDuration,
+    /// Client `STP` poll backoff: cap.
+    pub poll_max: SimDuration,
+    /// Ablation: drain each rank's stream before flushing the next (no
+    /// cross-process overlap — what a naive time-sharing manager would do).
+    pub serial_flush: bool,
+}
+
+impl GvmConfig {
+    /// Defaults for `ntask` processes.
+    pub fn new(ntask: usize) -> Self {
+        GvmConfig {
+            name: "gvm".to_string(),
+            ntask,
+            poll_initial: SimDuration::from_micros(50),
+            poll_max: SimDuration::from_millis(4),
+            serial_flush: false,
+        }
+    }
+
+    /// The serial-flush ablation variant.
+    pub fn serial_flush(ntask: usize) -> Self {
+        GvmConfig {
+            serial_flush: true,
+            ..Self::new(ntask)
+        }
+    }
+}
+
+/// Counters describing what the GVM did (virtualization-overhead audit).
+#[derive(Debug, Clone, Default)]
+pub struct GvmStats {
+    /// `SND` staging copies performed (shm → pinned).
+    pub snd_copies: u64,
+    /// `RCV` copies performed (pinned → shm).
+    pub rcv_copies: u64,
+    /// Total simulated time the GVM spent in staging memcpys.
+    pub copy_time: SimDuration,
+    /// `STR` barrier flushes performed.
+    pub flushes: u64,
+    /// Total simulated time spent submitting stream work at flushes.
+    pub submit_time: SimDuration,
+    /// `STP` queries answered with `WAIT`.
+    pub stp_waits: u64,
+}
+
+struct RankResources {
+    shm: SharedMem,
+    resp: MessageQueue<Response>,
+    /// Index of this rank's device/context (multi-GPU nodes round-robin).
+    dev_idx: usize,
+    stream: gv_gpu::StreamId,
+    dev_base: DevicePtr,
+    pinned_in: HostBuffer,
+    pinned_out: HostBuffer,
+    kernels: Vec<gv_gpu::KernelDesc>,
+    task: GpuTask,
+}
+
+/// Handle returned by [`Gvm::install`]: everything a client process needs
+/// to connect, plus lifecycle gates for the harness.
+#[derive(Clone)]
+pub struct GvmHandle {
+    /// Queue/segment naming.
+    pub endpoints: Endpoints,
+    /// Configuration (barrier width, poll backoff).
+    pub config: Arc<GvmConfig>,
+    /// Shared-memory namespace for this node.
+    pub shm: ShmRegistry,
+    /// Request-queue namespace.
+    pub req_mq: MqRegistry<Request>,
+    /// Response-queue namespace.
+    pub resp_mq: MqRegistry<Response>,
+    /// Opens once the GVM finished initializing all virtual resources.
+    pub ready: Gate,
+    /// Opens once every rank has sent `RLS`.
+    pub done: Gate,
+    /// Per-rank task descriptions (clients read their input sizes here).
+    pub tasks: Arc<Vec<GpuTask>>,
+    /// Post-run statistics.
+    pub stats: Arc<Mutex<GvmStats>>,
+}
+
+impl GvmHandle {
+    /// The task assigned to `rank`.
+    pub fn task(&self, rank: usize) -> &GpuTask {
+        &self.tasks[rank]
+    }
+}
+
+/// The GPU Virtualization Manager installer.
+pub struct Gvm;
+
+impl Gvm {
+    /// Spawn a GVM process into `sim` serving `tasks[r]` for rank `r`.
+    /// The GVM boots (context creation, resource setup) before opening
+    /// `ready`; clients must wait on it.
+    pub fn install(
+        sim: &mut Simulation,
+        node: &Node,
+        cuda: &CudaDevice,
+        config: GvmConfig,
+        tasks: Vec<GpuTask>,
+    ) -> GvmHandle {
+        Self::install_multi(sim, node, std::slice::from_ref(cuda), config, tasks)
+    }
+
+    /// Multi-GPU variant: the GVM owns one context per device and assigns
+    /// rank `r` to device `r % devices.len()` (the paper's architecture has
+    /// one GPU per node; this extension shows the layer generalizes to
+    /// fatter nodes without touching the client protocol).
+    pub fn install_multi(
+        sim: &mut Simulation,
+        node: &Node,
+        cudas: &[CudaDevice],
+        config: GvmConfig,
+        tasks: Vec<GpuTask>,
+    ) -> GvmHandle {
+        assert!(!cudas.is_empty(), "at least one device required");
+        assert_eq!(tasks.len(), config.ntask, "one task per SPMD rank required");
+        assert!(config.ntask >= 1);
+        let endpoints = Endpoints::new(&config.name);
+        let shm_reg = ShmRegistry::new(node.config());
+        let req_reg: MqRegistry<Request> = MqRegistry::new(node.config());
+        let resp_reg: MqRegistry<Response> = MqRegistry::new(node.config());
+        let handle = GvmHandle {
+            endpoints: endpoints.clone(),
+            config: Arc::new(config),
+            shm: shm_reg,
+            req_mq: req_reg,
+            resp_mq: resp_reg,
+            ready: Gate::new(),
+            done: Gate::new(),
+            tasks: Arc::new(tasks),
+            stats: Arc::new(Mutex::new(GvmStats::default())),
+        };
+        let h = handle.clone();
+        let cudas = cudas.to_vec();
+        let node = node.clone();
+        sim.spawn(&h.endpoints.gvm.clone(), move |ctx| {
+            gvm_main(ctx, h, cudas, node);
+        });
+        handle
+    }
+}
+
+fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
+    let cfg = &h.config;
+    let endpoints = &h.endpoints;
+
+    // --- Initialization (paper Fig. 8, left column top) -----------------
+    // "Gets the GPU device / Initializes Context": one charged context per
+    // device (a single-GPU node pays exactly one creation).
+    let contexts: Vec<gv_cuda::CudaContext> = cudas
+        .iter()
+        .enumerate()
+        .map(|(i, cuda)| cuda.create_context(ctx, &format!("{}-ctx{i}", endpoints.gvm)))
+        .collect();
+    let req_q = h
+        .req_mq
+        .create(&endpoints.request_queue(), None)
+        .expect("request queue name free");
+
+    let mut ranks: Vec<RankResources> = Vec::with_capacity(cfg.ntask);
+    for r in 0..cfg.ntask {
+        let task = h.tasks[r].clone();
+        let shm_size = task.bytes_in.max(task.bytes_out).max(1);
+        let shm = h
+            .shm
+            .create(&endpoints.shm(r), shm_size)
+            .expect("shm name free");
+        let resp = h
+            .resp_mq
+            .create(&endpoints.response_queue(r), None)
+            .expect("response queue name free");
+        let dev_idx = r % contexts.len();
+        let cc = &contexts[dev_idx];
+        let stream = cc.stream_create();
+        let dev_base = cc
+            .malloc(task.device_bytes.max(1))
+            .expect("GVM device allocation");
+        let functional = task.is_functional();
+        let pinned_in = if functional {
+            HostBuffer::zeroed(task.bytes_in.max(1), true)
+        } else {
+            HostBuffer::opaque(task.bytes_in.max(1), true)
+        };
+        let pinned_out = if functional {
+            HostBuffer::zeroed(task.bytes_out.max(1), true)
+        } else {
+            HostBuffer::opaque(task.bytes_out.max(1), true)
+        };
+        // "Prepares the kernels to be executed when initialized".
+        let kernels = task.bind_kernels(dev_base);
+        ranks.push(RankResources {
+            shm,
+            resp,
+            dev_idx,
+            stream,
+            dev_base,
+            pinned_in,
+            pinned_out,
+            kernels,
+            task,
+        });
+    }
+    h.ready.open(ctx);
+
+    // --- Serve loop ------------------------------------------------------
+    let mut str_waiting: Vec<usize> = Vec::new();
+    let mut released = 0usize;
+    while released < cfg.ntask {
+        let Some(req) = req_q.recv(ctx) else { break };
+        let r = req.rank;
+        match req.kind {
+            RequestKind::Req => {
+                // "Provides Virtual and GPU Resource" — pre-created at init.
+                ranks[r]
+                    .resp
+                    .send(ctx, Response::Ack)
+                    .expect("resp queue open");
+            }
+            RequestKind::Snd => {
+                // "Copies Data from Virtual Shared Memory to Host Pinned
+                // Memory" — performed by the GVM, charged to the GVM.
+                let bytes = ranks[r].task.bytes_in;
+                if bytes > 0 {
+                    let t0 = ctx.now();
+                    if ranks[r].task.is_functional() {
+                        let data = ranks[r].shm.read(ctx, 0, bytes).expect("shm read");
+                        ranks[r].pinned_in.fill_bytes(&data);
+                    } else {
+                        ctx.hold(node.config().memcpy_time(bytes));
+                    }
+                    let mut stats = h.stats.lock();
+                    stats.snd_copies += 1;
+                    stats.copy_time += ctx.now().duration_since(t0);
+                }
+                ranks[r]
+                    .resp
+                    .send(ctx, Response::Ack)
+                    .expect("resp queue open");
+            }
+            RequestKind::Str => {
+                // "Buffers the STR message … Barrier to synchronize STR
+                // from all processes", then flush every stream together.
+                str_waiting.push(r);
+                if str_waiting.len() == cfg.ntask {
+                    let t0 = ctx.now();
+                    for rank in ranks.iter_mut() {
+                        let cc = &contexts[rank.dev_idx];
+                        flush_rank(ctx, cc, rank);
+                        if cfg.serial_flush {
+                            cc.stream_synchronize(ctx, rank.stream);
+                        }
+                    }
+                    {
+                        let mut stats = h.stats.lock();
+                        stats.flushes += 1;
+                        stats.submit_time += ctx.now().duration_since(t0);
+                    }
+                    // "Barrier to synchronize ACK to all processes".
+                    for &rr in &str_waiting {
+                        ranks[rr]
+                            .resp
+                            .send(ctx, Response::Ack)
+                            .expect("resp queue open");
+                    }
+                    str_waiting.clear();
+                }
+            }
+            RequestKind::Stp => {
+                // "If status(stream)=0 sends WAIT, otherwise sends ACK".
+                let done = contexts[ranks[r].dev_idx].stream_query(ranks[r].stream);
+                let resp = if done { Response::Ack } else { Response::Wait };
+                if !done {
+                    h.stats.lock().stp_waits += 1;
+                }
+                ranks[r].resp.send(ctx, resp).expect("resp queue open");
+            }
+            RequestKind::Rcv => {
+                // "Copies Result Data from Host Pinned Memory to Virtual
+                // Shared Memory".
+                let bytes = ranks[r].task.bytes_out;
+                if bytes > 0 {
+                    let t0 = ctx.now();
+                    if ranks[r].task.is_functional() {
+                        let data = ranks[r]
+                            .pinned_out
+                            .to_bytes()
+                            .expect("functional pinned buffer");
+                        ranks[r]
+                            .shm
+                            .write(ctx, 0, &data[..bytes as usize])
+                            .expect("shm write");
+                    } else {
+                        ctx.hold(node.config().memcpy_time(bytes));
+                    }
+                    let mut stats = h.stats.lock();
+                    stats.rcv_copies += 1;
+                    stats.copy_time += ctx.now().duration_since(t0);
+                }
+                ranks[r]
+                    .resp
+                    .send(ctx, Response::Ack)
+                    .expect("resp queue open");
+            }
+            RequestKind::Rls => {
+                released += 1;
+                ranks[r]
+                    .resp
+                    .send(ctx, Response::Ack)
+                    .expect("resp queue open");
+            }
+        }
+    }
+
+    // Free device resources.
+    for rank in &ranks {
+        let _ = cudas[rank.dev_idx].device().free(rank.dev_base);
+    }
+    h.done.open(ctx);
+}
+
+/// Enqueue one rank's complete pipeline into its stream: per iteration,
+/// async H2D from pinned, the kernel sequence, async D2H into pinned.
+fn flush_rank(ctx: &mut Ctx, cc: &gv_cuda::CudaContext, rank: &mut RankResources) {
+    let task = &rank.task;
+    for _ in 0..task.iterations {
+        if task.bytes_in > 0 {
+            cc.memcpy_h2d_async(
+                ctx,
+                rank.stream,
+                &rank.pinned_in,
+                rank.dev_base,
+                task.bytes_in,
+            )
+            .expect("GVM H2D submit");
+        }
+        for k in &rank.kernels {
+            cc.launch(ctx, rank.stream, k.clone()).expect("GVM launch");
+        }
+        if task.bytes_out > 0 {
+            cc.memcpy_d2h_async(
+                ctx,
+                rank.stream,
+                rank.dev_base.add(task.d2h_offset),
+                &rank.pinned_out,
+                task.bytes_out,
+            )
+            .expect("GVM D2H submit");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The GVM wire protocol (paper Fig. 8).
+//!
+//! User processes talk to the GPU Virtualization Manager through two POSIX
+//! message queues: a shared *request* queue into the GVM and a per-process
+//! *response* queue back. The request vocabulary is exactly the paper's:
+//!
+//! | Message | Meaning |
+//! |---------|---------|
+//! | `REQ`   | request VGPU resources for this process |
+//! | `SND`   | GPU input data is in my virtual shared memory — stage it |
+//! | `STR`   | start executing my GPU program (barrier across all processes) |
+//! | `STP`   | query execution status (`ACK` done / `WAIT` still running) |
+//! | `RCV`   | copy my results back into my virtual shared memory |
+//! | `RLS`   | release my VGPU resources |
+
+use gv_sim::SimTime;
+
+/// Request kinds a user process can send (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Request VGPU resources.
+    Req,
+    /// Input staged in virtual shared memory; copy to pinned.
+    Snd,
+    /// Start execution (GVM barriers until all processes send this).
+    Str,
+    /// Status query.
+    Stp,
+    /// Retrieve results into virtual shared memory.
+    Rcv,
+    /// Release resources.
+    Rls,
+}
+
+/// A request message: sender rank + kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// SPMD rank of the sender.
+    pub rank: usize,
+    /// What is being asked.
+    pub kind: RequestKind,
+}
+
+/// Response messages from the GVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Request completed.
+    Ack,
+    /// Execution still in progress (answer to `STP` only).
+    Wait,
+}
+
+/// Shared-memory and queue names, derived from a GVM instance name so
+/// several GVMs can coexist in one simulation.
+#[derive(Debug, Clone)]
+pub struct Endpoints {
+    /// GVM instance name.
+    pub gvm: String,
+}
+
+impl Endpoints {
+    /// Endpoints for a GVM instance called `gvm`.
+    pub fn new(gvm: &str) -> Self {
+        Endpoints {
+            gvm: gvm.to_string(),
+        }
+    }
+
+    /// Name of the shared request queue.
+    pub fn request_queue(&self) -> String {
+        format!("/{}-req", self.gvm)
+    }
+
+    /// Name of rank `r`'s response queue.
+    pub fn response_queue(&self, r: usize) -> String {
+        format!("/{}-resp-{r}", self.gvm)
+    }
+
+    /// Name of rank `r`'s virtual shared memory segment.
+    pub fn shm(&self, r: usize) -> String {
+        format!("/{}-shm-{r}", self.gvm)
+    }
+}
+
+/// Timestamps of one task execution as observed by the client process,
+/// aligned with the paper's Fig. 3 execution-cycle stages.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskRun {
+    /// SPMD rank.
+    pub rank: usize,
+    /// Process start (before any GPU initialization).
+    pub start: SimTime,
+    /// After initialization (context creation / `REQ` acknowledged).
+    pub init_done: SimTime,
+    /// After input data reached the device path (`SND` acknowledged /
+    /// synchronous H2D returned).
+    pub data_in_done: SimTime,
+    /// After kernel execution finished (`STP` acknowledged / stream sync).
+    pub comp_done: SimTime,
+    /// After results returned to the process.
+    pub data_out_done: SimTime,
+    /// After resource release.
+    pub end: SimTime,
+}
+
+impl TaskRun {
+    /// `Tinit` for this process.
+    pub fn t_init(&self) -> f64 {
+        self.init_done.duration_since(self.start).as_millis_f64()
+    }
+
+    /// `Tdata_in` for this process.
+    pub fn t_data_in(&self) -> f64 {
+        self.data_in_done
+            .duration_since(self.init_done)
+            .as_millis_f64()
+    }
+
+    /// `Tcomp` for this process.
+    pub fn t_comp(&self) -> f64 {
+        self.comp_done
+            .duration_since(self.data_in_done)
+            .as_millis_f64()
+    }
+
+    /// `Tdata_out` for this process.
+    pub fn t_data_out(&self) -> f64 {
+        self.data_out_done
+            .duration_since(self.comp_done)
+            .as_millis_f64()
+    }
+
+    /// Whole-cycle duration for this process.
+    pub fn total(&self) -> f64 {
+        self.end.duration_since(self.start).as_millis_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_sim::SimDuration;
+
+    #[test]
+    fn endpoints_are_namespaced() {
+        let e = Endpoints::new("gvm0");
+        assert_eq!(e.request_queue(), "/gvm0-req");
+        assert_eq!(e.response_queue(3), "/gvm0-resp-3");
+        assert_eq!(e.shm(7), "/gvm0-shm-7");
+    }
+
+    #[test]
+    fn taskrun_phase_math() {
+        let t0 = SimTime::ZERO;
+        let ms = SimDuration::from_millis;
+        let run = TaskRun {
+            rank: 0,
+            start: t0,
+            init_done: t0 + ms(10),
+            data_in_done: t0 + ms(30),
+            comp_done: t0 + ms(130),
+            data_out_done: t0 + ms(150),
+            end: t0 + ms(151),
+        };
+        assert_eq!(run.t_init(), 10.0);
+        assert_eq!(run.t_data_in(), 20.0);
+        assert_eq!(run.t_comp(), 100.0);
+        assert_eq!(run.t_data_out(), 20.0);
+        assert_eq!(run.total(), 151.0);
+    }
+}

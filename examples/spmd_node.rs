@@ -1,0 +1,58 @@
+//! An 8-process SPMD node, with and without virtualization.
+//!
+//! Reproduces the paper's headline scenario in miniature: eight CPU cores
+//! share one GPU running NPB EP tasks. Without the GVM each process creates
+//! its own context and the device serializes them with context switches;
+//! with the GVM everything runs concurrently inside one context.
+//!
+//! Run with: `cargo run --release --example spmd_node [nprocs]`
+
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::kernels::{Benchmark, BenchmarkId};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let scenario = Scenario::default();
+    assert!(
+        n <= scenario.node.cores,
+        "SPMD condition: at most {} processes on this node",
+        scenario.node.cores
+    );
+
+    // A 1/8th-cost EP so the example runs fast; shape is unchanged.
+    let task = Benchmark::scaled_task(BenchmarkId::Ep, &scenario.device, 8);
+    println!("benchmark: EP (scaled), {n} SPMD processes\n");
+
+    let direct = scenario.run_uniform(ExecutionMode::Direct, &task, n);
+    println!("conventional sharing (no virtualization):");
+    println!("  turnaround        : {:>10.1} ms", direct.turnaround_ms);
+    println!("  context switches  : {:>10}", direct.device.ctx_switches);
+    println!(
+        "  switch time       : {:>10.1} ms",
+        direct.device.ctx_switch_time.as_millis_f64()
+    );
+    println!("  total init (Tinit): {:>10.1} ms", direct.t_init_total());
+
+    let virt = scenario.run_uniform(ExecutionMode::Virtualized, &task, n);
+    let gvm = virt.gvm.as_ref().expect("gvm stats");
+    println!("\nvirtualized (GVM):");
+    println!("  turnaround        : {:>10.1} ms", virt.turnaround_ms);
+    println!("  context switches  : {:>10}", virt.device.ctx_switches);
+    println!(
+        "  concurrent kernels: {:>10} (max in flight)",
+        virt.device.max_concurrent_kernels
+    );
+    println!("  STR flushes       : {:>10}", gvm.flushes);
+    println!(
+        "  GVM staging time  : {:>10.3} ms",
+        gvm.copy_time.as_millis_f64()
+    );
+
+    println!(
+        "\nspeedup with virtualization: {:.3}×",
+        direct.turnaround_ms / virt.turnaround_ms
+    );
+}

@@ -1,0 +1,45 @@
+//! # gvirt — GPU resource sharing and virtualization for SPMD HPC nodes
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"GPU Resource Sharing and Virtualization on High Performance Computing
+//! Systems"* (Li, Narayana, El-Araby, El-Ghazawi — ICPP 2011).
+//!
+//! The stack, bottom-up:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel
+//! * [`gpu`] — Fermi-class GPU device model (SMs, DMA engines, contexts, streams)
+//! * [`cuda`] — CUDA-like runtime API over the device model
+//! * [`ipc`] — simulated compute node: SPMD processes, shared memory, message queues
+//! * [`kernels`] — the paper's seven benchmark workloads (functional + cost model)
+//! * [`virt`] — ★ the paper's contribution: the GPU Virtualization Manager (GVM)
+//! * [`model`] — the paper's analytical model (Eqs. 1–6)
+//! * [`harness`] — experiment drivers that regenerate every table and figure
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short: build a [`harness`] scenario or
+//! assemble a node by hand — spawn a [`virt::Gvm`] plus one
+//! [`virt::VgpuClient`] per CPU core inside a [`sim::Simulation`], and give
+//! each client a [`kernels::GpuTask`] from [`kernels`].
+
+pub use gv_cuda as cuda;
+pub use gv_gpu as gpu;
+pub use gv_harness as harness;
+pub use gv_ipc as ipc;
+pub use gv_kernels as kernels;
+pub use gv_model as model;
+pub use gv_sim as sim;
+pub use gv_virt as virt;
+
+/// Commonly used items for assembling experiments by hand.
+pub mod prelude {
+    pub use gv_cuda::CudaDevice;
+    pub use gv_gpu::{DeviceConfig, GpuDevice};
+    pub use gv_harness::scenario::{ExecutionMode, Scenario};
+    pub use gv_harness::turnaround::TurnaroundConfig;
+    pub use gv_ipc::Node;
+    pub use gv_kernels::registry::{Benchmark, BenchmarkId};
+    pub use gv_model::{ExecutionProfile, SpeedupModel};
+    pub use gv_sim::{Ctx, SimDuration, SimTime, Simulation};
+    pub use gv_virt::{Gvm, GvmConfig, VgpuClient};
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration: every benchmark, both execution modes, on the
+//! full simulated stack.
+
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::kernels::{Benchmark, BenchmarkId, WorkloadClass};
+
+/// Every benchmark runs to completion in both modes at n = 2, and
+/// virtualization never loses (the paper's claim holds at every point we
+/// can afford to test here).
+#[test]
+fn all_benchmarks_run_both_modes() {
+    let sc = Scenario::default();
+    for id in BenchmarkId::all() {
+        let task = Benchmark::scaled_task(id, &sc.device, 64);
+        let direct = sc.run_uniform(ExecutionMode::Direct, &task, 2);
+        let virt = sc.run_uniform(ExecutionMode::Virtualized, &task, 2);
+        assert_eq!(direct.runs.len(), 2, "{id:?}");
+        assert_eq!(virt.runs.len(), 2, "{id:?}");
+        assert!(
+            virt.turnaround_ms < direct.turnaround_ms,
+            "{id:?}: virtualized {:.1} ms should beat direct {:.1} ms",
+            virt.turnaround_ms,
+            direct.turnaround_ms
+        );
+        // The virtualized run must not switch contexts; the direct run
+        // must switch exactly n-1 times.
+        assert_eq!(virt.device.ctx_switches, 0, "{id:?}");
+        assert_eq!(direct.device.ctx_switches, 1, "{id:?}");
+    }
+}
+
+/// Compute-intensive small-grid benchmarks actually exercise concurrent
+/// kernel execution under the GVM (the Fermi feature the paper leans on).
+#[test]
+fn small_grid_benchmarks_run_kernels_concurrently() {
+    let sc = Scenario::default();
+    for id in [BenchmarkId::Ep, BenchmarkId::Cg] {
+        let task = Benchmark::scaled_task(id, &sc.device, 64);
+        let virt = sc.run_uniform(ExecutionMode::Virtualized, &task, 4);
+        assert!(
+            virt.device.max_concurrent_kernels >= 2,
+            "{id:?}: expected concurrent kernels, max was {}",
+            virt.device.max_concurrent_kernels
+        );
+    }
+}
+
+/// Turnaround grows roughly linearly in n for the direct mode, with slope
+/// at least the context-switch cost — Eq. (1)'s structure emerges from the
+/// simulation rather than being baked in.
+#[test]
+fn direct_mode_slope_includes_switch_cost() {
+    let sc = Scenario::default();
+    let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &sc.device, 64);
+    let t2 = sc
+        .run_uniform(ExecutionMode::Direct, &task, 2)
+        .turnaround_ms;
+    let t4 = sc
+        .run_uniform(ExecutionMode::Direct, &task, 4)
+        .turnaround_ms;
+    let slope = (t4 - t2) / 2.0;
+    let switch_ms = task.ctx_switch_cost.as_millis_f64();
+    assert!(
+        slope > switch_ms,
+        "per-task slope {slope:.1} ms must exceed the switch cost {switch_ms:.1} ms"
+    );
+}
+
+/// The catalogue's classification matches each task's measured phase split
+/// in a single-process direct run.
+#[test]
+fn classification_matches_measured_phases() {
+    let sc = Scenario::default();
+    for id in [
+        BenchmarkId::VecAdd,
+        BenchmarkId::Ep,
+        BenchmarkId::Electrostatics,
+    ] {
+        let desc = Benchmark::describe(id);
+        let task = Benchmark::scaled_task(id, &sc.device, 16);
+        let r = sc.run_uniform(ExecutionMode::Direct, &task, 1);
+        let run = &r.runs[0];
+        let io = run.t_data_in() + run.t_data_out();
+        let comp = run.t_comp();
+        match desc.class {
+            WorkloadClass::IoIntensive => {
+                assert!(io > comp, "{id:?}: io {io:.3} vs comp {comp:.3}")
+            }
+            WorkloadClass::ComputeIntensive => {
+                assert!(comp > io, "{id:?}: comp {comp:.3} vs io {io:.3}")
+            }
+            WorkloadClass::Intermediate => {}
+        }
+    }
+}
+
+/// Eight processes is the node's limit; the GVM serves all of them and the
+/// group turnaround beats direct sharing by a solid factor for EP.
+#[test]
+fn full_node_ep_speedup() {
+    let sc = Scenario::default();
+    let task = Benchmark::scaled_task(BenchmarkId::Ep, &sc.device, 64);
+    let direct = sc.run_uniform(ExecutionMode::Direct, &task, 8);
+    let virt = sc.run_uniform(ExecutionMode::Virtualized, &task, 8);
+    let speedup = direct.turnaround_ms / virt.turnaround_ms;
+    assert!(
+        speedup > 3.0,
+        "EP speedup at 8 processes was only {speedup:.2}×"
+    );
+}

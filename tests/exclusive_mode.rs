@@ -1,0 +1,118 @@
+//! Exclusive compute mode: the setting where a GVM-style layer is not just
+//! faster but *necessary* — conventional SPMD sharing cannot even start.
+
+use std::sync::Arc;
+
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{ComputeMode, CtxError, DeviceConfig, GpuDevice};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::{Benchmark, BenchmarkId};
+use gvirt::sim::{SimDuration, Simulation};
+use gvirt::virt::{Gvm, GvmConfig, VgpuClient};
+use parking_lot::Mutex;
+
+fn exclusive_cfg() -> DeviceConfig {
+    DeviceConfig {
+        compute_mode: ComputeMode::Exclusive,
+        ..DeviceConfig::tesla_c2070_paper()
+    }
+}
+
+/// A second context is rejected outright in exclusive mode.
+#[test]
+fn second_context_rejected() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, exclusive_cfg());
+    let d = device.clone();
+    sim.spawn("p", move |ctx| {
+        let cost = SimDuration::from_millis(100);
+        let first = d.try_create_context("p0", cost);
+        assert!(first.is_ok());
+        assert_eq!(
+            d.try_create_context("p1", cost),
+            Err(CtxError::ExclusiveModeBusy)
+        );
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+}
+
+/// Default mode accepts any number of contexts (the paper's baseline).
+#[test]
+fn default_mode_accepts_many_contexts() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::tesla_c2070_paper());
+    let d = device.clone();
+    sim.spawn("p", move |ctx| {
+        for i in 0..8 {
+            assert!(d
+                .try_create_context(&format!("p{i}"), SimDuration::from_millis(100))
+                .is_ok());
+        }
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+}
+
+/// The GVM runs a full 4-rank SPMD group on an exclusive-mode device —
+/// its single context is exactly what the mode permits.
+#[test]
+fn gvm_serves_spmd_group_on_exclusive_device() {
+    let mut sim = Simulation::new();
+    let cfg = exclusive_cfg();
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let cuda = CudaDevice::new(device.clone());
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let task = Benchmark::scaled_task(BenchmarkId::Ep, &cfg, 64);
+    let handle = Gvm::install(&mut sim, &node, &cuda, GvmConfig::new(4), vec![task; 4]);
+    let done_count = Arc::new(Mutex::new(0usize));
+    for rank in 0..4 {
+        let handle = handle.clone();
+        let done_count = done_count.clone();
+        node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+            let client = VgpuClient::connect(ctx, &handle, rank);
+            let _ = client.run_task(ctx);
+            *done_count.lock() += 1;
+        })
+        .unwrap();
+    }
+    let h = handle.clone();
+    let dev = device.clone();
+    sim.spawn("supervisor", move |ctx| {
+        h.done.wait(ctx);
+        dev.shutdown(ctx);
+    });
+    sim.run().unwrap();
+    assert_eq!(*done_count.lock(), 4);
+    assert_eq!(device.stats().ctx_switches, 0);
+}
+
+/// Conventional SPMD sharing on an exclusive-mode device fails at the
+/// second process's initialization — the error surfaces as that process's
+/// panic, naming it.
+#[test]
+fn direct_sharing_fails_on_exclusive_device() {
+    let mut sim = Simulation::new();
+    let cfg = exclusive_cfg();
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let d0 = device.clone();
+    let d1 = device.clone();
+    sim.spawn("proc-0", move |ctx| {
+        d0.try_create_context("p0", SimDuration::from_millis(100))
+            .expect("first context fits");
+        ctx.hold(SimDuration::from_millis(1));
+    });
+    sim.spawn("proc-1", move |ctx| {
+        ctx.hold(SimDuration::from_micros(10));
+        d1.try_create_context("p1", SimDuration::from_millis(100))
+            .expect("second context must fail");
+        let _ = ctx;
+    });
+    match sim.run() {
+        Err(gvirt::sim::SimError::ProcessPanicked { name, message }) => {
+            assert_eq!(name, "proc-1");
+            assert!(message.contains("second context must fail"));
+        }
+        other => panic!("expected proc-1 to fail, got {other:?}"),
+    }
+}

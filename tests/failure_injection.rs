@@ -1,0 +1,160 @@
+//! Failure injection: the stack must fail loudly and precisely, not hang
+//! or corrupt.
+
+use gvirt::cuda::{CudaDevice, CudaError, HostBuffer};
+use gvirt::gpu::{DeviceConfig, GpuDevice, MemError};
+use gvirt::ipc::{AffinityError, Node, NodeConfig};
+use gvirt::sim::{SimError, SimTime, Simulation};
+
+/// Allocating past device capacity fails with a precise OOM, and the
+/// process that unwraps it surfaces as a simulation error naming it.
+#[test]
+fn device_oom_is_loud() {
+    let mut sim = Simulation::new();
+    let cfg = DeviceConfig::tesla_c2070_paper();
+    let capacity = cfg.global_mem_bytes;
+    let device = GpuDevice::install(&mut sim, cfg);
+    let d = device.clone();
+    sim.spawn("hog", move |ctx| {
+        // First allocation is fine; the second overflows.
+        let _a = d.alloc(capacity / 2).unwrap();
+        match d.alloc(capacity) {
+            Err(MemError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, capacity);
+                assert!(free < capacity);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+}
+
+/// A process panic inside a simulation is reported with the process name
+/// and message — not a hang.
+#[test]
+fn panicking_client_is_reported() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+    let _keep = device.clone();
+    sim.spawn("bad-client", |_ctx| panic!("injected failure"));
+    match sim.run() {
+        Err(SimError::ProcessPanicked { name, message }) => {
+            assert_eq!(name, "bad-client");
+            assert!(message.contains("injected failure"));
+        }
+        other => panic!("expected panic report, got {other:?}"),
+    }
+}
+
+/// A client that blocks forever (lost response) turns into a deadlock
+/// report listing the stuck processes — the scheduler is not implicated.
+#[test]
+fn lost_response_becomes_deadlock_report() {
+    let mut sim = Simulation::new();
+    sim.spawn("orphan", |ctx| {
+        ctx.park(); // waits for a response that never comes
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            assert!(blocked.contains(&"orphan".to_string()));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+/// Oversubscribing the node violates the SPMD condition.
+#[test]
+fn spmd_oversubscription_rejected() {
+    let mut sim = Simulation::new();
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let err = node.spawn_spmd(&mut sim, 9, "p", |_, _| {}).unwrap_err();
+    assert_eq!(
+        err,
+        AffinityError::TooManyProcesses {
+            requested: 9,
+            cores: 8
+        }
+    );
+}
+
+/// An async copy from pageable memory is a programming error the runtime
+/// rejects immediately (real CUDA silently degrades; we are stricter).
+#[test]
+fn async_copy_from_pageable_rejected() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+    let cuda = CudaDevice::new(device.clone());
+    sim.spawn("p", move |ctx| {
+        let cc = cuda.create_context(ctx, "p");
+        let s = cc.stream_create();
+        let d = cc.malloc(1024).unwrap();
+        let pageable = HostBuffer::opaque(1024, false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cc.memcpy_h2d_async(ctx, s, &pageable, d, 1024);
+        }));
+        assert!(result.is_err(), "async pageable copy must be rejected");
+        cuda.device().shutdown(ctx);
+    });
+    sim.run().unwrap();
+}
+
+/// Copies larger than their host buffer fail cleanly.
+#[test]
+fn oversized_copy_errors() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+    let cuda = CudaDevice::new(device.clone());
+    sim.spawn("p", move |ctx| {
+        let cc = cuda.create_context(ctx, "p");
+        let s = cc.stream_create();
+        let d = cc.malloc(4096).unwrap();
+        let small = HostBuffer::opaque(16, false);
+        match cc.memcpy_h2d(ctx, s, &small, d, 4096) {
+            Err(CudaError::HostBufferTooSmall {
+                requested,
+                capacity,
+            }) => {
+                assert_eq!((requested, capacity), (4096, 16));
+            }
+            other => panic!("expected HostBufferTooSmall, got {other:?}"),
+        }
+        cuda.device().shutdown(ctx);
+    });
+    sim.run().unwrap();
+}
+
+/// `run_until` horizon stops a runaway experiment and reaps every thread
+/// (no leaks, no hangs) even with a device installed.
+#[test]
+fn horizon_stop_reaps_device_scheduler() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+    let cuda = CudaDevice::new(device);
+    sim.spawn("forever", move |ctx| {
+        let cc = cuda.create_context(ctx, "p");
+        let s = cc.stream_create();
+        let mut k = gvirt::gpu::KernelDesc::new("endless", 1, 32).regs(1);
+        k.block_demand_cycles = 1.0e18; // ~31 years of device time
+        let h = cc.launch(ctx, s, k).unwrap();
+        h.wait(ctx); // never completes within the horizon
+    });
+    let s = sim.run_until(SimTime::from_nanos(1_000_000_000)).unwrap();
+    assert!(!s.completed);
+    assert_eq!(s.end_time, SimTime::from_nanos(1_000_000_000));
+}
+
+/// Freeing a dangling device pointer is an error, not UB.
+#[test]
+fn double_free_rejected() {
+    let mut sim = Simulation::new();
+    let device = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+    let d = device.clone();
+    sim.spawn("p", move |ctx| {
+        let ptr = d.alloc(256).unwrap();
+        d.free(ptr).unwrap();
+        assert_eq!(d.free(ptr), Err(MemError::InvalidPointer));
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+}

