@@ -146,6 +146,12 @@ impl GpuDevice {
         f(&mut self.shared.memory.lock())
     }
 
+    /// Arm a deterministic OOM fault at the `nth` upcoming device
+    /// allocation (fault injection; see [`DeviceMemory::arm_oom`]).
+    pub fn arm_oom(&self, nth: u64) {
+        self.shared.memory.lock().arm_oom(nth);
+    }
+
     /// Submit an asynchronous command to `stream`. Copy ranges are
     /// validated now, so completion cannot fail.
     pub fn submit(

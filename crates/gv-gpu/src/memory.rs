@@ -88,6 +88,10 @@ pub struct DeviceMemory {
     allocs: HashMap<u64, Allocation>,
     /// Sorted, disjoint, coalesced `(offset, len)` free regions.
     free_list: Vec<(u64, u64)>,
+    /// Allocation calls observed so far (fault-injection bookkeeping).
+    alloc_seq: u64,
+    /// Absolute `alloc_seq` indices armed to fail with OOM.
+    armed_oom: Vec<u64>,
 }
 
 impl DeviceMemory {
@@ -99,6 +103,8 @@ impl DeviceMemory {
             next_id: 1,
             allocs: HashMap::new(),
             free_list: vec![(0, capacity)],
+            alloc_seq: 0,
+            armed_oom: Vec::new(),
         }
     }
 
@@ -122,10 +128,38 @@ impl DeviceMemory {
         self.allocs.len()
     }
 
+    /// Allocation calls made so far, successful or not (fault-injection
+    /// bookkeeping: the index space [`arm_oom`](Self::arm_oom) counts in).
+    pub fn alloc_calls(&self) -> u64 {
+        self.alloc_seq
+    }
+
+    /// Arm a deterministic out-of-memory fault at the `nth` upcoming
+    /// allocation call (`0` = the very next one). The armed call fails with
+    /// [`MemError::OutOfMemory`] regardless of actual free space and the
+    /// fault is consumed; all other calls behave normally.
+    pub fn arm_oom(&mut self, nth: u64) {
+        self.armed_oom.push(self.alloc_seq + nth);
+    }
+
+    /// Number of armed OOM faults that have not fired yet.
+    pub fn armed_oom_count(&self) -> usize {
+        self.armed_oom.len()
+    }
+
     /// Allocate `bytes` bytes (rounded up to [`DEVICE_ALLOC_ALIGN`]),
     /// first-fit.
     pub fn alloc(&mut self, bytes: u64) -> Result<DevicePtr, MemError> {
         let len = bytes.max(1).div_ceil(DEVICE_ALLOC_ALIGN) * DEVICE_ALLOC_ALIGN;
+        let seq = self.alloc_seq;
+        self.alloc_seq += 1;
+        if let Some(i) = self.armed_oom.iter().position(|&s| s == seq) {
+            self.armed_oom.swap_remove(i);
+            return Err(MemError::OutOfMemory {
+                requested: len,
+                free: self.free(),
+            });
+        }
         let slot = self
             .free_list
             .iter()
@@ -305,6 +339,24 @@ mod tests {
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn armed_oom_fires_once_at_the_nth_alloc() {
+        let mut m = DeviceMemory::new(1 << 20);
+        m.arm_oom(1); // the second upcoming alloc fails
+        let a = m.alloc(256).unwrap();
+        assert!(matches!(
+            m.alloc(256),
+            Err(MemError::OutOfMemory { requested: 256, .. })
+        ));
+        assert_eq!(m.armed_oom_count(), 0);
+        // Fault consumed: the next call succeeds again.
+        let b = m.alloc(256).unwrap();
+        assert_eq!(m.alloc_calls(), 3);
+        m.dealloc(a).unwrap();
+        m.dealloc(b).unwrap();
+        assert_eq!(m.used(), 0);
     }
 
     #[test]

@@ -29,6 +29,53 @@ fn run_engine(cfg: &DeviceConfig, k: KernelDesc) -> f64 {
     v
 }
 
+/// A previously checked-in proptest regression seed (grid = 57,
+/// tpb_warps = 2, demand_exp = 4 in `concurrency_bounds_for_kernel_pairs`'
+/// domain) re-pinned as a plain deterministic test. The stored seed entry
+/// was retired after exhaustive sweeps of the whole pair-bounds and oracle
+/// domains found zero violations; this keeps the exact case covered on
+/// every run regardless of proptest's seed file handling.
+#[test]
+fn retired_regression_case_grid57_tpb2_exp4() {
+    let cfg = DeviceConfig::tesla_c2070_paper();
+    let (grid, tpb_warps, demand_exp) = (57u64, 2u32, 4u32);
+    let mut k = KernelDesc::new("pair", grid, tpb_warps * 32).regs(16);
+    k.block_demand_cycles = 10f64.powi(demand_exp as i32);
+    let single = estimate_kernel_time(&cfg, &k).as_secs_f64();
+    assert!(single > 1e-9);
+
+    let mut sim = Simulation::new();
+    let dev = GpuDevice::install(&mut sim, cfg.clone());
+    let d = dev.clone();
+    let k2 = k.clone();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
+    let out2 = out.clone();
+    sim.spawn("host", move |ctx| {
+        let gctx = d.create_context("p");
+        let s1 = d.create_stream(gctx);
+        let s2 = d.create_stream(gctx);
+        let t0 = ctx.now();
+        let h1 = d.submit(ctx, gctx, s1, CommandKind::Kernel(k)).unwrap();
+        let h2 = d.submit(ctx, gctx, s2, CommandKind::Kernel(k2)).unwrap();
+        h1.wait(ctx);
+        h2.wait(ctx);
+        *out2.lock() = ctx.now().duration_since(t0).as_secs_f64();
+        d.shutdown(ctx);
+    });
+    sim.run().unwrap();
+    let pair = *out.lock();
+    let straggler =
+        10f64.powi(demand_exp as i32) / (cfg.clock_hz() * cfg.latency_efficiency(tpb_warps));
+    assert!(
+        pair <= 2.0 * single + straggler + 1e-9,
+        "pair {pair:.9}s must not exceed 2x single {single:.9}s + straggler {straggler:.9}s"
+    );
+    assert!(
+        pair >= single * (1.0 - 1e-6),
+        "pair {pair:.9}s cannot beat one kernel alone {single:.9}s"
+    );
+}
+
 proptest! {
     // Each case spins up threads; keep the count moderate.
     #![proptest_config(ProptestConfig::with_cases(48))]

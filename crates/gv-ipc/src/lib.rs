@@ -28,7 +28,7 @@ pub mod net;
 pub mod node;
 pub mod shm;
 
-pub use mqueue::{MessageQueue, MqError, MqRegistry};
+pub use mqueue::{MessageQueue, MqError, MqFaults, MqRegistry};
 pub use net::{LinkConfig, NetworkLink};
 pub use node::{AffinityError, Node, NodeConfig};
-pub use shm::{SharedMem, ShmError, ShmRegistry};
+pub use shm::{SharedMem, ShmError, ShmFaults, ShmRegistry};

@@ -9,10 +9,51 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gv_sim::{Ctx, SimChannel};
+use gv_sim::{Ctx, RecvTimeout, SimChannel, SimDuration};
 use parking_lot::Mutex;
 
 use crate::node::NodeConfig;
+
+/// Armed deterministic faults for one named queue.
+///
+/// Fault indices count *sends over the queue's lifetime* (0-based), so a
+/// schedule armed before the queue even exists fires deterministically once
+/// traffic starts. Each armed fault is consumed when it fires; a fired
+/// fault records a `fault`-category instant on the simulation tracer.
+#[derive(Debug, Default)]
+pub struct MqFaults {
+    sends: u64,
+    drop_at: Vec<u64>,
+    dup_at: Vec<u64>,
+    delay_at: Vec<(u64, SimDuration)>,
+}
+
+impl MqFaults {
+    /// `(seq, drop, duplicate, delay)` decision for the next send.
+    fn next_send(&mut self) -> (u64, bool, bool, Option<SimDuration>) {
+        let seq = self.sends;
+        self.sends += 1;
+        let drop = match self.drop_at.iter().position(|&s| s == seq) {
+            Some(i) => {
+                self.drop_at.swap_remove(i);
+                true
+            }
+            None => false,
+        };
+        let dup = match self.dup_at.iter().position(|&s| s == seq) {
+            Some(i) => {
+                self.dup_at.swap_remove(i);
+                true
+            }
+            None => false,
+        };
+        let delay = match self.delay_at.iter().position(|&(s, _)| s == seq) {
+            Some(i) => Some(self.delay_at.swap_remove(i).1),
+            None => None,
+        };
+        (seq, drop, dup, delay)
+    }
+}
 
 /// Errors from message-queue operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +83,7 @@ pub struct MessageQueue<T> {
     name: String,
     chan: SimChannel<T>,
     node: Arc<NodeConfig>,
+    faults: Arc<Mutex<MqFaults>>,
 }
 
 impl<T> Clone for MessageQueue<T> {
@@ -50,6 +92,7 @@ impl<T> Clone for MessageQueue<T> {
             name: self.name.clone(),
             chan: self.chan.clone(),
             node: Arc::clone(&self.node),
+            faults: Arc::clone(&self.faults),
         }
     }
 }
@@ -61,9 +104,33 @@ impl<T> MessageQueue<T> {
     }
 
     /// `mq_send`: blocking send (bounded queues block when full),
-    /// charging one-way latency.
-    pub fn send(&self, ctx: &mut Ctx, msg: T) -> Result<(), MqError> {
+    /// charging one-way latency. Armed faults on this queue fire here:
+    /// a dropped message silently vanishes after the latency charge, a
+    /// delayed message charges the extra delay to the sender, a duplicated
+    /// message is enqueued twice.
+    pub fn send(&self, ctx: &mut Ctx, msg: T) -> Result<(), MqError>
+    where
+        T: Clone,
+    {
         ctx.hold(self.node.mq_latency);
+        let (seq, drop, dup, delay) = self.faults.lock().next_send();
+        if drop {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-drop:{}#{seq}", self.name));
+            return Ok(());
+        }
+        if let Some(extra) = delay {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-delay:{}#{seq}", self.name));
+            ctx.hold(extra);
+        }
+        if dup {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-dup:{}#{seq}", self.name));
+            self.chan
+                .send(ctx, msg.clone())
+                .map_err(|_| MqError::Closed)?;
+        }
         self.chan.send(ctx, msg).map_err(|_| MqError::Closed)
     }
 
@@ -73,6 +140,33 @@ impl<T> MessageQueue<T> {
         let msg = self.chan.recv(ctx)?;
         ctx.hold(self.node.mq_latency);
         Some(msg)
+    }
+
+    /// Blocking receive bounded by `timeout` of simulated time, charging
+    /// one-way latency when a message arrives.
+    pub fn recv_timeout(&self, ctx: &mut Ctx, timeout: SimDuration) -> RecvTimeout<T> {
+        match self.chan.recv_timeout(ctx, timeout) {
+            RecvTimeout::Msg(msg) => {
+                ctx.hold(self.node.mq_latency);
+                RecvTimeout::Msg(msg)
+            }
+            other => other,
+        }
+    }
+
+    /// Arm a message drop at this queue's `nth` lifetime send (0-based).
+    pub fn arm_drop(&self, nth: u64) {
+        self.faults.lock().drop_at.push(nth);
+    }
+
+    /// Arm a duplicated delivery at the `nth` lifetime send.
+    pub fn arm_duplicate(&self, nth: u64) {
+        self.faults.lock().dup_at.push(nth);
+    }
+
+    /// Arm an extra sender-side delay of `extra` at the `nth` lifetime send.
+    pub fn arm_delay(&self, nth: u64, extra: SimDuration) {
+        self.faults.lock().delay_at.push((nth, extra));
     }
 
     /// Non-blocking receive (no latency charged on miss).
@@ -102,6 +196,9 @@ impl<T> MessageQueue<T> {
 pub struct MqRegistry<T> {
     node: Arc<NodeConfig>,
     queues: Arc<Mutex<HashMap<String, SimChannel<T>>>>,
+    /// Fault schedules by queue name, independent of queue lifetime so a
+    /// plan can be armed before the target queue is created.
+    faults: Arc<Mutex<HashMap<String, Arc<Mutex<MqFaults>>>>>,
 }
 
 impl<T> Clone for MqRegistry<T> {
@@ -109,6 +206,7 @@ impl<T> Clone for MqRegistry<T> {
         MqRegistry {
             node: Arc::clone(&self.node),
             queues: Arc::clone(&self.queues),
+            faults: Arc::clone(&self.faults),
         }
     }
 }
@@ -119,7 +217,33 @@ impl<T> MqRegistry<T> {
         MqRegistry {
             node: Arc::new(node.clone()),
             queues: Arc::new(Mutex::new(HashMap::new())),
+            faults: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// The (shared, lazily created) fault schedule for queue `name`.
+    pub fn fault_entry(&self, name: &str) -> Arc<Mutex<MqFaults>> {
+        Arc::clone(
+            self.faults
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(Arc::default),
+        )
+    }
+
+    /// Arm a message drop at the `nth` lifetime send of queue `name`.
+    pub fn arm_drop(&self, name: &str, nth: u64) {
+        self.fault_entry(name).lock().drop_at.push(nth);
+    }
+
+    /// Arm a duplicated delivery at the `nth` lifetime send of `name`.
+    pub fn arm_duplicate(&self, name: &str, nth: u64) {
+        self.fault_entry(name).lock().dup_at.push(nth);
+    }
+
+    /// Arm an extra sender-side delay at the `nth` lifetime send of `name`.
+    pub fn arm_delay(&self, name: &str, nth: u64, extra: SimDuration) {
+        self.fault_entry(name).lock().delay_at.push((nth, extra));
     }
 
     /// `mq_open(O_CREAT|O_EXCL)` with optional depth bound.
@@ -133,23 +257,28 @@ impl<T> MqRegistry<T> {
             None => SimChannel::unbounded(),
         };
         qs.insert(name.to_string(), chan.clone());
+        drop(qs);
         Ok(MessageQueue {
             name: name.to_string(),
             chan,
             node: Arc::clone(&self.node),
+            faults: self.fault_entry(name),
         })
     }
 
     /// `mq_open(0)`: open an existing queue.
     pub fn open(&self, name: &str) -> Result<MessageQueue<T>, MqError> {
-        let qs = self.queues.lock();
-        let chan = qs
-            .get(name)
-            .ok_or_else(|| MqError::NotFound(name.to_string()))?;
+        let chan = {
+            let qs = self.queues.lock();
+            qs.get(name)
+                .ok_or_else(|| MqError::NotFound(name.to_string()))?
+                .clone()
+        };
         Ok(MessageQueue {
             name: name.to_string(),
-            chan: chan.clone(),
+            chan,
             node: Arc::clone(&self.node),
+            faults: self.fault_entry(name),
         })
     }
 
@@ -227,6 +356,106 @@ mod tests {
             q.close(ctx);
             assert_eq!(q.send(ctx, 1), Err(MqError::Closed));
             assert_eq!(q.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn armed_drop_swallows_exactly_that_send() {
+        let mut sim = Simulation::new();
+        sim.tracer().set_enabled(true);
+        let tracer = sim.tracer().clone();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/drop", None).unwrap();
+        let rx = reg.open("/drop").unwrap();
+        q.arm_drop(1);
+        sim.spawn("sender", move |ctx| {
+            for v in 0..3 {
+                q.send(ctx, v).unwrap();
+            }
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some(0));
+            // message 1 was dropped on the floor
+            assert_eq!(rx.recv(ctx), Some(2));
+        });
+        sim.run().unwrap();
+        let faults = tracer.fault_events();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label, "mq-drop:/drop#1");
+    }
+
+    #[test]
+    fn armed_duplicate_delivers_twice() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/dup", None).unwrap();
+        let rx = reg.open("/dup").unwrap();
+        q.arm_duplicate(0);
+        sim.spawn("sender", move |ctx| {
+            q.send(ctx, 7).unwrap();
+            q.send(ctx, 8).unwrap();
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some(7));
+            assert_eq!(rx.recv(ctx), Some(7));
+            assert_eq!(rx.recv(ctx), Some(8));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn armed_delay_charges_extra_sender_time() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u8> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/slow", None).unwrap();
+        q.arm_delay(0, SimDuration::from_millis(3));
+        sim.spawn("sender", move |ctx| {
+            q.send(ctx, 1).unwrap();
+            // mq latency (1 µs) + armed 3 ms delay
+            assert_eq!(ctx.now().as_nanos(), 3_001_000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn registry_arms_faults_before_queue_exists() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        // Armed before create(): the schedule must survive queue creation.
+        reg.arm_drop("/later", 0);
+        let q = reg.create("/later", None).unwrap();
+        let rx = reg.open("/later").unwrap();
+        sim.spawn("sender", move |ctx| {
+            q.send(ctx, 1).unwrap();
+            q.send(ctx, 2).unwrap();
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some(2));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/t", None).unwrap();
+        let rx = reg.open("/t").unwrap();
+        sim.spawn("sender", move |ctx| {
+            ctx.hold(SimDuration::from_millis(10));
+            q.send(ctx, 5).unwrap();
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(
+                rx.recv_timeout(ctx, SimDuration::from_millis(2)),
+                RecvTimeout::TimedOut
+            );
+            assert!(ctx.now().as_millis_f64() >= 2.0);
+            assert_eq!(
+                rx.recv_timeout(ctx, SimDuration::from_millis(20)),
+                RecvTimeout::Msg(5)
+            );
         });
         sim.run().unwrap();
     }

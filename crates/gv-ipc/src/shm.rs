@@ -50,12 +50,40 @@ struct Segment {
     data: Option<Vec<u8>>,
 }
 
+/// Armed deterministic corruption faults for one named segment.
+///
+/// Indices count *timed writes over the segment's lifetime* (0-based), so a
+/// schedule armed before the segment exists fires deterministically once
+/// traffic starts. Each armed fault is consumed when it fires.
+#[derive(Debug, Default)]
+pub struct ShmFaults {
+    writes: u64,
+    corrupt_at: Vec<u64>,
+}
+
+impl ShmFaults {
+    /// `(seq, corrupt)` decision for the next timed write.
+    fn next_write(&mut self) -> (u64, bool) {
+        let seq = self.writes;
+        self.writes += 1;
+        let corrupt = match self.corrupt_at.iter().position(|&s| s == seq) {
+            Some(i) => {
+                self.corrupt_at.swap_remove(i);
+                true
+            }
+            None => false,
+        };
+        (seq, corrupt)
+    }
+}
+
 /// A handle to one named shared-memory segment.
 #[derive(Clone)]
 pub struct SharedMem {
     name: String,
     seg: Arc<Mutex<Segment>>,
     node: Arc<NodeConfig>,
+    faults: Arc<Mutex<ShmFaults>>,
 }
 
 impl std::fmt::Debug for SharedMem {
@@ -96,15 +124,32 @@ impl SharedMem {
         Ok(())
     }
 
-    /// Write `data` at `offset`, charging memcpy time.
+    /// Write `data` at `offset`, charging memcpy time. If corruption is
+    /// armed for this write, every stored byte is XORed with `0xFF` after
+    /// the copy (modelling a torn/garbled transfer) and a `fault`-category
+    /// instant is recorded on the tracer.
     pub fn write(&self, ctx: &mut Ctx, offset: u64, data: &[u8]) -> Result<(), ShmError> {
         self.check(offset, data.len() as u64)?;
         ctx.hold(self.node.memcpy_time(data.len() as u64));
+        let (seq, corrupt) = self.faults.lock().next_write();
         let mut seg = self.seg.lock();
         let size = seg.size as usize;
         let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
         store[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        if corrupt {
+            for b in &mut store[offset as usize..offset as usize + data.len()] {
+                *b ^= 0xFF;
+            }
+            drop(seg);
+            ctx.tracer()
+                .fault(ctx.now(), format!("shm-corrupt:{}#{seq}", self.name));
+        }
         Ok(())
+    }
+
+    /// Arm a corruption fault at this segment's `nth` timed write (0-based).
+    pub fn arm_corrupt(&self, nth: u64) {
+        self.faults.lock().corrupt_at.push(nth);
     }
 
     /// Read `len` bytes at `offset`, charging memcpy time. Untouched
@@ -144,6 +189,9 @@ impl SharedMem {
 pub struct ShmRegistry {
     node: Arc<NodeConfig>,
     segments: Arc<Mutex<HashMap<String, Arc<Mutex<Segment>>>>>,
+    /// Fault schedules by segment name, independent of segment lifetime so
+    /// a plan can be armed before the target segment is created.
+    faults: Arc<Mutex<HashMap<String, Arc<Mutex<ShmFaults>>>>>,
 }
 
 impl ShmRegistry {
@@ -152,7 +200,24 @@ impl ShmRegistry {
         ShmRegistry {
             node: Arc::new(node.clone()),
             segments: Arc::new(Mutex::new(HashMap::new())),
+            faults: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// The (shared, lazily created) fault schedule for segment `name`.
+    pub fn fault_entry(&self, name: &str) -> Arc<Mutex<ShmFaults>> {
+        Arc::clone(
+            self.faults
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(Arc::default),
+        )
+    }
+
+    /// Arm a corruption fault at the `nth` timed write of segment `name`
+    /// (armable before the segment exists).
+    pub fn arm_corrupt(&self, name: &str, nth: u64) {
+        self.fault_entry(name).lock().corrupt_at.push(nth);
     }
 
     /// `shm_open(O_CREAT|O_EXCL)`: create a named segment.
@@ -163,23 +228,29 @@ impl ShmRegistry {
         }
         let seg = Arc::new(Mutex::new(Segment { size, data: None }));
         segs.insert(name.to_string(), Arc::clone(&seg));
+        drop(segs);
         Ok(SharedMem {
             name: name.to_string(),
             seg,
             node: Arc::clone(&self.node),
+            faults: self.fault_entry(name),
         })
     }
 
     /// `shm_open(0)`: open an existing named segment.
     pub fn open(&self, name: &str) -> Result<SharedMem, ShmError> {
-        let segs = self.segments.lock();
-        let seg = segs
-            .get(name)
-            .ok_or_else(|| ShmError::NotFound(name.to_string()))?;
+        let seg = {
+            let segs = self.segments.lock();
+            Arc::clone(
+                segs.get(name)
+                    .ok_or_else(|| ShmError::NotFound(name.to_string()))?,
+            )
+        };
         Ok(SharedMem {
             name: name.to_string(),
-            seg: Arc::clone(seg),
+            seg,
             node: Arc::clone(&self.node),
+            faults: self.fault_entry(name),
         })
     }
 
@@ -263,6 +334,29 @@ mod tests {
             assert!((t - 2.002).abs() < 1e-6, "t = {t}");
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn armed_corruption_flips_exactly_that_write() {
+        let mut sim = Simulation::new();
+        sim.tracer().set_enabled(true);
+        let tracer = sim.tracer().clone();
+        let reg = registry();
+        // Armed through the registry before the segment exists.
+        reg.arm_corrupt("/cor", 1);
+        let seg = reg.create("/cor", 16).unwrap();
+        sim.spawn("p", move |ctx| {
+            seg.write(ctx, 0, &[1, 2, 3]).unwrap();
+            assert_eq!(seg.peek(0, 3).unwrap(), vec![1, 2, 3]);
+            seg.write(ctx, 0, &[1, 2, 3]).unwrap();
+            assert_eq!(seg.peek(0, 3).unwrap(), vec![0xFE, 0xFD, 0xFC]);
+            seg.write(ctx, 0, &[1, 2, 3]).unwrap();
+            assert_eq!(seg.peek(0, 3).unwrap(), vec![1, 2, 3]);
+        });
+        sim.run().unwrap();
+        let faults = tracer.fault_events();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label, "shm-corrupt:/cor#1");
     }
 
     #[test]

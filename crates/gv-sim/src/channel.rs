@@ -10,12 +10,24 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::Pid;
+use crate::kernel::{Pid, WakeReason};
 use crate::process::Ctx;
+use crate::time::SimDuration;
 
 /// Error returned when sending on a closed channel; carries the value back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Outcome of [`SimChannel::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// A message arrived within the window.
+    Msg(T),
+    /// The channel was closed and drained before the window elapsed.
+    Closed,
+    /// The window elapsed with no message.
+    TimedOut,
+}
 
 struct ChanState<T> {
     queue: VecDeque<T>,
@@ -162,6 +174,65 @@ impl<T> SimChannel<T> {
         }
     }
 
+    /// Receive, blocking for at most `timeout` of simulated time.
+    ///
+    /// The timeout bounds the *wait*, not the whole call: a message already
+    /// queued is returned immediately even with a zero timeout.
+    pub fn recv_timeout(&self, ctx: &mut Ctx, timeout: SimDuration) -> RecvTimeout<T> {
+        let me = ctx.pid();
+        let deadline = ctx.now() + timeout;
+        loop {
+            let (item, wake) = {
+                let mut st = self.inner.lock();
+                match st.queue.pop_front() {
+                    Some(v) => (Some(Some(v)), st.send_waiters.pop_front()),
+                    None if st.closed => (Some(None), None),
+                    None => {
+                        st.recv_waiters.retain(|&p| p != me);
+                        st.recv_waiters.push_back(me);
+                        (None, None)
+                    }
+                }
+            };
+            if let Some(p) = wake {
+                ctx.unpark(p);
+            }
+            match item {
+                Some(Some(v)) => return RecvTimeout::Msg(v),
+                Some(None) => return RecvTimeout::Closed,
+                None => {
+                    let now = ctx.now();
+                    if now >= deadline {
+                        self.inner.lock().recv_waiters.retain(|&p| p != me);
+                        return RecvTimeout::TimedOut;
+                    }
+                    if ctx.park_timeout(deadline.duration_since(now)) == WakeReason::Timer {
+                        // Timed out. Deregister so a later send does not
+                        // waste its wake-up on us, but drain a message that
+                        // raced in at this exact instant.
+                        let (item, wake) = {
+                            let mut st = self.inner.lock();
+                            st.recv_waiters.retain(|&p| p != me);
+                            match st.queue.pop_front() {
+                                Some(v) => (Some(v), st.send_waiters.pop_front()),
+                                None => (None, None),
+                            }
+                        };
+                        if let Some(p) = wake {
+                            ctx.unpark(p);
+                        }
+                        return match item {
+                            Some(v) => RecvTimeout::Msg(v),
+                            None if self.is_closed() => RecvTimeout::Closed,
+                            None => RecvTimeout::TimedOut,
+                        };
+                    }
+                    // Unparked: re-check the queue.
+                }
+            }
+        }
+    }
+
     /// Receive without blocking.
     pub fn try_recv(&self, ctx: &Ctx) -> Option<T> {
         let (item, wake) = {
@@ -299,6 +370,108 @@ mod tests {
             assert!(ch.try_send(ctx, 1).is_none());
             assert_eq!(ch.try_send(ctx, 2), Some(2)); // full
             assert_eq!(ch.try_recv(ctx), Some(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_returns_message_in_window() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let tx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(
+                ch.recv_timeout(ctx, SimDuration::from_millis(10)),
+                RecvTimeout::Msg(5)
+            );
+            assert_eq!(ctx.now().as_millis_f64(), 3.0);
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(3));
+            tx.send(ctx, 5).unwrap();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_at_deadline() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u32> = SimChannel::unbounded();
+        let tx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(
+                ch.recv_timeout(ctx, SimDuration::from_millis(2)),
+                RecvTimeout::TimedOut
+            );
+            assert_eq!(ctx.now().as_millis_f64(), 2.0);
+            // A message sent after the timeout is still receivable later.
+            assert_eq!(ch.recv(ctx), Some(9));
+        });
+        sim.spawn("late-producer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(7));
+            tx.send(ctx, 9).unwrap();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_sees_close() {
+        let mut sim = Simulation::new();
+        let ch: SimChannel<u32> = SimChannel::unbounded();
+        let closer = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(
+                ch.recv_timeout(ctx, SimDuration::from_millis(50)),
+                RecvTimeout::Closed
+            );
+            assert_eq!(ctx.now().as_millis_f64(), 1.0);
+        });
+        sim.spawn("closer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            closer.close(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_zero_acts_like_try_recv() {
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        sim.spawn("p", move |ctx| {
+            assert_eq!(
+                ch.recv_timeout(ctx, SimDuration::ZERO),
+                RecvTimeout::TimedOut
+            );
+            ch.send(ctx, 1).unwrap();
+            assert_eq!(ch.recv_timeout(ctx, SimDuration::ZERO), RecvTimeout::Msg(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn timed_out_receiver_does_not_steal_wakeups() {
+        // A receiver that timed out must deregister itself: a later send
+        // must wake the *other* (still-parked) receiver, not be wasted.
+        let mut sim = Simulation::new();
+        let ch = SimChannel::unbounded();
+        let r1 = ch.clone();
+        let r2 = ch.clone();
+        let tx = ch.clone();
+        sim.spawn("quitter", move |ctx| {
+            assert_eq!(
+                r1.recv_timeout(ctx, SimDuration::from_millis(1)),
+                RecvTimeout::TimedOut
+            );
+            // Stays alive but never receives again.
+            ctx.hold(SimDuration::from_millis(100));
+        });
+        sim.spawn("patient", move |ctx| {
+            assert_eq!(r2.recv(ctx), Some(77));
+            assert_eq!(ctx.now().as_millis_f64(), 5.0);
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.hold(SimDuration::from_millis(5));
+            tx.send(ctx, 77).unwrap();
         });
         sim.run().unwrap();
     }

@@ -37,10 +37,10 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use channel::{SendError, SimChannel};
+pub use channel::{RecvTimeout, SendError, SimChannel};
 pub use kernel::{Pid, SimError, Simulation, Summary, WakeReason};
 pub use process::Ctx;
 pub use resource::FifoServer;
 pub use sync::{CondQueue, Gate, Semaphore, SimBarrier};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Span, TraceEvent, TraceKind, Tracer};
+pub use trace::{Span, TraceEvent, TraceKind, Tracer, FAULT_CATEGORY};

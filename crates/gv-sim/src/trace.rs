@@ -15,6 +15,10 @@ use parking_lot::Mutex;
 
 use crate::time::SimTime;
 
+/// Category under which injected-fault and recovery events are recorded
+/// (see [`Tracer::fault`]).
+pub const FAULT_CATEGORY: &str = "fault";
+
 /// What kind of event a trace record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
@@ -103,6 +107,25 @@ impl Tracer {
     /// Record a point event.
     pub fn instant(&self, time: SimTime, category: &'static str, label: impl Into<String>) {
         self.record(time, category, label, TraceKind::Instant, 0);
+    }
+
+    /// Record an injected-fault or recovery event (a point event under
+    /// [`FAULT_CATEGORY`]). Fault-injection layers across the stack all
+    /// funnel through here so a run's fault schedule can be replayed and
+    /// diffed as part of its timeline.
+    pub fn fault(&self, time: SimTime, label: impl Into<String>) {
+        self.record(time, FAULT_CATEGORY, label, TraceKind::Instant, 0);
+    }
+
+    /// Point events recorded under [`FAULT_CATEGORY`], in record order.
+    pub fn fault_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.category == FAULT_CATEGORY)
+            .cloned()
+            .collect()
     }
 
     /// Record a span start.
@@ -322,6 +345,20 @@ mod tests {
         assert!(json.contains("\"ph\":\"E\""));
         assert!(json.contains("\"tid\":3"));
         assert!(json.contains("\"ts\":1000"));
+    }
+
+    #[test]
+    fn fault_events_are_filtered_by_category() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(1), "io", "h2d");
+        tr.fault(t(2), "mq-drop:/gvm-req#0");
+        tr.fault(t(3), "evict:rank1");
+        let faults = tr.fault_events();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].label, "mq-drop:/gvm-req#0");
+        assert_eq!(faults[0].category, FAULT_CATEGORY);
+        assert_eq!(faults[1].time, t(3));
     }
 
     #[test]

@@ -3,9 +3,46 @@
 
 use std::sync::Arc;
 
-use gv_sim::{Semaphore, SimBarrier, SimDuration, Simulation};
+use gv_sim::{RecvTimeout, Semaphore, SimBarrier, SimChannel, SimDuration, Simulation};
 use parking_lot::Mutex;
 use proptest::prelude::*;
+
+/// A producer sending at the given microsecond gaps into a consumer that
+/// does timed receives; return the consumer's `(time_ns, outcome)` trace.
+fn run_timed_recv(gaps: &[u64], timeout_us: u64) -> Vec<(u64, String)> {
+    let mut sim = Simulation::new();
+    let chan: SimChannel<u64> = SimChannel::unbounded();
+    let trace: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let tx = chan.clone();
+    let gaps_tx = gaps.to_vec();
+    sim.spawn("producer", move |ctx| {
+        for (i, &gap) in gaps_tx.iter().enumerate() {
+            ctx.hold(SimDuration::from_micros(gap));
+            let _ = tx.send(ctx, i as u64);
+        }
+        tx.close(ctx);
+    });
+    let n = gaps.len();
+    let trace2 = trace.clone();
+    sim.spawn("consumer", move |ctx| {
+        let mut got = 0usize;
+        // Bounded by total messages plus the timeouts it can possibly see.
+        while got < n {
+            let out = match chan.recv_timeout(ctx, SimDuration::from_micros(timeout_us)) {
+                RecvTimeout::Msg(v) => {
+                    got += 1;
+                    format!("msg {v}")
+                }
+                RecvTimeout::TimedOut => "timeout".to_string(),
+                RecvTimeout::Closed => break,
+            };
+            trace2.lock().push((ctx.now().as_nanos(), out));
+        }
+    });
+    sim.run().unwrap();
+    let t = trace.lock().clone();
+    t
+}
 
 /// Run a program of per-process hold sequences; return the observed
 /// completion order and end time.
@@ -73,6 +110,26 @@ proptest! {
         let end = sim.run().unwrap().end_time.as_nanos();
         let waves = jobs.div_ceil(permits) as u64;
         prop_assert_eq!(end, waves * job_ms * 1_000_000);
+    }
+
+    /// Timed receives are part of the deterministic schedule: the same
+    /// producer gaps and the same timeout replay the identical
+    /// `(virtual-time, outcome)` trace — including which polls time out —
+    /// and every message is eventually delivered exactly once, in order.
+    #[test]
+    fn timed_receives_replay_identically(
+        gaps in prop::collection::vec(0u64..300, 1..10),
+        timeout_us in 1u64..200,
+    ) {
+        let a = run_timed_recv(&gaps, timeout_us);
+        let b = run_timed_recv(&gaps, timeout_us);
+        prop_assert_eq!(&a, &b);
+        let msgs: Vec<&String> = a.iter()
+            .map(|(_, s)| s)
+            .filter(|s| s.starts_with("msg"))
+            .collect();
+        let want: Vec<String> = (0..gaps.len()).map(|i| format!("msg {i}")).collect();
+        prop_assert_eq!(msgs, want.iter().collect::<Vec<_>>());
     }
 
     /// A barrier releases everyone exactly at the last arrival, for any

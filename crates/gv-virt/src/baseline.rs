@@ -10,7 +10,8 @@ use gv_cuda::{CudaDevice, HostBuffer};
 use gv_kernels::GpuTask;
 use gv_sim::Ctx;
 
-use crate::protocol::TaskRun;
+use crate::client::TaskError;
+use crate::protocol::{RequestKind, TaskRun};
 
 /// Run `task` the conventional way from the calling process. Returns the
 /// phase timestamps and, for functional tasks, the output bytes.
@@ -20,6 +21,41 @@ pub fn run_direct(
     task: &GpuTask,
     rank: usize,
 ) -> (TaskRun, Option<Vec<u8>>) {
+    run_direct_abortable(ctx, cuda, task, rank, None).expect("no abort scripted")
+}
+
+/// [`run_direct`] with an optional scripted crash point, expressed in the
+/// same protocol-stage vocabulary the GVM clients use so the two
+/// architectures' failure behavior can be compared like-for-like:
+///
+/// | stage | dies before |
+/// |-------|-------------|
+/// | `Req` | context creation / device allocation |
+/// | `Snd` | the H2D copy |
+/// | `Str` | kernel launch |
+/// | `Stp` | stream synchronization |
+/// | `Rcv` | the D2H copy |
+/// | `Rls` | freeing device memory |
+///
+/// Unlike the GVM — where eviction reclaims an aborted rank's resources —
+/// a direct-sharing process that dies after allocating **leaks its device
+/// memory** (nobody owns it), which the failure-injection tier asserts via
+/// allocator accounting.
+pub fn run_direct_abortable(
+    ctx: &mut Ctx,
+    cuda: &CudaDevice,
+    task: &GpuTask,
+    rank: usize,
+    abort_at: Option<RequestKind>,
+) -> Result<(TaskRun, Option<Vec<u8>>), TaskError> {
+    let abort = |stage: RequestKind| -> Result<(), TaskError> {
+        if abort_at == Some(stage) {
+            Err(TaskError::Aborted { stage })
+        } else {
+            Ok(())
+        }
+    };
+    abort(RequestKind::Req)?;
     let start = ctx.now();
 
     // --- Initialization: context creation + device allocation (Fig. 3). --
@@ -51,6 +87,7 @@ pub fn run_direct(
     let mut data_out_done = init_done;
     for iter in 0..task.iterations {
         // Send data: synchronous pageable H2D.
+        abort(RequestKind::Snd)?;
         if task.bytes_in > 0 {
             cc.memcpy_h2d(ctx, stream, &hin, dev, task.bytes_in)
                 .expect("baseline H2D");
@@ -59,12 +96,15 @@ pub fn run_direct(
             data_in_done = ctx.now();
         }
         // Compute: asynchronous launches + explicit sync.
+        abort(RequestKind::Str)?;
         for k in &kernels {
             cc.launch(ctx, stream, k.clone()).expect("baseline launch");
         }
+        abort(RequestKind::Stp)?;
         cc.stream_synchronize(ctx, stream);
         comp_done = ctx.now();
         // Retrieve data: synchronous pageable D2H.
+        abort(RequestKind::Rcv)?;
         if task.bytes_out > 0 {
             cc.memcpy_d2h(ctx, stream, dev.add(task.d2h_offset), &hout, task.bytes_out)
                 .expect("baseline D2H");
@@ -72,10 +112,13 @@ pub fn run_direct(
         data_out_done = ctx.now();
     }
 
+    // A process dying here orphans its allocation: there is no manager to
+    // reclaim it.
+    abort(RequestKind::Rls)?;
     cc.free(dev).expect("free device allocation");
     let end = ctx.now();
     let output = if functional { hout.to_bytes() } else { None };
-    (
+    Ok((
         TaskRun {
             rank,
             start,
@@ -86,5 +129,5 @@ pub fn run_direct(
             end,
         },
         output,
-    )
+    ))
 }

@@ -4,12 +4,106 @@
 //! CUDA runtime: `REQ()`, `SND()`, `STR()`, `STP()`, `RCV()`, `RLS()`
 //! exactly as in the paper's Fig. 8, plus [`run_task`](VgpuClient::run_task)
 //! which performs the whole cycle and reports the Fig. 3 phase timestamps.
+//!
+//! Two client tiers coexist:
+//!
+//! * the legacy infallible methods (`req`, `snd`, …) assume a fault-free
+//!   transport and panic on protocol violations — identical to the seed
+//!   behavior, used by every timing experiment;
+//! * the `try_*` methods drive the same protocol under a [`ClientPolicy`]:
+//!   responses are awaited with a deadline, lost messages are retried with
+//!   exponential backoff (sequence numbers make retries idempotent on the
+//!   GVM side), and a `NAK` or exhausted retry budget surfaces as a
+//!   [`TaskError`] instead of a deadlock.
+
+use std::cell::Cell;
 
 use gv_ipc::{MessageQueue, SharedMem};
-use gv_sim::{Ctx, SimDuration};
+use gv_sim::{Ctx, RecvTimeout, SimDuration};
 
 use crate::gvm::GvmHandle;
-use crate::protocol::{Request, RequestKind, Response, TaskRun};
+use crate::protocol::{Request, RequestKind, Response, ResponseKind, TaskRun};
+
+/// Fault-handling policy for one client.
+#[derive(Debug, Clone)]
+pub struct ClientPolicy {
+    /// How long to wait for each response before retrying. `None` waits
+    /// forever (the legacy fault-free behavior).
+    pub response_timeout: Option<SimDuration>,
+    /// How many times to re-send a request after a timeout before giving
+    /// up with [`TaskError::TimedOut`].
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub retry_backoff: SimDuration,
+    /// Backoff cap (doubles up to here).
+    pub retry_backoff_max: SimDuration,
+}
+
+impl Default for ClientPolicy {
+    fn default() -> Self {
+        ClientPolicy {
+            response_timeout: None,
+            max_retries: 0,
+            retry_backoff: SimDuration::from_micros(100),
+            retry_backoff_max: SimDuration::from_millis(8),
+        }
+    }
+}
+
+impl ClientPolicy {
+    /// A policy that retries lost messages: per-response deadline
+    /// `timeout`, up to `max_retries` re-sends with exponential backoff.
+    pub fn with_timeout(timeout: SimDuration, max_retries: u32) -> Self {
+        ClientPolicy {
+            response_timeout: Some(timeout),
+            max_retries,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a fault-aware protocol call gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskError {
+    /// No response arrived within the retry budget.
+    TimedOut {
+        /// Stage whose response never came.
+        stage: RequestKind,
+    },
+    /// The GVM answered `NAK`: this rank was evicted or refused.
+    Rejected {
+        /// Stage that was refused.
+        stage: RequestKind,
+    },
+    /// The response queue closed while waiting (GVM gone).
+    Disconnected {
+        /// Stage in flight when the queue closed.
+        stage: RequestKind,
+    },
+    /// This client was scripted (via [`VgpuClient::abort_at`]) to abandon
+    /// the protocol at this stage — models a crashed/killed SPMD process.
+    Aborted {
+        /// Stage at which the client walked away.
+        stage: RequestKind,
+    },
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::TimedOut { stage } => {
+                write!(f, "timed out waiting for {} response", stage.label())
+            }
+            TaskError::Rejected { stage } => write!(f, "{} rejected by GVM", stage.label()),
+            TaskError::Disconnected { stage } => {
+                write!(f, "GVM disconnected during {}", stage.label())
+            }
+            TaskError::Aborted { stage } => write!(f, "client aborted at {}", stage.label()),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
 
 /// A process's connection to the GVM.
 pub struct VgpuClient {
@@ -18,12 +112,26 @@ pub struct VgpuClient {
     req: MessageQueue<Request>,
     resp: MessageQueue<Response>,
     shm: SharedMem,
+    policy: ClientPolicy,
+    abort_stage: Option<RequestKind>,
+    seq: Cell<u64>,
 }
 
 impl VgpuClient {
-    /// Connect rank `rank` to a GVM. Blocks until the GVM is initialized
-    /// (its resources exist only after boot).
+    /// Connect rank `rank` to a GVM with the default (legacy, infinite
+    /// patience) policy. Blocks until the GVM is initialized (its
+    /// resources exist only after boot).
     pub fn connect(ctx: &mut Ctx, handle: &GvmHandle, rank: usize) -> VgpuClient {
+        Self::connect_with_policy(ctx, handle, rank, ClientPolicy::default())
+    }
+
+    /// Connect with an explicit fault-handling policy.
+    pub fn connect_with_policy(
+        ctx: &mut Ctx,
+        handle: &GvmHandle,
+        rank: usize,
+        policy: ClientPolicy,
+    ) -> VgpuClient {
         handle.ready.wait(ctx);
         let req = handle
             .req_mq
@@ -43,6 +151,9 @@ impl VgpuClient {
             req,
             resp,
             shm,
+            policy,
+            abort_stage: None,
+            seq: Cell::new(0),
         }
     }
 
@@ -51,28 +162,107 @@ impl VgpuClient {
         self.rank
     }
 
-    fn call(&self, ctx: &mut Ctx, kind: RequestKind) -> Response {
-        self.req
-            .send(
-                ctx,
-                Request {
-                    rank: self.rank,
-                    kind,
-                },
-            )
-            .expect("GVM request queue open");
-        self.resp.recv(ctx).expect("GVM response")
+    /// Script this client to abandon the protocol when it reaches `stage`:
+    /// the stage's request is never sent (for `SND`, the shm staging write
+    /// is skipped too) and the `try_*` flow returns
+    /// [`TaskError::Aborted`]. Models a crashed SPMD process.
+    pub fn abort_at(&mut self, stage: RequestKind) {
+        self.abort_stage = Some(stage);
+    }
+
+    /// Sequence number of the most recent request sent.
+    pub fn last_seq(&self) -> u64 {
+        self.seq.get()
+    }
+
+    /// One fault-aware protocol exchange: send `kind`, await the matching
+    /// response within the policy's deadline, re-send on timeout with
+    /// exponential backoff. Stale responses (sequence number below the
+    /// current request's — answers to sends we already gave up on) are
+    /// discarded without consuming the retry budget.
+    fn try_call(&self, ctx: &mut Ctx, kind: RequestKind) -> Result<ResponseKind, TaskError> {
+        if self.abort_stage == Some(kind) {
+            return Err(TaskError::Aborted { stage: kind });
+        }
+        let seq = self.seq.get() + 1;
+        self.seq.set(seq);
+        let msg = Request {
+            rank: self.rank,
+            kind,
+            seq,
+        };
+        let mut backoff = self.policy.retry_backoff;
+        let mut sends = 0u32;
+        loop {
+            self.req
+                .send(ctx, msg)
+                .map_err(|_| TaskError::Disconnected { stage: kind })?;
+            sends += 1;
+            let deadline = self.policy.response_timeout.map(|t| ctx.now() + t);
+            loop {
+                let got = match deadline {
+                    None => match self.resp.recv(ctx) {
+                        Some(r) => r,
+                        None => return Err(TaskError::Disconnected { stage: kind }),
+                    },
+                    Some(d) => {
+                        let left = d.duration_since(ctx.now());
+                        match self.resp.recv_timeout(ctx, left) {
+                            RecvTimeout::Msg(r) => r,
+                            RecvTimeout::Closed => {
+                                return Err(TaskError::Disconnected { stage: kind })
+                            }
+                            RecvTimeout::TimedOut => break,
+                        }
+                    }
+                };
+                if got.seq != 0 && got.seq < seq {
+                    continue; // stale answer to an abandoned send
+                }
+                return match got.kind {
+                    ResponseKind::Nak => Err(TaskError::Rejected { stage: kind }),
+                    other => Ok(other),
+                };
+            }
+            if sends > self.policy.max_retries {
+                return Err(TaskError::TimedOut { stage: kind });
+            }
+            ctx.hold(backoff);
+            backoff = next_backoff(backoff, self.policy.retry_backoff_max);
+        }
+    }
+
+    fn call(&self, ctx: &mut Ctx, kind: RequestKind) -> ResponseKind {
+        self.try_call(ctx, kind)
+            .unwrap_or_else(|e| panic!("GVM protocol failure: {e}"))
     }
 
     /// `REQ()`: request VGPU resources.
     pub fn req(&self, ctx: &mut Ctx) {
         let r = self.call(ctx, RequestKind::Req);
-        debug_assert_eq!(r, Response::Ack);
+        debug_assert_eq!(r, ResponseKind::Ack);
+    }
+
+    /// Fault-aware `REQ()`.
+    pub fn try_req(&self, ctx: &mut Ctx) -> Result<(), TaskError> {
+        self.try_call(ctx, RequestKind::Req).map(|_| ())
     }
 
     /// `SND()`: stage this rank's input into virtual shared memory (the
     /// client-side copy), then ask the GVM to move it to pinned memory.
     pub fn snd(&self, ctx: &mut Ctx) {
+        self.try_snd(ctx)
+            .unwrap_or_else(|e| panic!("GVM protocol failure: {e}"));
+    }
+
+    /// Fault-aware `SND()`. An abort scripted at `SND` fires before the
+    /// staging write, like a process dying before it produced its input.
+    pub fn try_snd(&self, ctx: &mut Ctx) -> Result<(), TaskError> {
+        if self.abort_stage == Some(RequestKind::Snd) {
+            return Err(TaskError::Aborted {
+                stage: RequestKind::Snd,
+            });
+        }
         let task = self.handle.task(self.rank).clone();
         if task.bytes_in > 0 {
             match &task.input {
@@ -86,27 +276,37 @@ impl VgpuClient {
                     .expect("input size fits the shm segment"),
             }
         }
-        let r = self.call(ctx, RequestKind::Snd);
-        debug_assert_eq!(r, Response::Ack);
+        self.try_call(ctx, RequestKind::Snd).map(|_| ())
     }
 
     /// `STR()`: start execution. Blocks until all ranks reached this point
     /// (the GVM's barrier) and the streams were flushed.
     pub fn str(&self, ctx: &mut Ctx) {
         let r = self.call(ctx, RequestKind::Str);
-        debug_assert_eq!(r, Response::Ack);
+        debug_assert_eq!(r, ResponseKind::Ack);
+    }
+
+    /// Fault-aware `STR()`.
+    pub fn try_str(&self, ctx: &mut Ctx) -> Result<(), TaskError> {
+        self.try_call(ctx, RequestKind::Str).map(|_| ())
     }
 
     /// `STP()` poll loop: query status with exponential backoff until the
     /// GVM acknowledges completion ("If(WAIT), resends STP").
     pub fn stp_until_done(&self, ctx: &mut Ctx) {
+        self.try_stp_until_done(ctx)
+            .unwrap_or_else(|e| panic!("GVM protocol failure: {e}"));
+    }
+
+    /// Fault-aware `STP()` poll loop.
+    pub fn try_stp_until_done(&self, ctx: &mut Ctx) -> Result<(), TaskError> {
         let mut backoff = self.handle.config.poll_initial;
         loop {
-            match self.call(ctx, RequestKind::Stp) {
-                Response::Ack => return,
-                Response::Wait => {
+            match self.try_call(ctx, RequestKind::Stp)? {
+                ResponseKind::Ack => return Ok(()),
+                _ => {
                     ctx.hold(backoff);
-                    backoff = (backoff * 2).min(self.handle.config.poll_max);
+                    backoff = next_backoff(backoff, self.handle.config.poll_max);
                 }
             }
         }
@@ -116,27 +316,37 @@ impl VgpuClient {
     /// them out (the client-side copy). Returns the bytes for functional
     /// tasks, `None` for timing-only tasks.
     pub fn rcv(&self, ctx: &mut Ctx) -> Option<Vec<u8>> {
+        self.try_rcv(ctx)
+            .unwrap_or_else(|e| panic!("GVM protocol failure: {e}"))
+    }
+
+    /// Fault-aware `RCV()`.
+    pub fn try_rcv(&self, ctx: &mut Ctx) -> Result<Option<Vec<u8>>, TaskError> {
         let task = self.handle.task(self.rank).clone();
-        let r = self.call(ctx, RequestKind::Rcv);
-        debug_assert_eq!(r, Response::Ack);
+        self.try_call(ctx, RequestKind::Rcv)?;
         if task.bytes_out == 0 {
-            return None;
+            return Ok(None);
         }
         let bytes = self
             .shm
             .read(ctx, 0, task.bytes_out)
             .expect("output fits the shm segment");
-        if task.is_functional() {
+        Ok(if task.is_functional() {
             Some(bytes)
         } else {
             None
-        }
+        })
     }
 
     /// `RLS()`: release VGPU resources.
     pub fn rls(&self, ctx: &mut Ctx) {
         let r = self.call(ctx, RequestKind::Rls);
-        debug_assert_eq!(r, Response::Ack);
+        debug_assert_eq!(r, ResponseKind::Ack);
+    }
+
+    /// Fault-aware `RLS()`.
+    pub fn try_rls(&self, ctx: &mut Ctx) -> Result<(), TaskError> {
+        self.try_call(ctx, RequestKind::Rls).map(|_| ())
     }
 
     /// Run `rounds` back-to-back execution cycles under one resource
@@ -145,25 +355,35 @@ impl VgpuClient {
     /// round's timestamps and output. All ranks must use the same round
     /// count (each STR barriers across the group).
     pub fn run_rounds(&self, ctx: &mut Ctx, rounds: u32) -> (TaskRun, Option<Vec<u8>>) {
+        self.try_run_rounds(ctx, rounds)
+            .unwrap_or_else(|e| panic!("GVM protocol failure: {e}"))
+    }
+
+    /// Fault-aware multi-round cycle.
+    pub fn try_run_rounds(
+        &self,
+        ctx: &mut Ctx,
+        rounds: u32,
+    ) -> Result<(TaskRun, Option<Vec<u8>>), TaskError> {
         assert!(rounds >= 1);
         let start = ctx.now();
-        self.req(ctx);
+        self.try_req(ctx)?;
         let init_done = ctx.now();
         let mut last = None;
         for _ in 0..rounds {
-            self.snd(ctx);
+            self.try_snd(ctx)?;
             let data_in_done = ctx.now();
-            self.str(ctx);
-            self.stp_until_done(ctx);
+            self.try_str(ctx)?;
+            self.try_stp_until_done(ctx)?;
             let comp_done = ctx.now();
-            let output = self.rcv(ctx);
+            let output = self.try_rcv(ctx)?;
             let data_out_done = ctx.now();
             last = Some((data_in_done, comp_done, data_out_done, output));
         }
-        self.rls(ctx);
+        self.try_rls(ctx)?;
         let end = ctx.now();
         let (data_in_done, comp_done, data_out_done, output) = last.expect("at least one round");
-        (
+        Ok((
             TaskRun {
                 rank: self.rank,
                 start,
@@ -174,36 +394,18 @@ impl VgpuClient {
                 end,
             },
             output,
-        )
+        ))
     }
 
     /// The full execution cycle (paper Fig. 8 right column): REQ → SND →
     /// STR → STP* → RCV → RLS, with Fig. 3 phase timestamps.
     pub fn run_task(&self, ctx: &mut Ctx) -> (TaskRun, Option<Vec<u8>>) {
-        let start = ctx.now();
-        self.req(ctx);
-        let init_done = ctx.now();
-        self.snd(ctx);
-        let data_in_done = ctx.now();
-        self.str(ctx);
-        self.stp_until_done(ctx);
-        let comp_done = ctx.now();
-        let output = self.rcv(ctx);
-        let data_out_done = ctx.now();
-        self.rls(ctx);
-        let end = ctx.now();
-        (
-            TaskRun {
-                rank: self.rank,
-                start,
-                init_done,
-                data_in_done,
-                comp_done,
-                data_out_done,
-                end,
-            },
-            output,
-        )
+        self.run_rounds(ctx, 1)
+    }
+
+    /// Fault-aware full cycle.
+    pub fn try_run_task(&self, ctx: &mut Ctx) -> Result<(TaskRun, Option<Vec<u8>>), TaskError> {
+        self.try_run_rounds(ctx, 1)
     }
 }
 

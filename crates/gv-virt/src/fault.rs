@@ -1,0 +1,419 @@
+//! Deterministic fault injection for the virtualization stack.
+//!
+//! A [`FaultPlan`] is a seeded, serializable schedule of faults at named
+//! injection points across the layers:
+//!
+//! * message-queue **drop / delay / duplication** at the nth lifetime send
+//!   of the shared request queue or a rank's response queue
+//!   ([`FaultSpec::MqDrop`] / [`FaultSpec::MqDelay`] /
+//!   [`FaultSpec::MqDuplicate`]);
+//! * **shared-memory corruption** at the nth timed write of a rank's
+//!   virtual shared memory segment ([`FaultSpec::ShmCorrupt`]);
+//! * **device-memory OOM** at the nth allocator call
+//!   ([`FaultSpec::DeviceOom`]);
+//! * **client abort** at any protocol stage ([`FaultSpec::ClientAbort`]).
+//!
+//! Because every fault is indexed by a deterministic event count — not
+//! wall-clock or randomness at fire time — the same plan against the same
+//! workload replays the same virtual-time trace byte for byte. Plans
+//! round-trip through a line-based text format ([`FaultPlan::encode`] /
+//! [`FaultPlan::decode`]) so a failing schedule can be checked in as a
+//! regression fixture.
+//!
+//! [`FaultPlan::install`] arms everything on a [`GvmHandle`]'s registries
+//! and the device allocator *before* the simulation runs; the registries
+//! keep schedules by name, so arming works even though the GVM creates its
+//! queues and segments later, at boot.
+
+use gv_gpu::GpuDevice;
+
+use crate::gvm::GvmHandle;
+use crate::protocol::RequestKind;
+use gv_sim::SimDuration;
+
+/// Which message queue a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueSel {
+    /// The shared request queue into the GVM.
+    Request,
+    /// The response queue back to this rank.
+    Response(usize),
+}
+
+impl QueueSel {
+    fn encode(self) -> String {
+        match self {
+            QueueSel::Request => "req".to_string(),
+            QueueSel::Response(r) => format!("resp:{r}"),
+        }
+    }
+
+    fn decode(s: &str) -> Option<QueueSel> {
+        if s == "req" {
+            return Some(QueueSel::Request);
+        }
+        let r = s.strip_prefix("resp:")?.parse().ok()?;
+        Some(QueueSel::Response(r))
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Silently drop the `nth` lifetime send on `queue`.
+    MqDrop {
+        /// Target queue.
+        queue: QueueSel,
+        /// 0-based send index.
+        nth: u64,
+    },
+    /// Charge the sender an extra `delay` at the `nth` lifetime send.
+    MqDelay {
+        /// Target queue.
+        queue: QueueSel,
+        /// 0-based send index.
+        nth: u64,
+        /// Extra sender-side latency.
+        delay: SimDuration,
+    },
+    /// Deliver the `nth` lifetime send twice.
+    MqDuplicate {
+        /// Target queue.
+        queue: QueueSel,
+        /// 0-based send index.
+        nth: u64,
+    },
+    /// XOR-corrupt the bytes stored by the `nth` timed write to `rank`'s
+    /// virtual shared memory segment.
+    ShmCorrupt {
+        /// Target rank's segment.
+        rank: usize,
+        /// 0-based timed-write index.
+        nth_write: u64,
+    },
+    /// Fail the device allocator's `nth` lifetime `alloc` call with
+    /// out-of-memory.
+    DeviceOom {
+        /// 1-based allocator call index (see [`GpuDevice::arm_oom`]).
+        nth_alloc: u64,
+    },
+    /// The client at `rank` abandons the protocol when it reaches `stage`.
+    ClientAbort {
+        /// Aborting rank.
+        rank: usize,
+        /// Stage at which it walks away.
+        stage: RequestKind,
+    },
+}
+
+/// A plan failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A seeded, replayable schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed recorded for provenance (and used by [`FaultPlan::random`]).
+    pub seed: u64,
+    /// The scheduled faults, in arming order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan stamped with `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Add one fault (builder style).
+    pub fn push(mut self, fault: FaultSpec) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Generate `count` pseudo-random faults over `ranks` ranks from
+    /// `seed` (own SplitMix64 — no external RNG, so identical across
+    /// platforms and runs).
+    pub fn random(seed: u64, ranks: usize, count: usize) -> FaultPlan {
+        assert!(ranks >= 1);
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..count {
+            let rank = (next() % ranks as u64) as usize;
+            let queue = if next() % 2 == 0 {
+                QueueSel::Request
+            } else {
+                QueueSel::Response(rank)
+            };
+            let nth = next() % 16;
+            let fault = match next() % 5 {
+                0 => FaultSpec::MqDrop { queue, nth },
+                1 => FaultSpec::MqDelay {
+                    queue,
+                    nth,
+                    delay: SimDuration::from_micros(1 + next() % 500),
+                },
+                2 => FaultSpec::MqDuplicate { queue, nth },
+                3 => FaultSpec::ShmCorrupt {
+                    rank,
+                    nth_write: next() % 4,
+                },
+                _ => FaultSpec::ClientAbort {
+                    rank,
+                    stage: RequestKind::ALL[(next() % 6) as usize],
+                },
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+
+    /// The stage at which `rank` is scripted to abort, if any (first
+    /// matching [`FaultSpec::ClientAbort`] wins).
+    pub fn abort_stage(&self, rank: usize) -> Option<RequestKind> {
+        self.faults.iter().find_map(|f| match f {
+            FaultSpec::ClientAbort { rank: r, stage } if *r == rank => Some(*stage),
+            _ => None,
+        })
+    }
+
+    /// Arm every fault on `h`'s IPC registries and `device`'s allocator.
+    /// Call before `sim.run()`; client aborts are not armed here — clients
+    /// query [`abort_stage`](Self::abort_stage) themselves.
+    pub fn install(&self, h: &GvmHandle, device: &GpuDevice) {
+        for fault in &self.faults {
+            match *fault {
+                FaultSpec::MqDrop { queue, nth } => match queue {
+                    QueueSel::Request => {
+                        h.req_mq.arm_drop(&h.endpoints.request_queue(), nth);
+                    }
+                    QueueSel::Response(r) => {
+                        h.resp_mq.arm_drop(&h.endpoints.response_queue(r), nth);
+                    }
+                },
+                FaultSpec::MqDelay { queue, nth, delay } => match queue {
+                    QueueSel::Request => {
+                        h.req_mq.arm_delay(&h.endpoints.request_queue(), nth, delay);
+                    }
+                    QueueSel::Response(r) => {
+                        h.resp_mq
+                            .arm_delay(&h.endpoints.response_queue(r), nth, delay);
+                    }
+                },
+                FaultSpec::MqDuplicate { queue, nth } => match queue {
+                    QueueSel::Request => {
+                        h.req_mq.arm_duplicate(&h.endpoints.request_queue(), nth);
+                    }
+                    QueueSel::Response(r) => {
+                        h.resp_mq.arm_duplicate(&h.endpoints.response_queue(r), nth);
+                    }
+                },
+                FaultSpec::ShmCorrupt { rank, nth_write } => {
+                    h.shm.arm_corrupt(&h.endpoints.shm(rank), nth_write);
+                }
+                FaultSpec::DeviceOom { nth_alloc } => {
+                    device.arm_oom(nth_alloc);
+                }
+                FaultSpec::ClientAbort { .. } => {}
+            }
+        }
+    }
+
+    /// Serialize to the line-based text format (delay values in integer
+    /// nanoseconds, so `decode(encode(p)) == p` exactly).
+    pub fn encode(&self) -> String {
+        let mut out = format!("faultplan v1 seed={}\n", self.seed);
+        for fault in &self.faults {
+            let line = match *fault {
+                FaultSpec::MqDrop { queue, nth } => format!("mq-drop {} {nth}", queue.encode()),
+                FaultSpec::MqDelay { queue, nth, delay } => {
+                    format!("mq-delay {} {nth} {}", queue.encode(), delay.as_nanos())
+                }
+                FaultSpec::MqDuplicate { queue, nth } => {
+                    format!("mq-dup {} {nth}", queue.encode())
+                }
+                FaultSpec::ShmCorrupt { rank, nth_write } => {
+                    format!("shm-corrupt {rank} {nth_write}")
+                }
+                FaultSpec::DeviceOom { nth_alloc } => format!("oom {nth_alloc}"),
+                FaultSpec::ClientAbort { rank, stage } => {
+                    format!("abort {rank} {}", stage.label())
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`encode`](Self::encode). Blank
+    /// lines and `#` comments are ignored.
+    pub fn decode(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let err = |line: usize, message: &str| PlanParseError {
+            line,
+            message: message.to_string(),
+        };
+        let mut plan = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let plan = match plan.as_mut() {
+                None => {
+                    if fields.len() != 3 || fields[0] != "faultplan" || fields[1] != "v1" {
+                        return Err(err(lineno, "expected header `faultplan v1 seed=<n>`"));
+                    }
+                    let seed = fields[2]
+                        .strip_prefix("seed=")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad seed"))?;
+                    plan = Some(FaultPlan::new(seed));
+                    continue;
+                }
+                Some(p) => p,
+            };
+            let num = |idx: usize| -> Result<u64, PlanParseError> {
+                fields
+                    .get(idx)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad numeric field"))
+            };
+            let queue = |idx: usize| -> Result<QueueSel, PlanParseError> {
+                fields
+                    .get(idx)
+                    .and_then(|s| QueueSel::decode(s))
+                    .ok_or_else(|| err(lineno, "bad queue selector"))
+            };
+            let nargs = fields.len() - 1;
+            let fault = match (fields[0], nargs) {
+                ("mq-drop", 2) => FaultSpec::MqDrop {
+                    queue: queue(1)?,
+                    nth: num(2)?,
+                },
+                ("mq-delay", 3) => FaultSpec::MqDelay {
+                    queue: queue(1)?,
+                    nth: num(2)?,
+                    delay: SimDuration::from_nanos(num(3)?),
+                },
+                ("mq-dup", 2) => FaultSpec::MqDuplicate {
+                    queue: queue(1)?,
+                    nth: num(2)?,
+                },
+                ("shm-corrupt", 2) => FaultSpec::ShmCorrupt {
+                    rank: num(1)? as usize,
+                    nth_write: num(2)?,
+                },
+                ("oom", 1) => FaultSpec::DeviceOom { nth_alloc: num(1)? },
+                ("abort", 2) => FaultSpec::ClientAbort {
+                    rank: num(1)? as usize,
+                    stage: RequestKind::from_label(fields[2])
+                        .ok_or_else(|| err(lineno, "unknown protocol stage"))?,
+                },
+                _ => return Err(err(lineno, "unknown fault directive")),
+            };
+            plan.faults.push(fault);
+        }
+        plan.ok_or_else(|| err(0, "empty plan (missing header)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        FaultPlan::new(42)
+            .push(FaultSpec::MqDrop {
+                queue: QueueSel::Request,
+                nth: 3,
+            })
+            .push(FaultSpec::MqDelay {
+                queue: QueueSel::Response(2),
+                nth: 1,
+                delay: SimDuration::from_micros(250),
+            })
+            .push(FaultSpec::MqDuplicate {
+                queue: QueueSel::Response(0),
+                nth: 0,
+            })
+            .push(FaultSpec::ShmCorrupt {
+                rank: 3,
+                nth_write: 1,
+            })
+            .push(FaultSpec::DeviceOom { nth_alloc: 4 })
+            .push(FaultSpec::ClientAbort {
+                rank: 2,
+                stage: RequestKind::Stp,
+            })
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let plan = sample();
+        let text = plan.encode();
+        assert_eq!(FaultPlan::decode(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn decode_tolerates_comments_and_blanks() {
+        let text = "# fixture\nfaultplan v1 seed=7\n\n# one drop\nmq-drop req 0\n";
+        let plan = FaultPlan::decode(text).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(FaultPlan::decode("").is_err());
+        assert!(FaultPlan::decode("faultplan v2 seed=1\n").is_err());
+        assert!(FaultPlan::decode("faultplan v1 seed=1\nmq-drop req\n").is_err());
+        assert!(FaultPlan::decode("faultplan v1 seed=1\nabort 0 NOP\n").is_err());
+        let e = FaultPlan::decode("faultplan v1 seed=1\nexplode 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(99, 4, 12);
+        let b = FaultPlan::random(99, 4, 12);
+        let c = FaultPlan::random(100, 4, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.faults.len(), 12);
+        // And the text format round-trips arbitrary generated plans too.
+        assert_eq!(FaultPlan::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn abort_stage_finds_first_match() {
+        let plan = sample();
+        assert_eq!(plan.abort_stage(2), Some(RequestKind::Stp));
+        assert_eq!(plan.abort_stage(0), None);
+    }
+}

@@ -8,6 +8,16 @@
 //! buffered behind a barrier and all streams are flushed together so Fermi
 //! can overlap copies with compute and run small kernels concurrently
 //! within the one context.
+//!
+//! With [`GvmConfig::fault_tolerance`] enabled the serve loop degrades
+//! gracefully instead of wedging: requests are received with a deadline, a
+//! rank that stops responding (crashed client, lost message beyond the
+//! client's retry budget) is *evicted* — its device memory, shared-memory
+//! segment and response queue are reclaimed as an implicit `RLS` — and the
+//! `STR` barrier is re-armed at the reduced width so the surviving ranks
+//! still flush and complete. Sequence numbers on requests make client
+//! retries idempotent: a stage the GVM already served is answered from the
+//! recorded response instead of being re-executed.
 
 use std::sync::Arc;
 
@@ -15,10 +25,32 @@ use gv_cuda::{CudaDevice, HostBuffer};
 use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
-use gv_sim::{Ctx, Gate, SimDuration, Simulation};
+use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
 
-use crate::protocol::{Endpoints, Request, RequestKind, Response};
+use crate::protocol::{Endpoints, Request, RequestKind, Response, ResponseKind};
+
+/// Recovery knobs for a fault-tolerant GVM (see
+/// [`GvmConfig::fault_tolerance`]).
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// How long the `STR` barrier waits for stragglers once at least one
+    /// rank has arrived, before evicting the missing ranks and flushing at
+    /// reduced width.
+    pub barrier_timeout: SimDuration,
+    /// How long the serve loop waits for *any* request before declaring
+    /// the remaining active ranks dead and evicting them.
+    pub idle_timeout: SimDuration,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            barrier_timeout: SimDuration::from_millis(20),
+            idle_timeout: SimDuration::from_millis(100),
+        }
+    }
+}
 
 /// GVM configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +66,15 @@ pub struct GvmConfig {
     /// Ablation: drain each rank's stream before flushing the next (no
     /// cross-process overlap — what a naive time-sharing manager would do).
     pub serial_flush: bool,
+    /// Depth bound for the shared request queue (`None` = unbounded).
+    /// A bounded queue exerts backpressure: senders block in simulated
+    /// time until the GVM drains.
+    pub req_queue_capacity: Option<usize>,
+    /// `Some` enables graceful degradation: timed receives, rank eviction
+    /// with resource reclamation, reduced-width barrier re-arming, and
+    /// device memory allocated lazily at first `SND` (overcommit) instead
+    /// of at boot. `None` keeps the seed's fault-free behavior exactly.
+    pub fault_tolerance: Option<FtConfig>,
 }
 
 impl GvmConfig {
@@ -45,6 +86,8 @@ impl GvmConfig {
             poll_initial: SimDuration::from_micros(50),
             poll_max: SimDuration::from_millis(4),
             serial_flush: false,
+            req_queue_capacity: None,
+            fault_tolerance: None,
         }
     }
 
@@ -52,6 +95,14 @@ impl GvmConfig {
     pub fn serial_flush(ntask: usize) -> Self {
         GvmConfig {
             serial_flush: true,
+            ..Self::new(ntask)
+        }
+    }
+
+    /// A fault-tolerant instance with default recovery timeouts.
+    pub fn fault_tolerant(ntask: usize) -> Self {
+        GvmConfig {
+            fault_tolerance: Some(FtConfig::default()),
             ..Self::new(ntask)
         }
     }
@@ -72,6 +123,31 @@ pub struct GvmStats {
     pub submit_time: SimDuration,
     /// `STP` queries answered with `WAIT`.
     pub stp_waits: u64,
+    /// Ranks evicted by the fault-tolerance layer (timeout or `NAK`).
+    pub evictions: u64,
+    /// Requests answered with `NAK`.
+    pub naks: u64,
+    /// Duplicate requests answered from the recorded response (or
+    /// silently ignored while the original is still barriered).
+    pub dedup_hits: u64,
+}
+
+/// Lifecycle of one rank inside the serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    /// Serving normally.
+    Active,
+    /// Forcibly removed by the fault-tolerance layer; resources reclaimed.
+    Evicted,
+    /// Sent `RLS`.
+    Released,
+}
+
+/// The rank's device-side allocation (held from boot in the fault-free
+/// GVM; from first `SND` in the fault-tolerant one).
+struct RankGpuAlloc {
+    dev_base: DevicePtr,
+    kernels: Vec<gv_gpu::KernelDesc>,
 }
 
 struct RankResources {
@@ -80,11 +156,16 @@ struct RankResources {
     /// Index of this rank's device/context (multi-GPU nodes round-robin).
     dev_idx: usize,
     stream: gv_gpu::StreamId,
-    dev_base: DevicePtr,
+    gpu: Option<RankGpuAlloc>,
     pinned_in: HostBuffer,
     pinned_out: HostBuffer,
-    kernels: Vec<gv_gpu::KernelDesc>,
     task: GpuTask,
+    state: RankState,
+    /// Highest request sequence number seen from this rank (0 = none).
+    last_seq: u64,
+    /// Response recorded for `last_seq`, for idempotent retries. `None`
+    /// while the request is still barriered (`STR` awaiting flush).
+    last_resp: Option<ResponseKind>,
 }
 
 /// Handle returned by [`Gvm::install`]: everything a client process needs
@@ -177,6 +258,7 @@ impl Gvm {
 fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     let cfg = &h.config;
     let endpoints = &h.endpoints;
+    let ft = cfg.fault_tolerance.clone();
 
     // --- Initialization (paper Fig. 8, left column top) -----------------
     // "Gets the GPU device / Initializes Context": one charged context per
@@ -188,7 +270,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         .collect();
     let req_q = h
         .req_mq
-        .create(&endpoints.request_queue(), None)
+        .create(&endpoints.request_queue(), cfg.req_queue_capacity)
         .expect("request queue name free");
 
     let mut ranks: Vec<RankResources> = Vec::with_capacity(cfg.ntask);
@@ -206,9 +288,19 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         let dev_idx = r % contexts.len();
         let cc = &contexts[dev_idx];
         let stream = cc.stream_create();
-        let dev_base = cc
-            .malloc(task.device_bytes.max(1))
-            .expect("GVM device allocation");
+        // Fault-free GVM pre-allocates at boot (Fig. 8); the fault-tolerant
+        // one overcommits and allocates at first SND so an OOM can be
+        // answered with a NAK instead of a boot-time panic.
+        let gpu = if ft.is_none() {
+            let dev_base = cc
+                .malloc(task.device_bytes.max(1))
+                .expect("GVM device allocation");
+            // "Prepares the kernels to be executed when initialized".
+            let kernels = task.bind_kernels(dev_base);
+            Some(RankGpuAlloc { dev_base, kernels })
+        } else {
+            None
+        };
         let functional = task.is_functional();
         let pinned_in = if functional {
             HostBuffer::zeroed(task.bytes_in.max(1), true)
@@ -220,37 +312,130 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         } else {
             HostBuffer::opaque(task.bytes_out.max(1), true)
         };
-        // "Prepares the kernels to be executed when initialized".
-        let kernels = task.bind_kernels(dev_base);
         ranks.push(RankResources {
             shm,
             resp,
             dev_idx,
             stream,
-            dev_base,
+            gpu,
             pinned_in,
             pinned_out,
-            kernels,
             task,
+            state: RankState::Active,
+            last_seq: 0,
+            last_resp: None,
         });
     }
     h.ready.open(ctx);
 
     // --- Serve loop ------------------------------------------------------
     let mut str_waiting: Vec<usize> = Vec::new();
-    let mut released = 0usize;
-    while released < cfg.ntask {
-        let Some(req) = req_q.recv(ctx) else { break };
+    // Absolute deadline for the current barrier round, fixed when the
+    // first STR arrives. Retried/duplicated requests received during the
+    // stall must NOT push it out, or steady client retries could keep a
+    // dead barrier alive forever.
+    let mut barrier_deadline: Option<gv_sim::SimTime> = None;
+    let mut finished = 0usize; // released + evicted
+    while finished < cfg.ntask {
+        if str_waiting.is_empty() {
+            barrier_deadline = None;
+        }
+        let req = if let Some(ft) = &ft {
+            let timeout = match barrier_deadline {
+                Some(d) => d.duration_since(ctx.now()),
+                None => ft.idle_timeout,
+            };
+            match req_q.recv_timeout(ctx, timeout) {
+                RecvTimeout::Msg(req) => req,
+                RecvTimeout::Closed => break,
+                RecvTimeout::TimedOut => {
+                    if str_waiting.is_empty() {
+                        // Nothing barriered and nobody talking: the
+                        // remaining active ranks are gone. Evict them all.
+                        for r in 0..ranks.len() {
+                            if ranks[r].state == RankState::Active {
+                                evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                                finished += 1;
+                            }
+                        }
+                    } else {
+                        // Barrier stalled: evict the stragglers and flush
+                        // at the reduced width so survivors complete.
+                        for r in 0..ranks.len() {
+                            if ranks[r].state == RankState::Active && !str_waiting.contains(&r) {
+                                evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                                finished += 1;
+                            }
+                        }
+                        ctx.tracer()
+                            .fault(ctx.now(), format!("barrier-degrade:{}", str_waiting.len()));
+                        flush_barrier(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                    }
+                    continue;
+                }
+            }
+        } else {
+            let Some(req) = req_q.recv(ctx) else { break };
+            req
+        };
         let r = req.rank;
+
+        // Idempotent retry handling: a sequence number at or below the
+        // last one served is a duplicate (client retry after a lost
+        // response, or a duplicated request message).
+        if req.seq != 0 && req.seq <= ranks[r].last_seq {
+            h.stats.lock().dedup_hits += 1;
+            if req.seq == ranks[r].last_seq {
+                if let Some(kind) = ranks[r].last_resp {
+                    let _ = ranks[r].resp.send(ctx, Response { seq: req.seq, kind });
+                }
+                // else: the original is still barriered in str_waiting —
+                // the ACK will go out at flush; never barrier twice.
+            }
+            continue;
+        }
+        ranks[r].last_seq = req.seq;
+        ranks[r].last_resp = None;
+
+        // An evicted (or already-released) rank gets a NAK so a retrying
+        // client stops instead of timing out forever.
+        if ranks[r].state != RankState::Active {
+            h.stats.lock().naks += 1;
+            let _ = ranks[r].resp.send(ctx, Response::nak(req.seq));
+            ranks[r].last_resp = Some(ResponseKind::Nak);
+            continue;
+        }
+
         match req.kind {
             RequestKind::Req => {
-                // "Provides Virtual and GPU Resource" — pre-created at init.
-                ranks[r]
-                    .resp
-                    .send(ctx, Response::Ack)
-                    .expect("resp queue open");
+                // "Provides Virtual and GPU Resource" — pre-created at init
+                // (fault-free) or deferred to SND (fault-tolerant).
+                send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
             RequestKind::Snd => {
+                // Fault-tolerant GVMs allocate device memory here; an OOM
+                // becomes a NAK + eviction instead of a wedge.
+                if ft.is_some() && ranks[r].gpu.is_none() {
+                    let cc = &contexts[ranks[r].dev_idx];
+                    match cc.malloc(ranks[r].task.device_bytes.max(1)) {
+                        Ok(dev_base) => {
+                            let kernels = ranks[r].task.bind_kernels(dev_base);
+                            ranks[r].gpu = Some(RankGpuAlloc { dev_base, kernels });
+                        }
+                        Err(_) => {
+                            ctx.tracer().fault(ctx.now(), format!("oom-nak:rank{r}"));
+                            {
+                                let mut stats = h.stats.lock();
+                                stats.naks += 1;
+                            }
+                            send_recorded(ctx, &mut ranks[r], Response::nak(req.seq));
+                            evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                            finished += 1;
+                            maybe_flush_reduced(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                            continue;
+                        }
+                    }
+                }
                 // "Copies Data from Virtual Shared Memory to Host Pinned
                 // Memory" — performed by the GVM, charged to the GVM.
                 let bytes = ranks[r].task.bytes_in;
@@ -266,47 +451,41 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     stats.snd_copies += 1;
                     stats.copy_time += ctx.now().duration_since(t0);
                 }
-                ranks[r]
-                    .resp
-                    .send(ctx, Response::Ack)
-                    .expect("resp queue open");
+                send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
             RequestKind::Str => {
                 // "Buffers the STR message … Barrier to synchronize STR
                 // from all processes", then flush every stream together.
+                // The ACK is recorded at flush time (last_resp stays None
+                // until then, which is what makes retried STRs safe).
                 str_waiting.push(r);
-                if str_waiting.len() == cfg.ntask {
-                    let t0 = ctx.now();
-                    for rank in ranks.iter_mut() {
-                        let cc = &contexts[rank.dev_idx];
-                        flush_rank(ctx, cc, rank);
-                        if cfg.serial_flush {
-                            cc.stream_synchronize(ctx, rank.stream);
-                        }
-                    }
-                    {
-                        let mut stats = h.stats.lock();
-                        stats.flushes += 1;
-                        stats.submit_time += ctx.now().duration_since(t0);
-                    }
-                    // "Barrier to synchronize ACK to all processes".
-                    for &rr in &str_waiting {
-                        ranks[rr]
-                            .resp
-                            .send(ctx, Response::Ack)
-                            .expect("resp queue open");
-                    }
-                    str_waiting.clear();
+                if let Some(ft) = &ft {
+                    barrier_deadline.get_or_insert(ctx.now() + ft.barrier_timeout);
+                }
+                let width = if ft.is_some() {
+                    ranks
+                        .iter()
+                        .filter(|k| k.state == RankState::Active)
+                        .count()
+                } else {
+                    cfg.ntask
+                };
+                if str_waiting.len() == width {
+                    flush_barrier(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
                 }
             }
             RequestKind::Stp => {
                 // "If status(stream)=0 sends WAIT, otherwise sends ACK".
                 let done = contexts[ranks[r].dev_idx].stream_query(ranks[r].stream);
-                let resp = if done { Response::Ack } else { Response::Wait };
                 if !done {
                     h.stats.lock().stp_waits += 1;
                 }
-                ranks[r].resp.send(ctx, resp).expect("resp queue open");
+                let resp = if done {
+                    Response::ack(req.seq)
+                } else {
+                    Response::wait(req.seq)
+                };
+                send_recorded(ctx, &mut ranks[r], resp);
             }
             RequestKind::Rcv => {
                 // "Copies Result Data from Host Pinned Memory to Virtual
@@ -330,51 +509,138 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     stats.rcv_copies += 1;
                     stats.copy_time += ctx.now().duration_since(t0);
                 }
-                ranks[r]
-                    .resp
-                    .send(ctx, Response::Ack)
-                    .expect("resp queue open");
+                send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
             RequestKind::Rls => {
-                released += 1;
-                ranks[r]
-                    .resp
-                    .send(ctx, Response::Ack)
-                    .expect("resp queue open");
+                ranks[r].state = RankState::Released;
+                finished += 1;
+                send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
+                maybe_flush_reduced(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
             }
         }
     }
 
-    // Free device resources.
+    // Free device resources still held (released ranks keep theirs until
+    // GVM shutdown; evicted ranks were reclaimed at eviction).
     for rank in &ranks {
-        let _ = cudas[rank.dev_idx].device().free(rank.dev_base);
+        if let Some(gpu) = &rank.gpu {
+            let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
+        }
     }
     h.done.open(ctx);
+}
+
+/// Send `resp` to `rank` and record it for idempotent retries. In the
+/// fault-free GVM a send failure is a bug (queues never close); under
+/// fault tolerance a closed queue just means the rank is already gone.
+fn send_recorded(ctx: &mut Ctx, rank: &mut RankResources, resp: Response) {
+    rank.last_resp = Some(resp.kind);
+    let _ = rank.resp.send(ctx, resp);
+}
+
+/// Evict `r`: reclaim its device memory, close and unlink its response
+/// queue, unlink its shared-memory segment, and drop it from the barrier —
+/// an implicit `RLS` performed by the GVM on the rank's behalf.
+fn evict(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    cudas: &[CudaDevice],
+    ranks: &mut [RankResources],
+    str_waiting: &mut Vec<usize>,
+    r: usize,
+) {
+    let rank = &mut ranks[r];
+    rank.state = RankState::Evicted;
+    if let Some(gpu) = rank.gpu.take() {
+        let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
+    }
+    rank.resp.close(ctx);
+    let _ = h.resp_mq.unlink(&h.endpoints.response_queue(r));
+    let _ = h.shm.unlink(&h.endpoints.shm(r));
+    str_waiting.retain(|&w| w != r);
+    ctx.tracer().fault(ctx.now(), format!("evict:rank{r}"));
+    h.stats.lock().evictions += 1;
+}
+
+/// After an eviction or release, the barrier may now be satisfied at the
+/// reduced width — flush if every remaining active rank is barriered.
+fn maybe_flush_reduced(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    contexts: &[gv_cuda::CudaContext],
+    ranks: &mut [RankResources],
+    str_waiting: &mut Vec<usize>,
+) {
+    if h.config.fault_tolerance.is_none() || str_waiting.is_empty() {
+        return;
+    }
+    let active = ranks
+        .iter()
+        .filter(|k| k.state == RankState::Active)
+        .count();
+    if str_waiting.len() == active {
+        flush_barrier(ctx, h, contexts, ranks, str_waiting);
+    }
+}
+
+/// Flush the barriered ranks' streams together (rank-index submission
+/// order), then ACK them in arrival order.
+fn flush_barrier(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    contexts: &[gv_cuda::CudaContext],
+    ranks: &mut [RankResources],
+    str_waiting: &mut Vec<usize>,
+) {
+    let cfg = &h.config;
+    let t0 = ctx.now();
+    for r in 0..ranks.len() {
+        if !str_waiting.contains(&r) {
+            continue;
+        }
+        let rank = &mut ranks[r];
+        let cc = &contexts[rank.dev_idx];
+        flush_rank(ctx, cc, rank);
+        if cfg.serial_flush {
+            cc.stream_synchronize(ctx, rank.stream);
+        }
+    }
+    {
+        let mut stats = h.stats.lock();
+        stats.flushes += 1;
+        stats.submit_time += ctx.now().duration_since(t0);
+    }
+    // "Barrier to synchronize ACK to all processes".
+    for &rr in str_waiting.iter() {
+        let seq = ranks[rr].last_seq;
+        let rank = &mut ranks[rr];
+        rank.last_resp = Some(ResponseKind::Ack);
+        let _ = rank.resp.send(ctx, Response::ack(seq));
+    }
+    str_waiting.clear();
 }
 
 /// Enqueue one rank's complete pipeline into its stream: per iteration,
 /// async H2D from pinned, the kernel sequence, async D2H into pinned.
 fn flush_rank(ctx: &mut Ctx, cc: &gv_cuda::CudaContext, rank: &mut RankResources) {
     let task = &rank.task;
+    let gpu = rank
+        .gpu
+        .as_ref()
+        .expect("barriered rank has device allocation");
     for _ in 0..task.iterations {
         if task.bytes_in > 0 {
-            cc.memcpy_h2d_async(
-                ctx,
-                rank.stream,
-                &rank.pinned_in,
-                rank.dev_base,
-                task.bytes_in,
-            )
-            .expect("GVM H2D submit");
+            cc.memcpy_h2d_async(ctx, rank.stream, &rank.pinned_in, gpu.dev_base, task.bytes_in)
+                .expect("GVM H2D submit");
         }
-        for k in &rank.kernels {
+        for k in &gpu.kernels {
             cc.launch(ctx, rank.stream, k.clone()).expect("GVM launch");
         }
         if task.bytes_out > 0 {
             cc.memcpy_d2h_async(
                 ctx,
                 rank.stream,
-                rank.dev_base.add(task.d2h_offset),
+                gpu.dev_base.add(task.d2h_offset),
                 &rank.pinned_out,
                 task.bytes_out,
             )

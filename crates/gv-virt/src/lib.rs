@@ -13,19 +13,27 @@
 //!   serialized by the device with context-switch costs (the comparison
 //!   baseline of every figure).
 //! * [`protocol`] — message vocabulary and the Fig. 3 phase timestamps.
+//! * [`fault`] — deterministic fault injection: a seeded, serializable
+//!   [`FaultPlan`] schedules message drops/delays/duplicates, shm
+//!   corruption, device OOM and client aborts; the GVM recovers by
+//!   evicting dead ranks and re-arming the `STR` barrier at reduced
+//!   width, and clients recover by retrying with sequence-numbered
+//!   idempotent requests.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod client;
+pub mod fault;
 pub mod gvm;
 pub mod protocol;
 pub mod remote;
 
-pub use baseline::run_direct;
-pub use client::VgpuClient;
-pub use gvm::{Gvm, GvmConfig, GvmHandle, GvmStats};
-pub use protocol::{Endpoints, Request, RequestKind, Response, TaskRun};
+pub use baseline::{run_direct, run_direct_abortable};
+pub use client::{ClientPolicy, TaskError, VgpuClient};
+pub use fault::{FaultPlan, FaultSpec, PlanParseError, QueueSel};
+pub use gvm::{FtConfig, Gvm, GvmConfig, GvmHandle, GvmStats};
+pub use protocol::{Endpoints, Request, RequestKind, Response, ResponseKind, TaskRun};
 pub use remote::{RemoteClient, RemoteConfig, RemoteGpuDaemon, RemoteGpuHandle};
 
 #[cfg(test)]
@@ -121,6 +129,55 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(device.stats().ctx_switches, 0);
         assert_eq!(handle.stats.lock().flushes, 1);
+    }
+
+    /// Fault tolerance enabled but no faults armed: every rank completes
+    /// normally, nothing is evicted, and the functional result is intact.
+    #[test]
+    fn fault_tolerant_mode_without_faults_is_transparent() {
+        let mut sim = Simulation::new();
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let device = GpuDevice::install(&mut sim, cfg.clone());
+        let cuda = CudaDevice::new(device.clone());
+        let node = Node::new(NodeConfig::dual_xeon_x5560());
+        let a: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..128).map(|i| (i * 3) as f32).collect();
+        let tasks = vec![vecadd::functional_task(&cfg, &a, &b); 2];
+        let handle = Gvm::install(&mut sim, &node, &cuda, GvmConfig::fault_tolerant(2), tasks);
+        let outs: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        for rank in 0..2 {
+            let handle = handle.clone();
+            let outs = outs.clone();
+            node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                let client = VgpuClient::connect_with_policy(
+                    ctx,
+                    &handle,
+                    rank,
+                    client::ClientPolicy::with_timeout(gv_sim::SimDuration::from_millis(10), 3),
+                );
+                let (_run, out) = client.try_run_task(ctx).expect("fault-free run succeeds");
+                outs.lock().push(out.expect("functional output"));
+            })
+            .unwrap();
+        }
+        let h2 = handle.clone();
+        let dev2 = device.clone();
+        sim.spawn("supervisor", move |ctx| {
+            h2.done.wait(ctx);
+            dev2.shutdown(ctx);
+        });
+        sim.run().unwrap();
+        let stats = handle.stats.lock();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.naks, 0);
+        assert_eq!(stats.flushes, 1);
+        let outs = outs.lock();
+        assert_eq!(outs.len(), 2);
+        for bytes in outs.iter() {
+            assert_eq!(vecadd::decode_output(bytes), vecadd::reference(&a, &b));
+        }
+        // Every device byte reclaimed at shutdown.
+        assert_eq!(device.with_memory(|m| m.used()), 0);
     }
 
     /// Baseline with N processes pays N-1 context switches and serializes.

@@ -16,7 +16,7 @@
 use gv_sim::SimTime;
 
 /// Request kinds a user process can send (paper Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// Request VGPU resources.
     Req,
@@ -32,22 +32,98 @@ pub enum RequestKind {
     Rls,
 }
 
-/// A request message: sender rank + kind.
+impl RequestKind {
+    /// Every protocol stage, in cycle order.
+    pub const ALL: [RequestKind; 6] = [
+        RequestKind::Req,
+        RequestKind::Snd,
+        RequestKind::Str,
+        RequestKind::Stp,
+        RequestKind::Rcv,
+        RequestKind::Rls,
+    ];
+
+    /// The paper's wire mnemonic, e.g. `"STR"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::Req => "REQ",
+            RequestKind::Snd => "SND",
+            RequestKind::Str => "STR",
+            RequestKind::Stp => "STP",
+            RequestKind::Rcv => "RCV",
+            RequestKind::Rls => "RLS",
+        }
+    }
+
+    /// Parse a wire mnemonic produced by [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<RequestKind> {
+        RequestKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// A request message: sender rank + kind + per-client sequence number.
+///
+/// The sequence number makes client retries safe: a GVM that already served
+/// `(rank, seq)` re-sends its previous answer instead of re-executing the
+/// stage (a retried `STR` must not enter the barrier twice, a retried `RLS`
+/// must not release twice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// SPMD rank of the sender.
     pub rank: usize,
     /// What is being asked.
     pub kind: RequestKind,
+    /// Per-client monotone sequence number (starts at 1; 0 = unsequenced
+    /// legacy traffic, never deduplicated).
+    pub seq: u64,
 }
 
-/// Response messages from the GVM.
+/// What the GVM answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Response {
+pub enum ResponseKind {
     /// Request completed.
     Ack,
     /// Execution still in progress (answer to `STP` only).
     Wait,
+    /// Request permanently rejected — the rank was evicted or its
+    /// resources could not be provided; retrying is pointless.
+    Nak,
+}
+
+/// A response message from the GVM, echoing the request's sequence number
+/// so clients can discard stale answers after a timeout-and-retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Sequence number of the request being answered.
+    pub seq: u64,
+    /// The answer.
+    pub kind: ResponseKind,
+}
+
+impl Response {
+    /// An `ACK` for request `seq`.
+    pub fn ack(seq: u64) -> Response {
+        Response {
+            seq,
+            kind: ResponseKind::Ack,
+        }
+    }
+
+    /// A `WAIT` for request `seq`.
+    pub fn wait(seq: u64) -> Response {
+        Response {
+            seq,
+            kind: ResponseKind::Wait,
+        }
+    }
+
+    /// A `NAK` for request `seq`.
+    pub fn nak(seq: u64) -> Response {
+        Response {
+            seq,
+            kind: ResponseKind::Nak,
+        }
+    }
 }
 
 /// Shared-memory and queue names, derived from a GVM instance name so
@@ -140,6 +216,21 @@ impl TaskRun {
 mod tests {
     use super::*;
     use gv_sim::SimDuration;
+
+    #[test]
+    fn request_kind_labels_roundtrip() {
+        for kind in RequestKind::ALL {
+            assert_eq!(RequestKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(RequestKind::from_label("NOP"), None);
+    }
+
+    #[test]
+    fn response_constructors_carry_seq() {
+        assert_eq!(Response::ack(7).kind, ResponseKind::Ack);
+        assert_eq!(Response::wait(7).seq, 7);
+        assert_eq!(Response::nak(9), Response { seq: 9, kind: ResponseKind::Nak });
+    }
 
     #[test]
     fn endpoints_are_namespaced() {

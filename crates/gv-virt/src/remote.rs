@@ -14,6 +14,7 @@
 //!   the GVM — there is no barrier-flush: each client's work is submitted
 //!   as it arrives (rCUDA semantics).
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use gv_cuda::{CudaDevice, HostBuffer};
@@ -24,7 +25,7 @@ use gv_kernels::GpuTask;
 use gv_sim::{Ctx, Gate, SimDuration, Simulation};
 use parking_lot::Mutex;
 
-use crate::protocol::{Request, RequestKind, Response, TaskRun};
+use crate::protocol::{Request, RequestKind, Response, ResponseKind, TaskRun};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -137,7 +138,10 @@ fn daemon_main(ctx: &mut Ctx, h: RemoteGpuHandle, cuda: CudaDevice) {
         let r = req.rank;
         match req.kind {
             RequestKind::Req => {
-                slots[r].resp.send(ctx, Response::Ack).expect("resp open");
+                slots[r]
+                    .resp
+                    .send(ctx, Response::ack(req.seq))
+                    .expect("resp open");
             }
             RequestKind::Snd => {
                 // Input already crossed the wire (client-side cost); the
@@ -170,23 +174,39 @@ fn daemon_main(ctx: &mut Ctx, h: RemoteGpuHandle, cuda: CudaDevice) {
                         .expect("daemon D2H");
                     }
                 }
-                slots[r].resp.send(ctx, Response::Ack).expect("resp open");
+                slots[r]
+                    .resp
+                    .send(ctx, Response::ack(req.seq))
+                    .expect("resp open");
             }
             RequestKind::Str => {
                 // Execution already started at SND; acknowledge.
-                slots[r].resp.send(ctx, Response::Ack).expect("resp open");
+                slots[r]
+                    .resp
+                    .send(ctx, Response::ack(req.seq))
+                    .expect("resp open");
             }
             RequestKind::Stp => {
                 let done = cc.stream_query(slots[r].stream);
-                let resp = if done { Response::Ack } else { Response::Wait };
+                let resp = if done {
+                    Response::ack(req.seq)
+                } else {
+                    Response::wait(req.seq)
+                };
                 slots[r].resp.send(ctx, resp).expect("resp open");
             }
             RequestKind::Rcv => {
-                slots[r].resp.send(ctx, Response::Ack).expect("resp open");
+                slots[r]
+                    .resp
+                    .send(ctx, Response::ack(req.seq))
+                    .expect("resp open");
             }
             RequestKind::Rls => {
                 released += 1;
-                slots[r].resp.send(ctx, Response::Ack).expect("resp open");
+                slots[r]
+                    .resp
+                    .send(ctx, Response::ack(req.seq))
+                    .expect("resp open");
             }
         }
     }
@@ -202,6 +222,7 @@ pub struct RemoteClient {
     handle: RemoteGpuHandle,
     req: MessageQueue<Request>,
     resp: MessageQueue<Response>,
+    seq: Cell<u64>,
 }
 
 impl RemoteClient {
@@ -221,10 +242,13 @@ impl RemoteClient {
             handle: handle.clone(),
             req,
             resp,
+            seq: Cell::new(0),
         }
     }
 
-    fn call(&self, ctx: &mut Ctx, kind: RequestKind) -> Response {
+    fn call(&self, ctx: &mut Ctx, kind: RequestKind) -> ResponseKind {
+        let seq = self.seq.get() + 1;
+        self.seq.set(seq);
         // Every RPC costs a round trip on the wire.
         self.handle.link.send_forward(ctx, 64);
         self.req
@@ -233,12 +257,13 @@ impl RemoteClient {
                 Request {
                     rank: self.rank,
                     kind,
+                    seq,
                 },
             )
             .expect("daemon up");
         let r = self.resp.recv(ctx).expect("daemon response");
         self.handle.link.send_reverse(ctx, 64);
-        r
+        r.kind
     }
 
     /// The full remote execution cycle, with Fig. 3 phase timestamps.
@@ -255,14 +280,9 @@ impl RemoteClient {
         let data_in_done = ctx.now();
         self.call(ctx, RequestKind::Str);
         let mut backoff = SimDuration::from_micros(50);
-        loop {
-            match self.call(ctx, RequestKind::Stp) {
-                Response::Ack => break,
-                Response::Wait => {
-                    ctx.hold(backoff);
-                    backoff = (backoff * 2).min(self.handle.config.poll_max);
-                }
-            }
+        while self.call(ctx, RequestKind::Stp) != ResponseKind::Ack {
+            ctx.hold(backoff);
+            backoff = (backoff * 2).min(self.handle.config.poll_max);
         }
         let comp_done = ctx.now();
         self.call(ctx, RequestKind::Rcv);
