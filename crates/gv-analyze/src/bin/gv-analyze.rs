@@ -1,0 +1,47 @@
+//! Standalone trace checker: `gv-analyze <trace.gvtrace> [...]`.
+//!
+//! Reads dump files produced by the harness (`--analyze --dump-trace`, see
+//! `repro_all`) or by [`gv_analyze::model::to_dump`], runs every checker,
+//! and prints one line per diagnostic. Exit codes: 0 = all traces clean,
+//! 1 = diagnostics found, 2 = usage or parse error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
+        eprintln!("usage: gv-analyze <trace.gvtrace> [more traces...]");
+        eprintln!("checks dumped GVM analysis traces for data races, protocol");
+        eprintln!("violations, and device-invariant breaches");
+        return ExitCode::from(2);
+    }
+
+    let mut dirty = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let records = match gv_analyze::model::parse_dump(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = gv_analyze::analyze(&records);
+        println!("{path}: {}", report.summary());
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        dirty |= !report.is_clean();
+    }
+    if dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

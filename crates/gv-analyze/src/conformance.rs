@@ -1,0 +1,408 @@
+//! Protocol-conformance linting over GVM request receipts.
+//!
+//! The GVM records one [`AnalysisRecord::Proto`] per request receipt
+//! (before retry dedup), a [`AnalysisRecord::ProtoFlush`] per joint stream
+//! flush, and a [`AnalysisRecord::ProtoEvict`] per eviction. This linter
+//! replays them against the paper's execution cycle, as implemented by
+//! `gv_virt::protocol`:
+//!
+//! ```text
+//! REQ → ( SND → STR → [flush] → STP+ → RCV )+ → RLS
+//! ```
+//!
+//! Checked per rank:
+//! * **Stage ordering** — each newly-sequenced request must be legal in the
+//!   rank's current state; a barriered rank (STR awaiting flush) may not
+//!   advance until a flush covers it.
+//! * **Sequence discipline** — new sequence numbers are strictly
+//!   increasing (gaps are legal: a client may burn numbers on abandoned
+//!   sends); a retry of an already-served number must repeat the same
+//!   request kind; `seq == 0` marks a legacy unsequenced client and skips
+//!   sequence checks.
+//! * **Barrier width** — every flush must cover exactly the set of
+//!   currently-barriered ranks (eviction re-arms the barrier at reduced
+//!   width, so the pending set shrinks when stragglers are evicted).
+//! * **Eviction** — receipts from an evicted rank are legal (retrying
+//!   clients are NAK'd, not conformance errors), but the rank may never
+//!   re-enter the cycle.
+
+use std::collections::{BTreeSet, HashMap};
+
+use gv_sim::AnalysisRecord;
+use gv_virt::protocol::RequestKind;
+
+use crate::Diagnostic;
+
+/// Lint state of one rank, mirroring the client's position in the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// No REQ seen yet.
+    Init,
+    /// REQ served; resources acquired.
+    Acquired,
+    /// SND served; input staged in pinned memory.
+    Staged,
+    /// STR received; waiting in the joint-flush barrier.
+    Barriered,
+    /// Flush covered this rank; streams submitted, awaiting STP poll.
+    Running,
+    /// At least one STP served this round.
+    Polling,
+    /// RCV served; results retrieved (may start another round or RLS).
+    Retrieved,
+    /// RLS served; cycle complete.
+    Released,
+    /// Evicted by the GVM; every later receipt is ignored.
+    Evicted,
+}
+
+impl Stage {
+    fn name(self) -> &'static str {
+        match self {
+            Stage::Init => "init",
+            Stage::Acquired => "acquired",
+            Stage::Staged => "staged",
+            Stage::Barriered => "barriered",
+            Stage::Running => "running",
+            Stage::Polling => "polling",
+            Stage::Retrieved => "retrieved",
+            Stage::Released => "released",
+            Stage::Evicted => "evicted",
+        }
+    }
+
+    /// The state a request kind lands in when it is accepted — used to
+    /// resynchronize after a violation so one bad message doesn't cascade.
+    fn target_of(kind: RequestKind) -> Stage {
+        match kind {
+            RequestKind::Req => Stage::Acquired,
+            RequestKind::Snd => Stage::Staged,
+            RequestKind::Str => Stage::Barriered,
+            RequestKind::Stp => Stage::Polling,
+            RequestKind::Rcv => Stage::Retrieved,
+            RequestKind::Rls => Stage::Released,
+        }
+    }
+}
+
+struct RankLint {
+    stage: Stage,
+    /// Highest sequence number accepted (0 = none yet).
+    last_seq: u64,
+    /// Kind served for each accepted sequence number (retry idempotence).
+    served: HashMap<u64, &'static str>,
+}
+
+impl Default for RankLint {
+    fn default() -> Self {
+        RankLint {
+            stage: Stage::Init,
+            last_seq: 0,
+            served: HashMap::new(),
+        }
+    }
+}
+
+/// Replay all protocol records and report every conformance violation.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut ranks: HashMap<usize, RankLint> = HashMap::new();
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::Proto {
+                time,
+                rank,
+                kind,
+                seq,
+            } => {
+                let Some(kind) = RequestKind::from_label(kind) else {
+                    diagnostics.push(Diagnostic {
+                        checker: "conformance",
+                        time: *time,
+                        message: format!("rank {rank}: unknown request kind '{kind}' (seq {seq})"),
+                    });
+                    continue;
+                };
+                let lint = ranks.entry(*rank).or_default();
+                if lint.stage == Stage::Evicted {
+                    continue; // retries against a dead rank are legal
+                }
+
+                // Sequence discipline.
+                if *seq != 0 {
+                    if *seq <= lint.last_seq {
+                        // A retry: must repeat the kind originally served.
+                        if let Some(orig) = lint.served.get(seq) {
+                            if *orig != kind.label() {
+                                diagnostics.push(Diagnostic {
+                                    checker: "conformance",
+                                    time: *time,
+                                    message: format!(
+                                        "rank {rank}: retry of seq {seq} changed kind from \
+                                         {orig} to {}",
+                                        kind.label()
+                                    ),
+                                });
+                            }
+                        }
+                        continue; // duplicates never advance the FSM
+                    }
+                    lint.served.insert(*seq, kind.label());
+                    lint.last_seq = *seq;
+                }
+
+                // Stage ordering.
+                let legal = matches!(
+                    (lint.stage, kind),
+                    (Stage::Init, RequestKind::Req)
+                        | (Stage::Acquired, RequestKind::Snd)
+                        | (Stage::Staged, RequestKind::Str)
+                        | (Stage::Running | Stage::Polling, RequestKind::Stp)
+                        | (Stage::Polling, RequestKind::Rcv)
+                        | (Stage::Retrieved, RequestKind::Snd | RequestKind::Rls)
+                );
+                if !legal {
+                    diagnostics.push(Diagnostic {
+                        checker: "conformance",
+                        time: *time,
+                        message: format!(
+                            "rank {rank}: {} (seq {seq}) is illegal in stage '{}'",
+                            kind.label(),
+                            lint.stage.name()
+                        ),
+                    });
+                }
+                lint.stage = Stage::target_of(kind);
+            }
+            AnalysisRecord::ProtoFlush { time, ranks: flushed } => {
+                let barriered: BTreeSet<usize> = ranks
+                    .iter()
+                    .filter(|(_, l)| l.stage == Stage::Barriered)
+                    .map(|(&r, _)| r)
+                    .collect();
+                let flushed_set: BTreeSet<usize> = flushed.iter().copied().collect();
+                if flushed_set != barriered {
+                    diagnostics.push(Diagnostic {
+                        checker: "conformance",
+                        time: *time,
+                        message: format!(
+                            "flush width mismatch: flushed {flushed_set:?} but barriered \
+                             set is {barriered:?}"
+                        ),
+                    });
+                }
+                for r in &flushed_set {
+                    if let Some(lint) = ranks.get_mut(r) {
+                        if lint.stage == Stage::Barriered {
+                            lint.stage = Stage::Running;
+                        }
+                    }
+                }
+            }
+            AnalysisRecord::ProtoEvict { time, rank } => {
+                let lint = ranks.entry(*rank).or_default();
+                if lint.stage == Stage::Evicted {
+                    diagnostics.push(Diagnostic {
+                        checker: "conformance",
+                        time: *time,
+                        message: format!("rank {rank}: evicted twice"),
+                    });
+                }
+                lint.stage = Stage::Evicted;
+            }
+            _ => {}
+        }
+    }
+
+    // End-of-trace: every rank must have completed (RLS) or been evicted.
+    let mut open_ranks: Vec<_> = ranks.iter().collect();
+    open_ranks.sort_by_key(|(r, _)| **r);
+    for (rank, lint) in open_ranks {
+        match lint.stage {
+            Stage::Released | Stage::Evicted => {}
+            other => diagnostics.push(Diagnostic {
+                checker: "conformance",
+                time: gv_sim::SimTime::ZERO,
+                message: format!(
+                    "rank {rank}: trace ended in stage '{}' (no RLS or eviction)",
+                    other.name()
+                ),
+            }),
+        }
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_sim::SimTime;
+
+    fn proto(t: u64, rank: usize, kind: &'static str, seq: u64) -> AnalysisRecord {
+        AnalysisRecord::Proto {
+            time: SimTime::from_nanos(t),
+            rank,
+            kind,
+            seq,
+        }
+    }
+
+    fn flush(t: u64, ranks: Vec<usize>) -> AnalysisRecord {
+        AnalysisRecord::ProtoFlush {
+            time: SimTime::from_nanos(t),
+            ranks,
+        }
+    }
+
+    fn full_cycle(rank: usize) -> Vec<AnalysisRecord> {
+        vec![
+            proto(1, rank, "REQ", 1),
+            proto(2, rank, "SND", 2),
+            proto(3, rank, "STR", 3),
+            flush(4, vec![rank]),
+            proto(5, rank, "STP", 4),
+            proto(6, rank, "RCV", 5),
+            proto(7, rank, "RLS", 6),
+        ]
+    }
+
+    #[test]
+    fn clean_cycle_passes() {
+        assert!(check(&full_cycle(0)).is_empty());
+    }
+
+    #[test]
+    fn snd_before_req_flagged() {
+        let recs = vec![
+            proto(1, 0, "SND", 1),
+            proto(2, 0, "STR", 2),
+            flush(3, vec![0]),
+            proto(4, 0, "STP", 3),
+            proto(5, 0, "RCV", 4),
+            proto(6, 0, "RLS", 5),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SND (seq 1) is illegal in stage 'init'"));
+    }
+
+    #[test]
+    fn duplicate_retry_is_legal() {
+        let mut recs = full_cycle(0);
+        recs.insert(3, proto(3, 0, "STR", 3)); // re-sent STR while barriered
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn retry_with_changed_kind_flagged() {
+        let mut recs = full_cycle(0);
+        recs.insert(3, proto(3, 0, "SND", 3)); // seq 3 was served as STR
+        let d = check(&recs);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("retry of seq 3 changed kind"));
+    }
+
+    #[test]
+    fn seq_gaps_are_legal() {
+        let recs = vec![
+            proto(1, 0, "REQ", 10),
+            proto(2, 0, "SND", 20),
+            proto(3, 0, "STR", 30),
+            flush(4, vec![0]),
+            proto(5, 0, "STP", 40),
+            proto(6, 0, "RCV", 50),
+            proto(7, 0, "RLS", 60),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn stp_before_flush_flagged() {
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 0, "SND", 2),
+            proto(3, 0, "STR", 3),
+            proto(4, 0, "STP", 4), // barrier not flushed yet
+            flush(5, vec![0]),
+            proto(6, 0, "RCV", 5),
+            proto(7, 0, "RLS", 6),
+        ];
+        let d = check(&recs);
+        assert!(!d.is_empty());
+        assert!(d[0].message.contains("STP (seq 4) is illegal in stage 'barriered'"));
+    }
+
+    #[test]
+    fn flush_width_mismatch_flagged() {
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 1, "REQ", 1),
+            proto(3, 0, "SND", 2),
+            proto(4, 1, "SND", 2),
+            proto(5, 0, "STR", 3),
+            // Rank 1 never sent STR, yet the flush claims both.
+            flush(6, vec![0, 1]),
+            proto(7, 0, "STP", 4),
+            proto(8, 0, "RCV", 5),
+            proto(9, 0, "RLS", 6),
+            proto(10, 1, "STR", 3),
+            flush(11, vec![1]),
+            proto(12, 1, "STP", 4),
+            proto(13, 1, "RCV", 5),
+            proto(14, 1, "RLS", 6),
+        ];
+        let d = check(&recs);
+        assert!(d.iter().any(|d| d.message.contains("flush width mismatch")), "{d:?}");
+    }
+
+    #[test]
+    fn eviction_reduces_barrier_width() {
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 1, "REQ", 1),
+            proto(3, 0, "SND", 2),
+            proto(4, 1, "SND", 2),
+            proto(5, 0, "STR", 3),
+            AnalysisRecord::ProtoEvict {
+                time: SimTime::from_nanos(6),
+                rank: 1,
+            },
+            flush(7, vec![0]),
+            proto(8, 0, "STP", 4),
+            proto(9, 0, "RCV", 5),
+            proto(10, 0, "RLS", 6),
+            proto(11, 1, "STR", 3), // straggler retries after eviction: legal
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn multi_round_cycle_passes() {
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 0, "SND", 2),
+            proto(3, 0, "STR", 3),
+            flush(4, vec![0]),
+            proto(5, 0, "STP", 4),
+            proto(6, 0, "STP", 5),
+            proto(7, 0, "RCV", 6),
+            proto(8, 0, "SND", 7), // round 2
+            proto(9, 0, "STR", 8),
+            flush(10, vec![0]),
+            proto(11, 0, "STP", 9),
+            proto(12, 0, "RCV", 10),
+            proto(13, 0, "RLS", 11),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn unreleased_rank_flagged() {
+        let recs = vec![proto(1, 0, "REQ", 1), proto(2, 0, "SND", 2)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("trace ended in stage 'staged'"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace-based static analysis for the GVM simulator.
+//!
+//! Deterministic runs produce [`AnalysisRecord`] streams (enable with
+//! [`Tracer::set_analysis`]); this crate replays them through three
+//! checkers, none of which re-executes the simulation:
+//!
+//! * [`race`] — a vector-clock happens-before detector over shared-memory
+//!   accesses: two overlapping accesses from different processes, at least
+//!   one a write, with no synchronization chain between them, are a data
+//!   race even if the schedule happened to order them safely.
+//! * [`conformance`] — a linter replaying GVM request receipts against the
+//!   REQ/SND/STR/STP/RCV/RLS protocol FSM: per-rank stage ordering,
+//!   sequence-number monotonicity and retry idempotence, barrier-width
+//!   consistency of joint flushes, and eviction semantics.
+//! * [`device`] — device-invariant checking over GPU engine events: copy
+//!   engines serve one transfer at a time, the concurrent-kernel window
+//!   never exceeds the device cap, and allocations balance to zero.
+//!
+//! [`model`] adds a line-oriented dump format so traces can be written by a
+//! run (`--analyze --dump-trace` in the harness) and re-checked offline by
+//! the `gv-analyze` binary.
+//!
+//! [`Tracer::set_analysis`]: gv_sim::trace::Tracer::set_analysis
+
+pub mod conformance;
+pub mod device;
+pub mod model;
+pub mod race;
+
+use gv_sim::trace::Tracer;
+use gv_sim::{AnalysisRecord, SimTime};
+
+/// One finding from a checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which checker produced it: `"race"`, `"conformance"`, `"device"`.
+    pub checker: &'static str,
+    /// Simulated time of the offending event.
+    pub time: SimTime,
+    /// Human-readable description with rank/process/label detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] t={:.6}ms {}",
+            self.checker,
+            self.time.as_millis_f64(),
+            self.message
+        )
+    }
+}
+
+/// The combined result of running every checker over one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in checker order then trace order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Shared-memory accesses examined by the race detector.
+    pub shm_accesses: usize,
+    /// Protocol receipts examined by the conformance linter.
+    pub proto_messages: usize,
+    /// Device engine/memory events examined by the invariant checker.
+    pub device_events: usize,
+}
+
+impl Report {
+    /// True when no checker found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render every diagnostic, one per line (empty string when clean).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        out
+    }
+
+    /// One-line summary suitable for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device events",
+            self.diagnostics.len(),
+            self.shm_accesses,
+            self.proto_messages,
+            self.device_events
+        )
+    }
+}
+
+/// Run all three checkers over `records`.
+pub fn analyze(records: &[AnalysisRecord]) -> Report {
+    let mut report = Report::default();
+    for rec in records {
+        match rec {
+            AnalysisRecord::ShmAccess { .. } => report.shm_accesses += 1,
+            AnalysisRecord::Proto { .. }
+            | AnalysisRecord::ProtoFlush { .. }
+            | AnalysisRecord::ProtoEvict { .. } => report.proto_messages += 1,
+            AnalysisRecord::DeviceRegistered { .. }
+            | AnalysisRecord::CopyBegin { .. }
+            | AnalysisRecord::CopyEnd { .. }
+            | AnalysisRecord::KernelBegin { .. }
+            | AnalysisRecord::KernelEnd { .. }
+            | AnalysisRecord::Alloc { .. }
+            | AnalysisRecord::Free { .. } => report.device_events += 1,
+        }
+    }
+    report.diagnostics.extend(race::check(records));
+    report.diagnostics.extend(conformance::check(records));
+    report.diagnostics.extend(device::check(records));
+    report
+}
+
+/// Snapshot a live tracer's analysis records and run every checker.
+pub fn analyze_tracer(tracer: &Tracer) -> Report {
+    analyze(&tracer.analysis_snapshot())
+}

@@ -1,0 +1,482 @@
+//! Line-oriented dump format for [`AnalysisRecord`] traces.
+//!
+//! The harness writes one record per line so a run's analysis trace can be
+//! archived and re-checked offline with the `gv-analyze` binary. The format
+//! is deliberately hand-rolled (no external dependencies) and versioned by
+//! the header line:
+//!
+//! ```text
+//! gv-analyze-trace v1
+//! device dev=0 maxk=16
+//! shm t=2002000 pid=1 off=0 len=1024 rw=w clock=3,1 proc=spmd-0 seg=/gvm-0
+//! proto t=2002000 rank=0 seq=1 kind=REQ
+//! flush t=4000000 ranks=0,1,2
+//! evict t=9000000 rank=1
+//! copyb t=100 dev=0 eng=0 label=cmd-7
+//! copye t=200 dev=0 eng=0 label=cmd-7
+//! kernb t=300 dev=0 label=vecadd-3
+//! kerne t=400 dev=0 label=vecadd-3
+//! alloc t=50 dev=0 id=1 bytes=4096
+//! free t=500 dev=0 id=1
+//! ```
+//!
+//! Free-text fields (process and segment names, command labels) are
+//! percent-escaped so embedded whitespace cannot break the framing.
+
+use gv_sim::{AnalysisRecord, Pid, SimTime, VClock};
+use gv_virt::protocol::RequestKind;
+
+/// Header line identifying the format and version.
+pub const HEADER: &str = "gv-analyze-trace v1";
+
+/// A malformed dump file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DumpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dump parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for DumpParseError {}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("%20", " ").replace("%0A", "\n").replace("%25", "%")
+}
+
+fn clock_str(c: &VClock) -> String {
+    c.components()
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Serialize `records` to the dump format (header included).
+pub fn to_dump(records: &[AnalysisRecord]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for rec in records {
+        match rec {
+            AnalysisRecord::ShmAccess {
+                time,
+                pid,
+                process,
+                segment,
+                offset,
+                len,
+                is_write,
+                clock,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "shm t={} pid={} off={} len={} rw={} clock={} proc={} seg={}",
+                    time.as_nanos(),
+                    pid.index(),
+                    offset,
+                    len,
+                    if *is_write { 'w' } else { 'r' },
+                    clock_str(clock),
+                    esc(process),
+                    esc(segment),
+                );
+            }
+            AnalysisRecord::Proto {
+                time,
+                rank,
+                kind,
+                seq,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "proto t={} rank={rank} seq={seq} kind={kind}",
+                    time.as_nanos()
+                );
+            }
+            AnalysisRecord::ProtoFlush { time, ranks } => {
+                let list = ranks
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "flush t={} ranks={list}", time.as_nanos());
+            }
+            AnalysisRecord::ProtoEvict { time, rank } => {
+                let _ = writeln!(out, "evict t={} rank={rank}", time.as_nanos());
+            }
+            AnalysisRecord::DeviceRegistered {
+                device,
+                max_concurrent_kernels,
+            } => {
+                let _ = writeln!(out, "device dev={device} maxk={max_concurrent_kernels}");
+            }
+            AnalysisRecord::CopyBegin {
+                time,
+                device,
+                engine,
+                label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "copyb t={} dev={device} eng={engine} label={}",
+                    time.as_nanos(),
+                    esc(label)
+                );
+            }
+            AnalysisRecord::CopyEnd {
+                time,
+                device,
+                engine,
+                label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "copye t={} dev={device} eng={engine} label={}",
+                    time.as_nanos(),
+                    esc(label)
+                );
+            }
+            AnalysisRecord::KernelBegin {
+                time,
+                device,
+                label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "kernb t={} dev={device} label={}",
+                    time.as_nanos(),
+                    esc(label)
+                );
+            }
+            AnalysisRecord::KernelEnd {
+                time,
+                device,
+                label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "kerne t={} dev={device} label={}",
+                    time.as_nanos(),
+                    esc(label)
+                );
+            }
+            AnalysisRecord::Alloc {
+                time,
+                device,
+                id,
+                bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "alloc t={} dev={device} id={id} bytes={bytes}",
+                    time.as_nanos()
+                );
+            }
+            AnalysisRecord::Free { time, device, id } => {
+                let _ = writeln!(out, "free t={} dev={device} id={id}", time.as_nanos());
+            }
+        }
+    }
+    out
+}
+
+struct Fields<'a> {
+    line_no: usize,
+    fields: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line_no: usize, rest: &'a str) -> Result<Self, DumpParseError> {
+        let mut fields = Vec::new();
+        for tok in rest.split_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| DumpParseError {
+                line: line_no,
+                reason: format!("expected key=value, got '{tok}'"),
+            })?;
+            fields.push((k, v));
+        }
+        Ok(Fields { line_no, fields })
+    }
+
+    fn get(&self, key: &str) -> Result<&'a str, DumpParseError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| DumpParseError {
+                line: self.line_no,
+                reason: format!("missing field '{key}'"),
+            })
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, DumpParseError> {
+        self.get(key)?.parse().map_err(|_| DumpParseError {
+            line: self.line_no,
+            reason: format!("field '{key}' is not a valid number"),
+        })
+    }
+
+    fn time(&self) -> Result<SimTime, DumpParseError> {
+        Ok(SimTime::from_nanos(self.num::<u64>("t")?))
+    }
+
+    fn num_list<T: std::str::FromStr>(&self, key: &str) -> Result<Vec<T>, DumpParseError> {
+        let raw = self.get(key)?;
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        raw.split(',')
+            .map(|p| {
+                p.parse().map_err(|_| DumpParseError {
+                    line: self.line_no,
+                    reason: format!("field '{key}' has a non-numeric element '{p}'"),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Parse a dump produced by [`to_dump`].
+pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(DumpParseError {
+                line: 1,
+                reason: format!(
+                    "missing header '{HEADER}' (got {:?})",
+                    other.map(|(_, l)| l).unwrap_or("<empty>")
+                ),
+            })
+        }
+    }
+
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let f = Fields::parse(line_no, rest)?;
+        let rec = match tag {
+            "shm" => AnalysisRecord::ShmAccess {
+                time: f.time()?,
+                pid: Pid::from_index(f.num("pid")?),
+                process: unesc(f.get("proc")?),
+                segment: unesc(f.get("seg")?),
+                offset: f.num("off")?,
+                len: f.num("len")?,
+                is_write: match f.get("rw")? {
+                    "w" => true,
+                    "r" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'rw' must be 'r' or 'w', got '{other}'"),
+                        })
+                    }
+                },
+                clock: VClock::from_components(f.num_list("clock")?),
+            },
+            "proto" => {
+                let raw = f.get("kind")?;
+                let kind = RequestKind::from_label(raw)
+                    .map(RequestKind::label)
+                    .ok_or_else(|| DumpParseError {
+                        line: line_no,
+                        reason: format!("unknown request kind '{raw}'"),
+                    })?;
+                AnalysisRecord::Proto {
+                    time: f.time()?,
+                    rank: f.num("rank")?,
+                    kind,
+                    seq: f.num("seq")?,
+                }
+            }
+            "flush" => AnalysisRecord::ProtoFlush {
+                time: f.time()?,
+                ranks: f.num_list("ranks")?,
+            },
+            "evict" => AnalysisRecord::ProtoEvict {
+                time: f.time()?,
+                rank: f.num("rank")?,
+            },
+            "device" => AnalysisRecord::DeviceRegistered {
+                device: f.num("dev")?,
+                max_concurrent_kernels: f.num("maxk")?,
+            },
+            "copyb" => AnalysisRecord::CopyBegin {
+                time: f.time()?,
+                device: f.num("dev")?,
+                engine: f.num("eng")?,
+                label: unesc(f.get("label")?),
+            },
+            "copye" => AnalysisRecord::CopyEnd {
+                time: f.time()?,
+                device: f.num("dev")?,
+                engine: f.num("eng")?,
+                label: unesc(f.get("label")?),
+            },
+            "kernb" => AnalysisRecord::KernelBegin {
+                time: f.time()?,
+                device: f.num("dev")?,
+                label: unesc(f.get("label")?),
+            },
+            "kerne" => AnalysisRecord::KernelEnd {
+                time: f.time()?,
+                device: f.num("dev")?,
+                label: unesc(f.get("label")?),
+            },
+            "alloc" => AnalysisRecord::Alloc {
+                time: f.time()?,
+                device: f.num("dev")?,
+                id: f.num("id")?,
+                bytes: f.num("bytes")?,
+            },
+            "free" => AnalysisRecord::Free {
+                time: f.time()?,
+                device: f.num("dev")?,
+                id: f.num("id")?,
+            },
+            other => {
+                return Err(DumpParseError {
+                    line: line_no,
+                    reason: format!("unknown record tag '{other}'"),
+                })
+            }
+        };
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<AnalysisRecord> {
+        vec![
+            AnalysisRecord::DeviceRegistered {
+                device: 0,
+                max_concurrent_kernels: 16,
+            },
+            AnalysisRecord::ShmAccess {
+                time: SimTime::from_nanos(2_002_000),
+                pid: Pid::from_index(3),
+                process: "spmd 1".to_string(), // space exercises escaping
+                segment: "/gvm-shm-1".to_string(),
+                offset: 0,
+                len: 1024,
+                is_write: true,
+                clock: VClock::from_components(vec![3, 0, 1]),
+            },
+            AnalysisRecord::Proto {
+                time: SimTime::from_nanos(10),
+                rank: 2,
+                kind: "STR",
+                seq: 7,
+            },
+            AnalysisRecord::ProtoFlush {
+                time: SimTime::from_nanos(20),
+                ranks: vec![0, 1, 2],
+            },
+            AnalysisRecord::ProtoEvict {
+                time: SimTime::from_nanos(30),
+                rank: 1,
+            },
+            AnalysisRecord::CopyBegin {
+                time: SimTime::from_nanos(40),
+                device: 0,
+                engine: 1,
+                label: "cmd-9".to_string(),
+            },
+            AnalysisRecord::CopyEnd {
+                time: SimTime::from_nanos(50),
+                device: 0,
+                engine: 1,
+                label: "cmd-9".to_string(),
+            },
+            AnalysisRecord::KernelBegin {
+                time: SimTime::from_nanos(60),
+                device: 0,
+                label: "vecadd-3".to_string(),
+            },
+            AnalysisRecord::KernelEnd {
+                time: SimTime::from_nanos(70),
+                device: 0,
+                label: "vecadd-3".to_string(),
+            },
+            AnalysisRecord::Alloc {
+                time: SimTime::from_nanos(80),
+                device: 0,
+                id: 5,
+                bytes: 4096,
+            },
+            AnalysisRecord::Free {
+                time: SimTime::from_nanos(90),
+                device: 0,
+                id: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let recs = sample();
+        let dump = to_dump(&recs);
+        let back = parse_dump(&dump).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_dump("proto t=1 rank=0 seq=1 kind=REQ\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("missing header"));
+    }
+
+    #[test]
+    fn bad_field_reports_line_number() {
+        let text = format!("{HEADER}\nproto t=1 rank=zero seq=1 kind=REQ\n");
+        let err = parse_dump(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("rank"));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = format!("{HEADER}\nwarp t=1\n");
+        let err = parse_dump(&text).unwrap_err();
+        assert!(err.reason.contains("unknown record tag"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = format!("{HEADER}\n\n# a comment\nevict t=5 rank=2\n");
+        let recs = parse_dump(&text).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+}

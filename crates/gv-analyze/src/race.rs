@@ -1,0 +1,196 @@
+//! Happens-before race detection over shared-memory access records.
+//!
+//! Every timed [`SharedMem`] access carries the accessor's vector clock,
+//! ticked for the access (its *epoch*). Two accesses to overlapping byte
+//! ranges of the same segment from different processes, at least one of
+//! them a write, race unless a synchronization chain orders them — i.e.
+//! unless one's epoch is visible in the other's clock
+//! ([`gv_sim::happens_before`]). The detector is schedule-independent: it
+//! flags the pair even when the replayed schedule happened to space the
+//! accesses apart in time.
+//!
+//! [`SharedMem`]: gv_ipc::SharedMem
+
+use std::collections::{HashMap, HashSet};
+
+use gv_sim::{happens_before, AnalysisRecord, SimTime, VClock};
+
+use crate::Diagnostic;
+
+struct Access<'a> {
+    time: SimTime,
+    pid: usize,
+    process: &'a str,
+    offset: usize,
+    len: usize,
+    is_write: bool,
+    clock: &'a VClock,
+}
+
+impl Access<'_> {
+    fn overlaps(&self, other: &Access<'_>) -> bool {
+        self.offset < other.offset + other.len && other.offset < self.offset + self.len
+    }
+}
+
+/// Check every pair of overlapping cross-process accesses per segment.
+/// Reports at most one diagnostic per (segment, process pair) so a racing
+/// loop doesn't flood the report.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut by_segment: HashMap<&str, Vec<Access<'_>>> = HashMap::new();
+    for rec in records {
+        if let AnalysisRecord::ShmAccess {
+            time,
+            pid,
+            process,
+            segment,
+            offset,
+            len,
+            is_write,
+            clock,
+        } = rec
+        {
+            by_segment.entry(segment).or_default().push(Access {
+                time: *time,
+                pid: pid.index(),
+                process,
+                offset: *offset,
+                len: *len,
+                is_write: *is_write,
+                clock,
+            });
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut segments: Vec<_> = by_segment.iter().collect();
+    segments.sort_by_key(|(name, _)| *name);
+    for (segment, accesses) in segments {
+        let mut reported: HashSet<(usize, usize)> = HashSet::new();
+        for i in 0..accesses.len() {
+            for j in i + 1..accesses.len() {
+                let (a, b) = (&accesses[i], &accesses[j]);
+                if a.pid == b.pid || !(a.is_write || b.is_write) || !a.overlaps(b) {
+                    continue;
+                }
+                let pair = (a.pid.min(b.pid), a.pid.max(b.pid));
+                if reported.contains(&pair) {
+                    continue;
+                }
+                if happens_before(a.pid, a.clock, b.clock)
+                    || happens_before(b.pid, b.clock, a.clock)
+                {
+                    continue;
+                }
+                reported.insert(pair);
+                let kind = |w: bool| if w { "write" } else { "read" };
+                diagnostics.push(Diagnostic {
+                    checker: "race",
+                    time: a.time.max(b.time),
+                    message: format!(
+                        "data race on {segment}: {} [{}, {}) by '{}' (pid {}) at {:.6}ms is \
+                         concurrent with {} [{}, {}) by '{}' (pid {}) at {:.6}ms — no \
+                         happens-before edge in either direction",
+                        kind(a.is_write),
+                        a.offset,
+                        a.offset + a.len,
+                        a.process,
+                        a.pid,
+                        a.time.as_millis_f64(),
+                        kind(b.is_write),
+                        b.offset,
+                        b.offset + b.len,
+                        b.process,
+                        b.pid,
+                        b.time.as_millis_f64(),
+                    ),
+                });
+            }
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_sim::Pid;
+
+    fn access(
+        pid: usize,
+        segment: &str,
+        offset: usize,
+        len: usize,
+        is_write: bool,
+        clock: Vec<u64>,
+    ) -> AnalysisRecord {
+        AnalysisRecord::ShmAccess {
+            time: SimTime::from_nanos(pid as u64),
+            pid: Pid::from_index(pid),
+            process: format!("p{pid}"),
+            segment: segment.to_string(),
+            offset,
+            len,
+            is_write,
+            clock: VClock::from_components(clock),
+        }
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let recs = vec![
+            access(0, "/s", 0, 8, true, vec![1]),
+            access(1, "/s", 4, 8, true, vec![0, 1]),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("data race on /s"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn synchronized_accesses_do_not_race() {
+        // P0's epoch (component 0 = 1) is visible in P1's clock.
+        let recs = vec![
+            access(0, "/s", 0, 8, true, vec![1]),
+            access(1, "/s", 0, 8, true, vec![1, 1]),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let recs = vec![
+            access(0, "/s", 0, 8, false, vec![1]),
+            access(1, "/s", 0, 8, false, vec![0, 1]),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let recs = vec![
+            access(0, "/s", 0, 8, true, vec![1]),
+            access(1, "/s", 8, 8, true, vec![0, 1]),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn different_segments_do_not_race() {
+        let recs = vec![
+            access(0, "/a", 0, 8, true, vec![1]),
+            access(1, "/b", 0, 8, true, vec![0, 1]),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn racing_loop_reports_once_per_pair() {
+        let mut recs = Vec::new();
+        for k in 0..5 {
+            recs.push(access(0, "/s", 0, 8, true, vec![1 + k]));
+            recs.push(access(1, "/s", 0, 8, true, vec![0, 1 + k]));
+        }
+        assert_eq!(check(&recs).len(), 1);
+    }
+}

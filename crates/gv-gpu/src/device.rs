@@ -57,6 +57,10 @@ pub(crate) struct DeviceShared {
     pub(crate) memory: Mutex<DeviceMemory>,
     pub(crate) sched: Mutex<SchedState>,
     pub(crate) sched_pid: Mutex<Option<Pid>>,
+    /// Tracer ordinal of this device (disambiguates analysis records).
+    pub(crate) ord: u32,
+    /// Simulation tracer, kept for Ctx-less call sites (alloc/free).
+    pub(crate) tracer: gv_sim::trace::Tracer,
 }
 
 /// Handle to a simulated GPU. Cheap to clone; all clones share the device.
@@ -68,11 +72,17 @@ pub struct GpuDevice {
 impl GpuDevice {
     /// Create the device and spawn its scheduler process into `sim`.
     pub fn install(sim: &mut Simulation, config: DeviceConfig) -> GpuDevice {
+        let tracer = sim.tracer();
+        let ord = tracer.register_device(config.max_concurrent_kernels);
+        let mut sched = SchedState::new(&config);
+        sched.dev_ord = ord;
         let shared = Arc::new(DeviceShared {
             memory: Mutex::new(DeviceMemory::new(config.global_mem_bytes)),
-            sched: Mutex::new(SchedState::new(&config)),
+            sched: Mutex::new(sched),
             sched_pid: Mutex::new(None),
             config,
+            ord,
+            tracer,
         });
         let dev = GpuDevice {
             shared: Arc::clone(&shared),
@@ -132,12 +142,29 @@ impl GpuDevice {
 
     /// Allocate device global memory (instantaneous driver call).
     pub fn alloc(&self, bytes: u64) -> Result<DevicePtr, MemError> {
-        self.shared.memory.lock().alloc(bytes)
+        let ptr = self.shared.memory.lock().alloc(bytes)?;
+        self.shared
+            .tracer
+            .record_analysis(gv_sim::AnalysisRecord::Alloc {
+                time: self.shared.tracer.now_hint(),
+                device: self.shared.ord,
+                id: ptr.allocation_id(),
+                bytes,
+            });
+        Ok(ptr)
     }
 
     /// Free a device allocation.
     pub fn free(&self, ptr: DevicePtr) -> Result<(), MemError> {
-        self.shared.memory.lock().dealloc(ptr)
+        self.shared.memory.lock().dealloc(ptr)?;
+        self.shared
+            .tracer
+            .record_analysis(gv_sim::AnalysisRecord::Free {
+                time: self.shared.tracer.now_hint(),
+                device: self.shared.ord,
+                id: ptr.allocation_id(),
+            });
+        Ok(())
     }
 
     /// Direct access to device memory, for seeding inputs and verifying

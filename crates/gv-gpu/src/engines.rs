@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gv_sim::trace::Tracer;
+use gv_sim::trace::{AnalysisRecord, Tracer};
 use gv_sim::{Ctx, Gate, SimDuration, SimTime};
 use parking_lot::Mutex;
 
@@ -222,6 +222,8 @@ pub(crate) struct SchedState {
     sms: Vec<SmState>,
     pub(crate) shutdown: bool,
     stats: DeviceStats,
+    /// Tracer ordinal of the owning device (set by `GpuDevice::install`).
+    pub(crate) dev_ord: u32,
 }
 
 impl SchedState {
@@ -242,6 +244,7 @@ impl SchedState {
             sms: (0..cfg.num_sms).map(SmState::new).collect(),
             shutdown: false,
             stats: DeviceStats::default(),
+            dev_ord: 0,
         }
     }
 
@@ -413,6 +416,12 @@ impl SchedState {
                     "d2h"
                 };
                 tracer.end(now, category, format!("cmd-{}", cmd.id), cmd.stream.0);
+                tracer.record_analysis(AnalysisRecord::CopyEnd {
+                    time: now,
+                    device: self.dev_ord,
+                    engine: if dir { 0 } else { 1 },
+                    label: format!("cmd-{}", cmd.id),
+                });
                 self.streams
                     .get_mut(&cmd.stream)
                     .expect("stream exists")
@@ -453,6 +462,11 @@ impl SchedState {
                     format!("{}-{}", k.name, rk.seq),
                     rk.cmd.stream.0,
                 );
+                tracer.record_analysis(AnalysisRecord::KernelEnd {
+                    time: now,
+                    device: self.dev_ord,
+                    label: format!("{}-{}", k.name, rk.seq),
+                });
             }
             self.stats.kernels_completed += 1;
             self.streams
@@ -507,6 +521,11 @@ impl SchedState {
                             let seq = self.next_kernel_seq;
                             self.next_kernel_seq += 1;
                             tracer.begin(now, "kernel", format!("{}-{seq}", k.name), cmd.stream.0);
+                            tracer.record_analysis(AnalysisRecord::KernelBegin {
+                                time: now,
+                                device: self.dev_ord,
+                                label: format!("{}-{seq}", k.name),
+                            });
                             let blocks = k.grid_blocks;
                             self.window.push(RunningKernel {
                                 seq,
@@ -520,6 +539,12 @@ impl SchedState {
                         CommandKind::CopyH2D { bytes, pinned, .. } => {
                             let t = cfg.copy_time(*bytes, true, *pinned);
                             tracer.begin(now, "h2d", format!("cmd-{}", cmd.id), cmd.stream.0);
+                            tracer.record_analysis(AnalysisRecord::CopyBegin {
+                                time: now,
+                                device: self.dev_ord,
+                                engine: 0,
+                                label: format!("cmd-{}", cmd.id),
+                            });
                             self.h2d.busy_until = now + t;
                             self.h2d.busy_total += t;
                             self.stats.h2d_busy += t;
@@ -532,6 +557,12 @@ impl SchedState {
                                     2.0 * *bytes as f64 / cfg.dram_bytes_per_sec(),
                                 );
                             tracer.begin(now, "d2h", format!("cmd-{}", cmd.id), cmd.stream.0);
+                            tracer.record_analysis(AnalysisRecord::CopyBegin {
+                                time: now,
+                                device: self.dev_ord,
+                                engine: if cfg.unified_copy_engine { 0 } else { 1 },
+                                label: format!("cmd-{}", cmd.id),
+                            });
                             let engine = if cfg.unified_copy_engine {
                                 &mut self.h2d
                             } else {
@@ -544,6 +575,12 @@ impl SchedState {
                         CommandKind::CopyD2H { bytes, pinned, .. } => {
                             let t = cfg.copy_time(*bytes, false, *pinned);
                             tracer.begin(now, "d2h", format!("cmd-{}", cmd.id), cmd.stream.0);
+                            tracer.record_analysis(AnalysisRecord::CopyBegin {
+                                time: now,
+                                device: self.dev_ord,
+                                engine: if cfg.unified_copy_engine { 0 } else { 1 },
+                                label: format!("cmd-{}", cmd.id),
+                            });
                             let engine = if cfg.unified_copy_engine {
                                 &mut self.h2d
                             } else {

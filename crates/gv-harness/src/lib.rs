@@ -5,6 +5,7 @@
 //!   (Table III experimental half, Fig. 16)
 //! * [`profile`] — microbenchmark profiling (Table II)
 //! * [`overhead`] — virtualization-overhead sweep (Fig. 10)
+//! * [`analysis`] — the `--analyze` pass: `gv-analyze` checkers over traces
 //! * [`report`] — text/CSV/JSON emission
 //!
 //! The `repro_*` binaries in this crate regenerate each artifact:
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analysis;
 pub mod overhead;
 pub mod profile;
 pub mod remote_compare;

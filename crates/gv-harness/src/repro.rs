@@ -394,6 +394,11 @@ pub fn scale_from_args() -> u32 {
     1
 }
 
+/// True when boolean flag `name` (e.g. `--analyze`) is on the command line.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,8 +56,10 @@ pub struct ExperimentResult {
     pub outputs: Vec<Option<Vec<u8>>>,
     /// Engine timeline (only when the scenario enables tracing).
     pub timeline: Option<Timeline>,
-    /// Raw trace handle (Chrome-trace export; tracing scenarios only).
+    /// Raw trace handle (tracing or analysis scenarios only).
     pub tracer: Option<gv_sim::Tracer>,
+    /// `gv-analyze` report over the run's trace (analysis scenarios only).
+    pub analysis: Option<gv_analyze::Report>,
 }
 
 impl ExperimentResult {
@@ -91,6 +93,9 @@ pub struct Scenario {
     pub node: NodeConfig,
     /// Record engine timelines (costs one mutex op per engine event).
     pub trace: bool,
+    /// Record analysis events (vector clocks, protocol receipts, device
+    /// events) and run the `gv-analyze` checkers after the simulation.
+    pub analyze: bool,
 }
 
 impl Default for Scenario {
@@ -99,6 +104,7 @@ impl Default for Scenario {
             device: DeviceConfig::tesla_c2070_paper(),
             node: NodeConfig::dual_xeon_x5560(),
             trace: false,
+            analyze: false,
         }
     }
 }
@@ -108,6 +114,14 @@ impl Scenario {
     pub fn traced() -> Self {
         Scenario {
             trace: true,
+            ..Self::default()
+        }
+    }
+
+    /// A scenario with analysis recording and post-run checking enabled.
+    pub fn analyzed() -> Self {
+        Scenario {
+            analyze: true,
             ..Self::default()
         }
     }
@@ -122,6 +136,7 @@ impl Scenario {
         let mut sim = Simulation::new();
         let tracer = sim.tracer();
         tracer.set_enabled(self.trace);
+        tracer.set_analysis(self.analyze);
         let device = GpuDevice::install(&mut sim, self.device.clone());
         let cuda = CudaDevice::new(device.clone());
         let node = Node::new(self.node.clone());
@@ -193,7 +208,8 @@ impl Scenario {
             gvm: gvm_handle.map(|h| h.stats.lock().clone()),
             outputs,
             timeline: self.trace.then(|| Timeline::from_tracer(&tracer)),
-            tracer: self.trace.then_some(tracer),
+            analysis: self.analyze.then(|| gv_analyze::analyze_tracer(&tracer)),
+            tracer: (self.trace || self.analyze).then_some(tracer),
         }
     }
 

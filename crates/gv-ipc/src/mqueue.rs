@@ -227,7 +227,7 @@ impl<T> MqRegistry<T> {
             self.faults
                 .lock()
                 .entry(name.to_string())
-                .or_insert_with(Arc::default),
+                .or_default(),
         )
     }
 

@@ -101,6 +101,23 @@ impl SharedMem {
         &self.name
     }
 
+    /// Record this access for happens-before analysis (no-op unless the
+    /// tracer's analysis recording is on — `clock_stamp` returns `None`).
+    fn record_access(&self, ctx: &mut Ctx, offset: u64, len: u64, is_write: bool) {
+        if let Some(clock) = ctx.clock_stamp() {
+            ctx.tracer().record_analysis(gv_sim::AnalysisRecord::ShmAccess {
+                time: ctx.now(),
+                pid: ctx.pid(),
+                process: ctx.name(),
+                segment: self.name.clone(),
+                offset: offset as usize,
+                len: len as usize,
+                is_write,
+                clock,
+            });
+        }
+    }
+
     /// Segment size in bytes.
     pub fn size(&self) -> u64 {
         self.seg.lock().size
@@ -121,6 +138,7 @@ impl SharedMem {
     pub fn touch(&self, ctx: &mut Ctx, bytes: u64) -> Result<(), ShmError> {
         self.check(0, bytes)?;
         ctx.hold(self.node.memcpy_time(bytes));
+        self.record_access(ctx, 0, bytes, true);
         Ok(())
     }
 
@@ -131,6 +149,7 @@ impl SharedMem {
     pub fn write(&self, ctx: &mut Ctx, offset: u64, data: &[u8]) -> Result<(), ShmError> {
         self.check(offset, data.len() as u64)?;
         ctx.hold(self.node.memcpy_time(data.len() as u64));
+        self.record_access(ctx, offset, data.len() as u64, true);
         let (seq, corrupt) = self.faults.lock().next_write();
         let mut seg = self.seg.lock();
         let size = seg.size as usize;
@@ -157,6 +176,7 @@ impl SharedMem {
     pub fn read(&self, ctx: &mut Ctx, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
         self.check(offset, len)?;
         ctx.hold(self.node.memcpy_time(len));
+        self.record_access(ctx, offset, len, false);
         let mut seg = self.seg.lock();
         let size = seg.size as usize;
         let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
@@ -210,7 +230,7 @@ impl ShmRegistry {
             self.faults
                 .lock()
                 .entry(name.to_string())
-                .or_insert_with(Arc::default),
+                .or_default(),
         )
     }
 

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::clock::VClock;
 use crate::kernel::{Pid, WakeReason};
 use crate::process::Ctx;
 use crate::time::SimDuration;
@@ -17,6 +18,14 @@ use crate::time::SimDuration;
 /// Error returned when sending on a closed channel; carries the value back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "send on closed channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
 /// Outcome of [`SimChannel::recv_timeout`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,10 +40,28 @@ pub enum RecvTimeout<T> {
 
 struct ChanState<T> {
     queue: VecDeque<T>,
+    /// One clock stamp per queued message (parallel to `queue`), `None`
+    /// while analysis recording is off. Receiving a message joins the
+    /// sender's stamped clock even when no park/unpark was involved
+    /// (draining a non-empty queue), so every delivery is a sync edge.
+    clocks: VecDeque<Option<VClock>>,
     capacity: Option<usize>,
     recv_waiters: VecDeque<Pid>,
     send_waiters: VecDeque<Pid>,
     closed: bool,
+}
+
+impl<T> ChanState<T> {
+    fn push(&mut self, value: T, clock: Option<VClock>) {
+        self.queue.push_back(value);
+        self.clocks.push_back(clock);
+    }
+
+    fn pop(&mut self) -> Option<(T, Option<VClock>)> {
+        let v = self.queue.pop_front()?;
+        let c = self.clocks.pop_front().flatten();
+        Some((v, c))
+    }
 }
 
 /// A simulated-blocking MPMC channel. Clone freely; all clones share state.
@@ -66,6 +93,7 @@ impl<T> SimChannel<T> {
         SimChannel {
             inner: Arc::new(Mutex::new(ChanState {
                 queue: VecDeque::new(),
+                clocks: VecDeque::new(),
                 capacity,
                 recv_waiters: VecDeque::new(),
                 send_waiters: VecDeque::new(),
@@ -99,8 +127,8 @@ impl<T> SimChannel<T> {
                 }
                 let has_room = st.capacity.map(|c| st.queue.len() < c).unwrap_or(true);
                 if has_room {
-                    st.queue
-                        .push_back(value.take().expect("value consumed twice"));
+                    let v = value.take().expect("value consumed twice");
+                    st.push(v, ctx.clock_stamp());
                     Ok(st.recv_waiters.pop_front())
                 } else {
                     st.send_waiters.retain(|&p| p != me);
@@ -136,7 +164,7 @@ impl<T> SimChannel<T> {
             if !has_room {
                 return Some(value);
             }
-            st.queue.push_back(value);
+            st.push(value, ctx.clock_stamp());
             st.recv_waiters.pop_front()
         };
         if let Some(p) = wake {
@@ -152,8 +180,8 @@ impl<T> SimChannel<T> {
         loop {
             let (item, wake) = {
                 let mut st = self.inner.lock();
-                match st.queue.pop_front() {
-                    Some(v) => (Some(Some(v)), st.send_waiters.pop_front()),
+                match st.pop() {
+                    Some((v, c)) => (Some(Some((v, c))), st.send_waiters.pop_front()),
                     None if st.closed => (Some(None), None),
                     None => {
                         st.recv_waiters.retain(|&p| p != me);
@@ -166,7 +194,13 @@ impl<T> SimChannel<T> {
                 ctx.unpark(p);
             }
             match item {
-                Some(v) => return v,
+                Some(Some((v, c))) => {
+                    if let Some(c) = c {
+                        ctx.clock_join(&c);
+                    }
+                    return Some(v);
+                }
+                Some(None) => return None,
                 None => {
                     ctx.park();
                 }
@@ -184,8 +218,8 @@ impl<T> SimChannel<T> {
         loop {
             let (item, wake) = {
                 let mut st = self.inner.lock();
-                match st.queue.pop_front() {
-                    Some(v) => (Some(Some(v)), st.send_waiters.pop_front()),
+                match st.pop() {
+                    Some((v, c)) => (Some(Some((v, c))), st.send_waiters.pop_front()),
                     None if st.closed => (Some(None), None),
                     None => {
                         st.recv_waiters.retain(|&p| p != me);
@@ -198,7 +232,12 @@ impl<T> SimChannel<T> {
                 ctx.unpark(p);
             }
             match item {
-                Some(Some(v)) => return RecvTimeout::Msg(v),
+                Some(Some((v, c))) => {
+                    if let Some(c) = c {
+                        ctx.clock_join(&c);
+                    }
+                    return RecvTimeout::Msg(v);
+                }
                 Some(None) => return RecvTimeout::Closed,
                 None => {
                     let now = ctx.now();
@@ -213,8 +252,8 @@ impl<T> SimChannel<T> {
                         let (item, wake) = {
                             let mut st = self.inner.lock();
                             st.recv_waiters.retain(|&p| p != me);
-                            match st.queue.pop_front() {
-                                Some(v) => (Some(v), st.send_waiters.pop_front()),
+                            match st.pop() {
+                                Some(vc) => (Some(vc), st.send_waiters.pop_front()),
                                 None => (None, None),
                             }
                         };
@@ -222,7 +261,12 @@ impl<T> SimChannel<T> {
                             ctx.unpark(p);
                         }
                         return match item {
-                            Some(v) => RecvTimeout::Msg(v),
+                            Some((v, c)) => {
+                                if let Some(c) = c {
+                                    ctx.clock_join(&c);
+                                }
+                                RecvTimeout::Msg(v)
+                            }
                             None if self.is_closed() => RecvTimeout::Closed,
                             None => RecvTimeout::TimedOut,
                         };
@@ -237,15 +281,20 @@ impl<T> SimChannel<T> {
     pub fn try_recv(&self, ctx: &Ctx) -> Option<T> {
         let (item, wake) = {
             let mut st = self.inner.lock();
-            match st.queue.pop_front() {
-                Some(v) => (Some(v), st.send_waiters.pop_front()),
+            match st.pop() {
+                Some(vc) => (Some(vc), st.send_waiters.pop_front()),
                 None => (None, None),
             }
         };
         if let Some(p) = wake {
             ctx.unpark(p);
         }
-        item
+        item.map(|(v, c)| {
+            if let Some(c) = c {
+                ctx.clock_join(&c);
+            }
+            v
+        })
     }
 
     /// Close the channel: future sends fail, pending receivers drain the

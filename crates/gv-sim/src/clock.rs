@@ -1,0 +1,138 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! When analysis recording is enabled (see [`Tracer::set_analysis`]), the
+//! kernel maintains one [`VClock`] per process and propagates it along every
+//! *explicit* synchronization edge: spawn (parent → child), unpark
+//! (waker → wakee), per-message channel delivery (sender → receiver), and
+//! the release operations of the `sync` primitives. Simulated time is
+//! deliberately **not** an ordering source: two events at the same or
+//! different instants are concurrent unless a synchronization chain connects
+//! them, exactly as on real hardware where the wall clock orders nothing.
+//!
+//! [`Tracer::set_analysis`]: crate::trace::Tracer::set_analysis
+
+/// A vector clock indexed by process id ([`Pid::index`]).
+///
+/// The vector grows on demand; absent entries are zero. Component `i` counts
+/// the synchronization-relevant events process `i` had performed when this
+/// clock was captured.
+///
+/// [`Pid::index`]: crate::kernel::Pid::index
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The empty clock (all components zero).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for process index `i` (zero when never set).
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Increment the component for process index `i`.
+    pub fn tick(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    /// Pointwise maximum with `other` (the classic clock join).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Pointwise `self <= other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// Raw components (trailing zeros may be truncated).
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Build from raw components (used when reloading a dumped trace).
+    pub fn from_components(c: Vec<u64>) -> Self {
+        VClock(c)
+    }
+}
+
+/// Epoch-style happens-before test between two captured access clocks.
+///
+/// Each access ticks its own process component immediately before the
+/// snapshot, so `a.clock.get(a_pid)` is the access's epoch in process
+/// `a_pid`. Access `a` happens-before access `b` iff `b`'s clock has caught
+/// up to that epoch.
+pub fn happens_before(a_pid: usize, a_clock: &VClock, b_clock: &VClock) -> bool {
+    a_clock.get(a_pid) <= b_clock.get(a_pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        c.tick(0);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(7), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::from_components(vec![1, 5, 0]);
+        let b = VClock::from_components(vec![2, 3, 0, 4]);
+        a.join(&b);
+        assert_eq!(a.components(), &[2, 5, 0, 4]);
+    }
+
+    #[test]
+    fn le_handles_length_mismatch() {
+        let a = VClock::from_components(vec![1, 2]);
+        let b = VClock::from_components(vec![1, 2, 0]);
+        assert!(a.le(&b));
+        assert!(b.le(&a));
+        let c = VClock::from_components(vec![0, 2]);
+        assert!(c.le(&a));
+        assert!(!a.le(&c));
+    }
+
+    #[test]
+    fn epoch_happens_before() {
+        // P0 ticks, sends its clock; P1 joins then ticks.
+        let mut c0 = VClock::new();
+        c0.tick(0); // access a by P0
+        let mut c1 = VClock::new();
+        c1.join(&c0);
+        c1.tick(1); // access b by P1, after sync
+        assert!(happens_before(0, &c0, &c1));
+        assert!(!happens_before(1, &c1, &c0));
+
+        // Unsynchronized accesses are concurrent both ways.
+        let mut d0 = VClock::new();
+        d0.tick(0);
+        let mut d1 = VClock::new();
+        d1.tick(1);
+        assert!(!happens_before(0, &d0, &d1));
+        assert!(!happens_before(1, &d1, &d0));
+    }
+}

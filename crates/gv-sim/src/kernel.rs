@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::clock::VClock;
 use crate::process::Ctx;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
@@ -34,6 +35,13 @@ impl Pid {
     /// Raw index (useful for dense per-process arrays in user code).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuild a `Pid` from a raw index — only for reloading dumped
+    /// analysis records, where pids are opaque labels. A forged `Pid` has
+    /// no meaning inside a live simulation.
+    pub fn from_index(i: usize) -> Pid {
+        Pid(i as u32)
     }
 }
 
@@ -117,6 +125,9 @@ pub(crate) struct Slot {
     pub(crate) gen: u64,
     pub(crate) resume_tx: Option<Sender<WakeReason>>,
     pub(crate) join: Option<JoinHandle<()>>,
+    /// Vector clock for happens-before analysis (maintained only while the
+    /// tracer's analysis flag is on; empty otherwise).
+    pub(crate) clock: VClock,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +192,21 @@ impl State {
             _ => self.slots[pid.index()].token = true,
         }
     }
+
+    /// Happens-before edge `from → to`: tick `from`'s clock, then join it
+    /// into `to`'s. Called on every unpark while analysis recording is on;
+    /// safe for any target state because only one process runs at a time.
+    pub(crate) fn propagate_clock(&mut self, from: Pid, to: Pid) {
+        if from == to {
+            return;
+        }
+        let snapshot = {
+            let slot = &mut self.slots[from.index()];
+            slot.clock.tick(from.index());
+            slot.clock.clone()
+        };
+        self.slots[to.index()].clock.join(&snapshot);
+    }
 }
 
 pub(crate) enum YieldOp {
@@ -212,14 +238,27 @@ impl KernelShared {
         self: &Arc<Self>,
         name: &str,
         start_at: Option<SimTime>,
+        parent: Option<Pid>,
         f: F,
     ) -> Pid
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         let (resume_tx, resume_rx) = channel::bounded::<WakeReason>(1);
+        let analysis = self.tracer.analysis_enabled();
         let mut state = self.state.lock();
         let pid = Pid(state.slots.len() as u32);
+        // Spawn is a synchronization edge: the child inherits the parent's
+        // (ticked) clock, so parent work before the spawn happens-before
+        // everything the child does.
+        let clock = match parent {
+            Some(pp) if analysis => {
+                let slot = &mut state.slots[pp.index()];
+                slot.clock.tick(pp.index());
+                slot.clock.clone()
+            }
+            _ => VClock::new(),
+        };
         state.slots.push(Slot {
             name: name.to_string(),
             state: ProcState::Parked,
@@ -227,6 +266,7 @@ impl KernelShared {
             gen: 0,
             resume_tx: Some(resume_tx),
             join: None,
+            clock,
         });
         state.live += 1;
         match start_at {
@@ -342,7 +382,7 @@ impl Simulation {
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        self.shared.spawn_process(name, None, f)
+        self.shared.spawn_process(name, None, None, f)
     }
 
     /// Spawn a root process that first runs at simulated time `at`.
@@ -350,7 +390,7 @@ impl Simulation {
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        self.shared.spawn_process(name, Some(at), f)
+        self.shared.spawn_process(name, Some(at), None, f)
     }
 
     /// Run until all processes finish. Equivalent to
@@ -503,6 +543,7 @@ impl Simulation {
                     }
                     st.heap.pop();
                     st.now = entry.time;
+                    self.shared.tracer.set_now_hint(entry.time);
                     st.make_ready(entry.pid, WakeReason::Timer);
                     return None;
                 }

@@ -26,10 +26,12 @@
 //! * [`channel`] — blocking MPMC channels
 //! * [`resource`] — FIFO servers with utilization accounting
 //! * [`trace`] — timeline recording for overlap audits
+//! * [`clock`] — vector clocks for happens-before analysis
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod clock;
 pub mod kernel;
 pub mod process;
 pub mod resource;
@@ -38,9 +40,12 @@ pub mod time;
 pub mod trace;
 
 pub use channel::{RecvTimeout, SendError, SimChannel};
+pub use clock::{happens_before, VClock};
 pub use kernel::{Pid, SimError, Simulation, Summary, WakeReason};
 pub use process::Ctx;
 pub use resource::FifoServer;
 pub use sync::{CondQueue, Gate, Semaphore, SimBarrier};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Span, TraceEvent, TraceKind, Tracer, FAULT_CATEGORY};
+pub use trace::{
+    AnalysisRecord, Span, SpanIssue, TraceEvent, TraceKind, Tracer, FAULT_CATEGORY,
+};

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
 
+use crate::clock::VClock;
 use crate::kernel::{KernelShared, Pid, Terminated, WakeReason, YieldMsg, YieldOp};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
@@ -117,17 +118,47 @@ impl Ctx {
     }
 
     /// Wake `pid` if parked; otherwise leave it a wake token.
+    ///
+    /// While analysis recording is on, an unpark is also a happens-before
+    /// edge from this process to `pid` (clock propagation).
     pub fn unpark(&self, pid: Pid) {
-        self.shared.state.lock().unpark(pid);
+        let mut st = self.shared.state.lock();
+        if self.shared.tracer.analysis_enabled() {
+            st.propagate_clock(self.pid, pid);
+        }
+        st.unpark(pid);
+    }
+
+    /// Tick this process's vector clock and return a snapshot, or `None`
+    /// while analysis recording is off. Used by channels to stamp messages.
+    pub fn clock_stamp(&self) -> Option<VClock> {
+        if !self.shared.tracer.analysis_enabled() {
+            return None;
+        }
+        let mut st = self.shared.state.lock();
+        let slot = &mut st.slots[self.pid.index()];
+        slot.clock.tick(self.pid.index());
+        Some(slot.clock.clone())
+    }
+
+    /// Join `clock` into this process's vector clock (receive-side half of
+    /// a synchronization edge). No-op while analysis recording is off.
+    pub fn clock_join(&self, clock: &VClock) {
+        if !self.shared.tracer.analysis_enabled() {
+            return;
+        }
+        let mut st = self.shared.state.lock();
+        st.slots[self.pid.index()].clock.join(clock);
     }
 
     /// Spawn a child process, runnable at the current instant (it runs only
-    /// once this process yields).
+    /// once this process yields). The child inherits this process's clock
+    /// (spawn is a happens-before edge).
     pub fn spawn<F>(&self, name: &str, f: F) -> Pid
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        self.shared.spawn_process(name, None, f)
+        self.shared.spawn_process(name, None, Some(self.pid), f)
     }
 
     /// Spawn a child process that first runs at simulated time `at`.
@@ -135,7 +166,7 @@ impl Ctx {
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        self.shared.spawn_process(name, Some(at), f)
+        self.shared.spawn_process(name, Some(at), Some(self.pid), f)
     }
 }
 

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::clock::VClock;
 use crate::kernel::Pid;
 use crate::process::Ctx;
 
@@ -29,6 +30,9 @@ struct SemState {
     permits: usize,
     waiters: VecDeque<Pid>,
     grants: Vec<Pid>,
+    /// Joined clock of every `release` so far; acquirers join it, modeling
+    /// the internal lock of a real semaphore as a sync edge.
+    release_clock: VClock,
 }
 
 impl Semaphore {
@@ -39,6 +43,7 @@ impl Semaphore {
                 permits,
                 waiters: VecDeque::new(),
                 grants: Vec::new(),
+                release_clock: VClock::new(),
             })),
         }
     }
@@ -51,10 +56,12 @@ impl Semaphore {
                 let mut st = self.inner.lock();
                 if let Some(pos) = st.grants.iter().position(|&p| p == me) {
                     st.grants.swap_remove(pos);
+                    ctx.clock_join(&st.release_clock);
                     return;
                 }
                 if st.permits > 0 && st.waiters.is_empty() {
                     st.permits -= 1;
+                    ctx.clock_join(&st.release_clock);
                     return;
                 }
                 st.waiters.retain(|&p| p != me);
@@ -70,10 +77,12 @@ impl Semaphore {
         let mut st = self.inner.lock();
         if let Some(pos) = st.grants.iter().position(|&p| p == me) {
             st.grants.swap_remove(pos);
+            ctx.clock_join(&st.release_clock);
             return true;
         }
         if st.permits > 0 && st.waiters.is_empty() {
             st.permits -= 1;
+            ctx.clock_join(&st.release_clock);
             true
         } else {
             false
@@ -83,6 +92,9 @@ impl Semaphore {
     /// Release one permit; hands it to the oldest waiter if any.
     pub fn release(&self, ctx: &Ctx) {
         let mut st = self.inner.lock();
+        if let Some(c) = ctx.clock_stamp() {
+            st.release_clock.join(&c);
+        }
         if let Some(p) = st.waiters.pop_front() {
             st.grants.push(p);
             drop(st);
@@ -158,6 +170,12 @@ struct BarrierState {
     count: usize,
     sense: bool,
     waiters: Vec<Pid>,
+    /// Joined clocks of the current generation's arrivals. Unpark edges
+    /// alone would miss the earlier-arrival → leader direction; the barrier
+    /// is all-to-all, so every releasee joins the whole generation's clock.
+    arrival_clock: VClock,
+    /// The previous generation's merged clock, joined by released waiters.
+    release_clock: VClock,
 }
 
 impl SimBarrier {
@@ -169,6 +187,8 @@ impl SimBarrier {
                 count: 0,
                 sense: false,
                 waiters: Vec::new(),
+                arrival_clock: VClock::new(),
+                release_clock: VClock::new(),
             })),
             parties,
         }
@@ -186,11 +206,19 @@ impl SimBarrier {
         {
             let mut st = self.inner.lock();
             st.count += 1;
+            if let Some(c) = ctx.clock_stamp() {
+                st.arrival_clock.join(&c);
+            }
             if st.count == self.parties {
                 st.count = 0;
                 st.sense = !st.sense;
+                // All-to-all release: everyone (leader included) observes
+                // the merged clock of every arrival in this generation.
+                st.release_clock = std::mem::take(&mut st.arrival_clock);
+                let release = st.release_clock.clone();
                 let wake: Vec<Pid> = st.waiters.drain(..).collect();
                 drop(st);
+                ctx.clock_join(&release);
                 for p in wake {
                     ctx.unpark(p);
                 }
@@ -201,7 +229,9 @@ impl SimBarrier {
         }
         loop {
             ctx.park();
-            if self.inner.lock().sense != my_sense {
+            let st = self.inner.lock();
+            if st.sense != my_sense {
+                ctx.clock_join(&st.release_clock);
                 return false;
             }
         }
@@ -222,6 +252,9 @@ pub struct Gate {
 struct GateState {
     open: bool,
     waiters: Vec<Pid>,
+    /// The opener's clock; joined by waiters (including ones that arrive
+    /// after the gate already opened, where no unpark edge exists).
+    open_clock: VClock,
 }
 
 impl Default for Gate {
@@ -237,6 +270,7 @@ impl Gate {
             inner: Arc::new(Mutex::new(GateState {
                 open: false,
                 waiters: Vec::new(),
+                open_clock: VClock::new(),
             })),
         }
     }
@@ -254,6 +288,9 @@ impl Gate {
                 return;
             }
             st.open = true;
+            if let Some(c) = ctx.clock_stamp() {
+                st.open_clock.join(&c);
+            }
             st.waiters.drain(..).collect()
         };
         for p in wake {
@@ -267,6 +304,7 @@ impl Gate {
             {
                 let mut st = self.inner.lock();
                 if st.open {
+                    ctx.clock_join(&st.open_clock);
                     return;
                 }
                 let me = ctx.pid();

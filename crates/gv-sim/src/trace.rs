@@ -8,11 +8,13 @@
 //! Recording is disabled by default; enabling costs one mutex acquisition
 //! per event.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::clock::VClock;
+use crate::kernel::Pid;
 use crate::time::SimTime;
 
 /// Category under which injected-fault and recovery events are recorded
@@ -35,6 +37,10 @@ pub enum TraceKind {
 pub struct TraceEvent {
     /// Simulated timestamp.
     pub time: SimTime,
+    /// Monotonic record sequence number, unique per tracer. Events with
+    /// equal timestamps have a stable `(time, seq)` order equal to the
+    /// order they were recorded in.
+    pub seq: u64,
     /// Coarse category, e.g. `"h2d"`, `"kernel"`, `"gvm"`.
     pub category: &'static str,
     /// Free-form label, e.g. a kernel or process name.
@@ -45,9 +51,171 @@ pub struct TraceEvent {
     pub track: u32,
 }
 
+/// A structural defect found by [`Tracer::validate_spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanIssue {
+    /// Category of the offending event.
+    pub category: &'static str,
+    /// Label of the offending event.
+    pub label: String,
+    /// Track of the offending event.
+    pub track: u32,
+    /// Timestamp of the offending event.
+    pub time: SimTime,
+    /// `true`: a `Begin` that never saw a matching `End`;
+    /// `false`: an `End` with no open `Begin` on the same `(track, label)`.
+    pub unmatched_begin: bool,
+}
+
+impl std::fmt::Display for SpanIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = if self.unmatched_begin {
+            "Begin without matching End"
+        } else {
+            "End without matching Begin"
+        };
+        write!(
+            f,
+            "{what}: {}/{} track {} at {:.6} ms",
+            self.category,
+            self.label,
+            self.track,
+            self.time.as_millis_f64()
+        )
+    }
+}
+
+/// A happens-before/protocol/device record emitted by the instrumented
+/// layers while [analysis recording](Tracer::set_analysis) is on. These are
+/// deliberately label-based (no protocol types) so `gv-sim` stays agnostic
+/// of the layers above it; `gv-analyze` interprets them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisRecord {
+    /// One shared-memory access (read or write) with its captured clock.
+    ShmAccess {
+        /// Simulated timestamp of the access.
+        time: SimTime,
+        /// Accessing process.
+        pid: Pid,
+        /// Accessing process name (e.g. `"spmd-3"`, `"gvm"`).
+        process: String,
+        /// Segment name (e.g. `"/gvm-shm-2"`).
+        segment: String,
+        /// Byte offset of the access within the segment.
+        offset: usize,
+        /// Byte length of the access.
+        len: usize,
+        /// `true` for writes (and fills), `false` for reads.
+        is_write: bool,
+        /// The accessor's vector clock, ticked for this access.
+        clock: VClock,
+    },
+    /// A GVM request receipt (one protocol message observed server-side).
+    Proto {
+        /// Simulated timestamp of the receipt.
+        time: SimTime,
+        /// SPMD rank the request came from.
+        rank: usize,
+        /// Request kind label: `REQ`/`SND`/`STR`/`STP`/`RCV`/`RLS`.
+        kind: &'static str,
+        /// Client sequence number (0 = legacy unsequenced client).
+        seq: u64,
+    },
+    /// A joint stream flush released the `STR` barrier for `ranks`.
+    ProtoFlush {
+        /// Simulated timestamp of the flush.
+        time: SimTime,
+        /// Ranks whose barriered `STR` requests were acknowledged.
+        ranks: Vec<usize>,
+    },
+    /// A rank was evicted from the GVM (fault tolerance).
+    ProtoEvict {
+        /// Simulated timestamp of the eviction.
+        time: SimTime,
+        /// The evicted rank.
+        rank: usize,
+    },
+    /// A GPU device registered itself and its invariant parameters.
+    DeviceRegistered {
+        /// Dense per-tracer device ordinal (see [`Tracer::register_device`]).
+        device: u32,
+        /// The device's concurrent-kernel cap.
+        max_concurrent_kernels: u32,
+    },
+    /// A DMA transfer started on a copy engine.
+    CopyBegin {
+        /// Simulated start time.
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Engine index: 0 = H2D engine, 1 = dedicated D2H engine.
+        engine: u8,
+        /// Command label (e.g. `"cmd-7"`).
+        label: String,
+    },
+    /// A DMA transfer completed on a copy engine.
+    CopyEnd {
+        /// Simulated completion time.
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Engine index: 0 = H2D engine, 1 = dedicated D2H engine.
+        engine: u8,
+        /// Command label (e.g. `"cmd-7"`).
+        label: String,
+    },
+    /// A kernel began executing on the SMs.
+    KernelBegin {
+        /// Simulated start time.
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Kernel label (e.g. `"vecadd-3"`).
+        label: String,
+    },
+    /// A kernel finished executing.
+    KernelEnd {
+        /// Simulated completion time.
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Kernel label (e.g. `"vecadd-3"`).
+        label: String,
+    },
+    /// A device allocation succeeded.
+    Alloc {
+        /// Simulated timestamp (engine clock hint).
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Allocation id (unique per device for the run).
+        id: u64,
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// A device allocation was freed.
+    Free {
+        /// Simulated timestamp (engine clock hint).
+        time: SimTime,
+        /// Device ordinal.
+        device: u32,
+        /// Allocation id being released.
+        id: u64,
+    },
+}
+
 struct Inner {
     enabled: AtomicBool,
     events: Mutex<Vec<TraceEvent>>,
+    seq: AtomicU64,
+    /// Happens-before / protocol / device analysis recording (independent
+    /// of `enabled`; costs vector-clock maintenance across the kernel).
+    analysis: AtomicBool,
+    records: Mutex<Vec<AnalysisRecord>>,
+    /// Engine clock mirror so layers without a `Ctx` (host-side allocator
+    /// calls) can still timestamp analysis records.
+    now_ns: AtomicU64,
+    devices: AtomicU64,
 }
 
 /// Cheaply cloneable handle to a shared trace buffer.
@@ -69,6 +237,11 @@ impl Tracer {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(false),
                 events: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                analysis: AtomicBool::new(false),
+                records: Mutex::new(Vec::new()),
+                now_ns: AtomicU64::new(0),
+                devices: AtomicU64::new(0),
             }),
         }
     }
@@ -83,6 +256,53 @@ impl Tracer {
         self.inner.enabled.load(Ordering::Relaxed)
     }
 
+    /// Turn analysis recording (vector clocks + [`AnalysisRecord`]s) on or
+    /// off. Independent of [`set_enabled`](Self::set_enabled): span/instant
+    /// recording feeds Gantt charts, analysis recording feeds `gv-analyze`.
+    pub fn set_analysis(&self, on: bool) {
+        self.inner.analysis.store(on, Ordering::Relaxed);
+    }
+
+    /// Is analysis recording currently on?
+    pub fn analysis_enabled(&self) -> bool {
+        self.inner.analysis.load(Ordering::Relaxed)
+    }
+
+    /// Append one analysis record (no-op while analysis is off).
+    pub fn record_analysis(&self, rec: AnalysisRecord) {
+        if !self.analysis_enabled() {
+            return;
+        }
+        self.inner.records.lock().push(rec);
+    }
+
+    /// Snapshot all analysis records recorded so far.
+    pub fn analysis_snapshot(&self) -> Vec<AnalysisRecord> {
+        self.inner.records.lock().clone()
+    }
+
+    /// Register a device with the tracer, returning a dense ordinal that
+    /// disambiguates per-device command/stream ids in analysis records.
+    pub fn register_device(&self, max_concurrent_kernels: u32) -> u32 {
+        let ord = self.inner.devices.fetch_add(1, Ordering::Relaxed) as u32;
+        self.record_analysis(AnalysisRecord::DeviceRegistered {
+            device: ord,
+            max_concurrent_kernels,
+        });
+        ord
+    }
+
+    /// Mirror of the engine clock, updated on every time advance. Exact
+    /// whenever the caller runs inside the simulation (only one process
+    /// runs at a time); layers without a `Ctx` use it to timestamp records.
+    pub fn now_hint(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.now_ns.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set_now_hint(&self, t: SimTime) {
+        self.inner.now_ns.store(t.as_nanos(), Ordering::Relaxed);
+    }
+
     /// Record one event (no-op while disabled).
     pub fn record(
         &self,
@@ -95,8 +315,13 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        self.inner.events.lock().push(TraceEvent {
+        let mut events = self.inner.events.lock();
+        // Sequence allocation under the buffer lock keeps `seq` order equal
+        // to buffer order even if a host thread ever raced a process.
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        events.push(TraceEvent {
             time,
+            seq,
             category,
             label: label.into(),
             kind,
@@ -154,14 +379,66 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Snapshot all events recorded so far.
+    /// Snapshot all events recorded so far, in stable `(time, seq)` order.
+    /// Timestamps alone can tie; the sequence number breaks ties in record
+    /// order, so analyzers see one deterministic total order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.events.lock().clone()
+        let mut events = self.inner.events.lock().clone();
+        events.sort_by_key(|e| (e.time, e.seq));
+        events
     }
 
-    /// Remove and return all events recorded so far.
+    /// Remove and return all events recorded so far (stable `(time, seq)`
+    /// order, like [`snapshot`](Self::snapshot)).
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.inner.events.lock())
+        let mut events = std::mem::take(&mut *self.inner.events.lock());
+        events.sort_by_key(|e| (e.time, e.seq));
+        events
+    }
+
+    /// Validate span structure across every category: each `Begin` must
+    /// have a matching later `End` on the same `(track, label)`, and no
+    /// `End` may appear without an open `Begin`. Returns all defects found
+    /// (empty = structurally sound).
+    pub fn validate_spans(&self) -> Vec<SpanIssue> {
+        let events = self.snapshot();
+        let mut open: Vec<(&'static str, u32, String, SimTime)> = Vec::new();
+        let mut issues = Vec::new();
+        for ev in &events {
+            match ev.kind {
+                TraceKind::Instant => {}
+                TraceKind::Begin => {
+                    open.push((ev.category, ev.track, ev.label.clone(), ev.time));
+                }
+                TraceKind::End => {
+                    match open
+                        .iter()
+                        .position(|(c, t, l, _)| *c == ev.category && *t == ev.track && *l == ev.label)
+                    {
+                        Some(pos) => {
+                            open.remove(pos);
+                        }
+                        None => issues.push(SpanIssue {
+                            category: ev.category,
+                            label: ev.label.clone(),
+                            track: ev.track,
+                            time: ev.time,
+                            unmatched_begin: false,
+                        }),
+                    }
+                }
+            }
+        }
+        for (category, track, label, time) in open {
+            issues.push(SpanIssue {
+                category,
+                label,
+                track,
+                time,
+                unmatched_begin: true,
+            });
+        }
+        issues
     }
 
     /// Reconstruct completed `(begin, end)` spans for one category,
@@ -368,5 +645,59 @@ mod tests {
         tr.instant(t(1), "x", "a");
         assert_eq!(tr.take().len(), 1);
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn snapshot_orders_by_time_then_seq() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(5), "x", "late");
+        tr.instant(t(1), "x", "early"); // recorded second, earlier time
+        tr.instant(t(1), "x", "early2");
+        let evs = tr.snapshot();
+        assert_eq!(evs[0].label, "early");
+        assert_eq!(evs[1].label, "early2");
+        assert_eq!(evs[2].label, "late");
+        // Ties broken by monotonic seq in record order.
+        assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn validate_spans_flags_unmatched_pairs() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(0), "kernel", "ok", 0);
+        tr.end(t(1), "kernel", "ok", 0);
+        tr.begin(t(2), "kernel", "dangling", 1);
+        tr.end(t(3), "h2d", "orphan", 2);
+        let issues = tr.validate_spans();
+        assert_eq!(issues.len(), 2);
+        assert!(issues.iter().any(|i| !i.unmatched_begin && i.label == "orphan"));
+        assert!(issues.iter().any(|i| i.unmatched_begin && i.label == "dangling"));
+    }
+
+    #[test]
+    fn analysis_records_gated_by_flag() {
+        let tr = Tracer::new();
+        tr.record_analysis(AnalysisRecord::ProtoEvict {
+            time: t(1),
+            rank: 0,
+        });
+        assert!(tr.analysis_snapshot().is_empty());
+        tr.set_analysis(true);
+        tr.record_analysis(AnalysisRecord::ProtoEvict {
+            time: t(2),
+            rank: 3,
+        });
+        assert_eq!(tr.analysis_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn device_registration_allocates_dense_ordinals() {
+        let tr = Tracer::new();
+        tr.set_analysis(true);
+        assert_eq!(tr.register_device(16), 0);
+        assert_eq!(tr.register_device(16), 1);
+        assert_eq!(tr.analysis_snapshot().len(), 2);
     }
 }

@@ -379,6 +379,13 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             req
         };
         let r = req.rank;
+        ctx.tracer()
+            .record_analysis(gv_sim::AnalysisRecord::Proto {
+                time: ctx.now(),
+                rank: r,
+                kind: req.kind.label(),
+                seq: req.seq,
+            });
 
         // Idempotent retry handling: a sequence number at or below the
         // last one served is a duplicate (client retry after a lost
@@ -559,6 +566,11 @@ fn evict(
     let _ = h.shm.unlink(&h.endpoints.shm(r));
     str_waiting.retain(|&w| w != r);
     ctx.tracer().fault(ctx.now(), format!("evict:rank{r}"));
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::ProtoEvict {
+            time: ctx.now(),
+            rank: r,
+        });
     h.stats.lock().evictions += 1;
 }
 
@@ -594,11 +606,10 @@ fn flush_barrier(
 ) {
     let cfg = &h.config;
     let t0 = ctx.now();
-    for r in 0..ranks.len() {
+    for (r, rank) in ranks.iter_mut().enumerate() {
         if !str_waiting.contains(&r) {
             continue;
         }
-        let rank = &mut ranks[r];
         let cc = &contexts[rank.dev_idx];
         flush_rank(ctx, cc, rank);
         if cfg.serial_flush {
@@ -611,6 +622,11 @@ fn flush_barrier(
         stats.submit_time += ctx.now().duration_since(t0);
     }
     // "Barrier to synchronize ACK to all processes".
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::ProtoFlush {
+            time: ctx.now(),
+            ranks: str_waiting.clone(),
+        });
     for &rr in str_waiting.iter() {
         let seq = ranks[rr].last_seq;
         let rank = &mut ranks[rr];

@@ -13,6 +13,7 @@
 //! * [`kernels`] — the paper's seven benchmark workloads (functional + cost model)
 //! * [`virt`] — ★ the paper's contribution: the GPU Virtualization Manager (GVM)
 //! * [`model`] — the paper's analytical model (Eqs. 1–6)
+//! * [`analyze`] — trace-based race detection, protocol linting, device invariants
 //! * [`harness`] — experiment drivers that regenerate every table and figure
 //!
 //! ## Quickstart
@@ -22,6 +23,7 @@
 //! [`virt::VgpuClient`] per CPU core inside a [`sim::Simulation`], and give
 //! each client a [`kernels::GpuTask`] from [`kernels`].
 
+pub use gv_analyze as analyze;
 pub use gv_cuda as cuda;
 pub use gv_gpu as gpu;
 pub use gv_harness as harness;

@@ -192,6 +192,7 @@ fn ft_inputs(n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
 /// Everything a fault scenario needs to assert on afterwards.
 struct FtOutcome {
     /// Per-rank `try_run_task` results, sorted by rank.
+    #[allow(clippy::type_complexity)]
     results: Vec<(usize, Result<Option<Vec<u8>>, TaskError>)>,
     handle: GvmHandle,
     /// Device bytes still allocated after the run drained.

@@ -56,11 +56,11 @@ fn run_plan(plan: &FaultPlan, stagger_us: &[u64; RANKS]) -> Outcome {
     tracer.set_enabled(true);
     type Results = Arc<Mutex<Vec<(usize, Result<Vec<u8>, TaskError>)>>>;
     let results: Results = Arc::new(Mutex::new(Vec::new()));
-    for rank in 0..RANKS {
+    for (rank, &stag) in stagger_us.iter().enumerate().take(RANKS) {
         let handle = handle.clone();
         let results = results.clone();
         let abort = plan.abort_stage(rank);
-        let delay = SimDuration::from_micros(stagger_us[rank]);
+        let delay = SimDuration::from_micros(stag);
         node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
             ctx.hold(delay);
             let policy = ClientPolicy::with_timeout(SimDuration::from_millis(10), 5);
