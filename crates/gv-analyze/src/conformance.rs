@@ -19,9 +19,13 @@
 //!   sends); a retry of an already-served number must repeat the same
 //!   request kind; `seq == 0` marks a legacy unsequenced client and skips
 //!   sequence checks.
-//! * **Barrier width** — every flush must cover exactly the set of
-//!   currently-barriered ranks (eviction re-arms the barrier at reduced
-//!   width, so the pending set shrinks when stragglers are evicted).
+//! * **Barrier width** — under the default joint-flush policy every flush
+//!   must cover exactly the set of currently-barriered ranks (eviction
+//!   re-arms the barrier at reduced width, so the pending set shrinks when
+//!   stragglers are evicted). A [`AnalysisRecord::ProtoSched`] boot record
+//!   with `partial = true` (FCFS, adaptive batch, shortest-job-first)
+//!   relaxes the rule: a flush may cover any *non-empty subset* of the
+//!   barriered ranks, but never a rank that is not barriered.
 //! * **Eviction** — receipts from an evicted rank are legal (retrying
 //!   clients are NAK'd, not conformance errors), but the rank may never
 //!   re-enter the cycle.
@@ -107,9 +111,15 @@ impl Default for RankLint {
 pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
     let mut ranks: HashMap<usize, RankLint> = HashMap::new();
+    // Set by the GVM's boot-time policy announcement; absent (legacy
+    // traces) means the strict joint-flush width rule.
+    let mut partial_flushes = false;
 
     for rec in records {
         match rec {
+            AnalysisRecord::ProtoSched { partial, .. } => {
+                partial_flushes = *partial;
+            }
             AnalysisRecord::Proto {
                 time,
                 rank,
@@ -182,13 +192,23 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                     .map(|(&r, _)| r)
                     .collect();
                 let flushed_set: BTreeSet<usize> = flushed.iter().copied().collect();
-                if flushed_set != barriered {
+                let ok = if partial_flushes {
+                    !flushed_set.is_empty() && flushed_set.is_subset(&barriered)
+                } else {
+                    flushed_set == barriered
+                };
+                if !ok {
                     diagnostics.push(Diagnostic {
                         checker: "conformance",
                         time: *time,
                         message: format!(
                             "flush width mismatch: flushed {flushed_set:?} but barriered \
-                             set is {barriered:?}"
+                             set is {barriered:?}{}",
+                            if partial_flushes {
+                                " (partial policy: non-empty subset required)"
+                            } else {
+                                ""
+                            }
                         ),
                     });
                 }
@@ -355,6 +375,99 @@ mod tests {
         ];
         let d = check(&recs);
         assert!(d.iter().any(|d| d.message.contains("flush width mismatch")), "{d:?}");
+    }
+
+    fn sched(partial: bool) -> AnalysisRecord {
+        AnalysisRecord::ProtoSched {
+            time: SimTime::ZERO,
+            policy: if partial { "fcfs" } else { "joint" }.to_string(),
+            partial,
+        }
+    }
+
+    #[test]
+    fn partial_policy_accepts_subset_flush() {
+        // Two ranks barriered, flushed one at a time (FCFS/SJF shape):
+        // strict mode would flag both flushes, partial mode accepts them.
+        let recs = vec![
+            sched(true),
+            proto(1, 0, "REQ", 1),
+            proto(2, 1, "REQ", 1),
+            proto(3, 0, "SND", 2),
+            proto(4, 1, "SND", 2),
+            proto(5, 0, "STR", 3),
+            proto(6, 1, "STR", 3),
+            flush(7, vec![1]),
+            flush(8, vec![0]),
+            proto(9, 0, "STP", 4),
+            proto(10, 1, "STP", 4),
+            proto(11, 0, "RCV", 5),
+            proto(12, 1, "RCV", 5),
+            proto(13, 0, "RLS", 6),
+            proto(14, 1, "RLS", 6),
+        ];
+        assert!(check(&recs).is_empty(), "{:?}", check(&recs));
+    }
+
+    #[test]
+    fn partial_policy_still_rejects_unbarriered_flush() {
+        let recs = vec![
+            sched(true),
+            proto(1, 0, "REQ", 1),
+            proto(2, 1, "REQ", 1),
+            proto(3, 0, "SND", 2),
+            proto(4, 1, "SND", 2),
+            proto(5, 0, "STR", 3),
+            // Rank 1 never sent STR, yet the flush claims it.
+            flush(6, vec![0, 1]),
+            proto(7, 0, "STP", 4),
+            proto(8, 0, "RCV", 5),
+            proto(9, 0, "RLS", 6),
+            proto(10, 1, "STR", 3),
+            flush(11, vec![1]),
+            proto(12, 1, "STP", 4),
+            proto(13, 1, "RCV", 5),
+            proto(14, 1, "RLS", 6),
+        ];
+        let d = check(&recs);
+        assert!(
+            d.iter().any(|d| d.message.contains("flush width mismatch")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn partial_policy_rejects_empty_flush() {
+        let mut recs = vec![sched(true)];
+        recs.extend(full_cycle(0));
+        recs.insert(1, flush(1, vec![])); // flush with nothing barriered
+        let d = check(&recs);
+        assert!(
+            d.iter().any(|d| d.message.contains("non-empty subset")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn joint_announcement_keeps_strict_rule() {
+        // Same subset-flush shape as the partial test, but the trace says
+        // joint: both one-rank flushes violate the strict width rule.
+        let recs = vec![
+            sched(false),
+            proto(1, 0, "REQ", 1),
+            proto(2, 1, "REQ", 1),
+            proto(3, 0, "SND", 2),
+            proto(4, 1, "SND", 2),
+            proto(5, 0, "STR", 3),
+            proto(6, 1, "STR", 3),
+            flush(7, vec![1]),
+            flush(8, vec![0]),
+        ];
+        let d = check(&recs);
+        assert!(
+            d.iter().any(|d| d.message.contains("flush width mismatch")),
+            "{d:?}"
+        );
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
         match rec {
             AnalysisRecord::ShmAccess { .. } => report.shm_accesses += 1,
             AnalysisRecord::Proto { .. }
+            | AnalysisRecord::ProtoSched { .. }
             | AnalysisRecord::ProtoFlush { .. }
             | AnalysisRecord::ProtoEvict { .. } => report.proto_messages += 1,
             AnalysisRecord::DeviceRegistered { .. }

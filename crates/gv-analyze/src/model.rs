@@ -113,6 +113,19 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
                     time.as_nanos()
                 );
             }
+            AnalysisRecord::ProtoSched {
+                time,
+                policy,
+                partial,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "sched t={} partial={} policy={}",
+                    time.as_nanos(),
+                    u8::from(*partial),
+                    esc(policy),
+                );
+            }
             AnalysisRecord::ProtoFlush { time, ranks } => {
                 let list = ranks
                     .iter()
@@ -316,6 +329,20 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                     seq: f.num("seq")?,
                 }
             }
+            "sched" => AnalysisRecord::ProtoSched {
+                time: f.time()?,
+                policy: unesc(f.get("policy")?),
+                partial: match f.get("partial")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'partial' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+            },
             "flush" => AnalysisRecord::ProtoFlush {
                 time: f.time()?,
                 ranks: f.num_list("ranks")?,
@@ -392,6 +419,11 @@ mod tests {
                 len: 1024,
                 is_write: true,
                 clock: VClock::from_components(vec![3, 0, 1]),
+            },
+            AnalysisRecord::ProtoSched {
+                time: SimTime::from_nanos(5),
+                policy: "sjf".to_string(),
+                partial: true,
             },
             AnalysisRecord::Proto {
                 time: SimTime::from_nanos(10),

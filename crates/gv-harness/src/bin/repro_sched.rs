@@ -1,0 +1,24 @@
+//! Sweep the GVM scheduling policies (joint flush, FCFS, adaptive batch,
+//! shortest-job-first) over policy × benchmark × process-count, plus the
+//! staggered-arrival headline comparison, into `results/sched.{txt,csv}`.
+//!
+//! Flags: `--quick` / `--scale N` shrink costs; `--analyze` records every
+//! policy run's trace, checks it with `gv-analyze`, and fails (exit 1) on
+//! any diagnostic.
+use std::process::ExitCode;
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{repro, sched};
+
+fn main() -> ExitCode {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (artifact, clean) = sched::sweep(&Scenario::default(), scale, analyze);
+    println!("{}", artifact.text);
+    artifact.save();
+    if !clean {
+        eprintln!("gv-analyze diagnostics found in policy traces — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

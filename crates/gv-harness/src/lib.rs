@@ -6,12 +6,13 @@
 //! * [`profile`] — microbenchmark profiling (Table II)
 //! * [`overhead`] — virtualization-overhead sweep (Fig. 10)
 //! * [`analysis`] — the `--analyze` pass: `gv-analyze` checkers over traces
+//! * [`sched`] — GVM scheduling-policy sweeps (beyond the paper)
 //! * [`report`] — text/CSV/JSON emission
 //!
 //! The `repro_*` binaries in this crate regenerate each artifact:
 //! `repro_table2`, `repro_table3`, `repro_table4`, `repro_fig9`,
-//! `repro_fig10`, `repro_fig11_15`, `repro_fig16`, and `repro_all`.
-//! Each accepts `--quick` for a scaled-down smoke run.
+//! `repro_fig10`, `repro_fig11_15`, `repro_fig16`, `repro_sched`, and
+//! `repro_all`. Each accepts `--quick` for a scaled-down smoke run.
 
 #![warn(missing_docs)]
 
@@ -23,6 +24,7 @@ pub mod remote_compare;
 pub mod report;
 pub mod repro;
 pub mod scenario;
+pub mod sched;
 pub mod sensitivity;
 pub mod timeline;
 pub mod turnaround;

@@ -12,8 +12,8 @@ use gv_cuda::CudaDevice;
 use gv_gpu::{DeviceConfig, DeviceStats, GpuDevice};
 use gv_ipc::{Node, NodeConfig};
 use gv_kernels::GpuTask;
-use gv_sim::Simulation;
-use gv_virt::{run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, TaskRun, VgpuClient};
+use gv_sim::{SimDuration, Simulation};
+use gv_virt::{run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, SchedPolicy, TaskRun, VgpuClient};
 use parking_lot::Mutex;
 
 use crate::timeline::Timeline;
@@ -96,6 +96,12 @@ pub struct Scenario {
     /// Record analysis events (vector clocks, protocol receipts, device
     /// events) and run the `gv-analyze` checkers after the simulation.
     pub analyze: bool,
+    /// GVM stream-dispatch policy (virtualized runs only).
+    pub scheduler: SchedPolicy,
+    /// Per-rank arrival skew: rank `r` begins its task `r × stagger`
+    /// late — from group launch in Direct mode, from GVM-ready in
+    /// Virtualized mode — modeling non-lockstep SPMD startup.
+    pub stagger: SimDuration,
 }
 
 impl Default for Scenario {
@@ -105,6 +111,8 @@ impl Default for Scenario {
             node: NodeConfig::dual_xeon_x5560(),
             trace: false,
             analyze: false,
+            scheduler: SchedPolicy::JointFlush,
+            stagger: SimDuration::ZERO,
         }
     }
 }
@@ -124,6 +132,16 @@ impl Scenario {
             analyze: true,
             ..Self::default()
         }
+    }
+
+    /// `self` with the given GVM stream-dispatch policy.
+    pub fn with_scheduler(self, scheduler: SchedPolicy) -> Self {
+        Scenario { scheduler, ..self }
+    }
+
+    /// `self` with ranks arriving `stagger` apart.
+    pub fn with_stagger(self, stagger: SimDuration) -> Self {
+        Scenario { stagger, ..self }
     }
 }
 
@@ -153,7 +171,11 @@ impl Scenario {
                     let device = device.clone();
                     let collected = collected.clone();
                     let finished = finished.clone();
+                    let arrival = arrival_delay(self.stagger, rank);
                     node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                        if !arrival.is_zero() {
+                            ctx.hold(arrival);
+                        }
                         let out = run_direct(ctx, &cuda, &task, rank);
                         collected.lock().push(out);
                         let mut f = finished.lock();
@@ -167,12 +189,21 @@ impl Scenario {
                 None
             }
             ExecutionMode::Virtualized => {
-                let handle = Gvm::install(&mut sim, &node, &cuda, GvmConfig::new(n), tasks);
+                let config = GvmConfig::new(n).with_scheduler(self.scheduler.clone());
+                let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
                 for rank in 0..n {
                     let handle = handle.clone();
                     let collected = collected.clone();
+                    let arrival = arrival_delay(self.stagger, rank);
                     node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                        // Hold AFTER connect: connect blocks on the GVM ready
+                        // gate (one context creation for the whole group), which
+                        // would otherwise absorb any skew smaller than the boot
+                        // time and de-stagger every arrival.
                         let client = VgpuClient::connect(ctx, &handle, rank);
+                        if !arrival.is_zero() {
+                            ctx.hold(arrival);
+                        }
                         let out = client.run_task(ctx);
                         collected.lock().push(out);
                     })
@@ -217,6 +248,11 @@ impl Scenario {
     pub fn run_uniform(&self, mode: ExecutionMode, task: &GpuTask, n: usize) -> ExperimentResult {
         self.run(mode, vec![task.clone(); n])
     }
+}
+
+/// Rank `r` arrives `r × stagger` after the group launch.
+fn arrival_delay(stagger: SimDuration, rank: usize) -> SimDuration {
+    SimDuration::from_nanos(stagger.as_nanos().saturating_mul(rank as u64))
 }
 
 #[cfg(test)]

@@ -110,6 +110,19 @@ pub enum AnalysisRecord {
         /// The accessor's vector clock, ticked for this access.
         clock: VClock,
     },
+    /// The GVM announced its scheduling policy at boot. Consumers (the
+    /// conformance linter) use it to pick the flush-width rule: joint
+    /// policies must flush exactly the barriered set, partial policies may
+    /// flush any non-empty subset of it.
+    ProtoSched {
+        /// Simulated timestamp of the announcement (GVM boot).
+        time: SimTime,
+        /// Policy label: `joint`/`fcfs`/`adaptive`/`sjf`.
+        policy: String,
+        /// `true` when a flush may cover a strict subset of the barriered
+        /// ranks.
+        partial: bool,
+    },
     /// A GVM request receipt (one protocol message observed server-side).
     Proto {
         /// Simulated timestamp of the receipt.

@@ -9,6 +9,14 @@
 //! can overlap copies with compute and run small kernels concurrently
 //! within the one context.
 //!
+//! *When* buffered streams are flushed is delegated to a pluggable
+//! [`SchedPolicy`] (see [`crate::sched`]): the paper's joint full-width
+//! flush is the default, with FCFS, adaptive batching, and
+//! shortest-job-first available for staggered or heterogeneous groups.
+//! The scheduler also owns the barrier-width computation, so eviction and
+//! release re-arm the barrier through the same policy code path that
+//! dispatches it.
+//!
 //! With [`GvmConfig::fault_tolerance`] enabled the serve loop degrades
 //! gracefully instead of wedging: requests are received with a deadline, a
 //! rank that stops responding (crashed client, lost message beyond the
@@ -29,6 +37,7 @@ use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
 
 use crate::protocol::{Endpoints, Request, RequestKind, Response, ResponseKind};
+use crate::sched::{self, Dispatch, SchedPolicy, Scheduler};
 
 /// Recovery knobs for a fault-tolerant GVM (see
 /// [`GvmConfig::fault_tolerance`]).
@@ -75,6 +84,8 @@ pub struct GvmConfig {
     /// device memory allocated lazily at first `SND` (overcommit) instead
     /// of at boot. `None` keeps the seed's fault-free behavior exactly.
     pub fault_tolerance: Option<FtConfig>,
+    /// Stream-dispatch policy (default: the paper's joint flush).
+    pub scheduler: SchedPolicy,
 }
 
 impl GvmConfig {
@@ -88,7 +99,13 @@ impl GvmConfig {
             serial_flush: false,
             req_queue_capacity: None,
             fault_tolerance: None,
+            scheduler: SchedPolicy::JointFlush,
         }
+    }
+
+    /// `self` with the given stream-dispatch policy.
+    pub fn with_scheduler(self, scheduler: SchedPolicy) -> Self {
+        GvmConfig { scheduler, ..self }
     }
 
     /// The serial-flush ablation variant.
@@ -130,6 +147,31 @@ pub struct GvmStats {
     /// Duplicate requests answered from the recorded response (or
     /// silently ignored while the original is still barriered).
     pub dedup_hits: u64,
+    /// Flushes that covered a strict subset of the then-active ranks
+    /// (partial policies only; always 0 under `JointFlush`).
+    pub partial_flushes: u64,
+    /// Largest `STR` backlog observed when a new `STR` arrived.
+    pub queue_depth_max: u64,
+    /// Sum of the `STR` backlog over all arrivals (with
+    /// [`GvmStats::queue_depth_samples`], yields the mean depth).
+    pub queue_depth_sum: u64,
+    /// Number of `STR` arrivals sampled into the queue-depth counters.
+    pub queue_depth_samples: u64,
+    /// Total simulated time between the first `STR` of each batch window
+    /// and the dispatch that drained it — the queueing delay the policy
+    /// imposed while the GPU could have been running.
+    pub idle_gap: SimDuration,
+}
+
+impl GvmStats {
+    /// Mean `STR` backlog at arrival (0.0 if no `STR` was sampled).
+    pub fn queue_depth_mean(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
 }
 
 /// Lifecycle of one rank inside the serve loop.
@@ -326,6 +368,24 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             last_resp: None,
         });
     }
+    // The dispatch policy. Per-rank service estimates feed shortest-job-
+    // first ordering; the other policies ignore them.
+    let costs_ms: Vec<f64> = (0..cfg.ntask)
+        .map(|r| {
+            sched::estimate_cost_ms(
+                &h.tasks[r],
+                cudas[r % cudas.len()].device().config(),
+                node.config(),
+            )
+        })
+        .collect();
+    let mut scheduler: Box<dyn Scheduler> = cfg.scheduler.build(costs_ms);
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::ProtoSched {
+            time: ctx.now(),
+            policy: scheduler.name().to_string(),
+            partial: scheduler.partial_flush(),
+        });
     h.ready.open(ctx);
 
     // --- Serve loop ------------------------------------------------------
@@ -335,21 +395,54 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     // stall must NOT push it out, or steady client retries could keep a
     // dead barrier alive forever.
     let mut barrier_deadline: Option<gv_sim::SimTime> = None;
+    // When the oldest pending STR arrived — anchors the scheduler's batch
+    // timeout and the idle-gap metric.
+    let mut batch_start: Option<gv_sim::SimTime> = None;
     let mut finished = 0usize; // released + evicted
     while finished < cfg.ntask {
         if str_waiting.is_empty() {
             barrier_deadline = None;
+            batch_start = None;
         }
-        let req = if let Some(ft) = &ft {
-            let timeout = match barrier_deadline {
-                Some(d) => d.duration_since(ctx.now()),
-                None => ft.idle_timeout,
+        // The scheduler's own deadline (AdaptiveBatch timer), independent
+        // of fault tolerance: it fires a dispatch, never an eviction.
+        let sched_deadline = match (scheduler.batch_timeout(), batch_start) {
+            (Some(t), Some(b)) => Some(b + t),
+            _ => None,
+        };
+        let req = if ft.is_some() || sched_deadline.is_some() {
+            let ft_deadline = ft.as_ref().map(|ft| match barrier_deadline {
+                Some(d) => d,
+                None => ctx.now() + ft.idle_timeout,
+            });
+            let deadline = match (ft_deadline, sched_deadline) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!("timed receive requires a deadline"),
             };
-            match req_q.recv_timeout(ctx, timeout) {
+            match req_q.recv_timeout(ctx, deadline.duration_since(ctx.now())) {
                 RecvTimeout::Msg(req) => req,
                 RecvTimeout::Closed => break,
                 RecvTimeout::TimedOut => {
-                    if str_waiting.is_empty() {
+                    let sched_fired =
+                        sched_deadline.is_some_and(|sd| ft_deadline.is_none_or(|fd| sd <= fd));
+                    if sched_fired {
+                        // Batch timer expired: flush whatever is pending,
+                        // nobody is presumed dead.
+                        ctx.tracer().instant(ctx.now(), "sched", "batch-timeout");
+                        let active = active_count(&ranks);
+                        let groups = scheduler.on_deadline(&str_waiting, active);
+                        dispatch_groups(
+                            ctx,
+                            &h,
+                            &contexts,
+                            &mut ranks,
+                            &mut str_waiting,
+                            &mut batch_start,
+                            groups,
+                        );
+                    } else if str_waiting.is_empty() {
                         // Nothing barriered and nobody talking: the
                         // remaining active ranks are gone. Evict them all.
                         for r in 0..ranks.len() {
@@ -359,8 +452,9 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             }
                         }
                     } else {
-                        // Barrier stalled: evict the stragglers and flush
-                        // at the reduced width so survivors complete.
+                        // Barrier stalled: evict the stragglers; the
+                        // policy re-arms at the reduced width and flushes
+                        // so survivors complete.
                         for r in 0..ranks.len() {
                             if ranks[r].state == RankState::Active && !str_waiting.contains(&r) {
                                 evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
@@ -369,7 +463,17 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         }
                         ctx.tracer()
                             .fault(ctx.now(), format!("barrier-degrade:{}", str_waiting.len()));
-                        flush_barrier(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                        let active = active_count(&ranks);
+                        let groups = scheduler.on_deadline(&str_waiting, active);
+                        dispatch_groups(
+                            ctx,
+                            &h,
+                            &contexts,
+                            &mut ranks,
+                            &mut str_waiting,
+                            &mut batch_start,
+                            groups,
+                        );
                     }
                     continue;
                 }
@@ -438,7 +542,17 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             send_recorded(ctx, &mut ranks[r], Response::nak(req.seq));
                             evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
                             finished += 1;
-                            maybe_flush_reduced(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                            let active = active_count(&ranks);
+                            let groups = scheduler.on_membership(&str_waiting, active);
+                            dispatch_groups(
+                                ctx,
+                                &h,
+                                &contexts,
+                                &mut ranks,
+                                &mut str_waiting,
+                                &mut batch_start,
+                                groups,
+                            );
                             continue;
                         }
                     }
@@ -462,24 +576,34 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             }
             RequestKind::Str => {
                 // "Buffers the STR message … Barrier to synchronize STR
-                // from all processes", then flush every stream together.
-                // The ACK is recorded at flush time (last_resp stays None
-                // until then, which is what makes retried STRs safe).
+                // from all processes", then flush per the policy. The ACK
+                // is recorded at flush time (last_resp stays None until
+                // then, which is what makes retried STRs safe).
                 str_waiting.push(r);
+                batch_start.get_or_insert(ctx.now());
                 if let Some(ft) = &ft {
                     barrier_deadline.get_or_insert(ctx.now() + ft.barrier_timeout);
                 }
-                let width = if ft.is_some() {
-                    ranks
-                        .iter()
-                        .filter(|k| k.state == RankState::Active)
-                        .count()
-                } else {
-                    cfg.ntask
-                };
-                if str_waiting.len() == width {
-                    flush_barrier(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                {
+                    let depth = str_waiting.len() as u64;
+                    let mut stats = h.stats.lock();
+                    stats.queue_depth_samples += 1;
+                    stats.queue_depth_sum += depth;
+                    stats.queue_depth_max = stats.queue_depth_max.max(depth);
                 }
+                ctx.tracer()
+                    .instant(ctx.now(), "sched", format!("queue-depth:{}", str_waiting.len()));
+                let active = active_count(&ranks);
+                let groups = scheduler.on_str(&str_waiting, active);
+                dispatch_groups(
+                    ctx,
+                    &h,
+                    &contexts,
+                    &mut ranks,
+                    &mut str_waiting,
+                    &mut batch_start,
+                    groups,
+                );
             }
             RequestKind::Stp => {
                 // "If status(stream)=0 sends WAIT, otherwise sends ACK".
@@ -522,7 +646,21 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                 ranks[r].state = RankState::Released;
                 finished += 1;
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
-                maybe_flush_reduced(ctx, &h, &contexts, &mut ranks, &mut str_waiting);
+                // A release shrinks the group: the barrier other ranks are
+                // waiting behind may now be satisfied at the reduced width
+                // (in every mode — the seed only re-evaluated under fault
+                // tolerance, which hung non-uniform fault-free groups).
+                let active = active_count(&ranks);
+                let groups = scheduler.on_membership(&str_waiting, active);
+                dispatch_groups(
+                    ctx,
+                    &h,
+                    &contexts,
+                    &mut ranks,
+                    &mut str_waiting,
+                    &mut batch_start,
+                    groups,
+                );
             }
         }
     }
@@ -574,66 +712,97 @@ fn evict(
     h.stats.lock().evictions += 1;
 }
 
-/// After an eviction or release, the barrier may now be satisfied at the
-/// reduced width — flush if every remaining active rank is barriered.
-fn maybe_flush_reduced(
+/// Number of ranks still being served.
+fn active_count(ranks: &[RankResources]) -> usize {
+    ranks
+        .iter()
+        .filter(|k| k.state == RankState::Active)
+        .count()
+}
+
+/// Execute the scheduler's decision: flush each returned group in order.
+/// Resets the batch window once the backlog drains.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_groups(
     ctx: &mut Ctx,
     h: &GvmHandle,
     contexts: &[gv_cuda::CudaContext],
     ranks: &mut [RankResources],
     str_waiting: &mut Vec<usize>,
+    batch_start: &mut Option<gv_sim::SimTime>,
+    groups: Vec<Dispatch>,
 ) {
-    if h.config.fault_tolerance.is_none() || str_waiting.is_empty() {
-        return;
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        flush_group(ctx, h, contexts, ranks, str_waiting, batch_start, &group);
     }
-    let active = ranks
-        .iter()
-        .filter(|k| k.state == RankState::Active)
-        .count();
-    if str_waiting.len() == active {
-        flush_barrier(ctx, h, contexts, ranks, str_waiting);
+    if str_waiting.is_empty() {
+        *batch_start = None;
     }
 }
 
-/// Flush the barriered ranks' streams together (rank-index submission
-/// order), then ACK them in arrival order.
-fn flush_barrier(
+/// Flush one group's streams (in the scheduler's submission order), then
+/// ACK the covered ranks in `STR` arrival order and drop them from the
+/// barrier.
+fn flush_group(
     ctx: &mut Ctx,
     h: &GvmHandle,
     contexts: &[gv_cuda::CudaContext],
     ranks: &mut [RankResources],
     str_waiting: &mut Vec<usize>,
+    batch_start: &Option<gv_sim::SimTime>,
+    group: &[usize],
 ) {
     let cfg = &h.config;
     let t0 = ctx.now();
-    for (r, rank) in ranks.iter_mut().enumerate() {
-        if !str_waiting.contains(&r) {
-            continue;
-        }
+    let active = active_count(ranks);
+    for &r in group {
+        let rank = &mut ranks[r];
         let cc = &contexts[rank.dev_idx];
         flush_rank(ctx, cc, rank);
         if cfg.serial_flush {
             cc.stream_synchronize(ctx, rank.stream);
         }
     }
+    // The queueing delay this dispatch imposed: how long the oldest
+    // pending STR sat behind the policy's trigger.
+    let gap = batch_start
+        .map(|b| t0.duration_since(b))
+        .unwrap_or(SimDuration::ZERO);
     {
         let mut stats = h.stats.lock();
         stats.flushes += 1;
         stats.submit_time += ctx.now().duration_since(t0);
+        stats.idle_gap += gap;
+        if group.len() < active {
+            stats.partial_flushes += 1;
+        }
     }
-    // "Barrier to synchronize ACK to all processes".
+    if gap > SimDuration::ZERO {
+        ctx.tracer()
+            .instant(t0, "sched", format!("idle-gap:{}ns", gap.as_nanos()));
+    }
+    // "Barrier to synchronize ACK to all processes" — arrival order, as in
+    // the paper's joint flush, restricted to the covered ranks.
+    let ack: Vec<usize> = str_waiting
+        .iter()
+        .filter(|w| group.contains(w))
+        .copied()
+        .collect();
     ctx.tracer()
         .record_analysis(gv_sim::AnalysisRecord::ProtoFlush {
             time: ctx.now(),
-            ranks: str_waiting.clone(),
+            ranks: ack.clone(),
         });
-    for &rr in str_waiting.iter() {
+    for &rr in &ack {
         let seq = ranks[rr].last_seq;
         let rank = &mut ranks[rr];
         rank.last_resp = Some(ResponseKind::Ack);
         let _ = rank.resp.send(ctx, Response::ack(seq));
     }
-    str_waiting.clear();
+    str_waiting.retain(|w| !group.contains(w));
 }
 
 /// Enqueue one rank's complete pipeline into its stream: per iteration,

@@ -28,12 +28,14 @@ pub mod fault;
 pub mod gvm;
 pub mod protocol;
 pub mod remote;
+pub mod sched;
 
 pub use baseline::{run_direct, run_direct_abortable};
 pub use client::{ClientPolicy, TaskError, VgpuClient};
 pub use fault::{FaultPlan, FaultSpec, PlanParseError, QueueSel};
 pub use gvm::{FtConfig, Gvm, GvmConfig, GvmHandle, GvmStats};
 pub use protocol::{Endpoints, Request, RequestKind, Response, ResponseKind, TaskRun};
+pub use sched::{SchedPolicy, Scheduler};
 pub use remote::{RemoteClient, RemoteConfig, RemoteGpuDaemon, RemoteGpuHandle};
 
 #[cfg(test)]

@@ -1,0 +1,470 @@
+//! Pluggable GVM stream-dispatch scheduling.
+//!
+//! The paper's GVM flushes all VGPU streams behind a single full-width
+//! barrier (§V, Fig. 8). That is optimal when every rank arrives at `STR`
+//! together — the SPMD steady state — but leaves the GPU idle whenever
+//! arrivals are staggered (startup skew, load imbalance, recovery after an
+//! eviction). The follow-up literature (Li et al., arXiv:1511.07658;
+//! Prades et al., arXiv:1606.04473) closes that gap with VGPU
+//! task-scheduling strategies; this module reproduces the idea as a
+//! [`Scheduler`] trait the GVM serve loop consults at every `STR` receipt,
+//! membership change (eviction/release), and batch deadline.
+//!
+//! Four policies:
+//!
+//! * [`SchedPolicy::JointFlush`] — the paper's behaviour, kept as the
+//!   default: wait until every active rank is barriered, then flush all
+//!   streams together.
+//! * [`SchedPolicy::Fcfs`] — dispatch each rank's stream the moment its
+//!   `STR` arrives. Best under heavy arrival skew; gives up cross-rank
+//!   copy/compute overlap within a flush window.
+//! * [`SchedPolicy::AdaptiveBatch`] — flush as soon as `k` ranks are
+//!   pending or a calibrated timeout expires, whichever is first. Spans
+//!   the space between the other two.
+//! * [`SchedPolicy::ShortestJobFirst`] — barrier like `JointFlush`, then
+//!   dispatch pending streams one at a time in ascending order of the
+//!   analytical cost estimate (gv-model Eq. (4) at `n = 1`) derived from
+//!   each rank's declared task profile. Minimizes mean turnaround for
+//!   heterogeneous mixes.
+//!
+//! Every policy is *work conserving given its trigger* and *functionally
+//! transparent*: it only chooses when and in what order barriered streams
+//! are submitted, never what work is submitted, so results stay
+//! bit-identical to the direct-sharing baseline (enforced by
+//! `tests/sched_differential.rs`).
+
+use gv_gpu::{estimate_kernel_time, DeviceConfig};
+use gv_ipc::NodeConfig;
+use gv_kernels::GpuTask;
+use gv_model::{ExecutionProfile, SpeedupModel};
+use gv_sim::SimDuration;
+
+/// One flush group, in stream-submission order. The GVM submits the
+/// listed ranks' streams back-to-back, then ACKs them (in `STR` arrival
+/// order) and removes them from the barrier.
+pub type Dispatch = Vec<usize>;
+
+/// Which scheduling policy a [`crate::GvmConfig`] runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// The paper's joint flush: full-width barrier over active ranks.
+    #[default]
+    JointFlush,
+    /// Dispatch each `STR` immediately on arrival.
+    Fcfs,
+    /// Flush when `k` ranks are pending or `timeout` elapses since the
+    /// first pending `STR` (`None` = wait for the width trigger alone).
+    AdaptiveBatch {
+        /// Pending-rank count that triggers a flush (clamped to the
+        /// active-rank count, so evictions can never push the trigger out
+        /// of reach).
+        k: usize,
+        /// Deadline relative to the first pending `STR`; `None` disables
+        /// the timer (`AdaptiveBatch { k: n, timeout: None }` is exactly
+        /// `JointFlush` for an `n`-rank group).
+        timeout: Option<SimDuration>,
+    },
+    /// Barrier like `JointFlush`, then dispatch one stream at a time in
+    /// ascending modeled-cost order.
+    ShortestJobFirst,
+}
+
+impl SchedPolicy {
+    /// Stable label (CSV column, CLI argument, trace record).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::JointFlush => "joint",
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::AdaptiveBatch { .. } => "adaptive",
+            SchedPolicy::ShortestJobFirst => "sjf",
+        }
+    }
+
+    /// Parse a CLI label: `joint`, `fcfs`, `sjf`, `adaptive` (k = 2, no
+    /// timer), or `adaptive:<k>`.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "joint" => Some(SchedPolicy::JointFlush),
+            "fcfs" => Some(SchedPolicy::Fcfs),
+            "sjf" => Some(SchedPolicy::ShortestJobFirst),
+            "adaptive" => Some(SchedPolicy::AdaptiveBatch {
+                k: 2,
+                timeout: None,
+            }),
+            _ => {
+                let k = s.strip_prefix("adaptive:")?.parse().ok()?;
+                (k >= 1).then_some(SchedPolicy::AdaptiveBatch { k, timeout: None })
+            }
+        }
+    }
+
+    /// May a flush cover a strict subset of the barriered ranks? Joint
+    /// flush never does; everything else may (recorded in the trace so the
+    /// conformance linter picks the matching flush-width rule).
+    pub fn partial_flush(&self) -> bool {
+        !matches!(self, SchedPolicy::JointFlush)
+    }
+
+    /// Instantiate the policy. `costs_ms[r]` is the modeled single-cycle
+    /// service estimate for rank `r`'s task (only `ShortestJobFirst` reads
+    /// it).
+    pub fn build(&self, costs_ms: Vec<f64>) -> Box<dyn Scheduler> {
+        match self {
+            SchedPolicy::JointFlush => Box::new(JointFlush),
+            SchedPolicy::Fcfs => Box::new(Fcfs),
+            SchedPolicy::AdaptiveBatch { k, timeout } => Box::new(AdaptiveBatch {
+                k: *k,
+                timeout: *timeout,
+            }),
+            SchedPolicy::ShortestJobFirst => Box::new(ShortestJobFirst { costs_ms }),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The GVM's dispatch oracle. All hooks receive `pending` — the barriered
+/// ranks in `STR` arrival order — and `active`, the current count of
+/// non-evicted, non-released ranks, and return zero or more flush groups.
+/// Rank indices in a returned group must come from `pending`; the GVM
+/// submits each group's streams in the given order.
+pub trait Scheduler {
+    /// The policy label (matches [`SchedPolicy::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Whether flushes may cover a strict subset of the barriered set
+    /// (drives the conformance linter's flush-width rule).
+    fn partial_flush(&self) -> bool;
+
+    /// Deadline relative to the first pending `STR` after which
+    /// [`Scheduler::on_deadline`] fires. `None` = no timer.
+    fn batch_timeout(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// A new `STR` arrived (it is the last element of `pending`).
+    fn on_str(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch>;
+
+    /// Group membership changed (eviction or release). The barrier that
+    /// was out of reach may now be satisfiable at the reduced width —
+    /// policies must re-evaluate here or stragglers hang (this hook *is*
+    /// the width re-arm; the serve loop no longer hard-codes one).
+    fn on_membership(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch>;
+
+    /// The [`Scheduler::batch_timeout`] deadline expired with `pending`
+    /// still barriered.
+    fn on_deadline(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch>;
+}
+
+/// `pending` sorted ascending — the paper's rank-index submission order.
+fn joint_group(pending: &[usize]) -> Vec<Dispatch> {
+    let mut group = pending.to_vec();
+    group.sort_unstable();
+    vec![group]
+}
+
+struct JointFlush;
+
+impl Scheduler for JointFlush {
+    fn name(&self) -> &'static str {
+        "joint"
+    }
+
+    fn partial_flush(&self) -> bool {
+        false
+    }
+
+    fn on_str(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        if !pending.is_empty() && pending.len() >= active {
+            joint_group(pending)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_membership(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        self.on_str(pending, active)
+    }
+
+    fn on_deadline(&mut self, pending: &[usize], _active: usize) -> Vec<Dispatch> {
+        if pending.is_empty() {
+            Vec::new()
+        } else {
+            joint_group(pending)
+        }
+    }
+}
+
+struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn partial_flush(&self) -> bool {
+        true
+    }
+
+    fn on_str(&mut self, pending: &[usize], _active: usize) -> Vec<Dispatch> {
+        pending.iter().map(|&r| vec![r]).collect()
+    }
+
+    fn on_membership(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        self.on_str(pending, active)
+    }
+
+    fn on_deadline(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        self.on_str(pending, active)
+    }
+}
+
+struct AdaptiveBatch {
+    k: usize,
+    timeout: Option<SimDuration>,
+}
+
+impl Scheduler for AdaptiveBatch {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn partial_flush(&self) -> bool {
+        true
+    }
+
+    fn batch_timeout(&self) -> Option<SimDuration> {
+        self.timeout
+    }
+
+    fn on_str(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        // Clamping to `active` is the eviction re-arm fix: a trigger of
+        // `k` ranks can never be met once fewer than `k` remain alive.
+        let trigger = self.k.min(active).max(1);
+        if pending.len() >= trigger {
+            joint_group(pending)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_membership(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        if pending.is_empty() {
+            Vec::new()
+        } else {
+            self.on_str(pending, active)
+        }
+    }
+
+    fn on_deadline(&mut self, pending: &[usize], _active: usize) -> Vec<Dispatch> {
+        if pending.is_empty() {
+            Vec::new()
+        } else {
+            joint_group(pending)
+        }
+    }
+}
+
+struct ShortestJobFirst {
+    costs_ms: Vec<f64>,
+}
+
+impl ShortestJobFirst {
+    /// Singleton groups in ascending modeled-cost order (rank index breaks
+    /// ties, keeping the schedule deterministic).
+    fn sorted_singletons(&self, pending: &[usize]) -> Vec<Dispatch> {
+        let mut order = pending.to_vec();
+        order.sort_by(|&a, &b| {
+            let ca = self.costs_ms.get(a).copied().unwrap_or(0.0);
+            let cb = self.costs_ms.get(b).copied().unwrap_or(0.0);
+            ca.partial_cmp(&cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.into_iter().map(|r| vec![r]).collect()
+    }
+}
+
+impl Scheduler for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn partial_flush(&self) -> bool {
+        true
+    }
+
+    fn on_str(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        if !pending.is_empty() && pending.len() >= active {
+            self.sorted_singletons(pending)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_membership(&mut self, pending: &[usize], active: usize) -> Vec<Dispatch> {
+        self.on_str(pending, active)
+    }
+
+    fn on_deadline(&mut self, pending: &[usize], _active: usize) -> Vec<Dispatch> {
+        if pending.is_empty() {
+            Vec::new()
+        } else {
+            self.sorted_singletons(pending)
+        }
+    }
+}
+
+/// The analytical execution profile of one declared task on the given
+/// device/node, in the model's millisecond units: staging plus H2D per
+/// iteration, wave-exact kernel estimates, D2H plus destaging.
+pub fn task_profile(task: &GpuTask, dev: &DeviceConfig, node: &NodeConfig) -> ExecutionProfile {
+    let iters = task.iterations as f64;
+    let h2d = node.memcpy_time(task.bytes_in).as_millis_f64()
+        + dev.copy_time(task.bytes_in, true, true).as_millis_f64();
+    let d2h = dev.copy_time(task.bytes_out, false, true).as_millis_f64()
+        + node.memcpy_time(task.bytes_out).as_millis_f64();
+    let comp: f64 = task
+        .kernels
+        .iter()
+        .map(|k| estimate_kernel_time(dev, &k.desc).as_millis_f64())
+        .sum();
+    ExecutionProfile {
+        t_init: 0.0,
+        t_ctx_switch: task.ctx_switch_cost.as_millis_f64(),
+        t_data_in: iters * h2d,
+        t_comp: iters * comp,
+        t_data_out: iters * d2h,
+    }
+}
+
+/// Modeled service estimate for one rank's task in ms: gv-model Eq. (4)
+/// evaluated at `n = 1` (one virtualized cycle, no sharing). Degenerate
+/// profiles (zero-work tasks) cost `0.0`.
+pub fn estimate_cost_ms(task: &GpuTask, dev: &DeviceConfig, node: &NodeConfig) -> f64 {
+    let profile = task_profile(task, dev, node);
+    if profile.is_valid() {
+        SpeedupModel::new(profile).total_vt(1)
+    } else {
+        0.0
+    }
+}
+
+/// A calibrated [`SchedPolicy::AdaptiveBatch`] timeout for a task mix:
+/// half the cheapest nonzero modeled service time. Waiting longer than
+/// that for stragglers costs more than dispatching the cheapest pending
+/// stream alone would.
+pub fn calibrated_batch_timeout(
+    tasks: &[GpuTask],
+    dev: &DeviceConfig,
+    node: &NodeConfig,
+) -> SimDuration {
+    let min = tasks
+        .iter()
+        .map(|t| estimate_cost_ms(t, dev, node))
+        .filter(|c| *c > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if min.is_finite() {
+        SimDuration::from_millis_f64(min / 2.0)
+    } else {
+        SimDuration::from_millis(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for label in ["joint", "fcfs", "adaptive", "sjf"] {
+            let p = SchedPolicy::parse(label).expect("known label");
+            assert_eq!(p.name(), label);
+        }
+        assert_eq!(
+            SchedPolicy::parse("adaptive:4"),
+            Some(SchedPolicy::AdaptiveBatch {
+                k: 4,
+                timeout: None
+            })
+        );
+        assert_eq!(SchedPolicy::parse("adaptive:0"), None);
+        assert_eq!(SchedPolicy::parse("rr"), None);
+    }
+
+    #[test]
+    fn joint_waits_for_full_width() {
+        let mut s = SchedPolicy::JointFlush.build(Vec::new());
+        assert!(s.on_str(&[2], 3).is_empty());
+        assert!(s.on_str(&[2, 0], 3).is_empty());
+        assert_eq!(s.on_str(&[2, 0, 1], 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn joint_rearms_on_membership_change() {
+        let mut s = SchedPolicy::JointFlush.build(Vec::new());
+        assert!(s.on_str(&[0, 2], 3).is_empty());
+        // Rank 1 evicted: the reduced width is now satisfied.
+        assert_eq!(s.on_membership(&[0, 2], 2), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn fcfs_dispatches_immediately_in_arrival_order() {
+        let mut s = SchedPolicy::Fcfs.build(Vec::new());
+        assert_eq!(s.on_str(&[2], 3), vec![vec![2]]);
+        assert_eq!(s.on_str(&[2, 0], 3), vec![vec![2], vec![0]]);
+    }
+
+    #[test]
+    fn adaptive_triggers_at_k_clamped_to_active() {
+        let mut s = SchedPolicy::AdaptiveBatch {
+            k: 3,
+            timeout: None,
+        }
+        .build(Vec::new());
+        assert!(s.on_str(&[1], 4).is_empty());
+        assert!(s.on_str(&[1, 3], 4).is_empty());
+        assert_eq!(s.on_str(&[1, 3, 0], 4), vec![vec![0, 1, 3]]);
+        // Only two ranks left alive: k = 3 clamps down to 2.
+        assert_eq!(s.on_str(&[1, 3], 2), vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn adaptive_deadline_flushes_whatever_is_pending() {
+        let mut s = SchedPolicy::AdaptiveBatch {
+            k: 8,
+            timeout: Some(SimDuration::from_millis(1)),
+        }
+        .build(Vec::new());
+        assert_eq!(s.batch_timeout(), Some(SimDuration::from_millis(1)));
+        assert!(s.on_str(&[5], 8).is_empty());
+        assert_eq!(s.on_deadline(&[5], 8), vec![vec![5]]);
+        assert!(s.on_deadline(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn sjf_orders_by_cost_then_rank() {
+        let mut s = SchedPolicy::ShortestJobFirst.build(vec![5.0, 1.0, 1.0, 0.5]);
+        assert!(s.on_str(&[0, 1], 4).is_empty());
+        assert_eq!(
+            s.on_str(&[0, 1, 2, 3], 4),
+            vec![vec![3], vec![1], vec![2], vec![0]]
+        );
+    }
+
+    #[test]
+    fn only_joint_is_non_partial() {
+        assert!(!SchedPolicy::JointFlush.partial_flush());
+        assert!(SchedPolicy::Fcfs.partial_flush());
+        assert!(SchedPolicy::ShortestJobFirst.partial_flush());
+        assert!(SchedPolicy::AdaptiveBatch {
+            k: 1,
+            timeout: None
+        }
+        .partial_flush());
+    }
+}

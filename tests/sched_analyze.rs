@@ -1,0 +1,223 @@
+//! `gv-analyze` coverage for non-joint scheduling traces.
+//!
+//! The conformance linter's flush-width rule is policy-dependent: joint
+//! traces must flush exactly the barriered set, while traces announcing a
+//! partial policy (`ProtoSched { partial: true }`) may flush any
+//! *non-empty subset* of it. These fixtures pin that relaxation against
+//! real end-to-end traces from every policy, prove the relaxed rule still
+//! rejects genuine violations, and exercise the idempotent-retry path
+//! under the reordering SJF policy (a duplicated request must neither
+//! corrupt results nor dirty the trace).
+
+use std::sync::Arc;
+
+use gvirt::analyze;
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{DeviceConfig, GpuDevice};
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::{vecadd, GpuTask};
+use gvirt::sim::{AnalysisRecord, SimDuration, SimTime, Simulation};
+use gvirt::virt::{
+    ClientPolicy, FaultPlan, FaultSpec, Gvm, GvmConfig, QueueSel, SchedPolicy, VgpuClient,
+};
+use parking_lot::Mutex;
+
+fn rank_tasks(cfg: &DeviceConfig, n: usize) -> Vec<GpuTask> {
+    (0..n)
+        .map(|r| {
+            let a: Vec<f32> = (0..96).map(|i| (i * (r + 1)) as f32).collect();
+            let b: Vec<f32> = (0..96).map(|i| (i + r * 7) as f32 * 0.5).collect();
+            vecadd::functional_task(cfg, &a, &b)
+        })
+        .collect()
+}
+
+/// Golden fixture per policy: a staggered 8-rank run under each scheduler
+/// analyzes clean, and the reordering policies genuinely exercise the
+/// relaxed rule (their GVM performed partial flushes).
+#[test]
+fn every_policy_trace_analyzes_clean() {
+    let n = 8;
+    for policy in [
+        SchedPolicy::JointFlush,
+        SchedPolicy::Fcfs,
+        SchedPolicy::AdaptiveBatch {
+            k: 3,
+            timeout: Some(SimDuration::from_micros(200)),
+        },
+        SchedPolicy::ShortestJobFirst,
+    ] {
+        let name = policy.name();
+        let sc = Scenario {
+            analyze: true,
+            ..Scenario::default()
+        }
+        .with_scheduler(policy)
+        .with_stagger(SimDuration::from_micros(150));
+        let tasks = rank_tasks(&sc.device, n);
+        let r = sc.run(ExecutionMode::Virtualized, tasks);
+        let report = r.analysis.as_ref().expect("analysis ran");
+        assert!(
+            report.is_clean(),
+            "{name}: trace must analyze clean:\n{}",
+            report.render()
+        );
+        let gvm = r.gvm.as_ref().unwrap();
+        if name == "fcfs" {
+            assert!(
+                gvm.partial_flushes > 0,
+                "fcfs staggered run must hit the relaxed flush-width rule"
+            );
+        }
+        // Every policy announces itself in the trace exactly once.
+        let records = r.tracer.as_ref().unwrap().analysis_snapshot();
+        let announcements: Vec<&str> = records
+            .iter()
+            .filter_map(|rec| match rec {
+                AnalysisRecord::ProtoSched { policy, .. } => Some(policy.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(announcements, vec![name], "one ProtoSched per trace");
+    }
+}
+
+/// Real policy traces survive the dump round-trip (the `sched` record
+/// included) and re-analyze to the same verdict.
+#[test]
+fn policy_trace_dump_roundtrips_and_stays_clean() {
+    let sc = Scenario {
+        analyze: true,
+        ..Scenario::default()
+    }
+    .with_scheduler(SchedPolicy::Fcfs)
+    .with_stagger(SimDuration::from_micros(100));
+    let tasks = rank_tasks(&sc.device, 4);
+    let r = sc.run(ExecutionMode::Virtualized, tasks);
+    let records = r.tracer.as_ref().unwrap().analysis_snapshot();
+    let dump = analyze::model::to_dump(&records);
+    assert!(dump.contains("sched "), "dump carries the policy record");
+    let parsed = analyze::model::parse_dump(&dump).expect("dump parses");
+    assert_eq!(parsed.len(), records.len());
+    assert!(analyze::analyze(&parsed).is_clean());
+}
+
+/// The relaxed rule is *not* a free pass: a partial-policy trace whose
+/// flush covers a rank that never barriered — or covers nobody — is
+/// still a conformance violation.
+#[test]
+fn relaxed_rule_still_rejects_real_violations() {
+    let sched = AnalysisRecord::ProtoSched {
+        time: SimTime::ZERO,
+        policy: "fcfs".to_string(),
+        partial: true,
+    };
+    let str0 = AnalysisRecord::Proto {
+        time: SimTime::ZERO + SimDuration::from_micros(1),
+        rank: 0,
+        kind: "STR",
+        seq: 1,
+    };
+    let unbarriered = vec![
+        sched.clone(),
+        str0.clone(),
+        AnalysisRecord::ProtoFlush {
+            time: SimTime::ZERO + SimDuration::from_micros(2),
+            ranks: vec![1], // rank 1 never sent STR
+        },
+    ];
+    assert!(
+        !analyze::analyze(&unbarriered).is_clean(),
+        "flushing an unbarriered rank must stay a violation"
+    );
+    let empty = vec![
+        sched,
+        str0,
+        AnalysisRecord::ProtoFlush {
+            time: SimTime::ZERO + SimDuration::from_micros(2),
+            ranks: vec![],
+        },
+    ];
+    assert!(
+        !analyze::analyze(&empty).is_clean(),
+        "an empty flush must stay a violation even under partial policies"
+    );
+}
+
+/// SJF retry-reorder idempotence: duplicate a request-queue message under
+/// the reordering SJF policy. The seq-numbered idempotent server must
+/// ignore the replay — outputs stay bit-exact and the trace stays clean.
+#[test]
+fn sjf_duplicated_request_is_idempotent_and_clean() {
+    for nth in [2u64, 5, 9] {
+        let n = 4;
+        let mut sim = Simulation::new();
+        sim.tracer().set_analysis(true);
+        let cfg = DeviceConfig::tesla_c2070_paper();
+        let device = GpuDevice::install(&mut sim, cfg.clone());
+        let cuda = CudaDevice::new(device.clone());
+        let node = Node::new(NodeConfig::dual_xeon_x5560());
+        let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+            .map(|r| {
+                let a: Vec<f32> = (0..48).map(|i| (i * (r + 1)) as f32).collect();
+                let b: Vec<f32> = (0..48).map(|i| (i + r * 9) as f32).collect();
+                (a, b)
+            })
+            .collect();
+        let tasks: Vec<GpuTask> = inputs
+            .iter()
+            .map(|(a, b)| vecadd::functional_task(&cfg, a, b))
+            .collect();
+        let config = GvmConfig::fault_tolerant(n).with_scheduler(SchedPolicy::ShortestJobFirst);
+        let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
+        let plan = FaultPlan::new(7).push(FaultSpec::MqDuplicate {
+            queue: QueueSel::Request,
+            nth,
+        });
+        plan.install(&handle, &device);
+        type Outs = Arc<Mutex<Vec<(usize, Vec<u8>)>>>;
+        let outs: Outs = Arc::new(Mutex::new(Vec::new()));
+        for rank in 0..n {
+            let handle = handle.clone();
+            let outs = outs.clone();
+            node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                let client = VgpuClient::connect_with_policy(
+                    ctx,
+                    &handle,
+                    rank,
+                    ClientPolicy::with_timeout(SimDuration::from_millis(50), 5),
+                );
+                let (_, out) = client.run_task(ctx);
+                outs.lock().push((rank, out.expect("functional output")));
+            })
+            .unwrap();
+        }
+        let h2 = handle.clone();
+        let dev2 = device.clone();
+        sim.spawn("supervisor", move |ctx| {
+            h2.done.wait(ctx);
+            dev2.shutdown(ctx);
+        });
+        let tracer = sim.tracer();
+        sim.run().unwrap();
+        let mut outs = Arc::try_unwrap(outs)
+            .unwrap_or_else(|_| panic!("outputs still shared"))
+            .into_inner();
+        outs.sort_by_key(|(r, _)| *r);
+        for (rank, bytes) in &outs {
+            let (a, b) = &inputs[*rank];
+            let got: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            assert_eq!(&got, &vecadd::reference(a, b), "nth={nth} rank {rank}");
+        }
+        let report = analyze::analyze_tracer(&tracer);
+        assert!(
+            report.is_clean(),
+            "nth={nth}: duplicated request dirtied the trace:\n{}",
+            report.render()
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Property tests and regressions for the pluggable GVM schedulers.
+//!
+//! Properties, over random task mixes, group sizes, and arrival skews:
+//!
+//! * **work conservation** — every `STR` a rank submits is eventually
+//!   flushed: the group always completes, and the per-policy flush counts
+//!   match the policy's dispatch shape exactly (joint: one group flush;
+//!   FCFS/SJF: one flush per rank).
+//! * **no starvation** — every rank finishes with causally ordered phases
+//!   under every policy, staggered or not.
+//! * **determinism** — the simulation is a pure function of (policy,
+//!   tasks, stagger): two identical runs agree on every timestamp, output
+//!   byte, and counter.
+//! * **degenerate adaptivity** — `AdaptiveBatch { k: n, timeout: None }`
+//!   is observationally equal to `JointFlush`.
+//!
+//! Regressions: a rank evicted *while the group is mid-`STR`* must re-arm
+//! the barrier at the reduced width under the non-joint policies (the
+//! full-width re-arm bug the scheduler extraction fixed).
+
+use std::sync::Arc;
+
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{DeviceConfig, GpuDevice};
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::{vecadd, GpuTask};
+use gvirt::sim::{SimDuration, Simulation};
+use gvirt::virt::{
+    ClientPolicy, FaultPlan, FaultSpec, Gvm, GvmConfig, RequestKind, SchedPolicy, TaskError,
+    VgpuClient,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// Rank-distinct functional vecadd tasks, `len` floats each.
+fn vecadd_tasks(cfg: &DeviceConfig, n: usize, len: usize) -> Vec<GpuTask> {
+    (0..n)
+        .map(|rank| {
+            let a: Vec<f32> = (0..len).map(|i| (i * (rank + 2)) as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i + rank * 31) as f32 * 0.5).collect();
+            vecadd::functional_task(cfg, &a, &b)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Work conservation and starvation freedom: every rank completes
+    /// under every policy, phases stay causally ordered, and the flush
+    /// counters account for every submitted `STR`.
+    #[test]
+    fn every_policy_conserves_work(
+        n in 1usize..=8,
+        len in 16usize..128,
+        stagger_us in 0u64..400,
+        seed in 0u32..1000,
+    ) {
+        let _ = seed; // exercised via len/stagger; kept for shrink variety
+        for policy in [
+            SchedPolicy::JointFlush,
+            SchedPolicy::Fcfs,
+            SchedPolicy::AdaptiveBatch { k: (n / 2).max(1), timeout: Some(SimDuration::from_micros(300)) },
+            SchedPolicy::ShortestJobFirst,
+        ] {
+            let name = policy.name();
+            let sc = Scenario::default()
+                .with_scheduler(policy)
+                .with_stagger(SimDuration::from_micros(stagger_us));
+            let tasks = vecadd_tasks(&sc.device, n, len);
+            let r = sc.run(ExecutionMode::Virtualized, tasks);
+            prop_assert_eq!(r.runs.len(), n, "{}: every rank reports", name);
+            for run in &r.runs {
+                prop_assert!(run.start <= run.init_done, "{}", name);
+                prop_assert!(run.init_done <= run.data_in_done, "{}", name);
+                prop_assert!(run.data_in_done <= run.comp_done, "{}", name);
+                prop_assert!(run.comp_done <= run.data_out_done, "{}", name);
+                prop_assert!(run.data_out_done <= run.end, "{}", name);
+            }
+            let gvm = r.gvm.as_ref().unwrap();
+            match name {
+                // One joint flush covering the whole group.
+                "joint" => {
+                    prop_assert_eq!(gvm.flushes, 1, "joint: single group flush");
+                    prop_assert_eq!(gvm.partial_flushes, 0, "joint: never partial");
+                }
+                // One flush per rank, queue never deeper than one.
+                "fcfs" => {
+                    prop_assert_eq!(gvm.flushes, n as u64, "fcfs: one flush per STR");
+                    prop_assert!(gvm.queue_depth_max <= 1, "fcfs: immediate dispatch");
+                }
+                // Singleton groups released at the full barrier.
+                "sjf" => prop_assert_eq!(gvm.flushes, n as u64, "sjf: one flush per rank"),
+                // Between 1 and n flushes, all STRs accounted for.
+                _ => prop_assert!(
+                    gvm.flushes >= 1 && gvm.flushes <= n as u64,
+                    "adaptive: 1..=n flushes, got {}", gvm.flushes
+                ),
+            }
+        }
+    }
+
+    /// Determinism: the same (policy, tasks, stagger) triple replays to
+    /// bit-identical timestamps, outputs, and counters.
+    #[test]
+    fn scheduling_is_deterministic(
+        n in 1usize..=6,
+        len in 16usize..96,
+        stagger_us in 0u64..300,
+        policy_pick in 0usize..4,
+    ) {
+        let policies = [
+            SchedPolicy::JointFlush,
+            SchedPolicy::Fcfs,
+            SchedPolicy::AdaptiveBatch { k: 2.min(n), timeout: Some(SimDuration::from_micros(150)) },
+            SchedPolicy::ShortestJobFirst,
+        ];
+        let policy = policies[policy_pick].clone();
+        let run = || {
+            let sc = Scenario::default()
+                .with_scheduler(policy.clone())
+                .with_stagger(SimDuration::from_micros(stagger_us));
+            let tasks = vecadd_tasks(&sc.device, n, len);
+            sc.run(ExecutionMode::Virtualized, tasks)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.outputs, b.outputs, "outputs replay identically");
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.end, y.end);
+        }
+        let (ga, gb) = (a.gvm.unwrap(), b.gvm.unwrap());
+        prop_assert_eq!(ga.flushes, gb.flushes);
+        prop_assert_eq!(ga.partial_flushes, gb.partial_flushes);
+        prop_assert_eq!(ga.idle_gap, gb.idle_gap);
+    }
+
+    /// `AdaptiveBatch { k: n, timeout: None }` degenerates to the joint
+    /// flush: identical outputs, flush count, and completion time.
+    #[test]
+    fn full_width_adaptive_equals_joint(
+        n in 1usize..=8,
+        len in 16usize..96,
+        stagger_us in 0u64..300,
+    ) {
+        let run = |policy: SchedPolicy| {
+            let sc = Scenario::default()
+                .with_scheduler(policy)
+                .with_stagger(SimDuration::from_micros(stagger_us));
+            let tasks = vecadd_tasks(&sc.device, n, len);
+            sc.run(ExecutionMode::Virtualized, tasks)
+        };
+        let joint = run(SchedPolicy::JointFlush);
+        let adaptive = run(SchedPolicy::AdaptiveBatch { k: n, timeout: None });
+        prop_assert_eq!(&joint.outputs, &adaptive.outputs);
+        prop_assert_eq!(joint.gvm.as_ref().unwrap().flushes, adaptive.gvm.as_ref().unwrap().flushes);
+        let end = |r: &gvirt::harness::scenario::ExperimentResult| {
+            r.runs.iter().map(|x| x.end).max().unwrap()
+        };
+        prop_assert_eq!(end(&joint), end(&adaptive), "identical completion time");
+    }
+}
+
+/// Fault-tolerant group under `policy`: rank `victim` aborts at `stage`;
+/// returns survivor results and GVM stats.
+#[allow(clippy::type_complexity)]
+fn run_ft_with_policy(
+    n: usize,
+    victim: usize,
+    stage: RequestKind,
+    policy: SchedPolicy,
+) -> (
+    Vec<(usize, Result<Option<Vec<u8>>, TaskError>)>,
+    gvirt::virt::GvmStats,
+    Vec<Vec<f32>>,
+) {
+    let mut sim = Simulation::new();
+    let cfg = DeviceConfig::tesla_c2070_paper();
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let cuda = CudaDevice::new(device.clone());
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let inputs: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .map(|r| {
+            let a: Vec<f32> = (0..64).map(|i| (i * (r + 1)) as f32).collect();
+            let b: Vec<f32> = (0..64).map(|i| (i + r * 100) as f32).collect();
+            (a, b)
+        })
+        .collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|(a, b)| vecadd::reference(a, b))
+        .collect();
+    let tasks: Vec<GpuTask> = inputs
+        .iter()
+        .map(|(a, b)| vecadd::functional_task(&cfg, a, b))
+        .collect();
+    let config = GvmConfig::fault_tolerant(n).with_scheduler(policy);
+    let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
+    let plan = FaultPlan::new(1).push(FaultSpec::ClientAbort {
+        rank: victim,
+        stage,
+    });
+    plan.install(&handle, &device);
+    type Results = Arc<Mutex<Vec<(usize, Result<Option<Vec<u8>>, TaskError>)>>>;
+    let results: Results = Arc::new(Mutex::new(Vec::new()));
+    for rank in 0..n {
+        let handle = handle.clone();
+        let results = results.clone();
+        let abort = plan.abort_stage(rank);
+        node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+            let mut client = VgpuClient::connect_with_policy(
+                ctx,
+                &handle,
+                rank,
+                ClientPolicy::with_timeout(SimDuration::from_millis(50), 5),
+            );
+            if let Some(stage) = abort {
+                client.abort_at(stage);
+            }
+            let res = client.try_run_task(ctx).map(|(_, out)| out);
+            results.lock().push((rank, res));
+        })
+        .unwrap();
+    }
+    let h2 = handle.clone();
+    let dev2 = device.clone();
+    sim.spawn("supervisor", move |ctx| {
+        h2.done.wait(ctx);
+        dev2.shutdown(ctx);
+    });
+    sim.run().unwrap();
+    let mut results = Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("results still shared"))
+        .into_inner();
+    results.sort_by_key(|(r, _)| *r);
+    let stats = handle.stats.lock().clone();
+    (results, stats, expected)
+}
+
+fn f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Check one eviction scenario: victim reports its abort, every survivor
+/// gets bit-exact output, exactly one eviction.
+fn assert_survivors_complete(policy: SchedPolicy, stage: RequestKind) {
+    let (n, victim) = (8, 3);
+    let name = policy.name();
+    let (results, stats, expected) = run_ft_with_policy(n, victim, stage, policy);
+    assert_eq!(
+        results[victim].1,
+        Err(TaskError::Aborted { stage }),
+        "{name}: victim reports abort"
+    );
+    for rank in (0..n).filter(|&r| r != victim) {
+        let out = results[rank]
+            .1
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name}: rank {rank} failed: {e}"))
+            .as_ref()
+            .expect("functional output");
+        assert_eq!(f32s(out), expected[rank], "{name}: rank {rank} bytes");
+    }
+    assert_eq!(stats.evictions, 1, "{name}: exactly one eviction");
+}
+
+/// Regression: a rank dying *before its `STR`* under FCFS must not wedge
+/// the group — survivors dispatch individually and complete.
+#[test]
+fn fcfs_survives_eviction_during_str() {
+    assert_survivors_complete(SchedPolicy::Fcfs, RequestKind::Str);
+}
+
+/// Regression for the full-width re-arm bug: `AdaptiveBatch { k: n }`
+/// must clamp its trigger to the post-eviction width (`k.min(active)`),
+/// or the barrier waits forever for the evicted rank's `STR`.
+#[test]
+fn adaptive_full_width_rearms_at_reduced_width_after_eviction() {
+    for stage in [RequestKind::Snd, RequestKind::Str] {
+        assert_survivors_complete(
+            SchedPolicy::AdaptiveBatch {
+                k: 8,
+                timeout: None,
+            },
+            stage,
+        );
+    }
+}
+
+/// The joint policy (paper default) and SJF also ride the same
+/// membership-change path: evictions mid-protocol never strand survivors.
+#[test]
+fn joint_and_sjf_survive_eviction_during_str() {
+    assert_survivors_complete(SchedPolicy::JointFlush, RequestKind::Str);
+    assert_survivors_complete(SchedPolicy::ShortestJobFirst, RequestKind::Str);
+}
