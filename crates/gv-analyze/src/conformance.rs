@@ -185,7 +185,10 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                 }
                 lint.stage = Stage::target_of(kind);
             }
-            AnalysisRecord::ProtoFlush { time, ranks: flushed } => {
+            AnalysisRecord::ProtoFlush {
+                time,
+                ranks: flushed,
+            } => {
                 let barriered: BTreeSet<usize> = ranks
                     .iter()
                     .filter(|(_, l)| l.stage == Stage::Barriered)
@@ -305,7 +308,9 @@ mod tests {
         ];
         let d = check(&recs);
         assert_eq!(d.len(), 1, "{d:?}");
-        assert!(d[0].message.contains("SND (seq 1) is illegal in stage 'init'"));
+        assert!(d[0]
+            .message
+            .contains("SND (seq 1) is illegal in stage 'init'"));
     }
 
     #[test]
@@ -351,7 +356,9 @@ mod tests {
         ];
         let d = check(&recs);
         assert!(!d.is_empty());
-        assert!(d[0].message.contains("STP (seq 4) is illegal in stage 'barriered'"));
+        assert!(d[0]
+            .message
+            .contains("STP (seq 4) is illegal in stage 'barriered'"));
     }
 
     #[test]
@@ -374,7 +381,10 @@ mod tests {
             proto(14, 1, "RLS", 6),
         ];
         let d = check(&recs);
-        assert!(d.iter().any(|d| d.message.contains("flush width mismatch")), "{d:?}");
+        assert!(
+            d.iter().any(|d| d.message.contains("flush width mismatch")),
+            "{d:?}"
+        );
     }
 
     fn sched(partial: bool) -> AnalysisRecord {

@@ -183,9 +183,7 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                 diag(
                     &mut diagnostics,
                     *since,
-                    format!(
-                        "device {device} engine {engine}: transfer '{label}' never completed"
-                    ),
+                    format!("device {device} engine {engine}: transfer '{label}' never completed"),
                 );
             }
         }
@@ -296,7 +294,11 @@ mod tests {
         ];
         let d = check(&recs);
         assert_eq!(d.len(), 1);
-        assert!(d[0].message.contains("'cmd-2' started while 'cmd-1'"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("'cmd-2' started while 'cmd-1'"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]
@@ -312,7 +314,11 @@ mod tests {
         ];
         let d = check(&recs);
         assert_eq!(d.len(), 1);
-        assert!(d[0].message.contains("'k-3' admitted with 2 kernels"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("'k-3' admitted with 2 kernels"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]
@@ -347,7 +353,12 @@ mod tests {
         ];
         let d = check(&recs);
         assert_eq!(d.len(), 1);
-        assert!(d[0].message.contains("1 allocation(s) never freed (512 bytes leaked"), "{}", d[0].message);
+        assert!(
+            d[0].message
+                .contains("1 allocation(s) never freed (512 bytes leaked"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]

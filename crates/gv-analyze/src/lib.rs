@@ -1,7 +1,7 @@
 //! Trace-based static analysis for the GVM simulator.
 //!
 //! Deterministic runs produce [`AnalysisRecord`] streams (enable with
-//! [`Tracer::set_analysis`]); this crate replays them through three
+//! [`Tracer::set_analysis`]); this crate replays them through four
 //! checkers, none of which re-executes the simulation:
 //!
 //! * [`race`] — a vector-clock happens-before detector over shared-memory
@@ -15,6 +15,10 @@
 //! * [`device`] — device-invariant checking over GPU engine events: copy
 //!   engines serve one transfer at a time, the concurrent-kernel window
 //!   never exceeds the device cap, and allocations balance to zero.
+//! * [`staging`] — buffer-lifecycle invariants over the `gv-mem` layer's
+//!   records: chunk spans tile their payload exactly once, and a pooled
+//!   staging buffer is never recycled while a copy referencing it is in
+//!   flight (use-after-recycle).
 //!
 //! [`model`] adds a line-oriented dump format so traces can be written by a
 //! run (`--analyze --dump-trace` in the harness) and re-checked offline by
@@ -26,6 +30,7 @@ pub mod conformance;
 pub mod device;
 pub mod model;
 pub mod race;
+pub mod staging;
 
 use gv_sim::trace::Tracer;
 use gv_sim::{AnalysisRecord, SimTime};
@@ -33,7 +38,8 @@ use gv_sim::{AnalysisRecord, SimTime};
 /// One finding from a checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Which checker produced it: `"race"`, `"conformance"`, `"device"`.
+    /// Which checker produced it: `"race"`, `"conformance"`, `"device"`,
+    /// `"staging"`.
     pub checker: &'static str,
     /// Simulated time of the offending event.
     pub time: SimTime,
@@ -64,6 +70,9 @@ pub struct Report {
     pub proto_messages: usize,
     /// Device engine/memory events examined by the invariant checker.
     pub device_events: usize,
+    /// Staging-layer events (chunk spans, pool acquire/recycle) examined
+    /// by the staging checker.
+    pub staging_events: usize,
 }
 
 impl Report {
@@ -85,11 +94,12 @@ impl Report {
     /// One-line summary suitable for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device events",
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging events",
             self.diagnostics.len(),
             self.shm_accesses,
             self.proto_messages,
-            self.device_events
+            self.device_events,
+            self.staging_events
         )
     }
 }
@@ -111,11 +121,15 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             | AnalysisRecord::KernelEnd { .. }
             | AnalysisRecord::Alloc { .. }
             | AnalysisRecord::Free { .. } => report.device_events += 1,
+            AnalysisRecord::StageChunk { .. }
+            | AnalysisRecord::PoolAcquire { .. }
+            | AnalysisRecord::PoolRecycle { .. } => report.staging_events += 1,
         }
     }
     report.diagnostics.extend(race::check(records));
     report.diagnostics.extend(conformance::check(records));
     report.diagnostics.extend(device::check(records));
+    report.diagnostics.extend(staging::check(records));
     report
 }
 

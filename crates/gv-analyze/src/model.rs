@@ -18,6 +18,9 @@
 //! kerne t=400 dev=0 label=vecadd-3
 //! alloc t=50 dev=0 id=1 bytes=4096
 //! free t=500 dev=0 id=1
+//! poolacq t=60 buf=3 bytes=8192 hit=1
+//! chunk t=80 rank=2 xfer=11 dir=in off=0 len=4096 payload=8192 buf=3 label=cmd-12
+//! poolrec t=600 buf=3
 //! ```
 //!
 //! Free-text fields (process and segment names, command labels) are
@@ -60,7 +63,9 @@ fn esc(s: &str) -> String {
 }
 
 fn unesc(s: &str) -> String {
-    s.replace("%20", " ").replace("%0A", "\n").replace("%25", "%")
+    s.replace("%20", " ")
+        .replace("%0A", "\n")
+        .replace("%25", "%")
 }
 
 fn clock_str(c: &VClock) -> String {
@@ -207,6 +212,42 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             }
             AnalysisRecord::Free { time, device, id } => {
                 let _ = writeln!(out, "free t={} dev={device} id={id}", time.as_nanos());
+            }
+            AnalysisRecord::StageChunk {
+                time,
+                rank,
+                xfer,
+                h2d,
+                offset,
+                len,
+                payload,
+                buf,
+                label,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "chunk t={} rank={rank} xfer={xfer} dir={} off={offset} len={len} \
+                     payload={payload} buf={buf} label={}",
+                    time.as_nanos(),
+                    if *h2d { "in" } else { "out" },
+                    esc(label)
+                );
+            }
+            AnalysisRecord::PoolAcquire {
+                time,
+                buf,
+                bytes,
+                hit,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "poolacq t={} buf={buf} bytes={bytes} hit={}",
+                    time.as_nanos(),
+                    u8::from(*hit)
+                );
+            }
+            AnalysisRecord::PoolRecycle { time, buf } => {
+                let _ = writeln!(out, "poolrec t={} buf={buf}", time.as_nanos());
             }
         }
     }
@@ -388,6 +429,45 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 device: f.num("dev")?,
                 id: f.num("id")?,
             },
+            "chunk" => AnalysisRecord::StageChunk {
+                time: f.time()?,
+                rank: f.num("rank")?,
+                xfer: f.num("xfer")?,
+                h2d: match f.get("dir")? {
+                    "in" => true,
+                    "out" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'dir' must be 'in' or 'out', got '{other}'"),
+                        })
+                    }
+                },
+                offset: f.num("off")?,
+                len: f.num("len")?,
+                payload: f.num("payload")?,
+                buf: f.num("buf")?,
+                label: unesc(f.get("label")?),
+            },
+            "poolacq" => AnalysisRecord::PoolAcquire {
+                time: f.time()?,
+                buf: f.num("buf")?,
+                bytes: f.num("bytes")?,
+                hit: match f.get("hit")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'hit' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+            },
+            "poolrec" => AnalysisRecord::PoolRecycle {
+                time: f.time()?,
+                buf: f.num("buf")?,
+            },
             other => {
                 return Err(DumpParseError {
                     line: line_no,
@@ -471,6 +551,38 @@ mod tests {
                 time: SimTime::from_nanos(90),
                 device: 0,
                 id: 5,
+            },
+            AnalysisRecord::PoolAcquire {
+                time: SimTime::from_nanos(95),
+                buf: 3,
+                bytes: 8192,
+                hit: true,
+            },
+            AnalysisRecord::StageChunk {
+                time: SimTime::from_nanos(100),
+                rank: 2,
+                xfer: 11,
+                h2d: true,
+                offset: 4096,
+                len: 4096,
+                payload: 8192,
+                buf: 3,
+                label: "cmd-12".to_string(),
+            },
+            AnalysisRecord::StageChunk {
+                time: SimTime::from_nanos(105),
+                rank: 2,
+                xfer: 12,
+                h2d: false,
+                offset: 0,
+                len: 8192,
+                payload: 8192,
+                buf: 0,
+                label: String::new(),
+            },
+            AnalysisRecord::PoolRecycle {
+                time: SimTime::from_nanos(110),
+                buf: 3,
             },
         ]
     }

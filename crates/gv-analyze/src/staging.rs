@@ -1,0 +1,306 @@
+//! Buffer-lifecycle invariants over the `gv-mem` staging layer's records.
+//!
+//! The staging layer (pinned pool + chunked transfer planner) emits three
+//! record kinds: [`AnalysisRecord::PoolAcquire`] /
+//! [`AnalysisRecord::PoolRecycle`] bracket a buffer's lease, and
+//! [`AnalysisRecord::StageChunk`] describes each span of a (possibly
+//! chunked) payload transfer, carrying the pool buffer backing it and the
+//! engine command label when an async copy was issued for the span.
+//!
+//! Invariants checked:
+//!
+//! * **Tiling** — the spans of one transfer group (`xfer` id) cover
+//!   `[0, payload)` exactly once: no gap, no overlap, consistent payload.
+//! * **Use-after-recycle** — a pool buffer is never recycled while an
+//!   engine copy referencing it (a `StageChunk` label without a matching
+//!   [`AnalysisRecord::CopyEnd`]) is still in flight.
+//! * **Lease discipline** — no double-acquire of a live buffer, no recycle
+//!   of a buffer that is not live, and no span staged into a pool buffer
+//!   outside its lease.
+//!
+//! Copy-engine exclusivity for the chunked copies themselves is already
+//! enforced by [`crate::device`] over the same trace.
+
+use std::collections::HashMap;
+
+use gv_sim::{AnalysisRecord, SimTime};
+
+use crate::Diagnostic;
+
+fn diag(time: SimTime, message: String) -> Diagnostic {
+    Diagnostic {
+        checker: "staging",
+        time,
+        message,
+    }
+}
+
+/// One transfer group accumulated from its spans.
+struct XferGroup {
+    time: SimTime,
+    rank: usize,
+    h2d: bool,
+    payload: u64,
+    /// (offset, len) spans in arrival order.
+    spans: Vec<(u64, u64)>,
+}
+
+/// Replay `records` and report every staging-invariant violation.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // buf id → size-class capacity, for currently-leased pool buffers.
+    let mut live: HashMap<u64, u64> = HashMap::new();
+    // engine command label → pool buf id, for submitted-but-unfinished
+    // copies that read or write a pooled staging buffer.
+    let mut in_flight: HashMap<String, u64> = HashMap::new();
+    let mut groups: HashMap<u64, XferGroup> = HashMap::new();
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::PoolAcquire {
+                time, buf, bytes, ..
+            } => {
+                let prev = live.insert(*buf, *bytes);
+                if prev.is_some() {
+                    out.push(diag(
+                        *time,
+                        format!("pool buffer {buf} acquired while already leased"),
+                    ));
+                }
+            }
+            AnalysisRecord::PoolRecycle { time, buf } => {
+                if live.remove(buf).is_none() {
+                    out.push(diag(
+                        *time,
+                        format!("pool buffer {buf} recycled without a live lease"),
+                    ));
+                }
+                for (label, b) in &in_flight {
+                    if b == buf {
+                        out.push(diag(
+                            *time,
+                            format!(
+                                "use-after-recycle: pool buffer {buf} recycled while copy \
+                                 '{label}' referencing it is still in flight"
+                            ),
+                        ));
+                    }
+                }
+            }
+            AnalysisRecord::StageChunk {
+                time,
+                rank,
+                xfer,
+                h2d,
+                offset,
+                len,
+                payload,
+                buf,
+                label,
+            } => {
+                if *buf != 0 && !live.contains_key(buf) {
+                    out.push(diag(
+                        *time,
+                        format!("rank {rank} staged span into pool buffer {buf} outside its lease"),
+                    ));
+                }
+                if *buf != 0 && !label.is_empty() {
+                    in_flight.insert(label.clone(), *buf);
+                }
+                let g = groups.entry(*xfer).or_insert_with(|| XferGroup {
+                    time: *time,
+                    rank: *rank,
+                    h2d: *h2d,
+                    payload: *payload,
+                    spans: Vec::new(),
+                });
+                if g.payload != *payload || g.rank != *rank || g.h2d != *h2d {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "transfer {xfer}: span disagrees with its group \
+                             (rank {}/{rank}, payload {}/{payload})",
+                            g.rank, g.payload
+                        ),
+                    ));
+                }
+                g.spans.push((*offset, *len));
+            }
+            AnalysisRecord::CopyEnd { label, .. } => {
+                in_flight.remove(label);
+            }
+            _ => {}
+        }
+    }
+
+    // End-of-trace sweep: every transfer group must tile its payload.
+    let mut ordered: Vec<(&u64, &XferGroup)> = groups.iter().collect();
+    ordered.sort_by_key(|(id, _)| **id);
+    for (xfer, g) in ordered {
+        let dir = if g.h2d { "in" } else { "out" };
+        let mut spans = g.spans.clone();
+        spans.sort_unstable();
+        let mut cursor = 0u64;
+        let mut broken = false;
+        for &(off, len) in &spans {
+            if off != cursor {
+                let kind = if off < cursor { "overlap" } else { "gap" };
+                out.push(diag(
+                    g.time,
+                    format!(
+                        "transfer {xfer} (rank {}, {dir}): {kind} at byte {} \
+                         (span starts at {off})",
+                        g.rank,
+                        cursor.min(off)
+                    ),
+                ));
+                broken = true;
+                break;
+            }
+            cursor += len;
+        }
+        if !broken && cursor != g.payload {
+            out.push(diag(
+                g.time,
+                format!(
+                    "transfer {xfer} (rank {}, {dir}): spans cover {cursor} of \
+                     {} payload bytes",
+                    g.rank, g.payload
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn acq(ns: u64, buf: u64, bytes: u64) -> AnalysisRecord {
+        AnalysisRecord::PoolAcquire {
+            time: t(ns),
+            buf,
+            bytes,
+            hit: false,
+        }
+    }
+
+    fn rec(ns: u64, buf: u64) -> AnalysisRecord {
+        AnalysisRecord::PoolRecycle { time: t(ns), buf }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn chunk(
+        ns: u64,
+        xfer: u64,
+        off: u64,
+        len: u64,
+        payload: u64,
+        buf: u64,
+        label: &str,
+    ) -> AnalysisRecord {
+        AnalysisRecord::StageChunk {
+            time: t(ns),
+            rank: 0,
+            xfer,
+            h2d: true,
+            offset: off,
+            len,
+            payload,
+            buf,
+            label: label.to_string(),
+        }
+    }
+
+    fn copye(ns: u64, label: &str) -> AnalysisRecord {
+        AnalysisRecord::CopyEnd {
+            time: t(ns),
+            device: 0,
+            engine: 0,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_chunked_transfer_passes() {
+        let recs = vec![
+            acq(10, 1, 8192),
+            chunk(20, 7, 0, 4096, 8192, 1, "cmd-1"),
+            chunk(30, 7, 4096, 4096, 8192, 1, "cmd-2"),
+            copye(40, "cmd-1"),
+            copye(50, "cmd-2"),
+            rec(60, 1),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn gap_in_spans_detected() {
+        let recs = vec![
+            acq(10, 1, 8192),
+            chunk(20, 7, 0, 4096, 8192, 1, ""),
+            // bytes 4096..8192 never staged
+        ];
+        let ds = check(&recs);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert!(ds[0].message.contains("4096 of 8192"));
+    }
+
+    #[test]
+    fn overlapping_spans_detected() {
+        let recs = vec![
+            acq(10, 1, 8192),
+            chunk(20, 7, 0, 4096, 8192, 1, ""),
+            chunk(30, 7, 2048, 4096, 8192, 1, ""),
+        ];
+        let ds = check(&recs);
+        assert!(ds.iter().any(|d| d.message.contains("overlap")), "{ds:?}");
+    }
+
+    #[test]
+    fn use_after_recycle_detected() {
+        let recs = vec![
+            acq(10, 3, 4096),
+            chunk(20, 7, 0, 4096, 4096, 3, "cmd-9"),
+            rec(30, 3), // recycled before cmd-9 completed
+            copye(40, "cmd-9"),
+        ];
+        let ds = check(&recs);
+        assert!(
+            ds.iter().any(|d| d.message.contains("use-after-recycle")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn recycle_after_copy_end_is_clean() {
+        let recs = vec![
+            acq(10, 3, 4096),
+            chunk(20, 7, 0, 4096, 4096, 3, "cmd-9"),
+            copye(30, "cmd-9"),
+            rec(40, 3),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn lease_discipline_violations_detected() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            acq(20, 1, 4096),                   // double acquire
+            rec(30, 2),                         // recycle of unleased buf
+            chunk(40, 7, 0, 4096, 4096, 9, ""), // staged outside any lease
+        ];
+        let ds = check(&recs);
+        assert!(ds.iter().any(|d| d.message.contains("already leased")));
+        assert!(ds
+            .iter()
+            .any(|d| d.message.contains("without a live lease")));
+        assert!(ds.iter().any(|d| d.message.contains("outside its lease")));
+    }
+}

@@ -62,9 +62,16 @@ fn clean_gvm_run(nranks: usize, elems: usize) -> gv_sim::trace::Tracer {
 fn clean_run_reports_zero_diagnostics() {
     let tracer = clean_gvm_run(2, 256);
     let report = gv_analyze::analyze_tracer(&tracer);
-    assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    assert!(
+        report.is_clean(),
+        "unexpected diagnostics:\n{}",
+        report.render()
+    );
     assert!(report.shm_accesses > 0, "race detector saw no accesses");
-    assert!(report.proto_messages > 0, "conformance linter saw no receipts");
+    assert!(
+        report.proto_messages > 0,
+        "conformance linter saw no receipts"
+    );
     assert!(report.device_events > 0, "device checker saw no events");
     // Satellite check: the begin/end event stream is also well-paired.
     assert!(tracer.validate_spans().is_empty());
@@ -114,7 +121,11 @@ fn fault_tolerant_eviction_run_is_clean() {
 
     assert_eq!(handle.stats.lock().evictions, 1, "rank 0 must be evicted");
     let report = gv_analyze::analyze_tracer(&tracer);
-    assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    assert!(
+        report.is_clean(),
+        "unexpected diagnostics:\n{}",
+        report.render()
+    );
 }
 
 /// Golden fixture: a client that skips REQ and opens with SND. The
@@ -289,7 +300,11 @@ fn dump_roundtrip_preserves_analysis() {
 
     let before = gv_analyze::analyze(&records);
     let after = gv_analyze::analyze(&reparsed);
-    assert!(after.is_clean(), "roundtrip introduced diagnostics:\n{}", after.render());
+    assert!(
+        after.is_clean(),
+        "roundtrip introduced diagnostics:\n{}",
+        after.render()
+    );
     assert_eq!(before.shm_accesses, after.shm_accesses);
     assert_eq!(before.proto_messages, after.proto_messages);
     assert_eq!(before.device_events, after.device_events);
@@ -343,6 +358,10 @@ fn timed_benchmark_run_is_clean() {
     sim.run().unwrap();
 
     let report = gv_analyze::analyze_tracer(&tracer);
-    assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    assert!(
+        report.is_clean(),
+        "unexpected diagnostics:\n{}",
+        report.render()
+    );
     assert!(report.device_events > 0);
 }

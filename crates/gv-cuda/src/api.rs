@@ -135,7 +135,27 @@ impl CudaContext {
             src.is_pinned(),
             "async H2D requires pinned host memory (use memcpy_h2d for pageable)"
         );
-        self.h2d_common(ctx, stream, src, dst, bytes)
+        self.h2d_common(ctx, stream, src, 0, dst, bytes)
+    }
+
+    /// `cudaMemcpyAsync(H2D)` of a sub-range: copies `bytes` starting at
+    /// byte `src_offset` of the (pinned) host buffer to `dst`. Chunked
+    /// staging issues one of these per span so host-side staging of span
+    /// `i+1` overlaps the device-side transfer of span `i`.
+    pub fn memcpy_h2d_async_at(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: &HostBuffer,
+        src_offset: u64,
+        dst: DevicePtr,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        assert!(
+            src.is_pinned(),
+            "async H2D requires pinned host memory (use memcpy_h2d for pageable)"
+        );
+        self.h2d_common(ctx, stream, src, src_offset, dst, bytes)
     }
 
     /// `cudaMemcpy(H2D)`: synchronous copy, any host memory kind.
@@ -147,7 +167,7 @@ impl CudaContext {
         dst: DevicePtr,
         bytes: u64,
     ) -> Result<(), CudaError> {
-        let h = self.h2d_common(ctx, stream, src, dst, bytes)?;
+        let h = self.h2d_common(ctx, stream, src, 0, dst, bytes)?;
         h.wait(ctx);
         Ok(())
     }
@@ -157,18 +177,23 @@ impl CudaContext {
         ctx: &mut Ctx,
         stream: StreamId,
         src: &HostBuffer,
+        src_offset: u64,
         dst: DevicePtr,
         bytes: u64,
     ) -> Result<CommandHandle, CudaError> {
-        if bytes > src.len() {
+        if src_offset
+            .checked_add(bytes)
+            .is_none_or(|end| end > src.len())
+        {
             return Err(CudaError::HostBufferTooSmall {
-                requested: bytes,
+                requested: src_offset.saturating_add(bytes),
                 capacity: src.len(),
             });
         }
         let data = src.storage().map(|s| {
             let guard = s.lock();
-            Arc::new(guard[..bytes as usize].to_vec())
+            let start = src_offset as usize;
+            Arc::new(guard[start..start + bytes as usize].to_vec())
         });
         let h = self.cuda.device.submit(
             ctx,
@@ -198,7 +223,27 @@ impl CudaContext {
             dst.is_pinned(),
             "async D2H requires pinned host memory (use memcpy_d2h for pageable)"
         );
-        self.d2h_common(ctx, stream, src, dst, bytes)
+        self.d2h_common(ctx, stream, src, dst, 0, bytes)
+    }
+
+    /// `cudaMemcpyAsync(D2H)` of a sub-range: copies `bytes` from `src`
+    /// into the (pinned) host buffer starting at byte `dst_offset`. The
+    /// flush path issues one of these per chunk so early chunks land while
+    /// later stream work is still running.
+    pub fn memcpy_d2h_async_at(
+        &self,
+        ctx: &mut Ctx,
+        stream: StreamId,
+        src: DevicePtr,
+        dst: &HostBuffer,
+        dst_offset: u64,
+        bytes: u64,
+    ) -> Result<CommandHandle, CudaError> {
+        assert!(
+            dst.is_pinned(),
+            "async D2H requires pinned host memory (use memcpy_d2h for pageable)"
+        );
+        self.d2h_common(ctx, stream, src, dst, dst_offset, bytes)
     }
 
     /// `cudaMemcpy(D2H)`: synchronous copy, any host memory kind.
@@ -210,7 +255,7 @@ impl CudaContext {
         dst: &HostBuffer,
         bytes: u64,
     ) -> Result<(), CudaError> {
-        let h = self.d2h_common(ctx, stream, src, dst, bytes)?;
+        let h = self.d2h_common(ctx, stream, src, dst, 0, bytes)?;
         h.wait(ctx);
         Ok(())
     }
@@ -221,11 +266,15 @@ impl CudaContext {
         stream: StreamId,
         src: DevicePtr,
         dst: &HostBuffer,
+        dst_offset: u64,
         bytes: u64,
     ) -> Result<CommandHandle, CudaError> {
-        if bytes > dst.len() {
+        if dst_offset
+            .checked_add(bytes)
+            .is_none_or(|end| end > dst.len())
+        {
             return Err(CudaError::HostBufferTooSmall {
-                requested: bytes,
+                requested: dst_offset.saturating_add(bytes),
                 capacity: dst.len(),
             });
         }
@@ -237,6 +286,7 @@ impl CudaContext {
                 src,
                 bytes,
                 sink: dst.storage(),
+                sink_offset: dst_offset,
                 pinned: dst.is_pinned(),
             },
         )?;
@@ -449,6 +499,35 @@ mod tests {
             cc.memcpy_h2d(ctx, s, &hin, dbuf, 16).unwrap();
             cc.memcpy_d2h(ctx, s, dbuf, &hout, 16).unwrap();
             assert_eq!(hout.to_f32().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn chunked_offset_copies_roundtrip() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s = cc.stream_create();
+            let dbuf = cc.malloc(16).unwrap();
+            let hin = HostBuffer::from_f32(&[1.0, 2.0, 3.0, 4.0], true);
+            let hout = HostBuffer::zeroed(16, true);
+            // Two 8-byte chunks each way, offsets in lockstep.
+            cc.memcpy_h2d_async_at(ctx, s, &hin, 0, dbuf, 8).unwrap();
+            cc.memcpy_h2d_async_at(ctx, s, &hin, 8, dbuf.add(8), 8)
+                .unwrap();
+            cc.memcpy_d2h_async_at(ctx, s, dbuf, &hout, 0, 8).unwrap();
+            let h = cc
+                .memcpy_d2h_async_at(ctx, s, dbuf.add(8), &hout, 8, 8)
+                .unwrap();
+            h.wait(ctx);
+            assert_eq!(hout.to_f32().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+            // An overrunning span is rejected up front.
+            let err = cc
+                .memcpy_h2d_async_at(ctx, s, &hin, 12, dbuf, 8)
+                .unwrap_err();
+            assert!(matches!(err, CudaError::HostBufferTooSmall { .. }));
             cuda.device().shutdown(ctx);
         });
         sim.run().unwrap();

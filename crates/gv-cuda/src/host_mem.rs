@@ -130,6 +130,42 @@ impl HostBuffer {
         assert_eq!(guard.len(), data.len(), "host buffer size mismatch");
         guard.copy_from_slice(data);
     }
+
+    /// Overwrite a sub-range starting at `offset` (functional buffers
+    /// only; panics when the range overruns the buffer). Chunked staging
+    /// writes each span in place without touching the rest.
+    pub fn fill_at(&self, offset: u64, data: &[u8]) {
+        let storage = self.data.as_ref().expect("fill_at on a timing-only buffer");
+        let mut guard = storage.lock();
+        let start = offset as usize;
+        let end = start
+            .checked_add(data.len())
+            .expect("fill_at range overflow");
+        assert!(
+            end <= guard.len(),
+            "fill_at range {start}..{end} overruns buffer of {} bytes",
+            guard.len()
+        );
+        guard[start..end].copy_from_slice(data);
+    }
+
+    /// Snapshot a sub-range as bytes (functional buffers only; `None` for
+    /// timing-only buffers; panics when the range overruns the buffer).
+    pub fn read_range(&self, offset: u64, len: u64) -> Option<Vec<u8>> {
+        self.data.as_ref().map(|d| {
+            let guard = d.lock();
+            let start = offset as usize;
+            let end = start
+                .checked_add(len as usize)
+                .expect("read_range overflow");
+            assert!(
+                end <= guard.len(),
+                "read_range {start}..{end} overruns buffer of {} bytes",
+                guard.len()
+            );
+            guard[start..end].to_vec()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +205,21 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn fill_size_mismatch_panics() {
         HostBuffer::zeroed(4, true).fill_bytes(&[1, 2]);
+    }
+
+    #[test]
+    fn fill_at_writes_span_in_place() {
+        let b = HostBuffer::zeroed(8, true);
+        b.fill_at(2, &[9, 8, 7]);
+        assert_eq!(b.to_bytes().unwrap(), vec![0, 0, 9, 8, 7, 0, 0, 0]);
+        assert_eq!(b.read_range(2, 3).unwrap(), vec![9, 8, 7]);
+        assert!(HostBuffer::opaque(8, true).read_range(0, 4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns buffer")]
+    fn fill_at_overrun_panics() {
+        HostBuffer::zeroed(4, true).fill_at(2, &[1, 2, 3]);
     }
 
     #[test]

@@ -343,6 +343,7 @@ mod tests {
                         src: buf,
                         bytes: 1 << 20,
                         sink: None,
+                        sink_offset: 0,
                         pinned: true,
                     },
                 )
@@ -460,6 +461,7 @@ mod tests {
                         src: b,
                         bytes,
                         sink: None,
+                        sink_offset: 0,
                         pinned: true,
                     },
                 )
@@ -554,6 +556,7 @@ mod tests {
                         src: buf,
                         bytes: 8,
                         sink: Some(sink.clone()),
+                        sink_offset: 0,
                         pinned: true,
                     },
                 )

@@ -62,8 +62,12 @@ pub enum CommandKind {
         src: DevicePtr,
         /// Transfer size in bytes.
         bytes: u64,
-        /// Destination buffer for functional runs (resized to `bytes`).
+        /// Destination buffer for functional runs (grown to cover the
+        /// written range if needed).
         sink: Option<HostSink>,
+        /// Byte offset within `sink` the copy lands at (chunked transfers
+        /// write their span in place; whole-buffer copies use 0).
+        sink_offset: u64,
         /// Destination host memory is pinned.
         pinned: bool,
     },
@@ -388,6 +392,7 @@ impl SchedState {
                         src,
                         bytes,
                         sink: Some(sink),
+                        sink_offset,
                         ..
                     } => {
                         let mut buf = vec![0u8; *bytes as usize];
@@ -395,11 +400,12 @@ impl SchedState {
                             .lock()
                             .read_bytes(*src, &mut buf)
                             .expect("validated at submit");
+                        let off = *sink_offset as usize;
                         let mut guard = sink.lock();
-                        if guard.len() < buf.len() {
-                            guard.resize(buf.len(), 0);
+                        if guard.len() < off + buf.len() {
+                            guard.resize(off + buf.len(), 0);
                         }
-                        guard[..buf.len()].copy_from_slice(&buf);
+                        guard[off..off + buf.len()].copy_from_slice(&buf);
                     }
                     _ => {}
                 }

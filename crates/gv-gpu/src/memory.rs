@@ -191,6 +191,14 @@ impl DeviceMemory {
         })
     }
 
+    /// Absolute device offset of the region `ptr`'s allocation occupies
+    /// (ignoring the pointer's own offset), or `None` for a dead pointer.
+    /// Introspection for tests and invariant checkers: lets them verify
+    /// alignment and first-fit placement without reaching into internals.
+    pub fn region_offset(&self, ptr: DevicePtr) -> Option<u64> {
+        self.allocs.get(&ptr.alloc).map(|a| a.region_offset)
+    }
+
     /// Free the allocation `ptr` points into (any offset is accepted).
     pub fn dealloc(&mut self, ptr: DevicePtr) -> Result<(), MemError> {
         let alloc = self

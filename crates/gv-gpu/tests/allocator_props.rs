@@ -90,6 +90,103 @@ proptest! {
     }
 
     #[test]
+    fn allocations_are_256_byte_aligned(sizes in prop::collection::vec(1u64..100_000, 1..40)) {
+        let mut mem = DeviceMemory::new(16 << 20);
+        for s in sizes {
+            if let Ok(ptr) = mem.alloc(s) {
+                let off = mem.region_offset(ptr).expect("live allocation");
+                prop_assert_eq!(off % DEVICE_ALLOC_ALIGN, 0,
+                    "allocation at offset {} not {}-byte aligned", off, DEVICE_ALLOC_ALIGN);
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_reuses_the_lowest_hole(sizes in prop::collection::vec(1u64..10_000, 3..20),
+                                        reuse_frac in 1u64..=100) {
+        // Allocate a contiguous run, punch a hole at the lowest offset,
+        // then any request that fits the hole must be placed exactly there
+        // — first fit always prefers the lowest adequate free region.
+        let mut mem = DeviceMemory::new(16 << 20);
+        let ptrs: Vec<(DevicePtr, u64)> = sizes.iter().map(|&s| (mem.alloc(s).unwrap(), s)).collect();
+        let (lowest, lowest_bytes) = *ptrs
+            .iter()
+            .min_by_key(|(p, _)| mem.region_offset(*p).unwrap())
+            .unwrap();
+        let hole_off = mem.region_offset(lowest).unwrap();
+        mem.dealloc(lowest).unwrap();
+        let request = (lowest_bytes * reuse_frac).div_ceil(100).max(1);
+        let again = mem.alloc(request).unwrap();
+        prop_assert_eq!(mem.region_offset(again).unwrap(), hole_off,
+            "first fit must fill the lowest hole");
+    }
+
+    #[test]
+    fn fragmented_oom_reports_exact_free_bytes(nblocks in 3usize..16) {
+        // Fill the heap with equal blocks, free every other one: total
+        // free is large but no hole fits a double block. The OOM error
+        // must report the true (fragmented) free total, and a hole-sized
+        // request must still succeed.
+        let block = 4096u64;
+        let cap = block * nblocks as u64;
+        let mut mem = DeviceMemory::new(cap);
+        let ptrs: Vec<DevicePtr> = (0..nblocks).map(|_| mem.alloc(block).unwrap()).collect();
+        let mut holes = 0u64;
+        for (i, p) in ptrs.iter().enumerate() {
+            if i % 2 == 0 {
+                mem.dealloc(*p).unwrap();
+                holes += block;
+            }
+        }
+        match mem.alloc(block * 2) {
+            Err(MemError::OutOfMemory { requested, free }) => {
+                prop_assert_eq!(requested, block * 2);
+                prop_assert_eq!(free, holes, "OOM must report the fragmented free total");
+                prop_assert_eq!(free, mem.free());
+            }
+            Ok(_) => prop_assert!(false, "double block cannot fit any single hole"),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+        // A hole-sized allocation still fits.
+        prop_assert!(mem.alloc(block).is_ok());
+    }
+
+    #[test]
+    fn used_equals_sum_of_live_aligned_sizes(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        // Alloc/free balance: at every step the accounting equals the sum
+        // of aligned live sizes, and a full drain restores the pristine heap.
+        const CAPACITY: u64 = 4 << 20;
+        let mut mem = DeviceMemory::new(CAPACITY);
+        let mut live: Vec<(DevicePtr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(bytes) => {
+                    if let Ok(ptr) = mem.alloc(bytes) {
+                        live.push((ptr, bytes));
+                    }
+                }
+                Op::Free(i) | Op::Touch(i) => {
+                    if !live.is_empty() {
+                        let (ptr, _) = live.remove(i % live.len());
+                        mem.dealloc(ptr).unwrap();
+                    }
+                }
+            }
+            let aligned: u64 = live
+                .iter()
+                .map(|(_, b)| (*b).max(1).div_ceil(DEVICE_ALLOC_ALIGN) * DEVICE_ALLOC_ALIGN)
+                .sum();
+            prop_assert_eq!(mem.used(), aligned, "used() out of balance with live set");
+            prop_assert_eq!(mem.free(), CAPACITY - aligned);
+        }
+        for (ptr, _) in live.drain(..) {
+            mem.dealloc(ptr).unwrap();
+        }
+        prop_assert_eq!(mem.used(), 0);
+        prop_assert_eq!(mem.free(), CAPACITY);
+    }
+
+    #[test]
     fn reads_never_observe_other_allocations(sizes in prop::collection::vec(1u64..4096, 2..20)) {
         let mut mem = DeviceMemory::new(16 << 20);
         let ptrs: Vec<(DevicePtr, u64)> = sizes

@@ -160,6 +160,7 @@ fn unified_copy_engine_serializes_directions() {
                     src: b,
                     bytes,
                     sink: None,
+                    sink_offset: 0,
                     pinned: true,
                 },
             )

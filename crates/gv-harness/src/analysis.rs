@@ -30,13 +30,19 @@ fn run_one(
 ) -> AnalyzedScenario {
     let task = Benchmark::scaled_task(id, &base.device, scale_down.max(1));
     let result = base.run_uniform(mode, &task, n);
-    let tracer = result.tracer.as_ref().expect("analysis scenario has tracer");
+    let tracer = result
+        .tracer
+        .as_ref()
+        .expect("analysis scenario has tracer");
     let prefix = match mode {
         ExecutionMode::Direct => "direct",
         ExecutionMode::Virtualized => "virt",
     };
     AnalyzedScenario {
-        name: format!("{prefix}-{}-n{n}", Benchmark::describe(id).name.to_lowercase()),
+        name: format!(
+            "{prefix}-{}-n{n}",
+            Benchmark::describe(id).name.to_lowercase()
+        ),
         report: result.analysis.expect("analysis scenario has report"),
         records: tracer.analysis_snapshot(),
     }
@@ -48,10 +54,34 @@ fn run_one(
 pub fn run_all(scale_down: u32) -> Vec<AnalyzedScenario> {
     let base = Scenario::analyzed();
     vec![
-        run_one(&base, ExecutionMode::Virtualized, BenchmarkId::VecAdd, 2, scale_down),
-        run_one(&base, ExecutionMode::Virtualized, BenchmarkId::VecAdd, 8, scale_down),
-        run_one(&base, ExecutionMode::Virtualized, BenchmarkId::Ep, 4, scale_down),
-        run_one(&base, ExecutionMode::Direct, BenchmarkId::VecAdd, 2, scale_down),
+        run_one(
+            &base,
+            ExecutionMode::Virtualized,
+            BenchmarkId::VecAdd,
+            2,
+            scale_down,
+        ),
+        run_one(
+            &base,
+            ExecutionMode::Virtualized,
+            BenchmarkId::VecAdd,
+            8,
+            scale_down,
+        ),
+        run_one(
+            &base,
+            ExecutionMode::Virtualized,
+            BenchmarkId::Ep,
+            4,
+            scale_down,
+        ),
+        run_one(
+            &base,
+            ExecutionMode::Direct,
+            BenchmarkId::VecAdd,
+            2,
+            scale_down,
+        ),
     ]
 }
 
@@ -104,7 +134,13 @@ mod tests {
     #[test]
     fn quick_analysis_pass_is_clean() {
         let base = Scenario::analyzed();
-        let s = run_one(&base, ExecutionMode::Virtualized, BenchmarkId::VecAdd, 2, 256);
+        let s = run_one(
+            &base,
+            ExecutionMode::Virtualized,
+            BenchmarkId::VecAdd,
+            2,
+            256,
+        );
         assert!(s.report.is_clean(), "{}", s.report.render());
         assert!(s.report.proto_messages > 0);
         assert!(!s.records.is_empty());

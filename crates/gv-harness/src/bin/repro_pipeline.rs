@@ -1,0 +1,27 @@
+//! Sweep the chunked staging/copy pipeline (chunk count × payload size ×
+//! group size, serial staging as baseline) into `results/pipeline.{txt,csv}`
+//! and the machine-readable `results/BENCH_pipeline.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink payloads; `--analyze` records
+//! every point's trace, checks it with `gv-analyze` (including the chunk
+//! tiling and pool-lease checkers), and fails (exit 1) on any diagnostic.
+use std::process::ExitCode;
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{pipeline, repro};
+
+fn main() -> ExitCode {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (artifact, json, clean) = pipeline::sweep(&Scenario::default(), scale, analyze);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_pipeline.json", &json).is_err() {
+        eprintln!("warning: cannot write results/BENCH_pipeline.json");
+    }
+    if !clean {
+        eprintln!("gv-analyze diagnostics found in pipeline traces — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,9 @@ use gv_gpu::{DeviceConfig, DeviceStats, GpuDevice};
 use gv_ipc::{Node, NodeConfig};
 use gv_kernels::GpuTask;
 use gv_sim::{SimDuration, Simulation};
-use gv_virt::{run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, SchedPolicy, TaskRun, VgpuClient};
+use gv_virt::{
+    run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, MemConfig, SchedPolicy, TaskRun, VgpuClient,
+};
 use parking_lot::Mutex;
 
 use crate::timeline::Timeline;
@@ -102,6 +104,10 @@ pub struct Scenario {
     /// late — from group launch in Direct mode, from GVM-ready in
     /// Virtualized mode — modeling non-lockstep SPMD startup.
     pub stagger: SimDuration,
+    /// Buffer-lifecycle configuration for the GVM (staging pool is always
+    /// on; chunked pipelining off by default, which is bit-identical to
+    /// serial staging). Ignored in Direct mode.
+    pub mem: MemConfig,
 }
 
 impl Default for Scenario {
@@ -113,6 +119,7 @@ impl Default for Scenario {
             analyze: false,
             scheduler: SchedPolicy::JointFlush,
             stagger: SimDuration::ZERO,
+            mem: MemConfig::default(),
         }
     }
 }
@@ -142,6 +149,11 @@ impl Scenario {
     /// `self` with ranks arriving `stagger` apart.
     pub fn with_stagger(self, stagger: SimDuration) -> Self {
         Scenario { stagger, ..self }
+    }
+
+    /// `self` with the given buffer-lifecycle configuration.
+    pub fn with_mem(self, mem: MemConfig) -> Self {
+        Scenario { mem, ..self }
     }
 }
 
@@ -189,7 +201,9 @@ impl Scenario {
                 None
             }
             ExecutionMode::Virtualized => {
-                let config = GvmConfig::new(n).with_scheduler(self.scheduler.clone());
+                let config = GvmConfig::new(n)
+                    .with_scheduler(self.scheduler.clone())
+                    .with_mem(self.mem);
                 let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
                 for rank in 0..n {
                     let handle = handle.clone();

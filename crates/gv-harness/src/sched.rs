@@ -22,8 +22,8 @@ use gv_sim::SimDuration;
 use gv_virt::sched::{calibrated_batch_timeout, estimate_cost_ms};
 use gv_virt::SchedPolicy;
 
-use crate::repro::Artifact;
 use crate::report::{ms, x, TextTable};
+use crate::repro::Artifact;
 use crate::scenario::{ExecutionMode, Scenario};
 
 /// Benchmarks the matrix sweeps (Table II microbenchmarks plus two
@@ -214,7 +214,11 @@ pub fn sweep(base: &Scenario, scale_down: u32, analyze: bool) -> (Artifact, bool
                 ]);
                 push(&mut csv, "matrix", &p);
             }
-            text.push_str(&format!("{} × {n} processes:\n{}\n", Benchmark::describe(id).name, t.render()));
+            text.push_str(&format!(
+                "{} × {n} processes:\n{}\n",
+                Benchmark::describe(id).name,
+                t.render()
+            ));
         }
     }
 

@@ -223,12 +223,7 @@ impl<T> MqRegistry<T> {
 
     /// The (shared, lazily created) fault schedule for queue `name`.
     pub fn fault_entry(&self, name: &str) -> Arc<Mutex<MqFaults>> {
-        Arc::clone(
-            self.faults
-                .lock()
-                .entry(name.to_string())
-                .or_default(),
-        )
+        Arc::clone(self.faults.lock().entry(name.to_string()).or_default())
     }
 
     /// Arm a message drop at the `nth` lifetime send of queue `name`.

@@ -105,16 +105,17 @@ impl SharedMem {
     /// tracer's analysis recording is on — `clock_stamp` returns `None`).
     fn record_access(&self, ctx: &mut Ctx, offset: u64, len: u64, is_write: bool) {
         if let Some(clock) = ctx.clock_stamp() {
-            ctx.tracer().record_analysis(gv_sim::AnalysisRecord::ShmAccess {
-                time: ctx.now(),
-                pid: ctx.pid(),
-                process: ctx.name(),
-                segment: self.name.clone(),
-                offset: offset as usize,
-                len: len as usize,
-                is_write,
-                clock,
-            });
+            ctx.tracer()
+                .record_analysis(gv_sim::AnalysisRecord::ShmAccess {
+                    time: ctx.now(),
+                    pid: ctx.pid(),
+                    process: ctx.name(),
+                    segment: self.name.clone(),
+                    offset: offset as usize,
+                    len: len as usize,
+                    is_write,
+                    clock,
+                });
         }
     }
 
@@ -226,12 +227,7 @@ impl ShmRegistry {
 
     /// The (shared, lazily created) fault schedule for segment `name`.
     pub fn fault_entry(&self, name: &str) -> Arc<Mutex<ShmFaults>> {
-        Arc::clone(
-            self.faults
-                .lock()
-                .entry(name.to_string())
-                .or_default(),
-        )
+        Arc::clone(self.faults.lock().entry(name.to_string()).or_default())
     }
 
     /// Arm a corruption fault at the `nth` timed write of segment `name`

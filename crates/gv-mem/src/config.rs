@@ -1,0 +1,157 @@
+//! Transfer-pipelining configuration and the chunked transfer planner.
+
+/// One contiguous byte span of a payload transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the span within the payload.
+    pub offset: u64,
+    /// Span length in bytes (never zero in a plan).
+    pub len: u64,
+}
+
+/// How (and whether) to split payload transfers into pipelined chunks.
+///
+/// The default is **disabled** (`chunks == 1`): every payload moves as a
+/// single span and the GVM behaves bit-identically to serial staging. With
+/// `chunks > 1`, payloads of at least `threshold` bytes are split into
+/// `chunks` near-equal spans so the staging of span *i+1* overlaps the
+/// async H2D copy of span *i* (and, at flush, early D2H chunks overlap
+/// remaining compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of chunks a qualifying payload is split into. `1` disables
+    /// chunking entirely.
+    pub chunks: usize,
+    /// Minimum payload size (bytes) eligible for chunking. Payloads below
+    /// this always move as one span. Irrelevant while `chunks == 1`.
+    pub threshold: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            chunks: 1,
+            threshold: 16 << 20,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Chunking enabled: split payloads of at least `threshold` bytes into
+    /// `chunks` spans.
+    pub fn chunked(chunks: usize, threshold: u64) -> Self {
+        PipelineConfig { chunks, threshold }
+    }
+
+    /// Is chunking enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.chunks > 1
+    }
+
+    /// Split `payload` bytes into the spans this configuration prescribes.
+    ///
+    /// Spans tile `[0, payload)` exactly once, in ascending order. A
+    /// payload of zero yields no spans; a payload below `threshold` (or a
+    /// disabled config) yields exactly one. The chunk count is clamped so
+    /// no span is empty.
+    pub fn plan(&self, payload: u64) -> Vec<Span> {
+        if payload == 0 {
+            return Vec::new();
+        }
+        let k = if self.chunks <= 1 || payload < self.threshold {
+            1
+        } else {
+            (self.chunks as u64).min(payload)
+        };
+        let quantum = payload.div_ceil(k);
+        let mut spans = Vec::with_capacity(k as usize);
+        let mut offset = 0;
+        while offset < payload {
+            let len = quantum.min(payload - offset);
+            spans.push(Span { offset, len });
+            offset += len;
+        }
+        spans
+    }
+}
+
+/// Buffer-lifecycle configuration carried by the GVM.
+///
+/// The pinned staging pool and device-allocation cache are always on (they
+/// cost no simulated time), so the only knob is the transfer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemConfig {
+    /// Chunked copy/compute pipelining; disabled by default.
+    pub pipeline: PipelineConfig,
+}
+
+impl MemConfig {
+    /// Convenience: a config with chunked pipelining enabled.
+    pub fn pipelined(chunks: usize, threshold: u64) -> Self {
+        MemConfig {
+            pipeline: PipelineConfig::chunked(chunks, threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(spans: &[Span], payload: u64) {
+        let mut cursor = 0;
+        for s in spans {
+            assert_eq!(s.offset, cursor, "spans must be ascending and gapless");
+            assert!(s.len > 0, "no empty spans");
+            cursor += s.len;
+        }
+        assert_eq!(cursor, payload);
+    }
+
+    #[test]
+    fn default_plans_single_span() {
+        let cfg = PipelineConfig::default();
+        assert!(!cfg.enabled());
+        let spans = cfg.plan(64 << 20);
+        assert_eq!(
+            spans,
+            vec![Span {
+                offset: 0,
+                len: 64 << 20
+            }]
+        );
+        assert!(cfg.plan(0).is_empty());
+    }
+
+    #[test]
+    fn chunked_plan_tiles_payload() {
+        let cfg = PipelineConfig::chunked(4, 1 << 20);
+        let payload = (16 << 20) + 5; // deliberately not divisible by 4
+        let spans = cfg.plan(payload);
+        assert_eq!(spans.len(), 4);
+        covers(&spans, payload);
+    }
+
+    #[test]
+    fn threshold_keeps_small_payloads_whole() {
+        let cfg = PipelineConfig::chunked(8, 1 << 20);
+        assert_eq!(cfg.plan(4096).len(), 1);
+        assert_eq!(cfg.plan(1 << 20).len(), 8);
+    }
+
+    #[test]
+    fn chunk_count_clamps_to_payload() {
+        let cfg = PipelineConfig::chunked(8, 1);
+        let spans = cfg.plan(3);
+        assert_eq!(spans.len(), 3);
+        covers(&spans, 3);
+    }
+
+    #[test]
+    fn mem_config_builders() {
+        assert!(!MemConfig::default().pipeline.enabled());
+        let m = MemConfig::pipelined(4, 64);
+        assert_eq!(m.pipeline.chunks, 4);
+        assert_eq!(m.pipeline.threshold, 64);
+    }
+}

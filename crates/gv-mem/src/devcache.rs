@@ -1,0 +1,156 @@
+//! Device-allocation cache for the fault-tolerant GVM.
+//!
+//! The fault-tolerant GVM allocates a rank's device working set lazily at
+//! its first SND and frees it on eviction, so churny membership (evict,
+//! re-admit, next job wave) turns into `cudaMalloc`/`cudaFree` churn. The
+//! cache keeps freed allocations keyed by `(device, bytes)` and hands them
+//! back to the next rank requesting the same footprint.
+//!
+//! The cache deliberately does **not** call into the device itself: the
+//! GVM owns allocation (so armed-OOM faults still fire on real allocs) and
+//! calls [`DeviceAllocCache::put`] / [`DeviceAllocCache::take`] around it.
+//! At shutdown the GVM drains the cache and performs the real frees, so
+//! the device's alloc/free balance and `used() == 0` invariants hold.
+
+use std::collections::HashMap;
+
+use gv_gpu::DevicePtr;
+use parking_lot::Mutex;
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DevCacheStats {
+    /// Requests satisfied from the cache.
+    pub hits: u64,
+    /// Requests that fell through to a real device allocation.
+    pub misses: u64,
+    /// Allocations currently parked in the cache.
+    pub cached: u64,
+}
+
+/// A cache of freed device allocations, keyed by `(device index, bytes)`.
+#[derive(Default)]
+pub struct DeviceAllocCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    free: HashMap<(usize, u64), Vec<DevicePtr>>,
+    stats: DevCacheStats,
+}
+
+impl DeviceAllocCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cached allocation of exactly `bytes` on device `dev`, if one
+    /// is parked. Counts a hit or a miss either way; on `None` the caller
+    /// must allocate for real (and may later [`put`](Self::put) it back).
+    pub fn take(&self, dev: usize, bytes: u64) -> Option<DevicePtr> {
+        let mut inner = self.inner.lock();
+        let ptr = inner.free.get_mut(&(dev, bytes)).and_then(|l| l.pop());
+        if ptr.is_some() {
+            inner.stats.hits += 1;
+            inner.stats.cached -= 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        ptr
+    }
+
+    /// Park a no-longer-needed allocation instead of freeing it. The
+    /// caller must have synchronized the owning stream first: a parked
+    /// allocation can be re-issued to another rank immediately.
+    pub fn put(&self, dev: usize, bytes: u64, ptr: DevicePtr) {
+        let mut inner = self.inner.lock();
+        inner.stats.cached += 1;
+        inner.free.entry((dev, bytes)).or_default().push(ptr);
+    }
+
+    /// Empty the cache, returning every parked allocation as
+    /// `(device, bytes, ptr)` so the caller can perform the real frees.
+    pub fn drain(&self) -> Vec<(usize, u64, DevicePtr)> {
+        let mut inner = self.inner.lock();
+        inner.stats.cached = 0;
+        let mut out: Vec<(usize, u64, DevicePtr)> = inner
+            .free
+            .drain()
+            .flat_map(|((dev, bytes), list)| list.into_iter().map(move |p| (dev, bytes, p)))
+            .collect();
+        // Deterministic order regardless of hash-map iteration.
+        out.sort_by_key(|&(dev, bytes, ptr)| (dev, bytes, ptr.allocation_id()));
+        out
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> DevCacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_gpu::{DeviceConfig, GpuDevice};
+    use gv_sim::Simulation;
+
+    /// Allocate two real pointers from a device so the handles are valid.
+    fn two_ptrs() -> (DevicePtr, DevicePtr) {
+        let mut sim = Simulation::new();
+        let dev = GpuDevice::install(&mut sim, DeviceConfig::test_tiny());
+        let d = dev.clone();
+        let out = std::sync::Arc::new(Mutex::new(None));
+        let slot = out.clone();
+        sim.spawn("host", move |ctx| {
+            let a = d.alloc(1024).unwrap();
+            let b = d.alloc(2048).unwrap();
+            *slot.lock() = Some((a, b));
+            d.free(a).unwrap();
+            d.free(b).unwrap();
+            d.shutdown(ctx);
+        });
+        sim.run().unwrap();
+        let got = out.lock().take().unwrap();
+        got
+    }
+
+    #[test]
+    fn take_miss_then_put_then_hit() {
+        let (a, _) = two_ptrs();
+        let cache = DeviceAllocCache::new();
+        assert!(cache.take(0, 1024).is_none());
+        cache.put(0, 1024, a);
+        assert_eq!(cache.stats().cached, 1);
+        assert_eq!(cache.take(0, 1024), Some(a));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.cached), (1, 1, 0));
+    }
+
+    #[test]
+    fn keys_are_exact_device_and_size() {
+        let (a, b) = two_ptrs();
+        let cache = DeviceAllocCache::new();
+        cache.put(0, 1024, a);
+        cache.put(1, 2048, b);
+        assert!(cache.take(0, 2048).is_none(), "size must match exactly");
+        assert!(cache.take(1, 1024).is_none(), "device must match");
+        assert_eq!(cache.take(1, 2048), Some(b));
+    }
+
+    #[test]
+    fn drain_returns_everything_deterministically() {
+        let (a, b) = two_ptrs();
+        let cache = DeviceAllocCache::new();
+        cache.put(0, 1024, a);
+        cache.put(1, 2048, b);
+        let drained = cache.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], (0, 1024, a));
+        assert_eq!(drained[1], (1, 2048, b));
+        assert_eq!(cache.stats().cached, 0);
+        assert!(cache.drain().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # gv-mem — unified buffer-lifecycle layer
+//!
+//! Every payload the GVM moves between an SPMD rank and the GPU crosses
+//! three buffers: the rank's shared-memory segment, a pinned host staging
+//! buffer, and the device working set. This crate owns the lifecycle of
+//! all three hops so the protocol code ([`gv-virt`]) only orchestrates:
+//!
+//! * [`StagingPool`] — pinned staging buffers on power-of-two size-class
+//!   free lists, leased per round and recycled across rounds and ranks.
+//!   Replaces per-rank ad-hoc `cudaHostAlloc`-style allocations.
+//! * [`DeviceAllocCache`] — freed device allocations parked by
+//!   `(device, bytes)` so the fault-tolerant GVM's evict/re-admit churn
+//!   reuses buffers instead of malloc/free cycles.
+//! * [`PipelineConfig`] — the chunked transfer planner: payloads at or
+//!   above a threshold split into *k* spans issued as interleaved async
+//!   copies, so staging of span *i+1* overlaps the H2D copy of span *i*
+//!   and early D2H chunks overlap remaining compute at flush. Disabled by
+//!   default, in which case every transfer is one span and the GVM is
+//!   bit-identical to serial staging.
+//! * [`stage_span`] / [`record_chunk`] — the single span-wise data mover
+//!   both protocol directions share, and the analysis-record emitter that
+//!   lets `gv-analyze` prove chunk tiling and pool-lease discipline.
+//!
+//! [`gv-virt`]: ../gv_virt/index.html
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod devcache;
+pub mod pool;
+pub mod stage;
+
+pub use config::{MemConfig, PipelineConfig, Span};
+pub use devcache::{DevCacheStats, DeviceAllocCache};
+pub use pool::{PoolStats, StagingLease, StagingPool, MIN_CLASS};
+pub use stage::{record_chunk, stage_span};

@@ -1,0 +1,292 @@
+//! Pinned staging-buffer pool with size-class free lists.
+//!
+//! `cudaHostAlloc` / `cudaFreeHost` are expensive host calls, and the GVM
+//! needs two pinned staging buffers per active rank per round. The pool
+//! rounds requests up to a power-of-two size class and recycles buffers
+//! across rounds and ranks, so steady-state traffic allocates nothing.
+//! Pool operations cost no *simulated* time — acquiring a recycled buffer
+//! models exactly the pointer swap a real pool performs — which keeps the
+//! pool golden-safe: timings are unchanged whether a lease hits or misses.
+//!
+//! Every acquire/recycle is mirrored onto the tracer's analysis stream
+//! ([`AnalysisRecord::PoolAcquire`] / [`AnalysisRecord::PoolRecycle`]) so
+//! `gv-analyze` can prove lease discipline and catch use-after-recycle.
+
+use std::collections::HashMap;
+
+use gv_cuda::HostBuffer;
+use gv_sim::{AnalysisRecord, Tracer};
+use parking_lot::Mutex;
+
+/// Smallest size class handed out, in bytes.
+pub const MIN_CLASS: u64 = 4096;
+
+/// Aggregate pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires satisfied from a free list.
+    pub hits: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Distinct buffers ever created.
+    pub buffers: u64,
+    /// Total bytes backing all created buffers (live + free).
+    pub allocated_bytes: u64,
+    /// Bytes currently leased out.
+    pub in_use_bytes: u64,
+    /// Peak of `in_use_bytes` over the pool's lifetime.
+    pub high_water_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served from the free lists (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct PooledBuf {
+    id: u64,
+    buf: HostBuffer,
+}
+
+struct Inner {
+    /// Free lists keyed by (size class, functional?). Functional buffers
+    /// carry real storage and must never be handed to a timing-only lease
+    /// (and vice versa), so the flag is part of the key.
+    free: HashMap<(u64, bool), Vec<PooledBuf>>,
+    next_id: u64,
+    stats: PoolStats,
+}
+
+/// A pool of pinned host staging buffers.
+pub struct StagingPool {
+    inner: Mutex<Inner>,
+}
+
+/// An exclusive lease on one pooled buffer, from [`StagingPool::acquire`]
+/// until [`StagingPool::recycle`].
+pub struct StagingLease {
+    buf: HostBuffer,
+    id: u64,
+    class: u64,
+    functional: bool,
+}
+
+impl StagingLease {
+    /// The leased pinned buffer. Its capacity is the size class, which may
+    /// exceed the requested bytes — stage exact payload ranges only; slack
+    /// bytes are stale from earlier leases and must never be read.
+    pub fn buffer(&self) -> &HostBuffer {
+        &self.buf
+    }
+
+    /// Pool-unique buffer id (correlates with `PoolAcquire` records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Size-class capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.class
+    }
+}
+
+impl std::fmt::Debug for StagingLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagingLease")
+            .field("id", &self.id)
+            .field("class", &self.class)
+            .field("functional", &self.functional)
+            .finish()
+    }
+}
+
+fn size_class(bytes: u64) -> u64 {
+    bytes.max(MIN_CLASS).next_power_of_two()
+}
+
+impl Default for StagingPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StagingPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StagingPool {
+            inner: Mutex::new(Inner {
+                free: HashMap::new(),
+                next_id: 1,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Lease a pinned buffer of at least `bytes` bytes. `functional`
+    /// leases carry real (initially zeroed) storage; timing-only leases
+    /// are opaque. Records a `PoolAcquire` on `tracer`'s analysis stream.
+    pub fn acquire(&self, tracer: &Tracer, bytes: u64, functional: bool) -> StagingLease {
+        let class = size_class(bytes);
+        let mut inner = self.inner.lock();
+        let recycled = inner
+            .free
+            .get_mut(&(class, functional))
+            .and_then(|list| list.pop());
+        let hit = recycled.is_some();
+        let pooled = recycled.unwrap_or_else(|| {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.stats.buffers += 1;
+            inner.stats.allocated_bytes += class;
+            let buf = if functional {
+                HostBuffer::zeroed(class, true)
+            } else {
+                HostBuffer::opaque(class, true)
+            };
+            PooledBuf { id, buf }
+        });
+        if hit {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        inner.stats.in_use_bytes += class;
+        inner.stats.high_water_bytes = inner.stats.high_water_bytes.max(inner.stats.in_use_bytes);
+        tracer.record_analysis(AnalysisRecord::PoolAcquire {
+            time: tracer.now_hint(),
+            buf: pooled.id,
+            bytes: class,
+            hit,
+        });
+        StagingLease {
+            buf: pooled.buf.clone(),
+            id: pooled.id,
+            class,
+            functional,
+        }
+    }
+
+    /// Return a lease to its free list. Records a `PoolRecycle`. The
+    /// caller must not recycle while an async copy into or out of the
+    /// buffer is still in flight (gv-analyze's staging checker enforces
+    /// this over traces).
+    pub fn recycle(&self, tracer: &Tracer, lease: StagingLease) {
+        let mut inner = self.inner.lock();
+        inner.stats.in_use_bytes -= lease.class;
+        tracer.record_analysis(AnalysisRecord::PoolRecycle {
+            time: tracer.now_hint(),
+            buf: lease.id,
+        });
+        inner
+            .free
+            .entry((lease.class, lease.functional))
+            .or_default()
+            .push(PooledBuf {
+                id: lease.id,
+                buf: lease.buf,
+            });
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> Tracer {
+        Tracer::new()
+    }
+
+    #[test]
+    fn miss_then_hit_reuses_buffer() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 5000, false);
+        let id = a.id();
+        assert_eq!(a.capacity(), 8192, "5000 rounds up to the 8 KiB class");
+        pool.recycle(&t, a);
+        let b = pool.acquire(&t, 6000, false);
+        assert_eq!(b.id(), id, "same class must recycle the same buffer");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.buffers), (1, 1, 1));
+        assert_eq!(s.allocated_bytes, 8192);
+    }
+
+    #[test]
+    fn classes_and_functional_flag_separate_lists() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 4096, false);
+        pool.recycle(&t, a);
+        // Different class: no hit.
+        let b = pool.acquire(&t, 8192, false);
+        // Same class but functional: no hit either.
+        let c = pool.acquire(&t, 4096, true);
+        assert!(c.buffer().is_functional());
+        assert!(!b.buffer().is_functional());
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 3);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_in_use() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, MIN_CLASS, false);
+        let b = pool.acquire(&t, MIN_CLASS, false);
+        assert_eq!(pool.stats().high_water_bytes, 2 * MIN_CLASS);
+        pool.recycle(&t, a);
+        pool.recycle(&t, b);
+        let s = pool.stats();
+        assert_eq!(s.in_use_bytes, 0);
+        assert_eq!(s.high_water_bytes, 2 * MIN_CLASS);
+        assert!((s.hit_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_requests_share_the_min_class() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 1, false);
+        assert_eq!(a.capacity(), MIN_CLASS);
+        pool.recycle(&t, a);
+        let b = pool.acquire(&t, 100, false);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(b.capacity(), MIN_CLASS);
+    }
+
+    #[test]
+    fn acquires_are_mirrored_to_analysis_records() {
+        let t = Tracer::new();
+        t.set_analysis(true);
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 4096, false);
+        pool.recycle(&t, a);
+        pool.acquire(&t, 4096, false);
+        let recs = t.analysis_snapshot();
+        let acquires = recs
+            .iter()
+            .filter(|r| matches!(r, AnalysisRecord::PoolAcquire { .. }))
+            .count();
+        let hits = recs
+            .iter()
+            .filter(|r| matches!(r, AnalysisRecord::PoolAcquire { hit: true, .. }))
+            .count();
+        let recycles = recs
+            .iter()
+            .filter(|r| matches!(r, AnalysisRecord::PoolRecycle { .. }))
+            .count();
+        assert_eq!((acquires, hits, recycles), (2, 1, 1));
+    }
+}

@@ -1,0 +1,173 @@
+//! The unified staging path: one span-wise data mover for both protocol
+//! directions, plus the analysis-record emitter that makes chunked
+//! transfers auditable.
+//!
+//! The GVM's SND handler (shm → pinned, ahead of H2D) and RCV handler
+//! (pinned → shm, after D2H) used to carry two near-identical staging
+//! blocks. Both now funnel through [`stage_span`], which handles the
+//! functional/timing-only split in one place: functional buffers move real
+//! bytes span-by-span; timing-only buffers charge the node's memcpy cost
+//! for the span without touching storage.
+
+use gv_cuda::HostBuffer;
+use gv_ipc::{SharedMem, ShmError};
+use gv_sim::{AnalysisRecord, Ctx, Tracer};
+
+use crate::config::Span;
+
+/// Move one span between a shared-memory segment and a pinned staging
+/// buffer, charging shm memcpy time either way.
+///
+/// `h2d == true` is the input direction (shm → pinned, ahead of an H2D
+/// copy); `h2d == false` is the output direction (pinned → shm, after a
+/// D2H copy). Whether real bytes move is decided by the pinned buffer:
+/// functional buffers transfer the span's contents, opaque buffers charge
+/// timing only (the shm side is then only touched, never stored to).
+pub fn stage_span(
+    ctx: &mut Ctx,
+    shm: &SharedMem,
+    pinned: &HostBuffer,
+    span: Span,
+    h2d: bool,
+) -> Result<(), ShmError> {
+    if span.len == 0 {
+        return Ok(());
+    }
+    if h2d {
+        if pinned.is_functional() {
+            let data = shm.read(ctx, span.offset, span.len)?;
+            pinned.fill_at(span.offset, &data);
+        } else {
+            shm.touch(ctx, span.len)?;
+        }
+    } else {
+        match pinned.read_range(span.offset, span.len) {
+            Some(data) => shm.write(ctx, span.offset, &data)?,
+            None => shm.touch(ctx, span.len)?,
+        }
+    }
+    Ok(())
+}
+
+/// Emit the [`AnalysisRecord::StageChunk`] describing one staged span.
+///
+/// `xfer` groups every span of one payload transfer (gv-analyze proves the
+/// group tiles `[0, payload)` exactly once); `buf` is the staging pool
+/// buffer id backing the span (0 when unpooled); `label` is the engine
+/// command label of the async copy issued for this span, or empty when no
+/// copy was issued at staging time.
+#[allow(clippy::too_many_arguments)]
+pub fn record_chunk(
+    tracer: &Tracer,
+    rank: usize,
+    xfer: u64,
+    h2d: bool,
+    span: Span,
+    payload: u64,
+    buf: u64,
+    label: impl Into<String>,
+) {
+    tracer.record_analysis(AnalysisRecord::StageChunk {
+        time: tracer.now_hint(),
+        rank,
+        xfer,
+        h2d,
+        offset: span.offset,
+        len: span.len,
+        payload,
+        buf,
+        label: label.into(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use gv_ipc::{NodeConfig, ShmRegistry};
+    use gv_sim::Simulation;
+
+    #[test]
+    fn functional_spans_roundtrip_through_pinned() {
+        let node = NodeConfig::test_tiny();
+        let reg = ShmRegistry::new(&node);
+        let shm = reg.create("seg", 64).unwrap();
+        let mut sim = Simulation::new();
+        sim.spawn("p", move |ctx| {
+            let payload: Vec<u8> = (0u8..48).collect();
+            shm.write(ctx, 0, &payload).unwrap();
+            let pinned = HostBuffer::zeroed(64, true);
+            let spans = PipelineConfig::chunked(4, 1).plan(48);
+            assert_eq!(spans.len(), 4);
+            for s in &spans {
+                stage_span(ctx, &shm, &pinned, *s, true).unwrap();
+            }
+            assert_eq!(pinned.read_range(0, 48).unwrap(), payload);
+            // Now drain back out through a second segment.
+            let out = reg.create("out", 64).unwrap();
+            for s in &spans {
+                stage_span(ctx, &out, &pinned, *s, false).unwrap();
+            }
+            assert_eq!(out.peek(0, 48).unwrap(), payload);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn timing_only_spans_charge_memcpy_per_span() {
+        let node = NodeConfig::test_tiny();
+        let reg = ShmRegistry::new(&node);
+        let shm = reg.create("seg", 1 << 20).unwrap();
+        let expect = {
+            // 4 spans of 256 KiB each: 4 latencies + total bandwidth term.
+            let per = node.memcpy_time(256 << 10);
+            per * 4
+        };
+        let mut sim = Simulation::new();
+        sim.spawn("p", move |ctx| {
+            let pinned = HostBuffer::opaque(1 << 20, true);
+            for s in PipelineConfig::chunked(4, 1).plan(1 << 20) {
+                stage_span(ctx, &shm, &pinned, s, true).unwrap();
+            }
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_nanos(), expect.as_nanos());
+    }
+
+    #[test]
+    fn single_span_matches_whole_payload_cost() {
+        let node = NodeConfig::test_tiny();
+        let reg = ShmRegistry::new(&node);
+        let shm = reg.create("seg", 4096).unwrap();
+        let mut sim = Simulation::new();
+        sim.spawn("p", move |ctx| {
+            let pinned = HostBuffer::opaque(4096, true);
+            for s in PipelineConfig::default().plan(4096) {
+                stage_span(ctx, &shm, &pinned, s, false).unwrap();
+            }
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time.as_nanos(), node.memcpy_time(4096).as_nanos());
+    }
+
+    #[test]
+    fn record_chunk_emits_stage_chunk() {
+        let t = Tracer::new();
+        t.set_analysis(true);
+        record_chunk(&t, 3, 9, true, Span { offset: 0, len: 64 }, 64, 5, "cmd-1");
+        let recs = t.analysis_snapshot();
+        assert!(matches!(
+            &recs[..],
+            [AnalysisRecord::StageChunk {
+                rank: 3,
+                xfer: 9,
+                h2d: true,
+                offset: 0,
+                len: 64,
+                payload: 64,
+                buf: 5,
+                ..
+            }]
+        ));
+    }
+}

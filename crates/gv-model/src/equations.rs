@@ -73,6 +73,26 @@ impl SpeedupModel {
     }
 }
 
+/// Extension of the paper's model for the chunked staging pipeline: the
+/// makespan of one payload whose shm→pinned staging (`t_stage`) and
+/// pinned→device copy (`t_xfer`) are split into `k` equal chunks, with the
+/// staging of chunk `i+1` overlapped against the copy of chunk `i` (a
+/// two-stage software pipeline):
+///
+/// `T(k) = s + x + (k−1)·max(s, x)`, where `s = t_stage/k`, `x = t_xfer/k`.
+///
+/// `k = 1` degenerates to the serial `t_stage + t_xfer`; as `k → ∞` the
+/// makespan approaches `max(t_stage, t_xfer)` — the classic pipeline
+/// bound. Per-chunk fixed overheads are not modeled here; they are what
+/// the harness sweep (`repro_pipeline`) measures empirically.
+pub fn pipelined_staging(t_stage: f64, t_xfer: f64, k: u32) -> f64 {
+    assert!(k >= 1, "pipeline needs at least one chunk");
+    assert!(t_stage >= 0.0 && t_xfer >= 0.0);
+    let s = t_stage / k as f64;
+    let x = t_xfer / k as f64;
+    s + x + (k as f64 - 1.0) * s.max(x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +181,34 @@ mod tests {
         let s = m.speedup(8);
         assert!((m.deviation(8, s) - 0.0).abs() < 1e-12);
         assert!((m.deviation(8, s * 0.8) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_staging_k1_is_serial() {
+        assert!((pipelined_staging(3.0, 5.0, 1) - 8.0).abs() < 1e-12);
+        assert!((pipelined_staging(0.0, 5.0, 1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_staging_monotone_in_k() {
+        let mut prev = f64::INFINITY;
+        for k in 1..=64 {
+            let t = pipelined_staging(3.0, 5.0, k);
+            assert!(t <= prev + 1e-12, "T(k) must not increase with k");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn pipelined_staging_limit_is_max() {
+        let t = pipelined_staging(3.0, 5.0, 1_000_000);
+        assert!(
+            (t - 5.0).abs() < 1e-4,
+            "limit is max(t_stage, t_xfer), got {t}"
+        );
+        // Balanced stages halve the serial time in the limit.
+        let t = pipelined_staging(4.0, 4.0, 1_000_000);
+        assert!((t - 4.0).abs() < 1e-4);
     }
 
     #[test]

@@ -54,10 +54,7 @@ impl VClock {
 
     /// Pointwise `self <= other`.
     pub fn le(&self, other: &VClock) -> bool {
-        self.0
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v <= other.get(i))
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
     }
 
     /// Raw components (trailing zeros may be truncated).

@@ -46,6 +46,4 @@ pub use process::Ctx;
 pub use resource::FifoServer;
 pub use sync::{CondQueue, Gate, Semaphore, SimBarrier};
 pub use time::{SimDuration, SimTime};
-pub use trace::{
-    AnalysisRecord, Span, SpanIssue, TraceEvent, TraceKind, Tracer, FAULT_CATEGORY,
-};
+pub use trace::{AnalysisRecord, Span, SpanIssue, TraceEvent, TraceKind, Tracer, FAULT_CATEGORY};

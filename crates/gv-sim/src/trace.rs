@@ -215,6 +215,53 @@ pub enum AnalysisRecord {
         /// Allocation id being released.
         id: u64,
     },
+    /// One span of a staged transfer was processed by the buffer-lifecycle
+    /// layer (whole payloads are a single span; chunked transfers emit one
+    /// record per chunk). Layer-agnostic: spans are correlated to engine
+    /// copies by `label` and to pool buffers by `buf`.
+    StageChunk {
+        /// Simulated timestamp the span finished staging.
+        time: SimTime,
+        /// SPMD rank the transfer belongs to.
+        rank: usize,
+        /// Transfer-group id: all spans of one payload share it and must
+        /// tile `[0, payload)` exactly once.
+        xfer: u64,
+        /// `true` for input staging (shm → pinned → device), `false` for
+        /// output staging (device → pinned → shm).
+        h2d: bool,
+        /// Byte offset of this span within the payload.
+        offset: u64,
+        /// Span length in bytes.
+        len: u64,
+        /// Total payload size the group tiles.
+        payload: u64,
+        /// Pool buffer id backing the span (0 = not pool-managed).
+        buf: u64,
+        /// Engine command label (`"cmd-N"`) when an async copy was issued
+        /// for this span; empty when the span was staged without one.
+        label: String,
+    },
+    /// A pinned staging buffer was acquired from the pool.
+    PoolAcquire {
+        /// Simulated timestamp of the acquire.
+        time: SimTime,
+        /// Pool buffer id (unique per tracer for the run).
+        buf: u64,
+        /// Size-class capacity of the buffer in bytes.
+        bytes: u64,
+        /// `true` when the buffer was recycled from a free list rather
+        /// than freshly allocated.
+        hit: bool,
+    },
+    /// A pinned staging buffer was returned to the pool's free list. Must
+    /// never happen while a copy referencing the buffer is in flight.
+    PoolRecycle {
+        /// Simulated timestamp of the recycle.
+        time: SimTime,
+        /// Pool buffer id being recycled.
+        buf: u64,
+    },
 }
 
 struct Inner {
@@ -424,10 +471,9 @@ impl Tracer {
                     open.push((ev.category, ev.track, ev.label.clone(), ev.time));
                 }
                 TraceKind::End => {
-                    match open
-                        .iter()
-                        .position(|(c, t, l, _)| *c == ev.category && *t == ev.track && *l == ev.label)
-                    {
+                    match open.iter().position(|(c, t, l, _)| {
+                        *c == ev.category && *t == ev.track && *l == ev.label
+                    }) {
                         Some(pos) => {
                             open.remove(pos);
                         }
@@ -685,8 +731,12 @@ mod tests {
         tr.end(t(3), "h2d", "orphan", 2);
         let issues = tr.validate_spans();
         assert_eq!(issues.len(), 2);
-        assert!(issues.iter().any(|i| !i.unmatched_begin && i.label == "orphan"));
-        assert!(issues.iter().any(|i| i.unmatched_begin && i.label == "dangling"));
+        assert!(issues
+            .iter()
+            .any(|i| !i.unmatched_begin && i.label == "orphan"));
+        assert!(issues
+            .iter()
+            .any(|i| i.unmatched_begin && i.label == "dangling"));
     }
 
     #[test]

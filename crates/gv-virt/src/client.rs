@@ -265,15 +265,25 @@ impl VgpuClient {
         }
         let task = self.handle.task(self.rank).clone();
         if task.bytes_in > 0 {
-            match &task.input {
-                Some(data) => self
-                    .shm
-                    .write(ctx, 0, data)
-                    .expect("input fits the shm segment"),
-                None => self
-                    .shm
-                    .touch(ctx, task.bytes_in)
-                    .expect("input size fits the shm segment"),
+            // Span-wise, mirroring the GVM's staging plan: under chunked
+            // pipelining the input lands in shm in the same tiles the GVM
+            // will stage, with the single-span plan degenerating to the
+            // whole-payload write.
+            for span in self.handle.config.mem.pipeline.plan(task.bytes_in) {
+                match &task.input {
+                    Some(data) => self
+                        .shm
+                        .write(
+                            ctx,
+                            span.offset,
+                            &data[span.offset as usize..(span.offset + span.len) as usize],
+                        )
+                        .expect("input fits the shm segment"),
+                    None => self
+                        .shm
+                        .touch(ctx, span.len)
+                        .expect("input size fits the shm segment"),
+                }
             }
         }
         self.try_call(ctx, RequestKind::Snd).map(|_| ())
@@ -327,10 +337,14 @@ impl VgpuClient {
         if task.bytes_out == 0 {
             return Ok(None);
         }
-        let bytes = self
-            .shm
-            .read(ctx, 0, task.bytes_out)
-            .expect("output fits the shm segment");
+        let mut bytes = Vec::with_capacity(task.bytes_out as usize);
+        for span in self.handle.config.mem.pipeline.plan(task.bytes_out) {
+            bytes.extend(
+                self.shm
+                    .read(ctx, span.offset, span.len)
+                    .expect("output fits the shm segment"),
+            );
+        }
         Ok(if task.is_functional() {
             Some(bytes)
         } else {

@@ -29,10 +29,11 @@
 
 use std::sync::Arc;
 
-use gv_cuda::{CudaDevice, HostBuffer};
+use gv_cuda::CudaDevice;
 use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
+use gv_mem::{DeviceAllocCache, MemConfig, StagingLease, StagingPool};
 use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
 
@@ -86,6 +87,10 @@ pub struct GvmConfig {
     pub fault_tolerance: Option<FtConfig>,
     /// Stream-dispatch policy (default: the paper's joint flush).
     pub scheduler: SchedPolicy,
+    /// Buffer-lifecycle configuration (staging pool is always on; chunked
+    /// copy/compute pipelining is off by default, which keeps the GVM
+    /// bit-identical to serial staging).
+    pub mem: MemConfig,
 }
 
 impl GvmConfig {
@@ -100,12 +105,19 @@ impl GvmConfig {
             req_queue_capacity: None,
             fault_tolerance: None,
             scheduler: SchedPolicy::JointFlush,
+            mem: MemConfig::default(),
         }
     }
 
     /// `self` with the given stream-dispatch policy.
     pub fn with_scheduler(self, scheduler: SchedPolicy) -> Self {
         GvmConfig { scheduler, ..self }
+    }
+
+    /// `self` with the given buffer-lifecycle configuration (e.g.
+    /// [`MemConfig::pipelined`] to enable chunked transfers).
+    pub fn with_mem(self, mem: MemConfig) -> Self {
+        GvmConfig { mem, ..self }
     }
 
     /// The serial-flush ablation variant.
@@ -161,6 +173,21 @@ pub struct GvmStats {
     /// and the dispatch that drained it — the queueing delay the policy
     /// imposed while the GPU could have been running.
     pub idle_gap: SimDuration,
+    /// Staging-pool acquires served from a free list.
+    pub pool_hits: u64,
+    /// Staging-pool acquires that allocated a fresh pinned buffer.
+    pub pool_misses: u64,
+    /// Peak pinned bytes simultaneously leased from the staging pool.
+    pub pool_high_water_bytes: u64,
+    /// Device allocations served from the allocation cache (fault-tolerant
+    /// GVMs only; always 0 otherwise).
+    pub devcache_hits: u64,
+    /// Device-allocation cache lookups that fell through to `cudaMalloc`.
+    pub devcache_misses: u64,
+    /// Payload transfers that were split into pipelined chunks.
+    pub chunked_transfers: u64,
+    /// Individual chunk copies submitted for those transfers.
+    pub chunks_submitted: u64,
 }
 
 impl GvmStats {
@@ -170,6 +197,17 @@ impl GvmStats {
             0.0
         } else {
             self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Fraction of staging-pool acquires served without allocating
+    /// (0.0 if the pool was never used).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
         }
     }
 }
@@ -192,6 +230,15 @@ struct RankGpuAlloc {
     kernels: Vec<gv_gpu::KernelDesc>,
 }
 
+/// The GVM's buffer-lifecycle state: staging pool, device-allocation
+/// cache, pipeline config, and the transfer-group id counter.
+struct MemLayer {
+    mem: MemConfig,
+    pool: StagingPool,
+    devcache: DeviceAllocCache,
+    next_xfer: u64,
+}
+
 struct RankResources {
     shm: SharedMem,
     resp: MessageQueue<Response>,
@@ -199,8 +246,15 @@ struct RankResources {
     dev_idx: usize,
     stream: gv_gpu::StreamId,
     gpu: Option<RankGpuAlloc>,
-    pinned_in: HostBuffer,
-    pinned_out: HostBuffer,
+    /// Pooled pinned staging lease for the current round's input payload
+    /// (acquired at `SND`, recycled at `RCV`).
+    pinned_in: Option<StagingLease>,
+    /// Pooled pinned staging lease for the current round's output payload
+    /// (acquired at flush, recycled at `RCV`).
+    pinned_out: Option<StagingLease>,
+    /// Chunked pipelining pre-issued iteration 0's H2D copies at `SND`;
+    /// the flush must not submit that copy again.
+    h2d_preissued: bool,
     task: GpuTask,
     state: RankState,
     /// Highest request sequence number seen from this rank (0 = none).
@@ -343,31 +397,33 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         } else {
             None
         };
-        let functional = task.is_functional();
-        let pinned_in = if functional {
-            HostBuffer::zeroed(task.bytes_in.max(1), true)
-        } else {
-            HostBuffer::opaque(task.bytes_in.max(1), true)
-        };
-        let pinned_out = if functional {
-            HostBuffer::zeroed(task.bytes_out.max(1), true)
-        } else {
-            HostBuffer::opaque(task.bytes_out.max(1), true)
-        };
+        // Pinned staging is leased per round from the shared pool (at SND
+        // for input, at flush for output) instead of allocated per rank
+        // here — recycled leases make steady-state rounds allocation-free.
         ranks.push(RankResources {
             shm,
             resp,
             dev_idx,
             stream,
             gpu,
-            pinned_in,
-            pinned_out,
+            pinned_in: None,
+            pinned_out: None,
+            h2d_preissued: false,
             task,
             state: RankState::Active,
             last_seq: 0,
             last_resp: None,
         });
     }
+    // The buffer-lifecycle layer: one staging pool and one device
+    // allocation cache per GVM instance, plus the running transfer-group
+    // counter that ties chunk records together in analysis traces.
+    let mut ml = MemLayer {
+        mem: cfg.mem,
+        pool: StagingPool::new(),
+        devcache: DeviceAllocCache::new(),
+        next_xfer: 1,
+    };
     // The dispatch policy. Per-rank service estimates feed shortest-job-
     // first ordering; the other policies ignore them.
     let costs_ms: Vec<f64> = (0..cfg.ntask)
@@ -440,6 +496,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             &mut ranks,
                             &mut str_waiting,
                             &mut batch_start,
+                            &mut ml,
                             groups,
                         );
                     } else if str_waiting.is_empty() {
@@ -447,7 +504,16 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         // remaining active ranks are gone. Evict them all.
                         for r in 0..ranks.len() {
                             if ranks[r].state == RankState::Active {
-                                evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                                evict(
+                                    ctx,
+                                    &h,
+                                    &cudas,
+                                    &contexts,
+                                    &mut ranks,
+                                    &mut str_waiting,
+                                    &mut ml,
+                                    r,
+                                );
                                 finished += 1;
                             }
                         }
@@ -457,7 +523,16 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         // so survivors complete.
                         for r in 0..ranks.len() {
                             if ranks[r].state == RankState::Active && !str_waiting.contains(&r) {
-                                evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                                evict(
+                                    ctx,
+                                    &h,
+                                    &cudas,
+                                    &contexts,
+                                    &mut ranks,
+                                    &mut str_waiting,
+                                    &mut ml,
+                                    r,
+                                );
                                 finished += 1;
                             }
                         }
@@ -472,6 +547,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             &mut ranks,
                             &mut str_waiting,
                             &mut batch_start,
+                            &mut ml,
                             groups,
                         );
                     }
@@ -483,13 +559,12 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             req
         };
         let r = req.rank;
-        ctx.tracer()
-            .record_analysis(gv_sim::AnalysisRecord::Proto {
-                time: ctx.now(),
-                rank: r,
-                kind: req.kind.label(),
-                seq: req.seq,
-            });
+        ctx.tracer().record_analysis(gv_sim::AnalysisRecord::Proto {
+            time: ctx.now(),
+            rank: r,
+            kind: req.kind.label(),
+            seq: req.seq,
+        });
 
         // Idempotent retry handling: a sequence number at or below the
         // last one served is a duplicate (client retry after a lost
@@ -525,10 +600,30 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             }
             RequestKind::Snd => {
                 // Fault-tolerant GVMs allocate device memory here; an OOM
-                // becomes a NAK + eviction instead of a wedge.
+                // becomes a NAK + eviction instead of a wedge. Allocations
+                // parked by earlier evictions are reused before touching
+                // the device allocator.
                 if ft.is_some() && ranks[r].gpu.is_none() {
-                    let cc = &contexts[ranks[r].dev_idx];
-                    match cc.malloc(ranks[r].task.device_bytes.max(1)) {
+                    let dev_bytes = ranks[r].task.device_bytes.max(1);
+                    let dev_idx = ranks[r].dev_idx;
+                    let base = match ml.devcache.take(dev_idx, dev_bytes) {
+                        Some(ptr) => {
+                            // A recycled allocation must look fresh to a
+                            // functional task: untouched device memory
+                            // reads as zeroes, so restore that.
+                            if ranks[r].task.is_functional() {
+                                cudas[dev_idx]
+                                    .device()
+                                    .with_memory(|m| {
+                                        m.write_bytes(ptr, &vec![0u8; dev_bytes as usize])
+                                    })
+                                    .expect("zero recycled device allocation");
+                            }
+                            Ok(ptr)
+                        }
+                        None => contexts[dev_idx].malloc(dev_bytes),
+                    };
+                    match base {
                         Ok(dev_base) => {
                             let kernels = ranks[r].task.bind_kernels(dev_base);
                             ranks[r].gpu = Some(RankGpuAlloc { dev_base, kernels });
@@ -540,7 +635,16 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                                 stats.naks += 1;
                             }
                             send_recorded(ctx, &mut ranks[r], Response::nak(req.seq));
-                            evict(ctx, &h, &cudas, &mut ranks, &mut str_waiting, r);
+                            evict(
+                                ctx,
+                                &h,
+                                &cudas,
+                                &contexts,
+                                &mut ranks,
+                                &mut str_waiting,
+                                &mut ml,
+                                r,
+                            );
                             finished += 1;
                             let active = active_count(&ranks);
                             let groups = scheduler.on_membership(&str_waiting, active);
@@ -551,6 +655,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                                 &mut ranks,
                                 &mut str_waiting,
                                 &mut batch_start,
+                                &mut ml,
                                 groups,
                             );
                             continue;
@@ -559,18 +664,61 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                 }
                 // "Copies Data from Virtual Shared Memory to Host Pinned
                 // Memory" — performed by the GVM, charged to the GVM.
+                // Payloads at or above the pipeline threshold are split
+                // into chunks, each handed to the copy engine the moment
+                // it is staged, so the H2D of chunk i overlaps the shm
+                // staging of chunk i+1.
                 let bytes = ranks[r].task.bytes_in;
                 if bytes > 0 {
                     let t0 = ctx.now();
-                    if ranks[r].task.is_functional() {
-                        let data = ranks[r].shm.read(ctx, 0, bytes).expect("shm read");
-                        ranks[r].pinned_in.fill_bytes(&data);
-                    } else {
-                        ctx.hold(node.config().memcpy_time(bytes));
+                    let functional = ranks[r].task.is_functional();
+                    if ranks[r].pinned_in.is_none() {
+                        ranks[r].pinned_in = Some(ml.pool.acquire(ctx.tracer(), bytes, functional));
                     }
+                    let spans = ml.mem.pipeline.plan(bytes);
+                    let pipelined = spans.len() > 1;
+                    let xfer = ml.next_xfer;
+                    ml.next_xfer += 1;
+                    for span in &spans {
+                        let rank = &mut ranks[r];
+                        let lease = rank.pinned_in.as_ref().expect("pinned_in leased above");
+                        gv_mem::stage_span(ctx, &rank.shm, lease.buffer(), *span, true)
+                            .expect("SND staging");
+                        let label = if pipelined {
+                            let gpu = rank.gpu.as_ref().expect("SND after allocation");
+                            let cmd = contexts[rank.dev_idx]
+                                .memcpy_h2d_async_at(
+                                    ctx,
+                                    rank.stream,
+                                    lease.buffer(),
+                                    span.offset,
+                                    gpu.dev_base.add(span.offset),
+                                    span.len,
+                                )
+                                .expect("GVM chunked H2D submit");
+                            format!("cmd-{}", cmd.id)
+                        } else {
+                            String::new()
+                        };
+                        gv_mem::record_chunk(
+                            ctx.tracer(),
+                            r,
+                            xfer,
+                            true,
+                            *span,
+                            bytes,
+                            lease.id(),
+                            label,
+                        );
+                    }
+                    ranks[r].h2d_preissued = pipelined;
                     let mut stats = h.stats.lock();
                     stats.snd_copies += 1;
                     stats.copy_time += ctx.now().duration_since(t0);
+                    if pipelined {
+                        stats.chunked_transfers += 1;
+                        stats.chunks_submitted += spans.len() as u64;
+                    }
                 }
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
@@ -591,8 +739,11 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     stats.queue_depth_sum += depth;
                     stats.queue_depth_max = stats.queue_depth_max.max(depth);
                 }
-                ctx.tracer()
-                    .instant(ctx.now(), "sched", format!("queue-depth:{}", str_waiting.len()));
+                ctx.tracer().instant(
+                    ctx.now(),
+                    "sched",
+                    format!("queue-depth:{}", str_waiting.len()),
+                );
                 let active = active_count(&ranks);
                 let groups = scheduler.on_str(&str_waiting, active);
                 dispatch_groups(
@@ -602,6 +753,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     &mut ranks,
                     &mut str_waiting,
                     &mut batch_start,
+                    &mut ml,
                     groups,
                 );
             }
@@ -620,25 +772,32 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             }
             RequestKind::Rcv => {
                 // "Copies Result Data from Host Pinned Memory to Virtual
-                // Shared Memory".
+                // Shared Memory" — the same span-wise staging path as SND,
+                // in the other direction.
                 let bytes = ranks[r].task.bytes_out;
                 if bytes > 0 {
                     let t0 = ctx.now();
-                    if ranks[r].task.is_functional() {
-                        let data = ranks[r]
-                            .pinned_out
-                            .to_bytes()
-                            .expect("functional pinned buffer");
-                        ranks[r]
-                            .shm
-                            .write(ctx, 0, &data[..bytes as usize])
-                            .expect("shm write");
-                    } else {
-                        ctx.hold(node.config().memcpy_time(bytes));
+                    let rank = &mut ranks[r];
+                    let lease = rank
+                        .pinned_out
+                        .as_ref()
+                        .expect("RCV after flush leased pinned_out");
+                    for span in ml.mem.pipeline.plan(bytes) {
+                        gv_mem::stage_span(ctx, &rank.shm, lease.buffer(), span, false)
+                            .expect("RCV staging");
                     }
                     let mut stats = h.stats.lock();
                     stats.rcv_copies += 1;
                     stats.copy_time += ctx.now().duration_since(t0);
+                }
+                // End of the rank's round: both staging leases go back to
+                // the pool (the stream is idle — the client's STP was ACKed
+                // before it sent RCV — so no copy still references them).
+                if let Some(l) = ranks[r].pinned_in.take() {
+                    ml.pool.recycle(ctx.tracer(), l);
+                }
+                if let Some(l) = ranks[r].pinned_out.take() {
+                    ml.pool.recycle(ctx.tracer(), l);
                 }
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
@@ -659,6 +818,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     &mut ranks,
                     &mut str_waiting,
                     &mut batch_start,
+                    &mut ml,
                     groups,
                 );
             }
@@ -671,6 +831,21 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         if let Some(gpu) = &rank.gpu {
             let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
         }
+    }
+    // Return parked device allocations with real frees so the device's
+    // alloc/free balance (and `used() == 0`) holds at shutdown.
+    for (dev, _bytes, ptr) in ml.devcache.drain() {
+        let _ = cudas[dev].device().free(ptr);
+    }
+    {
+        let ps = ml.pool.stats();
+        let cs = ml.devcache.stats();
+        let mut stats = h.stats.lock();
+        stats.pool_hits = ps.hits;
+        stats.pool_misses = ps.misses;
+        stats.pool_high_water_bytes = ps.high_water_bytes;
+        stats.devcache_hits = cs.hits;
+        stats.devcache_misses = cs.misses;
     }
     h.done.open(ctx);
 }
@@ -686,18 +861,44 @@ fn send_recorded(ctx: &mut Ctx, rank: &mut RankResources, resp: Response) {
 /// Evict `r`: reclaim its device memory, close and unlink its response
 /// queue, unlink its shared-memory segment, and drop it from the barrier —
 /// an implicit `RLS` performed by the GVM on the rank's behalf.
+///
+/// Reclaimed buffers are recycled (device allocation into the cache,
+/// staging leases back to the pool) only when the rank's stream is idle;
+/// with work still in flight the allocation is freed for real (as the
+/// seed did) and the leases are retired un-recycled, so no other rank can
+/// ever be handed a buffer an in-flight copy still references.
+#[allow(clippy::too_many_arguments)]
 fn evict(
     ctx: &mut Ctx,
     h: &GvmHandle,
     cudas: &[CudaDevice],
+    contexts: &[gv_cuda::CudaContext],
     ranks: &mut [RankResources],
     str_waiting: &mut Vec<usize>,
+    ml: &mut MemLayer,
     r: usize,
 ) {
     let rank = &mut ranks[r];
     rank.state = RankState::Evicted;
+    let idle = contexts[rank.dev_idx].stream_query(rank.stream);
     if let Some(gpu) = rank.gpu.take() {
-        let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
+        if idle {
+            ml.devcache
+                .put(rank.dev_idx, rank.task.device_bytes.max(1), gpu.dev_base);
+        } else {
+            let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
+        }
+    }
+    if idle {
+        if let Some(l) = rank.pinned_in.take() {
+            ml.pool.recycle(ctx.tracer(), l);
+        }
+        if let Some(l) = rank.pinned_out.take() {
+            ml.pool.recycle(ctx.tracer(), l);
+        }
+    } else {
+        rank.pinned_in = None;
+        rank.pinned_out = None;
     }
     rank.resp.close(ctx);
     let _ = h.resp_mq.unlink(&h.endpoints.response_queue(r));
@@ -730,13 +931,23 @@ fn dispatch_groups(
     ranks: &mut [RankResources],
     str_waiting: &mut Vec<usize>,
     batch_start: &mut Option<gv_sim::SimTime>,
+    ml: &mut MemLayer,
     groups: Vec<Dispatch>,
 ) {
     for group in groups {
         if group.is_empty() {
             continue;
         }
-        flush_group(ctx, h, contexts, ranks, str_waiting, batch_start, &group);
+        flush_group(
+            ctx,
+            h,
+            contexts,
+            ranks,
+            str_waiting,
+            batch_start,
+            ml,
+            &group,
+        );
     }
     if str_waiting.is_empty() {
         *batch_start = None;
@@ -746,6 +957,7 @@ fn dispatch_groups(
 /// Flush one group's streams (in the scheduler's submission order), then
 /// ACK the covered ranks in `STR` arrival order and drop them from the
 /// barrier.
+#[allow(clippy::too_many_arguments)]
 fn flush_group(
     ctx: &mut Ctx,
     h: &GvmHandle,
@@ -753,6 +965,7 @@ fn flush_group(
     ranks: &mut [RankResources],
     str_waiting: &mut Vec<usize>,
     batch_start: &Option<gv_sim::SimTime>,
+    ml: &mut MemLayer,
     group: &[usize],
 ) {
     let cfg = &h.config;
@@ -761,7 +974,7 @@ fn flush_group(
     for &r in group {
         let rank = &mut ranks[r];
         let cc = &contexts[rank.dev_idx];
-        flush_rank(ctx, cc, rank);
+        flush_rank(ctx, cc, h, r, rank, ml);
         if cfg.serial_flush {
             cc.stream_synchronize(ctx, rank.stream);
         }
@@ -807,29 +1020,76 @@ fn flush_group(
 
 /// Enqueue one rank's complete pipeline into its stream: per iteration,
 /// async H2D from pinned, the kernel sequence, async D2H into pinned.
-fn flush_rank(ctx: &mut Ctx, cc: &gv_cuda::CudaContext, rank: &mut RankResources) {
-    let task = &rank.task;
+///
+/// When `SND` already pre-issued the input payload as chunked copies, the
+/// first iteration's H2D is skipped — it is already queued ahead of the
+/// kernels in the same in-order stream. Output payloads at or above the
+/// pipeline threshold are split into chunks so the D2H of early chunks
+/// overlaps the compute still queued behind them on other ranks' streams.
+fn flush_rank(
+    ctx: &mut Ctx,
+    cc: &gv_cuda::CudaContext,
+    h: &GvmHandle,
+    r: usize,
+    rank: &mut RankResources,
+    ml: &mut MemLayer,
+) {
+    let (bytes_in, bytes_out, d2h_offset, iterations, functional) = (
+        rank.task.bytes_in,
+        rank.task.bytes_out,
+        rank.task.d2h_offset,
+        rank.task.iterations,
+        rank.task.is_functional(),
+    );
+    if bytes_out > 0 && rank.pinned_out.is_none() {
+        rank.pinned_out = Some(ml.pool.acquire(ctx.tracer(), bytes_out, functional));
+    }
     let gpu = rank
         .gpu
         .as_ref()
         .expect("barriered rank has device allocation");
-    for _ in 0..task.iterations {
-        if task.bytes_in > 0 {
-            cc.memcpy_h2d_async(ctx, rank.stream, &rank.pinned_in, gpu.dev_base, task.bytes_in)
+    let preissued = std::mem::take(&mut rank.h2d_preissued);
+    for it in 0..iterations {
+        if bytes_in > 0 && !(it == 0 && preissued) {
+            let lease = rank.pinned_in.as_ref().expect("SND leased pinned_in");
+            cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes_in)
                 .expect("GVM H2D submit");
         }
         for k in &gpu.kernels {
             cc.launch(ctx, rank.stream, k.clone()).expect("GVM launch");
         }
-        if task.bytes_out > 0 {
-            cc.memcpy_d2h_async(
-                ctx,
-                rank.stream,
-                gpu.dev_base.add(task.d2h_offset),
-                &rank.pinned_out,
-                task.bytes_out,
-            )
-            .expect("GVM D2H submit");
+        if bytes_out > 0 {
+            let lease = rank.pinned_out.as_ref().expect("pinned_out leased above");
+            let spans = ml.mem.pipeline.plan(bytes_out);
+            let xfer = ml.next_xfer;
+            ml.next_xfer += 1;
+            for span in &spans {
+                let cmd = cc
+                    .memcpy_d2h_async_at(
+                        ctx,
+                        rank.stream,
+                        gpu.dev_base.add(d2h_offset + span.offset),
+                        lease.buffer(),
+                        span.offset,
+                        span.len,
+                    )
+                    .expect("GVM D2H submit");
+                gv_mem::record_chunk(
+                    ctx.tracer(),
+                    r,
+                    xfer,
+                    false,
+                    *span,
+                    bytes_out,
+                    lease.id(),
+                    format!("cmd-{}", cmd.id),
+                );
+            }
+            if spans.len() > 1 {
+                let mut stats = h.stats.lock();
+                stats.chunked_transfers += 1;
+                stats.chunks_submitted += spans.len() as u64;
+            }
         }
     }
 }

@@ -33,10 +33,11 @@ pub mod sched;
 pub use baseline::{run_direct, run_direct_abortable};
 pub use client::{ClientPolicy, TaskError, VgpuClient};
 pub use fault::{FaultPlan, FaultSpec, PlanParseError, QueueSel};
+pub use gv_mem::{MemConfig, PipelineConfig};
 pub use gvm::{FtConfig, Gvm, GvmConfig, GvmHandle, GvmStats};
 pub use protocol::{Endpoints, Request, RequestKind, Response, ResponseKind, TaskRun};
-pub use sched::{SchedPolicy, Scheduler};
 pub use remote::{RemoteClient, RemoteConfig, RemoteGpuDaemon, RemoteGpuHandle};
+pub use sched::{SchedPolicy, Scheduler};
 
 #[cfg(test)]
 mod tests {

@@ -229,7 +229,13 @@ mod tests {
     fn response_constructors_carry_seq() {
         assert_eq!(Response::ack(7).kind, ResponseKind::Ack);
         assert_eq!(Response::wait(7).seq, 7);
-        assert_eq!(Response::nak(9), Response { seq: 9, kind: ResponseKind::Nak });
+        assert_eq!(
+            Response::nak(9),
+            Response {
+                seq: 9,
+                kind: ResponseKind::Nak
+            }
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`cuda`] — CUDA-like runtime API over the device model
 //! * [`ipc`] — simulated compute node: SPMD processes, shared memory, message queues
 //! * [`kernels`] — the paper's seven benchmark workloads (functional + cost model)
+//! * [`mem`] — buffer lifecycle: pinned staging pool, device-alloc cache, chunked transfer planner
 //! * [`virt`] — ★ the paper's contribution: the GPU Virtualization Manager (GVM)
 //! * [`model`] — the paper's analytical model (Eqs. 1–6)
 //! * [`analyze`] — trace-based race detection, protocol linting, device invariants
@@ -29,6 +30,7 @@ pub use gv_gpu as gpu;
 pub use gv_harness as harness;
 pub use gv_ipc as ipc;
 pub use gv_kernels as kernels;
+pub use gv_mem as mem;
 pub use gv_model as model;
 pub use gv_sim as sim;
 pub use gv_virt as virt;

@@ -217,9 +217,15 @@ impl FtOutcome {
             .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"))
             .as_ref()
             .expect("functional output");
-        let got: Vec<u32> = vecadd::decode_output(bytes).iter().map(|f| f.to_bits()).collect();
+        let got: Vec<u32> = vecadd::decode_output(bytes)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
         let (a, b) = &self.inputs[rank];
-        let want: Vec<u32> = vecadd::reference(a, b).iter().map(|f| f.to_bits()).collect();
+        let want: Vec<u32> = vecadd::reference(a, b)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
         assert_eq!(got, want, "rank {rank} output wrong");
     }
 
@@ -343,11 +349,7 @@ fn gvm_survives_client_abort_at_every_stage() {
                 .is_err(),
             "abort at {stage:?}: victim response queue must be unlinked"
         );
-        assert!(out
-            .handle
-            .shm
-            .open(&out.handle.endpoints.shm(0))
-            .is_ok());
+        assert!(out.handle.shm.open(&out.handle.endpoints.shm(0)).is_ok());
     }
 }
 
@@ -575,9 +577,15 @@ fn shm_corruption_shows_up_in_the_output() {
         .expect("corrupted run still completes")
         .as_ref()
         .expect("functional output");
-    let got: Vec<u32> = vecadd::decode_output(bytes).iter().map(|f| f.to_bits()).collect();
+    let got: Vec<u32> = vecadd::decode_output(bytes)
+        .iter()
+        .map(|f| f.to_bits())
+        .collect();
     let (a, b) = &out.inputs[0];
-    let clean: Vec<u32> = vecadd::reference(a, b).iter().map(|f| f.to_bits()).collect();
+    let clean: Vec<u32> = vecadd::reference(a, b)
+        .iter()
+        .map(|f| f.to_bits())
+        .collect();
     assert_ne!(got, clean, "corrupted input must change the output");
     assert!(out.has_fault_event("shm-corrupt:"));
     assert_eq!(out.used_after, 0);

@@ -17,7 +17,7 @@ use gvirt::gpu::{DeviceConfig, GpuDevice};
 use gvirt::ipc::{Node, NodeConfig};
 use gvirt::kernels::vecadd;
 use gvirt::sim::{SimDuration, Simulation};
-use gvirt::virt::{ClientPolicy, FaultPlan, FaultSpec, GvmConfig, Gvm, TaskError, VgpuClient};
+use gvirt::virt::{ClientPolicy, FaultPlan, FaultSpec, Gvm, GvmConfig, TaskError, VgpuClient};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -50,7 +50,13 @@ fn run_plan(plan: &FaultPlan, stagger_us: &[u64; RANKS]) -> Outcome {
         .iter()
         .map(|(a, b)| vecadd::functional_task(&cfg, a, b))
         .collect();
-    let handle = Gvm::install(&mut sim, &node, &cuda, GvmConfig::fault_tolerant(RANKS), tasks);
+    let handle = Gvm::install(
+        &mut sim,
+        &node,
+        &cuda,
+        GvmConfig::fault_tolerant(RANKS),
+        tasks,
+    );
     plan.install(&handle, &device);
     let tracer = sim.tracer();
     tracer.set_enabled(true);

@@ -1,0 +1,184 @@
+//! Differential oracle for the gv-mem buffer-lifecycle layer: chunked,
+//! pooled staging is a performance knob, never a semantic one. Every
+//! benchmark family × group size must produce rank-by-rank bit-identical
+//! functional output whether payloads move as one serial span or as
+//! interleaved chunks through recycled pool buffers, and both must match
+//! the conventional direct-sharing baseline.
+//!
+//! The file also pins two invariants the refactor must preserve:
+//! * `SND` and `RCV` staging share one span-wise path, so equal payloads
+//!   charge the GVM equal `copy_time` in both directions;
+//! * the default (chunking-off) configuration leaves the paper-faithful
+//!   `table3` artifact bit-identical to the checked-in golden CSV.
+
+use gvirt::gpu::{DeviceConfig, KernelDesc};
+use gvirt::harness::repro;
+use gvirt::harness::scenario::{ExecutionMode, Scenario};
+use gvirt::kernels::{blackscholes, ep, mm, vecadd, GpuTask, KernelTemplate};
+use gvirt::sim::SimDuration;
+use gvirt::virt::MemConfig;
+
+/// Chunked configurations under test: a 64-byte threshold makes even the
+/// small functional payloads split, at several chunk counts.
+fn mem_configs() -> Vec<(String, MemConfig)> {
+    let mut v = vec![("serial".to_string(), MemConfig::default())];
+    for k in [2usize, 3, 8] {
+        v.push((format!("chunked-{k}"), MemConfig::pipelined(k, 64)));
+    }
+    v
+}
+
+/// Rank-distinct functional tasks for one benchmark family.
+fn tasks_for(benchmark: &str, cfg: &DeviceConfig, n: usize) -> Vec<GpuTask> {
+    (0..n)
+        .map(|rank| match benchmark {
+            "vecadd" => {
+                let a: Vec<f32> = (0..192).map(|i| (i * (rank + 1)) as f32 * 0.25).collect();
+                let b: Vec<f32> = (0..192).map(|i| (i + rank * 1000) as f32).collect();
+                vecadd::functional_task(cfg, &a, &b)
+            }
+            "ep" => ep::functional_task(cfg, 8 + (rank % 3) as u32),
+            "mm" => {
+                let dim = 8;
+                let a: Vec<f32> = (0..dim * dim)
+                    .map(|i| ((i * 7 + rank * 13) % 17) as f32 - 8.0)
+                    .collect();
+                let b: Vec<f32> = (0..dim * dim)
+                    .map(|i| ((i * 3 + rank * 5) % 11) as f32 * 0.5)
+                    .collect();
+                mm::functional_task(cfg, &a, &b, dim)
+            }
+            "blackscholes" => {
+                let (s, x, t) = blackscholes::generate_options(48, 7 + rank as u64);
+                blackscholes::functional_task(cfg, &s, &x, &t)
+            }
+            other => panic!("unknown benchmark family {other}"),
+        })
+        .collect()
+}
+
+/// Outputs of one run, unwrapped (all these tasks are functional).
+fn outputs(result: &gvirt::harness::scenario::ExperimentResult) -> Vec<Vec<u8>> {
+    result
+        .outputs
+        .iter()
+        .map(|o| o.clone().expect("functional task must produce output"))
+        .collect()
+}
+
+/// Every mem config × benchmark × N: virtualized outputs are bit-identical
+/// to the direct baseline, rank by rank — chunk boundaries and pool reuse
+/// never leak into results.
+#[test]
+fn chunked_and_pooled_match_direct_baseline_bitwise() {
+    let base = Scenario::default();
+    for benchmark in ["vecadd", "ep", "mm", "blackscholes"] {
+        for n in [2usize, 4, 8] {
+            let tasks = tasks_for(benchmark, &base.device, n);
+            let baseline = outputs(&base.run(ExecutionMode::Direct, tasks.clone()));
+            for (label, mem) in mem_configs() {
+                let scenario = base.clone().with_mem(mem);
+                let got = outputs(&scenario.run(ExecutionMode::Virtualized, tasks.clone()));
+                assert_eq!(
+                    got.len(),
+                    baseline.len(),
+                    "{benchmark} n={n} {label}: ranks"
+                );
+                for (rank, (g, want)) in got.iter().zip(&baseline).enumerate() {
+                    assert_eq!(
+                        g, want,
+                        "{benchmark} n={n} {label}: rank {rank} output differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Chunked mode really chunks (the matrix above isn't vacuous) and keeps
+/// turnaround identical to serial staging for these sub-threshold-scale
+/// workloads only where the model says so — here we only pin that stats
+/// prove the chunked path was exercised.
+#[test]
+fn chunked_matrix_exercises_the_chunked_path() {
+    let base = Scenario::default();
+    let tasks = tasks_for("vecadd", &base.device, 2);
+    let scenario = base.clone().with_mem(MemConfig::pipelined(3, 64));
+    let r = scenario.run(ExecutionMode::Virtualized, tasks);
+    let gvm = r.gvm.expect("virtualized run has GVM stats");
+    assert!(gvm.chunked_transfers > 0, "no transfer was chunked");
+    assert!(gvm.chunks_submitted >= gvm.chunked_transfers * 3);
+}
+
+/// A timing-only task with the given payload shape: one trivial kernel,
+/// `bytes_in` staged in, `bytes_out` staged out.
+fn payload_only_task(bytes_in: u64, bytes_out: u64) -> GpuTask {
+    GpuTask {
+        name: "payload".into(),
+        class: gvirt::kernels::WorkloadClass::IoIntensive,
+        ctx_switch_cost: SimDuration::ZERO,
+        device_bytes: (bytes_in + bytes_out).max(1),
+        iterations: 1,
+        bytes_in,
+        input: None,
+        bytes_out,
+        d2h_offset: bytes_in,
+        kernels: vec![KernelTemplate::timing(KernelDesc::new("noop", 1, 32))],
+    }
+}
+
+/// The deduped staging path charges the same `copy_time` for a payload
+/// whichever direction it moves: an input-only task and an output-only
+/// task of equal size cost the GVM the same staging time.
+#[test]
+fn snd_and_rcv_staging_cost_the_same_for_equal_payloads() {
+    let base = Scenario::default();
+    let payload = 3 << 20;
+    let run = |task: GpuTask| {
+        let r = base.run_uniform(ExecutionMode::Virtualized, &task, 4);
+        let gvm = r.gvm.expect("virtualized run has GVM stats");
+        (gvm.copy_time, gvm.snd_copies, gvm.rcv_copies)
+    };
+    let (in_time, in_snd, in_rcv) = run(payload_only_task(payload, 0));
+    let (out_time, out_snd, out_rcv) = run(payload_only_task(0, payload));
+    assert_eq!((in_snd, in_rcv), (4, 0));
+    assert_eq!((out_snd, out_rcv), (0, 4));
+    assert_eq!(
+        in_time.as_nanos(),
+        out_time.as_nanos(),
+        "SND and RCV staging must charge identical copy_time for identical payloads"
+    );
+    // And chunking doesn't change the total staged-byte cost either way.
+    let chunked = base.clone().with_mem(MemConfig::pipelined(4, 64));
+    let rc = chunked.run_uniform(
+        ExecutionMode::Virtualized,
+        &payload_only_task(payload, 0),
+        4,
+    );
+    let cc = chunked.run_uniform(
+        ExecutionMode::Virtualized,
+        &payload_only_task(0, payload),
+        4,
+    );
+    assert_eq!(
+        rc.gvm.expect("stats").copy_time.as_nanos(),
+        cc.gvm.expect("stats").copy_time.as_nanos(),
+        "chunked SND/RCV staging symmetry"
+    );
+}
+
+/// The default configuration (pool on, chunking off) leaves the headline
+/// reproduction artifact untouched: a full-scale `table3` regeneration is
+/// bit-identical to the golden CSV. Full paper scale (≈20 s release) — the
+/// CI `pipeline` job runs it with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full paper scale; run release-mode via the CI pipeline job"]
+fn table3_golden_bit_identical_under_default_mem_config() {
+    let artifact = repro::table3(&Scenario::default(), 1);
+    let golden =
+        std::fs::read_to_string("results/table3.csv").expect("golden results/table3.csv present");
+    assert_eq!(
+        artifact.csv, golden,
+        "table3 CSV drifted from the checked-in golden"
+    );
+}
