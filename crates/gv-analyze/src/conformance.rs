@@ -13,7 +13,12 @@
 //! Checked per rank:
 //! * **Stage ordering** — each newly-sequenced request must be legal in the
 //!   rank's current state; a barriered rank (STR awaiting flush) may not
-//!   advance until a flush covers it.
+//!   advance until a flush covers it. Steady-state pipelining adds one
+//!   twist: a client may *prefetch* the next round's SND while the current
+//!   round still computes (stage running/polling). The linter tracks the
+//!   prefetch and later accepts the matching STR straight from the
+//!   retrieved stage — but only when a prefetch is actually pending, so
+//!   non-steady traces keep the strict rule.
 //! * **Sequence discipline** — new sequence numbers are strictly
 //!   increasing (gaps are legal: a client may burn numbers on abandoned
 //!   sends); a retry of an already-served number must repeat the same
@@ -95,6 +100,9 @@ struct RankLint {
     last_seq: u64,
     /// Kind served for each accepted sequence number (retry idempotence).
     served: HashMap<u64, &'static str>,
+    /// A steady-state SND arrived mid-round (while running/polling); the
+    /// next-round STR may then follow RCV directly.
+    prefetched: bool,
 }
 
 impl Default for RankLint {
@@ -103,6 +111,7 @@ impl Default for RankLint {
             stage: Stage::Init,
             last_seq: 0,
             served: HashMap::new(),
+            prefetched: false,
         }
     }
 }
@@ -162,16 +171,30 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                     lint.last_seq = *seq;
                 }
 
+                // Steady-state prefetch: a SND while the rank still runs
+                // or polls stages the *next* round early. It does not
+                // advance the FSM — the round in flight is unaffected —
+                // but arms the STR-after-RCV transition below.
+                if kind == RequestKind::Snd && matches!(lint.stage, Stage::Running | Stage::Polling)
+                {
+                    lint.prefetched = true;
+                    continue;
+                }
+
                 // Stage ordering.
-                let legal = matches!(
-                    (lint.stage, kind),
+                let legal = match (lint.stage, kind) {
                     (Stage::Init, RequestKind::Req)
-                        | (Stage::Acquired, RequestKind::Snd)
-                        | (Stage::Staged, RequestKind::Str)
-                        | (Stage::Running | Stage::Polling, RequestKind::Stp)
-                        | (Stage::Polling, RequestKind::Rcv)
-                        | (Stage::Retrieved, RequestKind::Snd | RequestKind::Rls)
-                );
+                    | (Stage::Acquired, RequestKind::Snd)
+                    | (Stage::Staged, RequestKind::Str)
+                    | (Stage::Running | Stage::Polling, RequestKind::Stp)
+                    | (Stage::Polling, RequestKind::Rcv)
+                    | (Stage::Retrieved, RequestKind::Snd | RequestKind::Rls) => true,
+                    // STR straight after RCV is legal only when this
+                    // round's SND was prefetched mid-compute (consumed
+                    // here, so a second such STR needs its own prefetch).
+                    (Stage::Retrieved, RequestKind::Str) => std::mem::take(&mut lint.prefetched),
+                    _ => false,
+                };
                 if !legal {
                     diagnostics.push(Diagnostic {
                         checker: "conformance",
@@ -519,6 +542,76 @@ mod tests {
             proto(13, 0, "RLS", 11),
         ];
         assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn steady_prefetch_cycle_passes() {
+        // Round 2's SND arrives while round 1 still polls; the round-2 STR
+        // then follows RCV directly. The linter must accept the whole run.
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 0, "SND", 2),
+            proto(3, 0, "STR", 3),
+            flush(4, vec![0]),
+            proto(5, 0, "STP", 4),
+            proto(6, 0, "SND", 5), // prefetch of round 2, mid-poll
+            proto(7, 0, "STP", 6),
+            proto(8, 0, "RCV", 7),
+            proto(9, 0, "STR", 8), // round 2: STR straight from retrieved
+            flush(10, vec![0]),
+            proto(11, 0, "STP", 9),
+            proto(12, 0, "RCV", 10),
+            proto(13, 0, "RLS", 11),
+        ];
+        assert!(check(&recs).is_empty(), "{:?}", check(&recs));
+    }
+
+    #[test]
+    fn str_from_retrieved_without_prefetch_flagged() {
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 0, "SND", 2),
+            proto(3, 0, "STR", 3),
+            flush(4, vec![0]),
+            proto(5, 0, "STP", 4),
+            proto(6, 0, "RCV", 5),
+            proto(7, 0, "STR", 6), // no SND was prefetched: illegal
+            flush(8, vec![0]),
+            proto(9, 0, "STP", 7),
+            proto(10, 0, "RCV", 8),
+            proto(11, 0, "RLS", 9),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0]
+            .message
+            .contains("STR (seq 6) is illegal in stage 'retrieved'"));
+    }
+
+    #[test]
+    fn prefetch_is_consumed_by_its_str() {
+        // One prefetch cannot justify two STR-from-retrieved rounds.
+        let recs = vec![
+            proto(1, 0, "REQ", 1),
+            proto(2, 0, "SND", 2),
+            proto(3, 0, "STR", 3),
+            flush(4, vec![0]),
+            proto(5, 0, "STP", 4),
+            proto(6, 0, "SND", 5), // prefetch (round 2)
+            proto(7, 0, "RCV", 6),
+            proto(8, 0, "STR", 7), // consumes the prefetch
+            flush(9, vec![0]),
+            proto(10, 0, "STP", 8),
+            proto(11, 0, "RCV", 9),
+            proto(12, 0, "STR", 10), // round 3 without a prefetch: illegal
+            flush(13, vec![0]),
+            proto(14, 0, "STP", 11),
+            proto(15, 0, "RCV", 12),
+            proto(16, 0, "RLS", 13),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("seq 10"));
     }
 
     #[test]

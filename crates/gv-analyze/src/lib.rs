@@ -122,6 +122,7 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             | AnalysisRecord::Alloc { .. }
             | AnalysisRecord::Free { .. } => report.device_events += 1,
             AnalysisRecord::StageChunk { .. }
+            | AnalysisRecord::StagePlan { .. }
             | AnalysisRecord::PoolAcquire { .. }
             | AnalysisRecord::PoolRecycle { .. } => report.staging_events += 1,
         }

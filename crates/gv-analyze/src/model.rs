@@ -19,6 +19,7 @@
 //! alloc t=50 dev=0 id=1 bytes=4096
 //! free t=500 dev=0 id=1
 //! poolacq t=60 buf=3 bytes=8192 hit=1
+//! plan t=70 rank=2 xfer=11 payload=8192 k=2 cap=4 adaptive=1
 //! chunk t=80 rank=2 xfer=11 dir=in off=0 len=4096 payload=8192 buf=3 label=cmd-12
 //! poolrec t=600 buf=3
 //! ```
@@ -231,6 +232,23 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
                     time.as_nanos(),
                     if *h2d { "in" } else { "out" },
                     esc(label)
+                );
+            }
+            AnalysisRecord::StagePlan {
+                time,
+                rank,
+                xfer,
+                payload,
+                k,
+                cap,
+                adaptive,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "plan t={} rank={rank} xfer={xfer} payload={payload} k={k} cap={cap} \
+                     adaptive={}",
+                    time.as_nanos(),
+                    u8::from(*adaptive)
                 );
             }
             AnalysisRecord::PoolAcquire {
@@ -449,6 +467,24 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 buf: f.num("buf")?,
                 label: unesc(f.get("label")?),
             },
+            "plan" => AnalysisRecord::StagePlan {
+                time: f.time()?,
+                rank: f.num("rank")?,
+                xfer: f.num("xfer")?,
+                payload: f.num("payload")?,
+                k: f.num("k")?,
+                cap: f.num("cap")?,
+                adaptive: match f.get("adaptive")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'adaptive' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+            },
             "poolacq" => AnalysisRecord::PoolAcquire {
                 time: f.time()?,
                 buf: f.num("buf")?,
@@ -557,6 +593,15 @@ mod tests {
                 buf: 3,
                 bytes: 8192,
                 hit: true,
+            },
+            AnalysisRecord::StagePlan {
+                time: SimTime::from_nanos(98),
+                rank: 2,
+                xfer: 11,
+                payload: 8192,
+                k: 2,
+                cap: 4,
+                adaptive: true,
             },
             AnalysisRecord::StageChunk {
                 time: SimTime::from_nanos(100),

@@ -11,6 +11,11 @@
 //!
 //! * **Tiling** — the spans of one transfer group (`xfer` id) cover
 //!   `[0, payload)` exactly once: no gap, no overlap, consistent payload.
+//! * **Plan conformance** — when a transfer carries an
+//!   [`AnalysisRecord::StagePlan`] (the adaptive chooser's committed chunk
+//!   count), the group must emit exactly `k` spans, `k` must respect the
+//!   configured cap, the planned and staged payloads must agree, and a
+//!   plan must not be left with no staged spans at all.
 //! * **Use-after-recycle** — a pool buffer is never recycled while an
 //!   engine copy referencing it (a `StageChunk` label without a matching
 //!   [`AnalysisRecord::CopyEnd`]) is still in flight.
@@ -45,6 +50,14 @@ struct XferGroup {
     spans: Vec<(u64, u64)>,
 }
 
+/// One planner commitment for a transfer group.
+struct Plan {
+    time: SimTime,
+    rank: usize,
+    payload: u64,
+    k: u32,
+}
+
 /// Replay `records` and report every staging-invariant violation.
 pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -54,6 +67,7 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     // copies that read or write a pooled staging buffer.
     let mut in_flight: HashMap<String, u64> = HashMap::new();
     let mut groups: HashMap<u64, XferGroup> = HashMap::new();
+    let mut plans: HashMap<u64, Plan> = HashMap::new();
 
     for rec in records {
         match rec {
@@ -126,6 +140,40 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                 }
                 g.spans.push((*offset, *len));
             }
+            AnalysisRecord::StagePlan {
+                time,
+                rank,
+                xfer,
+                payload,
+                k,
+                cap,
+                ..
+            } => {
+                if *k == 0 || *k > *cap {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "transfer {xfer} (rank {rank}): planned k={k} outside \
+                             [1, cap={cap}]"
+                        ),
+                    ));
+                }
+                let prev = plans.insert(
+                    *xfer,
+                    Plan {
+                        time: *time,
+                        rank: *rank,
+                        payload: *payload,
+                        k: *k,
+                    },
+                );
+                if prev.is_some() {
+                    out.push(diag(
+                        *time,
+                        format!("transfer {xfer} (rank {rank}): planned twice"),
+                    ));
+                }
+            }
             AnalysisRecord::CopyEnd { label, .. } => {
                 in_flight.remove(label);
             }
@@ -169,6 +217,47 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                 ),
             ));
         }
+        // Plan conformance: a planned transfer must stage exactly k spans
+        // of the planned payload.
+        if let Some(p) = plans.get(xfer) {
+            if g.spans.len() as u64 != u64::from(p.k) {
+                out.push(diag(
+                    g.time,
+                    format!(
+                        "transfer {xfer} (rank {}, {dir}): planned k={} but {} spans \
+                         staged",
+                        g.rank,
+                        p.k,
+                        g.spans.len()
+                    ),
+                ));
+            }
+            if p.payload != g.payload {
+                out.push(diag(
+                    g.time,
+                    format!(
+                        "transfer {xfer} (rank {}, {dir}): planned payload {} but \
+                         {} staged",
+                        g.rank, p.payload, g.payload
+                    ),
+                ));
+            }
+        }
+    }
+    // Plans whose transfer never staged a single span.
+    let mut orphaned: Vec<(&u64, &Plan)> = plans
+        .iter()
+        .filter(|(xfer, _)| !groups.contains_key(xfer))
+        .collect();
+    orphaned.sort_by_key(|(id, _)| **id);
+    for (xfer, p) in orphaned {
+        out.push(diag(
+            p.time,
+            format!(
+                "transfer {xfer} (rank {}): planned (k={}) but no span was ever staged",
+                p.rank, p.k
+            ),
+        ));
     }
     out
 }
@@ -286,6 +375,91 @@ mod tests {
             rec(40, 3),
         ];
         assert!(check(&recs).is_empty());
+    }
+
+    fn plan(ns: u64, xfer: u64, payload: u64, k: u32, cap: u32) -> AnalysisRecord {
+        AnalysisRecord::StagePlan {
+            time: t(ns),
+            rank: 0,
+            xfer,
+            payload,
+            k,
+            cap,
+            adaptive: true,
+        }
+    }
+
+    #[test]
+    fn planned_transfer_with_matching_spans_passes() {
+        let recs = vec![
+            acq(10, 1, 8192),
+            plan(15, 7, 8192, 2, 4),
+            chunk(20, 7, 0, 4096, 8192, 1, "cmd-1"),
+            chunk(30, 7, 4096, 4096, 8192, 1, "cmd-2"),
+            copye(40, "cmd-1"),
+            copye(50, "cmd-2"),
+            rec(60, 1),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn plan_span_count_mismatch_detected() {
+        let recs = vec![
+            plan(15, 7, 8192, 3, 4),
+            chunk(20, 7, 0, 4096, 8192, 0, ""),
+            chunk(30, 7, 4096, 4096, 8192, 0, ""),
+        ];
+        let ds = check(&recs);
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("planned k=3 but 2 spans")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn plan_exceeding_cap_detected() {
+        let recs = vec![plan(15, 7, 8192, 9, 4), chunk(20, 7, 0, 8192, 8192, 0, "")];
+        let ds = check(&recs);
+        assert!(
+            ds.iter().any(|d| d.message.contains("outside [1, cap=4]")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn plan_payload_mismatch_and_orphan_detected() {
+        let recs = vec![
+            plan(15, 7, 4096, 1, 4),
+            chunk(20, 7, 0, 8192, 8192, 0, ""),
+            plan(25, 8, 8192, 2, 4), // never staged
+        ];
+        let ds = check(&recs);
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("planned payload 4096 but 8192")),
+            "{ds:?}"
+        );
+        assert!(
+            ds.iter()
+                .any(|d| d.message.contains("no span was ever staged")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_plan_detected() {
+        let recs = vec![
+            plan(15, 7, 8192, 1, 4),
+            plan(16, 7, 8192, 2, 4),
+            chunk(20, 7, 0, 8192, 8192, 0, ""),
+        ];
+        let ds = check(&recs);
+        assert!(
+            ds.iter().any(|d| d.message.contains("planned twice")),
+            "{ds:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Measure the fault-tolerant GVM's device-allocation cache over three
+//! scheduling scenarios (lockstep, staggered wave, staggered wave with a
+//! crashed rank) into `results/ft.{txt,csv}` and the machine-readable
+//! `results/BENCH_ft.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink payloads.
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{ft, repro};
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let points = ft::scenarios(&Scenario::default(), scale);
+    let artifact = ft::artifact(&points, scale);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_ft.json", ft::bench_json(&points)).is_err() {
+        eprintln!("warning: cannot write results/BENCH_ft.json");
+    }
+}

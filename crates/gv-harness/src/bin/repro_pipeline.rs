@@ -1,6 +1,8 @@
 //! Sweep the chunked staging/copy pipeline (chunk count × payload size ×
-//! group size, serial staging as baseline) into `results/pipeline.{txt,csv}`
-//! and the machine-readable `results/BENCH_pipeline.json`.
+//! group size, serial staging as baseline) and the steady-state
+//! iteration-overlap comparison (adaptive prefetch vs the first-round-only
+//! ablation) into `results/pipeline.{txt,csv}` and the machine-readable
+//! `results/BENCH_pipeline.json` + `results/BENCH_pipeline_steady.json`.
 //!
 //! Flags: `--quick` / `--scale N` shrink payloads; `--analyze` records
 //! every point's trace, checks it with `gv-analyze` (including the chunk
@@ -13,11 +15,15 @@ use gv_harness::{pipeline, repro};
 fn main() -> ExitCode {
     let scale = repro::scale_from_args();
     let analyze = repro::has_flag("--analyze");
-    let (artifact, json, clean) = pipeline::sweep(&Scenario::default(), scale, analyze);
+    let (artifact, json, steady_json, clean) =
+        pipeline::sweep(&Scenario::default(), scale, analyze);
     println!("{}", artifact.text);
     artifact.save();
     if std::fs::write("results/BENCH_pipeline.json", &json).is_err() {
         eprintln!("warning: cannot write results/BENCH_pipeline.json");
+    }
+    if std::fs::write("results/BENCH_pipeline_steady.json", &steady_json).is_err() {
+        eprintln!("warning: cannot write results/BENCH_pipeline_steady.json");
     }
     if !clean {
         eprintln!("gv-analyze diagnostics found in pipeline traces — failing");

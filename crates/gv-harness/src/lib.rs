@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod analysis;
+pub mod ft;
 pub mod overhead;
 pub mod pipeline;
 pub mod profile;

@@ -36,6 +36,13 @@ pub const PAYLOADS_MIB: [u64; 2] = [16, 64];
 /// `--quick`-scaled payloads split.
 pub const THRESHOLD: u64 = 64 << 10;
 
+/// Compute rounds per rank in the steady-state sweep (the ISSUE's
+/// acceptance point asks for ≥ 4 iterations).
+pub const STEADY_ROUNDS: u32 = 4;
+
+/// Payload sizes (MiB per rank) for the steady-state before/after record.
+pub const STEADY_PAYLOADS_MIB: [u64; 3] = [1, 16, 64];
+
 /// One chunk-count × payload × group-size measurement.
 pub struct PipelinePoint {
     /// Chunk count (1 = serial staging).
@@ -137,6 +144,125 @@ pub fn pool_reuse_point(base: &Scenario, scale_down: u32, analyze: bool) -> Pipe
     }
 }
 
+/// One steady-state before/after measurement: the same multi-round group
+/// run with PR 4-style per-iteration chunking (no overlap across rounds)
+/// and with iteration-overlapped adaptive pipelining.
+pub struct SteadyPoint {
+    /// Staged input payload per rank, MiB.
+    pub payload_mib: f64,
+    /// Process count.
+    pub nprocs: usize,
+    /// Compute rounds per rank.
+    pub rounds: u32,
+    /// Mean per-rank turnaround, fixed chunked pipelining only (ms).
+    pub before_ms: f64,
+    /// Mean per-rank turnaround, steady overlap + adaptive sizing (ms).
+    pub after_ms: f64,
+    /// Next-round `SND`s the GVM absorbed during the previous round.
+    pub prefetches: u64,
+    /// Mean adaptive chunk count over the split transfers (0 if none).
+    pub mean_k: f64,
+    /// `gv-analyze` verdict over both runs (`None` when analysis is off).
+    pub clean: Option<bool>,
+}
+
+impl SteadyPoint {
+    /// Mean-rank-turnaround improvement over the non-overlapped baseline,
+    /// as a fraction.
+    pub fn improvement(&self) -> f64 {
+        1.0 - self.after_ms / self.before_ms
+    }
+}
+
+/// Run one steady-state point: `n` ranks × `rounds` rounds at
+/// `payload_bytes`, before (first-round-only pipelining: chunked
+/// pre-issue on the session's first `SND` only, steady-state rounds
+/// staged serially with a monolithic flush-time H2D — the pre-PR schedule
+/// the ROADMAP documented) and after (adaptive chunk sizing with the same
+/// cap on every round, plus steady-state double-buffered prefetch).
+pub fn steady_point(
+    base: &Scenario,
+    payload_bytes: u64,
+    n: usize,
+    rounds: u32,
+    analyze: bool,
+) -> SteadyPoint {
+    let run = |mem: MemConfig| {
+        let scenario = Scenario {
+            analyze,
+            ..base.clone()
+        }
+        .with_mem(mem)
+        .with_rounds(rounds);
+        let task = payload_task(&scenario, payload_bytes);
+        scenario.run_uniform(ExecutionMode::Virtualized, &task, n)
+    };
+    let before = run(MemConfig::pipelined(4, THRESHOLD).with_first_round_only());
+    let after = run(MemConfig::adaptive(4, THRESHOLD).with_steady());
+    let gvm = after.gvm.as_ref().expect("virtualized run has GVM stats");
+    let clean = match (
+        before.analysis.as_ref().map(|r| r.is_clean()),
+        after.analysis.as_ref().map(|r| r.is_clean()),
+    ) {
+        (Some(b), Some(a)) => Some(b && a),
+        _ => None,
+    };
+    SteadyPoint {
+        payload_mib: payload_bytes as f64 / (1 << 20) as f64,
+        nprocs: n,
+        rounds,
+        before_ms: before.mean_phase(|r| r.end.duration_since(r.start).as_millis_f64()),
+        after_ms: after.mean_phase(|r| r.end.duration_since(r.start).as_millis_f64()),
+        prefetches: gvm.steady_prefetches,
+        mean_k: if gvm.chunked_transfers > 0 {
+            gvm.chunks_submitted as f64 / gvm.chunked_transfers as f64
+        } else {
+            0.0
+        },
+        clean,
+    }
+}
+
+/// The steady-state sweep: 8 ranks × [`STEADY_ROUNDS`] rounds at each
+/// [`STEADY_PAYLOADS_MIB`] payload.
+pub fn steady_sweep(base: &Scenario, scale_down: u32, analyze: bool) -> Vec<SteadyPoint> {
+    STEADY_PAYLOADS_MIB
+        .iter()
+        .map(|&mib| {
+            let payload = (mib << 20) / scale_down.max(1) as u64;
+            steady_point(base, payload, 8, STEADY_ROUNDS, analyze)
+        })
+        .collect()
+}
+
+/// Render the machine-readable steady-state record
+/// (`BENCH_pipeline_steady.json`): before/after mean rank turnaround per
+/// payload size.
+pub fn steady_bench_json(points: &[SteadyPoint]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pipeline_steady\",\n");
+    out.push_str(&format!(
+        "  \"nprocs\": {},\n  \"rounds\": {},\n  \"points\": [\n",
+        points.first().map_or(8, |p| p.nprocs),
+        points.first().map_or(STEADY_ROUNDS, |p| p.rounds),
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_mib\": {:.3}, \"before_mean_rank_ms\": {:.6}, \
+             \"after_mean_rank_ms\": {:.6}, \"improvement\": {:.4}, \
+             \"steady_prefetches\": {}, \"mean_adaptive_k\": {:.3}}}{}\n",
+            p.payload_mib,
+            p.before_ms,
+            p.after_ms,
+            p.improvement(),
+            p.prefetches,
+            p.mean_k,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// The headline comparison: serial vs every chunk count at 8 processes ×
 /// 16 MiB (scaled), plus the best improvement fraction over serial.
 pub struct Headline {
@@ -199,9 +325,11 @@ pub fn bench_json(hl: &Headline, reuse: Option<&PipelinePoint>) -> String {
     out
 }
 
-/// Run the full matrix plus the headline; returns the artifact, the JSON
-/// benchmark record, and whether every analyzed trace was clean.
-pub fn sweep(base: &Scenario, scale_down: u32, analyze: bool) -> (Artifact, String, bool) {
+/// Run the full matrix plus the headline and the steady-state sweep;
+/// returns the artifact, the `BENCH_pipeline.json` record, the
+/// `BENCH_pipeline_steady.json` record, and whether every analyzed trace
+/// was clean.
+pub fn sweep(base: &Scenario, scale_down: u32, analyze: bool) -> (Artifact, String, String, bool) {
     let mut csv = String::from(
         "experiment,chunks,payload_mib,nprocs,group_ms,mean_rank_ms,copy_ms,\
          pool_hit_rate,chunked_transfers,chunks_submitted,analyzed_clean\n",
@@ -295,7 +423,43 @@ pub fn sweep(base: &Scenario, scale_down: u32, analyze: bool) -> (Artifact, Stri
         pct(reuse.pool_hit_rate),
     ));
 
+    let steady = steady_sweep(base, scale_down, analyze);
+    let mut t = TextTable::new(vec![
+        "payload (MiB)",
+        "before (ms)",
+        "after (ms)",
+        "improvement",
+        "prefetches",
+        "mean k",
+    ]);
+    for p in &steady {
+        clean &= p.clean.unwrap_or(true);
+        t.row(vec![
+            format!("{:.2}", p.payload_mib),
+            ms(p.before_ms),
+            ms(p.after_ms),
+            pct(p.improvement()),
+            p.prefetches.to_string(),
+            format!("{:.2}", p.mean_k),
+        ]);
+        let flag = p.clean.map(|c| c.to_string()).unwrap_or_default();
+        csv.push_str(&format!(
+            "steady-before,4,{:.3},{},,{:.3},,,,,{flag}\n",
+            p.payload_mib, p.nprocs, p.before_ms
+        ));
+        csv.push_str(&format!(
+            "steady-after,4,{:.3},{},,{:.3},,,,,{flag}\n",
+            p.payload_mib, p.nprocs, p.after_ms
+        ));
+    }
+    text.push_str(&format!(
+        "\nSTEADY STATE — 8 processes × {STEADY_ROUNDS} rounds, \
+         iteration-overlapped adaptive pipelining vs per-iteration chunking:\n{}\n",
+        t.render()
+    ));
+
     let json = bench_json(&hl, Some(&reuse));
+    let steady_json = steady_bench_json(&steady);
     (
         Artifact {
             name: "pipeline",
@@ -303,6 +467,7 @@ pub fn sweep(base: &Scenario, scale_down: u32, analyze: bool) -> (Artifact, Stri
             csv,
         },
         json,
+        steady_json,
         clean,
     )
 }
@@ -344,6 +509,46 @@ mod tests {
             "payload above threshold must chunk"
         );
         assert_eq!(p.chunks_submitted, p.chunked_transfers * 4);
+    }
+
+    #[test]
+    fn steady_overlap_beats_per_iteration_pipelining() {
+        // The ISSUE's steady-state acceptance point: 8 processes ×
+        // 4 rounds × 16 MiB, ≥ 15% mean-rank-turnaround improvement over
+        // PR 4's non-overlapped chunked schedule.
+        let p = steady_point(&Scenario::default(), 16 << 20, 8, STEADY_ROUNDS, false);
+        assert!(
+            p.improvement() >= 0.15,
+            "steady overlap must improve ≥ 15% at 8×16 MiB×{} rounds, got {:.4}",
+            STEADY_ROUNDS,
+            p.improvement()
+        );
+        assert!(
+            p.prefetches > 0,
+            "steady runs must absorb next-round SNDs early"
+        );
+    }
+
+    #[test]
+    fn steady_traces_are_analyze_clean() {
+        // Smoke-scaled, both runs under the full checker suite (staging
+        // tiling under adaptive k included).
+        let p = steady_point(&Scenario::default(), 1 << 20, 4, 3, true);
+        assert_eq!(p.clean, Some(true));
+        assert!(p.prefetches > 0);
+    }
+
+    #[test]
+    fn steady_bench_json_is_well_formed() {
+        let pts = steady_sweep(&Scenario::default(), 256, false);
+        let j = steady_bench_json(&pts);
+        assert!(j.contains("\"bench\": \"pipeline_steady\""));
+        assert_eq!(
+            j.matches("\"payload_mib\":").count(),
+            STEADY_PAYLOADS_MIB.len()
+        );
+        assert!(j.contains("\"before_mean_rank_ms\""));
+        assert!(j.contains("\"after_mean_rank_ms\""));
     }
 
     #[test]

@@ -108,6 +108,12 @@ pub struct Scenario {
     /// on; chunked pipelining off by default, which is bit-identical to
     /// serial staging). Ignored in Direct mode.
     pub mem: MemConfig,
+    /// Compute rounds per rank (virtualized runs): each rank repeats the
+    /// SND→STR→STP→RCV cycle this many times inside one REQ/RLS session,
+    /// modeling iterative solvers. Direct mode always runs one round (every
+    /// round recomputes the same output, so functional results stay
+    /// bitwise-comparable across modes).
+    pub rounds: u32,
 }
 
 impl Default for Scenario {
@@ -120,6 +126,7 @@ impl Default for Scenario {
             scheduler: SchedPolicy::JointFlush,
             stagger: SimDuration::ZERO,
             mem: MemConfig::default(),
+            rounds: 1,
         }
     }
 }
@@ -154,6 +161,12 @@ impl Scenario {
     /// `self` with the given buffer-lifecycle configuration.
     pub fn with_mem(self, mem: MemConfig) -> Self {
         Scenario { mem, ..self }
+    }
+
+    /// `self` with each rank running `rounds` compute rounds per session.
+    pub fn with_rounds(self, rounds: u32) -> Self {
+        assert!(rounds >= 1, "at least one round");
+        Scenario { rounds, ..self }
     }
 }
 
@@ -205,6 +218,7 @@ impl Scenario {
                     .with_scheduler(self.scheduler.clone())
                     .with_mem(self.mem);
                 let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
+                let rounds = self.rounds;
                 for rank in 0..n {
                     let handle = handle.clone();
                     let collected = collected.clone();
@@ -218,7 +232,7 @@ impl Scenario {
                         if !arrival.is_zero() {
                             ctx.hold(arrival);
                         }
-                        let out = client.run_task(ctx);
+                        let out = client.run_rounds(ctx, rounds);
                         collected.lock().push(out);
                     })
                     .expect("pin SPMD process");

@@ -1,0 +1,188 @@
+//! Model-driven adaptive chunk sizing.
+//!
+//! The fixed [`PipelineConfig::chunks`] knob forces one chunk count on
+//! every transfer, but the optimal split depends on the payload: the
+//! pipeline win grows with `min(t_stage, t_xfer)` while every extra chunk
+//! pays a fixed submit/latency overhead. [`AdaptiveChooser`] evaluates the
+//! `pipelined_staging` model term from `gv-model` — extended with that
+//! per-chunk overhead — to pick `k` per transfer:
+//!
+//! * `t_xfer` is seeded from the device model's copy-engine rate (known at
+//!   GVM boot and invariant over a run);
+//! * `t_stage` starts from the node's shm memcpy rate and is refined by an
+//!   online EWMA of *measured* staging latency, fed back by the GVM after
+//!   every staged payload;
+//! * `overhead` is the fixed per-chunk cost (shm latency + copy submit).
+//!
+//! Small payloads (below the config threshold) always get `k = 1`; large
+//! ones approach `k* = sqrt(min/overhead)`, clamped to the configured cap.
+//! The chooser is deterministic given the same observation sequence, so
+//! simulated runs stay reproducible.
+
+use std::cell::Cell;
+
+use gv_model::optimal_chunks;
+
+use crate::config::PipelineConfig;
+
+/// EWMA smoothing factor for staging-rate observations: new measurements
+/// get a quarter weight, so one outlier round cannot swing the plan.
+const ALPHA: f64 = 0.25;
+
+/// Online chunk-count chooser (see the module docs).
+///
+/// Interior-mutable so the GVM can feed observations and consult the
+/// chooser through a shared reference; not `Sync` — each GVM serve loop
+/// owns its own chooser.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChooser {
+    /// EWMA of measured shm→pinned staging cost, ns per byte.
+    stage_ns_per_byte: Cell<f64>,
+    /// Modeled pinned→device copy cost, ns per byte (fixed per device).
+    xfer_ns_per_byte: f64,
+    /// Fixed per-chunk overhead in ns (latency + submit cost).
+    overhead_ns: f64,
+    /// Staging observations folded into the EWMA so far.
+    observations: Cell<u64>,
+}
+
+impl AdaptiveChooser {
+    /// A chooser seeded from modeled rates. `stage_seed` and `xfer` are in
+    /// nanoseconds per byte; `overhead` is the fixed nanosecond cost every
+    /// additional chunk pays.
+    pub fn new(stage_seed_ns_per_byte: f64, xfer_ns_per_byte: f64, overhead_ns: f64) -> Self {
+        assert!(stage_seed_ns_per_byte >= 0.0 && xfer_ns_per_byte >= 0.0);
+        AdaptiveChooser {
+            stage_ns_per_byte: Cell::new(stage_seed_ns_per_byte),
+            xfer_ns_per_byte,
+            overhead_ns,
+            observations: Cell::new(0),
+        }
+    }
+
+    /// Fold one measured staging latency (`ns` simulated nanoseconds for
+    /// `bytes` payload bytes) into the EWMA. Zero-byte payloads carry no
+    /// rate information and are ignored.
+    pub fn observe_stage(&self, bytes: u64, ns: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let rate = ns as f64 / bytes as f64;
+        let prev = self.stage_ns_per_byte.get();
+        self.stage_ns_per_byte.set(prev + ALPHA * (rate - prev));
+        self.observations.set(self.observations.get() + 1);
+    }
+
+    /// The chunk count for a `payload`-byte transfer under `cfg`.
+    ///
+    /// Sub-threshold payloads (and disabled configs) always move as one
+    /// span; fixed configs defer to [`PipelineConfig::fixed_k`]; adaptive
+    /// configs evaluate the model with the current EWMA rates, capped by
+    /// `cfg.chunks` and the payload size.
+    pub fn choose(&self, payload: u64, cfg: &PipelineConfig) -> u64 {
+        if payload == 0 || !cfg.enabled() || payload < cfg.threshold {
+            return 1;
+        }
+        if !cfg.adaptive {
+            return cfg.fixed_k(payload);
+        }
+        let t_stage = self.stage_ns_per_byte.get() * payload as f64;
+        let t_xfer = self.xfer_ns_per_byte * payload as f64;
+        let cap = u32::try_from(cfg.chunks).unwrap_or(u32::MAX).max(1);
+        u64::from(optimal_chunks(t_stage, t_xfer, self.overhead_ns, cap)).min(payload)
+    }
+
+    /// Current EWMA staging rate, ns per byte.
+    pub fn stage_rate(&self) -> f64 {
+        self.stage_ns_per_byte.get()
+    }
+
+    /// Number of staging observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Host-memory staging/H2D rates with a per-chunk cost that puts the
+    /// 16 MiB sweet spot at k≈3 (the regime the ISSUE targets).
+    fn chooser() -> AdaptiveChooser {
+        // ~12.8 GB/s staging, ~8 GB/s H2D, 150 µs per-chunk overhead.
+        AdaptiveChooser::new(0.078, 0.125, 150_000.0)
+    }
+
+    fn cfg(cap: usize, threshold: u64) -> PipelineConfig {
+        PipelineConfig::adaptive(cap, threshold)
+    }
+
+    #[test]
+    fn sub_threshold_payloads_stay_serial() {
+        let c = chooser();
+        let cfg = cfg(8, 1 << 20);
+        assert_eq!(c.choose(0, &cfg), 1);
+        assert_eq!(c.choose(4096, &cfg), 1);
+        assert_eq!(c.choose((1 << 20) - 1, &cfg), 1);
+    }
+
+    #[test]
+    fn sixteen_mib_picks_a_few_chunks() {
+        let c = chooser();
+        let k = c.choose(16 << 20, &cfg(8, 1 << 20));
+        assert!(
+            (2..=4).contains(&k),
+            "16 MiB at memory-bus rates should pipeline at k≈2–4, got {k}"
+        );
+    }
+
+    #[test]
+    fn choice_is_monotone_in_payload_and_capped() {
+        let c = chooser();
+        let cfg = cfg(4, 64 << 10);
+        let mut prev = 0;
+        for mib in [1u64, 2, 4, 8, 16, 32, 64, 128, 512] {
+            let k = c.choose(mib << 20, &cfg);
+            assert!(k >= prev, "k dropped from {prev} to {k} at {mib} MiB");
+            assert!(k <= 4, "cap exceeded at {mib} MiB: {k}");
+            prev = k;
+        }
+        assert!(prev >= 2, "large payloads must pipeline");
+    }
+
+    #[test]
+    fn fixed_config_bypasses_the_model() {
+        let c = chooser();
+        let fixed = PipelineConfig::chunked(3, 64);
+        assert_eq!(c.choose(16 << 20, &fixed), 3);
+        assert_eq!(c.choose(2, &fixed), 1, "threshold still applies");
+    }
+
+    #[test]
+    fn ewma_tracks_observed_staging_rate() {
+        let c = chooser();
+        let before = c.choose(16 << 20, &cfg(16, 1 << 20));
+        // Staging suddenly 20× slower (contended bus): the pipeline win
+        // grows, so the chooser must not pick fewer chunks.
+        for _ in 0..32 {
+            c.observe_stage(1 << 20, (1 << 20) * 2); // 2 ns/byte
+        }
+        assert!(c.stage_rate() > 1.5, "EWMA converges to ~2 ns/byte");
+        assert_eq!(c.observations(), 32);
+        let after = c.choose(16 << 20, &cfg(16, 1 << 20));
+        assert!(
+            after >= before,
+            "slower staging must not reduce chunking ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn zero_byte_observations_are_ignored() {
+        let c = chooser();
+        let rate = c.stage_rate();
+        c.observe_stage(0, 1_000_000);
+        assert_eq!(c.stage_rate(), rate);
+        assert_eq!(c.observations(), 0);
+    }
+}

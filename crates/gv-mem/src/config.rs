@@ -1,5 +1,7 @@
 //! Transfer-pipelining configuration and the chunked transfer planner.
 
+use crate::pool::PoolConfig;
+
 /// One contiguous byte span of a payload transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
@@ -20,11 +22,32 @@ pub struct Span {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Number of chunks a qualifying payload is split into. `1` disables
-    /// chunking entirely.
+    /// chunking entirely. Under [`adaptive`](Self::adaptive) sizing this is
+    /// the chunk *cap*: the chooser never picks more spans than this.
     pub chunks: usize,
     /// Minimum payload size (bytes) eligible for chunking. Payloads below
     /// this always move as one span. Irrelevant while `chunks == 1`.
     pub threshold: u64,
+    /// Model-driven chunk sizing: instead of always splitting qualifying
+    /// payloads into exactly `chunks` spans, the GVM's
+    /// [`AdaptiveChooser`](crate::AdaptiveChooser) picks a per-transfer
+    /// `k ∈ [1, chunks]` from the `pipelined_staging` model term and an
+    /// online EWMA of measured staging latency.
+    pub adaptive: bool,
+    /// Steady-state iteration overlap: the client prefetches round *j+1*'s
+    /// `SND` while round *j* still computes, and the GVM double-buffers the
+    /// pinned input lease so next-round staging and H2D overlap current-
+    /// round compute and D2H drain. Off by default (protocol timing is then
+    /// bit-identical to the non-overlapped schedule).
+    pub steady: bool,
+    /// Ablation baseline: restrict span-wise pre-issue to the session's
+    /// *first* round. Later rounds stage their whole payload serially and
+    /// upload it in one monolithic H2D at flush — the pre-steady-state
+    /// schedule the ROADMAP describes ("only the first iteration's H2D is
+    /// pre-issued from SND; steady-state iterations still stage
+    /// serially"). Kept so the steady-state sweep measures its win against
+    /// exactly that schedule.
+    pub first_round_only: bool,
 }
 
 impl Default for PipelineConfig {
@@ -32,6 +55,9 @@ impl Default for PipelineConfig {
         PipelineConfig {
             chunks: 1,
             threshold: 16 << 20,
+            adaptive: false,
+            steady: false,
+            first_round_only: false,
         }
     }
 }
@@ -40,12 +66,53 @@ impl PipelineConfig {
     /// Chunking enabled: split payloads of at least `threshold` bytes into
     /// `chunks` spans.
     pub fn chunked(chunks: usize, threshold: u64) -> Self {
-        PipelineConfig { chunks, threshold }
+        PipelineConfig {
+            chunks,
+            threshold,
+            ..Self::default()
+        }
+    }
+
+    /// Adaptive chunking: payloads of at least `threshold` bytes split
+    /// into a model-chosen `k ≤ cap` spans.
+    pub fn adaptive(cap: usize, threshold: u64) -> Self {
+        PipelineConfig {
+            chunks: cap,
+            threshold,
+            adaptive: true,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with steady-state iteration overlap on.
+    pub fn with_steady(mut self) -> Self {
+        self.steady = true;
+        self
+    }
+
+    /// The same configuration restricted to first-round pre-issue (the
+    /// pre-steady-state ablation baseline).
+    pub fn with_first_round_only(mut self) -> Self {
+        self.first_round_only = true;
+        self
     }
 
     /// Is chunking enabled at all?
     pub fn enabled(&self) -> bool {
         self.chunks > 1
+    }
+
+    /// The fixed chunk count [`plan`](Self::plan) uses for `payload`: 1
+    /// for sub-threshold, disabled, or adaptive configs (under adaptive
+    /// sizing only the GVM's chooser knows `k`, so plain `plan` callers —
+    /// the client-side shm mirror, the RCV drain — stay single-span), else
+    /// `chunks` clamped so no span is empty.
+    pub fn fixed_k(&self, payload: u64) -> u64 {
+        if self.chunks <= 1 || self.adaptive || payload < self.threshold {
+            1
+        } else {
+            (self.chunks as u64).min(payload)
+        }
     }
 
     /// Split `payload` bytes into the spans this configuration prescribes.
@@ -55,19 +122,25 @@ impl PipelineConfig {
     /// disabled config) yields exactly one. The chunk count is clamped so
     /// no span is empty.
     pub fn plan(&self, payload: u64) -> Vec<Span> {
+        Self::plan_exact(payload, self.fixed_k(payload))
+    }
+
+    /// Split `payload` bytes into exactly `k` near-equal spans (clamped so
+    /// no span is empty): the first `payload % k` spans carry one extra
+    /// byte. This is the planner's kernel; adaptive callers pick `k` first
+    /// and tile with it, and the staging checker holds every planned
+    /// transfer to exactly `k` emitted spans.
+    pub fn plan_exact(payload: u64, k: u64) -> Vec<Span> {
         if payload == 0 {
             return Vec::new();
         }
-        let k = if self.chunks <= 1 || payload < self.threshold {
-            1
-        } else {
-            (self.chunks as u64).min(payload)
-        };
-        let quantum = payload.div_ceil(k);
+        let k = k.clamp(1, payload);
+        let base = payload / k;
+        let rem = payload % k;
         let mut spans = Vec::with_capacity(k as usize);
         let mut offset = 0;
-        while offset < payload {
-            let len = quantum.min(payload - offset);
+        for i in 0..k {
+            let len = base + u64::from(i < rem);
             spans.push(Span { offset, len });
             offset += len;
         }
@@ -78,11 +151,14 @@ impl PipelineConfig {
 /// Buffer-lifecycle configuration carried by the GVM.
 ///
 /// The pinned staging pool and device-allocation cache are always on (they
-/// cost no simulated time), so the only knob is the transfer pipeline.
+/// cost no simulated time); the pipeline knobs and the pool's bounding
+/// policy are configurable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemConfig {
     /// Chunked copy/compute pipelining; disabled by default.
     pub pipeline: PipelineConfig,
+    /// Staging-pool bounding: high-water shrink, lease cap, NUMA split.
+    pub pool: PoolConfig,
 }
 
 impl MemConfig {
@@ -90,7 +166,35 @@ impl MemConfig {
     pub fn pipelined(chunks: usize, threshold: u64) -> Self {
         MemConfig {
             pipeline: PipelineConfig::chunked(chunks, threshold),
+            ..Self::default()
         }
+    }
+
+    /// Convenience: adaptive chunk sizing up to `cap` spans.
+    pub fn adaptive(cap: usize, threshold: u64) -> Self {
+        MemConfig {
+            pipeline: PipelineConfig::adaptive(cap, threshold),
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with steady-state iteration overlap on.
+    pub fn with_steady(mut self) -> Self {
+        self.pipeline = self.pipeline.with_steady();
+        self
+    }
+
+    /// The same configuration restricted to first-round pre-issue (the
+    /// pre-steady-state ablation baseline).
+    pub fn with_first_round_only(mut self) -> Self {
+        self.pipeline = self.pipeline.with_first_round_only();
+        self
+    }
+
+    /// The same configuration with a replaced pool policy.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -153,5 +257,41 @@ mod tests {
         let m = MemConfig::pipelined(4, 64);
         assert_eq!(m.pipeline.chunks, 4);
         assert_eq!(m.pipeline.threshold, 64);
+        assert!(!m.pipeline.adaptive);
+        assert!(!m.pipeline.steady);
+        let a = MemConfig::adaptive(8, 1 << 20).with_steady();
+        assert!(a.pipeline.adaptive);
+        assert!(a.pipeline.steady);
+        assert_eq!(a.pipeline.chunks, 8);
+        let p = MemConfig::default().with_pool(PoolConfig {
+            max_free_bytes: None,
+            ..PoolConfig::default()
+        });
+        assert_eq!(p.pool.max_free_bytes, None);
+    }
+
+    #[test]
+    fn plan_exact_tiles_any_k() {
+        for payload in [1u64, 3, 4096, (16 << 20) + 7] {
+            for k in [1u64, 2, 3, 8, 1000] {
+                let spans = PipelineConfig::plan_exact(payload, k);
+                assert_eq!(spans.len() as u64, k.clamp(1, payload));
+                covers(&spans, payload);
+            }
+        }
+        assert!(PipelineConfig::plan_exact(0, 4).is_empty());
+    }
+
+    #[test]
+    fn fixed_k_matches_plan() {
+        for cfg in [
+            PipelineConfig::default(),
+            PipelineConfig::chunked(4, 64),
+            PipelineConfig::adaptive(8, 1 << 20),
+        ] {
+            for payload in [1u64, 63, 64, 4096, 1 << 20, 16 << 20] {
+                assert_eq!(cfg.plan(payload).len() as u64, cfg.fixed_k(payload));
+            }
+        }
     }
 }

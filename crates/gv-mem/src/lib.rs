@@ -17,20 +17,26 @@
 //!   and early D2H chunks overlap remaining compute at flush. Disabled by
 //!   default, in which case every transfer is one span and the GVM is
 //!   bit-identical to serial staging.
-//! * [`stage_span`] / [`record_chunk`] — the single span-wise data mover
-//!   both protocol directions share, and the analysis-record emitter that
-//!   lets `gv-analyze` prove chunk tiling and pool-lease discipline.
+//! * [`AdaptiveChooser`] — model-driven chunk sizing: per-transfer `k`
+//!   from the `pipelined_staging` term in `gv-model` plus an online EWMA
+//!   of measured staging latency, capped by the config.
+//! * [`stage_span`] / [`record_chunk`] / [`record_plan`] — the single
+//!   span-wise data mover both protocol directions share, and the
+//!   analysis-record emitters that let `gv-analyze` prove chunk tiling
+//!   (including under adaptive plans) and pool-lease discipline.
 //!
 //! [`gv-virt`]: ../gv_virt/index.html
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod config;
 pub mod devcache;
 pub mod pool;
 pub mod stage;
 
+pub use adaptive::AdaptiveChooser;
 pub use config::{MemConfig, PipelineConfig, Span};
 pub use devcache::{DevCacheStats, DeviceAllocCache};
-pub use pool::{PoolStats, StagingLease, StagingPool, MIN_CLASS};
-pub use stage::{record_chunk, stage_span};
+pub use pool::{PoolConfig, PoolStats, StagingLease, StagingPool, MIN_CLASS};
+pub use stage::{record_chunk, record_plan, stage_span};

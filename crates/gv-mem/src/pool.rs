@@ -8,6 +8,13 @@
 //! models exactly the pointer swap a real pool performs — which keeps the
 //! pool golden-safe: timings are unchanged whether a lease hits or misses.
 //!
+//! The pool is **bounded** by [`PoolConfig`]: free-list bytes above the
+//! high-water cap are released back to the host at recycle time (so one
+//! demand burst no longer pins peak memory forever), free lists are split
+//! per NUMA node so a lease lands on the requester's socket, and an
+//! optional lease cap provides blocking backpressure via
+//! [`StagingPool::acquire_blocking`].
+//!
 //! Every acquire/recycle is mirrored onto the tracer's analysis stream
 //! ([`AnalysisRecord::PoolAcquire`] / [`AnalysisRecord::PoolRecycle`]) so
 //! `gv-analyze` can prove lease discipline and catch use-after-recycle.
@@ -15,11 +22,54 @@
 use std::collections::HashMap;
 
 use gv_cuda::HostBuffer;
-use gv_sim::{AnalysisRecord, Tracer};
+use gv_sim::{AnalysisRecord, Ctx, SimDuration, Tracer};
 use parking_lot::Mutex;
 
 /// Smallest size class handed out, in bytes.
 pub const MIN_CLASS: u64 = 4096;
+
+/// Bounding policy for a [`StagingPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Cap on total free-list bytes. When a recycle pushes the resident
+    /// free bytes above this, whole buffers are released (largest size
+    /// class first) until back under. `None` disables shrinking and the
+    /// pool holds its peak demand forever.
+    pub max_free_bytes: Option<u64>,
+    /// Cap on concurrently leased bytes. [`StagingPool::acquire_blocking`]
+    /// blocks (in simulated time) while granting the lease would exceed
+    /// it; plain [`StagingPool::acquire`] never blocks — the GVM serve
+    /// loop must not deadlock against its own recycles — and only counts
+    /// the overshoot in [`PoolStats::over_cap`]. `None` disables the cap.
+    pub lease_cap_bytes: Option<u64>,
+    /// Number of NUMA nodes the free lists are split across. A lease is
+    /// recycled to the node it was acquired for, so steady-state traffic
+    /// stays socket-local. `1` (the default) models a single-socket host.
+    pub numa_nodes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            // Generous default: big enough that no current sweep ever
+            // shrinks mid-run, small enough to bound a pathological burst.
+            max_free_bytes: Some(512 << 20),
+            lease_cap_bytes: None,
+            numa_nodes: 1,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// An unbounded pool (pre-bounding behavior: never shrinks).
+    pub fn unbounded() -> Self {
+        PoolConfig {
+            max_free_bytes: None,
+            lease_cap_bytes: None,
+            numa_nodes: 1,
+        }
+    }
+}
 
 /// Aggregate pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,12 +80,24 @@ pub struct PoolStats {
     pub misses: u64,
     /// Distinct buffers ever created.
     pub buffers: u64,
-    /// Total bytes backing all created buffers (live + free).
+    /// Total bytes backing all resident buffers (live + free). Decreases
+    /// when the high-water shrink releases buffers.
     pub allocated_bytes: u64,
     /// Bytes currently leased out.
     pub in_use_bytes: u64,
     /// Peak of `in_use_bytes` over the pool's lifetime.
     pub high_water_bytes: u64,
+    /// Buffers released by the high-water shrink path.
+    pub released_buffers: u64,
+    /// Bytes released by the high-water shrink path.
+    pub released_bytes: u64,
+    /// `acquire_blocking` calls that had to wait for the lease cap.
+    pub backpressure_waits: u64,
+    /// Total simulated nanoseconds spent waiting for the lease cap.
+    pub backpressure_wait_ns: u64,
+    /// Non-blocking acquires granted past the lease cap (the GVM's own
+    /// acquires may overshoot rather than deadlock the serve loop).
+    pub over_cap: u64,
 }
 
 impl PoolStats {
@@ -56,11 +118,13 @@ struct PooledBuf {
 }
 
 struct Inner {
-    /// Free lists keyed by (size class, functional?). Functional buffers
-    /// carry real storage and must never be handed to a timing-only lease
-    /// (and vice versa), so the flag is part of the key.
-    free: HashMap<(u64, bool), Vec<PooledBuf>>,
+    /// Free lists keyed by (size class, functional?, NUMA node).
+    /// Functional buffers carry real storage and must never be handed to a
+    /// timing-only lease (and vice versa), so the flag is part of the key;
+    /// the NUMA index keeps recycled buffers socket-local.
+    free: HashMap<(u64, bool, usize), Vec<PooledBuf>>,
     next_id: u64,
+    config: PoolConfig,
     stats: PoolStats,
 }
 
@@ -76,6 +140,7 @@ pub struct StagingLease {
     id: u64,
     class: u64,
     functional: bool,
+    numa: usize,
 }
 
 impl StagingLease {
@@ -94,6 +159,11 @@ impl StagingLease {
     /// Size-class capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.class
+    }
+
+    /// NUMA node the lease was acquired for (0 on single-socket configs).
+    pub fn numa(&self) -> usize {
+        self.numa
     }
 }
 
@@ -118,26 +188,106 @@ impl Default for StagingPool {
 }
 
 impl StagingPool {
-    /// An empty pool.
+    /// An empty pool with the default bounding policy.
     pub fn new() -> Self {
+        Self::with_config(PoolConfig::default())
+    }
+
+    /// An empty pool with an explicit bounding policy.
+    pub fn with_config(config: PoolConfig) -> Self {
         StagingPool {
             inner: Mutex::new(Inner {
                 free: HashMap::new(),
                 next_id: 1,
+                config,
                 stats: PoolStats::default(),
             }),
         }
     }
 
-    /// Lease a pinned buffer of at least `bytes` bytes. `functional`
-    /// leases carry real (initially zeroed) storage; timing-only leases
-    /// are opaque. Records a `PoolAcquire` on `tracer`'s analysis stream.
+    /// Lease a pinned buffer of at least `bytes` bytes, preferring NUMA
+    /// node 0. See [`acquire_on`](Self::acquire_on).
     pub fn acquire(&self, tracer: &Tracer, bytes: u64, functional: bool) -> StagingLease {
-        let class = size_class(bytes);
+        self.acquire_on(tracer, bytes, functional, 0)
+    }
+
+    /// Lease a pinned buffer of at least `bytes` bytes from `numa`'s free
+    /// lists. `functional` leases carry real (initially zeroed) storage;
+    /// timing-only leases are opaque. Records a `PoolAcquire` on
+    /// `tracer`'s analysis stream. Never blocks: a lease cap overshoot is
+    /// only counted ([`PoolStats::over_cap`]), since the GVM serve loop
+    /// both acquires and recycles and must not wait on itself.
+    pub fn acquire_on(
+        &self,
+        tracer: &Tracer,
+        bytes: u64,
+        functional: bool,
+        numa: usize,
+    ) -> StagingLease {
         let mut inner = self.inner.lock();
+        self.acquire_locked(&mut inner, tracer, bytes, functional, numa)
+    }
+
+    /// Like [`acquire_on`](Self::acquire_on), but honors the configured
+    /// lease cap by blocking in **simulated** time (exponential-backoff
+    /// polling on `ctx`) until the lease fits. Intended for client-side
+    /// callers that are not on the pool's recycle path.
+    pub fn acquire_blocking(
+        &self,
+        ctx: &mut Ctx,
+        tracer: &Tracer,
+        bytes: u64,
+        functional: bool,
+        numa: usize,
+    ) -> StagingLease {
+        let class = size_class(bytes);
+        let mut backoff = SimDuration::from_micros(50);
+        let max_backoff = SimDuration::from_micros(1000);
+        let mut waited = false;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                let fits = match inner.config.lease_cap_bytes {
+                    // A lease bigger than the whole cap must still be
+                    // grantable once nothing else is out, or the caller
+                    // would spin forever.
+                    Some(cap) => {
+                        inner.stats.in_use_bytes + class <= cap || inner.stats.in_use_bytes == 0
+                    }
+                    None => true,
+                };
+                if fits {
+                    return self.acquire_locked(&mut inner, tracer, bytes, functional, numa);
+                }
+                if !waited {
+                    waited = true;
+                    inner.stats.backpressure_waits += 1;
+                }
+                inner.stats.backpressure_wait_ns += backoff.as_nanos();
+            }
+            ctx.hold(backoff);
+            backoff = (backoff * 2).min(max_backoff);
+        }
+    }
+
+    fn acquire_locked(
+        &self,
+        inner: &mut Inner,
+        tracer: &Tracer,
+        bytes: u64,
+        functional: bool,
+        numa: usize,
+    ) -> StagingLease {
+        let class = size_class(bytes);
+        let numa = numa % inner.config.numa_nodes.max(1);
+        if let Some(cap) = inner.config.lease_cap_bytes {
+            if inner.stats.in_use_bytes + class > cap && inner.stats.in_use_bytes > 0 {
+                inner.stats.over_cap += 1;
+            }
+        }
         let recycled = inner
             .free
-            .get_mut(&(class, functional))
+            .get_mut(&(class, functional, numa))
             .and_then(|list| list.pop());
         let hit = recycled.is_some();
         let pooled = recycled.unwrap_or_else(|| {
@@ -170,13 +320,16 @@ impl StagingPool {
             id: pooled.id,
             class,
             functional,
+            numa,
         }
     }
 
     /// Return a lease to its free list. Records a `PoolRecycle`. The
     /// caller must not recycle while an async copy into or out of the
     /// buffer is still in flight (gv-analyze's staging checker enforces
-    /// this over traces).
+    /// this over traces). When the recycle pushes resident free bytes over
+    /// [`PoolConfig::max_free_bytes`], whole buffers are released —
+    /// largest size class first — until back under the cap.
     pub fn recycle(&self, tracer: &Tracer, lease: StagingLease) {
         let mut inner = self.inner.lock();
         inner.stats.in_use_bytes -= lease.class;
@@ -186,12 +339,40 @@ impl StagingPool {
         });
         inner
             .free
-            .entry((lease.class, lease.functional))
+            .entry((lease.class, lease.functional, lease.numa))
             .or_default()
             .push(PooledBuf {
                 id: lease.id,
                 buf: lease.buf,
             });
+        if let Some(cap) = inner.config.max_free_bytes {
+            Self::shrink_to(&mut inner, cap);
+        }
+    }
+
+    /// Drop free buffers (largest class first) until resident free bytes
+    /// are at most `cap`. Zero simulated time: releasing pinned memory is
+    /// a host-side operation the model does not charge.
+    fn shrink_to(inner: &mut Inner, cap: u64) {
+        while inner.stats.allocated_bytes - inner.stats.in_use_bytes > cap {
+            let victim_key = inner
+                .free
+                .iter()
+                .filter(|(_, list)| !list.is_empty())
+                .map(|(key, _)| *key)
+                .max_by_key(|&(class, _, _)| class);
+            let Some(key) = victim_key else { break };
+            if let Some(list) = inner.free.get_mut(&key) {
+                if list.pop().is_some() {
+                    inner.stats.allocated_bytes -= key.0;
+                    inner.stats.released_buffers += 1;
+                    inner.stats.released_bytes += key.0;
+                }
+                if list.is_empty() {
+                    inner.free.remove(&key);
+                }
+            }
+        }
     }
 
     /// Snapshot of the pool counters.
@@ -264,6 +445,178 @@ mod tests {
         let b = pool.acquire(&t, 100, false);
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(b.capacity(), MIN_CLASS);
+    }
+
+    #[test]
+    fn burst_shrinks_back_under_high_water_cap() {
+        // Regression: the pool used to hold its peak demand forever. A
+        // burst of 8 × 1 MiB leases against a 2 MiB free-byte cap must
+        // release buffers on recycle until resident free bytes fit.
+        let t = tracer();
+        let pool = StagingPool::with_config(PoolConfig {
+            max_free_bytes: Some(2 << 20),
+            ..PoolConfig::default()
+        });
+        let leases: Vec<_> = (0..8).map(|_| pool.acquire(&t, 1 << 20, false)).collect();
+        assert_eq!(pool.stats().allocated_bytes, 8 << 20);
+        for l in leases {
+            pool.recycle(&t, l);
+        }
+        let s = pool.stats();
+        assert_eq!(s.in_use_bytes, 0);
+        assert_eq!(
+            s.allocated_bytes,
+            2 << 20,
+            "resident bytes must drop to the cap after the burst"
+        );
+        assert_eq!(s.released_buffers, 6);
+        assert_eq!(s.released_bytes, 6 << 20);
+        assert_eq!(s.high_water_bytes, 8 << 20, "peak demand still recorded");
+        // The survivors still recycle as hits.
+        let a = pool.acquire(&t, 1 << 20, false);
+        assert_eq!(pool.stats().hits, 1);
+        pool.recycle(&t, a);
+    }
+
+    #[test]
+    fn shrink_releases_largest_classes_first() {
+        let t = tracer();
+        let pool = StagingPool::with_config(PoolConfig {
+            max_free_bytes: Some(MIN_CLASS),
+            ..PoolConfig::default()
+        });
+        let small = pool.acquire(&t, MIN_CLASS, false);
+        let big = pool.acquire(&t, 1 << 20, false);
+        pool.recycle(&t, small);
+        // Still under cap: exactly MIN_CLASS free.
+        assert_eq!(pool.stats().released_buffers, 0);
+        pool.recycle(&t, big);
+        // Over cap: the 1 MiB class goes first, the small buffer survives.
+        let s = pool.stats();
+        assert_eq!(s.released_bytes, 1 << 20);
+        assert_eq!(s.allocated_bytes, MIN_CLASS);
+        assert_eq!(pool.acquire(&t, MIN_CLASS, false).capacity(), MIN_CLASS);
+        assert_eq!(pool.stats().hits, 1, "small survivor recycles as a hit");
+    }
+
+    #[test]
+    fn unbounded_config_never_shrinks() {
+        let t = tracer();
+        let pool = StagingPool::with_config(PoolConfig::unbounded());
+        let leases: Vec<_> = (0..4).map(|_| pool.acquire(&t, 1 << 20, false)).collect();
+        for l in leases {
+            pool.recycle(&t, l);
+        }
+        let s = pool.stats();
+        assert_eq!(s.allocated_bytes, 4 << 20);
+        assert_eq!(s.released_buffers, 0);
+    }
+
+    #[test]
+    fn numa_nodes_keep_free_lists_separate() {
+        let t = tracer();
+        let pool = StagingPool::with_config(PoolConfig {
+            numa_nodes: 2,
+            ..PoolConfig::default()
+        });
+        let a = pool.acquire_on(&t, MIN_CLASS, false, 0);
+        assert_eq!(a.numa(), 0);
+        pool.recycle(&t, a);
+        // Other socket: must miss even though the class matches.
+        let b = pool.acquire_on(&t, MIN_CLASS, false, 1);
+        assert_eq!(b.numa(), 1);
+        assert_eq!(pool.stats().misses, 2);
+        // Same socket: hit.
+        let c = pool.acquire_on(&t, MIN_CLASS, false, 0);
+        assert_eq!(pool.stats().hits, 1);
+        // Out-of-range indices wrap onto configured nodes.
+        let d = pool.acquire_on(&t, MIN_CLASS, false, 7);
+        assert_eq!(d.numa(), 1);
+        pool.recycle(&t, b);
+        pool.recycle(&t, c);
+        pool.recycle(&t, d);
+    }
+
+    #[test]
+    fn non_blocking_acquire_counts_cap_overshoot() {
+        let t = tracer();
+        let pool = StagingPool::with_config(PoolConfig {
+            lease_cap_bytes: Some(MIN_CLASS),
+            ..PoolConfig::default()
+        });
+        let a = pool.acquire(&t, MIN_CLASS, false);
+        let b = pool.acquire(&t, MIN_CLASS, false); // over cap, still granted
+        let s = pool.stats();
+        assert_eq!(s.over_cap, 1);
+        assert_eq!(s.in_use_bytes, 2 * MIN_CLASS);
+        pool.recycle(&t, a);
+        pool.recycle(&t, b);
+    }
+
+    #[test]
+    fn blocking_acquire_waits_for_the_lease_cap() {
+        use gv_sim::Simulation;
+        use std::sync::Arc;
+
+        let t = tracer();
+        let pool = Arc::new(StagingPool::with_config(PoolConfig {
+            lease_cap_bytes: Some(MIN_CLASS),
+            ..PoolConfig::default()
+        }));
+        let first = pool.acquire(&t, MIN_CLASS, false);
+        let mut sim = Simulation::new();
+        {
+            let pool = Arc::clone(&pool);
+            let t = t.clone();
+            sim.spawn("holder", move |ctx| {
+                // Release the only cap slot 1 ms into simulated time.
+                ctx.hold(SimDuration::from_micros(1000));
+                pool.recycle(&t, first);
+            });
+        }
+        {
+            let pool = Arc::clone(&pool);
+            let t = t.clone();
+            sim.spawn("waiter", move |ctx| {
+                let lease = pool.acquire_blocking(ctx, &t, MIN_CLASS, false, 0);
+                assert!(
+                    ctx.now().as_nanos() >= 1_000_000,
+                    "lease granted before the cap slot freed"
+                );
+                pool.recycle(&t, lease);
+            });
+        }
+        sim.run().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.backpressure_waits, 1);
+        assert!(s.backpressure_wait_ns >= 1_000_000 - 50_000);
+        assert_eq!(s.in_use_bytes, 0);
+    }
+
+    #[test]
+    fn blocking_acquire_grants_oversized_lease_when_pool_idle() {
+        use gv_sim::Simulation;
+        use std::sync::Arc;
+
+        // A lease larger than the whole cap must still be granted once
+        // nothing else is leased, or the caller would spin forever.
+        let t = tracer();
+        let pool = Arc::new(StagingPool::with_config(PoolConfig {
+            lease_cap_bytes: Some(MIN_CLASS),
+            ..PoolConfig::default()
+        }));
+        let mut sim = Simulation::new();
+        {
+            let pool = Arc::clone(&pool);
+            let t = t.clone();
+            sim.spawn("p", move |ctx| {
+                let lease = pool.acquire_blocking(ctx, &t, 1 << 20, false, 0);
+                assert_eq!(lease.capacity(), 1 << 20);
+                pool.recycle(&t, lease);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(pool.stats().backpressure_waits, 0);
     }
 
     #[test]

@@ -80,6 +80,32 @@ pub fn record_chunk(
     });
 }
 
+/// Emit the [`AnalysisRecord::StagePlan`] committing one transfer to `k`
+/// chunks before its spans are staged.
+///
+/// The staging checker cross-validates: the group `xfer` must then emit
+/// exactly `k` [`AnalysisRecord::StageChunk`] spans tiling `payload`, and
+/// `k` must not exceed `cap` — so adaptive sizing stays auditable.
+pub fn record_plan(
+    tracer: &Tracer,
+    rank: usize,
+    xfer: u64,
+    payload: u64,
+    k: u64,
+    cap: u64,
+    adaptive: bool,
+) {
+    tracer.record_analysis(AnalysisRecord::StagePlan {
+        time: tracer.now_hint(),
+        rank,
+        xfer,
+        payload,
+        k: u32::try_from(k).unwrap_or(u32::MAX),
+        cap: u32::try_from(cap).unwrap_or(u32::MAX),
+        adaptive,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +174,26 @@ mod tests {
         });
         let s = sim.run().unwrap();
         assert_eq!(s.end_time.as_nanos(), node.memcpy_time(4096).as_nanos());
+    }
+
+    #[test]
+    fn record_plan_emits_stage_plan() {
+        let t = Tracer::new();
+        t.set_analysis(true);
+        record_plan(&t, 2, 9, 1 << 20, 4, 8, true);
+        let recs = t.analysis_snapshot();
+        assert!(matches!(
+            &recs[..],
+            [AnalysisRecord::StagePlan {
+                rank: 2,
+                xfer: 9,
+                payload: 0x100000,
+                k: 4,
+                cap: 8,
+                adaptive: true,
+                ..
+            }]
+        ));
     }
 
     #[test]

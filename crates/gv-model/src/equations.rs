@@ -93,6 +93,42 @@ pub fn pipelined_staging(t_stage: f64, t_xfer: f64, k: u32) -> f64 {
     s + x + (k as f64 - 1.0) * s.max(x)
 }
 
+/// The chunk count minimizing the pipelined makespan once each chunk also
+/// pays a fixed `overhead` (shm latency + copy submit): the model behind
+/// the adaptive chooser in `gv-mem`.
+///
+/// `pipelined_staging` simplifies to `max + min/k` (with `max`/`min` over
+/// the two stage times), so the objective is
+///
+/// `T(k) = max(t_stage, t_xfer) + min(t_stage, t_xfer)/k + k·overhead`,
+///
+/// whose continuous optimum is `k* = sqrt(min/overhead)`. The returned
+/// value is the exact discrete argmin (the better of `floor(k*)` and
+/// `ceil(k*)`, ties to the smaller `k`), clamped to `[1, cap]`. Because
+/// `k*` grows with `min(t_stage, t_xfer)`, the choice is monotone
+/// non-decreasing in the payload size for fixed per-byte rates — bigger
+/// transfers never pipeline less.
+///
+/// A non-positive `overhead` means chunking is free under the model and
+/// the cap is returned outright.
+pub fn optimal_chunks(t_stage: f64, t_xfer: f64, overhead: f64, cap: u32) -> u32 {
+    assert!(cap >= 1, "chunk cap must allow at least one chunk");
+    assert!(t_stage >= 0.0 && t_xfer >= 0.0);
+    if overhead <= 0.0 {
+        return cap;
+    }
+    let makespan = |k: u32| pipelined_staging(t_stage, t_xfer, k) + k as f64 * overhead;
+    let k_star = (t_stage.min(t_xfer) / overhead).sqrt();
+    let lo = (k_star.floor() as u32).clamp(1, cap);
+    let hi = (k_star.ceil() as u32).clamp(1, cap);
+    // Ties go to the smaller k: fewer chunks, identical predicted makespan.
+    if makespan(hi) < makespan(lo) {
+        hi
+    } else {
+        lo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +245,75 @@ mod tests {
         // Balanced stages halve the serial time in the limit.
         let t = pipelined_staging(4.0, 4.0, 1_000_000);
         assert!((t - 4.0).abs() < 1e-4);
+    }
+
+    /// Brute-force argmin of the overhead-extended makespan over 1..=cap.
+    fn brute_force_k(t_stage: f64, t_xfer: f64, overhead: f64, cap: u32) -> u32 {
+        let mut best = 1;
+        let mut best_t = f64::INFINITY;
+        for k in 1..=cap {
+            let t = pipelined_staging(t_stage, t_xfer, k) + k as f64 * overhead;
+            if t < best_t - 1e-12 {
+                best = k;
+                best_t = t;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn optimal_chunks_matches_brute_force() {
+        for &(s, x, o) in &[
+            (3.0, 5.0, 0.1),
+            (5.0, 3.0, 0.1),
+            (1.0, 1.0, 0.01),
+            (0.5, 8.0, 0.25),
+            (16.0, 16.0, 1.0),
+            (100.0, 2.0, 0.5),
+            (0.0, 4.0, 0.1),
+        ] {
+            for cap in [1u32, 2, 4, 8, 64] {
+                let got = optimal_chunks(s, x, o, cap);
+                let want = brute_force_k(s, x, o, cap);
+                let t_got = pipelined_staging(s, x, got) + got as f64 * o;
+                let t_want = pipelined_staging(s, x, want) + want as f64 * o;
+                assert!(
+                    (t_got - t_want).abs() < 1e-9,
+                    "s={s} x={x} o={o} cap={cap}: got k={got} (T={t_got}), \
+                     brute force k={want} (T={t_want})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_chunks_tiny_payload_is_serial() {
+        // When the overhead dwarfs the pipeline win, k = 1.
+        assert_eq!(optimal_chunks(0.001, 0.002, 1.0, 8), 1);
+        assert_eq!(optimal_chunks(0.0, 0.0, 0.5, 8), 1);
+    }
+
+    #[test]
+    fn optimal_chunks_monotone_in_payload() {
+        // Fixed per-byte rates, growing payload: k never decreases.
+        let stage_rate = 0.08; // time units per MiB
+        let xfer_rate = 0.06;
+        let overhead = 0.02;
+        let mut prev = 0;
+        for mib in 1..=128u32 {
+            let k = optimal_chunks(stage_rate * mib as f64, xfer_rate * mib as f64, overhead, 8);
+            assert!(k >= prev, "k dropped from {prev} to {k} at {mib} MiB");
+            prev = k;
+        }
+        assert!(prev > 1, "large payloads must pipeline");
+    }
+
+    #[test]
+    fn optimal_chunks_respects_cap_and_free_overhead() {
+        assert!(optimal_chunks(1e6, 1e6, 1e-9, 4) <= 4);
+        assert_eq!(optimal_chunks(1e6, 1e6, 1e-9, 4), 4);
+        assert_eq!(optimal_chunks(3.0, 5.0, 0.0, 6), 6);
+        assert_eq!(optimal_chunks(3.0, 5.0, -1.0, 6), 6);
     }
 
     #[test]

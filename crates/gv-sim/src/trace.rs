@@ -242,6 +242,27 @@ pub enum AnalysisRecord {
         /// for this span; empty when the span was staged without one.
         label: String,
     },
+    /// The transfer planner committed to a chunk count for one payload
+    /// before emitting that transfer's [`AnalysisRecord::StageChunk`]
+    /// spans. The staging checker cross-validates the plan against the
+    /// spans actually staged, so adaptive chunk sizing stays auditable.
+    StagePlan {
+        /// Simulated timestamp the plan was made.
+        time: SimTime,
+        /// SPMD rank the transfer belongs to.
+        rank: usize,
+        /// Transfer-group id the plan governs (matches the spans' `xfer`).
+        xfer: u64,
+        /// Total payload size the plan tiles.
+        payload: u64,
+        /// Chosen chunk count: the transfer must emit exactly `k` spans.
+        k: u32,
+        /// Configured chunk cap in force when the choice was made.
+        cap: u32,
+        /// `true` when the model-driven adaptive chooser picked `k`,
+        /// `false` for a fixed `PipelineConfig::chunks` plan.
+        adaptive: bool,
+    },
     /// A pinned staging buffer was acquired from the pool.
     PoolAcquire {
         /// Simulated timestamp of the acquire.

@@ -380,14 +380,27 @@ impl VgpuClient {
         rounds: u32,
     ) -> Result<(TaskRun, Option<Vec<u8>>), TaskError> {
         assert!(rounds >= 1);
+        let steady = self.handle.config.mem.pipeline.steady;
         let start = ctx.now();
         self.try_req(ctx)?;
         let init_done = ctx.now();
         let mut last = None;
-        for _ in 0..rounds {
-            self.try_snd(ctx)?;
+        let mut sent_next = false;
+        for round in 0..rounds {
+            if !sent_next {
+                self.try_snd(ctx)?;
+            }
             let data_in_done = ctx.now();
             self.try_str(ctx)?;
+            // Steady-state overlap: hand next round's input to the GVM
+            // right after this round's flush ACK, before settling into the
+            // STP poll — the GVM stages (and pre-issues) it while this
+            // round's compute and D2H still occupy the device.
+            sent_next = false;
+            if steady && round + 1 < rounds {
+                self.try_snd(ctx)?;
+                sent_next = true;
+            }
             self.try_stp_until_done(ctx)?;
             let comp_done = ctx.now();
             let output = self.try_rcv(ctx)?;

@@ -33,7 +33,9 @@ use gv_cuda::CudaDevice;
 use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
-use gv_mem::{DeviceAllocCache, MemConfig, StagingLease, StagingPool};
+use gv_mem::{
+    AdaptiveChooser, DeviceAllocCache, MemConfig, PipelineConfig, StagingLease, StagingPool,
+};
 use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
 
@@ -188,6 +190,19 @@ pub struct GvmStats {
     pub chunked_transfers: u64,
     /// Individual chunk copies submitted for those transfers.
     pub chunks_submitted: u64,
+    /// `SND`s served as steady-state prefetches: next round's input staged
+    /// into the double buffer while the current round still computed.
+    pub steady_prefetches: u64,
+    /// Pinned buffers released by the staging pool's high-water shrink.
+    pub pool_released_buffers: u64,
+    /// Pinned bytes released by the staging pool's high-water shrink.
+    pub pool_released_bytes: u64,
+    /// Staging-pool lease-cap overshoots by the GVM's non-blocking
+    /// acquires (the serve loop never blocks against its own recycles).
+    pub pool_over_cap: u64,
+    /// Acquires that blocked on the lease cap (client-side users of the
+    /// pool; always 0 for the GVM's own acquires).
+    pub pool_backpressure_waits: u64,
 }
 
 impl GvmStats {
@@ -231,12 +246,56 @@ struct RankGpuAlloc {
 }
 
 /// The GVM's buffer-lifecycle state: staging pool, device-allocation
-/// cache, pipeline config, and the transfer-group id counter.
+/// cache, pipeline config, the adaptive chunk chooser, and the
+/// transfer-group id counter.
 struct MemLayer {
     mem: MemConfig,
     pool: StagingPool,
     devcache: DeviceAllocCache,
+    chooser: AdaptiveChooser,
     next_xfer: u64,
+}
+
+impl MemLayer {
+    /// Choose a chunk count for `payload`, allocate a transfer-group id,
+    /// and commit the plan to the analysis stream (so the staging checker
+    /// holds the transfer to exactly that tiling); returns the id and the
+    /// spans. Callers must stage/record every returned span.
+    fn plan(
+        &mut self,
+        tracer: &gv_sim::Tracer,
+        rank: usize,
+        payload: u64,
+    ) -> (u64, Vec<gv_mem::Span>) {
+        let k = self.chooser.choose(payload, &self.mem.pipeline);
+        self.plan_k(tracer, rank, payload, k)
+    }
+
+    /// [`plan`](Self::plan) with a caller-forced chunk count (the
+    /// first-round-only ablation pins steady-state rounds to `k = 1`).
+    fn plan_k(
+        &mut self,
+        tracer: &gv_sim::Tracer,
+        rank: usize,
+        payload: u64,
+        k: u64,
+    ) -> (u64, Vec<gv_mem::Span>) {
+        let spans = PipelineConfig::plan_exact(payload, k);
+        let xfer = self.next_xfer;
+        self.next_xfer += 1;
+        if payload > 0 {
+            gv_mem::record_plan(
+                tracer,
+                rank,
+                xfer,
+                payload,
+                spans.len() as u64,
+                self.mem.pipeline.chunks.max(1) as u64,
+                self.mem.pipeline.adaptive,
+            );
+        }
+        (xfer, spans)
+    }
 }
 
 struct RankResources {
@@ -255,6 +314,22 @@ struct RankResources {
     /// Chunked pipelining pre-issued iteration 0's H2D copies at `SND`;
     /// the flush must not submit that copy again.
     h2d_preissued: bool,
+    /// Steady-state double buffer: next round's input lease, staged by a
+    /// prefetched `SND` while the current round is still on the device.
+    /// Promoted to `pinned_in` at `RCV`.
+    pinned_in_next: Option<StagingLease>,
+    /// The prefetched `SND` already pre-issued next round's H2D copies
+    /// (behind the current round's work on the same in-order stream).
+    h2d_preissued_next: bool,
+    /// Tail of the stream at the end of this rank's last flush. Steady
+    /// `STP` polls this instead of the raw stream tail, which may already
+    /// include next round's pre-issued H2D.
+    round_tail: Option<gv_gpu::CommandHandle>,
+    /// NUMA node of this rank's staging leases (from its core pinning).
+    numa: usize,
+    /// Completed `RCV` rounds this session (drives the first-round-only
+    /// ablation schedule).
+    rounds_done: u32,
     task: GpuTask,
     state: RankState,
     /// Highest request sequence number seen from this rank (0 = none).
@@ -400,6 +475,10 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         // Pinned staging is leased per round from the shared pool (at SND
         // for input, at flush for output) instead of allocated per rank
         // here — recycled leases make steady-state rounds allocation-free.
+        // Ranks map onto NUMA nodes by their core pinning so a rank's
+        // leases come from free lists local to its socket.
+        let cores = node.config().cores.max(1);
+        let numa = (r % cores) * cfg.mem.pool.numa_nodes.max(1) / cores;
         ranks.push(RankResources {
             shm,
             resp,
@@ -409,6 +488,11 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             pinned_in: None,
             pinned_out: None,
             h2d_preissued: false,
+            pinned_in_next: None,
+            h2d_preissued_next: false,
+            round_tail: None,
+            numa,
+            rounds_done: 0,
             task,
             state: RankState::Active,
             last_seq: 0,
@@ -417,11 +501,23 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     }
     // The buffer-lifecycle layer: one staging pool and one device
     // allocation cache per GVM instance, plus the running transfer-group
-    // counter that ties chunk records together in analysis traces.
+    // counter that ties chunk records together in analysis traces. The
+    // adaptive chunk chooser is seeded from the models this run already
+    // uses — staging rate from the node's memcpy bandwidth, transfer rate
+    // from the device's pinned H2D bandwidth, per-chunk overhead from the
+    // fixed latencies both sides charge per span — and refined online by
+    // an EWMA of measured staging latency.
+    let dev_cfg = cudas[0].device().config();
+    let chooser = AdaptiveChooser::new(
+        1.0 / node.config().memcpy_gbps,
+        1.0e9 / dev_cfg.h2d_bytes_per_sec(true),
+        (node.config().shm_latency + dev_cfg.dma_latency).as_nanos() as f64,
+    );
     let mut ml = MemLayer {
         mem: cfg.mem,
-        pool: StagingPool::new(),
+        pool: StagingPool::with_config(cfg.mem.pool),
         devcache: DeviceAllocCache::new(),
+        chooser,
         next_xfer: 1,
     };
     // The dispatch policy. Per-rank service estimates feed shortest-job-
@@ -610,14 +706,35 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         Some(ptr) => {
                             // A recycled allocation must look fresh to a
                             // functional task: untouched device memory
-                            // reads as zeroes, so restore that.
+                            // reads as zeroes, so restore that. The
+                            // restore goes through the same chunked
+                            // planner as payload transfers, so the
+                            // staging checker audits its tiling too.
                             if ranks[r].task.is_functional() {
-                                cudas[dev_idx]
-                                    .device()
-                                    .with_memory(|m| {
-                                        m.write_bytes(ptr, &vec![0u8; dev_bytes as usize])
-                                    })
-                                    .expect("zero recycled device allocation");
+                                let (xfer, spans) = ml.plan(ctx.tracer(), r, dev_bytes);
+                                let zeros = vec![0u8; dev_bytes as usize];
+                                for span in &spans {
+                                    cudas[dev_idx]
+                                        .device()
+                                        .with_memory(|m| {
+                                            m.write_bytes(
+                                                ptr.add(span.offset),
+                                                &zeros[span.offset as usize
+                                                    ..(span.offset + span.len) as usize],
+                                            )
+                                        })
+                                        .expect("zero recycled device allocation");
+                                    gv_mem::record_chunk(
+                                        ctx.tracer(),
+                                        r,
+                                        xfer,
+                                        true,
+                                        *span,
+                                        dev_bytes,
+                                        0,
+                                        String::new(),
+                                    );
+                                }
                             }
                             Ok(ptr)
                         }
@@ -672,19 +789,53 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                 if bytes > 0 {
                     let t0 = ctx.now();
                     let functional = ranks[r].task.is_functional();
-                    if ranks[r].pinned_in.is_none() {
-                        ranks[r].pinned_in = Some(ml.pool.acquire(ctx.tracer(), bytes, functional));
+                    // First-round-only ablation: steady-state rounds fall
+                    // back to serial whole-payload staging with the H2D
+                    // deferred to flush (the pre-PR schedule the ROADMAP
+                    // documented; kept as the sweep baseline).
+                    let ablate = ml.mem.pipeline.first_round_only && ranks[r].rounds_done > 0;
+                    // Steady-state prefetch: a second SND arriving while
+                    // this rank's round is still on the device stages next
+                    // round's input into the double buffer and pre-issues
+                    // its H2D behind the in-flight work on the same
+                    // in-order stream — iteration overlap across rounds.
+                    let prefetch =
+                        ml.mem.pipeline.steady && !ablate && ranks[r].pinned_in.is_some();
+                    if prefetch {
+                        if ranks[r].pinned_in_next.is_none() {
+                            let numa = ranks[r].numa;
+                            ranks[r].pinned_in_next =
+                                Some(ml.pool.acquire_on(ctx.tracer(), bytes, functional, numa));
+                        }
+                    } else if ranks[r].pinned_in.is_none() {
+                        let numa = ranks[r].numa;
+                        ranks[r].pinned_in =
+                            Some(ml.pool.acquire_on(ctx.tracer(), bytes, functional, numa));
                     }
-                    let spans = ml.mem.pipeline.plan(bytes);
-                    let pipelined = spans.len() > 1;
-                    let xfer = ml.next_xfer;
-                    ml.next_xfer += 1;
+                    let (xfer, spans) = if ablate {
+                        ml.plan_k(ctx.tracer(), r, bytes, 1)
+                    } else {
+                        ml.plan(ctx.tracer(), r, bytes)
+                    };
+                    let chunked = spans.len() > 1;
+                    let mut stage_ns = 0u64;
                     for span in &spans {
                         let rank = &mut ranks[r];
-                        let lease = rank.pinned_in.as_ref().expect("pinned_in leased above");
+                        let lease = if prefetch {
+                            rank.pinned_in_next.as_ref()
+                        } else {
+                            rank.pinned_in.as_ref()
+                        }
+                        .expect("pinned input leased above");
+                        let s0 = ctx.now();
                         gv_mem::stage_span(ctx, &rank.shm, lease.buffer(), *span, true)
                             .expect("SND staging");
-                        let label = if pipelined {
+                        stage_ns += ctx.now().duration_since(s0).as_nanos();
+                        // Chunked transfers hand every span to the copy
+                        // engine as it is staged; prefetched rounds hand
+                        // over even a single span (the whole point is
+                        // getting the H2D in before the round boundary).
+                        let label = if chunked || prefetch {
                             let gpu = rank.gpu.as_ref().expect("SND after allocation");
                             let cmd = contexts[rank.dev_idx]
                                 .memcpy_h2d_async_at(
@@ -711,11 +862,21 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             label,
                         );
                     }
-                    ranks[r].h2d_preissued = pipelined;
+                    // Feed the measured staging latency back into the
+                    // adaptive model.
+                    ml.chooser.observe_stage(bytes, stage_ns);
+                    if prefetch {
+                        ranks[r].h2d_preissued_next = true;
+                    } else {
+                        ranks[r].h2d_preissued = chunked;
+                    }
                     let mut stats = h.stats.lock();
                     stats.snd_copies += 1;
                     stats.copy_time += ctx.now().duration_since(t0);
-                    if pipelined {
+                    if prefetch {
+                        stats.steady_prefetches += 1;
+                    }
+                    if chunked {
                         stats.chunked_transfers += 1;
                         stats.chunks_submitted += spans.len() as u64;
                     }
@@ -759,7 +920,13 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             }
             RequestKind::Stp => {
                 // "If status(stream)=0 sends WAIT, otherwise sends ACK".
-                let done = contexts[ranks[r].dev_idx].stream_query(ranks[r].stream);
+                // In steady mode the stream tail may already include next
+                // round's pre-issued H2D, so completion is judged at the
+                // round boundary recorded at flush, not the raw tail.
+                let done = match &ranks[r].round_tail {
+                    Some(tail) => tail.is_done(),
+                    None => contexts[ranks[r].dev_idx].stream_query(ranks[r].stream),
+                };
                 if !done {
                     h.stats.lock().stp_waits += 1;
                 }
@@ -791,19 +958,60 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                     stats.copy_time += ctx.now().duration_since(t0);
                 }
                 // End of the rank's round: both staging leases go back to
-                // the pool (the stream is idle — the client's STP was ACKed
-                // before it sent RCV — so no copy still references them).
+                // the pool (this round's copies are done — the client's
+                // STP was ACKed at the round boundary before it sent RCV —
+                // so no copy still references them; a prefetched next
+                // round's H2D reads `pinned_in_next`, which is promoted,
+                // never recycled, here).
                 if let Some(l) = ranks[r].pinned_in.take() {
                     ml.pool.recycle(ctx.tracer(), l);
                 }
                 if let Some(l) = ranks[r].pinned_out.take() {
                     ml.pool.recycle(ctx.tracer(), l);
                 }
+                ranks[r].pinned_in = ranks[r].pinned_in_next.take();
+                ranks[r].h2d_preissued = std::mem::take(&mut ranks[r].h2d_preissued_next);
+                ranks[r].round_tail = None;
+                ranks[r].rounds_done += 1;
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
             RequestKind::Rls => {
                 ranks[r].state = RankState::Released;
                 finished += 1;
+                {
+                    let rank = &mut ranks[r];
+                    let idle = contexts[rank.dev_idx].stream_query(rank.stream);
+                    // Under fault tolerance a released rank's device
+                    // allocation is parked in the same cache the evict
+                    // path feeds, so a later admission of the same shape
+                    // (e.g. a second scheduling wave) reuses it instead
+                    // of paying cudaMalloc again. Fault-free GVMs keep
+                    // the seed behavior: allocations live to shutdown.
+                    if ft.is_some() && idle {
+                        if let Some(gpu) = rank.gpu.take() {
+                            ml.devcache.put(
+                                rank.dev_idx,
+                                rank.task.device_bytes.max(1),
+                                gpu.dev_base,
+                            );
+                        }
+                    }
+                    // A client that releases mid-cycle (after a prefetch,
+                    // before the round it fed) leaves staged leases
+                    // behind; reclaim them once nothing references them.
+                    if idle {
+                        if let Some(l) = rank.pinned_in.take() {
+                            ml.pool.recycle(ctx.tracer(), l);
+                        }
+                        if let Some(l) = rank.pinned_in_next.take() {
+                            ml.pool.recycle(ctx.tracer(), l);
+                        }
+                        if let Some(l) = rank.pinned_out.take() {
+                            ml.pool.recycle(ctx.tracer(), l);
+                        }
+                    }
+                    rank.round_tail = None;
+                }
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
                 // A release shrinks the group: the barrier other ranks are
                 // waiting behind may now be satisfied at the reduced width
@@ -844,6 +1052,10 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         stats.pool_hits = ps.hits;
         stats.pool_misses = ps.misses;
         stats.pool_high_water_bytes = ps.high_water_bytes;
+        stats.pool_released_buffers = ps.released_buffers;
+        stats.pool_released_bytes = ps.released_bytes;
+        stats.pool_over_cap = ps.over_cap;
+        stats.pool_backpressure_waits = ps.backpressure_waits;
         stats.devcache_hits = cs.hits;
         stats.devcache_misses = cs.misses;
     }
@@ -893,13 +1105,18 @@ fn evict(
         if let Some(l) = rank.pinned_in.take() {
             ml.pool.recycle(ctx.tracer(), l);
         }
+        if let Some(l) = rank.pinned_in_next.take() {
+            ml.pool.recycle(ctx.tracer(), l);
+        }
         if let Some(l) = rank.pinned_out.take() {
             ml.pool.recycle(ctx.tracer(), l);
         }
     } else {
         rank.pinned_in = None;
+        rank.pinned_in_next = None;
         rank.pinned_out = None;
     }
+    rank.round_tail = None;
     rank.resp.close(ctx);
     let _ = h.resp_mq.unlink(&h.endpoints.response_queue(r));
     let _ = h.shm.unlink(&h.endpoints.shm(r));
@@ -1042,7 +1259,10 @@ fn flush_rank(
         rank.task.is_functional(),
     );
     if bytes_out > 0 && rank.pinned_out.is_none() {
-        rank.pinned_out = Some(ml.pool.acquire(ctx.tracer(), bytes_out, functional));
+        rank.pinned_out = Some(
+            ml.pool
+                .acquire_on(ctx.tracer(), bytes_out, functional, rank.numa),
+        );
     }
     let gpu = rank
         .gpu
@@ -1052,17 +1272,55 @@ fn flush_rank(
     for it in 0..iterations {
         if bytes_in > 0 && !(it == 0 && preissued) {
             let lease = rank.pinned_in.as_ref().expect("SND leased pinned_in");
-            cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes_in)
-                .expect("GVM H2D submit");
+            // The first-round-only ablation re-uploads monolithically, as
+            // the pre-steady-state flush did.
+            let k = if ml.mem.pipeline.first_round_only {
+                1
+            } else {
+                ml.chooser.choose(bytes_in, &ml.mem.pipeline)
+            };
+            if k > 1 {
+                // Later iterations re-load the input chunk-wise too:
+                // tiles release the shared H2D engine between spans, so
+                // other ranks' copies interleave instead of waiting out
+                // one monolithic transfer at the head of the engine queue.
+                let (xfer, spans) = ml.plan(ctx.tracer(), r, bytes_in);
+                for span in &spans {
+                    let cmd = cc
+                        .memcpy_h2d_async_at(
+                            ctx,
+                            rank.stream,
+                            lease.buffer(),
+                            span.offset,
+                            gpu.dev_base.add(span.offset),
+                            span.len,
+                        )
+                        .expect("GVM H2D submit");
+                    gv_mem::record_chunk(
+                        ctx.tracer(),
+                        r,
+                        xfer,
+                        true,
+                        *span,
+                        bytes_in,
+                        lease.id(),
+                        format!("cmd-{}", cmd.id),
+                    );
+                }
+                let mut stats = h.stats.lock();
+                stats.chunked_transfers += 1;
+                stats.chunks_submitted += spans.len() as u64;
+            } else {
+                cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes_in)
+                    .expect("GVM H2D submit");
+            }
         }
         for k in &gpu.kernels {
             cc.launch(ctx, rank.stream, k.clone()).expect("GVM launch");
         }
         if bytes_out > 0 {
             let lease = rank.pinned_out.as_ref().expect("pinned_out leased above");
-            let spans = ml.mem.pipeline.plan(bytes_out);
-            let xfer = ml.next_xfer;
-            ml.next_xfer += 1;
+            let (xfer, spans) = ml.plan(ctx.tracer(), r, bytes_out);
             for span in &spans {
                 let cmd = cc
                     .memcpy_d2h_async_at(
@@ -1091,5 +1349,10 @@ fn flush_rank(
                 stats.chunks_submitted += spans.len() as u64;
             }
         }
+    }
+    // Steady mode pins this round's completion point now, before any
+    // prefetched next-round H2D lands on the stream and moves its tail.
+    if ml.mem.pipeline.steady {
+        rank.round_tail = cc.stream_tail(rank.stream);
     }
 }

@@ -15,8 +15,10 @@ use gvirt::gpu::{DeviceConfig, KernelDesc};
 use gvirt::harness::repro;
 use gvirt::harness::scenario::{ExecutionMode, Scenario};
 use gvirt::kernels::{blackscholes, ep, mm, vecadd, GpuTask, KernelTemplate};
+use gvirt::mem::{AdaptiveChooser, PipelineConfig};
 use gvirt::sim::SimDuration;
 use gvirt::virt::MemConfig;
+use proptest::prelude::*;
 
 /// Chunked configurations under test: a 64-byte threshold makes even the
 /// small functional payloads split, at several chunk counts.
@@ -25,6 +27,29 @@ fn mem_configs() -> Vec<(String, MemConfig)> {
     for k in [2usize, 3, 8] {
         v.push((format!("chunked-{k}"), MemConfig::pipelined(k, 64)));
     }
+    v
+}
+
+/// The adaptive-k / steady-state matrix layered on top: model-driven chunk
+/// counts, iteration-overlapped prefetch, and the first-round-only
+/// ablation schedule must all stay semantics-free too.
+fn steady_configs() -> Vec<(String, MemConfig)> {
+    let mut v = Vec::new();
+    for cap in [2usize, 4, 8] {
+        v.push((format!("adaptive-{cap}"), MemConfig::adaptive(cap, 64)));
+        v.push((
+            format!("adaptive-{cap}-steady"),
+            MemConfig::adaptive(cap, 64).with_steady(),
+        ));
+    }
+    v.push((
+        "chunked-4-steady".to_string(),
+        MemConfig::pipelined(4, 64).with_steady(),
+    ));
+    v.push((
+        "first-round-only".to_string(),
+        MemConfig::pipelined(4, 64).with_first_round_only(),
+    ));
     v
 }
 
@@ -93,6 +118,66 @@ fn chunked_and_pooled_match_direct_baseline_bitwise() {
             }
         }
     }
+}
+
+/// Steady state is a scheduling change, never a data change: every rank
+/// repeating its SND→STR→STP→RCV cycle for several rounds inside one
+/// session — with iteration-overlapped prefetch, adaptive chunk counts,
+/// or the first-round-only ablation — produces output bit-identical to
+/// the single-round direct baseline (each round recomputes the same
+/// result, so the last round's RCV must match round one's).
+#[test]
+fn multi_round_steady_state_matches_direct_baseline_bitwise() {
+    let base = Scenario::default();
+    for benchmark in ["vecadd", "mm"] {
+        for n in [2usize, 4] {
+            let tasks = tasks_for(benchmark, &base.device, n);
+            let baseline = outputs(&base.run(ExecutionMode::Direct, tasks.clone()));
+            for rounds in [2u32, 3] {
+                for (label, mem) in steady_configs() {
+                    let scenario = base.clone().with_mem(mem).with_rounds(rounds);
+                    let got = outputs(&scenario.run(ExecutionMode::Virtualized, tasks.clone()));
+                    assert_eq!(got.len(), baseline.len(), "{benchmark} n={n} {label}");
+                    for (rank, (g, want)) in got.iter().zip(&baseline).enumerate() {
+                        assert_eq!(
+                            g, want,
+                            "{benchmark} n={n} rounds={rounds} {label}: \
+                             rank {rank} output differs"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The steady-state matrix really prefetches (it isn't just re-running the
+/// per-round path): a multi-round steady run reports pre-issued uploads,
+/// and the first-round-only ablation reports none.
+#[test]
+fn steady_matrix_exercises_the_prefetch_path() {
+    let base = Scenario::default();
+    let tasks = tasks_for("vecadd", &base.device, 2);
+    let steady = base
+        .clone()
+        .with_mem(MemConfig::pipelined(3, 64).with_steady())
+        .with_rounds(3);
+    let r = steady.run(ExecutionMode::Virtualized, tasks.clone());
+    let gvm = r.gvm.expect("virtualized run has GVM stats");
+    assert!(
+        gvm.steady_prefetches > 0,
+        "multi-round steady run must pre-issue next-round uploads"
+    );
+    let ablated = base
+        .clone()
+        .with_mem(MemConfig::pipelined(3, 64).with_first_round_only())
+        .with_rounds(3);
+    let r = ablated.run(ExecutionMode::Virtualized, tasks);
+    let gvm = r.gvm.expect("virtualized run has GVM stats");
+    assert_eq!(
+        gvm.steady_prefetches, 0,
+        "the ablation schedule never pre-issues"
+    );
 }
 
 /// Chunked mode really chunks (the matrix above isn't vacuous) and keeps
@@ -181,4 +266,74 @@ fn table3_golden_bit_identical_under_default_mem_config() {
         artifact.csv, golden,
         "table3 CSV drifted from the checked-in golden"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over random model rates, per-chunk overheads, caps, thresholds, and
+    /// EWMA histories: the adaptive chooser is monotone in payload size
+    /// (more bytes never mean fewer chunks — the pipeline win only grows)
+    /// and the chosen `k` always lands in `[1, cap]`.
+    #[test]
+    fn adaptive_chooser_is_monotone_in_payload_and_never_exceeds_cap(
+        cap in 1usize..=16,
+        threshold_kib in 1u64..=1024,
+        stage_cns in 1u64..=400,   // seed staging rate, ns/byte × 100
+        xfer_cns in 1u64..=400,    // H2D rate, ns/byte × 100
+        overhead_us in 1u64..=500, // fixed per-chunk overhead, µs
+        obs_cns in 0u64..=800,     // observed staging rate, ns/byte × 100
+        obs_count in 0u64..=16,
+    ) {
+        let chooser = AdaptiveChooser::new(
+            stage_cns as f64 / 100.0,
+            xfer_cns as f64 / 100.0,
+            overhead_us as f64 * 1000.0,
+        );
+        for _ in 0..obs_count {
+            // One representative 1 MiB staging sample per observation.
+            chooser.observe_stage(1 << 20, (obs_cns << 20) / 100);
+        }
+        let cfg = PipelineConfig::adaptive(cap, threshold_kib << 10);
+        let mut prev = 0u64;
+        for shift in 10..=30 {
+            let payload = 1u64 << shift; // 1 KiB .. 1 GiB
+            let k = chooser.choose(payload, &cfg);
+            prop_assert!(k >= 1, "k must be positive, got {} at {} B", k, payload);
+            prop_assert!(
+                k <= cap as u64,
+                "cap {} exceeded at {} B: k = {}", cap, payload, k
+            );
+            if payload < cfg.threshold {
+                prop_assert_eq!(k, 1, "sub-threshold payloads stay serial");
+            } else {
+                prop_assert!(
+                    k >= prev,
+                    "k dropped from {} to {} at {} B", prev, k, payload
+                );
+                prev = k;
+            }
+        }
+    }
+
+    /// Fixed (non-adaptive) configs obey the same bounds through the same
+    /// entry point, and the first-round-only ablation flag never changes
+    /// what the chooser itself returns (the schedule is the GVM's job).
+    #[test]
+    fn fixed_k_respects_threshold_and_cap(
+        cap in 1usize..=16,
+        threshold_kib in 1u64..=1024,
+        payload_kib in 1u64..=(1 << 20),
+    ) {
+        let chooser = AdaptiveChooser::new(0.078, 0.125, 150_000.0);
+        let payload = payload_kib << 10;
+        let cfg = PipelineConfig::chunked(cap, threshold_kib << 10);
+        let k = chooser.choose(payload, &cfg);
+        prop_assert!((1..=cap as u64).contains(&k));
+        if payload < cfg.threshold {
+            prop_assert_eq!(k, 1);
+        }
+        let ablated = cfg.with_first_round_only();
+        prop_assert_eq!(chooser.choose(payload, &ablated), k);
+    }
 }
