@@ -1,0 +1,283 @@
+//! Co-residency invariants over cluster placement records.
+//!
+//! The placement front-end declares each managed device's capacity vector
+//! (`ClusterDevice`) and emits a `ClusterPlace` when a VGPU session becomes
+//! resident and a `ClusterEvict` when it leaves. This checker replays those
+//! records in trace order and reports every violation of the invariants the
+//! placement planner is supposed to guarantee:
+//!
+//! * **Single residency** — a VGPU session is resident on at most one
+//!   device at a time; a second `Place` without an intervening `Evict` is a
+//!   double placement.
+//! * **Gang integrity** — every placement sharing a gang id names the same
+//!   device (all-or-nothing co-placement, one diagnostic per split gang).
+//! * **Capacity** — the sum of resident memory demand never exceeds the
+//!   device's declared `mem_bytes`, and the number of resident sessions
+//!   never exceeds its `kernel_slots`.
+//! * **Bookkeeping** — placements name declared devices, and evicts match
+//!   a live residency.
+
+use std::collections::HashMap;
+
+use gv_sim::{AnalysisRecord, SimTime};
+
+use crate::Diagnostic;
+
+#[derive(Default)]
+struct DeviceState {
+    mem_cap: u64,
+    slot_cap: u32,
+    mem_used: u64,
+    resident: u32,
+}
+
+/// Replay all cluster records and report every co-residency violation.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let diag = |diagnostics: &mut Vec<Diagnostic>, time: SimTime, message: String| {
+        diagnostics.push(Diagnostic {
+            checker: "cluster",
+            time,
+            message,
+        });
+    };
+
+    let mut devices: HashMap<u32, DeviceState> = HashMap::new();
+    // vgpu id → (device, mem demand charged there).
+    let mut resident: HashMap<u64, (u32, u64)> = HashMap::new();
+    // gang id → device of its first placement; switched to None once a
+    // split is reported so each gang yields exactly one diagnostic.
+    let mut gang_home: HashMap<u64, Option<u32>> = HashMap::new();
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::ClusterDevice {
+                device,
+                mem_bytes,
+                kernel_slots,
+            } => {
+                let d = devices.entry(*device).or_default();
+                d.mem_cap = *mem_bytes;
+                d.slot_cap = *kernel_slots;
+            }
+            AnalysisRecord::ClusterPlace {
+                time,
+                vgpu,
+                tenant: _,
+                gang,
+                device,
+                wave,
+                mem_bytes,
+            } => {
+                if let Some((held, _)) = resident.get(vgpu) {
+                    diag(
+                        &mut diagnostics,
+                        *time,
+                        format!(
+                            "double placement: vgpu {vgpu} placed on device {device} \
+                             (wave {wave}) while still resident on device {held}"
+                        ),
+                    );
+                    continue;
+                }
+                if let Some(g) = gang {
+                    match gang_home.entry(*g).or_insert(Some(*device)) {
+                        Some(home) if *home != *device => {
+                            diag(
+                                &mut diagnostics,
+                                *time,
+                                format!(
+                                    "split gang: gang {g} landed on device {device} \
+                                     (wave {wave}) after device {home}"
+                                ),
+                            );
+                            gang_home.insert(*g, None);
+                        }
+                        _ => {}
+                    }
+                }
+                match devices.get_mut(device) {
+                    None => diag(
+                        &mut diagnostics,
+                        *time,
+                        format!("vgpu {vgpu} placed on undeclared device {device}"),
+                    ),
+                    Some(d) => {
+                        d.mem_used += mem_bytes;
+                        d.resident += 1;
+                        if d.mem_used > d.mem_cap {
+                            diag(
+                                &mut diagnostics,
+                                *time,
+                                format!(
+                                    "device {device} over memory capacity: {} of {} bytes \
+                                     resident after placing vgpu {vgpu}",
+                                    d.mem_used, d.mem_cap
+                                ),
+                            );
+                        }
+                        if d.resident > d.slot_cap {
+                            diag(
+                                &mut diagnostics,
+                                *time,
+                                format!(
+                                    "device {device} over kernel-slot capacity: {} of {} \
+                                     sessions resident after placing vgpu {vgpu}",
+                                    d.resident, d.slot_cap
+                                ),
+                            );
+                        }
+                        resident.insert(*vgpu, (*device, *mem_bytes));
+                    }
+                }
+            }
+            AnalysisRecord::ClusterEvict { time, vgpu, device } => match resident.remove(vgpu) {
+                None => diag(
+                    &mut diagnostics,
+                    *time,
+                    format!("evict of vgpu {vgpu} from device {device} with no live placement"),
+                ),
+                Some((held, mem)) => {
+                    if held != *device {
+                        diag(
+                            &mut diagnostics,
+                            *time,
+                            format!(
+                                "evict of vgpu {vgpu} names device {device} but it is \
+                                 resident on device {held}"
+                            ),
+                        );
+                    }
+                    if let Some(d) = devices.get_mut(&held) {
+                        d.mem_used = d.mem_used.saturating_sub(mem);
+                        d.resident = d.resident.saturating_sub(1);
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(device: u32, mem: u64, slots: u32) -> AnalysisRecord {
+        AnalysisRecord::ClusterDevice {
+            device,
+            mem_bytes: mem,
+            kernel_slots: slots,
+        }
+    }
+
+    fn place(t: u64, vgpu: u64, gang: Option<u64>, device: u32, mem: u64) -> AnalysisRecord {
+        AnalysisRecord::ClusterPlace {
+            time: SimTime::from_nanos(t),
+            vgpu,
+            tenant: vgpu % 2,
+            gang,
+            device,
+            wave: 0,
+            mem_bytes: mem,
+        }
+    }
+
+    fn evict(t: u64, vgpu: u64, device: u32) -> AnalysisRecord {
+        AnalysisRecord::ClusterEvict {
+            time: SimTime::from_nanos(t),
+            vgpu,
+            device,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let recs = vec![
+            dev(0, 1000, 2),
+            dev(1, 1000, 2),
+            place(1, 0, None, 0, 600),
+            place(2, 1, Some(7), 1, 400),
+            place(3, 2, Some(7), 1, 400),
+            evict(10, 0, 0),
+            evict(11, 1, 1),
+            evict(12, 2, 1),
+            // Re-placement after evict is a migration, not a double
+            // placement.
+            place(20, 0, None, 1, 600),
+            evict(30, 0, 1),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn double_placement_is_one_diagnostic() {
+        let recs = vec![
+            dev(0, 1000, 4),
+            dev(1, 1000, 4),
+            place(1, 5, None, 0, 100),
+            place(2, 5, None, 1, 100),
+            evict(9, 5, 0),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("double placement"));
+    }
+
+    #[test]
+    fn split_gang_is_one_diagnostic() {
+        let recs = vec![
+            dev(0, 1000, 4),
+            dev(1, 1000, 4),
+            place(1, 0, Some(3), 0, 100),
+            place(2, 1, Some(3), 1, 100),
+            place(3, 2, Some(3), 1, 100),
+            evict(7, 0, 0),
+            evict(8, 1, 1),
+            evict(9, 2, 1),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "split reported once per gang: {d:?}");
+        assert!(d[0].message.contains("split gang"));
+    }
+
+    #[test]
+    fn capacity_overshoot_is_flagged() {
+        let mem = check(&[
+            dev(0, 1000, 8),
+            place(1, 0, None, 0, 600),
+            place(2, 1, None, 0, 600),
+        ]);
+        assert_eq!(mem.len(), 1, "{mem:?}");
+        assert!(mem[0].message.contains("over memory capacity"));
+
+        let slots = check(&[
+            dev(0, 1000, 1),
+            place(1, 0, None, 0, 100),
+            place(2, 1, None, 0, 100),
+        ]);
+        assert_eq!(slots.len(), 1, "{slots:?}");
+        assert!(slots[0].message.contains("over kernel-slot capacity"));
+    }
+
+    #[test]
+    fn stray_records_are_flagged() {
+        let undeclared = check(&[place(1, 0, None, 9, 100)]);
+        assert_eq!(undeclared.len(), 1);
+        assert!(undeclared[0].message.contains("undeclared device"));
+
+        let stray = check(&[dev(0, 100, 1), evict(1, 4, 0)]);
+        assert_eq!(stray.len(), 1);
+        assert!(stray[0].message.contains("no live placement"));
+
+        let wrong = check(&[
+            dev(0, 100, 1),
+            dev(1, 100, 1),
+            place(1, 4, None, 0, 10),
+            evict(2, 4, 1),
+        ]);
+        assert_eq!(wrong.len(), 1);
+        assert!(wrong[0].message.contains("resident on device 0"));
+    }
+}

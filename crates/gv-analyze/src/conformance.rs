@@ -116,25 +116,35 @@ impl Default for RankLint {
     }
 }
 
+/// Per-GVM lint state. Ranks are GVM-local (a cluster trace interleaves
+/// several GVMs whose rank spaces all start at 0), so every piece of
+/// protocol state is scoped by the GVM instance name.
+#[derive(Default)]
+struct GvmLint {
+    ranks: HashMap<usize, RankLint>,
+    /// Set by the GVM's boot-time policy announcement; absent (legacy
+    /// traces) means the strict joint-flush width rule.
+    partial_flushes: bool,
+}
+
 /// Replay all protocol records and report every conformance violation.
 pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
-    let mut ranks: HashMap<usize, RankLint> = HashMap::new();
-    // Set by the GVM's boot-time policy announcement; absent (legacy
-    // traces) means the strict joint-flush width rule.
-    let mut partial_flushes = false;
+    let mut gvms: HashMap<String, GvmLint> = HashMap::new();
 
     for rec in records {
         match rec {
-            AnalysisRecord::ProtoSched { partial, .. } => {
-                partial_flushes = *partial;
+            AnalysisRecord::ProtoSched { gvm, partial, .. } => {
+                gvms.entry(gvm.clone()).or_default().partial_flushes = *partial;
             }
             AnalysisRecord::Proto {
                 time,
+                gvm,
                 rank,
                 kind,
                 seq,
             } => {
+                let ranks = &mut gvms.entry(gvm.clone()).or_default().ranks;
                 let Some(kind) = RequestKind::from_label(kind) else {
                     diagnostics.push(Diagnostic {
                         checker: "conformance",
@@ -210,8 +220,11 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
             }
             AnalysisRecord::ProtoFlush {
                 time,
+                gvm,
                 ranks: flushed,
             } => {
+                let lint = gvms.entry(gvm.clone()).or_default();
+                let (ranks, partial_flushes) = (&mut lint.ranks, lint.partial_flushes);
                 let barriered: BTreeSet<usize> = ranks
                     .iter()
                     .filter(|(_, l)| l.stage == Stage::Barriered)
@@ -246,8 +259,13 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                     }
                 }
             }
-            AnalysisRecord::ProtoEvict { time, rank } => {
-                let lint = ranks.entry(*rank).or_default();
+            AnalysisRecord::ProtoEvict { time, gvm, rank } => {
+                let lint = gvms
+                    .entry(gvm.clone())
+                    .or_default()
+                    .ranks
+                    .entry(*rank)
+                    .or_default();
                 if lint.stage == Stage::Evicted {
                     diagnostics.push(Diagnostic {
                         checker: "conformance",
@@ -261,17 +279,21 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
         }
     }
 
-    // End-of-trace: every rank must have completed (RLS) or been evicted.
-    let mut open_ranks: Vec<_> = ranks.iter().collect();
-    open_ranks.sort_by_key(|(r, _)| **r);
-    for (rank, lint) in open_ranks {
+    // End-of-trace: every rank of every GVM must have completed (RLS) or
+    // been evicted.
+    let mut open_ranks: Vec<_> = gvms
+        .iter()
+        .flat_map(|(g, lint)| lint.ranks.iter().map(move |(r, l)| (g, r, l)))
+        .collect();
+    open_ranks.sort_by_key(|&(g, r, _)| (g.clone(), *r));
+    for (gvm, rank, lint) in open_ranks {
         match lint.stage {
             Stage::Released | Stage::Evicted => {}
             other => diagnostics.push(Diagnostic {
                 checker: "conformance",
                 time: gv_sim::SimTime::ZERO,
                 message: format!(
-                    "rank {rank}: trace ended in stage '{}' (no RLS or eviction)",
+                    "{gvm}: rank {rank}: trace ended in stage '{}' (no RLS or eviction)",
                     other.name()
                 ),
             }),
@@ -289,6 +311,7 @@ mod tests {
     fn proto(t: u64, rank: usize, kind: &'static str, seq: u64) -> AnalysisRecord {
         AnalysisRecord::Proto {
             time: SimTime::from_nanos(t),
+            gvm: "gvm".to_string(),
             rank,
             kind,
             seq,
@@ -298,6 +321,7 @@ mod tests {
     fn flush(t: u64, ranks: Vec<usize>) -> AnalysisRecord {
         AnalysisRecord::ProtoFlush {
             time: SimTime::from_nanos(t),
+            gvm: "gvm".to_string(),
             ranks,
         }
     }
@@ -413,6 +437,7 @@ mod tests {
     fn sched(partial: bool) -> AnalysisRecord {
         AnalysisRecord::ProtoSched {
             time: SimTime::ZERO,
+            gvm: "gvm".to_string(),
             policy: if partial { "fcfs" } else { "joint" }.to_string(),
             partial,
         }
@@ -513,6 +538,7 @@ mod tests {
             proto(5, 0, "STR", 3),
             AnalysisRecord::ProtoEvict {
                 time: SimTime::from_nanos(6),
+                gvm: "gvm".to_string(),
                 rank: 1,
             },
             flush(7, vec![0]),
@@ -612,6 +638,72 @@ mod tests {
         let d = check(&recs);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("seq 10"));
+    }
+
+    fn proto_on(gvm: &str, t: u64, rank: usize, kind: &'static str, seq: u64) -> AnalysisRecord {
+        AnalysisRecord::Proto {
+            time: SimTime::from_nanos(t),
+            gvm: gvm.to_string(),
+            rank,
+            kind,
+            seq,
+        }
+    }
+
+    fn flush_on(gvm: &str, t: u64, ranks: Vec<usize>) -> AnalysisRecord {
+        AnalysisRecord::ProtoFlush {
+            time: SimTime::from_nanos(t),
+            gvm: gvm.to_string(),
+            ranks,
+        }
+    }
+
+    #[test]
+    fn interleaved_gvms_keep_separate_rank_state() {
+        // Two GVMs, each with its own rank 0, interleaved in time. Under
+        // one shared lint space the second REQ and both one-rank flushes
+        // would be violations; per-GVM scoping accepts the whole trace.
+        let recs = vec![
+            proto_on("a", 1, 0, "REQ", 1),
+            proto_on("b", 2, 0, "REQ", 1),
+            proto_on("a", 3, 0, "SND", 2),
+            proto_on("b", 4, 0, "SND", 2),
+            proto_on("a", 5, 0, "STR", 3),
+            proto_on("b", 6, 0, "STR", 3),
+            flush_on("a", 7, vec![0]),
+            flush_on("b", 8, vec![0]),
+            proto_on("a", 9, 0, "STP", 4),
+            proto_on("b", 10, 0, "STP", 4),
+            proto_on("a", 11, 0, "RCV", 5),
+            proto_on("b", 12, 0, "RCV", 5),
+            proto_on("a", 13, 0, "RLS", 6),
+            proto_on("b", 14, 0, "RLS", 6),
+        ];
+        assert!(check(&recs).is_empty(), "{:?}", check(&recs));
+    }
+
+    #[test]
+    fn flush_never_crosses_gvms() {
+        // GVM `a` flushes a rank that is barriered only in GVM `b`.
+        let recs = vec![
+            proto_on("a", 1, 0, "REQ", 1),
+            proto_on("a", 2, 0, "SND", 2),
+            proto_on("a", 3, 0, "STR", 3),
+            proto_on("b", 4, 1, "REQ", 1),
+            proto_on("b", 5, 1, "SND", 2),
+            proto_on("b", 6, 1, "STR", 3),
+            flush_on("a", 7, vec![0, 1]), // rank 1 belongs to `b`
+            flush_on("b", 8, vec![1]),
+            proto_on("a", 9, 0, "STP", 4),
+            proto_on("b", 10, 1, "STP", 4),
+            proto_on("a", 11, 0, "RCV", 5),
+            proto_on("b", 12, 1, "RCV", 5),
+            proto_on("a", 13, 0, "RLS", 6),
+            proto_on("b", 14, 1, "RLS", 6),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("flush width mismatch"));
     }
 
     #[test]

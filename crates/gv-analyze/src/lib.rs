@@ -1,7 +1,7 @@
 //! Trace-based static analysis for the GVM simulator.
 //!
 //! Deterministic runs produce [`AnalysisRecord`] streams (enable with
-//! [`Tracer::set_analysis`]); this crate replays them through four
+//! [`Tracer::set_analysis`]); this crate replays them through five
 //! checkers, none of which re-executes the simulation:
 //!
 //! * [`race`] — a vector-clock happens-before detector over shared-memory
@@ -19,6 +19,10 @@
 //!   records: chunk spans tile their payload exactly once, and a pooled
 //!   staging buffer is never recycled while a copy referencing it is in
 //!   flight (use-after-recycle).
+//! * [`cluster`] — co-residency invariants over the placement front-end's
+//!   `ClusterPlace`/`ClusterEvict` records: a VGPU session is resident on
+//!   at most one device at a time, gangs are never split across devices,
+//!   and resident demand never exceeds a device's declared capacity.
 //!
 //! [`model`] adds a line-oriented dump format so traces can be written by a
 //! run (`--analyze --dump-trace` in the harness) and re-checked offline by
@@ -26,6 +30,7 @@
 //!
 //! [`Tracer::set_analysis`]: gv_sim::trace::Tracer::set_analysis
 
+pub mod cluster;
 pub mod conformance;
 pub mod device;
 pub mod model;
@@ -39,7 +44,7 @@ use gv_sim::{AnalysisRecord, SimTime};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which checker produced it: `"race"`, `"conformance"`, `"device"`,
-    /// `"staging"`.
+    /// `"staging"`, `"cluster"`.
     pub checker: &'static str,
     /// Simulated time of the offending event.
     pub time: SimTime,
@@ -73,6 +78,9 @@ pub struct Report {
     /// Staging-layer events (chunk spans, pool acquire/recycle) examined
     /// by the staging checker.
     pub staging_events: usize,
+    /// Cluster placement events (device declarations, place/evict)
+    /// examined by the co-residency checker.
+    pub cluster_events: usize,
 }
 
 impl Report {
@@ -94,17 +102,18 @@ impl Report {
     /// One-line summary suitable for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging events",
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster events",
             self.diagnostics.len(),
             self.shm_accesses,
             self.proto_messages,
             self.device_events,
-            self.staging_events
+            self.staging_events,
+            self.cluster_events
         )
     }
 }
 
-/// Run all three checkers over `records`.
+/// Run every checker over `records`.
 pub fn analyze(records: &[AnalysisRecord]) -> Report {
     let mut report = Report::default();
     for rec in records {
@@ -125,12 +134,16 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             | AnalysisRecord::StagePlan { .. }
             | AnalysisRecord::PoolAcquire { .. }
             | AnalysisRecord::PoolRecycle { .. } => report.staging_events += 1,
+            AnalysisRecord::ClusterDevice { .. }
+            | AnalysisRecord::ClusterPlace { .. }
+            | AnalysisRecord::ClusterEvict { .. } => report.cluster_events += 1,
         }
     }
     report.diagnostics.extend(race::check(records));
     report.diagnostics.extend(conformance::check(records));
     report.diagnostics.extend(device::check(records));
     report.diagnostics.extend(staging::check(records));
+    report.diagnostics.extend(cluster::check(records));
     report
 }
 

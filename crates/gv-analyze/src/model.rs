@@ -9,9 +9,9 @@
 //! gv-analyze-trace v1
 //! device dev=0 maxk=16
 //! shm t=2002000 pid=1 off=0 len=1024 rw=w clock=3,1 proc=spmd-0 seg=/gvm-0
-//! proto t=2002000 rank=0 seq=1 kind=REQ
-//! flush t=4000000 ranks=0,1,2
-//! evict t=9000000 rank=1
+//! proto t=2002000 rank=0 seq=1 kind=REQ gvm=gvm
+//! flush t=4000000 ranks=0,1,2 gvm=gvm
+//! evict t=9000000 rank=1 gvm=gvm
 //! copyb t=100 dev=0 eng=0 label=cmd-7
 //! copye t=200 dev=0 eng=0 label=cmd-7
 //! kernb t=300 dev=0 label=vecadd-3
@@ -20,8 +20,11 @@
 //! free t=500 dev=0 id=1
 //! poolacq t=60 buf=3 bytes=8192 hit=1
 //! plan t=70 rank=2 xfer=11 payload=8192 k=2 cap=4 adaptive=1
-//! chunk t=80 rank=2 xfer=11 dir=in off=0 len=4096 payload=8192 buf=3 label=cmd-12
+//! chunk t=80 dev=0 rank=2 xfer=11 dir=in off=0 len=4096 payload=8192 buf=3 label=cmd-12
 //! poolrec t=600 buf=3
+//! cdev dev=0 mem=6442450944 slots=16
+//! cplace t=700 vgpu=3 tenant=1 gang=2 dev=0 wave=0 mem=4096
+//! cevict t=800 vgpu=3 dev=0
 //! ```
 //!
 //! Free-text fields (process and segment names, command labels) are
@@ -109,39 +112,53 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             }
             AnalysisRecord::Proto {
                 time,
+                gvm,
                 rank,
                 kind,
                 seq,
             } => {
                 let _ = writeln!(
                     out,
-                    "proto t={} rank={rank} seq={seq} kind={kind}",
-                    time.as_nanos()
+                    "proto t={} rank={rank} seq={seq} kind={kind} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
                 );
             }
             AnalysisRecord::ProtoSched {
                 time,
+                gvm,
                 policy,
                 partial,
             } => {
                 let _ = writeln!(
                     out,
-                    "sched t={} partial={} policy={}",
+                    "sched t={} partial={} policy={} gvm={}",
                     time.as_nanos(),
                     u8::from(*partial),
                     esc(policy),
+                    esc(gvm),
                 );
             }
-            AnalysisRecord::ProtoFlush { time, ranks } => {
+            AnalysisRecord::ProtoFlush { time, gvm, ranks } => {
                 let list = ranks
                     .iter()
                     .map(|r| r.to_string())
                     .collect::<Vec<_>>()
                     .join(",");
-                let _ = writeln!(out, "flush t={} ranks={list}", time.as_nanos());
+                let _ = writeln!(
+                    out,
+                    "flush t={} ranks={list} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
             }
-            AnalysisRecord::ProtoEvict { time, rank } => {
-                let _ = writeln!(out, "evict t={} rank={rank}", time.as_nanos());
+            AnalysisRecord::ProtoEvict { time, gvm, rank } => {
+                let _ = writeln!(
+                    out,
+                    "evict t={} rank={rank} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
             }
             AnalysisRecord::DeviceRegistered {
                 device,
@@ -216,6 +233,7 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             }
             AnalysisRecord::StageChunk {
                 time,
+                device,
                 rank,
                 xfer,
                 h2d,
@@ -227,8 +245,8 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             } => {
                 let _ = writeln!(
                     out,
-                    "chunk t={} rank={rank} xfer={xfer} dir={} off={offset} len={len} \
-                     payload={payload} buf={buf} label={}",
+                    "chunk t={} dev={device} rank={rank} xfer={xfer} dir={} off={offset} \
+                     len={len} payload={payload} buf={buf} label={}",
                     time.as_nanos(),
                     if *h2d { "in" } else { "out" },
                     esc(label)
@@ -266,6 +284,36 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             }
             AnalysisRecord::PoolRecycle { time, buf } => {
                 let _ = writeln!(out, "poolrec t={} buf={buf}", time.as_nanos());
+            }
+            AnalysisRecord::ClusterDevice {
+                device,
+                mem_bytes,
+                kernel_slots,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "cdev dev={device} mem={mem_bytes} slots={kernel_slots}"
+                );
+            }
+            AnalysisRecord::ClusterPlace {
+                time,
+                vgpu,
+                tenant,
+                gang,
+                device,
+                wave,
+                mem_bytes,
+            } => {
+                let gang = gang.map_or_else(|| "-".to_string(), |g| g.to_string());
+                let _ = writeln!(
+                    out,
+                    "cplace t={} vgpu={vgpu} tenant={tenant} gang={gang} dev={device} \
+                     wave={wave} mem={mem_bytes}",
+                    time.as_nanos()
+                );
+            }
+            AnalysisRecord::ClusterEvict { time, vgpu, device } => {
+                let _ = writeln!(out, "cevict t={} vgpu={vgpu} dev={device}", time.as_nanos());
             }
         }
     }
@@ -383,6 +431,7 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                     })?;
                 AnalysisRecord::Proto {
                     time: f.time()?,
+                    gvm: unesc(f.get("gvm")?),
                     rank: f.num("rank")?,
                     kind,
                     seq: f.num("seq")?,
@@ -390,6 +439,7 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
             }
             "sched" => AnalysisRecord::ProtoSched {
                 time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
                 policy: unesc(f.get("policy")?),
                 partial: match f.get("partial")? {
                     "1" => true,
@@ -404,10 +454,12 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
             },
             "flush" => AnalysisRecord::ProtoFlush {
                 time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
                 ranks: f.num_list("ranks")?,
             },
             "evict" => AnalysisRecord::ProtoEvict {
                 time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
                 rank: f.num("rank")?,
             },
             "device" => AnalysisRecord::DeviceRegistered {
@@ -449,6 +501,7 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
             },
             "chunk" => AnalysisRecord::StageChunk {
                 time: f.time()?,
+                device: f.num("dev")?,
                 rank: f.num("rank")?,
                 xfer: f.num("xfer")?,
                 h2d: match f.get("dir")? {
@@ -504,6 +557,28 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 time: f.time()?,
                 buf: f.num("buf")?,
             },
+            "cdev" => AnalysisRecord::ClusterDevice {
+                device: f.num("dev")?,
+                mem_bytes: f.num("mem")?,
+                kernel_slots: f.num("slots")?,
+            },
+            "cplace" => AnalysisRecord::ClusterPlace {
+                time: f.time()?,
+                vgpu: f.num("vgpu")?,
+                tenant: f.num("tenant")?,
+                gang: match f.get("gang")? {
+                    "-" => None,
+                    _ => Some(f.num("gang")?),
+                },
+                device: f.num("dev")?,
+                wave: f.num("wave")?,
+                mem_bytes: f.num("mem")?,
+            },
+            "cevict" => AnalysisRecord::ClusterEvict {
+                time: f.time()?,
+                vgpu: f.num("vgpu")?,
+                device: f.num("dev")?,
+            },
             other => {
                 return Err(DumpParseError {
                     line: line_no,
@@ -538,21 +613,25 @@ mod tests {
             },
             AnalysisRecord::ProtoSched {
                 time: SimTime::from_nanos(5),
+                gvm: "gvm a".to_string(), // space exercises escaping
                 policy: "sjf".to_string(),
                 partial: true,
             },
             AnalysisRecord::Proto {
                 time: SimTime::from_nanos(10),
+                gvm: "gvm a".to_string(),
                 rank: 2,
                 kind: "STR",
                 seq: 7,
             },
             AnalysisRecord::ProtoFlush {
                 time: SimTime::from_nanos(20),
+                gvm: "gvm a".to_string(),
                 ranks: vec![0, 1, 2],
             },
             AnalysisRecord::ProtoEvict {
                 time: SimTime::from_nanos(30),
+                gvm: "gvm a".to_string(),
                 rank: 1,
             },
             AnalysisRecord::CopyBegin {
@@ -605,6 +684,7 @@ mod tests {
             },
             AnalysisRecord::StageChunk {
                 time: SimTime::from_nanos(100),
+                device: 0,
                 rank: 2,
                 xfer: 11,
                 h2d: true,
@@ -616,6 +696,7 @@ mod tests {
             },
             AnalysisRecord::StageChunk {
                 time: SimTime::from_nanos(105),
+                device: 0,
                 rank: 2,
                 xfer: 12,
                 h2d: false,
@@ -628,6 +709,34 @@ mod tests {
             AnalysisRecord::PoolRecycle {
                 time: SimTime::from_nanos(110),
                 buf: 3,
+            },
+            AnalysisRecord::ClusterDevice {
+                device: 1,
+                mem_bytes: 6_442_450_944,
+                kernel_slots: 16,
+            },
+            AnalysisRecord::ClusterPlace {
+                time: SimTime::from_nanos(120),
+                vgpu: 42,
+                tenant: 3,
+                gang: Some(2),
+                device: 1,
+                wave: 0,
+                mem_bytes: 4096,
+            },
+            AnalysisRecord::ClusterPlace {
+                time: SimTime::from_nanos(125),
+                vgpu: 43,
+                tenant: 3,
+                gang: None, // gangless placement exercises the '-' encoding
+                device: 1,
+                wave: 1,
+                mem_bytes: 8192,
+            },
+            AnalysisRecord::ClusterEvict {
+                time: SimTime::from_nanos(130),
+                vgpu: 42,
+                device: 1,
             },
         ]
     }
@@ -649,7 +758,7 @@ mod tests {
 
     #[test]
     fn bad_field_reports_line_number() {
-        let text = format!("{HEADER}\nproto t=1 rank=zero seq=1 kind=REQ\n");
+        let text = format!("{HEADER}\nproto t=1 rank=zero seq=1 kind=REQ gvm=gvm\n");
         let err = parse_dump(&text).unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.reason.contains("rank"));
@@ -664,7 +773,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let text = format!("{HEADER}\n\n# a comment\nevict t=5 rank=2\n");
+        let text = format!("{HEADER}\n\n# a comment\nevict t=5 rank=2 gvm=gvm\n");
         let recs = parse_dump(&text).unwrap();
         assert_eq!(recs.len(), 1);
     }

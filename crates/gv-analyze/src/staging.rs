@@ -63,9 +63,11 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     // buf id → size-class capacity, for currently-leased pool buffers.
     let mut live: HashMap<u64, u64> = HashMap::new();
-    // engine command label → pool buf id, for submitted-but-unfinished
-    // copies that read or write a pooled staging buffer.
-    let mut in_flight: HashMap<String, u64> = HashMap::new();
+    // (device ordinal, engine command label) → pool buf id, for
+    // submitted-but-unfinished copies that read or write a pooled staging
+    // buffer. Command labels are per-device counters, so the device is
+    // part of the key.
+    let mut in_flight: HashMap<(u32, String), u64> = HashMap::new();
     let mut groups: HashMap<u64, XferGroup> = HashMap::new();
     let mut plans: HashMap<u64, Plan> = HashMap::new();
 
@@ -89,7 +91,7 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                         format!("pool buffer {buf} recycled without a live lease"),
                     ));
                 }
-                for (label, b) in &in_flight {
+                for ((_, label), b) in &in_flight {
                     if b == buf {
                         out.push(diag(
                             *time,
@@ -103,6 +105,7 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
             }
             AnalysisRecord::StageChunk {
                 time,
+                device,
                 rank,
                 xfer,
                 h2d,
@@ -119,7 +122,7 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                     ));
                 }
                 if *buf != 0 && !label.is_empty() {
-                    in_flight.insert(label.clone(), *buf);
+                    in_flight.insert((*device, label.clone()), *buf);
                 }
                 let g = groups.entry(*xfer).or_insert_with(|| XferGroup {
                     time: *time,
@@ -174,8 +177,8 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                     ));
                 }
             }
-            AnalysisRecord::CopyEnd { label, .. } => {
-                in_flight.remove(label);
+            AnalysisRecord::CopyEnd { device, label, .. } => {
+                in_flight.remove(&(*device, label.clone()));
             }
             _ => {}
         }
@@ -295,6 +298,7 @@ mod tests {
     ) -> AnalysisRecord {
         AnalysisRecord::StageChunk {
             time: t(ns),
+            device: 0,
             rank: 0,
             xfer,
             h2d: true,

@@ -100,6 +100,12 @@ impl GpuDevice {
         &self.shared.config
     }
 
+    /// Tracer ordinal assigned at install: the `device` field carried by
+    /// this device's analysis records.
+    pub fn tracer_ordinal(&self) -> u32 {
+        self.shared.ord
+    }
+
     /// Register a GPU context using the device's default switch cost.
     /// (Creation *time* is charged by the runtime layer, serialized through
     /// the driver — see `gv-cuda`.) Panics in exclusive compute mode when a

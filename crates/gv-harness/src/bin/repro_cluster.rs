@@ -1,0 +1,29 @@
+//! Sweep the cluster placement policies (binpack, spread, gang, drf)
+//! over {8, 16, 32} devices with a fixed 128-session multi-tenant
+//! workload, into `results/cluster.{txt,csv}` and the machine-readable
+//! `results/BENCH_cluster.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink costs; `--analyze` records every
+//! point's trace, checks it with `gv-analyze` (including the cluster
+//! co-residency linter), and fails (exit 1) on any diagnostic.
+use std::process::ExitCode;
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{cluster, repro};
+
+fn main() -> ExitCode {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (points, clean) = cluster::matrix(&Scenario::default(), scale, analyze);
+    let artifact = cluster::artifact(&points, scale);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_cluster.json", cluster::bench_json(&points)).is_err() {
+        eprintln!("warning: cannot write results/BENCH_cluster.json");
+    }
+    if !clean {
+        eprintln!("gv-analyze diagnostics found in cluster traces — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -7,19 +7,21 @@
 //! * [`overhead`] — virtualization-overhead sweep (Fig. 10)
 //! * [`analysis`] — the `--analyze` pass: `gv-analyze` checkers over traces
 //! * [`sched`] — GVM scheduling-policy sweeps (beyond the paper)
+//! * [`cluster`] — cluster placement-policy sweeps (beyond the paper)
 //! * [`pipeline`] — chunked staging/copy pipeline sweeps (beyond the paper)
 //! * [`report`] — text/CSV/JSON emission
 //!
 //! The `repro_*` binaries in this crate regenerate each artifact:
 //! `repro_table2`, `repro_table3`, `repro_table4`, `repro_fig9`,
 //! `repro_fig10`, `repro_fig11_15`, `repro_fig16`, `repro_sched`,
-//! `repro_pipeline`, and `repro_all`. Each accepts `--quick` for a
+//! `repro_pipeline`, `repro_cluster`, and `repro_all`. Each accepts `--quick` for a
 //! scaled-down smoke run.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod analysis;
+pub mod cluster;
 pub mod ft;
 pub mod overhead;
 pub mod pipeline;

@@ -14,7 +14,8 @@ use gv_ipc::{Node, NodeConfig};
 use gv_kernels::GpuTask;
 use gv_sim::{SimDuration, Simulation};
 use gv_virt::{
-    run_direct, Gvm, GvmConfig, GvmHandle, GvmStats, MemConfig, SchedPolicy, TaskRun, VgpuClient,
+    run_direct, Cluster, ClusterConfig, ClusterHandle, Gvm, GvmConfig, GvmHandle, GvmStats,
+    MemConfig, PlacePolicy, SchedPolicy, TaskRun, VgpuClient, VgpuRequest,
 };
 use parking_lot::Mutex;
 
@@ -114,6 +115,13 @@ pub struct Scenario {
     /// round recomputes the same output, so functional results stay
     /// bitwise-comparable across modes).
     pub rounds: u32,
+    /// `Some(policy)`: route virtualized runs through the cluster
+    /// placement front-end (a one-device cluster of the scenario's
+    /// device) instead of installing the GVM directly. A one-device,
+    /// one-wave cluster is bit-identical to the direct path — the
+    /// differential tests pin that down per policy. Ignored in Direct
+    /// mode.
+    pub cluster: Option<PlacePolicy>,
 }
 
 impl Default for Scenario {
@@ -127,6 +135,7 @@ impl Default for Scenario {
             stagger: SimDuration::ZERO,
             mem: MemConfig::default(),
             rounds: 1,
+            cluster: None,
         }
     }
 }
@@ -168,6 +177,15 @@ impl Scenario {
         assert!(rounds >= 1, "at least one round");
         Scenario { rounds, ..self }
     }
+
+    /// `self` with virtualized runs routed through the one-device cluster
+    /// placement front-end under `policy`.
+    pub fn with_cluster(self, policy: PlacePolicy) -> Self {
+        Scenario {
+            cluster: Some(policy),
+            ..self
+        }
+    }
 }
 
 impl Scenario {
@@ -186,6 +204,7 @@ impl Scenario {
 
         type Collected = Arc<Mutex<Vec<(TaskRun, Option<Vec<u8>>)>>>;
         let collected: Collected = Arc::new(Mutex::new(Vec::new()));
+        let mut cluster_handle: Option<ClusterHandle> = None;
 
         let gvm_handle: Option<GvmHandle> = match mode {
             ExecutionMode::Direct => {
@@ -211,6 +230,28 @@ impl Scenario {
                     })
                     .expect("pin SPMD process");
                 }
+                None
+            }
+            ExecutionMode::Virtualized if self.cluster.is_some() => {
+                let ccfg = ClusterConfig::new(self.cluster.unwrap())
+                    .with_scheduler(self.scheduler.clone())
+                    .with_mem(self.mem)
+                    .with_rounds(self.rounds)
+                    .with_stagger(self.stagger);
+                let requests: Vec<VgpuRequest> = tasks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, task)| VgpuRequest {
+                        id: rank as u64,
+                        tenant: 0,
+                        gang: None,
+                        task,
+                    })
+                    .collect();
+                let handle =
+                    Cluster::install(&mut sim, &node, std::slice::from_ref(&cuda), ccfg, requests)
+                        .expect("one-device cluster placement must be feasible");
+                cluster_handle = Some(handle);
                 None
             }
             ExecutionMode::Virtualized => {
@@ -249,11 +290,20 @@ impl Scenario {
 
         sim.run().expect("experiment simulation must complete");
 
-        let mut pairs = Arc::try_unwrap(collected)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        pairs.sort_by_key(|(run, _)| run.rank);
-        let (runs, outputs): (Vec<TaskRun>, Vec<Option<Vec<u8>>>) = pairs.into_iter().unzip();
+        let (runs, outputs): (Vec<TaskRun>, Vec<Option<Vec<u8>>>) = match &cluster_handle {
+            Some(ch) => ch
+                .session_results()
+                .into_iter()
+                .map(|s| (s.run, s.output))
+                .unzip(),
+            None => {
+                let mut pairs = Arc::try_unwrap(collected)
+                    .map(|m| m.into_inner())
+                    .unwrap_or_else(|arc| arc.lock().clone());
+                pairs.sort_by_key(|(run, _)| run.rank);
+                pairs.into_iter().unzip()
+            }
+        };
         assert_eq!(runs.len(), n, "every rank must report");
 
         let start = runs.iter().map(|r| r.start).min().expect("non-empty");
@@ -264,7 +314,9 @@ impl Scenario {
             turnaround_ms: end.duration_since(start).as_millis_f64(),
             runs,
             device: device.stats(),
-            gvm: gvm_handle.map(|h| h.stats.lock().clone()),
+            gvm: cluster_handle
+                .map(|ch| ch.stats().gvm)
+                .or_else(|| gvm_handle.map(|h| h.stats.lock().clone())),
             outputs,
             timeline: self.trace.then(|| Timeline::from_tracer(&tracer)),
             analysis: self.analyze.then(|| gv_analyze::analyze_tracer(&tracer)),

@@ -123,7 +123,6 @@ struct Inner {
     /// timing-only lease (and vice versa), so the flag is part of the key;
     /// the NUMA index keeps recycled buffers socket-local.
     free: HashMap<(u64, bool, usize), Vec<PooledBuf>>,
-    next_id: u64,
     config: PoolConfig,
     stats: PoolStats,
 }
@@ -198,7 +197,6 @@ impl StagingPool {
         StagingPool {
             inner: Mutex::new(Inner {
                 free: HashMap::new(),
-                next_id: 1,
                 config,
                 stats: PoolStats::default(),
             }),
@@ -291,8 +289,9 @@ impl StagingPool {
             .and_then(|list| list.pop());
         let hit = recycled.is_some();
         let pooled = recycled.unwrap_or_else(|| {
-            let id = inner.next_id;
-            inner.next_id += 1;
+            // Tracer-global id: pools of co-resident GVMs share one trace,
+            // so a per-pool counter would alias lease brackets.
+            let id = tracer.alloc_pool_buf_id();
             inner.stats.buffers += 1;
             inner.stats.allocated_bytes += class;
             let buf = if functional {

@@ -59,6 +59,7 @@ pub fn stage_span(
 #[allow(clippy::too_many_arguments)]
 pub fn record_chunk(
     tracer: &Tracer,
+    device: u32,
     rank: usize,
     xfer: u64,
     h2d: bool,
@@ -69,6 +70,7 @@ pub fn record_chunk(
 ) {
     tracer.record_analysis(AnalysisRecord::StageChunk {
         time: tracer.now_hint(),
+        device,
         rank,
         xfer,
         h2d,
@@ -200,11 +202,22 @@ mod tests {
     fn record_chunk_emits_stage_chunk() {
         let t = Tracer::new();
         t.set_analysis(true);
-        record_chunk(&t, 3, 9, true, Span { offset: 0, len: 64 }, 64, 5, "cmd-1");
+        record_chunk(
+            &t,
+            0,
+            3,
+            9,
+            true,
+            Span { offset: 0, len: 64 },
+            64,
+            5,
+            "cmd-1",
+        );
         let recs = t.analysis_snapshot();
         assert!(matches!(
             &recs[..],
             [AnalysisRecord::StageChunk {
+                device: 0,
                 rank: 3,
                 xfer: 9,
                 h2d: true,

@@ -117,6 +117,9 @@ pub enum AnalysisRecord {
     ProtoSched {
         /// Simulated timestamp of the announcement (GVM boot).
         time: SimTime,
+        /// GVM instance name: scopes the announcement when several GVMs
+        /// (cluster placement) share one trace.
+        gvm: String,
         /// Policy label: `joint`/`fcfs`/`adaptive`/`sjf`.
         policy: String,
         /// `true` when a flush may cover a strict subset of the barriered
@@ -127,6 +130,10 @@ pub enum AnalysisRecord {
     Proto {
         /// Simulated timestamp of the receipt.
         time: SimTime,
+        /// GVM instance name that received the request. Ranks are local to
+        /// their GVM, so multi-GVM traces need this to keep per-rank
+        /// protocol state separate.
+        gvm: String,
         /// SPMD rank the request came from.
         rank: usize,
         /// Request kind label: `REQ`/`SND`/`STR`/`STP`/`RCV`/`RLS`.
@@ -138,6 +145,8 @@ pub enum AnalysisRecord {
     ProtoFlush {
         /// Simulated timestamp of the flush.
         time: SimTime,
+        /// GVM instance name whose barrier flushed.
+        gvm: String,
         /// Ranks whose barriered `STR` requests were acknowledged.
         ranks: Vec<usize>,
     },
@@ -145,6 +154,8 @@ pub enum AnalysisRecord {
     ProtoEvict {
         /// Simulated timestamp of the eviction.
         time: SimTime,
+        /// GVM instance name that evicted the rank.
+        gvm: String,
         /// The evicted rank.
         rank: usize,
     },
@@ -222,6 +233,10 @@ pub enum AnalysisRecord {
     StageChunk {
         /// Simulated timestamp the span finished staging.
         time: SimTime,
+        /// Tracer ordinal of the device the transfer targets. Engine
+        /// command labels are per-device counters, so the staging checker
+        /// needs this to pair `label` with its [`AnalysisRecord::CopyEnd`].
+        device: u32,
         /// SPMD rank the transfer belongs to.
         rank: usize,
         /// Transfer-group id: all spans of one payload share it and must
@@ -283,6 +298,49 @@ pub enum AnalysisRecord {
         /// Pool buffer id being recycled.
         buf: u64,
     },
+    /// A cluster placement front-end declared one managed device and the
+    /// capacity vector its admission decisions are charged against. Emitted
+    /// once per device at install; the co-residency checker validates every
+    /// [`AnalysisRecord::ClusterPlace`] against these declarations.
+    ClusterDevice {
+        /// Cluster-local device index (position in the front-end's device
+        /// list, not the tracer's dense engine ordinal).
+        device: u32,
+        /// Device-memory capacity in bytes (the placement mem dimension).
+        mem_bytes: u64,
+        /// Concurrent-session capacity (the placement kernel-slot
+        /// dimension).
+        kernel_slots: u32,
+    },
+    /// A VGPU session became resident on a device: the placement decision
+    /// took effect and the session's demand now occupies capacity there.
+    ClusterPlace {
+        /// Simulated timestamp the session became resident.
+        time: SimTime,
+        /// Cluster-wide VGPU session id.
+        vgpu: u64,
+        /// Tenant the session belongs to (DRF accounting unit).
+        tenant: u64,
+        /// Gang the session belongs to, if any. All placements sharing a
+        /// gang id must name the same device (all-or-nothing co-placement).
+        gang: Option<u64>,
+        /// Cluster-local device index the session landed on.
+        device: u32,
+        /// Admission wave (0 = first; queued groups land in later waves).
+        wave: u32,
+        /// Device-memory demand charged against the device, in bytes.
+        mem_bytes: u64,
+    },
+    /// A VGPU session left its device (normal completion or eviction); its
+    /// demand no longer occupies capacity there.
+    ClusterEvict {
+        /// Simulated timestamp the session left.
+        time: SimTime,
+        /// Cluster-wide VGPU session id.
+        vgpu: u64,
+        /// Cluster-local device index the session left.
+        device: u32,
+    },
 }
 
 struct Inner {
@@ -297,6 +355,12 @@ struct Inner {
     /// calls) can still timestamp analysis records.
     now_ns: AtomicU64,
     devices: AtomicU64,
+    /// Run-global transfer-group id allocator (see
+    /// [`Tracer::alloc_xfer_id`]).
+    xfers: AtomicU64,
+    /// Run-global staging-pool buffer id allocator (see
+    /// [`Tracer::alloc_pool_buf_id`]).
+    pool_bufs: AtomicU64,
 }
 
 /// Cheaply cloneable handle to a shared trace buffer.
@@ -323,6 +387,8 @@ impl Tracer {
                 records: Mutex::new(Vec::new()),
                 now_ns: AtomicU64::new(0),
                 devices: AtomicU64::new(0),
+                xfers: AtomicU64::new(1),
+                pool_bufs: AtomicU64::new(1),
             }),
         }
     }
@@ -371,6 +437,19 @@ impl Tracer {
             max_concurrent_kernels,
         });
         ord
+    }
+
+    /// Allocate a transfer-group id, unique across the whole run. Staging
+    /// layers of different GVMs share one trace, so per-GVM counters would
+    /// alias [`AnalysisRecord::StageChunk`] groups.
+    pub fn alloc_xfer_id(&self) -> u64 {
+        self.inner.xfers.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a staging-pool buffer id, unique across the whole run (the
+    /// per-pool analogue of [`alloc_xfer_id`](Self::alloc_xfer_id)).
+    pub fn alloc_pool_buf_id(&self) -> u64 {
+        self.inner.pool_bufs.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Mirror of the engine clock, updated on every time advance. Exact
@@ -765,12 +844,14 @@ mod tests {
         let tr = Tracer::new();
         tr.record_analysis(AnalysisRecord::ProtoEvict {
             time: t(1),
+            gvm: "gvm".to_string(),
             rank: 0,
         });
         assert!(tr.analysis_snapshot().is_empty());
         tr.set_analysis(true);
         tr.record_analysis(AnalysisRecord::ProtoEvict {
             time: t(2),
+            gvm: "gvm".to_string(),
             rank: 3,
         });
         assert_eq!(tr.analysis_snapshot().len(), 1);

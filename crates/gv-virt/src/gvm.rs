@@ -215,6 +215,38 @@ impl GvmStats {
         }
     }
 
+    /// Accumulate another instance's counters into this one (the cluster
+    /// front-end merges all per-(device, wave) GVMs into one audit).
+    /// Counters and durations add; high-water marks take the max.
+    pub fn merge(&mut self, other: &GvmStats) {
+        self.snd_copies += other.snd_copies;
+        self.rcv_copies += other.rcv_copies;
+        self.copy_time += other.copy_time;
+        self.flushes += other.flushes;
+        self.submit_time += other.submit_time;
+        self.stp_waits += other.stp_waits;
+        self.evictions += other.evictions;
+        self.naks += other.naks;
+        self.dedup_hits += other.dedup_hits;
+        self.partial_flushes += other.partial_flushes;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.queue_depth_sum += other.queue_depth_sum;
+        self.queue_depth_samples += other.queue_depth_samples;
+        self.idle_gap += other.idle_gap;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_high_water_bytes = self.pool_high_water_bytes.max(other.pool_high_water_bytes);
+        self.devcache_hits += other.devcache_hits;
+        self.devcache_misses += other.devcache_misses;
+        self.chunked_transfers += other.chunked_transfers;
+        self.chunks_submitted += other.chunks_submitted;
+        self.steady_prefetches += other.steady_prefetches;
+        self.pool_released_buffers += other.pool_released_buffers;
+        self.pool_released_bytes += other.pool_released_bytes;
+        self.pool_over_cap += other.pool_over_cap;
+        self.pool_backpressure_waits += other.pool_backpressure_waits;
+    }
+
     /// Fraction of staging-pool acquires served without allocating
     /// (0.0 if the pool was never used).
     pub fn pool_hit_rate(&self) -> f64 {
@@ -253,7 +285,6 @@ struct MemLayer {
     pool: StagingPool,
     devcache: DeviceAllocCache,
     chooser: AdaptiveChooser,
-    next_xfer: u64,
 }
 
 impl MemLayer {
@@ -281,8 +312,8 @@ impl MemLayer {
         k: u64,
     ) -> (u64, Vec<gv_mem::Span>) {
         let spans = PipelineConfig::plan_exact(payload, k);
-        let xfer = self.next_xfer;
-        self.next_xfer += 1;
+        // Tracer-global id: co-resident GVMs share one analysis stream.
+        let xfer = tracer.alloc_xfer_id();
         if payload > 0 {
             gv_mem::record_plan(
                 tracer,
@@ -398,14 +429,26 @@ impl Gvm {
         config: GvmConfig,
         tasks: Vec<GpuTask>,
     ) -> GvmHandle {
-        assert!(!cudas.is_empty(), "at least one device required");
+        let handle = Self::prepare(node, config, tasks);
+        Self::spawn_prepared(sim, &handle, cudas, node);
+        handle
+    }
+
+    /// Construct a [`GvmHandle`] (registries, gates, task table) without
+    /// spawning the manager process. Clients may connect to a prepared
+    /// handle immediately — they block on `ready` until some process later
+    /// boots the manager via [`Gvm::spawn_prepared`] or
+    /// [`Gvm::spawn_prepared_from`]. The cluster front-end uses this to
+    /// pre-wire every admission wave at install time and boot later waves
+    /// only when their predecessors drain.
+    pub fn prepare(node: &Node, config: GvmConfig, tasks: Vec<GpuTask>) -> GvmHandle {
         assert_eq!(tasks.len(), config.ntask, "one task per SPMD rank required");
         assert!(config.ntask >= 1);
         let endpoints = Endpoints::new(&config.name);
         let shm_reg = ShmRegistry::new(node.config());
         let req_reg: MqRegistry<Request> = MqRegistry::new(node.config());
         let resp_reg: MqRegistry<Response> = MqRegistry::new(node.config());
-        let handle = GvmHandle {
+        GvmHandle {
             endpoints: endpoints.clone(),
             config: Arc::new(config),
             shm: shm_reg,
@@ -415,14 +458,37 @@ impl Gvm {
             done: Gate::new(),
             tasks: Arc::new(tasks),
             stats: Arc::new(Mutex::new(GvmStats::default())),
-        };
+        }
+    }
+
+    /// Boot the manager process for a [prepared](Gvm::prepare) handle from
+    /// the simulation's top level.
+    pub fn spawn_prepared(
+        sim: &mut Simulation,
+        handle: &GvmHandle,
+        cudas: &[CudaDevice],
+        node: &Node,
+    ) {
+        assert!(!cudas.is_empty(), "at least one device required");
         let h = handle.clone();
         let cudas = cudas.to_vec();
         let node = node.clone();
         sim.spawn(&h.endpoints.gvm.clone(), move |ctx| {
             gvm_main(ctx, h, cudas, node);
         });
-        handle
+    }
+
+    /// Boot the manager process for a [prepared](Gvm::prepare) handle from
+    /// within a running process (e.g. a cluster wave controller releasing
+    /// the next admission wave once the previous one drains).
+    pub fn spawn_prepared_from(ctx: &Ctx, handle: &GvmHandle, cudas: &[CudaDevice], node: &Node) {
+        assert!(!cudas.is_empty(), "at least one device required");
+        let h = handle.clone();
+        let cudas = cudas.to_vec();
+        let node = node.clone();
+        ctx.spawn(&h.endpoints.gvm.clone(), move |ctx| {
+            gvm_main(ctx, h, cudas, node);
+        });
     }
 }
 
@@ -518,7 +584,6 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         pool: StagingPool::with_config(cfg.mem.pool),
         devcache: DeviceAllocCache::new(),
         chooser,
-        next_xfer: 1,
     };
     // The dispatch policy. Per-rank service estimates feed shortest-job-
     // first ordering; the other policies ignore them.
@@ -535,6 +600,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     ctx.tracer()
         .record_analysis(gv_sim::AnalysisRecord::ProtoSched {
             time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
             policy: scheduler.name().to_string(),
             partial: scheduler.partial_flush(),
         });
@@ -657,6 +723,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         let r = req.rank;
         ctx.tracer().record_analysis(gv_sim::AnalysisRecord::Proto {
             time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
             rank: r,
             kind: req.kind.label(),
             seq: req.seq,
@@ -726,6 +793,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                                         .expect("zero recycled device allocation");
                                     gv_mem::record_chunk(
                                         ctx.tracer(),
+                                        cudas[dev_idx].device().tracer_ordinal(),
                                         r,
                                         xfer,
                                         true,
@@ -853,6 +921,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         };
                         gv_mem::record_chunk(
                             ctx.tracer(),
+                            cudas[rank.dev_idx].device().tracer_ordinal(),
                             r,
                             xfer,
                             true,
@@ -1125,6 +1194,7 @@ fn evict(
     ctx.tracer()
         .record_analysis(gv_sim::AnalysisRecord::ProtoEvict {
             time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
             rank: r,
         });
     h.stats.lock().evictions += 1;
@@ -1224,6 +1294,7 @@ fn flush_group(
     ctx.tracer()
         .record_analysis(gv_sim::AnalysisRecord::ProtoFlush {
             time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
             ranks: ack.clone(),
         });
     for &rr in &ack {
@@ -1298,6 +1369,7 @@ fn flush_rank(
                         .expect("GVM H2D submit");
                     gv_mem::record_chunk(
                         ctx.tracer(),
+                        cc.cuda().device().tracer_ordinal(),
                         r,
                         xfer,
                         true,
@@ -1334,6 +1406,7 @@ fn flush_rank(
                     .expect("GVM D2H submit");
                 gv_mem::record_chunk(
                     ctx.tracer(),
+                    cc.cuda().device().tracer_ordinal(),
                     r,
                     xfer,
                     false,

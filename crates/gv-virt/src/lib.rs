@@ -24,6 +24,7 @@
 
 pub mod baseline;
 pub mod client;
+pub mod cluster;
 pub mod fault;
 pub mod gvm;
 pub mod protocol;
@@ -32,6 +33,10 @@ pub mod sched;
 
 pub use baseline::{run_direct, run_direct_abortable};
 pub use client::{ClientPolicy, TaskError, VgpuClient};
+pub use cluster::{
+    plan, Cluster, ClusterConfig, ClusterHandle, ClusterPlan, ClusterStats, DeviceCap, PlacePolicy,
+    PlanError, SessionResult, VgpuRequest,
+};
 pub use fault::{FaultPlan, FaultSpec, PlanParseError, QueueSel};
 pub use gv_mem::{MemConfig, PipelineConfig};
 pub use gvm::{FtConfig, Gvm, GvmConfig, GvmHandle, GvmStats};

@@ -160,7 +160,7 @@ impl Endpoints {
 
 /// Timestamps of one task execution as observed by the client process,
 /// aligned with the paper's Fig. 3 execution-cycle stages.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskRun {
     /// SPMD rank.
     pub rank: usize,

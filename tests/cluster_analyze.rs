@@ -1,0 +1,191 @@
+//! `gv-analyze` coverage for cluster placement traces.
+//!
+//! End-to-end: a real multi-device, multi-wave cluster run with gangs
+//! emits `ClusterDevice`/`ClusterPlace`/`ClusterEvict` records and
+//! analyzes clean under every placement policy. Corrupting that *same*
+//! real stream — re-placing a resident session, or splitting a gang
+//! across devices — produces exactly one diagnostic per seeded fault.
+//! The dump format round-trips cluster records byte-for-byte.
+
+use gvirt::analyze;
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{DeviceConfig, GpuDevice};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::{Benchmark, BenchmarkId};
+use gvirt::sim::{AnalysisRecord, Simulation};
+use gvirt::virt::{Cluster, ClusterConfig, PlacePolicy, VgpuRequest};
+
+/// Run a 2-device cluster with a mix of singletons and one 3-session
+/// gang; returns the analysis records of the full run.
+fn cluster_trace(policy: PlacePolicy) -> Vec<AnalysisRecord> {
+    let mut sim = Simulation::new();
+    let tracer = sim.tracer();
+    tracer.set_analysis(true);
+    let cfg = DeviceConfig::tesla_c2070_paper();
+    let devices: Vec<GpuDevice> = (0..2)
+        .map(|_| GpuDevice::install(&mut sim, cfg.clone()))
+        .collect();
+    let cudas: Vec<CudaDevice> = devices.iter().map(|d| CudaDevice::new(d.clone())).collect();
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &cfg, 400);
+    let requests: Vec<VgpuRequest> = (0..6)
+        .map(|i| VgpuRequest {
+            id: i,
+            // Gang members must share a tenant; singletons alternate.
+            tenant: if i >= 3 { 1 } else { i % 2 },
+            gang: (i >= 3).then_some(1),
+            task: task.clone(),
+        })
+        .collect();
+    let handle = Cluster::install(
+        &mut sim,
+        &node,
+        &cudas,
+        ClusterConfig::new(policy),
+        requests,
+    )
+    .expect("feasible placement");
+    sim.run().unwrap();
+    assert_eq!(handle.session_results().len(), 6);
+    tracer.analysis_snapshot()
+}
+
+/// Every policy's real trace passes the co-residency checker, and the
+/// cluster records are actually present and counted.
+#[test]
+fn fault_free_cluster_runs_analyze_clean() {
+    for policy in PlacePolicy::all() {
+        let records = cluster_trace(policy);
+        let report = analyze::analyze(&records);
+        assert!(
+            report.is_clean(),
+            "{policy}: diagnostics on a clean cluster run:\n{}",
+            report.render()
+        );
+        // 2 device declarations + 6 places + 6 evicts.
+        assert_eq!(report.cluster_events, 14, "{policy}");
+    }
+}
+
+/// A multi-wave run (more sessions than one wave's kernel slots) also
+/// analyzes clean: wave-1 placements land only after wave-0 evictions.
+#[test]
+fn multi_wave_cluster_run_analyzes_clean() {
+    let mut sim = Simulation::new();
+    let tracer = sim.tracer();
+    tracer.set_analysis(true);
+    let cfg = DeviceConfig::tesla_c2070_paper();
+    let slots = cfg.max_concurrent_kernels as u64;
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let cuda = CudaDevice::new(device.clone());
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let task = Benchmark::scaled_task(BenchmarkId::VecAdd, &cfg, 400);
+    let n = slots + 4; // overflows one device's slot capacity → 2 waves
+    let requests: Vec<VgpuRequest> = (0..n)
+        .map(|i| VgpuRequest {
+            id: i,
+            tenant: 0,
+            gang: None,
+            task: task.clone(),
+        })
+        .collect();
+    let handle = Cluster::install(
+        &mut sim,
+        &node,
+        std::slice::from_ref(&cuda),
+        ClusterConfig::new(PlacePolicy::Spread),
+        requests,
+    )
+    .expect("feasible placement");
+    sim.run().unwrap();
+    assert_eq!(handle.plan.waves, 2);
+    assert_eq!(handle.session_results().len() as u64, n);
+    let report = analyze::analyze(&tracer.analysis_snapshot());
+    assert!(
+        report.is_clean(),
+        "multi-wave run dirty:\n{}",
+        report.render()
+    );
+}
+
+/// Re-placing a still-resident session in a real trace yields exactly one
+/// `double placement` diagnostic — the bogus placement is not charged, so
+/// no cascade follows.
+#[test]
+fn seeded_double_placement_is_one_diagnostic() {
+    let mut records = cluster_trace(PlacePolicy::Spread);
+    let place_at = records
+        .iter()
+        .position(|r| matches!(r, AnalysisRecord::ClusterPlace { .. }))
+        .expect("trace has placements");
+    let mut dup = records[place_at].clone();
+    if let AnalysisRecord::ClusterPlace { device, .. } = &mut dup {
+        *device = (*device + 1) % 2; // re-placed on the *other* device
+    }
+    records.insert(place_at + 1, dup);
+
+    let report = analyze::analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "want exactly the double placement:\n{}",
+        report.render()
+    );
+    assert!(report.diagnostics[0].message.contains("double placement"));
+}
+
+/// Retargeting one gang member's placement (and its matching evict) in a
+/// real trace yields exactly one `split gang` diagnostic.
+#[test]
+fn seeded_split_gang_is_one_diagnostic() {
+    let mut records = cluster_trace(PlacePolicy::Gang);
+    // Move the *last* gang member to the other device, evict included,
+    // so the only inconsistency left is the split itself.
+    let victim = records
+        .iter()
+        .filter_map(|r| match r {
+            AnalysisRecord::ClusterPlace {
+                vgpu,
+                gang: Some(_),
+                ..
+            } => Some(*vgpu),
+            _ => None,
+        })
+        .next_back()
+        .expect("trace has a gang");
+    for r in records.iter_mut() {
+        match r {
+            AnalysisRecord::ClusterPlace { vgpu, device, .. }
+            | AnalysisRecord::ClusterEvict { vgpu, device, .. }
+                if *vgpu == victim =>
+            {
+                *device = (*device + 1) % 2;
+            }
+            _ => {}
+        }
+    }
+
+    let report = analyze::analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "want exactly the split gang:\n{}",
+        report.render()
+    );
+    assert!(report.diagnostics[0].message.contains("split gang"));
+}
+
+/// Cluster records survive the line-oriented dump format: text → records
+/// → identical report, and re-dumping is byte-stable.
+#[test]
+fn cluster_records_roundtrip_through_dump() {
+    let records = cluster_trace(PlacePolicy::Drf);
+    let dump = analyze::model::to_dump(&records);
+    let parsed = analyze::model::parse_dump(&dump).expect("dump parses");
+    assert_eq!(analyze::model::to_dump(&parsed), dump, "dump not stable");
+    let a = analyze::analyze(&records);
+    let b = analyze::analyze(&parsed);
+    assert_eq!(a.diagnostics, b.diagnostics);
+    assert_eq!(a.cluster_events, b.cluster_events);
+    assert!(a.cluster_events >= 14);
+}

@@ -1,0 +1,330 @@
+//! Property tests for the pure cluster placement planner.
+//!
+//! Over random request sets (tenants, gangs, memory demands) and random
+//! device inventories, for every policy:
+//!
+//! * **total assignment** — every feasible request set plans with each
+//!   request assigned exactly once, dense id-ordered slots per
+//!   (device, wave) GVM, and infeasibility is reported exactly when some
+//!   group exceeds every empty device.
+//! * **capacity** — no (device, wave) ever exceeds its declared memory or
+//!   kernel-slot capacity.
+//! * **gang atomicity** — all members of a gang land on one device in one
+//!   wave, or the whole gang is deferred (all-or-nothing).
+//! * **work conservation** — BinPack/Spread/Gang defer a group only when
+//!   it fits on no device at the wave's close.
+//! * **DRF fairness** — replaying the admission audit trail, every DRF
+//!   admission goes to a minimal-dominant-share tenant among those whose
+//!   next group still fits (progressive filling).
+//! * **determinism** — planning is a pure function of its inputs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use gvirt::gpu::KernelDesc;
+use gvirt::kernels::{GpuTask, KernelTemplate, WorkloadClass};
+use gvirt::sim::SimDuration;
+use gvirt::virt::cluster::{plan, Admission, ClusterPlan, DeviceCap, PlacePolicy, VgpuRequest};
+use proptest::prelude::*;
+
+fn task(mem: u64) -> GpuTask {
+    GpuTask {
+        name: "t".into(),
+        class: WorkloadClass::Intermediate,
+        ctx_switch_cost: SimDuration::from_millis(1),
+        device_bytes: mem,
+        iterations: 1,
+        bytes_in: 64,
+        input: None,
+        bytes_out: 64,
+        d2h_offset: 0,
+        kernels: vec![KernelTemplate::timing(KernelDesc::new("k", 4, 64))],
+    }
+}
+
+/// Decode raw generator tuples into a request set. Gang ids encode their
+/// tenant so gangs never span tenants (a planning error by construction).
+fn requests_from(specs: &[(u64, u8, u8)]) -> Vec<VgpuRequest> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(mem_sel, tenant, gang_sel))| VgpuRequest {
+            id: i as u64,
+            tenant: tenant as u64,
+            gang: (gang_sel < 3).then(|| tenant as u64 * 8 + gang_sel as u64),
+            task: task((1 + mem_sel) * 100),
+        })
+        .collect()
+}
+
+fn caps_from(specs: &[(u64, u32)]) -> Vec<DeviceCap> {
+    specs
+        .iter()
+        .map(|&(mem_sel, slots)| DeviceCap {
+            mem_bytes: mem_sel * 100,
+            kernel_slots: slots,
+        })
+        .collect()
+}
+
+/// The planner's grouping, reconstructed independently: (arrival, tenant,
+/// gang, mem, member ids ascending).
+type Group = (usize, u64, Option<u64>, u64, Vec<u64>);
+
+fn groups_of(requests: &[VgpuRequest]) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut gang_idx: HashMap<u64, usize> = HashMap::new();
+    for (i, r) in requests.iter().enumerate() {
+        match r.gang {
+            Some(g) => match gang_idx.get(&g) {
+                Some(&gi) => {
+                    groups[gi].3 += r.task.device_bytes;
+                    groups[gi].4.push(r.id);
+                }
+                None => {
+                    gang_idx.insert(g, groups.len());
+                    groups.push((i, r.tenant, Some(g), r.task.device_bytes, vec![r.id]));
+                }
+            },
+            None => groups.push((i, r.tenant, None, r.task.device_bytes, vec![r.id])),
+        }
+    }
+    for g in &mut groups {
+        g.4.sort_unstable();
+    }
+    groups
+}
+
+/// True when some empty device can hold a (mem, sessions) demand.
+fn fits_empty(caps: &[DeviceCap], mem: u64, sessions: u32) -> bool {
+    caps.iter()
+        .any(|c| mem <= c.mem_bytes && sessions <= c.kernel_slots)
+}
+
+/// Plan, and either return the plan or verify the infeasibility claim.
+fn plan_or_verify_error(
+    policy: PlacePolicy,
+    requests: &[VgpuRequest],
+    caps: &[DeviceCap],
+) -> Option<ClusterPlan> {
+    match plan(policy, requests, caps) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            let oversize = groups_of(requests)
+                .iter()
+                .any(|(_, _, _, mem, ids)| !fits_empty(caps, *mem, ids.len() as u32));
+            assert!(
+                oversize || caps.is_empty(),
+                "{policy}: planner rejected a feasible set: {e}"
+            );
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Total assignment, capacity, gang atomicity, and dense id-ordered
+    /// slots — every policy, every random request set and inventory.
+    #[test]
+    fn placement_invariants_hold_for_every_policy(
+        specs in prop::collection::vec((0u64..8, 0u8..4, 0u8..6), 1usize..48),
+        dev_specs in prop::collection::vec((5u64..40, 2u32..10), 1usize..5),
+    ) {
+        let requests = requests_from(&specs);
+        let caps = caps_from(&dev_specs);
+        for policy in PlacePolicy::all() {
+            let Some(p) = plan_or_verify_error(policy, &requests, &caps) else { continue };
+
+            // Every request assigned exactly once, in arrival order.
+            prop_assert_eq!(p.assignments.len(), requests.len());
+            for (a, r) in p.assignments.iter().zip(&requests) {
+                prop_assert_eq!(a.request, r.id);
+                prop_assert!(a.device < caps.len());
+                prop_assert!(a.wave < p.waves);
+            }
+
+            // Capacity per (wave, device).
+            let mut usage: HashMap<(u32, usize), (u64, u32)> = HashMap::new();
+            for a in &p.assignments {
+                let e = usage.entry((a.wave, a.device)).or_default();
+                e.0 += a.mem_bytes;
+                e.1 += 1;
+            }
+            for (&(w, d), &(mem, slots)) in &usage {
+                prop_assert!(mem <= caps[d].mem_bytes,
+                    "{} wave {} dev {}: {} > {}", policy, w, d, mem, caps[d].mem_bytes);
+                prop_assert!(slots <= caps[d].kernel_slots,
+                    "{} wave {} dev {}: {} sessions > {}", policy, w, d, slots, caps[d].kernel_slots);
+            }
+
+            // Gang atomicity: one (device, wave) per gang.
+            let mut gang_site: HashMap<u64, (usize, u32)> = HashMap::new();
+            for a in &p.assignments {
+                if let Some(g) = a.gang {
+                    let site = (a.device, a.wave);
+                    let prev = gang_site.entry(g).or_insert(site);
+                    prop_assert_eq!(*prev, site, "{}: gang {} split", policy, g);
+                }
+            }
+
+            // Slots dense and id-ordered per (device, wave) GVM.
+            let mut per_gvm: BTreeMap<(u32, usize), Vec<(usize, u64)>> = BTreeMap::new();
+            for a in &p.assignments {
+                per_gvm.entry((a.wave, a.device)).or_default().push((a.slot, a.request));
+            }
+            for members in per_gvm.values_mut() {
+                members.sort();
+                for (want, &(slot, _)) in members.iter().enumerate() {
+                    prop_assert_eq!(slot, want, "{}: slots not dense", policy);
+                }
+                let ids: Vec<u64> = members.iter().map(|&(_, id)| id).collect();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(ids, sorted, "{}: slot order not id order", policy);
+            }
+        }
+    }
+
+    /// Work conservation for the greedy policies: a group waits for wave
+    /// `w+1` only if it fits on no device when wave `w` closes.
+    #[test]
+    fn greedy_policies_defer_only_when_full(
+        specs in prop::collection::vec((0u64..8, 0u8..4, 0u8..6), 1usize..48),
+        dev_specs in prop::collection::vec((5u64..40, 2u32..10), 1usize..5),
+    ) {
+        let requests = requests_from(&specs);
+        let caps = caps_from(&dev_specs);
+        for policy in [PlacePolicy::BinPack, PlacePolicy::Spread, PlacePolicy::Gang] {
+            let Some(p) = plan_or_verify_error(policy, &requests, &caps) else { continue };
+
+            // Final load of each wave.
+            let mut load: HashMap<(u32, usize), (u64, u32)> = HashMap::new();
+            for a in &p.assignments {
+                let e = load.entry((a.wave, a.device)).or_default();
+                e.0 += a.mem_bytes;
+                e.1 += 1;
+            }
+            let wave_of: HashMap<u64, u32> =
+                p.assignments.iter().map(|a| (a.request, a.wave)).collect();
+            for (_, _, _, gmem, ids) in groups_of(&requests) {
+                let w = wave_of[&ids[0]];
+                let sessions = ids.len() as u32;
+                // The group was pending at the close of every earlier wave.
+                for earlier in 0..w {
+                    let fits_somewhere = (0..caps.len()).any(|d| {
+                        let (m, s) = load.get(&(earlier, d)).copied().unwrap_or((0, 0));
+                        m + gmem <= caps[d].mem_bytes && s + sessions <= caps[d].kernel_slots
+                    });
+                    prop_assert!(
+                        !fits_somewhere,
+                        "{}: group {:?} deferred past wave {} it fit into",
+                        policy, ids, earlier
+                    );
+                }
+            }
+        }
+    }
+
+    /// DRF progressive filling, replayed against an independent oracle:
+    /// each admission's tenant has minimal (dominant share, id) among the
+    /// tenants whose FIFO-next group still fits somewhere.
+    #[test]
+    fn drf_admits_minimal_dominant_share_tenants(
+        specs in prop::collection::vec((0u64..8, 0u8..4, 0u8..6), 1usize..48),
+        dev_specs in prop::collection::vec((5u64..40, 2u32..10), 1usize..5),
+    ) {
+        let requests = requests_from(&specs);
+        let caps = caps_from(&dev_specs);
+        if let Some(p) = plan_or_verify_error(PlacePolicy::Drf, &requests, &caps) {
+        let mem_total: u64 = caps.iter().map(|c| c.mem_bytes).sum();
+        let slots_total: u32 = caps.iter().map(|c| c.kernel_slots).sum();
+        let share = |alloc: &HashMap<u64, (u64, u32)>, t: u64| -> f64 {
+            let (m, s) = alloc.get(&t).copied().unwrap_or((0, 0));
+            (m as f64 / mem_total as f64).max(s as f64 / slots_total as f64)
+        };
+
+        // Pending groups in arrival order: (tenant, mem, sessions, ids).
+        let mut pending: Vec<(u64, u64, u32, Vec<u64>)> = groups_of(&requests)
+            .into_iter()
+            .map(|(_, t, _, mem, ids)| (t, mem, ids.len() as u32, ids))
+            .collect();
+
+        let mut wave = 0u32;
+        let mut loads: Vec<(u64, u32)> = vec![(0, 0); caps.len()];
+        let mut shares: HashMap<u64, (u64, u32)> = HashMap::new();
+        for Admission { wave: w, device, tenant, requests: ids, .. } in &p.admissions {
+            if *w != wave {
+                prop_assert_eq!(*w, wave + 1, "waves advance one at a time");
+                wave = *w;
+                loads = vec![(0, 0); caps.len()];
+                shares.clear();
+            }
+            // The admitted group is its tenant's FIFO-next pending group.
+            let pos = pending
+                .iter()
+                .position(|(t, _, _, gids)| t == tenant && gids == ids)
+                .expect("admitted group is pending");
+            prop_assert!(
+                pending.iter().take(pos).all(|(t, ..)| t != tenant),
+                "DRF skipped tenant {}'s earlier group", tenant
+            );
+            let (_, gmem, gsessions, _) = pending[pos].clone();
+
+            // Envy bound: any tenant strictly ahead in (share, id) order
+            // must be stuck — its FIFO-next group fits nowhere right now.
+            let s_t = share(&shares, *tenant);
+            let mut checked: HashSet<u64> = HashSet::new();
+            for (u, umem, usessions, _) in &pending {
+                if u == tenant || !checked.insert(*u) {
+                    continue; // only each tenant's FIFO-next group
+                }
+                let s_u = share(&shares, *u);
+                let ahead = s_u < s_t || (s_u == s_t && u < tenant);
+                if ahead {
+                    let fits_somewhere = (0..caps.len()).any(|d| {
+                        loads[d].0 + umem <= caps[d].mem_bytes
+                            && loads[d].1 + usessions <= caps[d].kernel_slots
+                    });
+                    prop_assert!(
+                        !fits_somewhere,
+                        "DRF admitted tenant {} (share {:.3}) while tenant {} \
+                         (share {:.3}) had a fitting group",
+                        tenant, s_t, u, s_u
+                    );
+                }
+            }
+
+            // Apply the admission.
+            prop_assert!(
+                loads[*device].0 + gmem <= caps[*device].mem_bytes
+                    && loads[*device].1 + gsessions <= caps[*device].kernel_slots,
+                "DRF admission overflows device {}", device
+            );
+            loads[*device].0 += gmem;
+            loads[*device].1 += gsessions;
+            let e = shares.entry(*tenant).or_insert((0, 0));
+            e.0 += gmem;
+            e.1 += gsessions;
+            pending.remove(pos);
+        }
+        prop_assert!(pending.is_empty(), "every group is eventually admitted");
+        }
+    }
+
+    /// Planning is deterministic: the same inputs give the same plan,
+    /// admission for admission.
+    #[test]
+    fn planning_is_deterministic(
+        specs in prop::collection::vec((0u64..8, 0u8..4, 0u8..6), 1usize..48),
+        dev_specs in prop::collection::vec((5u64..40, 2u32..10), 1usize..5),
+    ) {
+        let requests = requests_from(&specs);
+        let caps = caps_from(&dev_specs);
+        for policy in PlacePolicy::all() {
+            let a = plan(policy, &requests, &caps);
+            let b = plan(policy, &requests_from(&specs), &caps_from(&dev_specs));
+            prop_assert_eq!(a, b, "{} not deterministic", policy);
+        }
+    }
+}

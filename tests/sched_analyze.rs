@@ -110,11 +110,13 @@ fn policy_trace_dump_roundtrips_and_stays_clean() {
 fn relaxed_rule_still_rejects_real_violations() {
     let sched = AnalysisRecord::ProtoSched {
         time: SimTime::ZERO,
+        gvm: "gvm".to_string(),
         policy: "fcfs".to_string(),
         partial: true,
     };
     let str0 = AnalysisRecord::Proto {
         time: SimTime::ZERO + SimDuration::from_micros(1),
+        gvm: "gvm".to_string(),
         rank: 0,
         kind: "STR",
         seq: 1,
@@ -124,6 +126,7 @@ fn relaxed_rule_still_rejects_real_violations() {
         str0.clone(),
         AnalysisRecord::ProtoFlush {
             time: SimTime::ZERO + SimDuration::from_micros(2),
+            gvm: "gvm".to_string(),
             ranks: vec![1], // rank 1 never sent STR
         },
     ];
@@ -136,6 +139,7 @@ fn relaxed_rule_still_rejects_real_violations() {
         str0,
         AnalysisRecord::ProtoFlush {
             time: SimTime::ZERO + SimDuration::from_micros(2),
+            gvm: "gvm".to_string(),
             ranks: vec![],
         },
     ];

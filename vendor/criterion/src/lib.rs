@@ -1,0 +1,157 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! The build container for this workspace has no crates.io mirror, so the
+//! workspace patches `criterion` to this shim (see `vendor/README.md`).
+//! Benches compile and run: each `bench_function` executes its routine a
+//! few times and prints a mean wall-clock per iteration — no statistics,
+//! plots, or CLI beyond ignoring the flags `cargo bench` passes.
+
+use std::time::Instant;
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(name, 10, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+            samples: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.prefix, name), self.samples, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_named<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed_ns: 0,
+        done: 0,
+    };
+    f(&mut b);
+    if b.done > 0 {
+        println!(
+            "bench {name}: {:.3} ms/iter ({} iters)",
+            b.elapsed_ns as f64 / b.done as f64 / 1e6,
+            b.done
+        );
+    }
+}
+
+/// Timer handed to each benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    done: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.done += self.iters;
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` input per batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.done += 1;
+        }
+    }
+}
+
+/// Batch sizing hints (ignored by the stub's fixed batching).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap; batch many per allocation.
+    SmallInput,
+    /// Inputs are expensive; batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Opaque value sink preventing the optimizer from deleting the routine.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

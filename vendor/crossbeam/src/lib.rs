@@ -1,0 +1,183 @@
+//! Offline stub of `crossbeam`, backed by `std::sync::mpsc`.
+//!
+//! The build container for this workspace has no crates.io mirror, so the
+//! workspace patches `crossbeam` to this shim (see `vendor/README.md`).
+//! Only `crossbeam::channel` is provided, with the subset the simulator
+//! kernel uses: `bounded`/`unbounded` constructors, cloneable senders,
+//! `Sync` receivers, and `send`/`recv`/`try_recv`.
+
+pub mod channel {
+    //! MPMC-ish channels over `std::sync::mpsc` (single consumer at a
+    //! time, serialized through a mutex — sufficient for the simulator's
+    //! one-reader-per-channel usage).
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(Flavor::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Creates a channel with a buffer capacity of `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender(Flavor::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Bounded channels hand out the same sender type as unbounded ones.
+    pub type SyncSender<T> = Sender<T>;
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking if the channel is bounded and full.
+        /// Errors if the receiving half has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Receives a message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
+        }
+    }
+
+    /// The receiver disconnected before the message could be sent.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// All senders disconnected and the channel is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Reasons a [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the channel is empty.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn bounded_cross_thread() {
+            let (tx, rx) = bounded(1);
+            let t = std::thread::spawn(move || {
+                tx.send(1u32).unwrap();
+                tx.send(2).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline mini property-testing framework with the `proptest!` surface.
+//!
+//! The build container for this workspace has no crates.io mirror, so the
+//! workspace patches `proptest` to this shim (see `vendor/README.md`). It
+//! keeps the API the workspace's test tiers use — `proptest!` with
+//! `#![proptest_config(...)]`, range/tuple/`Just`/`prop_map`/
+//! `prop::collection::vec` strategies, and `prop_assert*` — but drops
+//! shrinking: a failing case panics with its case index and seed so the
+//! run can be replayed deterministically.
+
+pub mod strategy;
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Length bound for collection strategies, mirroring the real crate's
+    /// `SizeRange`: built from a `usize`, a half-open range, or an
+    /// inclusive range (so a bare `1..8` literal infers as `usize`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `len` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+    pub fn vec<S>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S>
+    where
+        S: Strategy,
+    {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.lo + rng.below((self.len.hi - self.len.lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! `prop::...` paths as exported by the real prelude.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Per-block configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...)` block
+/// becomes a `#[test]` that runs the body for `config.cases` generated
+/// inputs. No shrinking; failures report the case index and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident
+            ( $( $bind:pat in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            // Call sites write `#[test]` themselves (the real proptest
+            // convention), so the captured metas already register the fn
+            // with libtest — emitting another `#[test]` here would run
+            // every property twice.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let seed = 0x5eed_0000_u64 ^ u64::from(case);
+                    let mut prop_rng = $crate::strategy::TestRng::new(seed);
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(
+                                let $bind = $crate::strategy::Strategy::generate(
+                                    &$strat,
+                                    &mut prop_rng,
+                                );
+                            )+
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case}/{} failed (seed {seed:#x})",
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Skips the current generated case when `cond` does not hold (the
+/// real proptest rejects and redraws; the stub just returns early, so
+/// heavily-filtered properties run fewer effective cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Equal-weight choice between the given same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_gen($strat)),+
+        ])
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds and tuples decompose.
+        #[test]
+        fn ranges_and_tuples(
+            x in 3u64..17,
+            (lo, hi) in (0u32..10, 10u32..20),
+            v in prop::collection::vec(-1.0f32..1.0, 1..8),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(lo < 10 && (10..20).contains(&hi));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|f| (-1.0..1.0).contains(f)));
+        }
+
+        /// prop_map and Just compose.
+        #[test]
+        fn map_and_just(
+            y in (1usize..=4).prop_map(|n| n * 2),
+            z in Just(9i32),
+        ) {
+            prop_assert!(y % 2 == 0 && (2..=8).contains(&y));
+            prop_assert_eq!(z, 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = (0u64..1000, 5usize..50);
+        let a = s.generate(&mut TestRng::new(42));
+        let b = s.generate(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+}

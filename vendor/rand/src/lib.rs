@@ -1,0 +1,50 @@
+//! Offline stub of `rand`.
+//!
+//! Declared as a dev-dependency in several workspace crates but currently
+//! unused by any source file; the workspace's simulations are fully
+//! deterministic by construction. A minimal splitmix64 generator is
+//! provided in case a future test wants cheap pseudo-randomness. See
+//! `vendor/README.md` for why this shim exists.
+
+/// A tiny deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SmallRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde`.
+//!
+//! The build container for this workspace has no crates.io mirror, so the
+//! workspace patches `serde` to this shim (see `vendor/README.md`). The
+//! workspace only *derives* `Serialize`/`Deserialize` (nothing calls a
+//! serializer — all JSON artifacts are hand-rendered), so the traits are
+//! pure markers with blanket impls and the derives expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derived impls and bounds both resolve.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types so derived impls and bounds both resolve.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

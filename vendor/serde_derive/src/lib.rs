@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to emit; they exist so that
+//! `#[derive(Serialize)]` and `#[serde(...)]` attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the stub `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the stub `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

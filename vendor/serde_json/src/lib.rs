@@ -1,0 +1,7 @@
+//! Offline placeholder stub of `serde_json`.
+//!
+//! Declared as a dependency by `gv-harness` but currently unused — every
+//! JSON artifact in the workspace is rendered by hand (see
+//! `gv-harness::pipeline::bench_json` and friends). The stub exists so the
+//! dependency graph resolves without a crates.io mirror; see
+//! `vendor/README.md`.
