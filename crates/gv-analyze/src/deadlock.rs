@@ -1,0 +1,230 @@
+//! Deadlock and lost-wakeup detection over engine termination records.
+//!
+//! When the engine dies with every live process parked it emits one
+//! `DeadlockWaiter` per blocked process (wait kind, resource, holders) and a
+//! single `Deadlock` record carrying the wait-for cycle it found. Sync
+//! primitives additionally emit `NotifyLost` whenever a `notify_one` finds
+//! no waiter — harmless on its own, but the classic *lost wakeup* signature
+//! when a process later deadlocks waiting on that same condition queue.
+//!
+//! The checker therefore emits:
+//!
+//! * **`lost-wakeup`** — a deadlocked `cond-wait` waiter whose resource saw
+//!   an earlier dropped notification. This *subsumes* the plain deadlock
+//!   finding for that trace: the root cause is the dropped notify, so the
+//!   trace yields exactly one diagnostic, not two.
+//! * **`deadlock`** — any other deadlock, with every blocked process's wait
+//!   cause and (when one exists) the wait-for cycle rendered with process
+//!   names.
+
+use std::collections::HashMap;
+
+use gv_sim::{AnalysisRecord, Pid, SimTime, WaitKind};
+
+use crate::Diagnostic;
+
+struct Waiter {
+    pid: Pid,
+    process: String,
+    kind: WaitKind,
+    resource: String,
+    holders: Vec<Pid>,
+}
+
+/// Scan `records` for deadlock / lost-wakeup signatures.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut lost: Vec<(SimTime, &str)> = Vec::new();
+    let mut waiters: Vec<Waiter> = Vec::new();
+    let mut deadlock: Option<(SimTime, &[Pid])> = None;
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::NotifyLost { time, resource } => lost.push((*time, resource)),
+            AnalysisRecord::DeadlockWaiter {
+                pid,
+                process,
+                kind,
+                resource,
+                holders,
+                ..
+            } => waiters.push(Waiter {
+                pid: *pid,
+                process: process.clone(),
+                kind: *kind,
+                resource: resource.clone(),
+                holders: holders.clone(),
+            }),
+            AnalysisRecord::Deadlock { time, cycle } => deadlock = Some((*time, cycle)),
+            _ => {}
+        }
+    }
+
+    let Some((time, cycle)) = deadlock else {
+        return diagnostics;
+    };
+    let names: HashMap<Pid, &str> = waiters
+        .iter()
+        .map(|w| (w.pid, w.process.as_str()))
+        .collect();
+    let name_of = |pid: Pid| -> String {
+        names
+            .get(&pid)
+            .map_or_else(|| format!("pid-{}", pid.index()), |n| (*n).to_string())
+    };
+
+    // Lost wakeup: a deadlocked cond-waiter whose queue dropped a notify
+    // before the deadlock. Root-cause finding; subsumes the generic one.
+    let mut found_lost_wakeup = false;
+    for w in &waiters {
+        if w.kind != WaitKind::CondWait {
+            continue;
+        }
+        if let Some((drop_t, _)) = lost
+            .iter()
+            .find(|(t, res)| *t <= time && *res == w.resource)
+        {
+            found_lost_wakeup = true;
+            diagnostics.push(Diagnostic {
+                checker: "lost-wakeup",
+                time,
+                message: format!(
+                    "process '{}' deadlocked in cond-wait on '{}' after a notify_one \
+                     on the same queue found no waiter at t={:.6}ms (wakeup lost)",
+                    w.process,
+                    w.resource,
+                    drop_t.as_millis_f64()
+                ),
+            });
+        }
+    }
+    if found_lost_wakeup {
+        return diagnostics;
+    }
+
+    let mut blocked = waiters
+        .iter()
+        .map(|w| {
+            let holders = if w.holders.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (peers: {})",
+                    w.holders
+                        .iter()
+                        .map(|p| name_of(*p))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            format!(
+                "{}: {} on '{}'{}",
+                w.process,
+                w.kind.label(),
+                w.resource,
+                holders
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    if !cycle.is_empty() {
+        blocked.push_str(&format!(
+            "; wait-for cycle: {}",
+            cycle
+                .iter()
+                .map(|p| name_of(*p))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        ));
+    }
+    diagnostics.push(Diagnostic {
+        checker: "deadlock",
+        time,
+        message: format!("{} process(es) blocked forever: {blocked}", waiters.len()),
+    });
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiter(
+        pid: usize,
+        process: &str,
+        kind: WaitKind,
+        res: &str,
+        holders: &[usize],
+    ) -> AnalysisRecord {
+        AnalysisRecord::DeadlockWaiter {
+            time: SimTime::from_nanos(100),
+            pid: Pid::from_index(pid),
+            process: process.to_string(),
+            kind,
+            resource: res.to_string(),
+            holders: holders.iter().map(|i| Pid::from_index(*i)).collect(),
+        }
+    }
+
+    fn dlock(cycle: &[usize]) -> AnalysisRecord {
+        AnalysisRecord::Deadlock {
+            time: SimTime::from_nanos(100),
+            cycle: cycle.iter().map(|i| Pid::from_index(*i)).collect(),
+        }
+    }
+
+    #[test]
+    fn no_deadlock_record_means_clean() {
+        // A dropped notify alone is not a bug.
+        let recs = vec![AnalysisRecord::NotifyLost {
+            time: SimTime::from_nanos(5),
+            resource: "cq".to_string(),
+        }];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn cyclic_deadlock_names_the_cycle() {
+        let recs = vec![
+            waiter(1, "a", WaitKind::Recv, "/q-ab", &[2]),
+            waiter(2, "b", WaitKind::Recv, "/q-ba", &[1]),
+            dlock(&[1, 2, 1]),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].checker, "deadlock");
+        assert!(d[0].message.contains("a -> b -> a"), "{}", d[0].message);
+        assert!(d[0].message.contains("recv on '/q-ab'"));
+    }
+
+    #[test]
+    fn lost_wakeup_subsumes_deadlock() {
+        let recs = vec![
+            AnalysisRecord::NotifyLost {
+                time: SimTime::from_nanos(50),
+                resource: "ready".to_string(),
+            },
+            waiter(1, "worker", WaitKind::CondWait, "ready", &[]),
+            dlock(&[]),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].checker, "lost-wakeup");
+        assert!(d[0].message.contains("ready"));
+    }
+
+    #[test]
+    fn cond_deadlock_without_dropped_notify_stays_deadlock() {
+        let recs = vec![
+            AnalysisRecord::NotifyLost {
+                time: SimTime::from_nanos(50),
+                resource: "other-queue".to_string(),
+            },
+            waiter(1, "worker", WaitKind::CondWait, "ready", &[]),
+            dlock(&[]),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].checker, "deadlock");
+    }
+}

@@ -1,7 +1,7 @@
 //! Trace-based static analysis for the GVM simulator.
 //!
 //! Deterministic runs produce [`AnalysisRecord`] streams (enable with
-//! [`Tracer::set_analysis`]); this crate replays them through five
+//! [`Tracer::set_analysis`]); this crate replays them through seven
 //! checkers, none of which re-executes the simulation:
 //!
 //! * [`race`] — a vector-clock happens-before detector over shared-memory
@@ -23,16 +23,29 @@
 //!   `ClusterPlace`/`ClusterEvict` records: a VGPU session is resident on
 //!   at most one device at a time, gangs are never split across devices,
 //!   and resident demand never exceeds a device's declared capacity.
+//! * [`deadlock`] — whole-trace termination checking over the engine's
+//!   `DeadlockWaiter`/`Deadlock`/`NotifyLost` records: reports the wait-for
+//!   cycle behind a deadlock, and upgrades a deadlocked condition wait with
+//!   an earlier dropped notification on the same resource to a lost-wakeup
+//!   finding.
+//! * [`liveness`] — every VGPU session admitted with a `REQ` must terminate
+//!   (a matching `RLS` or eviction); checked only on traces whose `RunEnd`
+//!   marker shows a completed run, so partial dumps stay silent.
 //!
 //! [`model`] adds a line-oriented dump format so traces can be written by a
 //! run (`--analyze --dump-trace` in the harness) and re-checked offline by
-//! the `gv-analyze` binary.
+//! the `gv-analyze` binary. [`explore`] drives the whole suite over *many*
+//! schedules of one scenario via the gv-sim scheduling oracle, shrinking any
+//! failure to a minimal replayable `.gvsched` counterexample.
 //!
 //! [`Tracer::set_analysis`]: gv_sim::trace::Tracer::set_analysis
 
 pub mod cluster;
 pub mod conformance;
+pub mod deadlock;
 pub mod device;
+pub mod explore;
+pub mod liveness;
 pub mod model;
 pub mod race;
 pub mod staging;
@@ -44,7 +57,8 @@ use gv_sim::{AnalysisRecord, SimTime};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which checker produced it: `"race"`, `"conformance"`, `"device"`,
-    /// `"staging"`, `"cluster"`.
+    /// `"staging"`, `"cluster"`, `"deadlock"`, `"lost-wakeup"`,
+    /// `"liveness"`.
     pub checker: &'static str,
     /// Simulated time of the offending event.
     pub time: SimTime,
@@ -81,6 +95,9 @@ pub struct Report {
     /// Cluster placement events (device declarations, place/evict)
     /// examined by the co-residency checker.
     pub cluster_events: usize,
+    /// Scheduling/termination events (deadlock waiters, dropped notifies,
+    /// run-end markers) examined by the deadlock and liveness checkers.
+    pub sched_events: usize,
 }
 
 impl Report {
@@ -102,13 +119,14 @@ impl Report {
     /// One-line summary suitable for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster events",
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster / {} sched events",
             self.diagnostics.len(),
             self.shm_accesses,
             self.proto_messages,
             self.device_events,
             self.staging_events,
-            self.cluster_events
+            self.cluster_events,
+            self.sched_events
         )
     }
 }
@@ -137,6 +155,10 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             AnalysisRecord::ClusterDevice { .. }
             | AnalysisRecord::ClusterPlace { .. }
             | AnalysisRecord::ClusterEvict { .. } => report.cluster_events += 1,
+            AnalysisRecord::DeadlockWaiter { .. }
+            | AnalysisRecord::Deadlock { .. }
+            | AnalysisRecord::NotifyLost { .. }
+            | AnalysisRecord::RunEnd { .. } => report.sched_events += 1,
         }
     }
     report.diagnostics.extend(race::check(records));
@@ -144,6 +166,8 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
     report.diagnostics.extend(device::check(records));
     report.diagnostics.extend(staging::check(records));
     report.diagnostics.extend(cluster::check(records));
+    report.diagnostics.extend(deadlock::check(records));
+    report.diagnostics.extend(liveness::check(records));
     report
 }
 

@@ -1,0 +1,182 @@
+//! Session-termination liveness over completed runs.
+//!
+//! A schedule that merely *finishes* can still be wrong: a VGPU session the
+//! GVM admitted with a `REQ` but never released holds its shared-memory
+//! segment and device bookkeeping forever. This checker verifies that on a
+//! run the engine marked complete (a `RunEnd` record with `completed=1`):
+//!
+//! * every `(gvm, rank)` that sent a `REQ` is closed by an `RLS` receipt or
+//!   an eviction (`ProtoEvict`), and
+//! * every cluster placement (`ClusterPlace`) is balanced by a
+//!   `ClusterEvict`.
+//!
+//! Traces without a `RunEnd` marker — older dumps, or runs cut short by a
+//! horizon or fault — are skipped entirely: partial traces legitimately
+//! contain open sessions and must not produce noise.
+
+use std::collections::HashMap;
+
+use gv_sim::{AnalysisRecord, SimTime};
+
+use crate::Diagnostic;
+
+/// Check that every admitted session terminated, on completed runs only.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+
+    let Some((end_time, completed)) = records.iter().rev().find_map(|r| match r {
+        AnalysisRecord::RunEnd {
+            time, completed, ..
+        } => Some((*time, *completed)),
+        _ => None,
+    }) else {
+        return diagnostics;
+    };
+    if !completed {
+        return diagnostics;
+    }
+
+    // (gvm, rank) → time of the REQ that opened the still-open session.
+    let mut open: HashMap<(String, usize), SimTime> = HashMap::new();
+    // vgpu id → time of its still-live placement.
+    let mut placed: HashMap<u64, SimTime> = HashMap::new();
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::Proto {
+                time,
+                gvm,
+                rank,
+                kind,
+                ..
+            } => match *kind {
+                "REQ" => {
+                    open.entry((gvm.clone(), *rank)).or_insert(*time);
+                }
+                "RLS" => {
+                    open.remove(&(gvm.clone(), *rank));
+                }
+                _ => {}
+            },
+            AnalysisRecord::ProtoEvict { gvm, rank, .. } => {
+                open.remove(&(gvm.clone(), *rank));
+            }
+            AnalysisRecord::ClusterPlace { time, vgpu, .. } => {
+                placed.insert(*vgpu, *time);
+            }
+            AnalysisRecord::ClusterEvict { vgpu, .. } => {
+                placed.remove(vgpu);
+            }
+            _ => {}
+        }
+    }
+
+    let mut leaked: Vec<_> = open.into_iter().collect();
+    leaked.sort();
+    for ((gvm, rank), opened) in leaked {
+        diagnostics.push(Diagnostic {
+            checker: "liveness",
+            time: end_time,
+            message: format!(
+                "run completed but rank {rank} of gvm '{gvm}' never terminated its \
+                 session (REQ at t={:.6}ms with no RLS or eviction)",
+                opened.as_millis_f64()
+            ),
+        });
+    }
+    let mut stuck: Vec<_> = placed.into_iter().collect();
+    stuck.sort();
+    for (vgpu, at) in stuck {
+        diagnostics.push(Diagnostic {
+            checker: "liveness",
+            time: end_time,
+            message: format!(
+                "run completed but vgpu {vgpu} is still resident (placed at \
+                 t={:.6}ms with no evict)",
+                at.as_millis_f64()
+            ),
+        });
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proto(t: u64, rank: usize, kind: &'static str) -> AnalysisRecord {
+        AnalysisRecord::Proto {
+            time: SimTime::from_nanos(t),
+            gvm: "gvm".to_string(),
+            rank,
+            kind,
+            seq: 1,
+        }
+    }
+
+    fn run_end(completed: bool) -> AnalysisRecord {
+        AnalysisRecord::RunEnd {
+            time: SimTime::from_nanos(1000),
+            completed,
+            deadlocked: !completed,
+        }
+    }
+
+    #[test]
+    fn closed_sessions_pass() {
+        let recs = vec![
+            proto(1, 0, "REQ"),
+            proto(2, 1, "REQ"),
+            proto(10, 0, "RLS"),
+            AnalysisRecord::ProtoEvict {
+                time: SimTime::from_nanos(11),
+                gvm: "gvm".to_string(),
+                rank: 1,
+            },
+            run_end(true),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn leaked_session_on_completed_run_is_flagged() {
+        let recs = vec![proto(1, 0, "REQ"), run_end(true)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].checker, "liveness");
+        assert!(d[0].message.contains("rank 0"));
+    }
+
+    #[test]
+    fn partial_trace_without_run_end_is_skipped() {
+        let recs = vec![proto(1, 0, "REQ")];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn incomplete_run_is_skipped() {
+        // A deadlocked run is the deadlock checker's problem; open sessions
+        // there are a symptom, not a second finding.
+        let recs = vec![proto(1, 0, "REQ"), run_end(false)];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_placement_is_flagged() {
+        let recs = vec![
+            AnalysisRecord::ClusterPlace {
+                time: SimTime::from_nanos(5),
+                vgpu: 7,
+                tenant: 0,
+                gang: None,
+                device: 0,
+                wave: 0,
+                mem_bytes: 64,
+            },
+            run_end(true),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("vgpu 7"));
+    }
+}

@@ -25,12 +25,16 @@
 //! cdev dev=0 mem=6442450944 slots=16
 //! cplace t=700 vgpu=3 tenant=1 gang=2 dev=0 wave=0 mem=4096
 //! cevict t=800 vgpu=3 dev=0
+//! dlwait t=900 pid=2 kind=recv holders=1 proc=spmd-0 res=/gvm-req
+//! dlock t=900 cycle=1,2,1
+//! nlost t=850 res=ready-cq
+//! runend t=1000 completed=0 deadlocked=1
 //! ```
 //!
 //! Free-text fields (process and segment names, command labels) are
 //! percent-escaped so embedded whitespace cannot break the framing.
 
-use gv_sim::{AnalysisRecord, Pid, SimTime, VClock};
+use gv_sim::{AnalysisRecord, Pid, SimTime, VClock, WaitKind};
 use gv_virt::protocol::RequestKind;
 
 /// Header line identifying the format and version.
@@ -315,6 +319,53 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             AnalysisRecord::ClusterEvict { time, vgpu, device } => {
                 let _ = writeln!(out, "cevict t={} vgpu={vgpu} dev={device}", time.as_nanos());
             }
+            AnalysisRecord::DeadlockWaiter {
+                time,
+                pid,
+                process,
+                kind,
+                resource,
+                holders,
+            } => {
+                let list = holders
+                    .iter()
+                    .map(|p| p.index().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(
+                    out,
+                    "dlwait t={} pid={} kind={} holders={list} proc={} res={}",
+                    time.as_nanos(),
+                    pid.index(),
+                    kind.label(),
+                    esc(process),
+                    esc(resource),
+                );
+            }
+            AnalysisRecord::Deadlock { time, cycle } => {
+                let list = cycle
+                    .iter()
+                    .map(|p| p.index().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "dlock t={} cycle={list}", time.as_nanos());
+            }
+            AnalysisRecord::NotifyLost { time, resource } => {
+                let _ = writeln!(out, "nlost t={} res={}", time.as_nanos(), esc(resource));
+            }
+            AnalysisRecord::RunEnd {
+                time,
+                completed,
+                deadlocked,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "runend t={} completed={} deadlocked={}",
+                    time.as_nanos(),
+                    u8::from(*completed),
+                    u8::from(*deadlocked),
+                );
+            }
         }
     }
     out
@@ -579,6 +630,60 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 vgpu: f.num("vgpu")?,
                 device: f.num("dev")?,
             },
+            "dlwait" => {
+                let raw = f.get("kind")?;
+                let kind = WaitKind::from_label(raw).ok_or_else(|| DumpParseError {
+                    line: line_no,
+                    reason: format!("unknown wait kind '{raw}'"),
+                })?;
+                AnalysisRecord::DeadlockWaiter {
+                    time: f.time()?,
+                    pid: Pid::from_index(f.num("pid")?),
+                    process: unesc(f.get("proc")?),
+                    kind,
+                    resource: unesc(f.get("res")?),
+                    holders: f
+                        .num_list::<usize>("holders")?
+                        .into_iter()
+                        .map(Pid::from_index)
+                        .collect(),
+                }
+            }
+            "dlock" => AnalysisRecord::Deadlock {
+                time: f.time()?,
+                cycle: f
+                    .num_list::<usize>("cycle")?
+                    .into_iter()
+                    .map(Pid::from_index)
+                    .collect(),
+            },
+            "nlost" => AnalysisRecord::NotifyLost {
+                time: f.time()?,
+                resource: unesc(f.get("res")?),
+            },
+            "runend" => AnalysisRecord::RunEnd {
+                time: f.time()?,
+                completed: match f.get("completed")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'completed' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+                deadlocked: match f.get("deadlocked")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'deadlocked' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+            },
             other => {
                 return Err(DumpParseError {
                     line: line_no,
@@ -737,6 +842,35 @@ mod tests {
                 time: SimTime::from_nanos(130),
                 vgpu: 42,
                 device: 1,
+            },
+            AnalysisRecord::NotifyLost {
+                time: SimTime::from_nanos(135),
+                resource: "ready cq".to_string(), // space exercises escaping
+            },
+            AnalysisRecord::DeadlockWaiter {
+                time: SimTime::from_nanos(140),
+                pid: Pid::from_index(2),
+                process: "spmd 0".to_string(),
+                kind: WaitKind::Recv,
+                resource: "/gvm-req".to_string(),
+                holders: vec![Pid::from_index(1), Pid::from_index(3)],
+            },
+            AnalysisRecord::DeadlockWaiter {
+                time: SimTime::from_nanos(140),
+                pid: Pid::from_index(3),
+                process: "gvm".to_string(),
+                kind: WaitKind::Park,
+                resource: String::new(), // empty resource exercises the empty field
+                holders: Vec::new(),
+            },
+            AnalysisRecord::Deadlock {
+                time: SimTime::from_nanos(140),
+                cycle: vec![Pid::from_index(2), Pid::from_index(3), Pid::from_index(2)],
+            },
+            AnalysisRecord::RunEnd {
+                time: SimTime::from_nanos(150),
+                completed: false,
+                deadlocked: true,
             },
         ]
     }

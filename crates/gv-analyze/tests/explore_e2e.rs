@@ -1,0 +1,248 @@
+//! End-to-end checks for the schedule explorer: baselines are clean,
+//! exploration covers many distinct schedules, record→replay is bitwise
+//! identical, golden concurrency bugs produce exactly one diagnostic each,
+//! and (with the `seeded-bug` feature) a planted ordering bug is found,
+//! shrunk, and replayed.
+
+use gv_analyze::explore::{explore, find_scenario, run_scripted, ExploreConfig, Mode, Schedule};
+use gv_sim::{SimChannel, SimDuration};
+use proptest::prelude::*;
+
+const HORIZON: SimDuration = SimDuration::from_secs(10);
+
+/// Every catalog scenario is clean under its default (all-FIFO) schedule.
+#[test]
+fn baseline_schedules_are_clean() {
+    for scenario in gv_analyze::explore::scenarios() {
+        let run = scenario.run(&[], HORIZON);
+        let diags = run.diagnostics();
+        // The seeded-bug scenario is *designed* to be clean at baseline
+        // too — only a flipped tie-break trips it.
+        assert!(
+            diags.is_empty(),
+            "scenario '{}' dirty at baseline:\n{:?}",
+            scenario.name,
+            diags
+        );
+        assert!(
+            run.summary.as_ref().is_some_and(|s| s.completed),
+            "scenario '{}' did not complete at baseline",
+            scenario.name
+        );
+    }
+}
+
+/// Acceptance: exploring the 2-process VectorAdd scenario with preemption
+/// bound 2 covers at least 100 distinct schedules, all green. Choice
+/// vectors are unique by DFS construction, so every run is a distinct
+/// schedule; the reduction is off here to enumerate the full bounded
+/// space.
+#[test]
+fn vecadd2_exploration_covers_100_distinct_schedules() {
+    let scenario = find_scenario("vecadd2").unwrap();
+    let cfg = ExploreConfig {
+        budget: 400,
+        preemption_bound: 2,
+        por: false,
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&scenario, &cfg);
+    assert!(
+        outcome.counterexample.is_none(),
+        "unexpected failure: {:?}",
+        outcome.counterexample
+    );
+    assert!(
+        outcome.schedules_run >= 100,
+        "only {} schedules run ({} distinct behaviors, {} pruned)",
+        outcome.schedules_run,
+        outcome.distinct,
+        outcome.pruned
+    );
+    // Many interleavings converge to the same trace, but not all of them:
+    // the pick order must actually reach behaviorally different executions.
+    assert!(
+        outcome.distinct > 1,
+        "exploration never left the baseline behavior"
+    );
+}
+
+/// The vector-clock sleep-set reduction prunes commuting alternatives
+/// without changing the verdict.
+#[test]
+fn por_prunes_commuting_alternatives() {
+    let scenario = find_scenario("vecadd2").unwrap();
+    let cfg = ExploreConfig {
+        budget: 120,
+        preemption_bound: 1,
+        por: true,
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&scenario, &cfg);
+    assert!(outcome.counterexample.is_none());
+    assert!(
+        outcome.pruned > 0,
+        "reduction never fired over {} runs",
+        outcome.schedules_run
+    );
+}
+
+/// Random-walk mode also runs clean on the fault-injected scenario.
+#[test]
+fn random_walks_on_faulty_scenario_are_clean() {
+    let scenario = find_scenario("vecadd2-faulty").unwrap();
+    let cfg = ExploreConfig {
+        budget: 12,
+        mode: Mode::Random,
+        seed: 42,
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&scenario, &cfg);
+    assert!(
+        outcome.counterexample.is_none(),
+        "unexpected failure: {:?}",
+        outcome.counterexample
+    );
+    assert!(outcome.schedules_run == 12);
+}
+
+/// Golden fixture: a two-process channel ring where each process consumes
+/// the one message the other sent and then receives again. Both second
+/// receives block forever — a cyclic deadlock the checker must report as
+/// exactly one diagnostic naming the wait-for cycle.
+#[test]
+fn golden_cyclic_deadlock_yields_one_diagnostic_with_cycle() {
+    let run = run_scripted(&[], HORIZON, |sim| {
+        let ab: SimChannel<u32> = SimChannel::unbounded();
+        let ba: SimChannel<u32> = SimChannel::unbounded();
+        ab.set_label("/ring-ab");
+        ba.set_label("/ring-ba");
+        {
+            let ab = ab.clone();
+            let ba = ba.clone();
+            sim.spawn("ring-a", move |ctx| {
+                ab.send(ctx, 1).unwrap();
+                let _ = ba.recv(ctx);
+                let _ = ba.recv(ctx); // nothing left to receive: blocks
+            });
+        }
+        sim.spawn("ring-b", move |ctx| {
+            ba.send(ctx, 2).unwrap();
+            let _ = ab.recv(ctx);
+            let _ = ab.recv(ctx); // nothing left to receive: blocks
+        });
+    });
+    assert!(run.error.is_some(), "expected a deadlock");
+    let diags = run.diagnostics();
+    assert_eq!(diags.len(), 1, "expected exactly one finding:\n{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.checker, "deadlock");
+    assert!(
+        d.message.contains("ring-a -> ring-b -> ring-a")
+            || d.message.contains("ring-b -> ring-a -> ring-b"),
+        "cycle missing from: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("recv on '/ring-ab'") && d.message.contains("recv on '/ring-ba'"),
+        "wait causes missing from: {}",
+        d.message
+    );
+}
+
+/// Golden fixture: a notify delivered before the waiter arrives is dropped,
+/// and the waiter then blocks forever. Exactly one lost-wakeup diagnostic —
+/// which subsumes the generic deadlock finding.
+#[test]
+fn golden_lost_wakeup_yields_one_diagnostic() {
+    let run = run_scripted(&[], HORIZON, |sim| {
+        let cq = gv_sim::CondQueue::labeled("ready-cq");
+        {
+            let cq = cq.clone();
+            sim.spawn("notifier", move |ctx| {
+                cq.notify_one(ctx); // no waiter yet: the wakeup is lost
+            });
+        }
+        sim.spawn("waiter", move |ctx| {
+            ctx.hold(SimDuration::from_micros(1));
+            cq.wait(ctx); // the notify already happened: blocks forever
+        });
+    });
+    let diags = run.diagnostics();
+    assert_eq!(diags.len(), 1, "expected exactly one finding:\n{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.checker, "lost-wakeup");
+    assert!(d.message.contains("ready-cq"), "{}", d.message);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Record→replay round trip: running a scenario under an arbitrary
+    /// choice vector and replaying the *recorded* decisions yields a
+    /// bitwise-identical execution — same analysis records, same summary,
+    /// same decision log.
+    #[test]
+    fn record_replay_is_bitwise_identical(
+        raw in proptest::collection::vec(0u32..3, 0..10)
+    ) {
+        let scenario = find_scenario("vecadd2").unwrap();
+        let first = scenario.run(&raw, HORIZON);
+        // Re-script from what the oracle actually decided (the raw vector
+        // may be clamped or shorter than the decision sequence).
+        let recorded: Vec<u32> = first.decisions.iter().map(|d| d.chosen as u32).collect();
+        let second = scenario.run(&recorded, HORIZON);
+        prop_assert_eq!(&first.records, &second.records, "analysis traces diverged");
+        prop_assert_eq!(&first.summary, &second.summary, "summaries diverged");
+        prop_assert_eq!(&first.decisions, &second.decisions, "decision logs diverged");
+    }
+}
+
+/// A committed `.gvsched` fixture parses and replays clean.
+#[test]
+fn committed_clean_fixture_replays() {
+    let text = include_str!("fixtures/vecadd2-baseline.gvsched");
+    let sched = Schedule::decode(text).unwrap();
+    assert_eq!(sched.scenario, "vecadd2");
+    let result = sched.replay(HORIZON).unwrap();
+    assert!(
+        result.diagnostics.is_empty(),
+        "fixture replay dirty:\n{:?}",
+        result.diagnostics
+    );
+}
+
+/// With the planted bug compiled in: DFS finds the ordering bug within a
+/// small budget, shrinks it to a single non-default choice, and the shrunk
+/// counterexample replays to the same diagnostic.
+#[cfg(feature = "seeded-bug")]
+#[test]
+fn seeded_bug_is_found_shrunk_and_replayed() {
+    let scenario = find_scenario("bug-lost-wakeup").unwrap();
+    let outcome = explore(&scenario, &ExploreConfig::default());
+    let cex = outcome
+        .counterexample
+        .expect("explorer must find the planted bug");
+    assert_eq!(cex.checker, "lost-wakeup", "{cex:?}");
+    assert!(
+        cex.choices.iter().filter(|c| **c != 0).count() == 1,
+        "counterexample not minimal: {:?}",
+        cex.choices
+    );
+
+    // The packaged .gvsched round-trips and replays to the same failure.
+    let sched = cex.schedule();
+    let reparsed = Schedule::decode(&sched.encode()).unwrap();
+    let result = reparsed.replay(HORIZON).unwrap();
+    assert_eq!(result.expected_hit, Some(true), "{:?}", result.diagnostics);
+
+    // And the committed fixture pins the same counterexample.
+    let fixture = Schedule::decode(include_str!("fixtures/bug-lost-wakeup.gvsched")).unwrap();
+    let replayed = fixture.replay(HORIZON).unwrap();
+    assert_eq!(
+        replayed.expected_hit,
+        Some(true),
+        "{:?}",
+        replayed.diagnostics
+    );
+}

@@ -12,7 +12,7 @@ use gv_cuda::CudaDevice;
 use gv_gpu::{DeviceConfig, DeviceStats, GpuDevice};
 use gv_ipc::{Node, NodeConfig};
 use gv_kernels::GpuTask;
-use gv_sim::{SimDuration, Simulation};
+use gv_sim::{OracleHandle, SimDuration, SimError, Simulation};
 use gv_virt::{
     run_direct, Cluster, ClusterConfig, ClusterHandle, Gvm, GvmConfig, GvmHandle, GvmStats,
     MemConfig, PlacePolicy, SchedPolicy, TaskRun, VgpuClient, VgpuRequest,
@@ -122,6 +122,10 @@ pub struct Scenario {
     /// differential tests pin that down per policy. Ignored in Direct
     /// mode.
     pub cluster: Option<PlacePolicy>,
+    /// Scheduling oracle installed on the simulation before it runs
+    /// (record, replay, or explore — see `gv_sim::oracle`). `None` keeps
+    /// the engine's default FIFO/arm-order behavior.
+    pub oracle: Option<OracleHandle>,
 }
 
 impl Default for Scenario {
@@ -136,6 +140,7 @@ impl Default for Scenario {
             mem: MemConfig::default(),
             rounds: 1,
             cluster: None,
+            oracle: None,
         }
     }
 }
@@ -186,18 +191,45 @@ impl Scenario {
             ..self
         }
     }
+
+    /// `self` with a scheduling oracle installed on the simulation (e.g.
+    /// `ScriptOracle::recording()` to capture the decision trace of an
+    /// experiment, or a replay script to pin one).
+    pub fn with_oracle(self, oracle: OracleHandle) -> Self {
+        Scenario {
+            oracle: Some(oracle),
+            ..self
+        }
+    }
 }
 
 impl Scenario {
     /// Run `tasks` (one per rank) under `mode`; returns the experiment
     /// result. Panics on simulation errors — experiments must be clean.
     pub fn run(&self, mode: ExecutionMode, tasks: Vec<GpuTask>) -> ExperimentResult {
+        match self.try_run(mode, tasks) {
+            Ok(result) => result,
+            Err(e) => panic!("experiment simulation must complete: {e}"),
+        }
+    }
+
+    /// Like [`run`](Self::run) but surfaces engine failures (deadlock,
+    /// process panic) instead of panicking — the schedule-exploration path
+    /// treats those as findings, not harness crashes.
+    pub fn try_run(
+        &self,
+        mode: ExecutionMode,
+        tasks: Vec<GpuTask>,
+    ) -> Result<ExperimentResult, SimError> {
         let n = tasks.len();
         assert!(n >= 1, "at least one process");
         let mut sim = Simulation::new();
         let tracer = sim.tracer();
         tracer.set_enabled(self.trace);
         tracer.set_analysis(self.analyze);
+        if let Some(oracle) = &self.oracle {
+            sim.set_oracle(oracle.clone());
+        }
         let device = GpuDevice::install(&mut sim, self.device.clone());
         let cuda = CudaDevice::new(device.clone());
         let node = Node::new(self.node.clone());
@@ -288,7 +320,7 @@ impl Scenario {
             }
         };
 
-        sim.run().expect("experiment simulation must complete");
+        sim.run()?;
 
         let (runs, outputs): (Vec<TaskRun>, Vec<Option<Vec<u8>>>) = match &cluster_handle {
             Some(ch) => ch
@@ -308,7 +340,7 @@ impl Scenario {
 
         let start = runs.iter().map(|r| r.start).min().expect("non-empty");
         let end = runs.iter().map(|r| r.end).max().expect("non-empty");
-        ExperimentResult {
+        Ok(ExperimentResult {
             mode,
             nprocs: n,
             turnaround_ms: end.duration_since(start).as_millis_f64(),
@@ -321,7 +353,7 @@ impl Scenario {
             timeline: self.trace.then(|| Timeline::from_tracer(&tracer)),
             analysis: self.analyze.then(|| gv_analyze::analyze_tracer(&tracer)),
             tracer: (self.trace || self.analyze).then_some(tracer),
-        }
+        })
     }
 
     /// Convenience: run the same task on `n` ranks.

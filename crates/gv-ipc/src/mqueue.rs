@@ -251,6 +251,8 @@ impl<T> MqRegistry<T> {
             Some(c) => SimChannel::bounded(c),
             None => SimChannel::unbounded(),
         };
+        // Deadlock reports name the queue, not the anonymous channel.
+        chan.set_label(name);
         qs.insert(name.to_string(), chan.clone());
         drop(qs);
         Ok(MessageQueue {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::VClock;
-use crate::kernel::{Pid, WakeReason};
+use crate::kernel::{Pid, WaitKind, WakeReason};
 use crate::process::Ctx;
 use crate::time::SimDuration;
 
@@ -49,18 +49,45 @@ struct ChanState<T> {
     recv_waiters: VecDeque<Pid>,
     send_waiters: VecDeque<Pid>,
     closed: bool,
+    /// Diagnostic label naming this channel in deadlock wait causes
+    /// (message queues set it to their queue name).
+    label: String,
+    /// Every process that has ever sent on this channel — the plausible
+    /// unblockers of a stuck receiver. Deadlock wait-for edges follow them.
+    senders: Vec<Pid>,
+    /// Every process that has ever received — the plausible unblockers of a
+    /// sender stuck on a full channel.
+    receivers: Vec<Pid>,
 }
 
 impl<T> ChanState<T> {
-    fn push(&mut self, value: T, clock: Option<VClock>) {
+    fn push(&mut self, pid: Pid, value: T, clock: Option<VClock>) {
         self.queue.push_back(value);
         self.clocks.push_back(clock);
+        if !self.senders.contains(&pid) {
+            self.senders.push(pid);
+        }
     }
 
-    fn pop(&mut self) -> Option<(T, Option<VClock>)> {
+    fn pop(&mut self, pid: Pid) -> Option<(T, Option<VClock>)> {
         let v = self.queue.pop_front()?;
         let c = self.clocks.pop_front().flatten();
+        if !self.receivers.contains(&pid) {
+            self.receivers.push(pid);
+        }
         Some((v, c))
+    }
+
+    /// Peers that could plausibly unblock a stuck sender: historical
+    /// receivers plus anyone currently parked in `recv`.
+    fn send_holders(&self) -> Vec<Pid> {
+        let mut h = self.receivers.clone();
+        for &p in &self.recv_waiters {
+            if !h.contains(&p) {
+                h.push(p);
+            }
+        }
+        h
     }
 }
 
@@ -98,8 +125,17 @@ impl<T> SimChannel<T> {
                 recv_waiters: VecDeque::new(),
                 send_waiters: VecDeque::new(),
                 closed: false,
+                label: "chan".to_string(),
+                senders: Vec::new(),
+                receivers: Vec::new(),
             })),
         }
+    }
+
+    /// Rename the channel's diagnostic label (shared by all clones). Used
+    /// in deadlock wait causes, e.g. `recv on '/gvm-req-0'`.
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
     }
 
     /// Messages currently queued.
@@ -128,7 +164,7 @@ impl<T> SimChannel<T> {
                 let has_room = st.capacity.map(|c| st.queue.len() < c).unwrap_or(true);
                 if has_room {
                     let v = value.take().expect("value consumed twice");
-                    st.push(v, ctx.clock_stamp());
+                    st.push(me, v, ctx.clock_stamp());
                     Ok(st.recv_waiters.pop_front())
                 } else {
                     st.send_waiters.retain(|&p| p != me);
@@ -146,6 +182,11 @@ impl<T> SimChannel<T> {
                 Err(()) => {
                     // Full: nothing can run between registration and this
                     // park, so the queue is still full here.
+                    let (label, holders) = {
+                        let st = self.inner.lock();
+                        (st.label.clone(), st.send_holders())
+                    };
+                    ctx.set_wait_cause(WaitKind::Send, label, holders);
                     ctx.park();
                 }
             }
@@ -164,7 +205,7 @@ impl<T> SimChannel<T> {
             if !has_room {
                 return Some(value);
             }
-            st.push(value, ctx.clock_stamp());
+            st.push(ctx.pid(), value, ctx.clock_stamp());
             st.recv_waiters.pop_front()
         };
         if let Some(p) = wake {
@@ -180,7 +221,7 @@ impl<T> SimChannel<T> {
         loop {
             let (item, wake) = {
                 let mut st = self.inner.lock();
-                match st.pop() {
+                match st.pop(me) {
                     Some((v, c)) => (Some(Some((v, c))), st.send_waiters.pop_front()),
                     None if st.closed => (Some(None), None),
                     None => {
@@ -202,6 +243,11 @@ impl<T> SimChannel<T> {
                 }
                 Some(None) => return None,
                 None => {
+                    let (label, holders) = {
+                        let st = self.inner.lock();
+                        (st.label.clone(), st.senders.clone())
+                    };
+                    ctx.set_wait_cause(WaitKind::Recv, label, holders);
                     ctx.park();
                 }
             }
@@ -218,7 +264,7 @@ impl<T> SimChannel<T> {
         loop {
             let (item, wake) = {
                 let mut st = self.inner.lock();
-                match st.pop() {
+                match st.pop(me) {
                     Some((v, c)) => (Some(Some((v, c))), st.send_waiters.pop_front()),
                     None if st.closed => (Some(None), None),
                     None => {
@@ -252,7 +298,7 @@ impl<T> SimChannel<T> {
                         let (item, wake) = {
                             let mut st = self.inner.lock();
                             st.recv_waiters.retain(|&p| p != me);
-                            match st.pop() {
+                            match st.pop(me) {
                                 Some(vc) => (Some(vc), st.send_waiters.pop_front()),
                                 None => (None, None),
                             }
@@ -281,7 +327,7 @@ impl<T> SimChannel<T> {
     pub fn try_recv(&self, ctx: &Ctx) -> Option<T> {
         let (item, wake) = {
             let mut st = self.inner.lock();
-            match st.pop() {
+            match st.pop(ctx.pid()) {
                 Some(vc) => (Some(vc), st.send_waiters.pop_front()),
                 None => (None, None),
             }

@@ -23,9 +23,10 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::clock::VClock;
+use crate::oracle::{Candidate, DecisionKind, OracleHandle};
 use crate::process::Ctx;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Tracer;
+use crate::trace::{AnalysisRecord, Tracer};
 
 /// Identifier of a simulation process. Stable for the life of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,13 +57,110 @@ pub enum WakeReason {
     Unpark,
 }
 
+/// What blocking operation a parked process is stuck in. Set by the sync
+/// primitives (channels, semaphores, barriers, gates, condition queues)
+/// just before they park, so a deadlock report can say *why* each process
+/// is blocked rather than just naming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Blocked in a channel/message-queue receive.
+    Recv,
+    /// Blocked sending on a full bounded channel.
+    Send,
+    /// Blocked acquiring a semaphore permit.
+    SemAcquire,
+    /// Blocked at a barrier awaiting the remaining parties.
+    BarrierWait,
+    /// Blocked on a gate that has not opened.
+    GateWait,
+    /// Blocked on a condition queue awaiting a notify.
+    CondWait,
+    /// A bare `Ctx::park` with no recorded cause.
+    Park,
+}
+
+impl WaitKind {
+    /// Stable label used by the trace dump format and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitKind::Recv => "recv",
+            WaitKind::Send => "send",
+            WaitKind::SemAcquire => "sem-acquire",
+            WaitKind::BarrierWait => "barrier-wait",
+            WaitKind::GateWait => "gate-wait",
+            WaitKind::CondWait => "cond-wait",
+            WaitKind::Park => "park",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label) (for reloading dumped traces).
+    pub fn from_label(s: &str) -> Option<WaitKind> {
+        Some(match s {
+            "recv" => WaitKind::Recv,
+            "send" => WaitKind::Send,
+            "sem-acquire" => WaitKind::SemAcquire,
+            "barrier-wait" => WaitKind::BarrierWait,
+            "gate-wait" => WaitKind::GateWait,
+            "cond-wait" => WaitKind::CondWait,
+            "park" => WaitKind::Park,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a blocked process is waiting, and on whom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitCause {
+    /// The blocking operation.
+    pub kind: WaitKind,
+    /// The resource being waited on (channel label, semaphore label, …).
+    pub resource: String,
+    /// Processes that could plausibly unblock the waiter (channel peers,
+    /// semaphore holders). Wait-for cycle detection follows these edges.
+    pub holders: Vec<Pid>,
+}
+
+/// One blocked process in a [`SimError::Deadlock`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedProcess {
+    /// The blocked process.
+    pub pid: Pid,
+    /// Its name.
+    pub name: String,
+    /// Why it is blocked (`None` when it parked without recording a cause).
+    pub cause: Option<WaitCause>,
+    /// Rendered state of each holder in `cause` at detection time, e.g.
+    /// `"gvm-0 (parked)"`. Parallel to `cause.holders`.
+    pub holder_states: Vec<String>,
+}
+
+impl BlockedProcess {
+    /// One-line description: `name: recv on '/gvm-req' (peers: gvm (parked))`.
+    pub fn describe(&self) -> String {
+        match &self.cause {
+            None => format!("{}: parked (no wait cause recorded)", self.name),
+            Some(c) => {
+                let mut s = format!("{}: {} on '{}'", self.name, c.kind.label(), c.resource);
+                if !self.holder_states.is_empty() {
+                    s.push_str(&format!(" (peers: {})", self.holder_states.join(", ")));
+                }
+                s
+            }
+        }
+    }
+}
+
 /// Errors surfaced by [`Simulation::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// No process is runnable, no timer is pending, yet processes are alive.
     Deadlock {
-        /// Names of the processes that are still blocked.
-        blocked: Vec<String>,
+        /// The processes that are still blocked, with their wait causes.
+        blocked: Vec<BlockedProcess>,
+        /// A wait-for cycle among the blocked processes (first element
+        /// repeated at the end), empty when the deadlock is acyclic (e.g. a
+        /// lone process waiting on a message that never comes).
+        cycle: Vec<Pid>,
     },
     /// A process panicked; the panic message is captured when it is a string.
     ProcessPanicked {
@@ -73,11 +171,37 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// Names of the blocked processes for a deadlock (empty otherwise).
+    pub fn blocked_names(&self) -> Vec<String> {
+        match self {
+            SimError::Deadlock { blocked, .. } => blocked.iter().map(|b| b.name.clone()).collect(),
+            SimError::ProcessPanicked { .. } => Vec::new(),
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { blocked } => {
-                write!(f, "simulation deadlock; blocked processes: {blocked:?}")
+            SimError::Deadlock { blocked, cycle } => {
+                write!(f, "simulation deadlock; {} blocked: ", blocked.len())?;
+                let descs: Vec<String> = blocked.iter().map(|b| b.describe()).collect();
+                write!(f, "{}", descs.join("; "))?;
+                if !cycle.is_empty() {
+                    let names: Vec<&str> = cycle
+                        .iter()
+                        .map(|p| {
+                            blocked
+                                .iter()
+                                .find(|b| b.pid == *p)
+                                .map(|b| b.name.as_str())
+                                .unwrap_or("?")
+                        })
+                        .collect();
+                    write!(f, "; wait-for cycle: {}", names.join(" -> "))?;
+                }
+                Ok(())
             }
             SimError::ProcessPanicked { name, message } => {
                 write!(f, "process '{name}' panicked: {message}")
@@ -89,7 +213,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Statistics describing a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Summary {
     /// Simulated time when the run ended.
     pub end_time: SimTime,
@@ -128,6 +252,9 @@ pub(crate) struct Slot {
     /// Vector clock for happens-before analysis (maintained only while the
     /// tracer's analysis flag is on; empty otherwise).
     pub(crate) clock: VClock,
+    /// Why this process is blocked, recorded by sync primitives before
+    /// parking and cleared on wake. Read by deadlock reporting.
+    pub(crate) wait: Option<WaitCause>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,7 +307,12 @@ impl State {
         let slot = &mut self.slots[pid.index()];
         slot.state = ProcState::Ready;
         slot.gen += 1;
+        slot.wait = None;
         self.runnable.push_back((pid, reason));
+    }
+
+    pub(crate) fn set_wait_cause(&mut self, pid: Pid, cause: WaitCause) {
+        self.slots[pid.index()].wait = Some(cause);
     }
 
     /// `unpark` semantics shared by `Ctx::unpark` and internal wakeups.
@@ -267,6 +399,7 @@ impl KernelShared {
             resume_tx: Some(resume_tx),
             join: None,
             clock,
+            wait: None,
         });
         state.live += 1;
         match start_at {
@@ -278,6 +411,7 @@ impl KernelShared {
         }
         drop(state);
 
+        install_teardown_panic_filter();
         let shared = Arc::clone(self);
         let thread_name = format!("sim:{name}");
         let handle = std::thread::Builder::new()
@@ -317,6 +451,22 @@ impl KernelShared {
 /// Sentinel panic payload used to unwind process threads during teardown.
 pub(crate) struct Terminated;
 
+/// Keep the orderly [`Terminated`] unwind out of stderr: the default panic
+/// hook would print a `Box<dyn Any>` backtrace for every process parked at
+/// teardown (horizon stops, deadlock replays). Installed once, chaining to
+/// the previous hook for every real panic.
+fn install_teardown_panic_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Terminated>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -333,6 +483,7 @@ pub struct Simulation {
     yield_rx: Receiver<YieldMsg>,
     events: u64,
     ran: bool,
+    oracle: Option<OracleHandle>,
 }
 
 impl Default for Simulation {
@@ -363,7 +514,17 @@ impl Simulation {
             yield_rx,
             events: 0,
             ran: false,
+            oracle: None,
         }
+    }
+
+    /// Install a scheduling oracle. The oracle is consulted whenever the
+    /// engine has more than one candidate — run-queue picks and same-time
+    /// timer tie-breaks — and its choices fully determine the schedule.
+    /// With no oracle installed the engine always takes the FIFO/arm-order
+    /// default (index 0), preserving the historical behavior.
+    pub fn set_oracle(&mut self, oracle: OracleHandle) {
+        self.oracle = Some(oracle);
     }
 
     /// Handle to the shared kernel (used by sync primitives constructed
@@ -408,12 +569,28 @@ impl Simulation {
             loop {
                 let next = {
                     let mut st = self.shared.state.lock();
-                    match st.runnable.pop_front() {
-                        Some((pid, reason)) => {
-                            st.slots[pid.index()].state = ProcState::Running;
-                            Some((pid, reason))
-                        }
-                        None => None,
+                    if st.runnable.is_empty() {
+                        None
+                    } else {
+                        // The FIFO front is the default; an installed oracle
+                        // may pick any ready process instead. Consulting it
+                        // under the state lock is fine: no process is
+                        // running, and oracles never call back into the
+                        // kernel.
+                        let idx = match (&self.oracle, st.runnable.len()) {
+                            (Some(oracle), n) if n > 1 => {
+                                let candidates = candidates_of(&st, st.runnable.iter().copied());
+                                let now = st.now;
+                                oracle
+                                    .lock()
+                                    .choose(DecisionKind::Run, now, &candidates)
+                                    .min(n - 1)
+                            }
+                            _ => 0,
+                        };
+                        let (pid, reason) = st.runnable.remove(idx).expect("oracle index in range");
+                        st.slots[pid.index()].state = ProcState::Running;
+                        Some((pid, reason))
                     }
                 };
                 let Some((pid, reason)) = next else { break };
@@ -445,6 +622,23 @@ impl Simulation {
             }
         };
 
+        if self.shared.tracer.analysis_enabled() {
+            // Terminal record: tells whole-trace checkers (liveness) the
+            // run actually ended here rather than being dumped mid-flight.
+            let (time, completed, deadlocked) = {
+                let st = self.shared.state.lock();
+                match &result {
+                    Ok(c) => (st.now, *c, false),
+                    Err(SimError::Deadlock { .. }) => (st.now, false, true),
+                    Err(_) => (st.now, false, false),
+                }
+            };
+            self.shared.tracer.record_analysis(AnalysisRecord::RunEnd {
+                time,
+                completed,
+                deadlocked,
+            });
+        }
         self.terminate_all();
         result.map(|completed| {
             let st = self.shared.state.lock();
@@ -508,21 +702,22 @@ impl Simulation {
 
     /// Pop timers until a valid one is found, then advance the clock.
     /// Returns `Some(outcome)` when the run is over.
+    ///
+    /// Timers expiring at the same instant fire in **arm order** (their
+    /// monotonic sequence numbers) by default; an installed oracle is
+    /// consulted to tie-break instead, making same-time wake order an
+    /// explorable scheduling decision rather than an accident of heap
+    /// layout.
     fn advance_time(&mut self, limit: SimTime) -> Option<Result<bool, SimError>> {
         let mut st = self.shared.state.lock();
-        loop {
+        // Find the earliest valid timer, discarding stale entries.
+        let front = loop {
             match st.heap.peek() {
                 None => {
                     return if st.live == 0 {
                         Some(Ok(true))
                     } else {
-                        let blocked = st
-                            .slots
-                            .iter()
-                            .filter(|s| s.state != ProcState::Finished)
-                            .map(|s| s.name.clone())
-                            .collect();
-                        Some(Err(SimError::Deadlock { blocked }))
+                        Some(Err(self.deadlock_error(&mut st)))
                     };
                 }
                 Some(Reverse(entry)) => {
@@ -541,14 +736,117 @@ impl Simulation {
                         st.now = limit;
                         return Some(Ok(false));
                     }
-                    st.heap.pop();
-                    st.now = entry.time;
-                    self.shared.tracer.set_now_hint(entry.time);
-                    st.make_ready(entry.pid, WakeReason::Timer);
-                    return None;
+                    break entry;
                 }
             }
+        };
+        st.heap.pop();
+        let chosen = if let Some(oracle) = &self.oracle {
+            // Collect every other valid timer due at the same instant so
+            // the oracle can reorder the tie. Heap pops arrive in (time,
+            // seq) order, so `ties` is sorted by arm order.
+            let mut ties = vec![front];
+            while let Some(Reverse(peek)) = st.heap.peek() {
+                if peek.time != front.time {
+                    break;
+                }
+                let entry = *peek;
+                st.heap.pop();
+                let slot = &st.slots[entry.pid.index()];
+                if slot.gen == entry.gen
+                    && matches!(slot.state, ProcState::Parked | ProcState::Holding)
+                {
+                    ties.push(entry);
+                }
+            }
+            let idx = if ties.len() > 1 {
+                let candidates =
+                    candidates_of(&st, ties.iter().map(|e| (e.pid, WakeReason::Timer)));
+                oracle
+                    .lock()
+                    .choose(DecisionKind::Timer, front.time, &candidates)
+                    .min(ties.len() - 1)
+            } else {
+                0
+            };
+            let chosen = ties.swap_remove(idx);
+            for entry in ties {
+                st.heap.push(Reverse(entry));
+            }
+            chosen
+        } else {
+            front
+        };
+        st.now = chosen.time;
+        self.shared.tracer.set_now_hint(chosen.time);
+        st.make_ready(chosen.pid, WakeReason::Timer);
+        None
+    }
+
+    /// Build the enriched deadlock report: per-process wait causes with
+    /// holder states, a wait-for cycle if one exists, and (while analysis
+    /// recording is on) matching trace records for the deadlock checker.
+    fn deadlock_error(&self, st: &mut State) -> SimError {
+        let blocked: Vec<BlockedProcess> = st
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state != ProcState::Finished)
+            .map(|(i, s)| {
+                let cause = s.wait.clone();
+                let holder_states = cause
+                    .as_ref()
+                    .map(|c| {
+                        c.holders
+                            .iter()
+                            .map(|h| {
+                                let hs = &st.slots[h.index()];
+                                let state = match hs.state {
+                                    ProcState::Finished => "finished",
+                                    ProcState::Parked => "parked",
+                                    ProcState::Holding => "holding",
+                                    ProcState::Ready | ProcState::Running => "runnable",
+                                };
+                                format!("{} ({state})", hs.name)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                BlockedProcess {
+                    pid: Pid::from_index(i),
+                    name: s.name.clone(),
+                    cause,
+                    holder_states,
+                }
+            })
+            .collect();
+        let cycle = wait_cycle(&blocked);
+        if self.shared.tracer.analysis_enabled() {
+            let time = st.now;
+            for b in &blocked {
+                let (kind, resource, holders) = match &b.cause {
+                    Some(c) => (c.kind, c.resource.clone(), c.holders.clone()),
+                    None => (WaitKind::Park, String::new(), Vec::new()),
+                };
+                self.shared
+                    .tracer
+                    .record_analysis(AnalysisRecord::DeadlockWaiter {
+                        time,
+                        pid: b.pid,
+                        process: b.name.clone(),
+                        kind,
+                        resource,
+                        holders,
+                    });
+            }
+            self.shared
+                .tracer
+                .record_analysis(AnalysisRecord::Deadlock {
+                    time,
+                    cycle: cycle.clone(),
+                });
         }
+        SimError::Deadlock { blocked, cycle }
     }
 
     /// Tear down any processes still alive (horizon stops, deadlocks,
@@ -582,6 +880,61 @@ impl Drop for Simulation {
             self.terminate_all();
         }
     }
+}
+
+/// Snapshot oracle candidates for a set of wakeable processes.
+fn candidates_of(st: &State, items: impl Iterator<Item = (Pid, WakeReason)>) -> Vec<Candidate> {
+    items
+        .map(|(pid, reason)| {
+            let slot = &st.slots[pid.index()];
+            Candidate {
+                pid,
+                reason,
+                name: slot.name.clone(),
+                clock: slot.clock.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Find a wait-for cycle among blocked processes, following each process's
+/// `cause.holders` edges (restricted to processes that are themselves
+/// blocked). Returns the cycle with its first node repeated at the end, or
+/// empty when the wait graph is acyclic.
+fn wait_cycle(blocked: &[BlockedProcess]) -> Vec<Pid> {
+    let holders_of = |p: Pid| -> &[Pid] {
+        blocked
+            .iter()
+            .find(|b| b.pid == p)
+            .and_then(|b| b.cause.as_ref())
+            .map(|c| c.holders.as_slice())
+            .unwrap_or(&[])
+    };
+    let is_blocked = |p: Pid| blocked.iter().any(|b| b.pid == p);
+    for start in blocked {
+        // Bounded DFS from each blocked process; the graph is tiny.
+        let mut stack = vec![(start.pid, vec![start.pid])];
+        let mut visited: Vec<Pid> = Vec::new();
+        while let Some((p, path)) = stack.pop() {
+            for &h in holders_of(p) {
+                if !is_blocked(h) {
+                    continue;
+                }
+                if let Some(pos) = path.iter().position(|&q| q == h) {
+                    let mut cycle: Vec<Pid> = path[pos..].to_vec();
+                    cycle.push(h);
+                    return cycle;
+                }
+                if !visited.contains(&h) {
+                    visited.push(h);
+                    let mut next = path.clone();
+                    next.push(h);
+                    stack.push((h, next));
+                }
+            }
+        }
+    }
+    Vec::new()
 }
 
 #[cfg(test)]
@@ -697,9 +1050,92 @@ mod tests {
             ctx.park();
         });
         match sim.run() {
-            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec!["stuck"]),
+            Err(err @ SimError::Deadlock { .. }) => {
+                assert_eq!(err.blocked_names(), vec!["stuck"]);
+                let SimError::Deadlock { blocked, cycle } = &err else {
+                    unreachable!()
+                };
+                // A bare park records no cause and forms no cycle.
+                assert!(blocked[0].cause.is_none());
+                assert!(cycle.is_empty());
+                assert!(err.to_string().contains("no wait cause recorded"));
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn same_time_timers_fire_in_arm_order_by_default() {
+        // Regression for timer-wheel tie-breaking: both processes hold to
+        // the same instant; the one that armed its timer first must wake
+        // first. This holds with and without an (FIFO-default) oracle.
+        use crate::oracle::{SchedOracle, ScriptOracle};
+        for with_oracle in [false, true] {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Simulation::new();
+            if with_oracle {
+                sim.set_oracle(ScriptOracle::recording().into_handle());
+            }
+            for name in ["first", "second"] {
+                let order = order.clone();
+                sim.spawn(name, move |ctx| {
+                    ctx.hold(SimDuration::from_millis(1));
+                    order.lock().push(ctx.name());
+                });
+            }
+            sim.run().unwrap();
+            assert_eq!(
+                *order.lock(),
+                vec!["first".to_string(), "second".to_string()],
+                "with_oracle={with_oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_can_flip_timer_tie_break() {
+        use crate::oracle::{DecisionKind, SchedOracle, ScriptOracle};
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        // Decision 0 is the t=0 run-queue pick (both spawns ready);
+        // decision 1 is the t=1ms timer tie — index 1 flips it.
+        let oracle = ScriptOracle::replay(vec![0, 1]);
+        let log = oracle.log();
+        sim.set_oracle(oracle.into_handle());
+        for name in ["first", "second"] {
+            let order = order.clone();
+            sim.spawn(name, move |ctx| {
+                ctx.hold(SimDuration::from_millis(1));
+                order.lock().push(ctx.name());
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec!["second".to_string(), "first".to_string()]
+        );
+        let decisions = log.snapshot();
+        assert!(decisions
+            .iter()
+            .any(|d| d.kind == DecisionKind::Timer && d.candidates.len() == 2));
+    }
+
+    #[test]
+    fn oracle_reorders_run_queue() {
+        use crate::oracle::{SchedOracle, ScriptOracle};
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        // Both spawns are ready at t=0; choosing index 1 runs "b" first.
+        let oracle = ScriptOracle::replay(vec![1]);
+        sim.set_oracle(oracle.into_handle());
+        for name in ["a", "b"] {
+            let order = order.clone();
+            sim.spawn(name, move |ctx| {
+                order.lock().push(ctx.name());
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["b".to_string(), "a".to_string()]);
     }
 
     #[test]

@@ -27,12 +27,14 @@
 //! * [`resource`] — FIFO servers with utilization accounting
 //! * [`trace`] — timeline recording for overlap audits
 //! * [`clock`] — vector clocks for happens-before analysis
+//! * [`oracle`] — pluggable scheduling oracles (record / replay / explore)
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod clock;
 pub mod kernel;
+pub mod oracle;
 pub mod process;
 pub mod resource;
 pub mod sync;
@@ -41,7 +43,13 @@ pub mod trace;
 
 pub use channel::{RecvTimeout, SendError, SimChannel};
 pub use clock::{happens_before, VClock};
-pub use kernel::{Pid, SimError, Simulation, Summary, WakeReason};
+pub use kernel::{
+    BlockedProcess, Pid, SimError, Simulation, Summary, WaitCause, WaitKind, WakeReason,
+};
+pub use oracle::{
+    Candidate, Decision, DecisionKind, DecisionLog, OracleHandle, RandomOracle, SchedOracle,
+    ScriptOracle,
+};
 pub use process::Ctx;
 pub use resource::FifoServer;
 pub use sync::{CondQueue, Gate, Semaphore, SimBarrier};

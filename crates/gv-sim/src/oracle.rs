@@ -1,0 +1,276 @@
+//! Pluggable scheduling oracles.
+//!
+//! The engine makes exactly two kinds of nondeterministic-looking choices:
+//! which ready process to resume next ([`DecisionKind::Run`]) and which of
+//! several same-instant timers to fire first ([`DecisionKind::Timer`]). Both
+//! default to FIFO/arm order, which keeps plain runs deterministic. A
+//! [`SchedOracle`] installed via `Simulation::set_oracle` takes over those
+//! choices whenever more than one candidate exists, which is what schedule
+//! exploration (`gv-analyze::explore`) builds on:
+//!
+//! * **record** — [`ScriptOracle::recording`] plays the FIFO default and
+//!   logs every [`Decision`] it was consulted on;
+//! * **replay** — [`ScriptOracle::replay`] re-applies a recorded choice
+//!   vector bit-for-bit (positions past the script fall back to FIFO);
+//! * **enumerate** — an explorer replays a prefix, deviates at one
+//!   decision, and lets the FIFO tail run, turning the engine into a
+//!   stateless model checker.
+//!
+//! Oracles are consulted only when `candidates.len() >= 2`; with no oracle
+//! installed the engine takes index 0 without constructing candidates, so
+//! ordinary simulations pay nothing for this hook.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::VClock;
+use crate::kernel::{Pid, WakeReason};
+use crate::time::SimTime;
+
+/// Which scheduling choice the engine is asking about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Pick the next process to resume from the ready queue.
+    Run,
+    /// Pick which of several timers expiring at the same instant fires
+    /// first.
+    Timer,
+}
+
+impl DecisionKind {
+    /// Stable one-letter label used by the `.gvsched` format.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Run => "run",
+            DecisionKind::Timer => "timer",
+        }
+    }
+}
+
+/// One schedulable alternative presented to the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The process that would run (or whose timer would fire).
+    pub pid: Pid,
+    /// Why it would wake.
+    pub reason: WakeReason,
+    /// The process's name at decision time (diagnostic only).
+    pub name: String,
+    /// The process's vector clock at decision time. Empty while analysis
+    /// recording is off; the explorer's partial-order pruning keys on it.
+    pub clock: VClock,
+}
+
+/// One consulted choice: the candidates offered and the index taken.
+///
+/// Index 0 is always the FIFO/arm-order default, so a decision trace of all
+/// zeros reproduces the unexplored schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Run-queue pick or timer tie-break.
+    pub kind: DecisionKind,
+    /// Simulated time when the choice was made.
+    pub time: SimTime,
+    /// Index into `candidates` that was chosen.
+    pub chosen: usize,
+    /// The alternatives that were available.
+    pub candidates: Vec<Candidate>,
+}
+
+/// A scheduling policy consulted by the engine.
+///
+/// `choose` must return an index into `candidates`; out-of-range returns
+/// are clamped to the last candidate. Implementations that want a record of
+/// what happened log their own [`Decision`]s (see [`DecisionLog`]).
+pub trait SchedOracle: Send {
+    /// Pick one of `candidates` (never empty, always `len() >= 2`).
+    fn choose(&mut self, kind: DecisionKind, now: SimTime, candidates: &[Candidate]) -> usize;
+
+    /// Box this oracle into the handle `Simulation::set_oracle` accepts.
+    fn into_handle(self) -> OracleHandle
+    where
+        Self: Sized + 'static,
+    {
+        Arc::new(Mutex::new(Box::new(self)))
+    }
+}
+
+/// Shared, type-erased oracle handle installed on a simulation.
+pub type OracleHandle = Arc<Mutex<Box<dyn SchedOracle>>>;
+
+/// Shared log of every decision an oracle was consulted on. Clone it before
+/// boxing the oracle into a handle; the clone stays readable after the run.
+#[derive(Clone, Default)]
+pub struct DecisionLog {
+    inner: Arc<Mutex<Vec<Decision>>>,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&self, d: Decision) {
+        self.inner.lock().push(d);
+    }
+
+    /// All decisions recorded so far, in consultation order.
+    pub fn snapshot(&self) -> Vec<Decision> {
+        self.inner.lock().clone()
+    }
+
+    /// Just the chosen indices — the choice vector a
+    /// [`ScriptOracle::replay`] of this run would take.
+    pub fn choices(&self) -> Vec<u32> {
+        self.inner.lock().iter().map(|d| d.chosen as u32).collect()
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plays back a fixed choice vector, then falls through to the FIFO
+/// default (index 0). Records every decision, so the same type serves as
+/// the pure recorder (empty script), the replayer (full script), and the
+/// explorer's prefix-deviation driver (partial script).
+pub struct ScriptOracle {
+    script: Vec<u32>,
+    pos: usize,
+    log: DecisionLog,
+}
+
+impl ScriptOracle {
+    /// An oracle that always takes the FIFO default and records.
+    pub fn recording() -> Self {
+        Self::replay(Vec::new())
+    }
+
+    /// An oracle that applies `script[i]` at decision `i` (clamped to the
+    /// candidate count) and the FIFO default past the end.
+    pub fn replay(script: Vec<u32>) -> Self {
+        ScriptOracle {
+            script,
+            pos: 0,
+            log: DecisionLog::new(),
+        }
+    }
+
+    /// Handle to this oracle's decision log (clone survives the run).
+    pub fn log(&self) -> DecisionLog {
+        self.log.clone()
+    }
+}
+
+impl SchedOracle for ScriptOracle {
+    fn choose(&mut self, kind: DecisionKind, now: SimTime, candidates: &[Candidate]) -> usize {
+        let want = self.script.get(self.pos).copied().unwrap_or(0) as usize;
+        self.pos += 1;
+        let chosen = want.min(candidates.len() - 1);
+        self.log.push(Decision {
+            kind,
+            time: now,
+            chosen,
+            candidates: candidates.to_vec(),
+        });
+        chosen
+    }
+}
+
+/// A seeded pseudo-random oracle (xorshift64*): the cheap fallback when
+/// exhaustive exploration is out of budget. Deterministic for a fixed seed.
+pub struct RandomOracle {
+    state: u64,
+    log: DecisionLog,
+}
+
+impl RandomOracle {
+    /// A random oracle with the given seed (0 is remapped; the generator
+    /// cannot run on a zero state).
+    pub fn seeded(seed: u64) -> Self {
+        RandomOracle {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+            log: DecisionLog::new(),
+        }
+    }
+
+    /// Handle to this oracle's decision log (clone survives the run).
+    pub fn log(&self) -> DecisionLog {
+        self.log.clone()
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl SchedOracle for RandomOracle {
+    fn choose(&mut self, kind: DecisionKind, now: SimTime, candidates: &[Candidate]) -> usize {
+        let chosen = (self.next() % candidates.len() as u64) as usize;
+        self.log.push(Decision {
+            kind,
+            time: now,
+            chosen,
+            candidates: candidates.to_vec(),
+        });
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(n: usize) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate {
+                pid: Pid::from_index(i),
+                reason: WakeReason::Unpark,
+                name: format!("p{i}"),
+                clock: VClock::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn script_oracle_replays_then_defaults_to_fifo() {
+        let mut o = ScriptOracle::replay(vec![1, 9]);
+        let log = o.log();
+        assert_eq!(o.choose(DecisionKind::Run, SimTime::ZERO, &cands(3)), 1);
+        // 9 is clamped into range.
+        assert_eq!(o.choose(DecisionKind::Run, SimTime::ZERO, &cands(3)), 2);
+        // Past the script: FIFO default.
+        assert_eq!(o.choose(DecisionKind::Timer, SimTime::ZERO, &cands(2)), 0);
+        assert_eq!(log.choices(), vec![1, 2, 0]);
+        assert_eq!(log.snapshot()[2].kind, DecisionKind::Timer);
+    }
+
+    #[test]
+    fn random_oracle_is_deterministic_per_seed() {
+        let mut a = RandomOracle::seeded(42);
+        let mut b = RandomOracle::seeded(42);
+        for _ in 0..32 {
+            assert_eq!(
+                a.choose(DecisionKind::Run, SimTime::ZERO, &cands(4)),
+                b.choose(DecisionKind::Run, SimTime::ZERO, &cands(4))
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 
 use crate::clock::VClock;
-use crate::kernel::{KernelShared, Pid, Terminated, WakeReason, YieldMsg, YieldOp};
+use crate::kernel::{
+    KernelShared, Pid, Terminated, WaitCause, WaitKind, WakeReason, YieldMsg, YieldOp,
+};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 
@@ -115,6 +117,22 @@ impl Ctx {
     /// distinguishes the two causes.
     pub fn park_timeout(&mut self, d: SimDuration) -> WakeReason {
         self.do_yield(YieldOp::ParkTimeout(d))
+    }
+
+    /// Record why this process is about to block. Sync primitives call this
+    /// right before parking so a deadlock report can explain each stuck
+    /// process (wait kind, resource, and the peers that could unblock it).
+    /// The cause is cleared automatically on the next wake.
+    pub fn set_wait_cause(&self, kind: WaitKind, resource: impl Into<String>, holders: Vec<Pid>) {
+        let mut st = self.shared.state.lock();
+        st.set_wait_cause(
+            self.pid,
+            WaitCause {
+                kind,
+                resource: resource.into(),
+                holders,
+            },
+        );
     }
 
     /// Wake `pid` if parked; otherwise leave it a wake token.

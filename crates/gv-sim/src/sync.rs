@@ -15,8 +15,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::VClock;
-use crate::kernel::Pid;
+use crate::kernel::{Pid, WaitKind};
 use crate::process::Ctx;
+use crate::trace::AnalysisRecord;
 
 /// A counting semaphore with FIFO hand-off fairness: a released permit is
 /// granted directly to the longest-waiting process, so late arrivals cannot
@@ -30,6 +31,11 @@ struct SemState {
     permits: usize,
     waiters: VecDeque<Pid>,
     grants: Vec<Pid>,
+    /// Processes currently holding a permit (acquired, not yet released).
+    /// Deadlock reports name them as the peers a blocked acquirer waits on.
+    holders: Vec<Pid>,
+    /// Diagnostic label naming this semaphore in wait causes.
+    label: String,
     /// Joined clock of every `release` so far; acquirers join it, modeling
     /// the internal lock of a real semaphore as a sync edge.
     release_clock: VClock,
@@ -38,35 +44,52 @@ struct SemState {
 impl Semaphore {
     /// Create a semaphore holding `permits` initial permits.
     pub fn new(permits: usize) -> Self {
+        Self::labeled(permits, "sem")
+    }
+
+    /// Create a semaphore with a diagnostic label (used in deadlock
+    /// reports, e.g. `"cuda-driver-lock"`).
+    pub fn labeled(permits: usize, label: impl Into<String>) -> Self {
         Semaphore {
             inner: Arc::new(Mutex::new(SemState {
                 permits,
                 waiters: VecDeque::new(),
                 grants: Vec::new(),
+                holders: Vec::new(),
+                label: label.into(),
                 release_clock: VClock::new(),
             })),
         }
+    }
+
+    /// Rename the semaphore's diagnostic label (shared by all clones).
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
     }
 
     /// Acquire one permit, blocking in simulated time.
     pub fn acquire(&self, ctx: &mut Ctx) {
         let me = ctx.pid();
         loop {
-            {
+            let (label, holders) = {
                 let mut st = self.inner.lock();
                 if let Some(pos) = st.grants.iter().position(|&p| p == me) {
                     st.grants.swap_remove(pos);
+                    st.holders.push(me);
                     ctx.clock_join(&st.release_clock);
                     return;
                 }
                 if st.permits > 0 && st.waiters.is_empty() {
                     st.permits -= 1;
+                    st.holders.push(me);
                     ctx.clock_join(&st.release_clock);
                     return;
                 }
                 st.waiters.retain(|&p| p != me);
                 st.waiters.push_back(me);
-            }
+                (st.label.clone(), st.holders.clone())
+            };
+            ctx.set_wait_cause(WaitKind::SemAcquire, label, holders);
             ctx.park();
         }
     }
@@ -77,11 +100,13 @@ impl Semaphore {
         let mut st = self.inner.lock();
         if let Some(pos) = st.grants.iter().position(|&p| p == me) {
             st.grants.swap_remove(pos);
+            st.holders.push(me);
             ctx.clock_join(&st.release_clock);
             return true;
         }
         if st.permits > 0 && st.waiters.is_empty() {
             st.permits -= 1;
+            st.holders.push(me);
             ctx.clock_join(&st.release_clock);
             true
         } else {
@@ -94,6 +119,10 @@ impl Semaphore {
         let mut st = self.inner.lock();
         if let Some(c) = ctx.clock_stamp() {
             st.release_clock.join(&c);
+        }
+        let me = ctx.pid();
+        if let Some(pos) = st.holders.iter().position(|&p| p == me) {
+            st.holders.swap_remove(pos);
         }
         if let Some(p) = st.waiters.pop_front() {
             st.grants.push(p);
@@ -113,39 +142,84 @@ impl Semaphore {
 /// A condition queue (condition-variable analogue). Processes `wait` until
 /// another process `notify`s; because wake-ups can be spurious, callers must
 /// re-check their predicate in a loop.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct CondQueue {
-    waiters: Arc<Mutex<VecDeque<Pid>>>,
+    inner: Arc<Mutex<CondState>>,
+}
+
+struct CondState {
+    waiters: VecDeque<Pid>,
+    label: String,
+}
+
+impl Default for CondQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CondQueue {
     /// Create an empty condition queue.
     pub fn new() -> Self {
-        Self::default()
+        Self::labeled("cond")
+    }
+
+    /// Create a condition queue with a diagnostic label. The label names
+    /// the queue in deadlock wait causes and in the `NotifyLost` records
+    /// the lost-wakeup checker correlates.
+    pub fn labeled(label: impl Into<String>) -> Self {
+        CondQueue {
+            inner: Arc::new(Mutex::new(CondState {
+                waiters: VecDeque::new(),
+                label: label.into(),
+            })),
+        }
+    }
+
+    /// Rename the queue's diagnostic label (shared by all clones).
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
     }
 
     /// Park until notified (or spuriously woken — re-check predicates!).
     pub fn wait(&self, ctx: &mut Ctx) {
         let me = ctx.pid();
-        {
-            let mut w = self.waiters.lock();
-            w.retain(|&p| p != me);
-            w.push_back(me);
-        }
+        let label = {
+            let mut st = self.inner.lock();
+            st.waiters.retain(|&p| p != me);
+            st.waiters.push_back(me);
+            st.label.clone()
+        };
+        ctx.set_wait_cause(WaitKind::CondWait, label, Vec::new());
         ctx.park();
     }
 
-    /// Wake the oldest waiter, if any.
+    /// Wake the oldest waiter, if any. A notify that finds no waiter is
+    /// recorded (while analysis is on) as a potential lost wakeup — benign
+    /// unless someone later blocks forever waiting on this queue.
     pub fn notify_one(&self, ctx: &Ctx) {
-        let target = self.waiters.lock().pop_front();
-        if let Some(p) = target {
-            ctx.unpark(p);
+        let (target, label) = {
+            let mut st = self.inner.lock();
+            let t = st.waiters.pop_front();
+            (t, st.label.clone())
+        };
+        match target {
+            Some(p) => ctx.unpark(p),
+            None => {
+                ctx.tracer().record_analysis(AnalysisRecord::NotifyLost {
+                    time: ctx.now(),
+                    resource: label,
+                });
+            }
         }
     }
 
     /// Wake every current waiter.
     pub fn notify_all(&self, ctx: &Ctx) {
-        let targets: Vec<Pid> = self.waiters.lock().drain(..).collect();
+        let targets: Vec<Pid> = {
+            let mut st = self.inner.lock();
+            st.waiters.drain(..).collect()
+        };
         for p in targets {
             ctx.unpark(p);
         }
@@ -153,7 +227,7 @@ impl CondQueue {
 
     /// Number of processes currently registered as waiting.
     pub fn waiter_count(&self) -> usize {
-        self.waiters.lock().len()
+        self.inner.lock().waiters.len()
     }
 }
 
@@ -170,6 +244,7 @@ struct BarrierState {
     count: usize,
     sense: bool,
     waiters: Vec<Pid>,
+    label: String,
     /// Joined clocks of the current generation's arrivals. Unpark edges
     /// alone would miss the earlier-arrival → leader direction; the barrier
     /// is all-to-all, so every releasee joins the whole generation's clock.
@@ -187,11 +262,17 @@ impl SimBarrier {
                 count: 0,
                 sense: false,
                 waiters: Vec::new(),
+                label: "barrier".to_string(),
                 arrival_clock: VClock::new(),
                 release_clock: VClock::new(),
             })),
             parties,
         }
+    }
+
+    /// Rename the barrier's diagnostic label (shared by all clones).
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
     }
 
     /// Number of parties the barrier synchronizes.
@@ -203,6 +284,7 @@ impl SimBarrier {
     /// process per generation (the "leader": the last to arrive).
     pub fn wait(&self, ctx: &mut Ctx) -> bool {
         let my_sense;
+        let label;
         {
             let mut st = self.inner.lock();
             st.count += 1;
@@ -225,9 +307,11 @@ impl SimBarrier {
                 return true;
             }
             my_sense = st.sense;
+            label = st.label.clone();
             st.waiters.push(ctx.pid());
         }
         loop {
+            ctx.set_wait_cause(WaitKind::BarrierWait, label.clone(), Vec::new());
             ctx.park();
             let st = self.inner.lock();
             if st.sense != my_sense {
@@ -252,6 +336,7 @@ pub struct Gate {
 struct GateState {
     open: bool,
     waiters: Vec<Pid>,
+    label: String,
     /// The opener's clock; joined by waiters (including ones that arrive
     /// after the gate already opened, where no unpark edge exists).
     open_clock: VClock,
@@ -270,9 +355,15 @@ impl Gate {
             inner: Arc::new(Mutex::new(GateState {
                 open: false,
                 waiters: Vec::new(),
+                label: "gate".to_string(),
                 open_clock: VClock::new(),
             })),
         }
+    }
+
+    /// Rename the gate's diagnostic label (shared by all clones).
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = label.into();
     }
 
     /// Is the gate open?
@@ -301,7 +392,7 @@ impl Gate {
     /// Block until the gate opens (returns immediately if already open).
     pub fn wait(&self, ctx: &mut Ctx) {
         loop {
-            {
+            let label = {
                 let mut st = self.inner.lock();
                 if st.open {
                     ctx.clock_join(&st.open_clock);
@@ -310,7 +401,9 @@ impl Gate {
                 let me = ctx.pid();
                 st.waiters.retain(|&p| p != me);
                 st.waiters.push(me);
-            }
+                st.label.clone()
+            };
+            ctx.set_wait_cause(WaitKind::GateWait, label, Vec::new());
             ctx.park();
         }
     }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::VClock;
-use crate::kernel::Pid;
+use crate::kernel::{Pid, WaitKind};
 use crate::time::SimTime;
 
 /// Category under which injected-fault and recovery events are recorded
@@ -340,6 +340,54 @@ pub enum AnalysisRecord {
         vgpu: u64,
         /// Cluster-local device index the session left.
         device: u32,
+    },
+    /// One blocked process observed at deadlock detection time. The engine
+    /// emits one of these per live process, followed by a single
+    /// [`AnalysisRecord::Deadlock`], whenever a run dies with
+    /// `SimError::Deadlock` while analysis recording is on.
+    DeadlockWaiter {
+        /// Simulated time the deadlock was detected.
+        time: SimTime,
+        /// The blocked process.
+        pid: Pid,
+        /// Its name.
+        process: String,
+        /// The blocking operation it is stuck in.
+        kind: WaitKind,
+        /// The resource label it is waiting on (empty for a bare park).
+        resource: String,
+        /// Processes that could have unblocked it (wait-for edges).
+        holders: Vec<Pid>,
+    },
+    /// The run deadlocked. Caps a group of
+    /// [`AnalysisRecord::DeadlockWaiter`] records; `cycle` names a wait-for
+    /// cycle (first pid repeated at the end) when one exists.
+    Deadlock {
+        /// Simulated time the deadlock was detected.
+        time: SimTime,
+        /// Wait-for cycle among the waiters, empty when acyclic.
+        cycle: Vec<Pid>,
+    },
+    /// A condition-queue notify found no waiter to wake. Benign on its own
+    /// (notifies may legitimately race ahead of waiters), but combined with
+    /// a later deadlocked `CondWait` on the same resource it is the
+    /// signature of a lost wakeup.
+    NotifyLost {
+        /// Simulated time of the notify.
+        time: SimTime,
+        /// The condition queue's resource label.
+        resource: String,
+    },
+    /// The run ended. Whole-trace checkers that reason about terminal state
+    /// (liveness) gate on this record so partially-dumped traces stay
+    /// silent.
+    RunEnd {
+        /// Simulated end time.
+        time: SimTime,
+        /// True when every process finished before the horizon.
+        completed: bool,
+        /// True when the run died in a deadlock.
+        deadlocked: bool,
     },
 }
 

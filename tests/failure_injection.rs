@@ -71,8 +71,8 @@ fn lost_response_becomes_deadlock_report() {
         ctx.park(); // waits for a response that never comes
     });
     match sim.run() {
-        Err(SimError::Deadlock { blocked }) => {
-            assert!(blocked.contains(&"orphan".to_string()));
+        Err(err @ SimError::Deadlock { .. }) => {
+            assert!(err.blocked_names().contains(&"orphan".to_string()));
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
