@@ -124,6 +124,11 @@ pub fn scenarios() -> Vec<Scenario> {
             runner: |c, h| vecadd_run(2, 64, c, h, true),
         },
     ];
+    all.push(Scenario {
+        name: "quota-pressure",
+        about: "4 staggered quota'd ranks oversubscribing a tiny device with demand-swap",
+        runner: quota_pressure_run,
+    });
     #[cfg(feature = "seeded-bug")]
     all.push(Scenario {
         name: "bug-lost-wakeup",
@@ -227,6 +232,87 @@ fn vecadd_run(
                 } else {
                     let client = VgpuClient::connect(ctx, &handle, rank);
                     let (_run, out) = client.run_task(ctx);
+                    let got = vecadd::decode_output(&out.expect("functional output"));
+                    assert_eq!(got, vecadd::reference(a, b), "rank {rank} output wrong");
+                }
+            })
+            .unwrap();
+        }
+        let h2 = handle.clone();
+        let dev2 = device.clone();
+        sim.spawn("supervisor", move |ctx| {
+            h2.done.wait(ctx);
+            dev2.shutdown(ctx);
+        });
+    })
+}
+
+/// Quota-pressure scenario: four staggered quota'd ranks share a device
+/// deliberately sized at ~1.5 working sets, with demand-swap on and FCFS
+/// dispatch. Rank 0 seeds a parked working set; ranks 1 and 2 wake at the
+/// same instant and race for the leftover memory — whichever is served
+/// first demand-swaps rank 0's parked set out and wins, the other takes a
+/// clean OOM NAK (there is nothing idle left to evict); rank 3 arrives
+/// last and swap-*ins* rank 0's shape. Every interleaving must stay
+/// deadlock-free — a swap-in must never wait on admission backpressure —
+/// and every trace must satisfy the quota checker.
+fn quota_pressure_run(choices: &[u32], horizon: SimDuration) -> ExploredRun {
+    use gv_virt::{MemQuota, SchedPolicy};
+    run_scripted(choices, horizon, |sim| {
+        let elems = [48usize, 40, 40, 48];
+        let mut cfg = DeviceConfig::tesla_c2070_paper();
+        // vecadd's device working set is 12 bytes/element: size the device
+        // at the largest set plus half the smallest so no two fit at once.
+        let sets: Vec<u64> = elems.iter().map(|&n| 12 * n as u64).collect();
+        cfg.global_mem_bytes =
+            sets.iter().copied().max().unwrap() + sets.iter().copied().min().unwrap() / 2;
+        let device = GpuDevice::install(sim, cfg.clone());
+        let cuda = CudaDevice::new(device.clone());
+        let node = Node::new(NodeConfig::dual_xeon_x5560());
+
+        let inputs: Vec<(Vec<f32>, Vec<f32>)> = elems
+            .iter()
+            .enumerate()
+            .map(|(r, &n)| {
+                let a: Vec<f32> = (0..n).map(|i| (i + r * 1000) as f32).collect();
+                let b: Vec<f32> = (0..n).map(|i| (i * 3) as f32).collect();
+                (a, b)
+            })
+            .collect();
+        let tasks: Vec<_> = inputs
+            .iter()
+            .map(|(a, b)| vecadd::functional_task(&cfg, a, b))
+            .collect();
+        let quotas: Vec<MemQuota> = tasks
+            .iter()
+            .map(|t| MemQuota::Bytes(t.device_bytes))
+            .collect();
+
+        let config = GvmConfig::new(tasks.len())
+            .with_scheduler(SchedPolicy::Fcfs)
+            .with_quotas(quotas)
+            .with_swap();
+        let handle = Gvm::install(sim, &node, &cuda, config, tasks);
+        for rank in 0..elems.len() {
+            let handle = handle.clone();
+            let inputs = inputs.clone();
+            node.spawn_pinned(sim, rank, &format!("spmd-{rank}"), move |ctx| {
+                let client = VgpuClient::connect_with_policy(
+                    ctx,
+                    &handle,
+                    rank,
+                    ClientPolicy::with_timeout(SimDuration::from_millis(10), 8),
+                );
+                // Rank 0 arrives first; ranks 1 and 2 race at the same
+                // instant (which one is served first is a genuine race
+                // the explorer can flip — the loser is NAKed either way);
+                // rank 3 arrives last to restore the swapped-out shape.
+                let hold = [0u64, 5, 5, 10][rank];
+                if hold > 0 {
+                    ctx.hold(SimDuration::from_millis(hold));
+                }
+                if let Ok((_run, out)) = client.try_run_task(ctx) {
+                    let (a, b) = &inputs[rank];
                     let got = vecadd::decode_output(&out.expect("functional output"));
                     assert_eq!(got, vecadd::reference(a, b), "rank {rank} output wrong");
                 }

@@ -31,6 +31,12 @@
 //! * [`liveness`] — every VGPU session admitted with a `REQ` must terminate
 //!   (a matching `RLS` or eviction); checked only on traces whose `RunEnd`
 //!   marker shows a completed run, so partial dumps stay silent.
+//! * [`quota`] — device-memory quota and demand-swap accounting over the
+//!   GVM's `QuotaSet`/`QuotaCharge`/`QuotaCredit` and `SwapOut`/`SwapIn`
+//!   records: charged usage never exceeds a rank's declared quota, charges
+//!   and credits balance to zero on completed runs, and every swapped-out
+//!   working set is either restored exactly once or retired through the
+//!   staging pool at shutdown.
 //!
 //! [`model`] adds a line-oriented dump format so traces can be written by a
 //! run (`--analyze --dump-trace` in the harness) and re-checked offline by
@@ -47,6 +53,7 @@ pub mod device;
 pub mod explore;
 pub mod liveness;
 pub mod model;
+pub mod quota;
 pub mod race;
 pub mod staging;
 
@@ -57,7 +64,7 @@ use gv_sim::{AnalysisRecord, SimTime};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which checker produced it: `"race"`, `"conformance"`, `"device"`,
-    /// `"staging"`, `"cluster"`, `"deadlock"`, `"lost-wakeup"`,
+    /// `"staging"`, `"cluster"`, `"quota"`, `"deadlock"`, `"lost-wakeup"`,
     /// `"liveness"`.
     pub checker: &'static str,
     /// Simulated time of the offending event.
@@ -98,6 +105,9 @@ pub struct Report {
     /// Scheduling/termination events (deadlock waiters, dropped notifies,
     /// run-end markers) examined by the deadlock and liveness checkers.
     pub sched_events: usize,
+    /// Quota/oversubscription events (quota declarations, charge/credit,
+    /// swap-out/swap-in) examined by the quota checker.
+    pub quota_events: usize,
 }
 
 impl Report {
@@ -119,14 +129,15 @@ impl Report {
     /// One-line summary suitable for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster / {} sched events",
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster / {} sched / {} quota events",
             self.diagnostics.len(),
             self.shm_accesses,
             self.proto_messages,
             self.device_events,
             self.staging_events,
             self.cluster_events,
-            self.sched_events
+            self.sched_events,
+            self.quota_events
         )
     }
 }
@@ -155,6 +166,11 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             AnalysisRecord::ClusterDevice { .. }
             | AnalysisRecord::ClusterPlace { .. }
             | AnalysisRecord::ClusterEvict { .. } => report.cluster_events += 1,
+            AnalysisRecord::QuotaSet { .. }
+            | AnalysisRecord::QuotaCharge { .. }
+            | AnalysisRecord::QuotaCredit { .. }
+            | AnalysisRecord::SwapOut { .. }
+            | AnalysisRecord::SwapIn { .. } => report.quota_events += 1,
             AnalysisRecord::DeadlockWaiter { .. }
             | AnalysisRecord::Deadlock { .. }
             | AnalysisRecord::NotifyLost { .. }
@@ -166,6 +182,7 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
     report.diagnostics.extend(device::check(records));
     report.diagnostics.extend(staging::check(records));
     report.diagnostics.extend(cluster::check(records));
+    report.diagnostics.extend(quota::check(records));
     report.diagnostics.extend(deadlock::check(records));
     report.diagnostics.extend(liveness::check(records));
     report

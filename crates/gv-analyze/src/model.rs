@@ -25,6 +25,11 @@
 //! cdev dev=0 mem=6442450944 slots=16
 //! cplace t=700 vgpu=3 tenant=1 gang=2 dev=0 wave=0 mem=4096
 //! cevict t=800 vgpu=3 dev=0
+//! qset t=0 rank=2 quota=8192 demand=4096 gvm=gvm
+//! qcharge t=820 rank=2 bytes=4096 charged=4096 gvm=gvm
+//! qcredit t=840 rank=2 bytes=4096 charged=0 gvm=gvm
+//! swapout t=860 dev=0 buf=5 bytes=4096 gvm=gvm
+//! swapin t=880 dev=0 buf=5 bytes=4096 gvm=gvm
 //! dlwait t=900 pid=2 kind=recv holders=1 proc=spmd-0 res=/gvm-req
 //! dlock t=900 cycle=1,2,1
 //! nlost t=850 res=ready-cq
@@ -318,6 +323,76 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
             }
             AnalysisRecord::ClusterEvict { time, vgpu, device } => {
                 let _ = writeln!(out, "cevict t={} vgpu={vgpu} dev={device}", time.as_nanos());
+            }
+            AnalysisRecord::QuotaSet {
+                time,
+                gvm,
+                rank,
+                quota,
+                demand,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "qset t={} rank={rank} quota={quota} demand={demand} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
+            }
+            AnalysisRecord::QuotaCharge {
+                time,
+                gvm,
+                rank,
+                bytes,
+                charged,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "qcharge t={} rank={rank} bytes={bytes} charged={charged} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
+            }
+            AnalysisRecord::QuotaCredit {
+                time,
+                gvm,
+                rank,
+                bytes,
+                charged,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "qcredit t={} rank={rank} bytes={bytes} charged={charged} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
+            }
+            AnalysisRecord::SwapOut {
+                time,
+                gvm,
+                device,
+                buf,
+                bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "swapout t={} dev={device} buf={buf} bytes={bytes} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
+            }
+            AnalysisRecord::SwapIn {
+                time,
+                gvm,
+                device,
+                buf,
+                bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "swapin t={} dev={device} buf={buf} bytes={bytes} gvm={}",
+                    time.as_nanos(),
+                    esc(gvm)
+                );
             }
             AnalysisRecord::DeadlockWaiter {
                 time,
@@ -630,6 +705,41 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 vgpu: f.num("vgpu")?,
                 device: f.num("dev")?,
             },
+            "qset" => AnalysisRecord::QuotaSet {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                rank: f.num("rank")?,
+                quota: f.num("quota")?,
+                demand: f.num("demand")?,
+            },
+            "qcharge" => AnalysisRecord::QuotaCharge {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                rank: f.num("rank")?,
+                bytes: f.num("bytes")?,
+                charged: f.num("charged")?,
+            },
+            "qcredit" => AnalysisRecord::QuotaCredit {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                rank: f.num("rank")?,
+                bytes: f.num("bytes")?,
+                charged: f.num("charged")?,
+            },
+            "swapout" => AnalysisRecord::SwapOut {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                device: f.num("dev")?,
+                buf: f.num("buf")?,
+                bytes: f.num("bytes")?,
+            },
+            "swapin" => AnalysisRecord::SwapIn {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                device: f.num("dev")?,
+                buf: f.num("buf")?,
+                bytes: f.num("bytes")?,
+            },
             "dlwait" => {
                 let raw = f.get("kind")?;
                 let kind = WaitKind::from_label(raw).ok_or_else(|| DumpParseError {
@@ -842,6 +952,41 @@ mod tests {
                 time: SimTime::from_nanos(130),
                 vgpu: 42,
                 device: 1,
+            },
+            AnalysisRecord::QuotaSet {
+                time: SimTime::from_nanos(131),
+                gvm: "gvm a".to_string(), // space exercises escaping
+                rank: 2,
+                quota: 8192,
+                demand: 4096,
+            },
+            AnalysisRecord::QuotaCharge {
+                time: SimTime::from_nanos(132),
+                gvm: "gvm a".to_string(),
+                rank: 2,
+                bytes: 4096,
+                charged: 4096,
+            },
+            AnalysisRecord::SwapOut {
+                time: SimTime::from_nanos(133),
+                gvm: "gvm a".to_string(),
+                device: 1,
+                buf: 5,
+                bytes: 4096,
+            },
+            AnalysisRecord::SwapIn {
+                time: SimTime::from_nanos(134),
+                gvm: "gvm a".to_string(),
+                device: 1,
+                buf: 5,
+                bytes: 4096,
+            },
+            AnalysisRecord::QuotaCredit {
+                time: SimTime::from_nanos(134),
+                gvm: "gvm a".to_string(),
+                rank: 2,
+                bytes: 4096,
+                charged: 0,
             },
             AnalysisRecord::NotifyLost {
                 time: SimTime::from_nanos(135),

@@ -1,0 +1,475 @@
+//! Device-memory quota and demand-swap accounting over the GVM's records.
+//!
+//! A quota-enforcing GVM emits [`AnalysisRecord::QuotaSet`] at admission
+//! (the resolved byte cap, 0 meaning unlimited, plus the session's declared
+//! demand), [`AnalysisRecord::QuotaCharge`] / [`AnalysisRecord::QuotaCredit`]
+//! around every device allocation it charges against a rank, and
+//! [`AnalysisRecord::SwapOut`] / [`AnalysisRecord::SwapIn`] when an
+//! idle-parked working set is demand-swapped into pooled host staging and
+//! later restored. This checker replays those records and verifies:
+//!
+//! * **Quota bound** — a rank's charged total never exceeds its declared
+//!   quota (when finite). The GVM must reject or defer, never silently
+//!   exceed.
+//! * **Ledger arithmetic** — every charge/credit record's running total
+//!   equals the previous total plus/minus its delta, and a credit never
+//!   exceeds what was charged.
+//! * **Balance** — on a run the engine marked complete (`RunEnd` with
+//!   `completed=1`), every rank's charged total has returned to zero.
+//! * **Swap discipline** — no double swap-out of a live parked buffer, no
+//!   swap-in without a matching outstanding swap-out (the use-after-swap-out
+//!   family: restoring from a buffer that was never parked, already
+//!   restored, or already retired), and swap-in size equals swap-out size.
+//! * **Swap retirement** — on completed runs, every still-outstanding
+//!   swapped buffer must have been retired back to the staging pool (its
+//!   [`AnalysisRecord::PoolRecycle`] is the retirement marker emitted by
+//!   the shutdown drain); anything else leaked pinned host memory.
+//!
+//! Traces without a `RunEnd` marker, or cut short by a horizon or fault,
+//! skip the end-of-run sweeps: partial traces legitimately hold open
+//! charges and parked swaps.
+
+use std::collections::HashMap;
+
+use gv_sim::{AnalysisRecord, SimTime};
+
+use crate::Diagnostic;
+
+fn diag(time: SimTime, message: String) -> Diagnostic {
+    Diagnostic {
+        checker: "quota",
+        time,
+        message,
+    }
+}
+
+/// One outstanding swapped-out working set, keyed by pool buffer id.
+struct Swapped {
+    time: SimTime,
+    gvm: String,
+    device: u32,
+    bytes: u64,
+}
+
+/// Replay `records` and report every quota/swap-accounting violation.
+pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (gvm, rank) → declared quota in bytes (0 = unlimited).
+    let mut quotas: HashMap<(String, usize), u64> = HashMap::new();
+    // (gvm, rank) → running charged total per the last record seen.
+    let mut charged_now: HashMap<(String, usize), u64> = HashMap::new();
+    // (gvm, rank) → time of the charge that opened the non-zero balance.
+    let mut opened: HashMap<(String, usize), SimTime> = HashMap::new();
+    // pool buf id → outstanding swap-out. Buf ids are tracer-global, so the
+    // id alone keys the entry; `PoolRecycle` (no gvm field) retires it.
+    let mut swapped: HashMap<u64, Swapped> = HashMap::new();
+
+    for rec in records {
+        match rec {
+            AnalysisRecord::QuotaSet {
+                time,
+                gvm,
+                rank,
+                quota,
+                demand,
+            } => {
+                quotas.insert((gvm.clone(), *rank), *quota);
+                if *quota > 0 && *demand > *quota {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "rank {rank} of gvm '{gvm}' admitted with demand {demand} \
+                             above its quota {quota}"
+                        ),
+                    ));
+                }
+            }
+            AnalysisRecord::QuotaCharge {
+                time,
+                gvm,
+                rank,
+                bytes,
+                charged,
+            } => {
+                let key = (gvm.clone(), *rank);
+                let prev = charged_now.get(&key).copied().unwrap_or(0);
+                if prev + *bytes != *charged {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "rank {rank} of gvm '{gvm}': charge of {bytes} bytes moved \
+                             the ledger from {prev} to {charged} (expected {})",
+                            prev + *bytes
+                        ),
+                    ));
+                }
+                if let Some(&quota) = quotas.get(&key) {
+                    if quota > 0 && *charged > quota {
+                        out.push(diag(
+                            *time,
+                            format!(
+                                "rank {rank} of gvm '{gvm}': charged {charged} bytes \
+                                 exceeds its quota {quota}"
+                            ),
+                        ));
+                    }
+                }
+                charged_now.insert(key.clone(), *charged);
+                if *charged > 0 {
+                    opened.entry(key).or_insert(*time);
+                }
+            }
+            AnalysisRecord::QuotaCredit {
+                time,
+                gvm,
+                rank,
+                bytes,
+                charged,
+            } => {
+                let key = (gvm.clone(), *rank);
+                let prev = charged_now.get(&key).copied().unwrap_or(0);
+                if *bytes > prev {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "rank {rank} of gvm '{gvm}': credit of {bytes} bytes \
+                             exceeds the {prev} charged"
+                        ),
+                    ));
+                } else if prev - *bytes != *charged {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "rank {rank} of gvm '{gvm}': credit of {bytes} bytes moved \
+                             the ledger from {prev} to {charged} (expected {})",
+                            prev - *bytes
+                        ),
+                    ));
+                }
+                charged_now.insert(key.clone(), *charged);
+                if *charged == 0 {
+                    opened.remove(&key);
+                }
+            }
+            AnalysisRecord::SwapOut {
+                time,
+                gvm,
+                device,
+                buf,
+                bytes,
+            } => {
+                let prev = swapped.insert(
+                    *buf,
+                    Swapped {
+                        time: *time,
+                        gvm: gvm.clone(),
+                        device: *device,
+                        bytes: *bytes,
+                    },
+                );
+                if let Some(p) = prev {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "gvm '{gvm}' swapped out buffer {buf} on device {device} \
+                             while it is already parked (since t={:.6}ms)",
+                            p.time.as_millis_f64()
+                        ),
+                    ));
+                }
+            }
+            AnalysisRecord::SwapIn {
+                time,
+                gvm,
+                device,
+                buf,
+                bytes,
+            } => match swapped.remove(buf) {
+                Some(s) => {
+                    if s.bytes != *bytes {
+                        out.push(diag(
+                            *time,
+                            format!(
+                                "gvm '{gvm}' swapped in {bytes} bytes from buffer {buf} \
+                                 but {} were swapped out",
+                                s.bytes
+                            ),
+                        ));
+                    }
+                    if s.device != *device {
+                        out.push(diag(
+                            *time,
+                            format!(
+                                "gvm '{gvm}' swapped buffer {buf} in on device {device} \
+                                 but out on device {}",
+                                s.device
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "use-after-swap-out: gvm '{gvm}' swapped in buffer {buf} on \
+                             device {device} with no outstanding swap-out"
+                        ),
+                    ));
+                }
+            },
+            // The shutdown drain retires a still-parked working set by
+            // recycling its staging lease instead of restoring it.
+            AnalysisRecord::PoolRecycle { buf, .. } => {
+                swapped.remove(buf);
+            }
+            _ => {}
+        }
+    }
+
+    // End-of-run sweeps only apply to runs the engine marked complete.
+    let Some((end_time, completed)) = records.iter().rev().find_map(|r| match r {
+        AnalysisRecord::RunEnd {
+            time, completed, ..
+        } => Some((*time, *completed)),
+        _ => None,
+    }) else {
+        return out;
+    };
+    if !completed {
+        return out;
+    }
+
+    let mut unbalanced: Vec<_> = charged_now
+        .into_iter()
+        .filter(|(_, charged)| *charged > 0)
+        .collect();
+    unbalanced.sort();
+    for ((gvm, rank), charged) in unbalanced {
+        let since = opened
+            .get(&(gvm.clone(), rank))
+            .copied()
+            .unwrap_or(end_time);
+        out.push(diag(
+            end_time,
+            format!(
+                "run completed but rank {rank} of gvm '{gvm}' still has {charged} \
+                 bytes charged (open since t={:.6}ms)",
+                since.as_millis_f64()
+            ),
+        ));
+    }
+    let mut leaked: Vec<_> = swapped.into_iter().collect();
+    leaked.sort_by_key(|(buf, _)| *buf);
+    for (buf, s) in leaked {
+        out.push(diag(
+            end_time,
+            format!(
+                "run completed but buffer {buf} ({} bytes from gvm '{}' device {}) \
+                 is still swapped out with no swap-in or pool retirement",
+                s.bytes, s.gvm, s.device
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn qset(ns: u64, rank: usize, quota: u64, demand: u64) -> AnalysisRecord {
+        AnalysisRecord::QuotaSet {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            quota,
+            demand,
+        }
+    }
+
+    fn charge(ns: u64, rank: usize, bytes: u64, charged: u64) -> AnalysisRecord {
+        AnalysisRecord::QuotaCharge {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            bytes,
+            charged,
+        }
+    }
+
+    fn credit(ns: u64, rank: usize, bytes: u64, charged: u64) -> AnalysisRecord {
+        AnalysisRecord::QuotaCredit {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            bytes,
+            charged,
+        }
+    }
+
+    fn sout(ns: u64, buf: u64, bytes: u64) -> AnalysisRecord {
+        AnalysisRecord::SwapOut {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            device: 0,
+            buf,
+            bytes,
+        }
+    }
+
+    fn sin(ns: u64, buf: u64, bytes: u64) -> AnalysisRecord {
+        AnalysisRecord::SwapIn {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            device: 0,
+            buf,
+            bytes,
+        }
+    }
+
+    fn run_end(completed: bool) -> AnalysisRecord {
+        AnalysisRecord::RunEnd {
+            time: t(1000),
+            completed,
+            deadlocked: false,
+        }
+    }
+
+    #[test]
+    fn clean_quota_and_swap_cycle_passes() {
+        let recs = vec![
+            qset(1, 0, 8192, 4096),
+            charge(10, 0, 4096, 4096),
+            sout(20, 5, 4096),
+            credit(21, 0, 4096, 0),
+            sin(30, 5, 4096),
+            charge(31, 0, 4096, 4096),
+            credit(40, 0, 4096, 0),
+            run_end(true),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn over_quota_charge_is_flagged() {
+        let recs = vec![qset(1, 0, 4096, 4096), charge(10, 0, 8192, 8192)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("exceeds its quota 4096"), "{d:?}");
+    }
+
+    #[test]
+    fn admission_above_quota_is_flagged() {
+        let recs = vec![qset(1, 0, 4096, 8192)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("demand 8192"), "{d:?}");
+    }
+
+    #[test]
+    fn unlimited_quota_never_flags_charges() {
+        let recs = vec![
+            qset(1, 0, 0, 1 << 30),
+            charge(10, 0, 1 << 30, 1 << 30),
+            credit(20, 0, 1 << 30, 0),
+            run_end(true),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn ledger_arithmetic_mismatch_is_flagged() {
+        let recs = vec![charge(10, 0, 4096, 4096), charge(20, 0, 4096, 4096)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("expected 8192"), "{d:?}");
+    }
+
+    #[test]
+    fn credit_exceeding_charged_is_flagged() {
+        let recs = vec![charge(10, 0, 1024, 1024), credit(20, 0, 4096, 0)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("exceeds the 1024 charged"), "{d:?}");
+    }
+
+    #[test]
+    fn unbalanced_charge_on_completed_run_is_flagged() {
+        let recs = vec![charge(10, 0, 4096, 4096), run_end(true)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("still has 4096 bytes"), "{d:?}");
+    }
+
+    #[test]
+    fn partial_trace_skips_end_sweeps() {
+        let recs = vec![charge(10, 0, 4096, 4096), sout(20, 5, 4096)];
+        assert!(check(&recs).is_empty());
+        let recs = vec![charge(10, 0, 4096, 4096), sout(20, 5, 4096), run_end(false)];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn swap_in_without_swap_out_is_flagged() {
+        let recs = vec![sin(10, 5, 4096)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("use-after-swap-out"), "{d:?}");
+    }
+
+    #[test]
+    fn swap_in_after_pool_retirement_is_flagged() {
+        let recs = vec![
+            sout(10, 5, 4096),
+            AnalysisRecord::PoolRecycle {
+                time: t(20),
+                buf: 5,
+            },
+            sin(30, 5, 4096),
+        ];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("use-after-swap-out"), "{d:?}");
+    }
+
+    #[test]
+    fn double_swap_out_is_flagged() {
+        let recs = vec![sout(10, 5, 4096), sout(20, 5, 4096)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("already parked"), "{d:?}");
+    }
+
+    #[test]
+    fn swap_size_mismatch_is_flagged() {
+        let recs = vec![sout(10, 5, 4096), sin(20, 5, 2048)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("4096 were swapped out"), "{d:?}");
+    }
+
+    #[test]
+    fn leaked_swap_on_completed_run_is_flagged() {
+        let recs = vec![sout(10, 5, 4096), run_end(true)];
+        let d = check(&recs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("still swapped out"), "{d:?}");
+    }
+
+    #[test]
+    fn pool_retirement_balances_a_leaked_swap() {
+        let recs = vec![
+            sout(10, 5, 4096),
+            AnalysisRecord::PoolRecycle {
+                time: t(20),
+                buf: 5,
+            },
+            run_end(true),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+}

@@ -67,6 +67,62 @@ fn vecadd2_exploration_covers_100_distinct_schedules() {
     );
 }
 
+/// The quota-pressure scenario actually exercises demand-swap at
+/// baseline: the stagger serializes three over-committed sessions, so the
+/// trace must carry both a `SwapOut` (rank 1 displacing rank 0's parked
+/// working set) and a `SwapIn` (rank 2 restoring rank 0's shape).
+#[test]
+fn quota_pressure_baseline_swaps_out_and_back_in() {
+    use gv_sim::AnalysisRecord;
+    let scenario = find_scenario("quota-pressure").unwrap();
+    let run = scenario.run(&[], HORIZON);
+    assert!(run.diagnostics().is_empty());
+    let outs = run
+        .records
+        .iter()
+        .filter(|r| matches!(r, AnalysisRecord::SwapOut { .. }))
+        .count();
+    let ins = run
+        .records
+        .iter()
+        .filter(|r| matches!(r, AnalysisRecord::SwapIn { .. }))
+        .count();
+    assert!(outs >= 1, "baseline schedule never swapped out");
+    assert!(ins >= 1, "baseline schedule never swapped back in");
+}
+
+/// Satellite acceptance: exploring quota pressure with preemption bound 2
+/// covers at least 100 distinct schedules with no deadlock between the
+/// swap path and admission backpressure (and no other diagnostic) on any
+/// of them.
+#[test]
+fn quota_pressure_exploration_covers_100_schedules_without_deadlock() {
+    let scenario = find_scenario("quota-pressure").unwrap();
+    let cfg = ExploreConfig {
+        budget: 400,
+        preemption_bound: 2,
+        por: false,
+        ..ExploreConfig::default()
+    };
+    let outcome = explore(&scenario, &cfg);
+    assert!(
+        outcome.counterexample.is_none(),
+        "quota/swap schedule failed: {:?}",
+        outcome.counterexample
+    );
+    assert!(
+        outcome.schedules_run >= 100,
+        "only {} schedules run ({} distinct behaviors, {} pruned)",
+        outcome.schedules_run,
+        outcome.distinct,
+        outcome.pruned
+    );
+    assert!(
+        outcome.distinct > 1,
+        "exploration never left the baseline behavior"
+    );
+}
+
 /// The vector-clock sleep-set reduction prunes commuting alternatives
 /// without changing the verdict.
 #[test]

@@ -92,6 +92,11 @@ pub struct DeviceMemory {
     alloc_seq: u64,
     /// Absolute `alloc_seq` indices armed to fail with OOM.
     armed_oom: Vec<u64>,
+    /// Quota bytes the virtualization layer has charged against this
+    /// device — logical commitments, independent of physical `used`.
+    committed: u64,
+    /// High-water mark of `committed`.
+    peak_committed: u64,
 }
 
 impl DeviceMemory {
@@ -105,6 +110,8 @@ impl DeviceMemory {
             free_list: vec![(0, capacity)],
             alloc_seq: 0,
             armed_oom: Vec::new(),
+            committed: 0,
+            peak_committed: 0,
         }
     }
 
@@ -145,6 +152,36 @@ impl DeviceMemory {
     /// Number of armed OOM faults that have not fired yet.
     pub fn armed_oom_count(&self) -> usize {
         self.armed_oom.len()
+    }
+
+    /// Charge `bytes` of quota commitment against this device and return
+    /// the new committed total. The ledger is logical tenant accounting by
+    /// the virtualization layer, separate from physical [`used`](Self::used):
+    /// with demand-swap, committed bytes of *idle* working sets may exceed
+    /// what is physically resident.
+    pub fn charge(&mut self, bytes: u64) -> u64 {
+        self.committed += bytes;
+        self.peak_committed = self.peak_committed.max(self.committed);
+        self.committed
+    }
+
+    /// Credit back `bytes` of quota commitment (saturating at zero) and
+    /// return the new committed total.
+    pub fn credit(&mut self, bytes: u64) -> u64 {
+        self.committed = self.committed.saturating_sub(bytes);
+        self.committed
+    }
+
+    /// Quota bytes currently committed by the virtualization layer.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// High-water mark of [`committed`](Self::committed) over the device's
+    /// lifetime; `peak_committed() / capacity()` is the achieved
+    /// oversubscription factor.
+    pub fn peak_committed(&self) -> u64 {
+        self.peak_committed
     }
 
     /// Allocate `bytes` bytes (rounded up to [`DEVICE_ALLOC_ALIGN`]),
@@ -334,6 +371,18 @@ mod tests {
         let mut m = DeviceMemory::new(4096);
         let _p = m.alloc(1).unwrap();
         assert_eq!(m.used(), 256);
+    }
+
+    #[test]
+    fn charge_credit_ledger_is_independent_of_used() {
+        let mut m = DeviceMemory::new(1024);
+        assert_eq!(m.committed(), 0);
+        assert_eq!(m.charge(2048), 2048, "commitments may oversubscribe");
+        assert_eq!(m.charge(512), 2560);
+        assert_eq!(m.used(), 0, "ledger does not touch physical usage");
+        assert_eq!(m.credit(2048), 512);
+        assert_eq!(m.credit(4096), 0, "credit saturates at zero");
+        assert_eq!(m.peak_committed(), 2560);
     }
 
     #[test]

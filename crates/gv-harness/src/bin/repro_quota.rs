@@ -1,0 +1,32 @@
+//! Measure device-memory quota admission vs VRAM oversubscription with
+//! demand-swap over a 1x-8x aggregate-demand sweep into
+//! `results/quota.{txt,csv}` and the machine-readable
+//! `results/BENCH_quota.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink the overcommitted device;
+//! `--analyze` records every wave's trace and fails (exit 1) if any
+//! `gv-analyze` checker — including the quota/swap checker — reports a
+//! diagnostic.
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{quota, repro};
+
+fn main() {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (points, clean) = quota::sweep(&Scenario::default(), scale, analyze);
+    let artifact = quota::artifact(&points, scale);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_quota.json", quota::bench_json(&points)).is_err() {
+        eprintln!("warning: cannot write results/BENCH_quota.json");
+    }
+    if analyze {
+        if clean {
+            println!("gv-analyze: every swept trace is clean (quota checker green)");
+        } else {
+            eprintln!("gv-analyze: diagnostics on at least one swept trace");
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,7 +23,7 @@ use gv_gpu::{DeviceConfig, GpuDevice};
 use gv_ipc::Node;
 use gv_kernels::{Benchmark, BenchmarkId};
 use gv_sim::Simulation;
-use gv_virt::{Cluster, ClusterConfig, PlacePolicy, VgpuRequest};
+use gv_virt::{Cluster, ClusterConfig, MemQuota, PlacePolicy, VgpuRequest};
 
 use crate::report::{ms, pct, TextTable};
 use crate::repro::Artifact;
@@ -72,6 +72,7 @@ pub fn requests(cfg: &DeviceConfig, scale_down: u32) -> Vec<VgpuRequest> {
                 id: i,
                 tenant,
                 gang,
+                quota: MemQuota::Unlimited,
                 task: Benchmark::scaled_task(bench, cfg, scale_down.max(1)),
             }
         })

@@ -26,6 +26,7 @@ pub mod ft;
 pub mod overhead;
 pub mod pipeline;
 pub mod profile;
+pub mod quota;
 pub mod remote_compare;
 pub mod report;
 pub mod repro;

@@ -15,7 +15,7 @@ use gv_kernels::GpuTask;
 use gv_sim::{OracleHandle, SimDuration, SimError, Simulation};
 use gv_virt::{
     run_direct, Cluster, ClusterConfig, ClusterHandle, Gvm, GvmConfig, GvmHandle, GvmStats,
-    MemConfig, PlacePolicy, SchedPolicy, TaskRun, VgpuClient, VgpuRequest,
+    MemConfig, MemQuota, PlacePolicy, SchedPolicy, TaskRun, VgpuClient, VgpuRequest,
 };
 use parking_lot::Mutex;
 
@@ -277,6 +277,7 @@ impl Scenario {
                         id: rank as u64,
                         tenant: 0,
                         gang: None,
+                        quota: MemQuota::Unlimited,
                         task,
                     })
                     .collect();

@@ -129,6 +129,30 @@ pub fn optimal_chunks(t_stage: f64, t_xfer: f64, overhead: f64, cap: u32) -> u32
     }
 }
 
+/// Cost of one demand-swap round trip under VRAM oversubscription: a
+/// victim working set of `bytes` is evicted to pinned host staging (D2H at
+/// `r_d2h` time units per byte) and restored on its next touch (H2D at
+/// `r_h2d`), each direction tiled into `k` chunks that pay a fixed
+/// `overhead` (copy submit + staging bookkeeping) apiece:
+///
+/// `T_swap = bytes·(r_d2h + r_h2d) + 2k·overhead`
+///
+/// Both directions go through the same chunked planner as payload
+/// transfers, and neither overlaps anything — the GVM synchronizes the
+/// evict before freeing the device memory and the restore before handing
+/// the allocation back — so the model is a straight sum, not a pipeline.
+/// Setting `r_h2d = 0` (or `r_d2h = 0`) prices a one-way trip.
+///
+/// The term closes the oversubscription trade-off: admitting a session
+/// beyond VRAM is profitable when the queueing delay it avoids exceeds
+/// the `T_swap` round trips its residency churn induces (`repro_quota`
+/// measures the empirical side of that inequality).
+pub fn swap_cost(bytes: f64, r_d2h: f64, r_h2d: f64, k: u32, overhead: f64) -> f64 {
+    assert!(k >= 1, "a swap copies at least one chunk");
+    assert!(bytes >= 0.0 && r_d2h >= 0.0 && r_h2d >= 0.0 && overhead >= 0.0);
+    bytes * (r_d2h + r_h2d) + 2.0 * k as f64 * overhead
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +338,54 @@ mod tests {
         assert_eq!(optimal_chunks(1e6, 1e6, 1e-9, 4), 4);
         assert_eq!(optimal_chunks(3.0, 5.0, 0.0, 6), 6);
         assert_eq!(optimal_chunks(3.0, 5.0, -1.0, 6), 6);
+    }
+
+    /// Brute-force `swap_cost` by summing the per-span times of the exact
+    /// near-equal tiling the planner uses (`ceil`-sized head spans), both
+    /// directions: per span `len·rate + overhead`.
+    fn brute_force_swap(bytes: u64, r_d2h: f64, r_h2d: f64, k: u32) -> f64 {
+        let overhead = 0.125;
+        let mut t = 0.0;
+        for rate in [r_d2h, r_h2d] {
+            for i in 0..u64::from(k) {
+                let base = bytes / u64::from(k);
+                let len = base + u64::from(i < bytes % u64::from(k));
+                t += len as f64 * rate + overhead;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn swap_cost_matches_per_span_sum() {
+        // The tiling splits exactly (span lengths sum to `bytes`), so the
+        // closed form equals the per-span brute force for any k.
+        for &(bytes, d2h, h2d) in &[
+            (1u64 << 20, 2e-6, 3e-6),
+            (4096, 1e-3, 0.0),
+            (7777, 0.5, 0.25),
+        ] {
+            for k in [1u32, 2, 3, 8, 16] {
+                let got = swap_cost(bytes as f64, d2h, h2d, k, 0.125);
+                let want = brute_force_swap(bytes, d2h, h2d, k);
+                assert!(
+                    (got - want).abs() < 1e-6 * want.max(1.0),
+                    "bytes={bytes} k={k}: closed form {got}, span sum {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_cost_monotone_and_one_way() {
+        // More bytes, more chunks, or faster rates never cheapen a swap.
+        assert!(swap_cost(2048.0, 1e-3, 1e-3, 2, 0.1) > swap_cost(1024.0, 1e-3, 1e-3, 2, 0.1));
+        assert!(swap_cost(1024.0, 1e-3, 1e-3, 8, 0.1) > swap_cost(1024.0, 1e-3, 1e-3, 2, 0.1));
+        // One-way pricing: zeroing a rate drops exactly that direction.
+        let round = swap_cost(1024.0, 2e-3, 3e-3, 1, 0.0);
+        let out = swap_cost(1024.0, 2e-3, 0.0, 1, 0.0);
+        let back = swap_cost(1024.0, 0.0, 3e-3, 1, 0.0);
+        assert!((round - (out + back)).abs() < 1e-12);
     }
 
     #[test]

@@ -341,6 +341,82 @@ pub enum AnalysisRecord {
         /// Cluster-local device index the session left.
         device: u32,
     },
+    /// A GVM declared the device-memory quota governing one rank's VGPU
+    /// session, at boot. The quota checker validates every subsequent
+    /// [`AnalysisRecord::QuotaCharge`] for that rank against this cap.
+    QuotaSet {
+        /// Simulated timestamp of the declaration (GVM boot).
+        time: SimTime,
+        /// GVM instance name (scopes ranks in multi-GVM traces).
+        gvm: String,
+        /// SPMD rank the quota applies to.
+        rank: usize,
+        /// Resolved cap in bytes; `0` means unlimited.
+        quota: u64,
+        /// The rank's declared device-memory demand in bytes.
+        demand: u64,
+    },
+    /// Device bytes were charged against a rank's quota (admission-time
+    /// allocation of its working set). Charged usage must never exceed the
+    /// rank's declared quota.
+    QuotaCharge {
+        /// Simulated timestamp of the charge.
+        time: SimTime,
+        /// GVM instance name.
+        gvm: String,
+        /// SPMD rank being charged.
+        rank: usize,
+        /// Bytes charged by this event.
+        bytes: u64,
+        /// The rank's total charged bytes after this event.
+        charged: u64,
+    },
+    /// Device bytes were credited back to a rank's quota (the working set
+    /// was parked, freed, or reclaimed by eviction). Credits must balance
+    /// charges to zero by the end of a completed run.
+    QuotaCredit {
+        /// Simulated timestamp of the credit.
+        time: SimTime,
+        /// GVM instance name.
+        gvm: String,
+        /// SPMD rank being credited.
+        rank: usize,
+        /// Bytes credited by this event.
+        bytes: u64,
+        /// The rank's total charged bytes after this event.
+        charged: u64,
+    },
+    /// An idle-parked device allocation was demand-swapped out to pooled
+    /// pinned host staging to relieve VRAM pressure: its bytes moved D2H
+    /// into staging buffer `buf` and the device allocation was freed.
+    SwapOut {
+        /// Simulated timestamp the swap-out completed.
+        time: SimTime,
+        /// GVM instance name.
+        gvm: String,
+        /// Tracer ordinal of the device the allocation lived on.
+        device: u32,
+        /// Staging-pool buffer id now holding the swapped bytes.
+        buf: u64,
+        /// Size of the swapped working set in bytes.
+        bytes: u64,
+    },
+    /// A swapped-out working set was restored to the device on next touch:
+    /// re-allocated and moved H2D out of staging buffer `buf`, which is
+    /// then recycled. Every swap-in must pair with an outstanding
+    /// [`AnalysisRecord::SwapOut`] of the same buffer and size.
+    SwapIn {
+        /// Simulated timestamp the swap-in was issued.
+        time: SimTime,
+        /// GVM instance name.
+        gvm: String,
+        /// Tracer ordinal of the device the allocation returns to.
+        device: u32,
+        /// Staging-pool buffer id the bytes were restored from.
+        buf: u64,
+        /// Size of the restored working set in bytes.
+        bytes: u64,
+    },
     /// One blocked process observed at deadlock detection time. The engine
     /// emits one of these per live process, followed by a single
     /// [`AnalysisRecord::Deadlock`], whenever a run dies with

@@ -22,7 +22,7 @@ use gv_ipc::{MessageQueue, SharedMem};
 use gv_sim::{Ctx, RecvTimeout, SimDuration};
 
 use crate::gvm::GvmHandle;
-use crate::protocol::{Request, RequestKind, Response, ResponseKind, TaskRun};
+use crate::protocol::{NakReason, Request, RequestKind, Response, ResponseKind, TaskRun};
 
 /// Fault-handling policy for one client.
 #[derive(Debug, Clone)]
@@ -74,6 +74,8 @@ pub enum TaskError {
     Rejected {
         /// Stage that was refused.
         stage: RequestKind,
+        /// Why the GVM refused it.
+        reason: NakReason,
     },
     /// The response queue closed while waiting (GVM gone).
     Disconnected {
@@ -94,7 +96,9 @@ impl std::fmt::Display for TaskError {
             TaskError::TimedOut { stage } => {
                 write!(f, "timed out waiting for {} response", stage.label())
             }
-            TaskError::Rejected { stage } => write!(f, "{} rejected by GVM", stage.label()),
+            TaskError::Rejected { stage, reason } => {
+                write!(f, "{} rejected by GVM ({})", stage.label(), reason.label())
+            }
             TaskError::Disconnected { stage } => {
                 write!(f, "GVM disconnected during {}", stage.label())
             }
@@ -220,7 +224,10 @@ impl VgpuClient {
                     continue; // stale answer to an abandoned send
                 }
                 return match got.kind {
-                    ResponseKind::Nak => Err(TaskError::Rejected { stage: kind }),
+                    ResponseKind::Nak(reason) => Err(TaskError::Rejected {
+                        stage: kind,
+                        reason,
+                    }),
                     other => Ok(other),
                 };
             }

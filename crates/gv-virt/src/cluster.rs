@@ -51,6 +51,7 @@ use parking_lot::Mutex;
 use crate::client::VgpuClient;
 use crate::gvm::{Gvm, GvmConfig, GvmHandle, GvmStats};
 use crate::protocol::TaskRun;
+use crate::quota::MemQuota;
 use crate::sched::SchedPolicy;
 
 // ---------------------------------------------------------------------------
@@ -68,6 +69,11 @@ pub struct VgpuRequest {
     /// `Some(g)`: member of SPMD gang `g` — all members of a gang must be
     /// co-placed on one device in one wave, or none of them are.
     pub gang: Option<u64>,
+    /// Device-memory quota for the session. The planner refuses devices
+    /// whose resolved cap cannot admit the session's demand (and errors
+    /// with [`PlanError::OverQuota`] when *no* device can), and the
+    /// session's GVM enforces the quota again at `REQ`/`SND` admission.
+    pub quota: MemQuota,
     /// The GPU work the session will run through its GVM.
     pub task: GpuTask,
 }
@@ -96,6 +102,10 @@ impl DeviceCap {
 /// already admitted onto it.
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceLoad {
+    /// This device's index in the capacity slice (quota feasibility is
+    /// per-device: a `Percent` quota resolves differently on devices of
+    /// different sizes).
+    pub index: usize,
     /// Static capacity.
     pub cap: DeviceCap,
     /// Device memory admitted this wave.
@@ -105,8 +115,9 @@ pub struct DeviceLoad {
 }
 
 impl DeviceLoad {
-    fn empty(cap: DeviceCap) -> Self {
+    fn empty(index: usize, cap: DeviceCap) -> Self {
         DeviceLoad {
+            index,
             cap,
             mem_used: 0,
             slots_used: 0,
@@ -115,7 +126,8 @@ impl DeviceLoad {
 
     /// Can this device still take `group` in the current wave?
     pub fn fits(&self, group: &PendingGroup) -> bool {
-        self.mem_used + group.mem_bytes <= self.cap.mem_bytes
+        group.quota_admits(self.index)
+            && self.mem_used + group.mem_bytes <= self.cap.mem_bytes
             && self.slots_used + group.sessions <= self.cap.kernel_slots
     }
 
@@ -140,6 +152,18 @@ pub struct PendingGroup {
     pub mem_bytes: u64,
     /// Member count (kernel-slot demand).
     pub sessions: u32,
+    /// Bitmask over device indices where every member's [`MemQuota`]
+    /// admits that member's demand (bit `d` set = device `d` is quota-
+    /// feasible; devices past 63 share bit 63, conservatively requiring
+    /// them all to agree).
+    pub quota_fit: u64,
+}
+
+impl PendingGroup {
+    /// Whether every member's quota admits its demand on device `device`.
+    pub fn quota_admits(&self, device: usize) -> bool {
+        (self.quota_fit >> device.min(63)) & 1 == 1
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -447,6 +471,15 @@ pub enum PlanError {
         /// The group's session count.
         sessions: u32,
     },
+    /// A request's own quota cannot admit its demand on *any* device — the
+    /// session would be `NAK`ed at admission wherever it lands, so the
+    /// planner refuses it up front.
+    OverQuota {
+        /// The offending request id.
+        request: u64,
+        /// The request's memory demand.
+        mem_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -466,6 +499,11 @@ impl std::fmt::Display for PlanError {
                 f,
                 "group of {sessions} session(s) demanding {mem_bytes} bytes \
                  fits no empty device"
+            ),
+            PlanError::OverQuota { request, mem_bytes } => write!(
+                f,
+                "request {request} demands {mem_bytes} bytes, over its own \
+                 quota on every device"
             ),
         }
     }
@@ -494,6 +532,35 @@ pub fn plan(
         }
     }
 
+    // Per-request quota feasibility over devices: bit `d` set means the
+    // request's quota admits its demand on device `d` (devices past 63
+    // collapse onto bit 63 — set only when they all admit). A request no
+    // device can ever quota-admit is refused here, mirroring the NAK its
+    // GVM would answer with.
+    let quota_mask = |r: &VgpuRequest| -> u64 {
+        let mut mask = 0u64;
+        for (d, c) in caps.iter().enumerate() {
+            let bit = d.min(63);
+            let ok = r.quota.admits(r.task.device_bytes, c.mem_bytes);
+            if d <= 63 {
+                if ok {
+                    mask |= 1 << bit;
+                }
+            } else if !ok {
+                mask &= !(1 << 63);
+            }
+        }
+        mask
+    };
+    for r in requests {
+        if quota_mask(r) == 0 {
+            return Err(PlanError::OverQuota {
+                request: r.id,
+                mem_bytes: r.task.device_bytes,
+            });
+        }
+    }
+
     // Group requests: gang members coalesce (arrival = first member),
     // everything else is a singleton.
     struct Group {
@@ -502,6 +569,7 @@ pub fn plan(
         gang: Option<u64>,
         members: Vec<usize>,
         mem_bytes: u64,
+        quota_fit: u64,
     }
     let mut groups: Vec<Group> = Vec::new();
     let mut gang_idx: HashMap<u64, usize> = HashMap::new();
@@ -514,6 +582,7 @@ pub fn plan(
                     }
                     groups[gi].members.push(i);
                     groups[gi].mem_bytes += r.task.device_bytes;
+                    groups[gi].quota_fit &= quota_mask(r);
                 }
                 None => {
                     gang_idx.insert(g, groups.len());
@@ -523,6 +592,7 @@ pub fn plan(
                         gang: Some(g),
                         members: vec![i],
                         mem_bytes: r.task.device_bytes,
+                        quota_fit: quota_mask(r),
                     });
                 }
             },
@@ -532,19 +602,23 @@ pub fn plan(
                 gang: None,
                 members: vec![i],
                 mem_bytes: r.task.device_bytes,
+                quota_fit: quota_mask(r),
             }),
         }
     }
     let total_groups = groups.len() as u64;
 
-    // Feasibility: every group must fit at least one *empty* device, or no
-    // amount of waves will ever place it.
+    // Feasibility: every group must fit at least one *empty*
+    // quota-feasible device, or no amount of waves will ever place it (a
+    // gang whose members' quota-feasible device sets are disjoint is as
+    // unplaceable as one that exceeds raw capacity).
     for g in &groups {
         let sessions = g.members.len() as u32;
-        if !caps
-            .iter()
-            .any(|c| g.mem_bytes <= c.mem_bytes && sessions <= c.kernel_slots)
-        {
+        if !caps.iter().enumerate().any(|(d, c)| {
+            (g.quota_fit >> d.min(63)) & 1 == 1
+                && g.mem_bytes <= c.mem_bytes
+                && sessions <= c.kernel_slots
+        }) {
             return Err(PlanError::Infeasible {
                 mem_bytes: g.mem_bytes,
                 sessions,
@@ -560,7 +634,11 @@ pub fn plan(
     let mut wave = 0u32;
     while !pending.is_empty() {
         let mut strategy = policy.build();
-        let mut loads: Vec<DeviceLoad> = caps.iter().map(|&c| DeviceLoad::empty(c)).collect();
+        let mut loads: Vec<DeviceLoad> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| DeviceLoad::empty(i, c))
+            .collect();
         let mut admitted_any = false;
         loop {
             let views: Vec<PendingGroup> = pending
@@ -571,6 +649,7 @@ pub fn plan(
                     gang: g.gang,
                     mem_bytes: g.mem_bytes,
                     sessions: g.members.len() as u32,
+                    quota_fit: g.quota_fit,
                 })
                 .collect();
             let Some(admit) = strategy.admit(&views, &loads) else {
@@ -667,6 +746,13 @@ pub struct ClusterConfig {
     /// Arrival skew: session at arrival position `i` starts its protocol
     /// sequence `i * stagger` after connecting.
     pub stagger: SimDuration,
+    /// VRAM oversubscription factor for planning, `>= 1`. The planner
+    /// admits against `factor ×` each device's physical memory (the
+    /// *virtual* capacity, which is also what the `ClusterDevice` record
+    /// declares to the co-residency checker); a factor above 1 turns on
+    /// demand-swap in every GVM so the physically-overcommitted waves
+    /// stay serviceable.
+    pub oversubscribe: u32,
 }
 
 impl ClusterConfig {
@@ -680,7 +766,14 @@ impl ClusterConfig {
             mem: MemConfig::default(),
             rounds: 1,
             stagger: SimDuration::ZERO,
+            oversubscribe: 1,
         }
+    }
+
+    /// Set the VRAM oversubscription factor (clamped to at least 1).
+    pub fn with_oversubscribe(mut self, factor: u32) -> Self {
+        self.oversubscribe = factor.max(1);
+        self
     }
 
     /// Replace the GVM stream-dispatch policy.
@@ -821,9 +914,14 @@ impl Cluster {
         config: ClusterConfig,
         requests: Vec<VgpuRequest>,
     ) -> Result<ClusterHandle, PlanError> {
+        let oversub = u64::from(config.oversubscribe.max(1));
         let caps: Vec<DeviceCap> = cudas
             .iter()
-            .map(|c| DeviceCap::from_config(c.device().config()))
+            .map(|c| {
+                let mut cap = DeviceCap::from_config(c.device().config());
+                cap.mem_bytes = cap.mem_bytes.saturating_mul(oversub);
+                cap
+            })
             .collect();
         let plan = plan(config.policy, &requests, &caps)?;
 
@@ -844,14 +942,28 @@ impl Cluster {
         for a in &plan.assignments {
             members.entry((a.wave, a.device)).or_default().push(a);
         }
-        let task_of: HashMap<u64, &GpuTask> = requests.iter().map(|r| (r.id, &r.task)).collect();
+        let req_of: HashMap<u64, &VgpuRequest> = requests.iter().map(|r| (r.id, r)).collect();
         let mut gvms: Vec<WaveGvm> = Vec::with_capacity(members.len());
         for ((wave, device), mut list) in members {
             list.sort_by_key(|a| a.slot);
-            let tasks: Vec<GpuTask> = list.iter().map(|a| task_of[&a.request].clone()).collect();
+            let tasks: Vec<GpuTask> = list
+                .iter()
+                .map(|a| req_of[&a.request].task.clone())
+                .collect();
             let mut gcfg = GvmConfig::new(tasks.len())
                 .with_scheduler(config.scheduler.clone())
                 .with_mem(config.mem);
+            // Sessions' quotas ride into the serving GVM (slot order) so
+            // admission re-enforces what placement assumed; configure
+            // them only when some session actually carries a cap, so an
+            // all-unlimited cluster keeps the seed GVM byte-for-byte.
+            let quotas: Vec<MemQuota> = list.iter().map(|a| req_of[&a.request].quota).collect();
+            if quotas.iter().any(|q| !q.is_unlimited()) {
+                gcfg = gcfg.with_quotas(quotas);
+            }
+            if config.oversubscribe > 1 {
+                gcfg = gcfg.with_swap();
+            }
             gcfg.name = format!("{}-d{device}w{wave}", config.name);
             let handle = Gvm::prepare(node, gcfg, tasks);
             gvms.push(WaveGvm {
@@ -989,6 +1101,7 @@ mod tests {
             id,
             tenant,
             gang,
+            quota: MemQuota::Unlimited,
             task: task(mem),
         }
     }

@@ -34,12 +34,14 @@ use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
 use gv_mem::{
-    AdaptiveChooser, DeviceAllocCache, MemConfig, PipelineConfig, StagingLease, StagingPool,
+    AdaptiveChooser, CachedAlloc, DeviceAllocCache, MemConfig, PipelineConfig, StagingLease,
+    StagingPool,
 };
 use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
 
-use crate::protocol::{Endpoints, Request, RequestKind, Response, ResponseKind};
+use crate::protocol::{Endpoints, NakReason, Request, RequestKind, Response, ResponseKind};
+use crate::quota::MemQuota;
 use crate::sched::{self, Dispatch, SchedPolicy, Scheduler};
 
 /// Recovery knobs for a fault-tolerant GVM (see
@@ -93,6 +95,21 @@ pub struct GvmConfig {
     /// copy/compute pipelining is off by default, which keeps the GVM
     /// bit-identical to serial staging).
     pub mem: MemConfig,
+    /// Per-rank device-memory quotas (index = rank; short vectors pad
+    /// with [`MemQuota::Unlimited`]). `None` disables quota accounting
+    /// entirely. With every quota unlimited the GVM's schedule is
+    /// bit-identical to `None` — only `QuotaSet`/`QuotaCharge`/
+    /// `QuotaCredit` analysis records are added. Any *finite* quota
+    /// switches device allocation to the lazy first-`SND` path so an
+    /// over-quota demand is answered with an `OverQuota` NAK at admission
+    /// instead of a boot-time panic.
+    pub quotas: Option<Vec<MemQuota>>,
+    /// Enable VRAM oversubscription by demand-swap: when a lazy
+    /// allocation does not fit, idle working sets parked in the
+    /// device-allocation cache are evicted to pooled pinned host staging
+    /// (LRU by last release) until the allocation fits, and restored
+    /// through the chunked planner on next touch.
+    pub swap: bool,
 }
 
 impl GvmConfig {
@@ -108,6 +125,8 @@ impl GvmConfig {
             fault_tolerance: None,
             scheduler: SchedPolicy::JointFlush,
             mem: MemConfig::default(),
+            quotas: None,
+            swap: false,
         }
     }
 
@@ -136,6 +155,37 @@ impl GvmConfig {
             fault_tolerance: Some(FtConfig::default()),
             ..Self::new(ntask)
         }
+    }
+
+    /// `self` with per-rank device-memory quotas (enables quota
+    /// accounting and admission enforcement).
+    pub fn with_quotas(self, quotas: Vec<MemQuota>) -> Self {
+        GvmConfig {
+            quotas: Some(quotas),
+            ..self
+        }
+    }
+
+    /// `self` with demand-swap oversubscription enabled.
+    pub fn with_swap(self) -> Self {
+        GvmConfig { swap: true, ..self }
+    }
+
+    /// The quota governing `rank` (unlimited when none was configured).
+    pub fn quota_for(&self, rank: usize) -> MemQuota {
+        self.quotas
+            .as_ref()
+            .and_then(|q| q.get(rank))
+            .copied()
+            .unwrap_or(MemQuota::Unlimited)
+    }
+
+    /// True when any configured quota is finite — the trigger for lazy
+    /// first-`SND` device allocation in a fault-free GVM.
+    pub fn has_finite_quota(&self) -> bool {
+        self.quotas
+            .as_ref()
+            .is_some_and(|q| q.iter().any(|m| !m.is_unlimited()))
     }
 }
 
@@ -203,6 +253,18 @@ pub struct GvmStats {
     /// Acquires that blocked on the lease cap (client-side users of the
     /// pool; always 0 for the GVM's own acquires).
     pub pool_backpressure_waits: u64,
+    /// Admissions refused because the session's device-memory demand
+    /// exceeded its quota (`OverQuota` NAKs; a subset of `naks`).
+    pub quota_naks: u64,
+    /// Idle parked working sets demand-swapped out to pinned host staging
+    /// to make room for another admission.
+    pub swap_outs: u64,
+    /// Swapped working sets restored to device memory on next touch.
+    pub swap_ins: u64,
+    /// Bytes moved device→host by swap-outs.
+    pub swapped_out_bytes: u64,
+    /// Bytes moved host→device by swap-ins.
+    pub swapped_in_bytes: u64,
 }
 
 impl GvmStats {
@@ -245,6 +307,11 @@ impl GvmStats {
         self.pool_released_bytes += other.pool_released_bytes;
         self.pool_over_cap += other.pool_over_cap;
         self.pool_backpressure_waits += other.pool_backpressure_waits;
+        self.quota_naks += other.quota_naks;
+        self.swap_outs += other.swap_outs;
+        self.swap_ins += other.swap_ins;
+        self.swapped_out_bytes += other.swapped_out_bytes;
+        self.swapped_in_bytes += other.swapped_in_bytes;
     }
 
     /// Fraction of staging-pool acquires served without allocating
@@ -363,6 +430,9 @@ struct RankResources {
     rounds_done: u32,
     task: GpuTask,
     state: RankState,
+    /// Device bytes currently charged against this rank's quota (0 when
+    /// quota accounting is off).
+    charged: u64,
     /// Highest request sequence number seen from this rank (0 = none).
     last_seq: u64,
     /// Response recorded for `last_seq`, for idempotent retries. `None`
@@ -510,6 +580,14 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         .create(&endpoints.request_queue(), cfg.req_queue_capacity)
         .expect("request queue name free");
 
+    // Fault-free GVMs pre-allocate at boot (Fig. 8); the fault-tolerant
+    // one overcommits and allocates at first SND so an OOM can be answered
+    // with a NAK instead of a boot-time panic. A finite quota forces the
+    // lazy path too (an over-quota demand must become an OverQuota NAK at
+    // admission, never a silent boot-time grab), as does swap: an
+    // oversubscribed session set cannot all be resident at boot.
+    let lazy_alloc = ft.is_some() || cfg.has_finite_quota() || cfg.swap;
+
     let mut ranks: Vec<RankResources> = Vec::with_capacity(cfg.ntask);
     for r in 0..cfg.ntask {
         let task = h.tasks[r].clone();
@@ -525,10 +603,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         let dev_idx = r % contexts.len();
         let cc = &contexts[dev_idx];
         let stream = cc.stream_create();
-        // Fault-free GVM pre-allocates at boot (Fig. 8); the fault-tolerant
-        // one overcommits and allocates at first SND so an OOM can be
-        // answered with a NAK instead of a boot-time panic.
-        let gpu = if ft.is_none() {
+        let gpu = if !lazy_alloc {
             let dev_base = cc
                 .malloc(task.device_bytes.max(1))
                 .expect("GVM device allocation");
@@ -538,6 +613,33 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         } else {
             None
         };
+        // With quota accounting on, an eager boot allocation is charged
+        // (and its quota declared) right here; the lazy path declares at
+        // REQ and charges at first SND.
+        let mut charged = 0u64;
+        if cfg.quotas.is_some() && gpu.is_some() {
+            let bytes = task.device_bytes.max(1);
+            let quota = cfg.quota_for(r);
+            let cap = cudas[dev_idx].device().with_memory(|m| m.capacity());
+            ctx.tracer()
+                .record_analysis(gv_sim::AnalysisRecord::QuotaSet {
+                    time: ctx.now(),
+                    gvm: endpoints.gvm.clone(),
+                    rank: r,
+                    quota: quota.resolve(cap).unwrap_or(0),
+                    demand: bytes,
+                });
+            charged = bytes;
+            cudas[dev_idx].device().with_memory(|m| m.charge(bytes));
+            ctx.tracer()
+                .record_analysis(gv_sim::AnalysisRecord::QuotaCharge {
+                    time: ctx.now(),
+                    gvm: endpoints.gvm.clone(),
+                    rank: r,
+                    bytes,
+                    charged,
+                });
+        }
         // Pinned staging is leased per round from the shared pool (at SND
         // for input, at flush for output) instead of allocated per rank
         // here — recycled leases make steady-state rounds allocation-free.
@@ -561,6 +663,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             rounds_done: 0,
             task,
             state: RankState::Active,
+            charged,
             last_seq: 0,
             last_resp: None,
         });
@@ -751,33 +854,92 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         if ranks[r].state != RankState::Active {
             h.stats.lock().naks += 1;
             let _ = ranks[r].resp.send(ctx, Response::nak(req.seq));
-            ranks[r].last_resp = Some(ResponseKind::Nak);
+            ranks[r].last_resp = Some(ResponseKind::Nak(NakReason::Evicted));
             continue;
         }
 
         match req.kind {
             RequestKind::Req => {
                 // "Provides Virtual and GPU Resource" — pre-created at init
-                // (fault-free) or deferred to SND (fault-tolerant).
+                // (fault-free) or deferred to SND (fault-tolerant). On the
+                // lazy path the quota is declared and enforced here: a
+                // session whose declared demand cannot ever fit its quota
+                // is refused at admission, not after staging work.
+                if cfg.quotas.is_some() && lazy_alloc {
+                    let demand = ranks[r].task.device_bytes.max(1);
+                    let dev_idx = ranks[r].dev_idx;
+                    let cap = cudas[dev_idx].device().with_memory(|m| m.capacity());
+                    let quota = cfg.quota_for(r);
+                    ctx.tracer()
+                        .record_analysis(gv_sim::AnalysisRecord::QuotaSet {
+                            time: ctx.now(),
+                            gvm: h.endpoints.gvm.clone(),
+                            rank: r,
+                            quota: quota.resolve(cap).unwrap_or(0),
+                            demand,
+                        });
+                    if !quota.admits(demand, cap) {
+                        ctx.tracer().fault(ctx.now(), format!("quota-nak:rank{r}"));
+                        {
+                            let mut stats = h.stats.lock();
+                            stats.naks += 1;
+                            stats.quota_naks += 1;
+                        }
+                        send_recorded(
+                            ctx,
+                            &mut ranks[r],
+                            Response::nak_reason(req.seq, NakReason::OverQuota),
+                        );
+                        evict(
+                            ctx,
+                            &h,
+                            &cudas,
+                            &contexts,
+                            &mut ranks,
+                            &mut str_waiting,
+                            &mut ml,
+                            r,
+                        );
+                        finished += 1;
+                        let active = active_count(&ranks);
+                        let groups = scheduler.on_membership(&str_waiting, active);
+                        dispatch_groups(
+                            ctx,
+                            &h,
+                            &contexts,
+                            &mut ranks,
+                            &mut str_waiting,
+                            &mut batch_start,
+                            &mut ml,
+                            groups,
+                        );
+                        continue;
+                    }
+                }
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
             }
             RequestKind::Snd => {
-                // Fault-tolerant GVMs allocate device memory here; an OOM
-                // becomes a NAK + eviction instead of a wedge. Allocations
-                // parked by earlier evictions are reused before touching
-                // the device allocator.
-                if ft.is_some() && ranks[r].gpu.is_none() {
+                // Lazy GVMs (fault-tolerant or finite-quota) allocate
+                // device memory here; an OOM becomes a NAK + eviction
+                // instead of a wedge. Allocations parked by earlier
+                // evictions are reused before touching the device
+                // allocator, and with swap enabled a miss may evict idle
+                // parked working sets to host staging to make room.
+                if lazy_alloc && ranks[r].gpu.is_none() {
                     let dev_bytes = ranks[r].task.device_bytes.max(1);
                     let dev_idx = ranks[r].dev_idx;
+                    let stream = ranks[r].stream;
+                    let numa = ranks[r].numa;
+                    let functional = ranks[r].task.is_functional();
                     let base = match ml.devcache.take(dev_idx, dev_bytes) {
-                        Some(ptr) => {
+                        Some(CachedAlloc::Resident(ptr)) => {
                             // A recycled allocation must look fresh to a
                             // functional task: untouched device memory
                             // reads as zeroes, so restore that. The
                             // restore goes through the same chunked
                             // planner as payload transfers, so the
                             // staging checker audits its tiling too.
-                            if ranks[r].task.is_functional() {
+                            if functional {
                                 let (xfer, spans) = ml.plan(ctx.tracer(), r, dev_bytes);
                                 let zeros = vec![0u8; dev_bytes as usize];
                                 for span in &spans {
@@ -806,12 +968,111 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             }
                             Ok(ptr)
                         }
-                        None => contexts[dev_idx].malloc(dev_bytes),
+                        Some(CachedAlloc::Swapped(lease)) => {
+                            // Re-admit a swapped-out working set: allocate
+                            // device memory (demand-swapping others if
+                            // needed), restore the staged bytes through
+                            // the chunked planner, and only then return
+                            // the lease to the pool.
+                            match alloc_with_swap(
+                                ctx, &h, &cudas, &contexts, &mut ml, r, dev_idx, stream, numa,
+                                dev_bytes,
+                            ) {
+                                Ok(ptr) => {
+                                    let (xfer, spans) = ml.plan(ctx.tracer(), r, dev_bytes);
+                                    for span in &spans {
+                                        let cmd = contexts[dev_idx]
+                                            .memcpy_h2d_async_at(
+                                                ctx,
+                                                stream,
+                                                lease.buffer(),
+                                                span.offset,
+                                                ptr.add(span.offset),
+                                                span.len,
+                                            )
+                                            .expect("swap-in H2D submit");
+                                        gv_mem::record_chunk(
+                                            ctx.tracer(),
+                                            cudas[dev_idx].device().tracer_ordinal(),
+                                            r,
+                                            xfer,
+                                            true,
+                                            *span,
+                                            dev_bytes,
+                                            lease.id(),
+                                            format!("cmd-{}", cmd.id),
+                                        );
+                                    }
+                                    // Recycle only after the restore
+                                    // copies completed (no use-after-
+                                    // recycle on the staging buffer).
+                                    contexts[dev_idx].stream_synchronize(ctx, stream);
+                                    ctx.tracer()
+                                        .record_analysis(gv_sim::AnalysisRecord::SwapIn {
+                                            time: ctx.now(),
+                                            gvm: h.endpoints.gvm.clone(),
+                                            device: cudas[dev_idx].device().tracer_ordinal(),
+                                            buf: lease.id(),
+                                            bytes: dev_bytes,
+                                        });
+                                    {
+                                        let mut stats = h.stats.lock();
+                                        stats.swap_ins += 1;
+                                        stats.swapped_in_bytes += dev_bytes;
+                                    }
+                                    ml.pool.recycle(ctx.tracer(), lease);
+                                    // The restored bytes belonged to the
+                                    // entry's previous owner; a functional
+                                    // task needs fresh zeroes, same as the
+                                    // resident-recycle path.
+                                    if functional {
+                                        let (zxfer, zspans) = ml.plan(ctx.tracer(), r, dev_bytes);
+                                        let zeros = vec![0u8; dev_bytes as usize];
+                                        for span in &zspans {
+                                            cudas[dev_idx]
+                                                .device()
+                                                .with_memory(|m| {
+                                                    m.write_bytes(
+                                                        ptr.add(span.offset),
+                                                        &zeros[span.offset as usize
+                                                            ..(span.offset + span.len) as usize],
+                                                    )
+                                                })
+                                                .expect("zero swapped-in allocation");
+                                            gv_mem::record_chunk(
+                                                ctx.tracer(),
+                                                cudas[dev_idx].device().tracer_ordinal(),
+                                                r,
+                                                zxfer,
+                                                true,
+                                                *span,
+                                                dev_bytes,
+                                                0,
+                                                String::new(),
+                                            );
+                                        }
+                                    }
+                                    Ok(ptr)
+                                }
+                                Err(e) => {
+                                    // Park the working set back so its
+                                    // bytes are not lost with the lease.
+                                    ml.devcache
+                                        .park_swapped(dev_idx, dev_bytes, lease, ctx.now());
+                                    Err(e)
+                                }
+                            }
+                        }
+                        None => alloc_with_swap(
+                            ctx, &h, &cudas, &contexts, &mut ml, r, dev_idx, stream, numa,
+                            dev_bytes,
+                        ),
                     };
                     match base {
                         Ok(dev_base) => {
                             let kernels = ranks[r].task.bind_kernels(dev_base);
                             ranks[r].gpu = Some(RankGpuAlloc { dev_base, kernels });
+                            quota_charge(ctx, &h, &cudas, &mut ranks[r], r, dev_bytes);
                         }
                         Err(_) => {
                             ctx.tracer().fault(ctx.now(), format!("oom-nak:rank{r}"));
@@ -819,7 +1080,11 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                                 let mut stats = h.stats.lock();
                                 stats.naks += 1;
                             }
-                            send_recorded(ctx, &mut ranks[r], Response::nak(req.seq));
+                            send_recorded(
+                                ctx,
+                                &mut ranks[r],
+                                Response::nak_reason(req.seq, NakReason::Oom),
+                            );
                             evict(
                                 ctx,
                                 &h,
@@ -1050,21 +1315,29 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                 {
                     let rank = &mut ranks[r];
                     let idle = contexts[rank.dev_idx].stream_query(rank.stream);
-                    // Under fault tolerance a released rank's device
-                    // allocation is parked in the same cache the evict
-                    // path feeds, so a later admission of the same shape
-                    // (e.g. a second scheduling wave) reuses it instead
-                    // of paying cudaMalloc again. Fault-free GVMs keep
-                    // the seed behavior: allocations live to shutdown.
-                    if ft.is_some() && idle {
+                    // Under lazy allocation (fault tolerance or finite
+                    // quotas) a released rank's device allocation is
+                    // parked in the same cache the evict path feeds, so a
+                    // later admission of the same shape (e.g. a second
+                    // scheduling wave) reuses it instead of paying
+                    // cudaMalloc again — and so demand-swap has idle
+                    // working sets to evict. Fault-free unlimited GVMs
+                    // keep the seed behavior: allocations live to
+                    // shutdown.
+                    if lazy_alloc && idle {
                         if let Some(gpu) = rank.gpu.take() {
                             ml.devcache.put(
                                 rank.dev_idx,
                                 rank.task.device_bytes.max(1),
                                 gpu.dev_base,
+                                ctx.now(),
                             );
                         }
                     }
+                    // Releasing the session releases its quota charge
+                    // (the parked allocation is cache capacity, not
+                    // session commitment).
+                    quota_credit_all(ctx, &h, &cudas, rank, r);
                     // A client that releases mid-cycle (after a prefetch,
                     // before the round it fed) leaves staged leases
                     // behind; reclaim them once nothing references them.
@@ -1103,16 +1376,29 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     }
 
     // Free device resources still held (released ranks keep theirs until
-    // GVM shutdown; evicted ranks were reclaimed at eviction).
-    for rank in &ranks {
-        if let Some(gpu) = &rank.gpu {
-            let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
+    // GVM shutdown; evicted ranks were reclaimed at eviction), and settle
+    // any quota charge a rank still carries (a Closed-queue exit can leave
+    // sessions mid-cycle).
+    for r in 0..ranks.len() {
+        quota_credit_all(ctx, &h, &cudas, &mut ranks[r], r);
+        if let Some(gpu) = &ranks[r].gpu {
+            let _ = cudas[ranks[r].dev_idx].device().free(gpu.dev_base);
         }
     }
     // Return parked device allocations with real frees so the device's
-    // alloc/free balance (and `used() == 0`) holds at shutdown.
-    for (dev, _bytes, ptr) in ml.devcache.drain() {
-        let _ = cudas[dev].device().free(ptr);
+    // alloc/free balance (and `used() == 0`) holds at shutdown; swapped
+    // entries hold no device memory, their staging leases go back to the
+    // pool (`PoolRecycle` is the retirement marker the quota checker
+    // matches against outstanding swap-outs).
+    for (dev, _bytes, state) in ml.devcache.drain() {
+        match state {
+            CachedAlloc::Resident(ptr) => {
+                let _ = cudas[dev].device().free(ptr);
+            }
+            CachedAlloc::Swapped(lease) => {
+                ml.pool.recycle(ctx.tracer(), lease);
+            }
+        }
     }
     {
         let ps = ml.pool.stats();
@@ -1137,6 +1423,142 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
 fn send_recorded(ctx: &mut Ctx, rank: &mut RankResources, resp: Response) {
     rank.last_resp = Some(resp.kind);
     let _ = rank.resp.send(ctx, resp);
+}
+
+/// Charge `bytes` against rank `r`'s quota meter, the device's commitment
+/// ledger, and the analysis stream. No-op when quota accounting is off.
+fn quota_charge(
+    ctx: &Ctx,
+    h: &GvmHandle,
+    cudas: &[CudaDevice],
+    rank: &mut RankResources,
+    r: usize,
+    bytes: u64,
+) {
+    if h.config.quotas.is_none() {
+        return;
+    }
+    rank.charged += bytes;
+    cudas[rank.dev_idx]
+        .device()
+        .with_memory(|m| m.charge(bytes));
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::QuotaCharge {
+            time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
+            rank: r,
+            bytes,
+            charged: rank.charged,
+        });
+}
+
+/// Release everything rank `r` still has charged against its quota (at
+/// `RLS`, eviction, or GVM shutdown). No-op when nothing is charged.
+fn quota_credit_all(
+    ctx: &Ctx,
+    h: &GvmHandle,
+    cudas: &[CudaDevice],
+    rank: &mut RankResources,
+    r: usize,
+) {
+    if rank.charged == 0 {
+        return;
+    }
+    let bytes = std::mem::take(&mut rank.charged);
+    cudas[rank.dev_idx]
+        .device()
+        .with_memory(|m| m.credit(bytes));
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::QuotaCredit {
+            time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
+            rank: r,
+            bytes,
+            charged: 0,
+        });
+}
+
+/// Allocate `bytes` on `dev_idx` for rank `r`, demand-swapping idle parked
+/// working sets (LRU-first) out to pooled pinned host staging until the
+/// allocation fits — when [`GvmConfig::swap`] is on; a plain `malloc`
+/// otherwise. The requesting rank's (idle) stream carries the D2H copies,
+/// and each victim's device memory is freed only after its copies
+/// completed, so no copy ever references freed memory.
+#[allow(clippy::too_many_arguments)]
+fn alloc_with_swap(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    cudas: &[CudaDevice],
+    contexts: &[gv_cuda::CudaContext],
+    ml: &mut MemLayer,
+    r: usize,
+    dev_idx: usize,
+    stream: gv_gpu::StreamId,
+    numa: usize,
+    bytes: u64,
+) -> Result<DevicePtr, gv_cuda::CudaError> {
+    loop {
+        let err = match contexts[dev_idx].malloc(bytes) {
+            Ok(ptr) => return Ok(ptr),
+            Err(e) => e,
+        };
+        if !h.config.swap {
+            return Err(err);
+        }
+        // Pick the coldest resident parked allocation on this device; if
+        // nothing is parked there is nothing left to swap and the OOM is
+        // final.
+        let Some((vbytes, vptr, vstamp)) = ml.devcache.lru_resident(dev_idx) else {
+            return Err(err);
+        };
+        // Stage the victim's bytes into an opaque pool lease through the
+        // chunked planner (the staging checker audits the tiling like any
+        // other transfer), then free the device memory and re-park the
+        // entry as swapped with its LRU stamp preserved. `acquire_on`
+        // never blocks, so admission backpressure cannot deadlock against
+        // a swap in progress.
+        let lease = ml.pool.acquire_on(ctx.tracer(), vbytes, false, numa);
+        let (xfer, spans) = ml.plan(ctx.tracer(), r, vbytes);
+        for span in &spans {
+            let cmd = contexts[dev_idx]
+                .memcpy_d2h_async_at(
+                    ctx,
+                    stream,
+                    vptr.add(span.offset),
+                    lease.buffer(),
+                    span.offset,
+                    span.len,
+                )
+                .expect("swap-out D2H submit");
+            gv_mem::record_chunk(
+                ctx.tracer(),
+                cudas[dev_idx].device().tracer_ordinal(),
+                r,
+                xfer,
+                false,
+                *span,
+                vbytes,
+                lease.id(),
+                format!("cmd-{}", cmd.id),
+            );
+        }
+        contexts[dev_idx].stream_synchronize(ctx, stream);
+        let _ = cudas[dev_idx].device().free(vptr);
+        ctx.tracer()
+            .record_analysis(gv_sim::AnalysisRecord::SwapOut {
+                time: ctx.now(),
+                gvm: h.endpoints.gvm.clone(),
+                device: cudas[dev_idx].device().tracer_ordinal(),
+                buf: lease.id(),
+                bytes: vbytes,
+            });
+        {
+            let mut stats = h.stats.lock();
+            stats.swap_outs += 1;
+            stats.swapped_out_bytes += vbytes;
+        }
+        ml.devcache.park_swapped(dev_idx, vbytes, lease, vstamp);
+    }
 }
 
 /// Evict `r`: reclaim its device memory, close and unlink its response
@@ -1164,12 +1586,17 @@ fn evict(
     let idle = contexts[rank.dev_idx].stream_query(rank.stream);
     if let Some(gpu) = rank.gpu.take() {
         if idle {
-            ml.devcache
-                .put(rank.dev_idx, rank.task.device_bytes.max(1), gpu.dev_base);
+            ml.devcache.put(
+                rank.dev_idx,
+                rank.task.device_bytes.max(1),
+                gpu.dev_base,
+                ctx.now(),
+            );
         } else {
             let _ = cudas[rank.dev_idx].device().free(gpu.dev_base);
         }
     }
+    quota_credit_all(ctx, h, cudas, rank, r);
     if idle {
         if let Some(l) = rank.pinned_in.take() {
             ml.pool.recycle(ctx.tracer(), l);

@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod fault;
 pub mod gvm;
 pub mod protocol;
+pub mod quota;
 pub mod remote;
 pub mod sched;
 
@@ -40,7 +41,8 @@ pub use cluster::{
 pub use fault::{FaultPlan, FaultSpec, PlanParseError, QueueSel};
 pub use gv_mem::{MemConfig, PipelineConfig};
 pub use gvm::{FtConfig, Gvm, GvmConfig, GvmHandle, GvmStats};
-pub use protocol::{Endpoints, Request, RequestKind, Response, ResponseKind, TaskRun};
+pub use protocol::{Endpoints, NakReason, Request, RequestKind, Response, ResponseKind, TaskRun};
+pub use quota::MemQuota;
 pub use remote::{RemoteClient, RemoteConfig, RemoteGpuDaemon, RemoteGpuHandle};
 pub use sched::{SchedPolicy, Scheduler};
 

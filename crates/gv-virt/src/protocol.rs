@@ -78,6 +78,29 @@ pub struct Request {
     pub seq: u64,
 }
 
+/// Why the GVM permanently rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NakReason {
+    /// The rank was (or is being) evicted from the session.
+    Evicted,
+    /// Device memory could not be provided even after demand-swapping.
+    Oom,
+    /// The session's device-memory demand exceeds its admission quota;
+    /// the GVM never silently exceeds a quota.
+    OverQuota,
+}
+
+impl NakReason {
+    /// Short diagnostic label, e.g. `"over-quota"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            NakReason::Evicted => "evicted",
+            NakReason::Oom => "oom",
+            NakReason::OverQuota => "over-quota",
+        }
+    }
+}
+
 /// What the GVM answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResponseKind {
@@ -85,9 +108,10 @@ pub enum ResponseKind {
     Ack,
     /// Execution still in progress (answer to `STP` only).
     Wait,
-    /// Request permanently rejected — the rank was evicted or its
-    /// resources could not be provided; retrying is pointless.
-    Nak,
+    /// Request permanently rejected — the rank was evicted, its resources
+    /// could not be provided, or its quota was exceeded; retrying is
+    /// pointless. Carries the reason for client-side reporting.
+    Nak(NakReason),
 }
 
 /// A response message from the GVM, echoing the request's sequence number
@@ -117,11 +141,16 @@ impl Response {
         }
     }
 
-    /// A `NAK` for request `seq`.
+    /// An eviction `NAK` for request `seq`.
     pub fn nak(seq: u64) -> Response {
+        Response::nak_reason(seq, NakReason::Evicted)
+    }
+
+    /// A `NAK` for request `seq` carrying an explicit reason.
+    pub fn nak_reason(seq: u64, reason: NakReason) -> Response {
         Response {
             seq,
-            kind: ResponseKind::Nak,
+            kind: ResponseKind::Nak(reason),
         }
     }
 }
@@ -233,8 +262,12 @@ mod tests {
             Response::nak(9),
             Response {
                 seq: 9,
-                kind: ResponseKind::Nak
+                kind: ResponseKind::Nak(NakReason::Evicted)
             }
+        );
+        assert_eq!(
+            Response::nak_reason(9, NakReason::OverQuota).kind,
+            ResponseKind::Nak(NakReason::OverQuota)
         );
     }
 

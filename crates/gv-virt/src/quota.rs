@@ -1,0 +1,84 @@
+//! Per-VGPU / per-tenant device-memory quotas.
+//!
+//! A [`MemQuota`] caps how many device bytes one VGPU session may have
+//! charged at a time, either absolutely or as a fraction of the device it
+//! lands on. It travels on a [`VgpuRequest`](crate::cluster::VgpuRequest)
+//! (so the placement planner can refuse infeasible placements up front)
+//! and on [`GvmConfig`](crate::gvm::GvmConfig) (so the GVM enforces it at
+//! `REQ`/`SND` admission — reject with a `NAK`, never silently exceed).
+//!
+//! Quotas are what make oversubscription safe: with per-session caps in
+//! place, the GVM can admit sessions whose *summed* demand exceeds VRAM
+//! and demand-swap idle working sets to pinned host staging, because no
+//! single session can run the device out from under the others.
+
+/// A device-memory cap for one VGPU session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemQuota {
+    /// No cap: the session may charge up to the whole device.
+    #[default]
+    Unlimited,
+    /// Absolute cap in bytes.
+    Bytes(u64),
+    /// Cap as a percentage of the target device's capacity, 1–100.
+    /// `Percent(25)` on a 6 GiB device resolves to 1.5 GiB.
+    Percent(u8),
+}
+
+impl MemQuota {
+    /// Resolve the cap against a device of `device_bytes` capacity.
+    /// `None` means unlimited; `Some(cap)` is the byte limit to enforce.
+    pub fn resolve(self, device_bytes: u64) -> Option<u64> {
+        match self {
+            MemQuota::Unlimited => None,
+            MemQuota::Bytes(b) => Some(b),
+            MemQuota::Percent(p) => {
+                Some((u128::from(device_bytes) * u128::from(p.min(100)) / 100) as u64)
+            }
+        }
+    }
+
+    /// True when this quota imposes no cap on any device.
+    pub fn is_unlimited(self) -> bool {
+        matches!(self, MemQuota::Unlimited) || matches!(self, MemQuota::Percent(p) if p >= 100)
+    }
+
+    /// Whether `demand` bytes fit under this quota on a device of
+    /// `device_bytes` capacity.
+    pub fn admits(self, demand: u64, device_bytes: u64) -> bool {
+        match self.resolve(device_bytes) {
+            None => true,
+            Some(cap) => demand <= cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_per_variant() {
+        assert_eq!(MemQuota::Unlimited.resolve(1 << 30), None);
+        assert_eq!(MemQuota::Bytes(4096).resolve(1 << 30), Some(4096));
+        assert_eq!(MemQuota::Percent(25).resolve(6 << 30), Some((6 << 30) / 4));
+        assert_eq!(MemQuota::Percent(200).resolve(100), Some(100), "clamped");
+    }
+
+    #[test]
+    fn admits_compares_against_the_resolved_cap() {
+        assert!(MemQuota::Unlimited.admits(u64::MAX, 1));
+        assert!(MemQuota::Bytes(4096).admits(4096, 1 << 30));
+        assert!(!MemQuota::Bytes(4096).admits(4097, 1 << 30));
+        assert!(MemQuota::Percent(50).admits(512, 1024));
+        assert!(!MemQuota::Percent(50).admits(513, 1024));
+    }
+
+    #[test]
+    fn unlimited_detection() {
+        assert!(MemQuota::Unlimited.is_unlimited());
+        assert!(MemQuota::Percent(100).is_unlimited());
+        assert!(!MemQuota::Percent(99).is_unlimited());
+        assert!(!MemQuota::Bytes(u64::MAX).is_unlimited());
+    }
+}

@@ -13,7 +13,7 @@ use gvirt::gpu::{DeviceConfig, GpuDevice};
 use gvirt::ipc::{Node, NodeConfig};
 use gvirt::kernels::{Benchmark, BenchmarkId};
 use gvirt::sim::{AnalysisRecord, Simulation};
-use gvirt::virt::{Cluster, ClusterConfig, PlacePolicy, VgpuRequest};
+use gvirt::virt::{Cluster, ClusterConfig, MemQuota, PlacePolicy, VgpuRequest};
 
 /// Run a 2-device cluster with a mix of singletons and one 3-session
 /// gang; returns the analysis records of the full run.
@@ -34,6 +34,7 @@ fn cluster_trace(policy: PlacePolicy) -> Vec<AnalysisRecord> {
             // Gang members must share a tenant; singletons alternate.
             tenant: if i >= 3 { 1 } else { i % 2 },
             gang: (i >= 3).then_some(1),
+            quota: MemQuota::Unlimited,
             task: task.clone(),
         })
         .collect();
@@ -86,6 +87,7 @@ fn multi_wave_cluster_run_analyzes_clean() {
             id: i,
             tenant: 0,
             gang: None,
+            quota: MemQuota::Unlimited,
             task: task.clone(),
         })
         .collect();

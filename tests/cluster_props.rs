@@ -24,6 +24,7 @@ use gvirt::gpu::KernelDesc;
 use gvirt::kernels::{GpuTask, KernelTemplate, WorkloadClass};
 use gvirt::sim::SimDuration;
 use gvirt::virt::cluster::{plan, Admission, ClusterPlan, DeviceCap, PlacePolicy, VgpuRequest};
+use gvirt::virt::MemQuota;
 use proptest::prelude::*;
 
 fn task(mem: u64) -> GpuTask {
@@ -51,6 +52,7 @@ fn requests_from(specs: &[(u64, u8, u8)]) -> Vec<VgpuRequest> {
             id: i as u64,
             tenant: tenant as u64,
             gang: (gang_sel < 3).then(|| tenant as u64 * 8 + gang_sel as u64),
+            quota: MemQuota::Unlimited,
             task: task((1 + mem_sel) * 100),
         })
         .collect()

@@ -15,8 +15,8 @@ use gvirt::ipc::{AffinityError, Node, NodeConfig};
 use gvirt::kernels::vecadd;
 use gvirt::sim::{SimDuration, SimError, SimTime, Simulation};
 use gvirt::virt::{
-    run_direct_abortable, ClientPolicy, FaultPlan, FaultSpec, Gvm, GvmConfig, GvmHandle, QueueSel,
-    RequestKind, TaskError, VgpuClient,
+    run_direct_abortable, ClientPolicy, FaultPlan, FaultSpec, Gvm, GvmConfig, GvmHandle, NakReason,
+    QueueSel, RequestKind, TaskError, VgpuClient,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -459,7 +459,8 @@ fn oom_mid_snd_evicts_only_the_loser() {
             matches!(
                 res,
                 Err(TaskError::Rejected {
-                    stage: RequestKind::Snd
+                    stage: RequestKind::Snd,
+                    reason: NakReason::Oom
                 })
             )
         })

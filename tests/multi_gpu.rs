@@ -8,7 +8,7 @@ use gvirt::ipc::{Node, NodeConfig};
 use gvirt::kernels::{Benchmark, BenchmarkId, GpuTask};
 use gvirt::prelude::{ExecutionMode, Scenario};
 use gvirt::sim::{SimDuration, Simulation};
-use gvirt::virt::{Cluster, ClusterConfig, PlacePolicy, VgpuRequest};
+use gvirt::virt::{Cluster, ClusterConfig, MemQuota, PlacePolicy, VgpuRequest};
 
 /// Run `n` single-tenant sessions of `task` over `ngpus` devices under
 /// `policy`; returns (makespan_ms, per-device kernel counts).
@@ -25,6 +25,7 @@ fn run_cluster(task: &GpuTask, n: usize, ngpus: usize, policy: PlacePolicy) -> (
             id: i as u64,
             tenant: 0,
             gang: None,
+            quota: MemQuota::Unlimited,
             task: task.clone(),
         })
         .collect();

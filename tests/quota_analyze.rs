@@ -1,0 +1,227 @@
+//! `gv-analyze` coverage for device-memory quota and demand-swap traces.
+//!
+//! End-to-end: a real over-committed GVM run — four quota'd sessions
+//! squeezed through a device that holds only one working set at a time —
+//! emits `QuotaSet`/`QuotaCharge`/`QuotaCredit` and `SwapOut`/`SwapIn`
+//! records and analyzes clean. Corrupting that *same* real stream — an
+//! over-quota charge, or a restore from a buffer with no outstanding
+//! swap-out — produces exactly one diagnostic per seeded fault. The dump
+//! format round-trips every quota record byte-for-byte.
+
+use gvirt::analyze;
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{DeviceConfig, GpuDevice};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::vecadd;
+use gvirt::sim::{AnalysisRecord, SimDuration, Simulation};
+use gvirt::virt::{Gvm, GvmConfig, MemQuota, SchedPolicy, VgpuClient};
+
+/// Run four quota'd, staggered FCFS sessions against a device sized to
+/// hold one working set plus half the smallest — rank 1 must demand-swap
+/// rank 0's parked set out, and rank 3 (same shape as rank 0) must swap
+/// it back in. Returns the analysis records of the full run.
+fn quota_trace() -> Vec<AnalysisRecord> {
+    let mut sim = Simulation::new();
+    let tracer = sim.tracer();
+    tracer.set_analysis(true);
+    let elems = [48usize, 40, 40, 48];
+    let mut cfg = DeviceConfig::tesla_c2070_paper();
+    // vecadd's device working set is 12 bytes/element: no two sets fit.
+    let sets: Vec<u64> = elems.iter().map(|&n| 12 * n as u64).collect();
+    cfg.global_mem_bytes =
+        sets.iter().copied().max().unwrap() + sets.iter().copied().min().unwrap() / 2;
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let cuda = CudaDevice::new(device.clone());
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+
+    let inputs: Vec<(Vec<f32>, Vec<f32>)> = elems
+        .iter()
+        .enumerate()
+        .map(|(r, &n)| {
+            let a: Vec<f32> = (0..n).map(|i| (i + r * 100) as f32).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i * 3) as f32).collect();
+            (a, b)
+        })
+        .collect();
+    let tasks: Vec<_> = inputs
+        .iter()
+        .map(|(a, b)| vecadd::functional_task(&cfg, a, b))
+        .collect();
+    let quotas: Vec<MemQuota> = tasks
+        .iter()
+        .map(|t| MemQuota::Bytes(t.device_bytes))
+        .collect();
+    let config = GvmConfig::new(tasks.len())
+        .with_scheduler(SchedPolicy::Fcfs)
+        .with_quotas(quotas)
+        .with_swap();
+    let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
+
+    for (rank, (a, b)) in inputs.into_iter().enumerate() {
+        let handle = handle.clone();
+        // Rank 0 parks first; ranks 1 and 2 displace it; rank 3 (rank 0's
+        // shape) restores it from staging.
+        let hold = [0u64, 5, 10, 15][rank];
+        node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+            let client = VgpuClient::connect(ctx, &handle, rank);
+            if hold > 0 {
+                ctx.hold(SimDuration::from_millis(hold));
+            }
+            let (_, out) = client
+                .try_run_task(ctx)
+                .expect("over-committed but swap-backed session must be admitted");
+            let got = vecadd::decode_output(&out.expect("functional output"));
+            assert_eq!(got, vecadd::reference(&a, &b), "rank {rank} output");
+        })
+        .expect("pin SPMD process");
+    }
+    let h = handle.clone();
+    let dev = device.clone();
+    sim.spawn("supervisor", move |ctx| {
+        h.done.wait(ctx);
+        dev.shutdown(ctx);
+    });
+    sim.run().unwrap();
+    tracer.analysis_snapshot()
+}
+
+/// The real over-committed trace passes every checker, and the quota and
+/// swap records are actually present: one `QuotaSet` per rank, charges,
+/// credits, at least one demand-swap out and one restore.
+#[test]
+fn fault_free_quota_swap_run_analyzes_clean() {
+    let records = quota_trace();
+    let report = analyze::analyze(&records);
+    assert!(
+        report.is_clean(),
+        "diagnostics on a clean quota run:\n{}",
+        report.render()
+    );
+    assert!(report.quota_events > 0, "no quota events counted");
+    let count = |f: fn(&AnalysisRecord) -> bool| records.iter().filter(|r| f(r)).count();
+    assert_eq!(
+        count(|r| matches!(r, AnalysisRecord::QuotaSet { .. })),
+        4,
+        "one declaration per rank"
+    );
+    assert!(count(|r| matches!(r, AnalysisRecord::QuotaCharge { .. })) >= 4);
+    assert!(count(|r| matches!(r, AnalysisRecord::QuotaCredit { .. })) >= 4);
+    assert!(
+        count(|r| matches!(r, AnalysisRecord::SwapOut { .. })) >= 1,
+        "over-commit must demand-swap"
+    );
+    assert!(
+        count(|r| matches!(r, AnalysisRecord::SwapIn { .. })) >= 1,
+        "rank 3 must restore rank 0's shape"
+    );
+}
+
+/// Inflating one rank's charge past its declared quota (credit inflated
+/// to match, so the ledger stays arithmetically consistent and the bound
+/// violation is the only fault) yields exactly one `quota` diagnostic.
+#[test]
+fn seeded_over_quota_charge_is_one_diagnostic() {
+    let mut records = quota_trace();
+    let victim = records
+        .iter()
+        .find_map(|r| match r {
+            AnalysisRecord::QuotaSet { rank, quota, .. } if *quota > 0 => Some((*rank, *quota)),
+            _ => None,
+        })
+        .expect("trace declares finite quotas");
+    let (rank, quota) = victim;
+    let mut bumped_charge = false;
+    for r in records.iter_mut() {
+        match r {
+            AnalysisRecord::QuotaCharge {
+                rank: rr,
+                bytes,
+                charged,
+                ..
+            } if *rr == rank && !bumped_charge => {
+                *bytes += quota;
+                *charged += quota;
+                bumped_charge = true;
+            }
+            AnalysisRecord::QuotaCredit {
+                rank: rr,
+                bytes,
+                charged,
+                ..
+            } if *rr == rank => {
+                // The matching credit returns the same inflated amount;
+                // `charged` is already the post-credit total (zero).
+                *bytes += quota;
+                let _ = charged;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(bumped_charge, "trace has a charge for the victim rank");
+
+    let report = analyze::analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "want exactly the quota-bound violation:\n{}",
+        report.render()
+    );
+    assert_eq!(report.diagnostics[0].checker, "quota");
+    assert!(
+        report.diagnostics[0]
+            .message
+            .contains(&format!("exceeds its quota {quota}")),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+/// Replaying a real `SwapIn` a second time — restoring from a staging
+/// buffer whose swap-out is no longer outstanding — yields exactly one
+/// `use-after-swap-out` diagnostic.
+#[test]
+fn seeded_use_after_swap_out_is_one_diagnostic() {
+    let mut records = quota_trace();
+    let at = records
+        .iter()
+        .position(|r| matches!(r, AnalysisRecord::SwapIn { .. }))
+        .expect("trace has a swap-in");
+    let dup = records[at].clone();
+    records.insert(at + 1, dup);
+
+    let report = analyze::analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "want exactly the use-after-swap-out:\n{}",
+        report.render()
+    );
+    assert_eq!(report.diagnostics[0].checker, "quota");
+    assert!(
+        report.diagnostics[0].message.contains("use-after-swap-out"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+/// Quota and swap records survive the line-oriented dump format: text →
+/// records → identical report, and re-dumping is byte-stable.
+#[test]
+fn quota_records_roundtrip_through_dump() {
+    let records = quota_trace();
+    let dump = analyze::model::to_dump(&records);
+    for tag in ["qset", "qcharge", "qcredit", "swapout", "swapin"] {
+        assert!(
+            dump.lines().any(|l| l.starts_with(tag)),
+            "dump is missing {tag} lines"
+        );
+    }
+    let parsed = analyze::model::parse_dump(&dump).expect("dump parses");
+    assert_eq!(analyze::model::to_dump(&parsed), dump, "dump not stable");
+    let a = analyze::analyze(&records);
+    let b = analyze::analyze(&parsed);
+    assert_eq!(a.diagnostics, b.diagnostics);
+    assert_eq!(a.quota_events, b.quota_events);
+    assert!(a.quota_events > 0);
+}

@@ -1,0 +1,332 @@
+//! Property tests for device-memory quotas and demand-swap.
+//!
+//! Over randomized working-set shapes, quota assignments, device
+//! capacities, arrival skews, and swap on/off:
+//!
+//! * a rank's charged total never exceeds its finite quota, and every
+//!   charge/credit record's running total is arithmetically consistent —
+//!   the GVM rejects, it never silently exceeds;
+//! * every swap-out is balanced by exactly one swap-in or pool
+//!   retirement by the end of the run — demand-swap never leaks pinned
+//!   staging or restores a buffer twice;
+//! * an all-`Unlimited` quota vector is bitwise identical to running
+//!   with no quota vector at all: same functional outputs, same
+//!   non-quota analysis records — quota enforcement off is free.
+
+use gvirt::cuda::CudaDevice;
+use gvirt::gpu::{DeviceConfig, GpuDevice};
+use gvirt::ipc::{Node, NodeConfig};
+use gvirt::kernels::vecadd;
+use gvirt::sim::{AnalysisRecord, SimDuration, Simulation};
+use gvirt::virt::{Gvm, GvmConfig, MemQuota, SchedPolicy, VgpuClient};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything one randomized GVM run produced.
+struct RunOut {
+    records: Vec<AnalysisRecord>,
+    /// Per-rank: `Some(output)` if admitted and completed, `None` if the
+    /// GVM rejected the session.
+    outputs: Vec<Option<Vec<u8>>>,
+}
+
+/// Deterministic functional VectorAdd inputs for one rank.
+fn inputs_for(rank: usize, elems: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..elems).map(|i| (i * 2 + rank * 31) as f32).collect();
+    let b: Vec<f32> = (0..elems).map(|i| (i + rank * 7) as f32 * 0.5).collect();
+    (a, b)
+}
+
+/// Run one staggered FCFS group of functional VectorAdd sessions with
+/// the given quota vector, swap mode, and device capacity.
+fn run_gvm(
+    elems: &[usize],
+    quotas: Option<Vec<MemQuota>>,
+    swap: bool,
+    capacity: u64,
+    stagger_ms: u64,
+) -> RunOut {
+    let n = elems.len();
+    let mut sim = Simulation::new();
+    let tracer = sim.tracer();
+    tracer.set_analysis(true);
+    let cfg = DeviceConfig {
+        global_mem_bytes: capacity,
+        ..DeviceConfig::tesla_c2070_paper()
+    };
+    let device = GpuDevice::install(&mut sim, cfg.clone());
+    let cuda = CudaDevice::new(device.clone());
+    let node = Node::new(NodeConfig::dual_xeon_x5560());
+    let tasks: Vec<_> = elems
+        .iter()
+        .enumerate()
+        .map(|(r, &e)| {
+            let (a, b) = inputs_for(r, e);
+            vecadd::functional_task(&cfg, &a, &b)
+        })
+        .collect();
+    let mut config = GvmConfig::new(n).with_scheduler(SchedPolicy::Fcfs);
+    if let Some(q) = quotas {
+        config = config.with_quotas(q);
+    }
+    if swap {
+        config = config.with_swap();
+    }
+    let handle = Gvm::install(&mut sim, &node, &cuda, config, tasks);
+
+    type Outs = Arc<Mutex<Vec<(usize, Option<Vec<u8>>)>>>;
+    let outs: Outs = Arc::new(Mutex::new(Vec::new()));
+    for rank in 0..n {
+        let handle = handle.clone();
+        let outs = outs.clone();
+        let hold = SimDuration::from_millis(stagger_ms.saturating_mul(rank as u64));
+        node.spawn_pinned(&mut sim, rank, &format!("spmd-{rank}"), move |ctx| {
+            let client = VgpuClient::connect(ctx, &handle, rank);
+            if !hold.is_zero() {
+                ctx.hold(hold);
+            }
+            let out = client
+                .try_run_task(ctx)
+                .ok()
+                .map(|(_, o)| o.expect("functional task has output"));
+            outs.lock().push((rank, out));
+        })
+        .expect("pin SPMD process");
+    }
+    let h = handle.clone();
+    let dev = device.clone();
+    sim.spawn("supervisor", move |ctx| {
+        h.done.wait(ctx);
+        dev.shutdown(ctx);
+    });
+    sim.run().expect("quota group must complete");
+
+    let mut pairs = outs.lock().clone();
+    pairs.sort_by_key(|(r, _)| *r);
+    RunOut {
+        records: tracer.analysis_snapshot(),
+        outputs: pairs.into_iter().map(|(_, o)| o).collect(),
+    }
+}
+
+/// Strategy: 2–4 ranks with distinct small working sets, a quota per
+/// rank (rank 0 always finite so the quota-enforcing lazy path is on),
+/// a device capacity between one and two of the largest working set,
+/// and a random arrival skew.
+fn group_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<u8>, u64, bool, u64)> {
+    (
+        proptest::collection::vec(16usize..=64, 2..=4),
+        proptest::collection::vec(0u8..=4, 4),
+        0u64..=600,
+        any::<bool>(),
+        0u64..=8,
+    )
+}
+
+/// Resolve a quota selector for one rank: 0 → exactly its demand,
+/// 1 → half (rejected at admission), 2 → double, 3 → unlimited,
+/// 4 → 75% of device capacity.
+fn quota_for(sel: u8, demand: u64) -> MemQuota {
+    match sel {
+        0 => MemQuota::Bytes(demand),
+        1 => MemQuota::Bytes(demand / 2),
+        2 => MemQuota::Bytes(demand * 2),
+        3 => MemQuota::Unlimited,
+        _ => MemQuota::Percent(75),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Quota bound + ledger arithmetic over random groups: no charge
+    /// record ever exceeds a finite quota, every running total is
+    /// exactly the previous plus/minus the delta, and every rank's
+    /// balance returns to zero by the end of the run. Sessions whose
+    /// quota is below their demand are rejected, never trimmed.
+    #[test]
+    fn charges_never_exceed_quota_and_always_balance(
+        (elems, sels, extra, swap, stagger) in group_strategy()
+    ) {
+        let demands: Vec<u64> = elems.iter().map(|&e| 12 * e as u64).collect();
+        let capacity = demands.iter().copied().max().unwrap() + extra;
+        let quotas: Vec<MemQuota> = demands
+            .iter()
+            .enumerate()
+            // Rank 0 finite keeps the GVM on the quota-enforcing path.
+            .map(|(r, &d)| quota_for(if r == 0 { 0 } else { sels[r] }, d))
+            .collect();
+        let run = run_gvm(&elems, Some(quotas.clone()), swap, capacity, stagger);
+
+        let mut quota_of: HashMap<usize, u64> = HashMap::new();
+        let mut charged: HashMap<usize, u64> = HashMap::new();
+        for rec in &run.records {
+            match rec {
+                AnalysisRecord::QuotaSet { rank, quota, demand, .. } => {
+                    quota_of.insert(*rank, *quota);
+                    prop_assert_eq!(*demand, demands[*rank], "declared demand");
+                    // The GVM resolves exactly what the config requested.
+                    let want = quotas[*rank].resolve(capacity).unwrap_or(0);
+                    prop_assert_eq!(*quota, want, "resolved quota for rank {}", rank);
+                }
+                AnalysisRecord::QuotaCharge { rank, bytes, charged: total, .. } => {
+                    let prev = charged.get(rank).copied().unwrap_or(0);
+                    prop_assert_eq!(prev + *bytes, *total, "ledger at a charge");
+                    let q = quota_of.get(rank).copied().unwrap_or(0);
+                    if q > 0 {
+                        prop_assert!(
+                            *total <= q,
+                            "rank {} charged {} over its quota {}", rank, total, q
+                        );
+                    }
+                    charged.insert(*rank, *total);
+                }
+                AnalysisRecord::QuotaCredit { rank, bytes, charged: total, .. } => {
+                    let prev = charged.get(rank).copied().unwrap_or(0);
+                    prop_assert!(*bytes <= prev, "credit exceeds charges");
+                    prop_assert_eq!(prev - *bytes, *total, "ledger at a credit");
+                    charged.insert(*rank, *total);
+                }
+                _ => {}
+            }
+        }
+        for (rank, total) in &charged {
+            prop_assert_eq!(*total, 0u64, "rank {} ended with open charges", rank);
+        }
+        // Under-quota'd sessions are rejected outright (no output), and
+        // their demand was never charged at all.
+        for (r, q) in quotas.iter().enumerate() {
+            if let Some(cap) = q.resolve(capacity) {
+                if cap < demands[r] {
+                    prop_assert!(run.outputs[r].is_none(), "rank {} must be NAKed", r);
+                }
+            }
+        }
+        // Whatever the quota layout did, admitted outputs are correct.
+        for (r, out) in run.outputs.iter().enumerate() {
+            if let Some(out) = out {
+                let (a, b) = inputs_for(r, elems[r]);
+                prop_assert_eq!(
+                    vecadd::decode_output(out),
+                    vecadd::reference(&a, &b),
+                    "rank {} output", r
+                );
+            }
+        }
+    }
+
+    /// Swap discipline over random over-committed groups: every swap-in
+    /// matches an outstanding swap-out (same buffer, same size), nothing
+    /// is swapped out twice, and by the end of the run every swapped
+    /// buffer was restored or retired to the pool — the balance is zero.
+    #[test]
+    fn swap_outs_balance_to_zero_by_run_end(
+        (elems, _sels, extra, _swap, stagger) in group_strategy()
+    ) {
+        let demands: Vec<u64> = elems.iter().map(|&e| 12 * e as u64).collect();
+        // Capacity below two working sets: parked sets must be displaced.
+        let capacity = demands.iter().copied().max().unwrap() + extra.min(191);
+        let quotas: Vec<MemQuota> = demands.iter().map(|&d| MemQuota::Bytes(d)).collect();
+        let run = run_gvm(&elems, Some(quotas), true, capacity, stagger);
+
+        let mut outstanding: HashMap<u64, u64> = HashMap::new();
+        let mut outs = 0u64;
+        for rec in &run.records {
+            match rec {
+                AnalysisRecord::SwapOut { buf, bytes, .. } => {
+                    outs += 1;
+                    prop_assert!(
+                        outstanding.insert(*buf, *bytes).is_none(),
+                        "buffer {} swapped out while already parked", buf
+                    );
+                }
+                AnalysisRecord::SwapIn { buf, bytes, .. } => {
+                    let parked = outstanding.remove(buf);
+                    prop_assert_eq!(
+                        parked, Some(*bytes),
+                        "swap-in of buffer {} without a matching swap-out", buf
+                    );
+                }
+                AnalysisRecord::PoolRecycle { buf, .. } => {
+                    outstanding.remove(buf);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(
+            outstanding.is_empty(),
+            "{} buffers still swapped out at run end (of {} swap-outs)",
+            outstanding.len(), outs
+        );
+        // Admitted sessions produced correct output even when their
+        // working set took the swap-out/swap-in detour. (Lockstep
+        // arrivals can still OOM-NAK a rank whose neighbors are live —
+        // swap only reclaims *parked* sets — so not everyone need land.)
+        for (r, out) in run.outputs.iter().enumerate() {
+            if let Some(out) = out {
+                let (a, b) = inputs_for(r, elems[r]);
+                prop_assert_eq!(
+                    vecadd::decode_output(out),
+                    vecadd::reference(&a, &b),
+                    "rank {} output", r
+                );
+            }
+        }
+    }
+
+    /// Differential: an all-`Unlimited` quota vector changes nothing —
+    /// rank-by-rank bitwise-identical outputs and an identical analysis
+    /// trace (minus the quota bookkeeping records themselves, which are
+    /// the only additions) versus running with quotas disabled.
+    #[test]
+    fn unlimited_quotas_are_bitwise_identical_to_none(
+        elems in proptest::collection::vec(16usize..=64, 2..=4),
+        stagger in 0u64..=8,
+    ) {
+        let n = elems.len();
+        let capacity = DeviceConfig::tesla_c2070_paper().global_mem_bytes;
+        let baseline = run_gvm(&elems, None, false, capacity, stagger);
+        let unlimited = run_gvm(
+            &elems,
+            Some(vec![MemQuota::Unlimited; n]),
+            false,
+            capacity,
+            stagger,
+        );
+
+        prop_assert_eq!(&baseline.outputs, &unlimited.outputs, "outputs diverged");
+        for out in &baseline.outputs {
+            prop_assert!(out.is_some(), "unlimited runs admit everyone");
+        }
+        let strip = |records: &[AnalysisRecord]| -> Vec<AnalysisRecord> {
+            records
+                .iter()
+                .filter(|r| !matches!(
+                    r,
+                    AnalysisRecord::QuotaSet { .. }
+                        | AnalysisRecord::QuotaCharge { .. }
+                        | AnalysisRecord::QuotaCredit { .. }
+                ))
+                .cloned()
+                .collect()
+        };
+        let base_records = strip(&baseline.records);
+        prop_assert_eq!(
+            base_records.len(),
+            baseline.records.len(),
+            "a quota-less run must emit no quota records"
+        );
+        prop_assert_eq!(
+            &base_records,
+            &strip(&unlimited.records),
+            "execution traces diverged"
+        );
+        // And neither trace swapped anything.
+        prop_assert!(!unlimited.records.iter().any(|r| matches!(
+            r,
+            AnalysisRecord::SwapOut { .. } | AnalysisRecord::SwapIn { .. }
+        )));
+    }
+}
