@@ -162,7 +162,9 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             AnalysisRecord::StageChunk { .. }
             | AnalysisRecord::StagePlan { .. }
             | AnalysisRecord::PoolAcquire { .. }
-            | AnalysisRecord::PoolRecycle { .. } => report.staging_events += 1,
+            | AnalysisRecord::PoolRecycle { .. }
+            | AnalysisRecord::DescGrant { .. }
+            | AnalysisRecord::DescUse { .. } => report.staging_events += 1,
             AnalysisRecord::ClusterDevice { .. }
             | AnalysisRecord::ClusterPlace { .. }
             | AnalysisRecord::ClusterEvict { .. } => report.cluster_events += 1,

@@ -394,6 +394,39 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
                     esc(gvm)
                 );
             }
+            AnalysisRecord::DescGrant {
+                time,
+                gvm,
+                rank,
+                segment,
+                buf,
+                generation,
+                len,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "dgrant t={} rank={rank} buf={buf} gen={generation} len={len} seg={} gvm={}",
+                    time.as_nanos(),
+                    esc(segment),
+                    esc(gvm),
+                );
+            }
+            AnalysisRecord::DescUse {
+                time,
+                gvm,
+                rank,
+                buf,
+                generation,
+                ok,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "duse t={} rank={rank} buf={buf} gen={generation} ok={} gvm={}",
+                    time.as_nanos(),
+                    u8::from(*ok),
+                    esc(gvm),
+                );
+            }
             AnalysisRecord::DeadlockWaiter {
                 time,
                 pid,
@@ -740,6 +773,32 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                 buf: f.num("buf")?,
                 bytes: f.num("bytes")?,
             },
+            "dgrant" => AnalysisRecord::DescGrant {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                rank: f.num("rank")?,
+                segment: unesc(f.get("seg")?),
+                buf: f.num("buf")?,
+                generation: f.num("gen")?,
+                len: f.num("len")?,
+            },
+            "duse" => AnalysisRecord::DescUse {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                rank: f.num("rank")?,
+                buf: f.num("buf")?,
+                generation: f.num("gen")?,
+                ok: match f.get("ok")? {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'ok' must be '0' or '1', got '{other}'"),
+                        })
+                    }
+                },
+            },
             "dlwait" => {
                 let raw = f.get("kind")?;
                 let kind = WaitKind::from_label(raw).ok_or_else(|| DumpParseError {
@@ -987,6 +1046,23 @@ mod tests {
                 rank: 2,
                 bytes: 4096,
                 charged: 0,
+            },
+            AnalysisRecord::DescGrant {
+                time: SimTime::from_nanos(134),
+                gvm: "gvm a".to_string(), // space exercises escaping
+                rank: 2,
+                segment: "/gvm-shm-2".to_string(),
+                buf: 7,
+                generation: 3,
+                len: 8192,
+            },
+            AnalysisRecord::DescUse {
+                time: SimTime::from_nanos(135),
+                gvm: "gvm a".to_string(),
+                rank: 2,
+                buf: 7,
+                generation: 2,
+                ok: false,
             },
             AnalysisRecord::NotifyLost {
                 time: SimTime::from_nanos(135),

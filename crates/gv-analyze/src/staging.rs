@@ -22,6 +22,15 @@
 //! * **Lease discipline** — no double-acquire of a live buffer, no recycle
 //!   of a buffer that is not live, and no span staged into a pool buffer
 //!   outside its lease.
+//! * **Descriptor currency** — a zero-copy `SND` the GVM *accepted*
+//!   ([`AnalysisRecord::DescUse`] with `ok`) must present the buffer and
+//!   generation of that rank's latest [`AnalysisRecord::DescGrant`], and
+//!   the granted lease must not have been recycled or retired since:
+//!   accepting a stale descriptor aliases another rank's buffer.
+//! * **Write-after-`SND`** — once a rank's zero-copy `SND` is received,
+//!   its leased segment is the H2D source; a client shm write landing in
+//!   a granted segment between that rank's `SND` and `RCV` (or `RLS` /
+//!   eviction) races the device read, even if this schedule dodged it.
 //!
 //! Copy-engine exclusivity for the chunked copies themselves is already
 //! enforced by [`crate::device`] over the same trace.
@@ -58,6 +67,14 @@ struct Plan {
     k: u32,
 }
 
+/// A rank's latest zero-copy staging grant.
+struct Grant {
+    buf: u64,
+    generation: u64,
+    /// False once the granted lease was recycled or retired.
+    live: bool,
+}
+
 /// Replay `records` and report every staging-invariant violation.
 pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -70,6 +87,13 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
     let mut in_flight: HashMap<(u32, String), u64> = HashMap::new();
     let mut groups: HashMap<u64, XferGroup> = HashMap::new();
     let mut plans: HashMap<u64, Plan> = HashMap::new();
+    // (gvm, rank) → that rank's latest zero-copy grant.
+    let mut grants: HashMap<(String, usize), Grant> = HashMap::new();
+    // granted segment name → (gvm, rank) it was leased to.
+    let mut seg_owner: HashMap<String, (String, usize)> = HashMap::new();
+    // (gvm, rank) → inside the SND..RCV window where the leased segment
+    // is the device's H2D source.
+    let mut in_window: HashMap<(String, usize), bool> = HashMap::new();
 
     for rec in records {
         match rec {
@@ -85,6 +109,13 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
                 }
             }
             AnalysisRecord::PoolRecycle { time, buf } => {
+                // The recycle (or retirement) bumps the lease generation:
+                // every descriptor minted under it is now stale.
+                for g in grants.values_mut() {
+                    if g.buf == *buf {
+                        g.live = false;
+                    }
+                }
                 if live.remove(buf).is_none() {
                     out.push(diag(
                         *time,
@@ -179,6 +210,86 @@ pub fn check(records: &[AnalysisRecord]) -> Vec<Diagnostic> {
             }
             AnalysisRecord::CopyEnd { device, label, .. } => {
                 in_flight.remove(&(*device, label.clone()));
+            }
+            AnalysisRecord::DescGrant {
+                gvm,
+                rank,
+                segment,
+                buf,
+                generation,
+                ..
+            } => {
+                seg_owner.insert(segment.clone(), (gvm.clone(), *rank));
+                grants.insert(
+                    (gvm.clone(), *rank),
+                    Grant {
+                        buf: *buf,
+                        generation: *generation,
+                        live: true,
+                    },
+                );
+            }
+            AnalysisRecord::DescUse {
+                time,
+                gvm,
+                rank,
+                buf,
+                generation,
+                ok,
+                // Only *accepted* uses are checked: a NAK'd stale
+                // descriptor is the GVM's validation working as designed.
+            } if *ok => {
+                let current = grants
+                    .get(&(gvm.clone(), *rank))
+                    .is_some_and(|g| g.live && g.buf == *buf && g.generation == *generation);
+                if !current {
+                    out.push(diag(
+                        *time,
+                        format!(
+                            "stale descriptor accepted: rank {rank} presented \
+                             (buf {buf}, generation {generation}) with no live \
+                             matching grant"
+                        ),
+                    ));
+                }
+            }
+            AnalysisRecord::Proto {
+                gvm, rank, kind, ..
+            } => match *kind {
+                "SND" => {
+                    in_window.insert((gvm.clone(), *rank), true);
+                }
+                "RCV" | "RLS" => {
+                    in_window.insert((gvm.clone(), *rank), false);
+                }
+                _ => {}
+            },
+            AnalysisRecord::ProtoEvict { gvm, rank, .. } => {
+                in_window.insert((gvm.clone(), *rank), false);
+            }
+            AnalysisRecord::ShmAccess {
+                time,
+                process,
+                segment,
+                offset,
+                len,
+                is_write,
+                ..
+            } if *is_write => {
+                if let Some(owner) = seg_owner.get(segment) {
+                    if in_window.get(owner).copied().unwrap_or(false) {
+                        out.push(diag(
+                            *time,
+                            format!(
+                                "write-after-SND: process '{process}' wrote {len} \
+                                 bytes at offset {offset} of leased segment \
+                                 {segment} while rank {}'s input transfer may \
+                                 still be reading it",
+                                owner.1
+                            ),
+                        ));
+                    }
+                }
             }
             _ => {}
         }
@@ -464,6 +575,158 @@ mod tests {
             ds.iter().any(|d| d.message.contains("planned twice")),
             "{ds:?}"
         );
+    }
+
+    fn grant(ns: u64, rank: usize, segment: &str, buf: u64, generation: u64) -> AnalysisRecord {
+        AnalysisRecord::DescGrant {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            segment: segment.to_string(),
+            buf,
+            generation,
+            len: 4096,
+        }
+    }
+
+    fn duse(ns: u64, rank: usize, buf: u64, generation: u64, ok: bool) -> AnalysisRecord {
+        AnalysisRecord::DescUse {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            buf,
+            generation,
+            ok,
+        }
+    }
+
+    fn proto(ns: u64, rank: usize, kind: &'static str) -> AnalysisRecord {
+        AnalysisRecord::Proto {
+            time: t(ns),
+            gvm: "gvm".to_string(),
+            rank,
+            kind,
+            seq: ns,
+        }
+    }
+
+    fn shm_write(ns: u64, segment: &str, offset: usize, len: usize) -> AnalysisRecord {
+        AnalysisRecord::ShmAccess {
+            time: t(ns),
+            pid: gv_sim::Pid::from_index(1),
+            process: "spmd-0".to_string(),
+            segment: segment.to_string(),
+            offset,
+            len,
+            is_write: true,
+            clock: gv_sim::VClock::from_components(vec![1]),
+        }
+    }
+
+    #[test]
+    fn current_descriptor_use_is_clean() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            duse(20, 0, 1, 1, true),
+            rec(30, 1),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn stale_descriptor_acceptance_detected_exactly_once() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            rec(20, 1), // lease recycled: generation 1 descriptors are dead
+            acq(25, 1, 4096),
+            duse(30, 0, 1, 1, true), // GVM accepted the stale descriptor
+            rec(40, 1),
+        ];
+        let ds = check(&recs);
+        let stale: Vec<_> = ds
+            .iter()
+            .filter(|d| d.message.contains("stale descriptor accepted"))
+            .collect();
+        assert_eq!(stale.len(), 1, "{ds:?}");
+        assert!(stale[0].message.contains("rank 0"), "{ds:?}");
+    }
+
+    #[test]
+    fn rejected_stale_descriptor_is_clean() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            rec(20, 1),
+            duse(30, 0, 1, 1, false), // NAK'd: validation worked
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn wrong_generation_acceptance_detected() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 2),
+            duse(20, 0, 1, 1, true), // older generation than the grant
+            rec(30, 1),
+        ];
+        let ds = check(&recs);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert!(ds[0].message.contains("stale descriptor accepted"));
+    }
+
+    #[test]
+    fn write_after_snd_detected_exactly_once() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            shm_write(20, "/gvm-shm-0", 0, 4096), // client stages input: fine
+            proto(25, 0, "SND"),
+            shm_write(30, "/gvm-shm-0", 0, 64), // racing the device's H2D read
+            proto(40, 0, "RCV"),
+            rec(50, 1),
+        ];
+        let ds = check(&recs);
+        let races: Vec<_> = ds
+            .iter()
+            .filter(|d| d.message.contains("write-after-SND"))
+            .collect();
+        assert_eq!(races.len(), 1, "{ds:?}");
+        assert!(races[0].message.contains("/gvm-shm-0"), "{ds:?}");
+    }
+
+    #[test]
+    fn writes_outside_the_snd_window_are_clean() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            shm_write(20, "/gvm-shm-0", 0, 4096), // before SND
+            proto(25, 0, "SND"),
+            proto(35, 0, "RCV"),
+            shm_write(40, "/gvm-shm-0", 0, 64), // after RCV
+            shm_write(45, "/other-seg", 0, 64), // un-granted segment
+            rec(50, 1),
+        ];
+        assert!(check(&recs).is_empty());
+    }
+
+    #[test]
+    fn eviction_closes_the_snd_window() {
+        let recs = vec![
+            acq(10, 1, 4096),
+            grant(15, 0, "/gvm-shm-0", 1, 1),
+            proto(25, 0, "SND"),
+            AnalysisRecord::ProtoEvict {
+                time: t(30),
+                gvm: "gvm".to_string(),
+                rank: 0,
+            },
+            shm_write(35, "/gvm-shm-0", 0, 64),
+            rec(40, 1),
+        ];
+        assert!(check(&recs).is_empty());
     }
 
     #[test]

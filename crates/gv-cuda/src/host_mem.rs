@@ -149,6 +149,25 @@ impl HostBuffer {
         guard[start..end].copy_from_slice(data);
     }
 
+    /// Fill `out` from the sub-range starting at `offset` without
+    /// allocating (functional buffers only; panics when the range overruns
+    /// the buffer). The zero-copy shm backing reads through here.
+    pub fn read_into(&self, offset: u64, out: &mut [u8]) {
+        let storage = self
+            .data
+            .as_ref()
+            .expect("read_into on a timing-only buffer");
+        let guard = storage.lock();
+        let start = offset as usize;
+        let end = start.checked_add(out.len()).expect("read_into overflow");
+        assert!(
+            end <= guard.len(),
+            "read_into {start}..{end} overruns buffer of {} bytes",
+            guard.len()
+        );
+        out.copy_from_slice(&guard[start..end]);
+    }
+
     /// Snapshot a sub-range as bytes (functional buffers only; `None` for
     /// timing-only buffers; panics when the range overruns the buffer).
     pub fn read_range(&self, offset: u64, len: u64) -> Option<Vec<u8>> {

@@ -1,0 +1,29 @@
+//! Sweep the zero-copy descriptor-passing transport against the staged
+//! ablation (payload size × 8 processes, mean per-request overhead over
+//! direct execution) into `results/zerocopy.{txt,csv}` and the
+//! machine-readable `results/BENCH_zerocopy.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink payloads; `--analyze` records
+//! every point's trace, checks it with `gv-analyze` (including the
+//! descriptor-currency and write-after-SND staging rules), and fails
+//! (exit 1) on any diagnostic or if zero-copy fails to beat the ablation.
+use std::process::ExitCode;
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{repro, zerocopy};
+
+fn main() -> ExitCode {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (artifact, json, clean) = zerocopy::sweep(&Scenario::default(), scale, analyze);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_zerocopy.json", &json).is_err() {
+        eprintln!("warning: cannot write results/BENCH_zerocopy.json");
+    }
+    if !clean {
+        eprintln!("gv-analyze diagnostics found in zerocopy traces — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

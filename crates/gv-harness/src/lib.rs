@@ -35,6 +35,7 @@ pub mod sched;
 pub mod sensitivity;
 pub mod timeline;
 pub mod turnaround;
+pub mod zerocopy;
 
 pub use scenario::{ExecutionMode, ExperimentResult, Scenario};
 pub use turnaround::{sweep, TurnaroundConfig, TurnaroundPoint, TurnaroundSeries};

@@ -31,4 +31,4 @@ pub mod shm;
 pub use mqueue::{MessageQueue, MqError, MqFaults, MqRegistry};
 pub use net::{LinkConfig, NetworkLink};
 pub use node::{AffinityError, Node, NodeConfig};
-pub use shm::{SharedMem, ShmError, ShmFaults, ShmRegistry};
+pub use shm::{SharedMem, ShmBacking, ShmError, ShmFaults, ShmRegistry};

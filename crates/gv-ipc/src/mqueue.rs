@@ -134,12 +134,64 @@ impl<T> MessageQueue<T> {
         self.chan.send(ctx, msg).map_err(|_| MqError::Closed)
     }
 
+    /// Send without charging the per-message one-way latency (the caller
+    /// already paid it once for a whole batch via
+    /// [`charge_latency`](Self::charge_latency)). Armed faults still fire
+    /// exactly as for [`send`](Self::send) — batching changes the latency
+    /// accounting, not the fault schedule.
+    ///
+    /// This is the zero-copy flush path: one mq round-trip is charged per
+    /// scheduler flush instead of per covered rank.
+    pub fn send_prepaid(&self, ctx: &mut Ctx, msg: T) -> Result<(), MqError>
+    where
+        T: Clone,
+    {
+        let (seq, drop, dup, delay) = self.faults.lock().next_send();
+        if drop {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-drop:{}#{seq}", self.name));
+            return Ok(());
+        }
+        if let Some(extra) = delay {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-delay:{}#{seq}", self.name));
+            ctx.hold(extra);
+        }
+        if dup {
+            ctx.tracer()
+                .fault(ctx.now(), format!("mq-dup:{}#{seq}", self.name));
+            self.chan
+                .send(ctx, msg.clone())
+                .map_err(|_| MqError::Closed)?;
+        }
+        self.chan.send(ctx, msg).map_err(|_| MqError::Closed)
+    }
+
+    /// Charge one one-way mq latency without moving a message — the batch
+    /// prepayment matching [`send_prepaid`](Self::send_prepaid).
+    pub fn charge_latency(&self, ctx: &mut Ctx) {
+        ctx.hold(self.node.mq_latency);
+    }
+
     /// `mq_receive`: blocking receive, charging one-way latency.
     /// `None` once the queue is closed and drained.
     pub fn recv(&self, ctx: &mut Ctx) -> Option<T> {
         let msg = self.chan.recv(ctx)?;
         ctx.hold(self.node.mq_latency);
         Some(msg)
+    }
+
+    /// Drain every currently queued message into `scratch` (cleared first),
+    /// charging one-way latency per message exactly like repeated
+    /// [`try_recv`](Self::try_recv) calls would. Reusing one scratch buffer
+    /// across calls keeps the receive path allocation-free after warm-up;
+    /// drained payloads are bitwise identical to the allocating path.
+    pub fn drain_into(&self, ctx: &mut Ctx, scratch: &mut Vec<T>) {
+        scratch.clear();
+        while let Some(msg) = self.chan.try_recv(ctx) {
+            ctx.hold(self.node.mq_latency);
+            scratch.push(msg);
+        }
     }
 
     /// Blocking receive bounded by `timeout` of simulated time, charging
@@ -431,6 +483,119 @@ mod tests {
             assert_eq!(rx.recv(ctx), Some(2));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn prepaid_send_skips_latency_but_faults_still_fire() {
+        let mut sim = Simulation::new();
+        sim.tracer().set_enabled(true);
+        let tracer = sim.tracer().clone();
+        let reg: MqRegistry<u32> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/pp", None).unwrap();
+        let rx = reg.open("/pp").unwrap();
+        q.arm_drop(1);
+        sim.spawn("sender", move |ctx| {
+            // One latency charge covers the whole batch.
+            q.charge_latency(ctx);
+            assert_eq!(ctx.now().as_nanos(), 1_000);
+            for v in 0..3 {
+                q.send_prepaid(ctx, v).unwrap();
+            }
+            // No further latency charged by the prepaid sends.
+            assert_eq!(ctx.now().as_nanos(), 1_000);
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), Some(0));
+            // The armed drop consumed message 1 exactly as with `send`.
+            assert_eq!(rx.recv(ctx), Some(2));
+        });
+        sim.run().unwrap();
+        let faults = tracer.fault_events();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label, "mq-drop:/pp#1");
+    }
+
+    #[test]
+    fn drain_into_reuses_scratch_and_charges_per_message() {
+        let mut sim = Simulation::new();
+        let reg: MqRegistry<u8> = MqRegistry::new(&NodeConfig::test_tiny());
+        let q = reg.create("/dr", None).unwrap();
+        let rx = reg.open("/dr").unwrap();
+        sim.spawn("sender", move |ctx| {
+            for v in 10..13 {
+                q.send(ctx, v).unwrap();
+            }
+        });
+        sim.spawn("receiver", move |ctx| {
+            ctx.hold(SimDuration::from_millis(1));
+            let mut scratch = vec![99u8; 8]; // stale contents must be cleared
+            let t0 = ctx.now();
+            rx.drain_into(ctx, &mut scratch);
+            assert_eq!(scratch, vec![10, 11, 12]);
+            // One recv latency per drained message, like try_recv.
+            assert_eq!(ctx.now().duration_since(t0).as_nanos(), 3_000);
+            rx.drain_into(ctx, &mut scratch);
+            assert!(scratch.is_empty());
+        });
+        sim.run().unwrap();
+    }
+
+    proptest::proptest! {
+        /// Draining through the reused scratch buffer yields payloads
+        /// bitwise identical to the per-message allocating path
+        /// (`try_recv` into a fresh `Vec`), in the same order and with the
+        /// same latency accounting.
+        #[test]
+        fn drain_into_matches_allocating_path(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..32),
+                0..16,
+            ),
+        ) {
+            let reference = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let drained = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let times = std::sync::Arc::new(Mutex::new((0u64, 0u64)));
+
+            let mut sim = Simulation::new();
+            let reg: MqRegistry<Vec<u8>> = MqRegistry::new(&NodeConfig::test_tiny());
+            let qa = reg.create("/alloc", None).unwrap();
+            let ra = reg.open("/alloc").unwrap();
+            let qb = reg.create("/scratch", None).unwrap();
+            let rb = reg.open("/scratch").unwrap();
+            let (pa, pb) = (payloads.clone(), payloads.clone());
+            sim.spawn("sender", move |ctx| {
+                for p in &pa {
+                    qa.send(ctx, p.clone()).unwrap();
+                }
+                for p in &pb {
+                    qb.send(ctx, p.clone()).unwrap();
+                }
+            });
+            let (r1, r2, tm) = (reference.clone(), drained.clone(), times.clone());
+            sim.spawn("receiver", move |ctx| {
+                ctx.hold(SimDuration::from_millis(1));
+                let t0 = ctx.now();
+                let mut alloc = Vec::new(); // the allocating path
+                while let Some(msg) = ra.try_recv(ctx) {
+                    alloc.push(msg);
+                }
+                let t1 = ctx.now();
+                let mut scratch = Vec::with_capacity(4);
+                rb.drain_into(ctx, &mut scratch);
+                let t2 = ctx.now();
+                *r1.lock() = alloc;
+                *r2.lock() = scratch;
+                *tm.lock() = (
+                    t1.duration_since(t0).as_nanos(),
+                    t2.duration_since(t1).as_nanos(),
+                );
+            });
+            sim.run().unwrap();
+            proptest::prop_assert_eq!(&*reference.lock(), &payloads);
+            proptest::prop_assert_eq!(&*drained.lock(), &*reference.lock());
+            let (ta, tb) = *times.lock();
+            proptest::prop_assert_eq!(ta, tb);
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum ShmError {
     NotFound(String),
     /// Access beyond the segment size.
     OutOfBounds {
+        /// Name of the segment the access targeted.
+        segment: String,
+        /// Byte offset the access started at.
+        offset: u64,
         /// First byte past the access.
         end: u64,
         /// Segment size.
@@ -35,19 +39,50 @@ impl std::fmt::Display for ShmError {
         match self {
             ShmError::AlreadyExists(n) => write!(f, "shm '{n}' already exists"),
             ShmError::NotFound(n) => write!(f, "shm '{n}' not found"),
-            ShmError::OutOfBounds { end, size } => {
-                write!(f, "shm access out of bounds: end {end} > size {size}")
+            ShmError::OutOfBounds {
+                segment,
+                offset,
+                end,
+                size,
+            } => {
+                write!(
+                    f,
+                    "shm '{segment}' access out of bounds: offset {offset}, end {end} > size {size}"
+                )
             }
         }
     }
+}
+
+/// External storage a segment can be created over ([`ShmRegistry::create_backed`]).
+///
+/// The zero-copy transport exports a pinned staging-pool lease *as* a
+/// shared-memory segment: client writes land directly in the lease region
+/// the GVM issues H2D copies from, so `SND` carries only a descriptor.
+/// `gv-ipc` stays agnostic of what the backing is — it only needs stores
+/// and loads by offset.
+#[allow(clippy::len_without_is_empty)]
+pub trait ShmBacking: Send + Sync {
+    /// Backing capacity in bytes (must cover the segment size).
+    fn len(&self) -> u64;
+    /// Does the backing carry real bytes? Timing-only backings make the
+    /// segment behave like an untouched one (reads are zeroes).
+    fn is_functional(&self) -> bool;
+    /// Store `data` at `offset` (functional backings only).
+    fn store(&self, offset: u64, data: &[u8]);
+    /// Fill `out` from `offset` (functional backings only).
+    fn load(&self, offset: u64, out: &mut [u8]);
 }
 
 impl std::error::Error for ShmError {}
 
 struct Segment {
     size: u64,
-    /// Lazily materialized contents (functional runs only).
+    /// Lazily materialized contents (functional runs only). Unused when
+    /// `backing` is set.
     data: Option<Vec<u8>>,
+    /// External storage the segment was exported over (zero-copy leases).
+    backing: Option<Arc<dyn ShmBacking>>,
 }
 
 /// Armed deterministic corruption faults for one named segment.
@@ -128,7 +163,12 @@ impl SharedMem {
         let size = self.seg.lock().size;
         let end = offset + len;
         if end > size {
-            Err(ShmError::OutOfBounds { end, size })
+            Err(ShmError::OutOfBounds {
+                segment: self.name.clone(),
+                offset,
+                end,
+                size,
+            })
         } else {
             Ok(())
         }
@@ -153,6 +193,24 @@ impl SharedMem {
         self.record_access(ctx, offset, data.len() as u64, true);
         let (seq, corrupt) = self.faults.lock().next_write();
         let mut seg = self.seg.lock();
+        if let Some(backing) = seg.backing.clone() {
+            drop(seg);
+            if backing.is_functional() {
+                backing.store(offset, data);
+                if corrupt {
+                    let mut span = data.to_vec();
+                    for b in &mut span {
+                        *b ^= 0xFF;
+                    }
+                    backing.store(offset, &span);
+                }
+            }
+            if corrupt {
+                ctx.tracer()
+                    .fault(ctx.now(), format!("shm-corrupt:{}#{seq}", self.name));
+            }
+            return Ok(());
+        }
         let size = seg.size as usize;
         let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
         store[offset as usize..offset as usize + data.len()].copy_from_slice(data);
@@ -178,7 +236,21 @@ impl SharedMem {
         self.check(offset, len)?;
         ctx.hold(self.node.memcpy_time(len));
         self.record_access(ctx, offset, len, false);
+        self.snapshot(offset, len)
+    }
+
+    /// Untimed load shared by `read`/`peek`: backing if present, else the
+    /// lazily materialized private store.
+    fn snapshot(&self, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
         let mut seg = self.seg.lock();
+        if let Some(backing) = seg.backing.clone() {
+            drop(seg);
+            let mut out = vec![0u8; len as usize];
+            if backing.is_functional() {
+                backing.load(offset, &mut out);
+            }
+            return Ok(out);
+        }
         let size = seg.size as usize;
         let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
         Ok(store[offset as usize..(offset + len) as usize].to_vec())
@@ -188,16 +260,20 @@ impl SharedMem {
     /// timed operation).
     pub fn peek(&self, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
         self.check(offset, len)?;
-        let mut seg = self.seg.lock();
-        let size = seg.size as usize;
-        let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
-        Ok(store[offset as usize..(offset + len) as usize].to_vec())
+        self.snapshot(offset, len)
     }
 
     /// Zero-cost raw write (seeding test fixtures).
     pub fn poke(&self, offset: u64, data: &[u8]) -> Result<(), ShmError> {
         self.check(offset, data.len() as u64)?;
         let mut seg = self.seg.lock();
+        if let Some(backing) = seg.backing.clone() {
+            drop(seg);
+            if backing.is_functional() {
+                backing.store(offset, data);
+            }
+            return Ok(());
+        }
         let size = seg.size as usize;
         let store = seg.data.get_or_insert_with(|| vec![0u8; size]);
         store[offset as usize..offset as usize + data.len()].copy_from_slice(data);
@@ -242,7 +318,46 @@ impl ShmRegistry {
         if segs.contains_key(name) {
             return Err(ShmError::AlreadyExists(name.to_string()));
         }
-        let seg = Arc::new(Mutex::new(Segment { size, data: None }));
+        let seg = Arc::new(Mutex::new(Segment {
+            size,
+            data: None,
+            backing: None,
+        }));
+        segs.insert(name.to_string(), Arc::clone(&seg));
+        drop(segs);
+        Ok(SharedMem {
+            name: name.to_string(),
+            seg,
+            node: Arc::clone(&self.node),
+            faults: self.fault_entry(name),
+        })
+    }
+
+    /// `shm_open(O_CREAT|O_EXCL)` over external storage: create a named
+    /// segment whose bytes live in `backing` (a zero-copy staging lease).
+    /// Writes and reads charge the same memcpy model as a private segment
+    /// but move bytes directly in the backing, so a copy out of the segment
+    /// on the other side is no longer needed.
+    pub fn create_backed(
+        &self,
+        name: &str,
+        size: u64,
+        backing: Arc<dyn ShmBacking>,
+    ) -> Result<SharedMem, ShmError> {
+        assert!(
+            backing.len() >= size,
+            "shm '{name}' backing of {} bytes cannot cover segment of {size} bytes",
+            backing.len()
+        );
+        let mut segs = self.segments.lock();
+        if segs.contains_key(name) {
+            return Err(ShmError::AlreadyExists(name.to_string()));
+        }
+        let seg = Arc::new(Mutex::new(Segment {
+            size,
+            data: None,
+            backing: Some(backing),
+        }));
         segs.insert(name.to_string(), Arc::clone(&seg));
         drop(segs);
         Ok(SharedMem {
@@ -372,24 +487,102 @@ mod tests {
         sim.run().unwrap();
         let faults = tracer.fault_events();
         assert_eq!(faults.len(), 1);
+        // The label carries the segment name so multi-segment fault
+        // schedules stay attributable.
         assert_eq!(faults[0].label, "shm-corrupt:/cor#1");
+        assert!(faults[0].label.contains("/cor"));
     }
 
     #[test]
-    fn out_of_bounds_rejected() {
+    fn out_of_bounds_names_segment_and_offset() {
         let mut sim = Simulation::new();
         let reg = registry();
         let seg = reg.create("/b", 16).unwrap();
         sim.spawn("p", move |ctx| {
-            assert!(matches!(
-                seg.write(ctx, 10, &[0u8; 10]),
-                Err(ShmError::OutOfBounds { .. })
-            ));
+            let err = seg.write(ctx, 10, &[0u8; 10]).unwrap_err();
+            assert_eq!(
+                err,
+                ShmError::OutOfBounds {
+                    segment: "/b".into(),
+                    offset: 10,
+                    end: 20,
+                    size: 16,
+                }
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("'/b'"), "missing segment name: {msg}");
+            assert!(msg.contains("offset 10"), "missing offset: {msg}");
             assert!(matches!(
                 seg.touch(ctx, 17),
                 Err(ShmError::OutOfBounds { .. })
             ));
         });
         sim.run().unwrap();
+    }
+
+    struct VecBacking(Mutex<Vec<u8>>);
+
+    impl ShmBacking for VecBacking {
+        fn len(&self) -> u64 {
+            self.0.lock().len() as u64
+        }
+        fn is_functional(&self) -> bool {
+            true
+        }
+        fn store(&self, offset: u64, data: &[u8]) {
+            let mut v = self.0.lock();
+            v[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        }
+        fn load(&self, offset: u64, out: &mut [u8]) {
+            let v = self.0.lock();
+            out.copy_from_slice(&v[offset as usize..offset as usize + out.len()]);
+        }
+    }
+
+    #[test]
+    fn backed_segment_moves_bytes_in_external_storage() {
+        let mut sim = Simulation::new();
+        let reg = registry();
+        let backing = Arc::new(VecBacking(Mutex::new(vec![0u8; 32])));
+        let seg = reg
+            .create_backed("/lease", 16, Arc::clone(&backing) as Arc<dyn ShmBacking>)
+            .unwrap();
+        let probe = backing.clone();
+        sim.spawn("p", move |ctx| {
+            seg.write(ctx, 2, &[7, 8, 9]).unwrap();
+            // The bytes landed in the backing itself — no private copy.
+            assert_eq!(&probe.0.lock()[2..5], &[7, 8, 9]);
+            assert_eq!(seg.read(ctx, 2, 3).unwrap(), vec![7, 8, 9]);
+            assert_eq!(seg.peek(2, 3).unwrap(), vec![7, 8, 9]);
+            seg.poke(0, &[1]).unwrap();
+            assert_eq!(probe.0.lock()[0], 1);
+            // Bounds are the segment's, not the (larger) backing's.
+            assert!(matches!(
+                seg.write(ctx, 14, &[0u8; 4]),
+                Err(ShmError::OutOfBounds { .. })
+            ));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn backed_segment_corruption_fires_in_backing() {
+        let mut sim = Simulation::new();
+        sim.tracer().set_enabled(true);
+        let tracer = sim.tracer().clone();
+        let reg = registry();
+        reg.arm_corrupt("/bl", 0);
+        let backing = Arc::new(VecBacking(Mutex::new(vec![0u8; 8])));
+        let seg = reg
+            .create_backed("/bl", 8, Arc::clone(&backing) as Arc<dyn ShmBacking>)
+            .unwrap();
+        sim.spawn("p", move |ctx| {
+            seg.write(ctx, 0, &[1, 2]).unwrap();
+            assert_eq!(seg.peek(0, 2).unwrap(), vec![0xFE, 0xFD]);
+        });
+        sim.run().unwrap();
+        let faults = tracer.fault_events();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label, "shm-corrupt:/bl#0");
     }
 }

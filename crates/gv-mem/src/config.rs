@@ -125,26 +125,42 @@ impl PipelineConfig {
         Self::plan_exact(payload, self.fixed_k(payload))
     }
 
+    /// [`plan`](Self::plan) into a caller-owned scratch vector (cleared
+    /// first). Hot-path callers reuse one scratch across requests so the
+    /// planner allocates nothing after warm-up; the produced spans are
+    /// identical to [`plan`](Self::plan)'s.
+    pub fn plan_into(&self, payload: u64, out: &mut Vec<Span>) {
+        Self::plan_exact_into(payload, self.fixed_k(payload), out);
+    }
+
     /// Split `payload` bytes into exactly `k` near-equal spans (clamped so
     /// no span is empty): the first `payload % k` spans carry one extra
     /// byte. This is the planner's kernel; adaptive callers pick `k` first
     /// and tile with it, and the staging checker holds every planned
     /// transfer to exactly `k` emitted spans.
     pub fn plan_exact(payload: u64, k: u64) -> Vec<Span> {
+        let mut spans = Vec::new();
+        Self::plan_exact_into(payload, k, &mut spans);
+        spans
+    }
+
+    /// [`plan_exact`](Self::plan_exact) into a caller-owned scratch vector
+    /// (cleared first).
+    pub fn plan_exact_into(payload: u64, k: u64, out: &mut Vec<Span>) {
+        out.clear();
         if payload == 0 {
-            return Vec::new();
+            return;
         }
         let k = k.clamp(1, payload);
         let base = payload / k;
         let rem = payload % k;
-        let mut spans = Vec::with_capacity(k as usize);
+        out.reserve(k as usize);
         let mut offset = 0;
         for i in 0..k {
             let len = base + u64::from(i < rem);
-            spans.push(Span { offset, len });
+            out.push(Span { offset, len });
             offset += len;
         }
-        spans
     }
 }
 
@@ -159,9 +175,33 @@ pub struct MemConfig {
     pub pipeline: PipelineConfig,
     /// Staging-pool bounding: high-water shrink, lease cap, NUMA split.
     pub pool: PoolConfig,
+    /// Zero-copy transport: the GVM exports each rank's pinned staging
+    /// lease *as* its shared-memory segment and hands the client a
+    /// generation-stamped [`StagingDescriptor`](crate::StagingDescriptor)
+    /// at `REQ`/ACK. Client writes land directly in the lease, `SND`
+    /// carries only the descriptor, H2D issues straight from the lease,
+    /// and flush ACKs batch to one mq latency charge per flush. Off by
+    /// default — the staged-copy path is then bit-identical to the
+    /// pre-zero-copy schedule and serves as the ablation baseline.
+    /// Incompatible with [`PipelineConfig::steady`] double-buffering (a
+    /// single exported segment cannot also be a double buffer).
+    pub zero_copy: bool,
 }
 
 impl MemConfig {
+    /// Convenience: the zero-copy descriptor-passing transport.
+    pub fn zero_copy() -> Self {
+        MemConfig {
+            zero_copy: true,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with the zero-copy transport toggled.
+    pub fn with_zero_copy(mut self, on: bool) -> Self {
+        self.zero_copy = on;
+        self
+    }
     /// Convenience: a config with chunked pipelining enabled.
     pub fn pipelined(chunks: usize, threshold: u64) -> Self {
         MemConfig {
@@ -268,6 +308,32 @@ mod tests {
             ..PoolConfig::default()
         });
         assert_eq!(p.pool.max_free_bytes, None);
+        assert!(!MemConfig::default().zero_copy);
+        let z = MemConfig::zero_copy();
+        assert!(z.zero_copy);
+        assert!(!z.pipeline.steady);
+        assert!(!MemConfig::zero_copy().with_zero_copy(false).zero_copy);
+    }
+
+    #[test]
+    fn plan_into_matches_plan_and_clears_scratch() {
+        let mut scratch = vec![
+            Span {
+                offset: 99,
+                len: 99
+            };
+            3
+        ];
+        for cfg in [
+            PipelineConfig::default(),
+            PipelineConfig::chunked(4, 64),
+            PipelineConfig::chunked(8, 1 << 20),
+        ] {
+            for payload in [0u64, 1, 63, 4096, (16 << 20) + 5] {
+                cfg.plan_into(payload, &mut scratch);
+                assert_eq!(scratch, cfg.plan(payload));
+            }
+        }
     }
 
     #[test]

@@ -38,5 +38,7 @@ pub mod stage;
 pub use adaptive::AdaptiveChooser;
 pub use config::{MemConfig, PipelineConfig, Span};
 pub use devcache::{CachedAlloc, DevCacheStats, DeviceAllocCache};
-pub use pool::{PoolConfig, PoolStats, StagingLease, StagingPool, MIN_CLASS};
+pub use pool::{
+    LeaseBacking, PoolConfig, PoolStats, StagingDescriptor, StagingLease, StagingPool, MIN_CLASS,
+};
 pub use stage::{record_chunk, record_plan, stage_span};

@@ -123,8 +123,34 @@ struct Inner {
     /// timing-only lease (and vice versa), so the flag is part of the key;
     /// the NUMA index keeps recycled buffers socket-local.
     free: HashMap<(u64, bool, usize), Vec<PooledBuf>>,
+    /// Current generation per buffer id. Starts at 1 on first allocation
+    /// and bumps on every recycle/retire, so a descriptor minted under an
+    /// earlier lease of the same buffer is recognizably stale.
+    generations: HashMap<u64, u64>,
     config: PoolConfig,
     stats: PoolStats,
+}
+
+/// A zero-copy handle to a window of an exported staging lease —
+/// everything a client needs to address payload bytes the GVM leased to it
+/// as a shared-memory segment. All-integer and `Copy`, so it rides protocol
+/// messages without allocation.
+///
+/// Descriptors are *generation-stamped*: recycling the lease bumps the
+/// buffer's generation, and [`StagingPool::validate`] rejects any
+/// descriptor minted under an earlier generation. That is the entire
+/// use-after-recycle defense of the zero-copy path, so it must be checked
+/// on every use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagingDescriptor {
+    /// Pool buffer id backing the exported segment.
+    pub segment: u64,
+    /// Byte offset of the payload window within the segment.
+    pub offset: u64,
+    /// Payload window length in bytes.
+    pub len: u64,
+    /// Lease generation the descriptor was minted under.
+    pub generation: u64,
 }
 
 /// A pool of pinned host staging buffers.
@@ -140,6 +166,7 @@ pub struct StagingLease {
     class: u64,
     functional: bool,
     numa: usize,
+    generation: u64,
 }
 
 impl StagingLease {
@@ -163,6 +190,28 @@ impl StagingLease {
     /// NUMA node the lease was acquired for (0 on single-socket configs).
     pub fn numa(&self) -> usize {
         self.numa
+    }
+
+    /// Generation this lease was granted under (see
+    /// [`StagingDescriptor::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Mint a zero-copy descriptor for a window of this lease. Panics when
+    /// the window overruns the lease's size-class capacity.
+    pub fn descriptor(&self, offset: u64, len: u64) -> StagingDescriptor {
+        assert!(
+            offset + len <= self.class,
+            "descriptor window {offset}+{len} overruns lease capacity {}",
+            self.class
+        );
+        StagingDescriptor {
+            segment: self.id,
+            offset,
+            len,
+            generation: self.generation,
+        }
     }
 }
 
@@ -197,6 +246,7 @@ impl StagingPool {
         StagingPool {
             inner: Mutex::new(Inner {
                 free: HashMap::new(),
+                generations: HashMap::new(),
                 config,
                 stats: PoolStats::default(),
             }),
@@ -308,6 +358,7 @@ impl StagingPool {
         }
         inner.stats.in_use_bytes += class;
         inner.stats.high_water_bytes = inner.stats.high_water_bytes.max(inner.stats.in_use_bytes);
+        let generation = *inner.generations.entry(pooled.id).or_insert(1);
         tracer.record_analysis(AnalysisRecord::PoolAcquire {
             time: tracer.now_hint(),
             buf: pooled.id,
@@ -320,6 +371,7 @@ impl StagingPool {
             class,
             functional,
             numa,
+            generation,
         }
     }
 
@@ -332,6 +384,9 @@ impl StagingPool {
     pub fn recycle(&self, tracer: &Tracer, lease: StagingLease) {
         let mut inner = self.inner.lock();
         inner.stats.in_use_bytes -= lease.class;
+        // The recycle invalidates every descriptor minted under this
+        // lease: the next acquire of the same buffer sees a new generation.
+        *inner.generations.entry(lease.id).or_insert(1) += 1;
         tracer.record_analysis(AnalysisRecord::PoolRecycle {
             time: tracer.now_hint(),
             buf: lease.id,
@@ -347,6 +402,37 @@ impl StagingPool {
         if let Some(cap) = inner.config.max_free_bytes {
             Self::shrink_to(&mut inner, cap);
         }
+    }
+
+    /// Retire a lease without returning its buffer to the free lists: the
+    /// generation still bumps (outstanding descriptors go stale) and a
+    /// `PoolRecycle` retirement marker is recorded, but the buffer is
+    /// dropped — used when an in-flight copy may still reference it, so it
+    /// must never be handed out again.
+    pub fn retire(&self, tracer: &Tracer, lease: StagingLease) {
+        let mut inner = self.inner.lock();
+        inner.stats.in_use_bytes -= lease.class;
+        inner.stats.allocated_bytes -= lease.class;
+        inner.stats.released_buffers += 1;
+        inner.stats.released_bytes += lease.class;
+        *inner.generations.entry(lease.id).or_insert(1) += 1;
+        tracer.record_analysis(AnalysisRecord::PoolRecycle {
+            time: tracer.now_hint(),
+            buf: lease.id,
+        });
+    }
+
+    /// Current generation of buffer `buf`, or `None` for an id this pool
+    /// never handed out.
+    pub fn generation_of(&self, buf: u64) -> Option<u64> {
+        self.inner.lock().generations.get(&buf).copied()
+    }
+
+    /// Is `desc` current — minted under the buffer's present generation?
+    /// A descriptor from a recycled (or retired) lease always fails here;
+    /// so does one naming a buffer this pool never granted.
+    pub fn validate(&self, desc: &StagingDescriptor) -> bool {
+        self.generation_of(desc.segment) == Some(desc.generation)
     }
 
     /// Drop free buffers (largest class first) until resident free bytes
@@ -377,6 +463,36 @@ impl StagingPool {
     /// Snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().stats
+    }
+}
+
+/// Adapter exporting a staging lease's pinned buffer as the storage behind
+/// a shared-memory segment ([`gv_ipc::ShmBacking`]). Client writes to the
+/// segment land directly in the lease region the GVM issues H2D copies
+/// from — the zero-copy transport's segment == staging lease identity.
+pub struct LeaseBacking(HostBuffer);
+
+impl LeaseBacking {
+    /// Back a segment with `lease`'s buffer. The backing holds a shared
+    /// handle to the storage, so it stays valid for the lifetime of the
+    /// segment even after the lease object moves.
+    pub fn new(lease: &StagingLease) -> Self {
+        LeaseBacking(lease.buffer().clone())
+    }
+}
+
+impl gv_ipc::ShmBacking for LeaseBacking {
+    fn len(&self) -> u64 {
+        self.0.len()
+    }
+    fn is_functional(&self) -> bool {
+        self.0.is_functional()
+    }
+    fn store(&self, offset: u64, data: &[u8]) {
+        self.0.fill_at(offset, data);
+    }
+    fn load(&self, offset: u64, out: &mut [u8]) {
+        self.0.read_into(offset, out);
     }
 }
 
@@ -616,6 +732,89 @@ mod tests {
         }
         sim.run().unwrap();
         assert_eq!(pool.stats().backpressure_waits, 0);
+    }
+
+    #[test]
+    fn recycle_bumps_generation_and_stales_descriptors() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 4096, false);
+        assert_eq!(a.generation(), 1);
+        let desc = a.descriptor(0, 100);
+        assert_eq!(desc.segment, a.id());
+        assert!(pool.validate(&desc));
+        pool.recycle(&t, a);
+        // The recycle alone stales the descriptor, before any re-acquire.
+        assert!(!pool.validate(&desc));
+        let b = pool.acquire(&t, 4096, false);
+        assert_eq!(b.id(), desc.segment, "same buffer recycled");
+        assert_eq!(b.generation(), 2);
+        assert!(pool.validate(&b.descriptor(0, 100)));
+        assert!(!pool.validate(&desc), "old generation stays stale");
+        pool.recycle(&t, b);
+    }
+
+    #[test]
+    fn retire_stales_descriptors_without_reuse() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 4096, false);
+        let id = a.id();
+        let desc = a.descriptor(0, 4096);
+        pool.retire(&t, a);
+        assert!(!pool.validate(&desc));
+        let s = pool.stats();
+        assert_eq!(s.in_use_bytes, 0);
+        assert_eq!(s.allocated_bytes, 0);
+        assert_eq!(s.released_buffers, 1);
+        // The buffer never re-enters a free list.
+        let b = pool.acquire(&t, 4096, false);
+        assert_ne!(b.id(), id);
+        assert_eq!(pool.stats().hits, 0);
+        pool.recycle(&t, b);
+    }
+
+    #[test]
+    fn validate_rejects_foreign_buffers() {
+        let pool = StagingPool::new();
+        assert_eq!(pool.generation_of(77), None);
+        assert!(!pool.validate(&StagingDescriptor {
+            segment: 77,
+            offset: 0,
+            len: 16,
+            generation: 1,
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns lease capacity")]
+    fn descriptor_window_must_fit_capacity() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, 4096, false);
+        let _ = a.descriptor(4000, 200);
+    }
+
+    #[test]
+    fn lease_backing_exports_shared_storage() {
+        use gv_ipc::ShmBacking;
+        let t = tracer();
+        let pool = StagingPool::new();
+        let lease = pool.acquire(&t, 4096, true);
+        let backing = LeaseBacking::new(&lease);
+        assert_eq!(backing.len(), lease.capacity());
+        assert!(backing.is_functional());
+        backing.store(8, &[1, 2, 3]);
+        // The store is visible through the lease buffer itself.
+        assert_eq!(lease.buffer().read_range(8, 3).unwrap(), vec![1, 2, 3]);
+        let mut out = [0u8; 3];
+        backing.load(8, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        // Timing-only leases export as non-functional backings.
+        let opaque = pool.acquire(&t, 4096, false);
+        assert!(!LeaseBacking::new(&opaque).is_functional());
+        pool.recycle(&t, lease);
+        pool.recycle(&t, opaque);
     }
 
     #[test]

@@ -153,6 +153,46 @@ pub fn swap_cost(bytes: f64, r_d2h: f64, r_h2d: f64, k: u32, overhead: f64) -> f
     bytes * (r_d2h + r_h2d) + 2.0 * k as f64 * overhead
 }
 
+/// Per-request *transport* overhead of the GVM request path — everything a
+/// request pays beyond the device copies and kernels themselves — for the
+/// two wire formats (`repro_zerocopy` measures the empirical side):
+///
+/// * **Staged** (`zero_copy = false`): the payload crosses host memory
+///   three extra times — client write into shm (`bytes_in`), the GVM's
+///   shm→pinned staging copy at `SND` (`bytes_in`), the GVM's pinned→shm
+///   retrieval copy at `RCV` (`bytes_out`) — plus the client's read of the
+///   result (`bytes_out`), each at `r_copy` time units per byte; and the
+///   `STR` barrier flush answers each of the `n` ranks with its own mq
+///   send, so every rank bears a full `l_mq` queue latency.
+///
+/// * **Zero-copy** (`zero_copy = true`): the client writes straight into
+///   the pinned staging lease (its shm write *is* the staging copy) and
+///   reads the result out of the same window — one traversal per
+///   direction, the GVM-side copies vanish — and the flush batches its
+///   ACKs into one queue round trip, so each rank bears `l_mq / n`.
+///
+/// `T_staged − T_zc = (bytes_in + bytes_out)·r_copy + l_mq·(1 − 1/n)`,
+/// strictly positive whenever any payload moves or `n > 1`: descriptor
+/// passing is never slower under the model.
+pub fn request_overhead(
+    bytes_in: f64,
+    bytes_out: f64,
+    r_copy: f64,
+    l_mq: f64,
+    n: u32,
+    zero_copy: bool,
+) -> f64 {
+    assert!(n >= 1, "a flush answers at least one rank");
+    assert!(bytes_in >= 0.0 && bytes_out >= 0.0 && r_copy >= 0.0 && l_mq >= 0.0);
+    let traversals = if zero_copy {
+        bytes_in + bytes_out
+    } else {
+        2.0 * (bytes_in + bytes_out)
+    };
+    let flush = if zero_copy { l_mq / n as f64 } else { l_mq };
+    traversals * r_copy + flush
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +426,92 @@ mod tests {
         let out = swap_cost(1024.0, 2e-3, 0.0, 1, 0.0);
         let back = swap_cost(1024.0, 0.0, 3e-3, 1, 0.0);
         assert!((round - (out + back)).abs() < 1e-12);
+    }
+
+    /// Brute-force the staged overhead by pricing each host-memory
+    /// traversal and mq send individually, exactly as the GVM issues them.
+    fn brute_force_overhead(
+        bytes_in: f64,
+        bytes_out: f64,
+        r_copy: f64,
+        l_mq: f64,
+        n: u32,
+        zero_copy: bool,
+    ) -> f64 {
+        let mut t = 0.0;
+        // Client write of the input (staged: into plain shm; zc: into the
+        // lease — same bytes either way).
+        t += bytes_in * r_copy;
+        if !zero_copy {
+            // GVM shm→pinned at SND and pinned→shm at RCV.
+            t += bytes_in * r_copy;
+            t += bytes_out * r_copy;
+        }
+        // Client read of the result.
+        t += bytes_out * r_copy;
+        // Flush ACK share: staged pays a full queue latency per rank,
+        // zero-copy amortizes one latency across the n-rank batch.
+        t += if zero_copy { l_mq / n as f64 } else { l_mq };
+        t
+    }
+
+    #[test]
+    fn request_overhead_matches_per_traversal_sum() {
+        for &(bi, bo, r, l) in &[
+            (1048576.0, 1048576.0, 2e-6, 0.02),
+            (4096.0, 0.0, 1e-4, 0.5),
+            (0.0, 8192.0, 3e-5, 0.1),
+            (0.0, 0.0, 1e-3, 0.25),
+        ] {
+            for n in [1u32, 2, 8, 64] {
+                for zc in [false, true] {
+                    let got = request_overhead(bi, bo, r, l, n, zc);
+                    let want = brute_force_overhead(bi, bo, r, l, n, zc);
+                    assert!(
+                        (got - want).abs() < 1e-9 * want.max(1.0),
+                        "bi={bi} bo={bo} n={n} zc={zc}: closed form {got}, sum {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_never_slower() {
+        for &(bi, bo) in &[(1048576.0, 1048576.0), (4096.0, 0.0), (0.0, 0.0)] {
+            for n in [1u32, 2, 8] {
+                let staged = request_overhead(bi, bo, 2e-6, 0.02, n, false);
+                let zc = request_overhead(bi, bo, 2e-6, 0.02, n, true);
+                assert!(
+                    zc <= staged,
+                    "bi={bi} bo={bo} n={n}: zc {zc} > staged {staged}"
+                );
+                // Strict whenever payload moves or the flush batches >1 rank.
+                if bi + bo > 0.0 || n > 1 {
+                    assert!(zc < staged);
+                }
+                // The gap is exactly the two dropped GVM copies plus the
+                // amortized flush latency.
+                let gap = (bi + bo) * 2e-6 + 0.02 * (1.0 - 1.0 / n as f64);
+                assert!((staged - zc - gap).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn request_overhead_flush_batching_amortizes() {
+        // Pure-latency profile: staged is flat in n, zero-copy decays as 1/n.
+        let staged: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&n| request_overhead(0.0, 0.0, 0.0, 0.4, n, false))
+            .collect();
+        let zc: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&n| request_overhead(0.0, 0.0, 0.0, 0.4, n, true))
+            .collect();
+        assert!(staged.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        assert!(zc.windows(2).all(|w| w[1] < w[0]));
+        assert!((zc[3] - 0.05).abs() < 1e-12);
     }
 
     #[test]

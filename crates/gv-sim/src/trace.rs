@@ -417,6 +417,46 @@ pub enum AnalysisRecord {
         /// Size of the restored working set in bytes.
         bytes: u64,
     },
+    /// The GVM exported a pinned staging lease as a shared-memory segment
+    /// and handed the owning rank a zero-copy descriptor for it (REQ/ACK
+    /// time). The staging checker validates every subsequent
+    /// [`AnalysisRecord::DescUse`] of the buffer against the newest grant's
+    /// generation, and treats client writes to `segment` between a rank's
+    /// `SND` receipt and its `RCV` receipt as a race.
+    DescGrant {
+        /// Simulated timestamp of the grant.
+        time: SimTime,
+        /// GVM instance name that issued the grant.
+        gvm: String,
+        /// SPMD rank the descriptor was handed to.
+        rank: usize,
+        /// Exported segment name (e.g. `"/gvm-shm-2"`).
+        segment: String,
+        /// Staging-pool buffer id backing the segment.
+        buf: u64,
+        /// Lease generation stamped into the descriptor.
+        generation: u64,
+        /// Descriptor extent in bytes.
+        len: u64,
+    },
+    /// A zero-copy descriptor was presented back to the GVM on `SND`.
+    /// `ok` records the GVM's verdict; the staging checker independently
+    /// re-derives staleness from the grant history, so a GVM that accepts
+    /// a stale generation is caught even if it claims `ok`.
+    DescUse {
+        /// Simulated timestamp of the use.
+        time: SimTime,
+        /// GVM instance name that validated the descriptor.
+        gvm: String,
+        /// SPMD rank that presented the descriptor.
+        rank: usize,
+        /// Staging-pool buffer id the descriptor names.
+        buf: u64,
+        /// Generation carried by the presented descriptor.
+        generation: u64,
+        /// `true` when the GVM accepted the descriptor as current.
+        ok: bool,
+    },
     /// One blocked process observed at deadlock detection time. The engine
     /// emits one of these per live process, followed by a single
     /// [`AnalysisRecord::Deadlock`], whenever a run dies with

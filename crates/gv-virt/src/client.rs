@@ -16,9 +16,10 @@
 //!   GVM side), and a `NAK` or exhausted retry budget surfaces as a
 //!   [`TaskError`] instead of a deadlock.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use gv_ipc::{MessageQueue, SharedMem};
+use gv_mem::{Span, StagingDescriptor};
 use gv_sim::{Ctx, RecvTimeout, SimDuration};
 
 use crate::gvm::GvmHandle;
@@ -119,6 +120,12 @@ pub struct VgpuClient {
     policy: ClientPolicy,
     abort_stage: Option<RequestKind>,
     seq: Cell<u64>,
+    /// Zero-copy transport: the staging-lease grant received on the `REQ`
+    /// `ACK`, presented back on every `SND`. `None` on the staged path.
+    desc: Cell<Option<StagingDescriptor>>,
+    /// Reusable span scratch so steady-state `SND`/`RCV` plan without
+    /// allocating.
+    spans: RefCell<Vec<Span>>,
 }
 
 impl VgpuClient {
@@ -158,6 +165,8 @@ impl VgpuClient {
             policy,
             abort_stage: None,
             seq: Cell::new(0),
+            desc: Cell::new(None),
+            spans: RefCell::new(Vec::new()),
         }
     }
 
@@ -179,6 +188,12 @@ impl VgpuClient {
         self.seq.get()
     }
 
+    /// The staging-lease grant this client currently holds (`None` until
+    /// a zero-copy `REQ` is acknowledged, and always on the staged path).
+    pub fn descriptor(&self) -> Option<StagingDescriptor> {
+        self.desc.get()
+    }
+
     /// One fault-aware protocol exchange: send `kind`, await the matching
     /// response within the policy's deadline, re-send on timeout with
     /// exponential backoff. Stale responses (sequence number below the
@@ -194,6 +209,13 @@ impl VgpuClient {
             rank: self.rank,
             kind,
             seq,
+            // The descriptor rides only on SND — the stage that consumes
+            // the lease window. A stale grant is the GVM's to refuse.
+            desc: if kind == RequestKind::Snd {
+                self.desc.get()
+            } else {
+                None
+            },
         };
         let mut backoff = self.policy.retry_backoff;
         let mut sends = 0u32;
@@ -222,6 +244,11 @@ impl VgpuClient {
                 };
                 if got.seq != 0 && got.seq < seq {
                     continue; // stale answer to an abandoned send
+                }
+                // A response carrying a staging-lease grant (the REQ ACK
+                // on the zero-copy path) updates the stored descriptor.
+                if got.desc.is_some() {
+                    self.desc.set(got.desc);
                 }
                 return match got.kind {
                     ResponseKind::Nak(reason) => Err(TaskError::Rejected {
@@ -270,13 +297,23 @@ impl VgpuClient {
                 stage: RequestKind::Snd,
             });
         }
-        let task = self.handle.task(self.rank).clone();
+        let task = self.handle.task(self.rank);
         if task.bytes_in > 0 {
             // Span-wise, mirroring the GVM's staging plan: under chunked
             // pipelining the input lands in shm in the same tiles the GVM
             // will stage, with the single-span plan degenerating to the
-            // whole-payload write.
-            for span in self.handle.config.mem.pipeline.plan(task.bytes_in) {
+            // whole-payload write. On the zero-copy path the segment is
+            // backed by the GVM's pinned lease, so this write *is* the
+            // staging copy — the GVM never touches the bytes again before
+            // H2D. The span scratch is reused so steady-state SNDs do not
+            // allocate.
+            let mut spans = self.spans.borrow_mut();
+            self.handle
+                .config
+                .mem
+                .pipeline
+                .plan_into(task.bytes_in, &mut spans);
+            for span in spans.iter() {
                 match &task.input {
                     Some(data) => self
                         .shm
@@ -339,13 +376,23 @@ impl VgpuClient {
 
     /// Fault-aware `RCV()`.
     pub fn try_rcv(&self, ctx: &mut Ctx) -> Result<Option<Vec<u8>>, TaskError> {
-        let task = self.handle.task(self.rank).clone();
+        let task = self.handle.task(self.rank);
         self.try_call(ctx, RequestKind::Rcv)?;
         if task.bytes_out == 0 {
             return Ok(None);
         }
+        // On the zero-copy path the RCV ACK means the results already sit
+        // in the lease-backed segment (the GVM's final-iteration D2H wrote
+        // them there); this read is the only result copy. On the staged
+        // path it reads what the GVM's pinned→shm copy produced.
         let mut bytes = Vec::with_capacity(task.bytes_out as usize);
-        for span in self.handle.config.mem.pipeline.plan(task.bytes_out) {
+        let mut spans = self.spans.borrow_mut();
+        self.handle
+            .config
+            .mem
+            .pipeline
+            .plan_into(task.bytes_out, &mut spans);
+        for span in spans.iter() {
             bytes.extend(
                 self.shm
                     .read(ctx, span.offset, span.len)

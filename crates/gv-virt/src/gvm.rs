@@ -34,8 +34,8 @@ use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
 use gv_mem::{
-    AdaptiveChooser, CachedAlloc, DeviceAllocCache, MemConfig, PipelineConfig, StagingLease,
-    StagingPool,
+    AdaptiveChooser, CachedAlloc, DeviceAllocCache, LeaseBacking, MemConfig, PipelineConfig,
+    StagingDescriptor, StagingLease, StagingPool,
 };
 use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
@@ -352,6 +352,12 @@ struct MemLayer {
     pool: StagingPool,
     devcache: DeviceAllocCache,
     chooser: AdaptiveChooser,
+    /// Reusable span scratch for the per-round staging/flush paths
+    /// ([`plan_scratch`](Self::plan_scratch)): steady-state rounds plan
+    /// their transfers without allocating.
+    spans: Vec<gv_mem::Span>,
+    /// Reusable ACK-order scratch for `flush_group`.
+    ack: Vec<usize>,
 }
 
 impl MemLayer {
@@ -394,6 +400,27 @@ impl MemLayer {
         }
         (xfer, spans)
     }
+
+    /// [`plan`](Self::plan) into the reusable scratch (`self.spans`) —
+    /// the allocation-free variant the per-round hot paths use. Produces
+    /// exactly the spans and analysis records `plan` would.
+    fn plan_scratch(&mut self, tracer: &gv_sim::Tracer, rank: usize, payload: u64) -> u64 {
+        let k = self.chooser.choose(payload, &self.mem.pipeline);
+        PipelineConfig::plan_exact_into(payload, k, &mut self.spans);
+        let xfer = tracer.alloc_xfer_id();
+        if payload > 0 {
+            gv_mem::record_plan(
+                tracer,
+                rank,
+                xfer,
+                payload,
+                self.spans.len() as u64,
+                self.mem.pipeline.chunks.max(1) as u64,
+                self.mem.pipeline.adaptive,
+            );
+        }
+        xfer
+    }
 }
 
 struct RankResources {
@@ -425,6 +452,13 @@ struct RankResources {
     round_tail: Option<gv_gpu::CommandHandle>,
     /// NUMA node of this rank's staging leases (from its core pinning).
     numa: usize,
+    /// Zero-copy transport: the session-lifetime pinned lease whose bytes
+    /// *are* the rank's shm segment (leased at boot, recycled at `RLS`).
+    /// `None` on the staged-copy path.
+    zc_lease: Option<StagingLease>,
+    /// The descriptor granted to the client at `REQ` `ACK` (what a valid
+    /// `SND` must present back). Cleared when the lease is recycled.
+    zc_desc: Option<StagingDescriptor>,
     /// Completed `RCV` rounds this session (drives the first-round-only
     /// ablation schedule).
     rounds_done: u32,
@@ -588,14 +622,71 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
     // oversubscribed session set cannot all be resident at boot.
     let lazy_alloc = ft.is_some() || cfg.has_finite_quota() || cfg.swap;
 
+    // One lease window serves both directions on the zero-copy path, so
+    // it cannot coexist with the steady-state double buffer (which needs
+    // next round's input alive while this round's output drains).
+    assert!(
+        !(cfg.mem.zero_copy && cfg.mem.pipeline.steady),
+        "zero_copy is incompatible with steady double-buffering"
+    );
+
+    // The buffer-lifecycle layer: one staging pool and one device
+    // allocation cache per GVM instance, plus the running transfer-group
+    // counter that ties chunk records together in analysis traces. The
+    // adaptive chunk chooser is seeded from the models this run already
+    // uses — staging rate from the node's memcpy bandwidth, transfer rate
+    // from the device's pinned H2D bandwidth, per-chunk overhead from the
+    // fixed latencies both sides charge per span — and refined online by
+    // an EWMA of measured staging latency. Built before the rank loop
+    // because zero-copy boot leases each rank's segment from the pool.
+    let dev_cfg = cudas[0].device().config();
+    let chooser = AdaptiveChooser::new(
+        1.0 / node.config().memcpy_gbps,
+        1.0e9 / dev_cfg.h2d_bytes_per_sec(true),
+        (node.config().shm_latency + dev_cfg.dma_latency).as_nanos() as f64,
+    );
+    let mut ml = MemLayer {
+        mem: cfg.mem,
+        pool: StagingPool::with_config(cfg.mem.pool),
+        devcache: DeviceAllocCache::new(),
+        chooser,
+        spans: Vec::new(),
+        ack: Vec::new(),
+    };
+
     let mut ranks: Vec<RankResources> = Vec::with_capacity(cfg.ntask);
     for r in 0..cfg.ntask {
         let task = h.tasks[r].clone();
         let shm_size = task.bytes_in.max(task.bytes_out).max(1);
-        let shm = h
-            .shm
-            .create(&endpoints.shm(r), shm_size)
-            .expect("shm name free");
+        // Ranks map onto NUMA nodes by their core pinning so a rank's
+        // leases come from free lists local to its socket.
+        let cores = node.config().cores.max(1);
+        let numa = (r % cores) * cfg.mem.pool.numa_nodes.max(1) / cores;
+        // Zero-copy: the rank's segment is not a private byte array the
+        // GVM copies out of — it is a *view of a pinned pool lease*. The
+        // client's SND write lands directly in pinned memory and H2D
+        // issues straight from it; the staged-copy path keeps the plain
+        // segment.
+        let (shm, zc_lease) = if cfg.mem.zero_copy {
+            let lease = ml
+                .pool
+                .acquire_on(ctx.tracer(), shm_size, task.is_functional(), numa);
+            let shm = h
+                .shm
+                .create_backed(
+                    &endpoints.shm(r),
+                    shm_size,
+                    Arc::new(LeaseBacking::new(&lease)),
+                )
+                .expect("shm name free");
+            (shm, Some(lease))
+        } else {
+            let shm = h
+                .shm
+                .create(&endpoints.shm(r), shm_size)
+                .expect("shm name free");
+            (shm, None)
+        };
         let resp = h
             .resp_mq
             .create(&endpoints.response_queue(r), None)
@@ -643,10 +734,6 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         // Pinned staging is leased per round from the shared pool (at SND
         // for input, at flush for output) instead of allocated per rank
         // here — recycled leases make steady-state rounds allocation-free.
-        // Ranks map onto NUMA nodes by their core pinning so a rank's
-        // leases come from free lists local to its socket.
-        let cores = node.config().cores.max(1);
-        let numa = (r % cores) * cfg.mem.pool.numa_nodes.max(1) / cores;
         ranks.push(RankResources {
             shm,
             resp,
@@ -660,6 +747,8 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             h2d_preissued_next: false,
             round_tail: None,
             numa,
+            zc_lease,
+            zc_desc: None,
             rounds_done: 0,
             task,
             state: RankState::Active,
@@ -668,26 +757,6 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             last_resp: None,
         });
     }
-    // The buffer-lifecycle layer: one staging pool and one device
-    // allocation cache per GVM instance, plus the running transfer-group
-    // counter that ties chunk records together in analysis traces. The
-    // adaptive chunk chooser is seeded from the models this run already
-    // uses — staging rate from the node's memcpy bandwidth, transfer rate
-    // from the device's pinned H2D bandwidth, per-chunk overhead from the
-    // fixed latencies both sides charge per span — and refined online by
-    // an EWMA of measured staging latency.
-    let dev_cfg = cudas[0].device().config();
-    let chooser = AdaptiveChooser::new(
-        1.0 / node.config().memcpy_gbps,
-        1.0e9 / dev_cfg.h2d_bytes_per_sec(true),
-        (node.config().shm_latency + dev_cfg.dma_latency).as_nanos() as f64,
-    );
-    let mut ml = MemLayer {
-        mem: cfg.mem,
-        pool: StagingPool::with_config(cfg.mem.pool),
-        devcache: DeviceAllocCache::new(),
-        chooser,
-    };
     // The dispatch policy. Per-rank service estimates feed shortest-job-
     // first ordering; the other policies ignore them.
     let costs_ms: Vec<f64> = (0..cfg.ntask)
@@ -824,13 +893,18 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             req
         };
         let r = req.rank;
-        ctx.tracer().record_analysis(gv_sim::AnalysisRecord::Proto {
-            time: ctx.now(),
-            gvm: h.endpoints.gvm.clone(),
-            rank: r,
-            kind: req.kind.label(),
-            seq: req.seq,
-        });
+        // Record construction clones the instance name; skip it when no
+        // analysis sink is attached so the request loop stays
+        // allocation-free (the tracer drops gated records anyway).
+        if ctx.tracer().analysis_enabled() {
+            ctx.tracer().record_analysis(gv_sim::AnalysisRecord::Proto {
+                time: ctx.now(),
+                gvm: h.endpoints.gvm.clone(),
+                rank: r,
+                kind: req.kind.label(),
+                seq: req.seq,
+            });
+        }
 
         // Idempotent retry handling: a sequence number at or below the
         // last one served is a duplicate (client retry after a lost
@@ -839,7 +913,16 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             h.stats.lock().dedup_hits += 1;
             if req.seq == ranks[r].last_seq {
                 if let Some(kind) = ranks[r].last_resp {
-                    let _ = ranks[r].resp.send(ctx, Response { seq: req.seq, kind });
+                    // Replay carries the current grant so a client whose
+                    // REQ ACK was lost still receives its descriptor.
+                    let _ = ranks[r].resp.send(
+                        ctx,
+                        Response {
+                            seq: req.seq,
+                            kind,
+                            desc: ranks[r].zc_desc,
+                        },
+                    );
                 }
                 // else: the original is still barriered in str_waiting —
                 // the ACK will go out at flush; never barrier twice.
@@ -916,7 +999,35 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         continue;
                     }
                 }
-                send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
+                // Zero-copy: the REQ ACK carries the staging descriptor —
+                // the client's window into this rank's lease-backed
+                // segment. The generation stamp is what later SNDs are
+                // validated against.
+                let mut resp = Response::ack(req.seq);
+                if cfg.mem.zero_copy {
+                    let rank = &mut ranks[r];
+                    let lease = rank
+                        .zc_lease
+                        .as_ref()
+                        .expect("zero-copy rank leased at boot");
+                    let len = rank.task.bytes_in.max(rank.task.bytes_out).max(1);
+                    let desc = lease.descriptor(0, len);
+                    rank.zc_desc = Some(desc);
+                    if ctx.tracer().analysis_enabled() {
+                        ctx.tracer()
+                            .record_analysis(gv_sim::AnalysisRecord::DescGrant {
+                                time: ctx.now(),
+                                gvm: h.endpoints.gvm.clone(),
+                                rank: r,
+                                segment: endpoints.shm(r),
+                                buf: desc.segment,
+                                generation: desc.generation,
+                                len: desc.len,
+                            });
+                    }
+                    resp = resp.with_desc(desc);
+                }
+                send_recorded(ctx, &mut ranks[r], resp);
             }
             RequestKind::Snd => {
                 // Lazy GVMs (fault-tolerant or finite-quota) allocate
@@ -1112,6 +1223,91 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         }
                     }
                 }
+                if cfg.mem.zero_copy {
+                    // Zero-copy SND: the payload already sits in pinned
+                    // memory (the client wrote it through the lease-backed
+                    // segment), so there is no shm→pinned copy to perform
+                    // — snd_copies/copy_time stay untouched. Validate the
+                    // presented descriptor's generation first: a recycled
+                    // lease means the window now aliases someone else's
+                    // buffer and the SND must be refused.
+                    let ok = req
+                        .desc
+                        .is_some_and(|d| ranks[r].zc_desc == Some(d) && ml.pool.validate(&d));
+                    if ctx.tracer().analysis_enabled() {
+                        let (buf, generation) = req
+                            .desc
+                            .map(|d| (d.segment, d.generation))
+                            .unwrap_or((0, 0));
+                        ctx.tracer()
+                            .record_analysis(gv_sim::AnalysisRecord::DescUse {
+                                time: ctx.now(),
+                                gvm: h.endpoints.gvm.clone(),
+                                rank: r,
+                                buf,
+                                generation,
+                                ok,
+                            });
+                    }
+                    if !ok {
+                        ctx.tracer().fault(ctx.now(), format!("stale-desc:rank{r}"));
+                        h.stats.lock().naks += 1;
+                        send_recorded(
+                            ctx,
+                            &mut ranks[r],
+                            Response::nak_reason(req.seq, NakReason::Stale),
+                        );
+                        continue;
+                    }
+                    let bytes = ranks[r].task.bytes_in;
+                    if bytes > 0 {
+                        // H2D issues straight from the lease; every span
+                        // is handed to the copy engine now, ahead of the
+                        // kernels on the same in-order stream, so the
+                        // flush skips iteration 0's upload.
+                        let xfer = ml.plan_scratch(ctx.tracer(), r, bytes);
+                        let analysis = ctx.tracer().analysis_enabled();
+                        let rank = &mut ranks[r];
+                        let gpu = rank.gpu.as_ref().expect("SND after allocation");
+                        let lease = rank.zc_lease.as_ref().expect("zero-copy lease");
+                        for span in &ml.spans {
+                            let cmd = contexts[rank.dev_idx]
+                                .memcpy_h2d_async_at(
+                                    ctx,
+                                    rank.stream,
+                                    lease.buffer(),
+                                    span.offset,
+                                    gpu.dev_base.add(span.offset),
+                                    span.len,
+                                )
+                                .expect("GVM zero-copy H2D submit");
+                            let label = if analysis {
+                                format!("cmd-{}", cmd.id)
+                            } else {
+                                String::new()
+                            };
+                            gv_mem::record_chunk(
+                                ctx.tracer(),
+                                cudas[rank.dev_idx].device().tracer_ordinal(),
+                                r,
+                                xfer,
+                                true,
+                                *span,
+                                bytes,
+                                lease.id(),
+                                label,
+                            );
+                        }
+                        rank.h2d_preissued = true;
+                        if ml.spans.len() > 1 {
+                            let mut stats = h.stats.lock();
+                            stats.chunked_transfers += 1;
+                            stats.chunks_submitted += ml.spans.len() as u64;
+                        }
+                    }
+                    send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
+                    continue;
+                }
                 // "Copies Data from Virtual Shared Memory to Host Pinned
                 // Memory" — performed by the GVM, charged to the GVM.
                 // Payloads at or above the pipeline threshold are split
@@ -1274,9 +1470,13 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
             RequestKind::Rcv => {
                 // "Copies Result Data from Host Pinned Memory to Virtual
                 // Shared Memory" — the same span-wise staging path as SND,
-                // in the other direction.
+                // in the other direction. On the zero-copy path there is
+                // nothing to move: the flush's final-iteration D2H already
+                // landed the results in the lease that *is* the segment,
+                // so the ACK alone tells the client to read them out
+                // (rcv_copies stays untouched).
                 let bytes = ranks[r].task.bytes_out;
-                if bytes > 0 {
+                if bytes > 0 && !cfg.mem.zero_copy {
                     let t0 = ctx.now();
                     let rank = &mut ranks[r];
                     let lease = rank
@@ -1352,6 +1552,19 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                             ml.pool.recycle(ctx.tracer(), l);
                         }
                     }
+                    // The zero-copy lease's generation is bumped either
+                    // way, so any descriptor the client still holds goes
+                    // stale. With copies still in flight the lease is
+                    // retired instead of recycled — nobody can ever be
+                    // handed a window an async copy still references.
+                    if let Some(l) = rank.zc_lease.take() {
+                        rank.zc_desc = None;
+                        if idle {
+                            ml.pool.recycle(ctx.tracer(), l);
+                        } else {
+                            ml.pool.retire(ctx.tracer(), l);
+                        }
+                    }
                     rank.round_tail = None;
                 }
                 send_recorded(ctx, &mut ranks[r], Response::ack(req.seq));
@@ -1383,6 +1596,12 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         quota_credit_all(ctx, &h, &cudas, &mut ranks[r], r);
         if let Some(gpu) = &ranks[r].gpu {
             let _ = cudas[ranks[r].dev_idx].device().free(gpu.dev_base);
+        }
+        // A Closed-queue exit can leave zero-copy sessions mid-cycle with
+        // their boot leases still held; settle them so the pool's
+        // allocated/in-use ledgers balance at shutdown.
+        if let Some(l) = ranks[r].zc_lease.take() {
+            ml.pool.recycle(ctx.tracer(), l);
         }
     }
     // Return parked device allocations with real frees so the device's
@@ -1612,6 +1831,18 @@ fn evict(
         rank.pinned_in_next = None;
         rank.pinned_out = None;
     }
+    // The zero-copy boot lease: recycle when safe, retire (generation
+    // bump, no reuse) while its window may still be referenced by an
+    // in-flight copy. Either way the evicted client's descriptor is
+    // stale from here on.
+    if let Some(l) = rank.zc_lease.take() {
+        rank.zc_desc = None;
+        if idle {
+            ml.pool.recycle(ctx.tracer(), l);
+        } else {
+            ml.pool.retire(ctx.tracer(), l);
+        }
+    }
     rank.round_tail = None;
     rank.resp.close(ctx);
     let _ = h.resp_mq.unlink(&h.endpoints.response_queue(r));
@@ -1712,23 +1943,41 @@ fn flush_group(
             .instant(t0, "sched", format!("idle-gap:{}ns", gap.as_nanos()));
     }
     // "Barrier to synchronize ACK to all processes" — arrival order, as in
-    // the paper's joint flush, restricted to the covered ranks.
-    let ack: Vec<usize> = str_waiting
-        .iter()
-        .filter(|w| group.contains(w))
-        .copied()
-        .collect();
-    ctx.tracer()
-        .record_analysis(gv_sim::AnalysisRecord::ProtoFlush {
-            time: ctx.now(),
-            gvm: h.endpoints.gvm.clone(),
-            ranks: ack.clone(),
-        });
-    for &rr in &ack {
-        let seq = ranks[rr].last_seq;
-        let rank = &mut ranks[rr];
-        rank.last_resp = Some(ResponseKind::Ack);
-        let _ = rank.resp.send(ctx, Response::ack(seq));
+    // the paper's joint flush, restricted to the covered ranks. The order
+    // is assembled into a reusable scratch so steady-state flushes do not
+    // allocate.
+    ml.ack.clear();
+    ml.ack
+        .extend(str_waiting.iter().filter(|w| group.contains(w)).copied());
+    if ctx.tracer().analysis_enabled() {
+        ctx.tracer()
+            .record_analysis(gv_sim::AnalysisRecord::ProtoFlush {
+                time: ctx.now(),
+                gvm: h.endpoints.gvm.clone(),
+                ranks: ml.ack.clone(),
+            });
+    }
+    if cfg.mem.zero_copy && !ml.ack.is_empty() {
+        // Descriptor-passing batches the flush ACKs: the mq latency is
+        // charged once per flush instead of once per rank, then every
+        // covered rank's ACK is enqueued prepaid (message faults still
+        // apply per queue). This is the "one mq round-trip per scheduler
+        // flush" half of the zero-copy overhead cut.
+        let first = ml.ack[0];
+        ranks[first].resp.charge_latency(ctx);
+        for &rr in &ml.ack {
+            let seq = ranks[rr].last_seq;
+            let rank = &mut ranks[rr];
+            rank.last_resp = Some(ResponseKind::Ack);
+            let _ = rank.resp.send_prepaid(ctx, Response::ack(seq));
+        }
+    } else {
+        for &rr in &ml.ack {
+            let seq = ranks[rr].last_seq;
+            let rank = &mut ranks[rr];
+            rank.last_resp = Some(ResponseKind::Ack);
+            let _ = rank.resp.send(ctx, Response::ack(seq));
+        }
     }
     str_waiting.retain(|w| !group.contains(w));
 }
@@ -1756,7 +2005,11 @@ fn flush_rank(
         rank.task.iterations,
         rank.task.is_functional(),
     );
-    if bytes_out > 0 && rank.pinned_out.is_none() {
+    let zc = ml.mem.zero_copy;
+    let analysis = ctx.tracer().analysis_enabled();
+    // Zero-copy needs no pinned_out: results drain straight into the
+    // rank's lease-backed segment on the final iteration.
+    if bytes_out > 0 && !zc && rank.pinned_out.is_none() {
         rank.pinned_out = Some(
             ml.pool
                 .acquire_on(ctx.tracer(), bytes_out, functional, rank.numa),
@@ -1769,7 +2022,14 @@ fn flush_rank(
     let preissued = std::mem::take(&mut rank.h2d_preissued);
     for it in 0..iterations {
         if bytes_in > 0 && !(it == 0 && preissued) {
-            let lease = rank.pinned_in.as_ref().expect("SND leased pinned_in");
+            // Re-loads source the zero-copy lease directly (the client's
+            // input is still untouched there until the final D2H) or the
+            // staged pinned_in lease.
+            let lease = if zc {
+                rank.zc_lease.as_ref().expect("zero-copy lease")
+            } else {
+                rank.pinned_in.as_ref().expect("SND leased pinned_in")
+            };
             // The first-round-only ablation re-uploads monolithically, as
             // the pre-steady-state flush did.
             let k = if ml.mem.pipeline.first_round_only {
@@ -1782,8 +2042,8 @@ fn flush_rank(
                 // tiles release the shared H2D engine between spans, so
                 // other ranks' copies interleave instead of waiting out
                 // one monolithic transfer at the head of the engine queue.
-                let (xfer, spans) = ml.plan(ctx.tracer(), r, bytes_in);
-                for span in &spans {
+                let xfer = ml.plan_scratch(ctx.tracer(), r, bytes_in);
+                for span in &ml.spans {
                     let cmd = cc
                         .memcpy_h2d_async_at(
                             ctx,
@@ -1794,6 +2054,11 @@ fn flush_rank(
                             span.len,
                         )
                         .expect("GVM H2D submit");
+                    let label = if analysis {
+                        format!("cmd-{}", cmd.id)
+                    } else {
+                        String::new()
+                    };
                     gv_mem::record_chunk(
                         ctx.tracer(),
                         cc.cuda().device().tracer_ordinal(),
@@ -1803,12 +2068,12 @@ fn flush_rank(
                         *span,
                         bytes_in,
                         lease.id(),
-                        format!("cmd-{}", cmd.id),
+                        label,
                     );
                 }
                 let mut stats = h.stats.lock();
                 stats.chunked_transfers += 1;
-                stats.chunks_submitted += spans.len() as u64;
+                stats.chunks_submitted += ml.spans.len() as u64;
             } else {
                 cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes_in)
                     .expect("GVM H2D submit");
@@ -1817,10 +2082,19 @@ fn flush_rank(
         for k in &gpu.kernels {
             cc.launch(ctx, rank.stream, k.clone()).expect("GVM launch");
         }
-        if bytes_out > 0 {
-            let lease = rank.pinned_out.as_ref().expect("pinned_out leased above");
-            let (xfer, spans) = ml.plan(ctx.tracer(), r, bytes_out);
-            for span in &spans {
+        // Zero-copy drains results only on the final iteration: one lease
+        // window serves both directions, and an intermediate D2H would
+        // clobber the input region that later iterations' re-loads still
+        // read. D2H never mutates device state, so skipping the
+        // intermediate drains leaves the final output bit-identical.
+        if bytes_out > 0 && (!zc || it + 1 == iterations) {
+            let lease = if zc {
+                rank.zc_lease.as_ref().expect("zero-copy lease")
+            } else {
+                rank.pinned_out.as_ref().expect("pinned_out leased above")
+            };
+            let xfer = ml.plan_scratch(ctx.tracer(), r, bytes_out);
+            for span in &ml.spans {
                 let cmd = cc
                     .memcpy_d2h_async_at(
                         ctx,
@@ -1831,6 +2105,11 @@ fn flush_rank(
                         span.len,
                     )
                     .expect("GVM D2H submit");
+                let label = if analysis {
+                    format!("cmd-{}", cmd.id)
+                } else {
+                    String::new()
+                };
                 gv_mem::record_chunk(
                     ctx.tracer(),
                     cc.cuda().device().tracer_ordinal(),
@@ -1840,13 +2119,13 @@ fn flush_rank(
                     *span,
                     bytes_out,
                     lease.id(),
-                    format!("cmd-{}", cmd.id),
+                    label,
                 );
             }
-            if spans.len() > 1 {
+            if ml.spans.len() > 1 {
                 let mut stats = h.stats.lock();
                 stats.chunked_transfers += 1;
-                stats.chunks_submitted += spans.len() as u64;
+                stats.chunks_submitted += ml.spans.len() as u64;
             }
         }
     }

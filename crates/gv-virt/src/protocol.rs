@@ -13,6 +13,7 @@
 //! | `RCV`   | copy my results back into my virtual shared memory |
 //! | `RLS`   | release my VGPU resources |
 
+use gv_mem::StagingDescriptor;
 use gv_sim::SimTime;
 
 /// Request kinds a user process can send (paper Fig. 8).
@@ -76,6 +77,22 @@ pub struct Request {
     /// Per-client monotone sequence number (starts at 1; 0 = unsequenced
     /// legacy traffic, never deduplicated).
     pub seq: u64,
+    /// Zero-copy transport: the staging descriptor this `SND` presents
+    /// back to the GVM (the grant received at `REQ`). `None` on every
+    /// other stage and on the staged-copy path.
+    pub desc: Option<StagingDescriptor>,
+}
+
+impl Request {
+    /// A descriptor-less request (the staged-copy wire format).
+    pub fn new(rank: usize, kind: RequestKind, seq: u64) -> Request {
+        Request {
+            rank,
+            kind,
+            seq,
+            desc: None,
+        }
+    }
 }
 
 /// Why the GVM permanently rejected a request.
@@ -88,6 +105,10 @@ pub enum NakReason {
     /// The session's device-memory demand exceeds its admission quota;
     /// the GVM never silently exceeds a quota.
     OverQuota,
+    /// The `SND` presented a staging descriptor whose generation no
+    /// longer matches the lease (the lease was recycled or retired since
+    /// the grant); writing through it would alias another rank's buffer.
+    Stale,
 }
 
 impl NakReason {
@@ -97,6 +118,7 @@ impl NakReason {
             NakReason::Evicted => "evicted",
             NakReason::Oom => "oom",
             NakReason::OverQuota => "over-quota",
+            NakReason::Stale => "stale-descriptor",
         }
     }
 }
@@ -122,6 +144,10 @@ pub struct Response {
     pub seq: u64,
     /// The answer.
     pub kind: ResponseKind,
+    /// Zero-copy transport: the staging-lease grant handed out at `REQ`
+    /// `ACK` time. The client writes its payload through this window and
+    /// presents the descriptor back on `SND`. `None` everywhere else.
+    pub desc: Option<StagingDescriptor>,
 }
 
 impl Response {
@@ -130,6 +156,7 @@ impl Response {
         Response {
             seq,
             kind: ResponseKind::Ack,
+            desc: None,
         }
     }
 
@@ -138,6 +165,7 @@ impl Response {
         Response {
             seq,
             kind: ResponseKind::Wait,
+            desc: None,
         }
     }
 
@@ -151,6 +179,15 @@ impl Response {
         Response {
             seq,
             kind: ResponseKind::Nak(reason),
+            desc: None,
+        }
+    }
+
+    /// `self` carrying a staging-lease grant.
+    pub fn with_desc(self, desc: StagingDescriptor) -> Response {
+        Response {
+            desc: Some(desc),
+            ..self
         }
     }
 }
@@ -262,13 +299,29 @@ mod tests {
             Response::nak(9),
             Response {
                 seq: 9,
-                kind: ResponseKind::Nak(NakReason::Evicted)
+                kind: ResponseKind::Nak(NakReason::Evicted),
+                desc: None,
             }
         );
         assert_eq!(
             Response::nak_reason(9, NakReason::OverQuota).kind,
             ResponseKind::Nak(NakReason::OverQuota)
         );
+    }
+
+    #[test]
+    fn descriptor_rides_the_wire() {
+        let desc = StagingDescriptor {
+            segment: 3,
+            offset: 0,
+            len: 64,
+            generation: 2,
+        };
+        let granted = Response::ack(5).with_desc(desc);
+        assert_eq!(granted.desc, Some(desc));
+        assert_eq!(granted.kind, ResponseKind::Ack);
+        assert_eq!(Request::new(1, RequestKind::Snd, 2).desc, None);
+        assert_eq!(NakReason::Stale.label(), "stale-descriptor");
     }
 
     #[test]

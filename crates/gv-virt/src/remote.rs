@@ -252,14 +252,7 @@ impl RemoteClient {
         // Every RPC costs a round trip on the wire.
         self.handle.link.send_forward(ctx, 64);
         self.req
-            .send(
-                ctx,
-                Request {
-                    rank: self.rank,
-                    kind,
-                    seq,
-                },
-            )
+            .send(ctx, Request::new(self.rank, kind, seq))
             .expect("daemon up");
         let r = self.resp.recv(ctx).expect("daemon response");
         self.handle.link.send_reverse(ctx, 64);

@@ -1,0 +1,205 @@
+//! Seeded-fault fixtures for the zero-copy descriptor checkers: each
+//! hand-constructed trace plants exactly one violation, and the full
+//! `gv-analyze` suite must report exactly one diagnostic for it — the
+//! checkers neither miss the fault nor cascade into spurious findings.
+//! Also pins the `dgrant`/`duse` dump round trip so offline re-checking
+//! sees the same descriptor stream a live run recorded.
+
+use gvirt::analyze::model::{parse_dump, to_dump};
+use gvirt::analyze::{analyze, staging};
+use gvirt::sim::{AnalysisRecord, Pid, SimTime, VClock};
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+fn acq(ns: u64, buf: u64, bytes: u64) -> AnalysisRecord {
+    AnalysisRecord::PoolAcquire {
+        time: t(ns),
+        buf,
+        bytes,
+        hit: false,
+    }
+}
+
+fn recycle(ns: u64, buf: u64) -> AnalysisRecord {
+    AnalysisRecord::PoolRecycle { time: t(ns), buf }
+}
+
+fn grant(ns: u64, rank: usize, buf: u64, generation: u64) -> AnalysisRecord {
+    AnalysisRecord::DescGrant {
+        time: t(ns),
+        gvm: "gvm".to_string(),
+        rank,
+        segment: format!("/gvm-shm-{rank}"),
+        buf,
+        generation,
+        len: 4096,
+    }
+}
+
+fn duse(ns: u64, rank: usize, buf: u64, generation: u64, ok: bool) -> AnalysisRecord {
+    AnalysisRecord::DescUse {
+        time: t(ns),
+        gvm: "gvm".to_string(),
+        rank,
+        buf,
+        generation,
+        ok,
+    }
+}
+
+fn proto(ns: u64, rank: usize, kind: &'static str, seq: u64) -> AnalysisRecord {
+    AnalysisRecord::Proto {
+        time: t(ns),
+        gvm: "gvm".to_string(),
+        rank,
+        kind,
+        seq,
+    }
+}
+
+fn shm_write(ns: u64, rank: usize, offset: usize, len: usize) -> AnalysisRecord {
+    AnalysisRecord::ShmAccess {
+        time: t(ns),
+        pid: Pid::from_index(1),
+        process: format!("spmd-{rank}"),
+        segment: format!("/gvm-shm-{rank}"),
+        offset,
+        len,
+        is_write: true,
+        clock: VClock::from_components(vec![ns]),
+    }
+}
+
+/// Seeded fault 1: the GVM accepts a descriptor whose lease was recycled
+/// after the grant — exactly one diagnostic from the whole suite.
+#[test]
+fn seeded_stale_descriptor_yields_exactly_one_diagnostic() {
+    let records = vec![
+        acq(10, 1, 4096),
+        grant(15, 0, 1, 1),
+        recycle(20, 1), // generation bumps; the grant is now dead
+        acq(25, 1, 4096),
+        duse(30, 0, 1, 1, true), // ...but the GVM accepted it anyway
+        recycle(40, 1),
+    ];
+    let report = analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "exactly one diagnostic expected:\n{}",
+        report.render()
+    );
+    assert_eq!(report.diagnostics[0].checker, "staging");
+    assert!(
+        report.diagnostics[0]
+            .message
+            .contains("stale descriptor accepted"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+/// Seeded fault 2: the client writes into its leased segment after its
+/// `SND` was received, racing the device's H2D read from the same lease —
+/// exactly one diagnostic from the whole suite.
+#[test]
+fn seeded_write_after_snd_yields_exactly_one_diagnostic() {
+    let records = vec![
+        acq(10, 1, 4096),
+        proto(12, 0, "REQ", 1),
+        grant(15, 0, 1, 1),
+        shm_write(20, 0, 0, 4096), // staging the input before SND: fine
+        proto(25, 0, "SND", 2),
+        duse(26, 0, 1, 1, true),
+        shm_write(30, 0, 128, 64), // the planted race
+        proto(32, 0, "STR", 3),
+        AnalysisRecord::ProtoFlush {
+            time: t(33),
+            gvm: "gvm".to_string(),
+            ranks: vec![0],
+        },
+        proto(34, 0, "STP", 4),
+        proto(40, 0, "RCV", 5),
+        proto(45, 0, "RLS", 6),
+        recycle(50, 1),
+    ];
+    let report = analyze(&records);
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "exactly one diagnostic expected:\n{}",
+        report.render()
+    );
+    assert_eq!(report.diagnostics[0].checker, "staging");
+    assert!(
+        report.diagnostics[0].message.contains("write-after-SND"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+/// The well-behaved version of both fixtures is clean under the whole
+/// suite — the new rules fire on the faults, not on the protocol.
+#[test]
+fn well_behaved_descriptor_lifecycle_is_clean() {
+    let records = vec![
+        acq(10, 1, 4096),
+        proto(12, 0, "REQ", 1),
+        grant(15, 0, 1, 1),
+        shm_write(20, 0, 0, 4096),
+        proto(25, 0, "SND", 2),
+        duse(26, 0, 1, 1, true),
+        proto(32, 0, "STR", 3),
+        AnalysisRecord::ProtoFlush {
+            time: t(33),
+            gvm: "gvm".to_string(),
+            ranks: vec![0],
+        },
+        proto(34, 0, "STP", 4),
+        proto(40, 0, "RCV", 5),
+        proto(45, 0, "RLS", 6),
+        recycle(50, 1),
+    ];
+    let report = analyze(&records);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.staging_events >= 4, "desc records must be counted");
+}
+
+/// A NAK'd stale presentation is the validation working — no diagnostic —
+/// and the staging checker alone agrees with the full suite.
+#[test]
+fn rejected_stale_descriptor_is_clean() {
+    let records = vec![
+        acq(10, 1, 4096),
+        grant(15, 0, 1, 1),
+        recycle(20, 1),
+        duse(30, 0, 1, 1, false),
+    ];
+    assert!(staging::check(&records).is_empty());
+    assert!(analyze(&records).is_clean());
+}
+
+/// `dgrant`/`duse` lines survive the dump round trip bit-exactly,
+/// escaping included.
+#[test]
+fn descriptor_records_roundtrip_through_the_dump_format() {
+    let records = vec![
+        AnalysisRecord::DescGrant {
+            time: t(101),
+            gvm: "gvm a".to_string(), // space exercises escaping
+            rank: 3,
+            segment: "/gvm a-shm-3".to_string(),
+            buf: 9,
+            generation: 4,
+            len: 1 << 20,
+        },
+        duse(102, 3, 9, 4, true),
+        duse(103, 3, 9, 3, false),
+    ];
+    let dump = to_dump(&records);
+    assert!(dump.contains("dgrant "), "{dump}");
+    assert!(dump.contains("duse "), "{dump}");
+    assert_eq!(parse_dump(&dump).expect("parses"), records);
+}
