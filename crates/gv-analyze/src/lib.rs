@@ -19,6 +19,11 @@
 //!   records: chunk spans tile their payload exactly once, and a pooled
 //!   staging buffer is never recycled while a copy referencing it is in
 //!   flight (use-after-recycle).
+//! * [`coalesce`] — fused-DMA manifest invariants over the flush planner's
+//!   `CoalesceOp` records: each manifest partitions its batch exactly (no
+//!   overlap, no gap), member ranks are distinct, each member's engine
+//!   command exists on the named device/engine, lease generations were
+//!   current at submission, and no fusing crossed a quota or swap boundary.
 //! * [`cluster`] — co-residency invariants over the placement front-end's
 //!   `ClusterPlace`/`ClusterEvict` records: a VGPU session is resident on
 //!   at most one device at a time, gangs are never split across devices,
@@ -47,6 +52,7 @@
 //! [`Tracer::set_analysis`]: gv_sim::trace::Tracer::set_analysis
 
 pub mod cluster;
+pub mod coalesce;
 pub mod conformance;
 pub mod deadlock;
 pub mod device;
@@ -108,6 +114,8 @@ pub struct Report {
     /// Quota/oversubscription events (quota declarations, charge/credit,
     /// swap-out/swap-in) examined by the quota checker.
     pub quota_events: usize,
+    /// Fused-DMA manifests (`CoalesceOp`) examined by the coalesce checker.
+    pub coalesce_events: usize,
 }
 
 impl Report {
@@ -129,7 +137,7 @@ impl Report {
     /// One-line summary suitable for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster / {} sched / {} quota events",
+            "analyze: {} diagnostic(s) over {} shm / {} proto / {} device / {} staging / {} cluster / {} sched / {} quota / {} coalesce events",
             self.diagnostics.len(),
             self.shm_accesses,
             self.proto_messages,
@@ -137,7 +145,8 @@ impl Report {
             self.staging_events,
             self.cluster_events,
             self.sched_events,
-            self.quota_events
+            self.quota_events,
+            self.coalesce_events
         )
     }
 }
@@ -165,6 +174,10 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
             | AnalysisRecord::PoolRecycle { .. }
             | AnalysisRecord::DescGrant { .. }
             | AnalysisRecord::DescUse { .. } => report.staging_events += 1,
+            AnalysisRecord::CoalesceOp { .. } => {
+                report.staging_events += 1;
+                report.coalesce_events += 1;
+            }
             AnalysisRecord::ClusterDevice { .. }
             | AnalysisRecord::ClusterPlace { .. }
             | AnalysisRecord::ClusterEvict { .. } => report.cluster_events += 1,
@@ -183,6 +196,7 @@ pub fn analyze(records: &[AnalysisRecord]) -> Report {
     report.diagnostics.extend(conformance::check(records));
     report.diagnostics.extend(device::check(records));
     report.diagnostics.extend(staging::check(records));
+    report.diagnostics.extend(coalesce::check(records));
     report.diagnostics.extend(cluster::check(records));
     report.diagnostics.extend(quota::check(records));
     report.diagnostics.extend(deadlock::check(records));

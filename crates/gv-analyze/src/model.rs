@@ -427,6 +427,40 @@ pub fn to_dump(records: &[AnalysisRecord]) -> String {
                     esc(gvm),
                 );
             }
+            AnalysisRecord::CoalesceOp {
+                time,
+                gvm,
+                device,
+                h2d,
+                total,
+                ranks,
+                offsets,
+                lens,
+                bufs,
+                gens,
+                cmds,
+            } => {
+                let list = |v: &[u64]| {
+                    v.iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let _ = writeln!(
+                    out,
+                    "cop t={} dev={device} dir={} total={total} ranks={} offs={} lens={} \
+                     bufs={} gens={} cmds={} gvm={}",
+                    time.as_nanos(),
+                    if *h2d { "in" } else { "out" },
+                    list(ranks),
+                    list(offsets),
+                    list(lens),
+                    list(bufs),
+                    list(gens),
+                    list(cmds),
+                    esc(gvm),
+                );
+            }
             AnalysisRecord::DeadlockWaiter {
                 time,
                 pid,
@@ -799,6 +833,28 @@ pub fn parse_dump(text: &str) -> Result<Vec<AnalysisRecord>, DumpParseError> {
                     }
                 },
             },
+            "cop" => AnalysisRecord::CoalesceOp {
+                time: f.time()?,
+                gvm: unesc(f.get("gvm")?),
+                device: f.num("dev")?,
+                h2d: match f.get("dir")? {
+                    "in" => true,
+                    "out" => false,
+                    other => {
+                        return Err(DumpParseError {
+                            line: line_no,
+                            reason: format!("field 'dir' must be 'in' or 'out', got '{other}'"),
+                        })
+                    }
+                },
+                total: f.num("total")?,
+                ranks: f.num_list("ranks")?,
+                offsets: f.num_list("offs")?,
+                lens: f.num_list("lens")?,
+                bufs: f.num_list("bufs")?,
+                gens: f.num_list("gens")?,
+                cmds: f.num_list("cmds")?,
+            },
             "dlwait" => {
                 let raw = f.get("kind")?;
                 let kind = WaitKind::from_label(raw).ok_or_else(|| DumpParseError {
@@ -1063,6 +1119,19 @@ mod tests {
                 buf: 7,
                 generation: 2,
                 ok: false,
+            },
+            AnalysisRecord::CoalesceOp {
+                time: SimTime::from_nanos(136),
+                gvm: "gvm a".to_string(),
+                device: 0,
+                h2d: true,
+                total: 12288,
+                ranks: vec![0, 2],
+                offsets: vec![0, 4096],
+                lens: vec![4096, 8192],
+                bufs: vec![3, 7],
+                gens: vec![1, 3],
+                cmds: vec![12, 13],
             },
             AnalysisRecord::NotifyLost {
                 time: SimTime::from_nanos(135),

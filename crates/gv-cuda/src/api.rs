@@ -17,6 +17,36 @@ use parking_lot::Mutex;
 use crate::error::CudaError;
 use crate::host_mem::HostBuffer;
 
+/// One member of a coalesced H2D batch copy
+/// ([`CudaContext::memcpy_h2d_async_batch`]).
+pub struct BatchH2d<'a> {
+    /// Stream the member is ordered on.
+    pub stream: StreamId,
+    /// Pinned host source buffer.
+    pub src: &'a HostBuffer,
+    /// Byte offset of the payload within `src`.
+    pub src_offset: u64,
+    /// Device destination.
+    pub dst: DevicePtr,
+    /// Bytes to copy.
+    pub bytes: u64,
+}
+
+/// One member of a coalesced D2H batch copy
+/// ([`CudaContext::memcpy_d2h_async_batch`]).
+pub struct BatchD2h<'a> {
+    /// Stream the member is ordered on.
+    pub stream: StreamId,
+    /// Device source.
+    pub src: DevicePtr,
+    /// Pinned host destination buffer.
+    pub dst: &'a HostBuffer,
+    /// Byte offset within `dst` the payload lands at.
+    pub dst_offset: u64,
+    /// Bytes to copy.
+    pub bytes: u64,
+}
+
 /// Runtime handle to a device, shared by all processes on the node.
 #[derive(Clone)]
 pub struct CudaDevice {
@@ -210,6 +240,97 @@ impl CudaContext {
         Ok(h)
     }
 
+    /// Submit several pinned H2D sub-range copies as **one coalesced DMA
+    /// batch** (see [`GpuDevice::submit_batch`]): members that run
+    /// back-to-back on the copy engine pay the DMA setup latency once,
+    /// while every member keeps its own handle, stream ordering, and
+    /// completion fan-out. All members are validated (pinned source, span
+    /// within the buffer) before anything is enqueued.
+    pub fn memcpy_h2d_async_batch(
+        &self,
+        ctx: &mut Ctx,
+        items: &[BatchH2d<'_>],
+    ) -> Result<Vec<CommandHandle>, CudaError> {
+        let mut cmds = Vec::with_capacity(items.len());
+        for it in items {
+            assert!(
+                it.src.is_pinned(),
+                "async H2D requires pinned host memory (use memcpy_h2d for pageable)"
+            );
+            if it
+                .src_offset
+                .checked_add(it.bytes)
+                .is_none_or(|end| end > it.src.len())
+            {
+                return Err(CudaError::HostBufferTooSmall {
+                    requested: it.src_offset.saturating_add(it.bytes),
+                    capacity: it.src.len(),
+                });
+            }
+            let data = it.src.storage().map(|s| {
+                let guard = s.lock();
+                let start = it.src_offset as usize;
+                Arc::new(guard[start..start + it.bytes as usize].to_vec())
+            });
+            cmds.push((
+                it.stream,
+                CommandKind::CopyH2D {
+                    dst: it.dst,
+                    bytes: it.bytes,
+                    data,
+                    pinned: true,
+                },
+            ));
+        }
+        let handles = self.cuda.device.submit_batch(ctx, self.gctx, cmds)?;
+        for (it, h) in items.iter().zip(&handles) {
+            self.remember_tail(it.stream, h);
+        }
+        Ok(handles)
+    }
+
+    /// Submit several pinned D2H sub-range copies as one coalesced DMA
+    /// batch; the D2H counterpart of
+    /// [`memcpy_h2d_async_batch`](Self::memcpy_h2d_async_batch).
+    pub fn memcpy_d2h_async_batch(
+        &self,
+        ctx: &mut Ctx,
+        items: &[BatchD2h<'_>],
+    ) -> Result<Vec<CommandHandle>, CudaError> {
+        let mut cmds = Vec::with_capacity(items.len());
+        for it in items {
+            assert!(
+                it.dst.is_pinned(),
+                "async D2H requires pinned host memory (use memcpy_d2h for pageable)"
+            );
+            if it
+                .dst_offset
+                .checked_add(it.bytes)
+                .is_none_or(|end| end > it.dst.len())
+            {
+                return Err(CudaError::HostBufferTooSmall {
+                    requested: it.dst_offset.saturating_add(it.bytes),
+                    capacity: it.dst.len(),
+                });
+            }
+            cmds.push((
+                it.stream,
+                CommandKind::CopyD2H {
+                    src: it.src,
+                    bytes: it.bytes,
+                    sink: it.dst.storage(),
+                    sink_offset: it.dst_offset,
+                    pinned: true,
+                },
+            ));
+        }
+        let handles = self.cuda.device.submit_batch(ctx, self.gctx, cmds)?;
+        for (it, h) in items.iter().zip(&handles) {
+            self.remember_tail(it.stream, h);
+        }
+        Ok(handles)
+    }
+
     /// `cudaMemcpyAsync(D2H)`: requires pinned host memory.
     pub fn memcpy_d2h_async(
         &self,
@@ -350,6 +471,33 @@ impl CudaContext {
             .submit(ctx, self.gctx, stream, CommandKind::Kernel(kernel))?;
         self.remember_tail(stream, &h);
         Ok(h)
+    }
+
+    /// Launch several kernels as **one grouped submission** that amortizes
+    /// the host-side launch-call overhead: the calling process is held for
+    /// a single `kernel_launch_overhead` for the whole group (the CUDA-
+    /// graph / batched-launch amortization), then all kernels enqueue under
+    /// one scheduler lock and one wake-up. Device-side semantics are
+    /// unchanged — each kernel keeps its own stream ordering, window slot,
+    /// and completion handle.
+    pub fn launch_batch(
+        &self,
+        ctx: &mut Ctx,
+        items: &[(StreamId, KernelDesc)],
+    ) -> Result<Vec<CommandHandle>, CudaError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        ctx.hold(self.cuda.device.config().kernel_launch_overhead);
+        let cmds = items
+            .iter()
+            .map(|(stream, kernel)| (*stream, CommandKind::Kernel(kernel.clone())))
+            .collect();
+        let handles = self.cuda.device.submit_batch(ctx, self.gctx, cmds)?;
+        for ((stream, _), h) in items.iter().zip(&handles) {
+            self.remember_tail(*stream, h);
+        }
+        Ok(handles)
     }
 
     /// `cudaStreamSynchronize`: block until everything submitted to
@@ -528,6 +676,117 @@ mod tests {
                 .memcpy_h2d_async_at(ctx, s, &hin, 12, dbuf, 8)
                 .unwrap_err();
             assert!(matches!(err, CudaError::HostBufferTooSmall { .. }));
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn batched_copies_carry_data_and_fuse() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let s1 = cc.stream_create();
+            let s2 = cc.stream_create();
+            let d1 = cc.malloc(16).unwrap();
+            let d2 = cc.malloc(16).unwrap();
+            let hin = HostBuffer::from_f32(&[1.0, 2.0, 3.0, 4.0], true);
+            let hs = cc
+                .memcpy_h2d_async_batch(
+                    ctx,
+                    &[
+                        BatchH2d {
+                            stream: s1,
+                            src: &hin,
+                            src_offset: 0,
+                            dst: d1,
+                            bytes: 8,
+                        },
+                        BatchH2d {
+                            stream: s2,
+                            src: &hin,
+                            src_offset: 8,
+                            dst: d2,
+                            bytes: 8,
+                        },
+                    ],
+                )
+                .unwrap();
+            assert_eq!(hs.len(), 2);
+            assert_eq!(hs[1].id, hs[0].id + 1, "consecutive command ids");
+            for h in &hs {
+                h.wait(ctx);
+            }
+            let o1 = HostBuffer::zeroed(8, true);
+            let o2 = HostBuffer::zeroed(8, true);
+            let ds = cc
+                .memcpy_d2h_async_batch(
+                    ctx,
+                    &[
+                        BatchD2h {
+                            stream: s1,
+                            src: d1,
+                            dst: &o1,
+                            dst_offset: 0,
+                            bytes: 8,
+                        },
+                        BatchD2h {
+                            stream: s2,
+                            src: d2,
+                            dst: &o2,
+                            dst_offset: 0,
+                            bytes: 8,
+                        },
+                    ],
+                )
+                .unwrap();
+            for h in &ds {
+                h.wait(ctx);
+            }
+            assert_eq!(o1.to_f32().unwrap(), vec![1.0, 2.0]);
+            assert_eq!(o2.to_f32().unwrap(), vec![3.0, 4.0]);
+            // Each direction fused its second member behind the first.
+            assert_eq!(cuda.device().stats().fused_dma_ops, 2);
+            // A batch with an overrunning member enqueues nothing.
+            let err = cc
+                .memcpy_h2d_async_batch(
+                    ctx,
+                    &[BatchH2d {
+                        stream: s1,
+                        src: &hin,
+                        src_offset: 12,
+                        dst: d1,
+                        bytes: 8,
+                    }],
+                )
+                .unwrap_err();
+            assert!(matches!(err, CudaError::HostBufferTooSmall { .. }));
+            cuda.device().shutdown(ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn launch_batch_charges_one_launch_overhead() {
+        let (mut sim, cuda) = setup();
+        sim.spawn("p", move |ctx| {
+            let cc = cuda.create_context(ctx, "p");
+            let streams: Vec<_> = (0..4).map(|_| cc.stream_create()).collect();
+            let mut k = KernelDesc::new("k", 1, 32).regs(1);
+            k.block_demand_cycles = 1.0e6;
+            let t0 = ctx.now();
+            let items: Vec<_> = streams.iter().map(|&s| (s, k.clone())).collect();
+            let hs = cc.launch_batch(ctx, &items).unwrap();
+            // The host is held for exactly ONE launch overhead (5 µs on
+            // test_tiny), not four.
+            let held = ctx.now().duration_since(t0);
+            assert_eq!(held, cuda.device().config().kernel_launch_overhead);
+            assert_eq!(hs.len(), 4);
+            for h in &hs {
+                h.wait(ctx);
+            }
+            assert_eq!(cuda.device().stats().kernels_completed, 4);
+            assert!(cc.launch_batch(ctx, &[]).unwrap().is_empty());
             cuda.device().shutdown(ctx);
         });
         sim.run().unwrap();

@@ -13,7 +13,7 @@ pub mod error;
 pub mod event;
 pub mod host_mem;
 
-pub use api::{CudaContext, CudaDevice};
+pub use api::{BatchD2h, BatchH2d, CudaContext, CudaDevice};
 pub use error::CudaError;
 pub use event::CudaEvent;
 pub use host_mem::HostBuffer;

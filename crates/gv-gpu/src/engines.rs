@@ -116,6 +116,11 @@ pub(crate) struct Command {
     pub(crate) stream: StreamId,
     pub(crate) kind: CommandKind,
     pub(crate) gate: Gate,
+    /// Coalesce-group tag: commands submitted as one batched DMA carry the
+    /// same id. When a member dispatches back-to-back behind another member
+    /// of the same group on the same engine, the per-op DMA setup latency
+    /// is charged only once for the whole group.
+    pub(crate) fuse: Option<u64>,
 }
 
 /// Handle to an asynchronously executing device command.
@@ -165,6 +170,12 @@ struct DmaEngine {
     busy_until: SimTime,
     busy_total: SimDuration,
     served: u64,
+    /// Coalesce group of the last completed command (continuation check).
+    last_fuse: Option<u64>,
+    /// Completion time of the last command: a fused follower only gets the
+    /// setup-latency discount when it starts the instant its predecessor
+    /// finished (back-to-back on the engine, nothing interleaved).
+    last_done: SimTime,
 }
 
 impl DmaEngine {
@@ -174,7 +185,15 @@ impl DmaEngine {
             busy_until: SimTime::ZERO,
             busy_total: SimDuration::ZERO,
             served: 0,
+            last_fuse: None,
+            last_done: SimTime::ZERO,
         }
+    }
+
+    /// Does starting a member of coalesce group `fuse` at `now` continue a
+    /// fused run (predecessor of the same group completed exactly now)?
+    fn continues_fused_run(&self, fuse: Option<u64>, now: SimTime) -> bool {
+        fuse.is_some() && self.last_fuse == fuse && self.last_done == now
     }
 }
 
@@ -208,10 +227,15 @@ pub struct DeviceStats {
     pub max_concurrent_kernels: usize,
     /// Total SM busy cycles delivered.
     pub sm_busy_cycles: f64,
+    /// DMA ops that ran as fused continuations (setup latency elided).
+    pub fused_dma_ops: u64,
+    /// Total DMA setup latency elided by fused continuations.
+    pub fused_dma_saved: SimDuration,
 }
 
 pub(crate) struct SchedState {
     next_cmd_id: u64,
+    next_fuse_id: u64,
     next_kernel_seq: u64,
     next_stream_id: u32,
     next_ctx_id: u32,
@@ -234,6 +258,7 @@ impl SchedState {
     pub(crate) fn new(cfg: &DeviceConfig) -> Self {
         SchedState {
             next_cmd_id: 1,
+            next_fuse_id: 1,
             next_kernel_seq: 1,
             next_stream_id: 1,
             next_ctx_id: 1,
@@ -290,6 +315,18 @@ impl SchedState {
         stream: StreamId,
         kind: CommandKind,
     ) -> CommandHandle {
+        self.enqueue_fused(ctx, stream, kind, None)
+    }
+
+    /// Enqueue a command carrying an optional coalesce-group tag (see
+    /// [`Command::fuse`]). Plain submissions pass `None`.
+    pub(crate) fn enqueue_fused(
+        &mut self,
+        ctx: GpuCtxId,
+        stream: StreamId,
+        kind: CommandKind,
+        fuse: Option<u64>,
+    ) -> CommandHandle {
         let st = self.streams.get_mut(&stream).expect("unknown stream");
         assert_eq!(st.ctx, ctx, "stream belongs to a different context");
         let id = self.next_cmd_id;
@@ -301,8 +338,16 @@ impl SchedState {
             stream,
             kind,
             gate: gate.clone(),
+            fuse,
         });
         CommandHandle { gate, id }
+    }
+
+    /// Allocate a fresh coalesce-group id for one batched submission.
+    pub(crate) fn alloc_fuse_id(&mut self) -> u64 {
+        let id = self.next_fuse_id;
+        self.next_fuse_id += 1;
+        id
     }
 
     pub(crate) fn stream_idle(&self, stream: StreamId) -> bool {
@@ -366,6 +411,8 @@ impl SchedState {
             if engine.active.is_some() && engine.busy_until <= now {
                 let cmd = engine.active.take().expect("checked above");
                 engine.served += 1;
+                engine.last_fuse = cmd.fuse;
+                engine.last_done = now;
                 match &cmd.kind {
                     CommandKind::CopyH2D {
                         dst,
@@ -543,7 +590,12 @@ impl SchedState {
                                 self.stats.max_concurrent_kernels.max(self.window.len());
                         }
                         CommandKind::CopyH2D { bytes, pinned, .. } => {
-                            let t = cfg.copy_time(*bytes, true, *pinned);
+                            let mut t = cfg.copy_time(*bytes, true, *pinned);
+                            if self.h2d.continues_fused_run(cmd.fuse, now) {
+                                t = t.saturating_sub(cfg.dma_latency);
+                                self.stats.fused_dma_ops += 1;
+                                self.stats.fused_dma_saved += cfg.dma_latency;
+                            }
                             tracer.begin(now, "h2d", format!("cmd-{}", cmd.id), cmd.stream.0);
                             tracer.record_analysis(AnalysisRecord::CopyBegin {
                                 time: now,
@@ -579,7 +631,17 @@ impl SchedState {
                             engine.active = Some(cmd);
                         }
                         CommandKind::CopyD2H { bytes, pinned, .. } => {
-                            let t = cfg.copy_time(*bytes, false, *pinned);
+                            let mut t = cfg.copy_time(*bytes, false, *pinned);
+                            let engine = if cfg.unified_copy_engine {
+                                &self.h2d
+                            } else {
+                                &self.d2h
+                            };
+                            if engine.continues_fused_run(cmd.fuse, now) {
+                                t = t.saturating_sub(cfg.dma_latency);
+                                self.stats.fused_dma_ops += 1;
+                                self.stats.fused_dma_saved += cfg.dma_latency;
+                            }
                             tracer.begin(now, "d2h", format!("cmd-{}", cmd.id), cmd.stream.0);
                             tracer.record_analysis(AnalysisRecord::CopyBegin {
                                 time: now,

@@ -1,0 +1,29 @@
+//! Sweep the cross-rank coalescing flush against the per-rank ablation
+//! (payload size × 8 processes, launch-dense workload, mean per-request
+//! overhead over direct execution) into `results/coalesce.{txt,csv}` and
+//! the machine-readable `results/BENCH_coalesce.json`.
+//!
+//! Flags: `--quick` / `--scale N` shrink payloads; `--analyze` records
+//! every point's trace, checks it with `gv-analyze` (including the
+//! coalesce checker's manifest-partition and fan-out rules), and fails
+//! (exit 1) on any diagnostic.
+use std::process::ExitCode;
+
+use gv_harness::scenario::Scenario;
+use gv_harness::{coalesce, repro};
+
+fn main() -> ExitCode {
+    let scale = repro::scale_from_args();
+    let analyze = repro::has_flag("--analyze");
+    let (artifact, json, clean) = coalesce::sweep(&Scenario::default(), scale, analyze);
+    println!("{}", artifact.text);
+    artifact.save();
+    if std::fs::write("results/BENCH_coalesce.json", &json).is_err() {
+        eprintln!("warning: cannot write results/BENCH_coalesce.json");
+    }
+    if !clean {
+        eprintln!("gv-analyze diagnostics found in coalesce traces — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

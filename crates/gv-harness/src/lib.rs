@@ -22,6 +22,7 @@
 pub mod ablation;
 pub mod analysis;
 pub mod cluster;
+pub mod coalesce;
 pub mod ft;
 pub mod overhead;
 pub mod pipeline;

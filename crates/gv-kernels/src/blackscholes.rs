@@ -97,6 +97,7 @@ pub fn scaled_task(cfg: &DeviceConfig, options: u64, iterations: u32) -> GpuTask
         device_bytes: in_bytes + out_bytes,
         iterations,
         bytes_in: in_bytes,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: out_bytes,
         d2h_offset: in_bytes,

@@ -201,6 +201,7 @@ pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
         device_bytes: mat_bytes + 6 * vec_bytes,
         iterations: 1,
         bytes_in: mat_bytes + vec_bytes,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: vec_bytes + 8, // z and zeta
         d2h_offset: mat_bytes,
@@ -228,6 +229,7 @@ pub fn functional_task(cfg: &DeviceConfig, n: usize, niter: u32, seed: u64) -> G
         device_bytes: 256,
         iterations: 1,
         bytes_in: 0,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: 8,
         d2h_offset: 0,

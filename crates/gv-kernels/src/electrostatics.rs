@@ -108,6 +108,7 @@ pub fn scaled_task(cfg: &DeviceConfig, atoms: u64, slices: u32) -> GpuTask {
         device_bytes: atom_bytes + map_bytes,
         iterations: 1,
         bytes_in: atom_bytes,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: map_bytes,
         d2h_offset: atom_bytes,
@@ -157,6 +158,7 @@ pub fn functional_task(
         device_bytes: atom_bytes + slice_bytes * slices as u64,
         iterations: 1,
         bytes_in: atom_bytes,
+        round_bytes_in: Vec::new(),
         input: Some(Arc::new(input)),
         bytes_out: slice_bytes * slices as u64,
         d2h_offset: atom_bytes,

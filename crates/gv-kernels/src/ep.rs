@@ -144,6 +144,7 @@ pub fn timing_task(cfg: &DeviceConfig, kernel_ms: f64) -> GpuTask {
         device_bytes: RESULT_BYTES * PAPER_GRID,
         iterations: 1,
         bytes_in: 0,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: RESULT_BYTES,
         d2h_offset: 0,

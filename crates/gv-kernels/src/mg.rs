@@ -285,6 +285,7 @@ pub fn paper_task(cfg: &DeviceConfig) -> GpuTask {
         device_bytes: 4 * bytes,
         iterations: 1,
         bytes_in: 2 * bytes, // u and v
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: bytes, // final u
         d2h_offset: 0,
@@ -325,6 +326,7 @@ pub fn functional_task(cfg: &DeviceConfig, n: usize, iterations: u32) -> GpuTask
         device_bytes: 2 * bytes,
         iterations: 1,
         bytes_in: 2 * bytes,
+        round_bytes_in: Vec::new(),
         input: Some(Arc::new(input)),
         bytes_out: bytes,
         d2h_offset: 0,

@@ -58,6 +58,7 @@ pub fn scaled_task(cfg: &DeviceConfig, n: u64) -> GpuTask {
         device_bytes: 3 * bytes,
         iterations: 1,
         bytes_in: 2 * bytes,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: bytes,
         d2h_offset: 2 * bytes,

@@ -95,6 +95,15 @@ pub struct GpuTask {
     pub iterations: u32,
     /// Input bytes staged per iteration.
     pub bytes_in: u64,
+    /// Per-*round* input shape for multi-round sessions: round `j` stages
+    /// `round_bytes_in[j]` bytes per iteration instead of [`bytes_in`]
+    /// (rounds past the end fall back to `bytes_in`). Empty — the common
+    /// case — means every round stages `bytes_in`. Shaped sessions must
+    /// be timing-only: a functional task's verified input is a single
+    /// fixed byte string.
+    ///
+    /// [`bytes_in`]: Self::bytes_in
+    pub round_bytes_in: Vec<u64>,
     /// Functional input (written at device offset 0), timing-only if `None`.
     pub input: Option<Arc<Vec<u8>>>,
     /// Output bytes retrieved per iteration.
@@ -123,6 +132,37 @@ impl GpuTask {
     /// Total bytes staged to the device over all iterations.
     pub fn total_bytes_in(&self) -> u64 {
         self.bytes_in * self.iterations as u64
+    }
+
+    /// Input bytes round `round` stages per iteration: the shaped
+    /// per-round size when one was declared, else [`bytes_in`]
+    /// (`Self::bytes_in`).
+    pub fn bytes_in_for_round(&self, round: u32) -> u64 {
+        self.round_bytes_in
+            .get(round as usize)
+            .copied()
+            .unwrap_or(self.bytes_in)
+    }
+
+    /// Largest per-iteration input any round stages — what boot-time
+    /// sizing (shm segments, zero-copy leases) must provision for.
+    pub fn max_bytes_in(&self) -> u64 {
+        self.round_bytes_in
+            .iter()
+            .copied()
+            .fold(self.bytes_in, u64::max)
+    }
+
+    /// `self` with a per-round input shape (see
+    /// [`round_bytes_in`](Self::round_bytes_in)). Panics on functional
+    /// tasks — their verified input is a single fixed byte string.
+    pub fn with_round_shape(mut self, rounds: Vec<u64>) -> Self {
+        assert!(
+            !self.is_functional() || rounds.is_empty(),
+            "per-round input shapes require a timing-only task"
+        );
+        self.round_bytes_in = rounds;
+        self
     }
 
     /// Total bytes retrieved over all iterations.
@@ -167,6 +207,7 @@ mod tests {
             device_bytes: 1024,
             iterations: 3,
             bytes_in: 100,
+            round_bytes_in: Vec::new(),
             input: None,
             bytes_out: 50,
             d2h_offset: 512,

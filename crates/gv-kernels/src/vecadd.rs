@@ -47,6 +47,7 @@ pub fn scaled_task(cfg: &DeviceConfig, n: u64) -> GpuTask {
         device_bytes: 12 * n,
         iterations: 1,
         bytes_in: 8 * n,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: 4 * n,
         d2h_offset: 8 * n,

@@ -164,6 +164,52 @@ impl PipelineConfig {
     }
 }
 
+/// Cross-rank DMA coalescing and batched kernel launch in the flush path.
+///
+/// When a flush admits multiple ranks, the coalescing planner
+/// ([`CoalescePlan`](crate::CoalescePlan)) fuses adjacent same-direction
+/// staging transfers into single large DMA submissions (the follower
+/// sub-ops elide the per-op DMA setup latency) and groups the co-flushed
+/// ranks' kernel launches into one batched submission that charges the
+/// host launch overhead once. Off by default: the uncoalesced flush path
+/// is then bit-identical to the pre-coalescing schedule and serves as the
+/// ablation baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Master switch. When `false` the flush path never consults the
+    /// planner and the schedule is bit-identical to the uncoalesced one.
+    pub enabled: bool,
+    /// Largest per-member payload (bytes) eligible for DMA fusion. Big
+    /// transfers are bandwidth-bound — fusing them buys one `dma_latency`
+    /// against a multi-millisecond copy — so fusion targets the small
+    /// fixed-cost-dominated end. Kernel-launch batching is *not* gated by
+    /// this threshold.
+    pub fuse_threshold: u64,
+    /// Cap on members per fused DMA submission. Bounds the blast radius
+    /// of one fused op (a fault mid-batch re-exposes every member).
+    pub max_group: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            enabled: false,
+            fuse_threshold: 4 << 20,
+            max_group: 16,
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// Coalescing on with the default threshold and group cap.
+    pub fn on() -> Self {
+        CoalesceConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Buffer-lifecycle configuration carried by the GVM.
 ///
 /// The pinned staging pool and device-allocation cache are always on (they
@@ -186,6 +232,10 @@ pub struct MemConfig {
     /// Incompatible with [`PipelineConfig::steady`] double-buffering (a
     /// single exported segment cannot also be a double buffer).
     pub zero_copy: bool,
+    /// Cross-rank DMA coalescing and batched kernel launch at flush;
+    /// disabled by default (the uncoalesced schedule is the ablation
+    /// baseline).
+    pub coalesce: CoalesceConfig,
 }
 
 impl MemConfig {
@@ -200,6 +250,20 @@ impl MemConfig {
     /// The same configuration with the zero-copy transport toggled.
     pub fn with_zero_copy(mut self, on: bool) -> Self {
         self.zero_copy = on;
+        self
+    }
+
+    /// Convenience: the coalescing flush path with default fusion knobs.
+    pub fn coalesced() -> Self {
+        MemConfig {
+            coalesce: CoalesceConfig::on(),
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with the coalescing flush path toggled.
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce.enabled = on;
         self
     }
     /// Convenience: a config with chunked pipelining enabled.
@@ -313,6 +377,21 @@ mod tests {
         assert!(z.zero_copy);
         assert!(!z.pipeline.steady);
         assert!(!MemConfig::zero_copy().with_zero_copy(false).zero_copy);
+    }
+
+    #[test]
+    fn coalesce_config_builders() {
+        let d = CoalesceConfig::default();
+        assert!(!d.enabled);
+        assert_eq!(d.fuse_threshold, 4 << 20);
+        assert_eq!(d.max_group, 16);
+        assert!(!MemConfig::default().coalesce.enabled);
+        let c = MemConfig::coalesced();
+        assert!(c.coalesce.enabled);
+        assert!(!c.zero_copy);
+        assert!(!MemConfig::coalesced().with_coalesce(false).coalesce.enabled);
+        assert!(MemConfig::zero_copy().with_coalesce(true).coalesce.enabled);
+        assert!(CoalesceConfig::on().enabled);
     }
 
     #[test]

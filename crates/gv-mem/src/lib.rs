@@ -20,6 +20,11 @@
 //! * [`AdaptiveChooser`] — model-driven chunk sizing: per-transfer `k`
 //!   from the `pipelined_staging` term in `gv-model` plus an online EWMA
 //!   of measured staging latency, capped by the config.
+//! * [`CoalescePlan`] — the cross-rank coalescing planner: partitions a
+//!   flush's admitted members into runs of adjacent staging leases
+//!   ([`StagingLease::place_addr`](pool::StagingLease::place_addr)) so
+//!   one fused DMA submission sweeps each run and follower sub-ops elide
+//!   the per-op setup latency. Off by default ([`CoalesceConfig`]).
 //! * [`stage_span`] / [`record_chunk`] / [`record_plan`] — the single
 //!   span-wise data mover both protocol directions share, and the
 //!   analysis-record emitters that let `gv-analyze` prove chunk tiling
@@ -30,13 +35,15 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod coalesce;
 pub mod config;
 pub mod devcache;
 pub mod pool;
 pub mod stage;
 
 pub use adaptive::AdaptiveChooser;
-pub use config::{MemConfig, PipelineConfig, Span};
+pub use coalesce::{CoalesceMember, CoalescePlan};
+pub use config::{CoalesceConfig, MemConfig, PipelineConfig, Span};
 pub use devcache::{CachedAlloc, DevCacheStats, DeviceAllocCache};
 pub use pool::{
     LeaseBacking, PoolConfig, PoolStats, StagingDescriptor, StagingLease, StagingPool, MIN_CLASS,

@@ -115,6 +115,9 @@ impl PoolStats {
 struct PooledBuf {
     id: u64,
     buf: HostBuffer,
+    /// Simulated host-address ordinal of the pinned region (see
+    /// [`StagingLease::place_addr`]). Stable across recycles.
+    place: u64,
 }
 
 struct Inner {
@@ -129,6 +132,11 @@ struct Inner {
     generations: HashMap<u64, u64>,
     config: PoolConfig,
     stats: PoolStats,
+    /// Next simulated host address handed to a freshly allocated buffer.
+    /// Fresh allocations are laid out monotonically, so consecutive
+    /// acquires that all miss receive *adjacent* pinned regions — the
+    /// coalescing planner's contiguity source.
+    next_place: u64,
 }
 
 /// A zero-copy handle to a window of an exported staging lease —
@@ -167,6 +175,7 @@ pub struct StagingLease {
     functional: bool,
     numa: usize,
     generation: u64,
+    place: u64,
 }
 
 impl StagingLease {
@@ -190,6 +199,16 @@ impl StagingLease {
     /// NUMA node the lease was acquired for (0 on single-socket configs).
     pub fn numa(&self) -> usize {
         self.numa
+    }
+
+    /// Simulated host address of the pinned region. The pool lays fresh
+    /// buffers out monotonically, so two leases with
+    /// `a.place_addr() + a.capacity() == b.place_addr()` back *adjacent*
+    /// pinned windows — the coalescing planner fuses exactly such runs
+    /// into one DMA submission. The address is a model ordinal, not a
+    /// real pointer; only adjacency arithmetic is meaningful.
+    pub fn place_addr(&self) -> u64 {
+        self.place
     }
 
     /// Generation this lease was granted under (see
@@ -249,6 +268,7 @@ impl StagingPool {
                 generations: HashMap::new(),
                 config,
                 stats: PoolStats::default(),
+                next_place: 0,
             }),
         }
     }
@@ -273,7 +293,25 @@ impl StagingPool {
         numa: usize,
     ) -> StagingLease {
         let mut inner = self.inner.lock();
-        self.acquire_locked(&mut inner, tracer, bytes, functional, numa)
+        self.acquire_locked(&mut inner, tracer, bytes, functional, numa, None)
+    }
+
+    /// Like [`acquire_on`](Self::acquire_on), but with a placement hint:
+    /// when `prefer_place` is `Some(addr)`, the free list is scanned for
+    /// the recycled buffer whose pinned region starts at `addr` (the one
+    /// adjacent to a lease the caller already holds) before falling back
+    /// to LIFO. A miss on the hint is silent — the lease is still granted,
+    /// just not guaranteed adjacent — so hinted acquires are always safe.
+    pub fn acquire_at(
+        &self,
+        tracer: &Tracer,
+        bytes: u64,
+        functional: bool,
+        numa: usize,
+        prefer_place: Option<u64>,
+    ) -> StagingLease {
+        let mut inner = self.inner.lock();
+        self.acquire_locked(&mut inner, tracer, bytes, functional, numa, prefer_place)
     }
 
     /// Like [`acquire_on`](Self::acquire_on), but honors the configured
@@ -305,7 +343,7 @@ impl StagingPool {
                     None => true,
                 };
                 if fits {
-                    return self.acquire_locked(&mut inner, tracer, bytes, functional, numa);
+                    return self.acquire_locked(&mut inner, tracer, bytes, functional, numa, None);
                 }
                 if !waited {
                     waited = true;
@@ -325,6 +363,7 @@ impl StagingPool {
         bytes: u64,
         functional: bool,
         numa: usize,
+        prefer_place: Option<u64>,
     ) -> StagingLease {
         let class = size_class(bytes);
         let numa = numa % inner.config.numa_nodes.max(1);
@@ -336,7 +375,16 @@ impl StagingPool {
         let recycled = inner
             .free
             .get_mut(&(class, functional, numa))
-            .and_then(|list| list.pop());
+            .and_then(|list| {
+                // Placement hint: prefer the free buffer whose pinned
+                // region starts exactly at `prefer_place`, else LIFO.
+                if let Some(addr) = prefer_place {
+                    if let Some(pos) = list.iter().position(|b| b.place == addr) {
+                        return Some(list.swap_remove(pos));
+                    }
+                }
+                list.pop()
+            });
         let hit = recycled.is_some();
         let pooled = recycled.unwrap_or_else(|| {
             // Tracer-global id: pools of co-resident GVMs share one trace,
@@ -344,12 +392,14 @@ impl StagingPool {
             let id = tracer.alloc_pool_buf_id();
             inner.stats.buffers += 1;
             inner.stats.allocated_bytes += class;
+            let place = inner.next_place;
+            inner.next_place += class;
             let buf = if functional {
                 HostBuffer::zeroed(class, true)
             } else {
                 HostBuffer::opaque(class, true)
             };
-            PooledBuf { id, buf }
+            PooledBuf { id, buf, place }
         });
         if hit {
             inner.stats.hits += 1;
@@ -372,6 +422,7 @@ impl StagingPool {
             functional,
             numa,
             generation,
+            place: pooled.place,
         }
     }
 
@@ -398,6 +449,7 @@ impl StagingPool {
             .push(PooledBuf {
                 id: lease.id,
                 buf: lease.buf,
+                place: lease.place,
             });
         if let Some(cap) = inner.config.max_free_bytes {
             Self::shrink_to(&mut inner, cap);
@@ -815,6 +867,55 @@ mod tests {
         assert!(!LeaseBacking::new(&opaque).is_functional());
         pool.recycle(&t, lease);
         pool.recycle(&t, opaque);
+    }
+
+    #[test]
+    fn fresh_allocations_are_laid_out_adjacent() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, MIN_CLASS, false);
+        let b = pool.acquire(&t, MIN_CLASS, false);
+        let c = pool.acquire(&t, 1 << 20, false);
+        assert_eq!(a.place_addr() + a.capacity(), b.place_addr());
+        assert_eq!(b.place_addr() + b.capacity(), c.place_addr());
+        pool.recycle(&t, a);
+        pool.recycle(&t, b);
+        pool.recycle(&t, c);
+    }
+
+    #[test]
+    fn place_addr_is_stable_across_recycles() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, MIN_CLASS, false);
+        let (id, place) = (a.id(), a.place_addr());
+        pool.recycle(&t, a);
+        let b = pool.acquire(&t, MIN_CLASS, false);
+        assert_eq!(b.id(), id);
+        assert_eq!(b.place_addr(), place, "recycle must not move the region");
+        pool.recycle(&t, b);
+    }
+
+    #[test]
+    fn hinted_acquire_prefers_the_adjacent_buffer() {
+        let t = tracer();
+        let pool = StagingPool::new();
+        let a = pool.acquire(&t, MIN_CLASS, false);
+        let b = pool.acquire(&t, MIN_CLASS, false);
+        let (place_a, place_b) = (a.place_addr(), b.place_addr());
+        // Recycle in an order that leaves `b` on top of the LIFO list,
+        // then ask for `a`'s address: the hint must beat LIFO.
+        pool.recycle(&t, a);
+        pool.recycle(&t, b);
+        let hinted = pool.acquire_at(&t, MIN_CLASS, false, 0, Some(place_a));
+        assert_eq!(hinted.place_addr(), place_a);
+        // A hint naming an address not on the free list falls back to
+        // LIFO and still grants a lease.
+        let fallback = pool.acquire_at(&t, MIN_CLASS, false, 0, Some(999_999_999));
+        assert_eq!(fallback.place_addr(), place_b);
+        assert_eq!(pool.stats().misses, 2, "both hinted acquires were hits");
+        pool.recycle(&t, hinted);
+        pool.recycle(&t, fallback);
     }
 
     #[test]

@@ -193,6 +193,33 @@ pub fn request_overhead(
     traversals * r_copy + flush
 }
 
+/// Fixed submission cost of a flush wave under cross-rank coalescing: when
+/// `ops` same-direction DMA sub-ops (or kernel launches) go down in
+/// `groups` submissions instead of one apiece, only the *first* member of
+/// each group pays the per-submission fixed cost `l_op` (DMA setup
+/// latency, or host launch overhead) — followers ride the open engine run:
+///
+/// `T_fixed = groups·l_op`   (uncoalesced: `groups = ops`, so `ops·l_op`)
+///
+/// The predicted saving of a coalesced flush over the per-rank flush is
+/// therefore `(ops − groups)·l_op` — what `DeviceStats::fused_dma_saved`
+/// meters on the simulated engine and `repro_coalesce` measures end to
+/// end. Per-byte copy time is unchanged by fusion (the same bytes cross
+/// the bus either way), so it does not appear in the term.
+pub fn coalesced_overhead(ops: u32, groups: u32, l_op: f64) -> f64 {
+    assert!(
+        groups >= 1 && groups <= ops,
+        "a flush wave has between 1 and `ops` submissions"
+    );
+    assert!(l_op >= 0.0);
+    groups as f64 * l_op
+}
+
+/// The saving side of [`coalesced_overhead`]: `(ops − groups)·l_op`.
+pub fn coalesce_saving(ops: u32, groups: u32, l_op: f64) -> f64 {
+    coalesced_overhead(ops, ops, l_op) - coalesced_overhead(ops, groups, l_op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +539,28 @@ mod tests {
         assert!(staged.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
         assert!(zc.windows(2).all(|w| w[1] < w[0]));
         assert!((zc[3] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_overhead_pays_once_per_group() {
+        // 8 sub-ops in one fused submission pay one setup; unfused they
+        // pay eight. The saving is exactly the elided setups.
+        let l = 8.0;
+        assert!((coalesced_overhead(8, 1, l) - 8.0).abs() < 1e-12);
+        assert!((coalesced_overhead(8, 8, l) - 64.0).abs() < 1e-12);
+        assert!((coalesce_saving(8, 1, l) - 56.0).abs() < 1e-12);
+        // Degenerate: everything its own group saves nothing.
+        assert_eq!(coalesce_saving(8, 8, l), 0.0);
+        // Monotone: fewer groups never cost more.
+        for g in 1..8u32 {
+            assert!(coalesced_overhead(8, g, l) < coalesced_overhead(8, g + 1, l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and `ops`")]
+    fn coalesced_overhead_rejects_more_groups_than_ops() {
+        coalesced_overhead(2, 3, 1.0);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub mod equations;
 pub mod fit;
 pub mod params;
 
-pub use equations::{optimal_chunks, pipelined_staging, request_overhead, swap_cost, SpeedupModel};
+pub use equations::{
+    coalesce_saving, coalesced_overhead, optimal_chunks, pipelined_staging, request_overhead,
+    swap_cost, SpeedupModel,
+};
 pub use fit::{fit_linear, no_vt_slope, profile_from_phases, r_squared, vt_slope};
 pub use params::ExecutionProfile;

@@ -439,6 +439,40 @@ pub enum AnalysisRecord {
         /// Descriptor extent in bytes.
         len: u64,
     },
+    /// The GVM flush planner fused several co-flushed ranks' same-direction
+    /// DMA ops into one coalesced batch submission. The manifest names
+    /// every member sub-span in submission order; `gv-analyze`'s coalesce
+    /// checker proves the manifest covers exactly the member spans (no
+    /// overlap, no gap), that the member ranks are distinct, that each
+    /// member's engine command exists on the named device and engine, that
+    /// lease generations were current, and that no fusing crossed a
+    /// quota/swap boundary.
+    CoalesceOp {
+        /// Simulated timestamp the batch was submitted.
+        time: SimTime,
+        /// GVM instance name that planned the batch.
+        gvm: String,
+        /// Tracer ordinal of the device the batch targets.
+        device: u32,
+        /// `true` for a fused H2D batch, `false` for D2H.
+        h2d: bool,
+        /// Total bytes moved by the whole batch.
+        total: u64,
+        /// Member ranks, in submission order (distinct).
+        ranks: Vec<u64>,
+        /// Member byte offsets within the fused batch (ascending from 0,
+        /// gapless: `offsets[i+1] == offsets[i] + lens[i]`).
+        offsets: Vec<u64>,
+        /// Member payload lengths in bytes (sum == `total`).
+        lens: Vec<u64>,
+        /// Pool buffer id backing each member's staging lease.
+        bufs: Vec<u64>,
+        /// Lease generation of each member at submission time.
+        gens: Vec<u64>,
+        /// Engine command id of each member's sub-op (pairs with the
+        /// per-device `CopyBegin`/`CopyEnd` label `"cmd-N"`).
+        cmds: Vec<u64>,
+    },
     /// A zero-copy descriptor was presented back to the GVM on `SND`.
     /// `ok` records the GVM's verdict; the staging checker independently
     /// re-derives staleness from the grant history, so a GVM that accepts

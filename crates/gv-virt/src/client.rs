@@ -126,6 +126,11 @@ pub struct VgpuClient {
     /// Reusable span scratch so steady-state `SND`/`RCV` plan without
     /// allocating.
     spans: RefCell<Vec<Span>>,
+    /// Rounds whose `SND` was acknowledged — the round index the *next*
+    /// `SND` stages, so shaped sessions
+    /// ([`GpuTask::round_bytes_in`](gv_kernels::GpuTask::round_bytes_in))
+    /// write each round's own input size into shm.
+    snds_sent: Cell<u32>,
 }
 
 impl VgpuClient {
@@ -167,6 +172,7 @@ impl VgpuClient {
             seq: Cell::new(0),
             desc: Cell::new(None),
             spans: RefCell::new(Vec::new()),
+            snds_sent: Cell::new(0),
         }
     }
 
@@ -298,7 +304,8 @@ impl VgpuClient {
             });
         }
         let task = self.handle.task(self.rank);
-        if task.bytes_in > 0 {
+        let bytes_in = task.bytes_in_for_round(self.snds_sent.get());
+        if bytes_in > 0 {
             // Span-wise, mirroring the GVM's staging plan: under chunked
             // pipelining the input lands in shm in the same tiles the GVM
             // will stage, with the single-span plan degenerating to the
@@ -312,7 +319,7 @@ impl VgpuClient {
                 .config
                 .mem
                 .pipeline
-                .plan_into(task.bytes_in, &mut spans);
+                .plan_into(bytes_in, &mut spans);
             for span in spans.iter() {
                 match &task.input {
                     Some(data) => self
@@ -330,7 +337,9 @@ impl VgpuClient {
                 }
             }
         }
-        self.try_call(ctx, RequestKind::Snd).map(|_| ())
+        self.try_call(ctx, RequestKind::Snd)?;
+        self.snds_sent.set(self.snds_sent.get() + 1);
+        Ok(())
     }
 
     /// `STR()`: start execution. Blocks until all ranks reached this point

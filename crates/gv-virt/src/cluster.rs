@@ -1089,6 +1089,7 @@ mod tests {
             device_bytes: mem,
             iterations: 1,
             bytes_in: 64,
+            round_bytes_in: Vec::new(),
             input: None,
             bytes_out: 64,
             d2h_offset: 0,
@@ -1111,6 +1112,35 @@ mod tests {
             mem_bytes: mem,
             kernel_slots: slots,
         }
+    }
+
+    #[test]
+    fn merged_stats_carry_coalesce_counters_once() {
+        // Cluster aggregation sums each instance's coalesce counters
+        // exactly once, so the fused-op ratio of the merged struct is the
+        // ratio of sums — no per-GVM double counting.
+        let a = GvmStats {
+            fused_dma_groups: 2,
+            fused_dma_subs: 5,
+            batched_launch_waves: 1,
+            batched_launches: 4,
+            flush_dma_ops: 10,
+            ..Default::default()
+        };
+        let b = GvmStats {
+            fused_dma_subs: 3,
+            flush_dma_ops: 6,
+            ..Default::default()
+        };
+        let mut merged = GvmStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.fused_dma_groups, 2);
+        assert_eq!(merged.fused_dma_subs, 8);
+        assert_eq!(merged.batched_launch_waves, 1);
+        assert_eq!(merged.batched_launches, 4);
+        assert_eq!(merged.flush_dma_ops, 16);
+        assert_eq!(merged.fused_dma_ratio(), 8.0 / 16.0);
     }
 
     #[test]

@@ -34,8 +34,8 @@ use gv_gpu::DevicePtr;
 use gv_ipc::{MessageQueue, MqRegistry, Node, SharedMem, ShmRegistry};
 use gv_kernels::GpuTask;
 use gv_mem::{
-    AdaptiveChooser, CachedAlloc, DeviceAllocCache, LeaseBacking, MemConfig, PipelineConfig,
-    StagingDescriptor, StagingLease, StagingPool,
+    AdaptiveChooser, CachedAlloc, CoalesceMember, CoalescePlan, DeviceAllocCache, LeaseBacking,
+    MemConfig, PipelineConfig, StagingDescriptor, StagingLease, StagingPool,
 };
 use gv_sim::{Ctx, Gate, RecvTimeout, SimDuration, Simulation};
 use parking_lot::Mutex;
@@ -265,6 +265,19 @@ pub struct GvmStats {
     pub swapped_out_bytes: u64,
     /// Bytes moved host→device by swap-ins.
     pub swapped_in_bytes: u64,
+    /// Fused DMA submissions issued by the coalescing flush path (each
+    /// covers ≥ 2 ranks' transfers in one engine sweep).
+    pub fused_dma_groups: u64,
+    /// Individual rank transfers riding inside those fused submissions.
+    pub fused_dma_subs: u64,
+    /// Batched kernel-launch waves submitted (one launch-overhead charge
+    /// covering every co-flushed rank's kernels for that iteration).
+    pub batched_launch_waves: u64,
+    /// Kernel launches carried by those batched waves.
+    pub batched_launches: u64,
+    /// All DMA submissions made by the flush path (fused or not) — the
+    /// denominator of [`fused_dma_ratio`](Self::fused_dma_ratio).
+    pub flush_dma_ops: u64,
 }
 
 impl GvmStats {
@@ -312,6 +325,21 @@ impl GvmStats {
         self.swap_ins += other.swap_ins;
         self.swapped_out_bytes += other.swapped_out_bytes;
         self.swapped_in_bytes += other.swapped_in_bytes;
+        self.fused_dma_groups += other.fused_dma_groups;
+        self.fused_dma_subs += other.fused_dma_subs;
+        self.batched_launch_waves += other.batched_launch_waves;
+        self.batched_launches += other.batched_launches;
+        self.flush_dma_ops += other.flush_dma_ops;
+    }
+
+    /// Fraction of flush-path DMA submissions that rode in a fused group
+    /// (0.0 when the flush path moved nothing).
+    pub fn fused_dma_ratio(&self) -> f64 {
+        if self.flush_dma_ops == 0 {
+            0.0
+        } else {
+            self.fused_dma_subs as f64 / self.flush_dma_ops as f64
+        }
     }
 
     /// Fraction of staging-pool acquires served without allocating
@@ -358,6 +386,14 @@ struct MemLayer {
     spans: Vec<gv_mem::Span>,
     /// Reusable ACK-order scratch for `flush_group`.
     ack: Vec<usize>,
+    /// Coalescing only: host address one past the end of the most recent
+    /// input-lease acquisition, used as the placement hint for the next
+    /// one so co-flushed ranks' staging leases reconstitute adjacency
+    /// even when served from recycled (LIFO-shuffled) free lists. `None`
+    /// when coalescing is off — hinted acquires can reorder free lists,
+    /// and the off path must stay bit-identical to the pre-coalescing
+    /// schedule.
+    chain_next: Option<u64>,
 }
 
 impl MemLayer {
@@ -652,12 +688,15 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
         chooser,
         spans: Vec::new(),
         ack: Vec::new(),
+        chain_next: None,
     };
 
     let mut ranks: Vec<RankResources> = Vec::with_capacity(cfg.ntask);
     for r in 0..cfg.ntask {
         let task = h.tasks[r].clone();
-        let shm_size = task.bytes_in.max(task.bytes_out).max(1);
+        // Shaped multi-round sessions size the segment (and the zero-copy
+        // lease) for their largest round.
+        let shm_size = task.max_bytes_in().max(task.bytes_out).max(1);
         // Ranks map onto NUMA nodes by their core pinning so a rank's
         // leases come from free lists local to its socket.
         let cores = node.config().cores.max(1);
@@ -1010,7 +1049,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         .zc_lease
                         .as_ref()
                         .expect("zero-copy rank leased at boot");
-                    let len = rank.task.bytes_in.max(rank.task.bytes_out).max(1);
+                    let len = rank.task.max_bytes_in().max(rank.task.bytes_out).max(1);
                     let desc = lease.descriptor(0, len);
                     rank.zc_desc = Some(desc);
                     if ctx.tracer().analysis_enabled() {
@@ -1259,7 +1298,7 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                         );
                         continue;
                     }
-                    let bytes = ranks[r].task.bytes_in;
+                    let bytes = ranks[r].task.bytes_in_for_round(ranks[r].rounds_done);
                     if bytes > 0 {
                         // H2D issues straight from the lease; every span
                         // is handed to the copy engine now, ahead of the
@@ -1314,32 +1353,54 @@ fn gvm_main(ctx: &mut Ctx, h: GvmHandle, cudas: Vec<CudaDevice>, node: Node) {
                 // into chunks, each handed to the copy engine the moment
                 // it is staged, so the H2D of chunk i overlaps the shm
                 // staging of chunk i+1.
-                let bytes = ranks[r].task.bytes_in;
+                let functional = ranks[r].task.is_functional();
+                // First-round-only ablation: steady-state rounds fall
+                // back to serial whole-payload staging with the H2D
+                // deferred to flush (the pre-PR schedule the ROADMAP
+                // documented; kept as the sweep baseline).
+                let ablate = ml.mem.pipeline.first_round_only && ranks[r].rounds_done > 0;
+                // Steady-state prefetch: a second SND arriving while
+                // this rank's round is still on the device stages next
+                // round's input into the double buffer and pre-issues
+                // its H2D behind the in-flight work on the same
+                // in-order stream — iteration overlap across rounds.
+                let prefetch = ml.mem.pipeline.steady && !ablate && ranks[r].pinned_in.is_some();
+                // A prefetched SND stages *next* round's input, so shaped
+                // sessions re-plan the double buffer at next round's size
+                // instead of falling back to serial.
+                let bytes = ranks[r]
+                    .task
+                    .bytes_in_for_round(ranks[r].rounds_done + u32::from(prefetch));
                 if bytes > 0 {
                     let t0 = ctx.now();
-                    let functional = ranks[r].task.is_functional();
-                    // First-round-only ablation: steady-state rounds fall
-                    // back to serial whole-payload staging with the H2D
-                    // deferred to flush (the pre-PR schedule the ROADMAP
-                    // documented; kept as the sweep baseline).
-                    let ablate = ml.mem.pipeline.first_round_only && ranks[r].rounds_done > 0;
-                    // Steady-state prefetch: a second SND arriving while
-                    // this rank's round is still on the device stages next
-                    // round's input into the double buffer and pre-issues
-                    // its H2D behind the in-flight work on the same
-                    // in-order stream — iteration overlap across rounds.
-                    let prefetch =
-                        ml.mem.pipeline.steady && !ablate && ranks[r].pinned_in.is_some();
+                    // Coalescing: chain this lease right after the last
+                    // one handed out, so co-flushed ranks' staging leases
+                    // sit adjacent and the flush planner can fuse them.
+                    let hint = if ml.mem.coalesce.enabled {
+                        ml.chain_next
+                    } else {
+                        None
+                    };
+                    let mut chain = ml.chain_next;
                     if prefetch {
                         if ranks[r].pinned_in_next.is_none() {
                             let numa = ranks[r].numa;
-                            ranks[r].pinned_in_next =
-                                Some(ml.pool.acquire_on(ctx.tracer(), bytes, functional, numa));
+                            let lease =
+                                ml.pool
+                                    .acquire_at(ctx.tracer(), bytes, functional, numa, hint);
+                            chain = Some(lease.place_addr() + lease.capacity());
+                            ranks[r].pinned_in_next = Some(lease);
                         }
                     } else if ranks[r].pinned_in.is_none() {
                         let numa = ranks[r].numa;
-                        ranks[r].pinned_in =
-                            Some(ml.pool.acquire_on(ctx.tracer(), bytes, functional, numa));
+                        let lease = ml
+                            .pool
+                            .acquire_at(ctx.tracer(), bytes, functional, numa, hint);
+                        chain = Some(lease.place_addr() + lease.capacity());
+                        ranks[r].pinned_in = Some(lease);
+                    }
+                    if ml.mem.coalesce.enabled {
+                        ml.chain_next = chain;
                     }
                     let (xfer, spans) = if ablate {
                         ml.plan_k(ctx.tracer(), r, bytes, 1)
@@ -1916,14 +1977,28 @@ fn flush_group(
     let cfg = &h.config;
     let t0 = ctx.now();
     let active = active_count(ranks);
-    for &r in group {
-        let rank = &mut ranks[r];
-        let cc = &contexts[rank.dev_idx];
-        flush_rank(ctx, cc, h, r, rank, ml);
-        if cfg.serial_flush {
-            cc.stream_synchronize(ctx, rank.stream);
+    // The coalescing planner only takes over multi-rank flushes on the
+    // overlapped (non-serial) schedule, and never in a swapping GVM —
+    // demand-swap can relocate lease windows mid-session, so fusing
+    // across it is forbidden (the gv-analyze coalesce checker enforces
+    // this over traces). Everything else goes through the unmodified
+    // per-rank path, which stays bit-identical to the pre-coalescing
+    // schedule.
+    let coalesce = ml.mem.coalesce.enabled && group.len() >= 2 && !cfg.serial_flush && !cfg.swap;
+    let dma_ops = if coalesce {
+        flush_group_coalesced(ctx, h, contexts, ranks, ml, group)
+    } else {
+        let mut dma_ops = 0u64;
+        for &r in group {
+            let rank = &mut ranks[r];
+            let cc = &contexts[rank.dev_idx];
+            dma_ops += flush_rank(ctx, cc, h, r, rank, ml);
+            if cfg.serial_flush {
+                cc.stream_synchronize(ctx, rank.stream);
+            }
         }
-    }
+        dma_ops
+    };
     // The queueing delay this dispatch imposed: how long the oldest
     // pending STR sat behind the policy's trigger.
     let gap = batch_start
@@ -1934,6 +2009,7 @@ fn flush_group(
         stats.flushes += 1;
         stats.submit_time += ctx.now().duration_since(t0);
         stats.idle_gap += gap;
+        stats.flush_dma_ops += dma_ops;
         if group.len() < active {
             stats.partial_flushes += 1;
         }
@@ -1982,6 +2058,383 @@ fn flush_group(
     str_waiting.retain(|w| !group.contains(w));
 }
 
+/// One device's kernel wave: device index, rank count, and the
+/// per-stream launch descriptors in flush order.
+type LaunchWave = (usize, usize, Vec<(gv_gpu::StreamId, gv_gpu::KernelDesc)>);
+
+/// One transfer a coalescing wave wants to move: the member's rank, its
+/// payload this iteration, and the chunk count the serial path would use.
+struct WaveXfer {
+    r: usize,
+    bytes: u64,
+    k: u64,
+}
+
+/// The staging lease a wave member's transfer sources from / drains into.
+fn wave_lease(rank: &RankResources, zc: bool, h2d: bool) -> &StagingLease {
+    if zc {
+        rank.zc_lease.as_ref().expect("zero-copy lease")
+    } else if h2d {
+        rank.pinned_in.as_ref().expect("SND leased pinned_in")
+    } else {
+        rank.pinned_out
+            .as_ref()
+            .expect("pinned_out leased at flush")
+    }
+}
+
+/// The coalescing flush: instead of enqueueing each rank's complete
+/// pipeline in turn, the group is submitted *wave-per-iteration* — all
+/// ranks' H2D transfers, then all their kernel launches, then all their
+/// D2H drains, per iteration. Per-stream command order is unchanged (each
+/// rank still sees H2D → kernels → D2H on its own in-order stream), so
+/// functional outputs are bitwise identical to the per-rank path; only
+/// the submission schedule differs:
+///
+/// * Within a wave, runs of members whose staging leases are adjacent in
+///   host memory ([`CoalescePlan`]) go down as one fused DMA submission —
+///   the copy engine sweeps the combined range and every sub-op after the
+///   first elides the per-op setup latency. Each fused submission leaves
+///   an [`AnalysisRecord::CoalesceOp`](gv_sim::AnalysisRecord::CoalesceOp)
+///   manifest for the gv-analyze coalesce checker.
+/// * When a wave's kernels span ≥ 2 ranks on one device, the launches go
+///   down as a single batched submission charging the host launch
+///   overhead once instead of once per kernel.
+fn flush_group_coalesced(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    contexts: &[gv_cuda::CudaContext],
+    ranks: &mut [RankResources],
+    ml: &mut MemLayer,
+    group: &[usize],
+) -> u64 {
+    let zc = ml.mem.zero_copy;
+    let ccfg = ml.mem.coalesce;
+    let quota_on = h.config.quotas.is_some();
+    let analysis = ctx.tracer().analysis_enabled();
+    let mut dma_ops = 0u64;
+    let mut fused_groups = 0u64;
+    let mut fused_subs = 0u64;
+    let mut launch_waves = 0u64;
+    let mut batched_launches = 0u64;
+
+    // Output leases are acquired upfront, place-chained, so the D2H waves
+    // see adjacent regions; pre-issued iteration-0 H2Ds are taken now.
+    let mut preissued = vec![false; group.len()];
+    let mut chain: Option<u64> = None;
+    for (gi, &r) in group.iter().enumerate() {
+        let rank = &mut ranks[r];
+        let (bytes_out, functional) = (rank.task.bytes_out, rank.task.is_functional());
+        if bytes_out > 0 && !zc && rank.pinned_out.is_none() {
+            let lease = ml
+                .pool
+                .acquire_at(ctx.tracer(), bytes_out, functional, rank.numa, chain);
+            chain = Some(lease.place_addr() + lease.capacity());
+            rank.pinned_out = Some(lease);
+        } else if let Some(l) = rank.pinned_out.as_ref() {
+            chain = Some(l.place_addr() + l.capacity());
+        }
+        preissued[gi] = std::mem::take(&mut rank.h2d_preissued);
+    }
+    let max_iters = group
+        .iter()
+        .map(|&r| ranks[r].task.iterations)
+        .max()
+        .unwrap_or(0);
+
+    for it in 0..max_iters {
+        // ---- H2D wave: per device, fuse adjacent-lease runs. ----
+        let mut by_dev: Vec<(usize, Vec<WaveXfer>)> = Vec::new();
+        for (gi, &r) in group.iter().enumerate() {
+            let rank = &ranks[r];
+            if it >= rank.task.iterations || (it == 0 && preissued[gi]) {
+                continue;
+            }
+            let bytes = rank.task.bytes_in_for_round(rank.rounds_done);
+            if bytes == 0 {
+                continue;
+            }
+            let k = if ml.mem.pipeline.first_round_only {
+                1
+            } else {
+                ml.chooser.choose(bytes, &ml.mem.pipeline)
+            };
+            match by_dev.iter_mut().find(|(d, _)| *d == rank.dev_idx) {
+                Some((_, v)) => v.push(WaveXfer { r, bytes, k }),
+                None => by_dev.push((rank.dev_idx, vec![WaveXfer { r, bytes, k }])),
+            }
+        }
+        for (dev_idx, xfers) in &by_dev {
+            let cc = &contexts[*dev_idx];
+            let members: Vec<CoalesceMember> = xfers
+                .iter()
+                .map(|x| {
+                    let rank = &ranks[x.r];
+                    let eligible = x.k == 1 && (!quota_on || rank.charged > 0);
+                    CoalesceMember::from_lease(x.r, x.bytes, wave_lease(rank, zc, true), eligible)
+                })
+                .collect();
+            let plan = CoalescePlan::plan(&ccfg, &members);
+            for run in &plan.runs {
+                if run.len() >= 2 {
+                    let items: Vec<gv_cuda::BatchH2d<'_>> = run
+                        .iter()
+                        .map(|&i| {
+                            let rank = &ranks[xfers[i].r];
+                            gv_cuda::BatchH2d {
+                                stream: rank.stream,
+                                src: wave_lease(rank, zc, true).buffer(),
+                                src_offset: 0,
+                                dst: rank.gpu.as_ref().expect("flushed rank allocated").dev_base,
+                                bytes: xfers[i].bytes,
+                            }
+                        })
+                        .collect();
+                    let handles = cc
+                        .memcpy_h2d_async_batch(ctx, &items)
+                        .expect("GVM fused H2D submit");
+                    dma_ops += run.len() as u64;
+                    fused_groups += 1;
+                    fused_subs += run.len() as u64;
+                    if analysis {
+                        record_coalesce_op(ctx, h, cc, true, run, &members, &handles);
+                    }
+                } else {
+                    let i = run[0];
+                    let (r, bytes, k) = (xfers[i].r, xfers[i].bytes, xfers[i].k);
+                    let rank = &ranks[r];
+                    let gpu = rank.gpu.as_ref().expect("flushed rank allocated");
+                    let lease = wave_lease(rank, zc, true);
+                    if k > 1 {
+                        let xfer = ml.plan_scratch(ctx.tracer(), r, bytes);
+                        for span in &ml.spans {
+                            let cmd = cc
+                                .memcpy_h2d_async_at(
+                                    ctx,
+                                    rank.stream,
+                                    lease.buffer(),
+                                    span.offset,
+                                    gpu.dev_base.add(span.offset),
+                                    span.len,
+                                )
+                                .expect("GVM H2D submit");
+                            let label = if analysis {
+                                format!("cmd-{}", cmd.id)
+                            } else {
+                                String::new()
+                            };
+                            gv_mem::record_chunk(
+                                ctx.tracer(),
+                                cc.cuda().device().tracer_ordinal(),
+                                r,
+                                xfer,
+                                true,
+                                *span,
+                                bytes,
+                                lease.id(),
+                                label,
+                            );
+                        }
+                        dma_ops += ml.spans.len() as u64;
+                        let mut stats = h.stats.lock();
+                        stats.chunked_transfers += 1;
+                        stats.chunks_submitted += ml.spans.len() as u64;
+                    } else {
+                        cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes)
+                            .expect("GVM H2D submit");
+                        dma_ops += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- Kernel wave: batch launches when ≥ 2 ranks share a device. ----
+        let mut launches: Vec<LaunchWave> = Vec::new();
+        for &r in group {
+            let rank = &ranks[r];
+            if it >= rank.task.iterations {
+                continue;
+            }
+            let gpu = rank.gpu.as_ref().expect("flushed rank allocated");
+            let items: Vec<_> = gpu
+                .kernels
+                .iter()
+                .map(|k| (rank.stream, k.clone()))
+                .collect();
+            match launches.iter_mut().find(|(d, _, _)| *d == rank.dev_idx) {
+                Some((_, n, v)) => {
+                    *n += 1;
+                    v.extend(items);
+                }
+                None => launches.push((rank.dev_idx, 1, items)),
+            }
+        }
+        for (dev_idx, nranks, items) in launches {
+            let cc = &contexts[dev_idx];
+            if nranks >= 2 && !items.is_empty() {
+                cc.launch_batch(ctx, &items).expect("GVM batched launch");
+                launch_waves += 1;
+                batched_launches += items.len() as u64;
+            } else {
+                for (stream, k) in items {
+                    cc.launch(ctx, stream, k).expect("GVM launch");
+                }
+            }
+        }
+
+        // ---- D2H wave: staged drains every iteration, zero-copy only on
+        // the final one (one lease window serves both directions). ----
+        let mut by_dev: Vec<(usize, Vec<WaveXfer>)> = Vec::new();
+        for &r in group {
+            let rank = &ranks[r];
+            if it >= rank.task.iterations || rank.task.bytes_out == 0 {
+                continue;
+            }
+            if zc && it + 1 != rank.task.iterations {
+                continue;
+            }
+            let bytes = rank.task.bytes_out;
+            let k = ml.chooser.choose(bytes, &ml.mem.pipeline);
+            match by_dev.iter_mut().find(|(d, _)| *d == rank.dev_idx) {
+                Some((_, v)) => v.push(WaveXfer { r, bytes, k }),
+                None => by_dev.push((rank.dev_idx, vec![WaveXfer { r, bytes, k }])),
+            }
+        }
+        for (dev_idx, xfers) in &by_dev {
+            let cc = &contexts[*dev_idx];
+            let members: Vec<CoalesceMember> = xfers
+                .iter()
+                .map(|x| {
+                    let rank = &ranks[x.r];
+                    let eligible = x.k == 1 && (!quota_on || rank.charged > 0);
+                    CoalesceMember::from_lease(x.r, x.bytes, wave_lease(rank, zc, false), eligible)
+                })
+                .collect();
+            let plan = CoalescePlan::plan(&ccfg, &members);
+            for run in &plan.runs {
+                if run.len() >= 2 {
+                    let items: Vec<gv_cuda::BatchD2h<'_>> = run
+                        .iter()
+                        .map(|&i| {
+                            let rank = &ranks[xfers[i].r];
+                            let gpu = rank.gpu.as_ref().expect("flushed rank allocated");
+                            gv_cuda::BatchD2h {
+                                stream: rank.stream,
+                                src: gpu.dev_base.add(rank.task.d2h_offset),
+                                dst: wave_lease(rank, zc, false).buffer(),
+                                dst_offset: 0,
+                                bytes: xfers[i].bytes,
+                            }
+                        })
+                        .collect();
+                    let handles = cc
+                        .memcpy_d2h_async_batch(ctx, &items)
+                        .expect("GVM fused D2H submit");
+                    dma_ops += run.len() as u64;
+                    fused_groups += 1;
+                    fused_subs += run.len() as u64;
+                    if analysis {
+                        record_coalesce_op(ctx, h, cc, false, run, &members, &handles);
+                    }
+                } else {
+                    let i = run[0];
+                    let (r, bytes) = (xfers[i].r, xfers[i].bytes);
+                    let rank = &ranks[r];
+                    let gpu = rank.gpu.as_ref().expect("flushed rank allocated");
+                    let lease = wave_lease(rank, zc, false);
+                    let xfer = ml.plan_scratch(ctx.tracer(), r, bytes);
+                    for span in &ml.spans {
+                        let cmd = cc
+                            .memcpy_d2h_async_at(
+                                ctx,
+                                rank.stream,
+                                gpu.dev_base.add(rank.task.d2h_offset + span.offset),
+                                lease.buffer(),
+                                span.offset,
+                                span.len,
+                            )
+                            .expect("GVM D2H submit");
+                        let label = if analysis {
+                            format!("cmd-{}", cmd.id)
+                        } else {
+                            String::new()
+                        };
+                        gv_mem::record_chunk(
+                            ctx.tracer(),
+                            cc.cuda().device().tracer_ordinal(),
+                            r,
+                            xfer,
+                            false,
+                            *span,
+                            bytes,
+                            lease.id(),
+                            label,
+                        );
+                    }
+                    dma_ops += ml.spans.len() as u64;
+                    if ml.spans.len() > 1 {
+                        let mut stats = h.stats.lock();
+                        stats.chunked_transfers += 1;
+                        stats.chunks_submitted += ml.spans.len() as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    if ml.mem.pipeline.steady {
+        for &r in group {
+            let rank = &mut ranks[r];
+            rank.round_tail = contexts[rank.dev_idx].stream_tail(rank.stream);
+        }
+    }
+    {
+        let mut stats = h.stats.lock();
+        stats.fused_dma_groups += fused_groups;
+        stats.fused_dma_subs += fused_subs;
+        stats.batched_launch_waves += launch_waves;
+        stats.batched_launches += batched_launches;
+    }
+    dma_ops
+}
+
+/// Emit the fused submission's [`CoalesceOp`] manifest: member ranks in
+/// submission order, their byte spans within the fused batch, the backing
+/// pool buffers and lease generations, and the engine command id of each
+/// sub-op (pairing with the per-device `CopyBegin`/`CopyEnd` labels).
+///
+/// [`CoalesceOp`]: gv_sim::AnalysisRecord::CoalesceOp
+fn record_coalesce_op(
+    ctx: &mut Ctx,
+    h: &GvmHandle,
+    cc: &gv_cuda::CudaContext,
+    h2d: bool,
+    run: &[usize],
+    members: &[CoalesceMember],
+    handles: &[gv_gpu::CommandHandle],
+) {
+    let mut offsets = Vec::with_capacity(run.len());
+    let mut cursor = 0u64;
+    for &i in run {
+        offsets.push(cursor);
+        cursor += members[i].bytes;
+    }
+    ctx.tracer()
+        .record_analysis(gv_sim::AnalysisRecord::CoalesceOp {
+            time: ctx.now(),
+            gvm: h.endpoints.gvm.clone(),
+            device: cc.cuda().device().tracer_ordinal(),
+            h2d,
+            total: cursor,
+            ranks: run.iter().map(|&i| members[i].rank as u64).collect(),
+            offsets,
+            lens: run.iter().map(|&i| members[i].bytes).collect(),
+            bufs: run.iter().map(|&i| members[i].buf).collect(),
+            gens: run.iter().map(|&i| members[i].generation).collect(),
+            cmds: handles.iter().map(|cmd| cmd.id).collect(),
+        });
+}
+
 /// Enqueue one rank's complete pipeline into its stream: per iteration,
 /// async H2D from pinned, the kernel sequence, async D2H into pinned.
 ///
@@ -1997,9 +2450,10 @@ fn flush_rank(
     r: usize,
     rank: &mut RankResources,
     ml: &mut MemLayer,
-) {
+) -> u64 {
+    let mut dma_ops = 0u64;
     let (bytes_in, bytes_out, d2h_offset, iterations, functional) = (
-        rank.task.bytes_in,
+        rank.task.bytes_in_for_round(rank.rounds_done),
         rank.task.bytes_out,
         rank.task.d2h_offset,
         rank.task.iterations,
@@ -2071,12 +2525,14 @@ fn flush_rank(
                         label,
                     );
                 }
+                dma_ops += ml.spans.len() as u64;
                 let mut stats = h.stats.lock();
                 stats.chunked_transfers += 1;
                 stats.chunks_submitted += ml.spans.len() as u64;
             } else {
                 cc.memcpy_h2d_async(ctx, rank.stream, lease.buffer(), gpu.dev_base, bytes_in)
                     .expect("GVM H2D submit");
+                dma_ops += 1;
             }
         }
         for k in &gpu.kernels {
@@ -2122,6 +2578,7 @@ fn flush_rank(
                     label,
                 );
             }
+            dma_ops += ml.spans.len() as u64;
             if ml.spans.len() > 1 {
                 let mut stats = h.stats.lock();
                 stats.chunked_transfers += 1;
@@ -2134,4 +2591,5 @@ fn flush_rank(
     if ml.mem.pipeline.steady {
         rank.round_tail = cc.stream_tail(rank.stream);
     }
+    dma_ops
 }

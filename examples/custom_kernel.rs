@@ -47,6 +47,7 @@ fn build_task(cfg: &DeviceConfig, xs: &[f32]) -> GpuTask {
         device_bytes: 8 * n as u64,
         iterations: 1,
         bytes_in: 4 * n as u64,
+        round_bytes_in: Vec::new(),
         input: Some(Arc::new(input)),
         bytes_out: 4 * n as u64,
         d2h_offset: 4 * n as u64,

@@ -35,6 +35,7 @@ fn task(mem: u64) -> GpuTask {
         device_bytes: mem,
         iterations: 1,
         bytes_in: 64,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: 64,
         d2h_offset: 0,

@@ -125,6 +125,7 @@ fn reversed_io_switches_to_eq3_regime() {
         device_bytes: 44_000_000,
         iterations: 1,
         bytes_in: 4_000_000,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out: 40_000_000,
         d2h_offset: 4_000_000,

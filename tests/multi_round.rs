@@ -41,6 +41,47 @@ fn three_rounds_flush_three_times() {
     assert_eq!(device.stats().ctx_switches, 0);
 }
 
+/// Shaped multi-round sessions keep the steady-state overlap: when
+/// per-round `bytes_in` changes shape, the double-buffered prefetch
+/// re-plans at each round's own size instead of falling back to serial
+/// staging — prefetches still happen, and each round's staged bytes track
+/// the declared shape.
+#[test]
+fn shape_changing_rounds_keep_the_steady_prefetch() {
+    use gvirt::harness::scenario::{ExecutionMode, Scenario};
+    use gvirt::kernels::{Benchmark, BenchmarkId};
+    use gvirt::virt::MemConfig;
+
+    let base = Scenario::default();
+    let uniform = Benchmark::scaled_task(BenchmarkId::VecAdd, &base.device, 64);
+    let bytes = uniform.bytes_in;
+    // Rounds stage full, half, then quarter payloads (all within the
+    // boot-time shm/device sizing, which provisions for the max).
+    let shaped = uniform
+        .clone()
+        .with_round_shape(vec![bytes, bytes / 2, bytes / 4]);
+    assert_eq!(shaped.max_bytes_in(), bytes);
+    assert_eq!(shaped.bytes_in_for_round(2), bytes / 4);
+    assert_eq!(shaped.bytes_in_for_round(9), bytes, "past-end falls back");
+
+    let steady = base
+        .clone()
+        .with_mem(MemConfig::adaptive(4, 64).with_steady())
+        .with_rounds(3);
+    let r = steady.run(ExecutionMode::Virtualized, vec![shaped.clone(); 2]);
+    let gvm = r.gvm.expect("virtualized run has GVM stats");
+    assert!(
+        gvm.steady_prefetches > 0,
+        "shape-changing session must keep prefetching (not fall back to serial)"
+    );
+    // Same prefetch count as the uniform-shape session: the shape changes
+    // the staged sizes, never the schedule structure.
+    let u = steady.run(ExecutionMode::Virtualized, vec![uniform; 2]);
+    let ugvm = u.gvm.expect("virtualized run has GVM stats");
+    assert_eq!(gvm.steady_prefetches, ugvm.steady_prefetches);
+    assert_eq!(gvm.snd_copies, ugvm.snd_copies);
+}
+
 /// Functional multi-round: the final round's output is correct even though
 /// the same device buffers were reused every round.
 #[test]

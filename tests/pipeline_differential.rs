@@ -205,6 +205,7 @@ fn payload_only_task(bytes_in: u64, bytes_out: u64) -> GpuTask {
         device_bytes: (bytes_in + bytes_out).max(1),
         iterations: 1,
         bytes_in,
+        round_bytes_in: Vec::new(),
         input: None,
         bytes_out,
         d2h_offset: bytes_in,

@@ -37,6 +37,7 @@ fn task_strategy() -> impl Strategy<Value = GpuTask> {
                     device_bytes: (bytes_in + bytes_out).max(256),
                     iterations,
                     bytes_in,
+                    round_bytes_in: Vec::new(),
                     input: None,
                     bytes_out,
                     d2h_offset: bytes_in.min((bytes_in + bytes_out).max(256) - bytes_out.max(1)),
